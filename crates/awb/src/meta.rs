@@ -1,0 +1,380 @@
+//! The metamodel: "Most AWB structures are defined in a pile of files: what
+//! kinds of entities AWB will talk about, what sorts of editors it will use
+//! to manipulate them, and so on."
+//!
+//! Node types form a single-inheritance hierarchy; each declares scalar
+//! properties. Relations are "hierarchically typed, like nodes" and
+//! "generally have many choices of source and target type". Requirements
+//! ("there should be exactly one SystemBeingDesigned node") are *advisory*:
+//! the model never enforces them — the omissions checker reports them.
+
+use std::collections::HashMap;
+
+/// Scalar property types: "a Person node might have string-valued firstName
+/// and lastName properties, an integer-valued birthYear property, and a
+/// HTML-valued biography property."
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PropType {
+    Str,
+    Int,
+    Bool,
+    Html,
+}
+
+impl PropType {
+    pub fn name(self) -> &'static str {
+        match self {
+            PropType::Str => "string",
+            PropType::Int => "integer",
+            PropType::Bool => "boolean",
+            PropType::Html => "html",
+        }
+    }
+
+    pub fn from_name(s: &str) -> Option<Self> {
+        Some(match s {
+            "string" => PropType::Str,
+            "integer" => PropType::Int,
+            "boolean" => PropType::Bool,
+            "html" => PropType::Html,
+            _ => return None,
+        })
+    }
+}
+
+/// A property declaration on a node (or relation) type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PropertyDecl {
+    pub name: String,
+    pub ty: PropType,
+}
+
+/// A node type: name, optional parent type, declared properties.
+#[derive(Debug, Clone)]
+pub struct NodeTypeDef {
+    pub name: String,
+    pub parent: Option<String>,
+    pub properties: Vec<PropertyDecl>,
+}
+
+/// An advisory source→target expectation for a relation type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Expectation {
+    pub source: String,
+    pub target: String,
+}
+
+/// A relation type: name, optional parent, advisory expectations. "The IT
+/// architecture system uses the relation has in dozens of ways."
+#[derive(Debug, Clone)]
+pub struct RelationTypeDef {
+    pub name: String,
+    pub parent: Option<String>,
+    pub expectations: Vec<Expectation>,
+}
+
+/// An advisory requirement checked by the omissions window. "AWB doesn't
+/// force the user… It will display a meek warning message in a corner of
+/// the screen."
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Requirement {
+    /// There should be exactly one node of this type (e.g.
+    /// `SystemBeingDesigned`). Configurable: "the glass catalog doesn't
+    /// have a SystemBeingDesigned node at all, nor a warning about it."
+    ExactlyOne(String),
+    /// Every node of `node_type` should carry `property` (e.g. documents
+    /// "are supposed to have version information").
+    RequiredProperty { node_type: String, property: String },
+    /// Every node of `node_type` should be the source of at least one
+    /// relation of `relation`.
+    RequiredRelation { node_type: String, relation: String },
+}
+
+/// The metamodel proper.
+#[derive(Debug, Clone, Default)]
+pub struct Metamodel {
+    node_types: HashMap<String, NodeTypeDef>,
+    relation_types: HashMap<String, RelationTypeDef>,
+    requirements: Vec<Requirement>,
+}
+
+impl Metamodel {
+    pub fn new() -> Self {
+        Metamodel::default()
+    }
+
+    /// Declares a node type. Root types pass `parent = None`.
+    pub fn add_node_type(
+        &mut self,
+        name: impl Into<String>,
+        parent: Option<&str>,
+        properties: Vec<(&str, PropType)>,
+    ) -> &mut Self {
+        let name = name.into();
+        self.node_types.insert(
+            name.clone(),
+            NodeTypeDef {
+                name,
+                parent: parent.map(str::to_string),
+                properties: properties
+                    .into_iter()
+                    .map(|(n, ty)| PropertyDecl { name: n.to_string(), ty })
+                    .collect(),
+            },
+        );
+        self
+    }
+
+    /// Declares a relation type.
+    pub fn add_relation_type(
+        &mut self,
+        name: impl Into<String>,
+        parent: Option<&str>,
+        expectations: Vec<(&str, &str)>,
+    ) -> &mut Self {
+        let name = name.into();
+        self.relation_types.insert(
+            name.clone(),
+            RelationTypeDef {
+                name,
+                parent: parent.map(str::to_string),
+                expectations: expectations
+                    .into_iter()
+                    .map(|(s, t)| Expectation {
+                        source: s.to_string(),
+                        target: t.to_string(),
+                    })
+                    .collect(),
+            },
+        );
+        self
+    }
+
+    pub fn add_requirement(&mut self, req: Requirement) -> &mut Self {
+        self.requirements.push(req);
+        self
+    }
+
+    pub fn requirements(&self) -> &[Requirement] {
+        &self.requirements
+    }
+
+    pub fn node_type(&self, name: &str) -> Option<&NodeTypeDef> {
+        self.node_types.get(name)
+    }
+
+    pub fn relation_type(&self, name: &str) -> Option<&RelationTypeDef> {
+        self.relation_types.get(name)
+    }
+
+    pub fn node_type_names(&self) -> impl Iterator<Item = &str> {
+        self.node_types.keys().map(String::as_str)
+    }
+
+    pub fn relation_type_names(&self) -> impl Iterator<Item = &str> {
+        self.relation_types.keys().map(String::as_str)
+    }
+
+    /// Is node type `sub` equal to or a descendant of `sup`?
+    pub fn is_node_subtype(&self, sub: &str, sup: &str) -> bool {
+        self.is_subtype(sub, sup, |n| self.node_types.get(n).and_then(|d| d.parent.as_deref()))
+    }
+
+    /// Is relation type `sub` equal to or a descendant of `sup`? ("favors
+    /// might be a subtype of likes.")
+    pub fn is_relation_subtype(&self, sub: &str, sup: &str) -> bool {
+        self.is_subtype(sub, sup, |n| {
+            self.relation_types.get(n).and_then(|d| d.parent.as_deref())
+        })
+    }
+
+    fn is_subtype<'a>(
+        &'a self,
+        sub: &'a str,
+        sup: &str,
+        parent_of: impl Fn(&'a str) -> Option<&'a str>,
+    ) -> bool {
+        let mut cur = Some(sub);
+        let mut hops = 0;
+        while let Some(t) = cur {
+            if t == sup {
+                return true;
+            }
+            cur = parent_of(t);
+            hops += 1;
+            if hops > 64 {
+                // Defensive: a cyclic hierarchy is a metamodel bug, not a
+                // reason to spin forever.
+                return false;
+            }
+        }
+        false
+    }
+
+    /// All node types equal to or descending from `sup`, sorted.
+    pub fn node_subtypes(&self, sup: &str) -> Vec<&str> {
+        let mut out: Vec<&str> = self
+            .node_types
+            .keys()
+            .map(String::as_str)
+            .filter(|t| self.is_node_subtype(t, sup))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// All relation types equal to or descending from `sup`, sorted.
+    pub fn relation_subtypes(&self, sup: &str) -> Vec<&str> {
+        let mut out: Vec<&str> = self
+            .relation_types
+            .keys()
+            .map(String::as_str)
+            .filter(|t| self.is_relation_subtype(t, sup))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The properties declared on `ty` and all its ancestors (nearest
+    /// declaration wins on name clashes).
+    pub fn properties_of(&self, ty: &str) -> Vec<&PropertyDecl> {
+        let mut out: Vec<&PropertyDecl> = Vec::new();
+        let mut cur = self.node_types.get(ty);
+        let mut hops = 0;
+        while let Some(def) = cur {
+            for p in &def.properties {
+                if !out.iter().any(|q| q.name == p.name) {
+                    out.push(p);
+                }
+            }
+            cur = def.parent.as_deref().and_then(|p| self.node_types.get(p));
+            hops += 1;
+            if hops > 64 {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Does the metamodel *expect* a relation of type `rel` from `src_type`
+    /// to `tgt_type`? Advisory only — the model will record the relation
+    /// regardless, and the omissions checker reports the mismatch.
+    pub fn relation_expected(&self, rel: &str, src_type: &str, tgt_type: &str) -> bool {
+        let mut cur = self.relation_types.get(rel);
+        let mut hops = 0;
+        while let Some(def) = cur {
+            if def.expectations.iter().any(|e| {
+                self.is_node_subtype(src_type, &e.source) && self.is_node_subtype(tgt_type, &e.target)
+            }) {
+                return true;
+            }
+            cur = def.parent.as_deref().and_then(|p| self.relation_types.get(p));
+            hops += 1;
+            if hops > 64 {
+                break;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Metamodel {
+        let mut m = Metamodel::new();
+        m.add_node_type("Thing", None, vec![("label", PropType::Str)]);
+        m.add_node_type("Person", Some("Thing"), vec![
+            ("firstName", PropType::Str),
+            ("lastName", PropType::Str),
+            ("birthYear", PropType::Int),
+            ("biography", PropType::Html),
+        ]);
+        m.add_node_type("SuperUser", Some("Person"), vec![("clearance", PropType::Int)]);
+        m.add_node_type("Program", Some("Thing"), vec![]);
+        m.add_relation_type("likes", None, vec![("Person", "Thing")]);
+        m.add_relation_type("favors", Some("likes"), vec![]);
+        m.add_relation_type("uses", None, vec![("Person", "Program")]);
+        m.add_requirement(Requirement::ExactlyOne("SystemBeingDesigned".into()));
+        m
+    }
+
+    #[test]
+    fn single_inheritance_subtyping() {
+        let m = sample();
+        assert!(m.is_node_subtype("SuperUser", "Person"));
+        assert!(m.is_node_subtype("SuperUser", "Thing"));
+        assert!(m.is_node_subtype("Person", "Person"));
+        assert!(!m.is_node_subtype("Person", "SuperUser"));
+        assert!(!m.is_node_subtype("Program", "Person"));
+    }
+
+    #[test]
+    fn relation_subtyping() {
+        let m = sample();
+        assert!(m.is_relation_subtype("favors", "likes"));
+        assert!(!m.is_relation_subtype("likes", "favors"));
+        assert!(!m.is_relation_subtype("uses", "likes"));
+    }
+
+    #[test]
+    fn subtype_enumeration_sorted() {
+        let m = sample();
+        assert_eq!(m.node_subtypes("Person"), vec!["Person", "SuperUser"]);
+        assert_eq!(m.relation_subtypes("likes"), vec!["favors", "likes"]);
+    }
+
+    #[test]
+    fn properties_inherit_with_shadowing() {
+        let mut m = sample();
+        // SuperUser redeclares biography as a string — nearest wins.
+        m.add_node_type("Shadow", Some("Person"), vec![("biography", PropType::Str)]);
+        let props = m.properties_of("Shadow");
+        let bio = props.iter().find(|p| p.name == "biography").unwrap();
+        assert_eq!(bio.ty, PropType::Str);
+        assert!(props.iter().any(|p| p.name == "label"), "inherited from Thing");
+        let names: Vec<_> = m.properties_of("SuperUser").iter().map(|p| p.name.clone()).collect();
+        assert!(names.contains(&"clearance".to_string()));
+        assert!(names.contains(&"firstName".to_string()));
+    }
+
+    #[test]
+    fn expectations_respect_subtyping() {
+        let m = sample();
+        // likes: Person → Thing covers SuperUser → Program.
+        assert!(m.relation_expected("likes", "SuperUser", "Program"));
+        // favors inherits likes' expectations.
+        assert!(m.relation_expected("favors", "Person", "Program"));
+        // uses: Person → Program does not cover Person → Person.
+        assert!(!m.relation_expected("uses", "Person", "Person"));
+    }
+
+    #[test]
+    fn unknown_types_are_not_subtypes() {
+        let m = sample();
+        assert!(!m.is_node_subtype("Martian", "Thing"));
+        // …except trivially of themselves (an off-metamodel type the user
+        // invented still equals itself).
+        assert!(m.is_node_subtype("Martian", "Martian"));
+    }
+
+    #[test]
+    fn cyclic_hierarchies_terminate() {
+        // A cyclic metamodel is a bug, but subtype queries must not spin.
+        let mut m = Metamodel::new();
+        m.add_node_type("A", Some("B"), vec![]);
+        m.add_node_type("B", Some("A"), vec![]);
+        assert!(!m.is_node_subtype("A", "C"));
+        assert!(m.is_node_subtype("A", "B"), "reachable within the hop budget");
+        assert!(m.properties_of("A").is_empty());
+    }
+
+    #[test]
+    fn prop_type_names_roundtrip() {
+        for ty in [PropType::Str, PropType::Int, PropType::Bool, PropType::Html] {
+            assert_eq!(PropType::from_name(ty.name()), Some(ty));
+        }
+        assert_eq!(PropType::from_name("duration"), None);
+    }
+}

@@ -1,0 +1,269 @@
+//! The Omissions window: "a window listing incomplete parts of the model …
+//! always visible. It is not related to work product generation — omissions
+//! can be seen even if no work product has ever been generated."
+//!
+//! Requirements come from the metamodel and are *suggestive*: a violation
+//! produces a meek warning, never an error. The checker also reports
+//! metamodel-violating relation endpoints (which the model happily stores).
+
+use crate::meta::{Metamodel, Requirement};
+use crate::model::{Model, NodeRef};
+use std::fmt;
+
+/// What kind of omission was found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OmissionKind {
+    /// An exactly-one requirement found zero or several nodes.
+    WrongCardinality {
+        type_name: String,
+        expected: usize,
+        found: usize,
+    },
+    /// A node is missing a required property (e.g. a document without
+    /// version information).
+    MissingProperty { node: NodeRef, property: String },
+    /// A node has none of a required outgoing relation.
+    MissingRelation { node: NodeRef, relation: String },
+    /// A relation connects endpoints the metamodel never expected.
+    UnexpectedEndpoints {
+        relation: String,
+        source_type: String,
+        target_type: String,
+    },
+}
+
+/// One entry in the Omissions window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Omission {
+    pub kind: OmissionKind,
+    /// The human-facing warning text.
+    pub message: String,
+}
+
+impl fmt::Display for Omission {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Runs every advisory check. Deterministic order: requirements in metamodel
+/// order, then endpoint checks in relation order.
+pub fn check(model: &Model, meta: &Metamodel) -> Vec<Omission> {
+    let mut out = Vec::new();
+
+    for req in meta.requirements() {
+        match req {
+            Requirement::ExactlyOne(ty) => {
+                let found = model.nodes_of_type(ty, meta).len();
+                if found != 1 {
+                    out.push(Omission {
+                        kind: OmissionKind::WrongCardinality {
+                            type_name: ty.clone(),
+                            expected: 1,
+                            found,
+                        },
+                        message: format!(
+                            "There should have been exactly one {ty} node, but there were {found}."
+                        ),
+                    });
+                }
+            }
+            Requirement::RequiredProperty { node_type, property } => {
+                for node in model.nodes_of_type(node_type, meta) {
+                    let missing = match model.prop(node, property) {
+                        None => true,
+                        Some(v) => v.to_text().trim().is_empty(),
+                    };
+                    if missing {
+                        out.push(Omission {
+                            kind: OmissionKind::MissingProperty {
+                                node,
+                                property: property.clone(),
+                            },
+                            message: format!(
+                                "{} \"{}\" has no {} information.",
+                                model.node_type(node),
+                                model.label(node),
+                                property
+                            ),
+                        });
+                    }
+                }
+            }
+            Requirement::RequiredRelation { node_type, relation } => {
+                for node in model.nodes_of_type(node_type, meta) {
+                    let has_any = model
+                        .out_relations(node)
+                        .iter()
+                        .any(|&r| meta.is_relation_subtype(model.rel_type(r), relation));
+                    if !has_any {
+                        out.push(Omission {
+                            kind: OmissionKind::MissingRelation {
+                                node,
+                                relation: relation.clone(),
+                            },
+                            message: format!(
+                                "{} \"{}\" has no outgoing {} relation.",
+                                model.node_type(node),
+                                model.label(node),
+                                relation
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    for rel in model.all_relations() {
+        let rel_type = model.rel_type(rel);
+        // Only check relations the metamodel knows; user-invented relation
+        // types have no expectations to violate.
+        if meta.relation_type(rel_type).is_none() {
+            continue;
+        }
+        let src_type = model.node_type(model.rel_source(rel));
+        let tgt_type = model.node_type(model.rel_target(rel));
+        if !meta.relation_expected(rel_type, src_type, tgt_type) {
+            out.push(Omission {
+                kind: OmissionKind::UnexpectedEndpoints {
+                    relation: rel_type.to_string(),
+                    source_type: src_type.to_string(),
+                    target_type: tgt_type.to_string(),
+                },
+                message: format!(
+                    "Relation {rel_type} connects a {src_type} to a {tgt_type}, which the metamodel does not expect."
+                ),
+            });
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::PropType;
+    use crate::model::PropValue;
+
+    fn meta() -> Metamodel {
+        let mut m = Metamodel::new();
+        m.add_node_type("Thing", None, vec![]);
+        m.add_node_type("SystemBeingDesigned", Some("Thing"), vec![]);
+        m.add_node_type("Document", Some("Thing"), vec![("version", PropType::Str)]);
+        m.add_node_type("Computer", Some("Thing"), vec![]);
+        m.add_node_type("PerformanceRequirement", Some("Thing"), vec![]);
+        m.add_relation_type("runs-on", None, vec![("SystemBeingDesigned", "Computer")]);
+        m.add_requirement(Requirement::ExactlyOne("SystemBeingDesigned".into()));
+        m.add_requirement(Requirement::RequiredProperty {
+            node_type: "Document".into(),
+            property: "version".into(),
+        });
+        m
+    }
+
+    #[test]
+    fn missing_system_being_designed() {
+        let meta = meta();
+        let model = Model::new();
+        let omissions = check(&model, &meta);
+        assert_eq!(omissions.len(), 1);
+        assert_eq!(
+            omissions[0].message,
+            "There should have been exactly one SystemBeingDesigned node, but there were 0."
+        );
+    }
+
+    #[test]
+    fn two_systems_being_designed() {
+        let meta = meta();
+        let mut model = Model::new();
+        model.add_node("SystemBeingDesigned", "A");
+        model.add_node("SystemBeingDesigned", "B");
+        let omissions = check(&model, &meta);
+        // The exact wording the paper's error example used.
+        assert!(omissions[0]
+            .message
+            .contains("exactly one SystemBeingDesigned node, but there were 2"));
+    }
+
+    #[test]
+    fn document_without_version_flagged() {
+        let meta = meta();
+        let mut model = Model::new();
+        model.add_node("SystemBeingDesigned", "S");
+        let doc_ok = model.add_node("Document", "Spec");
+        model.set_prop(doc_ok, "version", PropValue::Str("1.2".into()));
+        let doc_bad = model.add_node("Document", "Sketch");
+        let doc_blank = model.add_node("Document", "Draft");
+        model.set_prop(doc_blank, "version", PropValue::Str("  ".into()));
+        let omissions = check(&model, &meta);
+        assert_eq!(omissions.len(), 2);
+        assert!(omissions.iter().all(|o| matches!(o.kind, OmissionKind::MissingProperty { .. })));
+        let _ = (doc_bad, doc_blank);
+    }
+
+    #[test]
+    fn unexpected_endpoints_warn_but_exist() {
+        let meta = meta();
+        let mut model = Model::new();
+        let s = model.add_node("SystemBeingDesigned", "S");
+        let perf = model.add_node("PerformanceRequirement", "P99");
+        // "a relation that should only connect SystemBeingDesigned to
+        // Computer might (by user fiat) in fact connect a
+        // SystemBeingDesigned to a PerformanceRequirement."
+        model.add_relation("runs-on", s, perf);
+        let omissions = check(&model, &meta);
+        assert_eq!(
+            omissions,
+            vec![Omission {
+                kind: OmissionKind::UnexpectedEndpoints {
+                    relation: "runs-on".into(),
+                    source_type: "SystemBeingDesigned".into(),
+                    target_type: "PerformanceRequirement".into(),
+                },
+                message: "Relation runs-on connects a SystemBeingDesigned to a PerformanceRequirement, which the metamodel does not expect.".into(),
+            }]
+        );
+        // The relation itself was recorded regardless.
+        assert_eq!(model.relation_count(), 1);
+    }
+
+    #[test]
+    fn user_invented_relations_not_flagged() {
+        let meta = meta();
+        let mut model = Model::new();
+        let s = model.add_node("SystemBeingDesigned", "S");
+        let p = model.add_node("PerformanceRequirement", "P");
+        model.add_relation("my-own-idea", s, p);
+        assert!(check(&model, &meta).is_empty());
+    }
+
+    #[test]
+    fn clean_model_has_no_omissions() {
+        let meta = meta();
+        let mut model = Model::new();
+        let s = model.add_node("SystemBeingDesigned", "S");
+        let c = model.add_node("Computer", "Box");
+        model.add_relation("runs-on", s, c);
+        let d = model.add_node("Document", "Spec");
+        model.set_prop(d, "version", PropValue::Str("1".into()));
+        assert!(check(&model, &meta).is_empty());
+    }
+
+    #[test]
+    fn required_relation_check() {
+        let mut meta = meta();
+        meta.add_requirement(Requirement::RequiredRelation {
+            node_type: "SystemBeingDesigned".into(),
+            relation: "runs-on".into(),
+        });
+        let mut model = Model::new();
+        model.add_node("SystemBeingDesigned", "S");
+        let omissions = check(&model, &meta);
+        assert!(omissions
+            .iter()
+            .any(|o| matches!(o.kind, OmissionKind::MissingRelation { .. })));
+    }
+}

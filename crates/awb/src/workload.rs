@@ -1,0 +1,497 @@
+//! Deterministic workload generators.
+//!
+//! The paper's models aren't available (AWB was an IBM-internal tool), so we
+//! regenerate models with the same *shape*: an IT-architecture metamodel
+//! ("A System has Servers, Subsystems, Users, and many other things", one
+//! SystemBeingDesigned, documents that are supposed to have version
+//! information and sometimes don't), the antique-glass-dealer retarget the
+//! paper says AWB was reconfigured for, and seeded random graphs for
+//! stress/property tests. All generators are seeded and reproducible.
+
+use crate::meta::{Metamodel, PropType, Requirement};
+use crate::model::{Model, PropValue};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The IT-architecture metamodel.
+pub fn it_metamodel() -> Metamodel {
+    let mut m = Metamodel::new();
+    m.add_node_type("Thing", None, vec![("description", PropType::Str)]);
+    m.add_node_type("System", Some("Thing"), vec![("tier", PropType::Int)]);
+    m.add_node_type("SystemBeingDesigned", Some("System"), vec![]);
+    m.add_node_type("Server", Some("Thing"), vec![("cores", PropType::Int)]);
+    m.add_node_type("Subsystem", Some("Thing"), vec![]);
+    m.add_node_type("user", Some("Thing"), vec![
+        ("firstName", PropType::Str),
+        ("lastName", PropType::Str),
+        ("birthYear", PropType::Int),
+        ("biography", PropType::Html),
+    ]);
+    m.add_node_type("superuser", Some("user"), vec![("clearance", PropType::Int)]);
+    m.add_node_type("Program", Some("Thing"), vec![("language", PropType::Str)]);
+    m.add_node_type("Document", Some("Thing"), vec![("version", PropType::Str)]);
+    m.add_node_type("PerformanceRequirement", Some("Thing"), vec![("percentile", PropType::Int)]);
+
+    // "The IT architecture system uses the relation has in dozens of ways."
+    m.add_relation_type(
+        "has",
+        None,
+        vec![
+            ("System", "Server"),
+            ("System", "Subsystem"),
+            ("System", "user"),
+            ("System", "Document"),
+            ("System", "PerformanceRequirement"),
+            ("Subsystem", "Program"),
+        ],
+    );
+    m.add_relation_type("runs", Some("has"), vec![("Server", "Program")]);
+    m.add_relation_type("uses", None, vec![("user", "System"), ("user", "Program")]);
+    m.add_relation_type("likes", None, vec![("user", "Thing")]);
+    m.add_relation_type("favors", Some("likes"), vec![]);
+    m.add_relation_type("documents", None, vec![("Document", "Thing")]);
+
+    m.add_requirement(Requirement::ExactlyOne("SystemBeingDesigned".into()));
+    m.add_requirement(Requirement::RequiredProperty {
+        node_type: "Document".into(),
+        property: "version".into(),
+    });
+    m.add_requirement(Requirement::RequiredRelation {
+        node_type: "Document".into(),
+        relation: "documents".into(),
+    });
+    m
+}
+
+/// Parameters for [`it_architecture`].
+#[derive(Debug, Clone, Copy)]
+pub struct ItScale {
+    pub servers: usize,
+    pub subsystems: usize,
+    pub users: usize,
+    pub programs: usize,
+    pub documents: usize,
+}
+
+impl ItScale {
+    /// A scale with roughly `n` nodes in the proportions a real architecture
+    /// model has (many programs and documents, few servers).
+    pub fn about(n: usize) -> Self {
+        let n = n.max(10);
+        ItScale {
+            servers: n / 10,
+            subsystems: n / 10,
+            users: n / 5,
+            programs: 3 * n / 10,
+            documents: 3 * n / 10,
+        }
+    }
+
+    pub fn node_count(&self) -> usize {
+        1 + self.servers + self.subsystems + self.users + self.programs + self.documents
+    }
+}
+
+/// Generates an IT-architecture model: one SystemBeingDesigned connected to
+/// everything, servers running programs, users using/liking things, and
+/// documents — a seeded fraction of which are missing their version (the
+/// omissions the paper's table-of-omissions existed for).
+pub fn it_architecture(scale: ItScale, seed: u64) -> Model {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = Model::new();
+
+    let system = m.add_node("SystemBeingDesigned", "Orion Payments");
+    m.set_prop(system, "tier", PropValue::Int(1));
+    m.set_prop(
+        system,
+        "description",
+        PropValue::Str("The system being designed.".into()),
+    );
+
+    let servers: Vec<_> = (0..scale.servers)
+        .map(|i| {
+            let s = m.add_node("Server", format!("server-{i:03}"));
+            m.set_prop(s, "cores", PropValue::Int(rng.gen_range(2..=64)));
+            let r = m.add_relation("has", system, s);
+            m.set_rel_prop(r, "rack", PropValue::Int(rng.gen_range(1..=8)));
+            s
+        })
+        .collect();
+
+    let subsystems: Vec<_> = (0..scale.subsystems)
+        .map(|i| {
+            let s = m.add_node("Subsystem", format!("subsystem-{i:03}"));
+            m.add_relation("has", system, s);
+            s
+        })
+        .collect();
+
+    let users: Vec<_> = (0..scale.users)
+        .map(|i| {
+            let ty = if i % 7 == 0 { "superuser" } else { "user" };
+            let u = m.add_node(ty, format!("user-{i:03}"));
+            m.set_prop(u, "firstName", PropValue::Str(format!("First{i}")));
+            m.set_prop(u, "lastName", PropValue::Str(format!("Last{i}")));
+            m.set_prop(u, "birthYear", PropValue::Int(rng.gen_range(1940..=2000)));
+            m.set_prop(
+                u,
+                "biography",
+                PropValue::Html(format!("<p>User <b>{i}</b> of the system.</p>")),
+            );
+            if ty == "superuser" {
+                m.set_prop(u, "clearance", PropValue::Int(rng.gen_range(1..=5)));
+            }
+            m.add_relation("has", system, u);
+            u
+        })
+        .collect();
+
+    let programs: Vec<_> = (0..scale.programs)
+        .map(|i| {
+            let p = m.add_node("Program", format!("program-{i:03}"));
+            let lang = ["java", "xquery", "cobol", "rust"][rng.gen_range(0..4)];
+            m.set_prop(p, "language", PropValue::Str(lang.into()));
+            if let Some(&sub) = pick(&subsystems, &mut rng) {
+                m.add_relation("has", sub, p);
+            }
+            if let Some(&server) = pick(&servers, &mut rng) {
+                m.add_relation("runs", server, p);
+            }
+            p
+        })
+        .collect();
+
+    for (i, &u) in users.iter().enumerate() {
+        m.add_relation("uses", u, system);
+        for _ in 0..rng.gen_range(0..3) {
+            if let Some(&p) = pick(&programs, &mut rng) {
+                m.add_relation("uses", u, p);
+            }
+        }
+        if let Some(&p) = pick(&programs, &mut rng) {
+            let rel = if i % 3 == 0 { "favors" } else { "likes" };
+            m.add_relation(rel, u, p);
+        }
+        if let Some(&other) = pick(&users, &mut rng) {
+            if other != u {
+                m.add_relation("likes", u, other);
+            }
+        }
+    }
+
+    for i in 0..scale.documents {
+        let d = m.add_node("Document", format!("document-{i:03}"));
+        m.add_relation("has", system, d);
+        // ~1 in 5 documents is missing version information — fodder for the
+        // omissions table.
+        if rng.gen_range(0..5) != 0 {
+            m.set_prop(d, "version", PropValue::Str(format!("{}.{}", rng.gen_range(1..4), i % 10)));
+        }
+        // Most documents document something.
+        if rng.gen_range(0..10) != 0 {
+            let all: Vec<_> = users.iter().chain(&programs).chain(&servers).copied().collect();
+            if let Some(&t) = pick(&all, &mut rng) {
+                m.add_relation("documents", d, t);
+            }
+        }
+        // An occasional user-fiat violation: a document "documents" the
+        // abstract system requirement directly.
+        if i % 13 == 0 {
+            let perf = m.add_node("PerformanceRequirement", format!("p99-{i}"));
+            m.set_prop(perf, "percentile", PropValue::Int(99));
+            m.add_relation("has", perf, d); // off-metamodel endpoints
+        }
+    }
+
+    m
+}
+
+fn pick<'a, T>(slice: &'a [T], rng: &mut StdRng) -> Option<&'a T> {
+    if slice.is_empty() {
+        None
+    } else {
+        slice.get(rng.gen_range(0..slice.len()))
+    }
+}
+
+/// The antique-glass-dealer metamodel — the retarget the paper mentions
+/// ("AWB has retargeted to be a workbench for (1) an antique glass dealer").
+/// Note: no SystemBeingDesigned and no warning about it.
+pub fn glass_metamodel() -> Metamodel {
+    let mut m = Metamodel::new();
+    m.add_node_type("Thing", None, vec![("description", PropType::Str)]);
+    m.add_node_type("GlassPiece", Some("Thing"), vec![
+        ("year", PropType::Int),
+        ("price", PropType::Int),
+        ("condition", PropType::Str),
+    ]);
+    m.add_node_type("Maker", Some("Thing"), vec![("country", PropType::Str)]);
+    m.add_node_type("Era", Some("Thing"), vec![]);
+    m.add_node_type("Customer", Some("Thing"), vec![("since", PropType::Int)]);
+    m.add_relation_type("made-by", None, vec![("GlassPiece", "Maker")]);
+    m.add_relation_type("from-era", None, vec![("GlassPiece", "Era")]);
+    m.add_relation_type("owns", None, vec![("Customer", "GlassPiece")]);
+    m.add_relation_type("likes", None, vec![("Customer", "Thing")]);
+    m.add_relation_type("favors", Some("likes"), vec![]);
+    m.add_requirement(Requirement::RequiredProperty {
+        node_type: "GlassPiece".into(),
+        property: "condition".into(),
+    });
+    m
+}
+
+/// Generates a glass-catalog model.
+pub fn glass_catalog(pieces: usize, seed: u64) -> Model {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = Model::new();
+    let eras: Vec<_> = ["Georgian", "Victorian", "Art Nouveau", "Art Deco"]
+        .iter()
+        .map(|e| m.add_node("Era", *e))
+        .collect();
+    let makers: Vec<_> = (0..(pieces / 8).max(2))
+        .map(|i| {
+            let mk = m.add_node("Maker", format!("maker-{i:02}"));
+            let c = ["England", "France", "Bohemia", "Italy"][rng.gen_range(0..4)];
+            m.set_prop(mk, "country", PropValue::Str(c.into()));
+            mk
+        })
+        .collect();
+    let customers: Vec<_> = (0..(pieces / 6).max(2))
+        .map(|i| {
+            let c = m.add_node("Customer", format!("customer-{i:02}"));
+            m.set_prop(c, "since", PropValue::Int(rng.gen_range(1970..=2004)));
+            c
+        })
+        .collect();
+    for i in 0..pieces {
+        let p = m.add_node("GlassPiece", format!("piece-{i:04}"));
+        m.set_prop(p, "year", PropValue::Int(rng.gen_range(1750..=1940)));
+        m.set_prop(p, "price", PropValue::Int(rng.gen_range(50..=5000)));
+        if rng.gen_range(0..6) != 0 {
+            let c = ["mint", "good", "chipped", "restored"][rng.gen_range(0..4)];
+            m.set_prop(p, "condition", PropValue::Str(c.into()));
+        }
+        if let Some(&mk) = pick(&makers, &mut rng) {
+            m.add_relation("made-by", p, mk);
+        }
+        if let Some(&e) = pick(&eras, &mut rng) {
+            m.add_relation("from-era", p, e);
+        }
+        if rng.gen_range(0..3) == 0 {
+            if let Some(&c) = pick(&customers, &mut rng) {
+                m.add_relation("owns", c, p);
+            }
+        }
+        if rng.gen_range(0..4) == 0 {
+            if let Some(&c) = pick(&customers, &mut rng) {
+                let rel = if i % 2 == 0 { "likes" } else { "favors" };
+                m.add_relation(rel, c, p);
+            }
+        }
+    }
+    m
+}
+
+/// The paper's other retarget: "AWB has retargeted to be a workbench for …
+/// (2) itself." A metamodel describing a software workbench in terms of
+/// crates, modules, engines, and experiments.
+pub fn awb_self_metamodel() -> Metamodel {
+    let mut m = Metamodel::new();
+    m.add_node_type("Artifact", None, vec![("description", PropType::Str)]);
+    m.add_node_type("Crate", Some("Artifact"), vec![("version", PropType::Str)]);
+    m.add_node_type("Module", Some("Artifact"), vec![("loc", PropType::Int)]);
+    m.add_node_type("Engine", Some("Module"), vec![]);
+    m.add_node_type("Experiment", Some("Artifact"), vec![("paper-section", PropType::Str)]);
+    m.add_node_type("Workload", Some("Artifact"), vec![]);
+    m.add_relation_type("contains", None, vec![("Crate", "Module")]);
+    m.add_relation_type("depends-on", None, vec![("Crate", "Crate")]);
+    m.add_relation_type("measures", None, vec![("Experiment", "Module")]);
+    m.add_relation_type("exercises", None, vec![("Experiment", "Workload")]);
+    m.add_requirement(Requirement::RequiredProperty {
+        node_type: "Experiment".into(),
+        property: "paper-section".into(),
+    });
+    m
+}
+
+/// A model of *this repository* under [`awb_self_metamodel`]: the workbench
+/// documenting the workbench.
+pub fn awb_self_model() -> Model {
+    let mut m = Model::new();
+    let crate_node = |m: &mut Model, name: &str, desc: &str| {
+        let c = m.add_node("Crate", name);
+        m.set_prop(c, "version", PropValue::Str("0.1.0".into()));
+        m.set_prop(c, "description", PropValue::Str(desc.into()));
+        c
+    };
+    let xmlstore = crate_node(&mut m, "xmlstore", "arena XML store");
+    let xquery = crate_node(&mut m, "xquery", "the little language itself");
+    let awb = crate_node(&mut m, "awb", "metamodel, model, calculus");
+    let docgen = crate_node(&mut m, "docgen", "the generator, twice");
+    let xslt = crate_node(&mut m, "xslt", "the stream splitter");
+    for (a, b) in [
+        (xquery, xmlstore),
+        (awb, xmlstore),
+        (awb, xquery),
+        (docgen, awb),
+        (docgen, xquery),
+        (xslt, xquery),
+    ] {
+        m.add_relation("depends-on", a, b);
+    }
+    let modules = [
+        (xquery, "parser", 900),
+        (xquery, "eval", 1100),
+        (xquery, "optimizer", 400),
+        (awb, "calculus", 500),
+        (docgen, "native-walk", 450),
+        (docgen, "gen.xq", 353),
+    ];
+    let mut module_refs = Vec::new();
+    for (owner, name, loc) in modules {
+        let ty = if name == "eval" { "Engine" } else { "Module" };
+        let node = m.add_node(ty, name);
+        m.set_prop(node, "loc", PropValue::Int(loc));
+        m.add_relation("contains", owner, node);
+        module_refs.push((name, node));
+    }
+    let experiments = [
+        ("E1 calculus", "Why Java, in the end", "calculus"),
+        ("E4 trace-DCE", "Debugging XQuery", "optimizer"),
+        ("E7 equivalence", "Why Java, in the end", "native-walk"),
+    ];
+    for (label, section, module) in experiments {
+        let e = m.add_node("Experiment", label);
+        m.set_prop(e, "paper-section", PropValue::Str(section.into()));
+        if let Some((_, node)) = module_refs.iter().find(|(n, _)| *n == module) {
+            m.add_relation("measures", e, *node);
+        }
+    }
+    // One deliberately incomplete experiment for the omissions window.
+    m.add_node("Experiment", "E? unwritten");
+    m
+}
+
+/// A metamodel of `n_types` node types in a random single-inheritance tree
+/// plus `n_rels` relation types, for property tests.
+pub fn random_metamodel(n_types: usize, n_rels: usize, seed: u64) -> Metamodel {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = Metamodel::new();
+    m.add_node_type("T0", None, vec![]);
+    for i in 1..n_types.max(1) {
+        let parent = format!("T{}", rng.gen_range(0..i));
+        m.add_node_type(format!("T{i}"), Some(&parent), vec![]);
+    }
+    m.add_relation_type("R0", None, vec![]);
+    for i in 1..n_rels.max(1) {
+        let parent = format!("R{}", rng.gen_range(0..i));
+        m.add_relation_type(format!("R{i}"), Some(&parent), vec![]);
+    }
+    m
+}
+
+/// A random model over [`random_metamodel`] types: `n_nodes` nodes, each
+/// with ~`fanout` outgoing edges of random relation types.
+pub fn random_model(n_nodes: usize, fanout: usize, n_types: usize, n_rels: usize, seed: u64) -> Model {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = Model::new();
+    for i in 0..n_nodes {
+        let ty = format!("T{}", rng.gen_range(0..n_types.max(1)));
+        m.add_node(ty, format!("n{i:05}"));
+    }
+    let nodes: Vec<_> = m.all_nodes().collect();
+    for &n in &nodes {
+        for _ in 0..rng.gen_range(0..=fanout) {
+            let target = nodes[rng.gen_range(0..nodes.len())];
+            let rel = format!("R{}", rng.gen_range(0..n_rels.max(1)));
+            m.add_relation(rel, n, target);
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calculus::Query;
+    use crate::omissions;
+
+    #[test]
+    fn it_architecture_is_deterministic() {
+        let a = it_architecture(ItScale::about(100), 7);
+        let b = it_architecture(ItScale::about(100), 7);
+        assert_eq!(crate::xmlio::export_string(&a), crate::xmlio::export_string(&b));
+        let c = it_architecture(ItScale::about(100), 8);
+        assert_ne!(crate::xmlio::export_string(&a), crate::xmlio::export_string(&c));
+    }
+
+    #[test]
+    fn it_architecture_has_expected_shape() {
+        let meta = it_metamodel();
+        let scale = ItScale::about(200);
+        let m = it_architecture(scale, 42);
+        assert_eq!(m.nodes_of_type("SystemBeingDesigned", &meta).len(), 1);
+        assert_eq!(m.nodes_of_type("Server", &meta).len(), scale.servers);
+        assert!(m.nodes_of_type("user", &meta).len() >= scale.users, "superusers are users");
+        assert!(m.relation_count() > m.node_count(), "richly connected");
+    }
+
+    #[test]
+    fn it_architecture_produces_omissions() {
+        let meta = it_metamodel();
+        let m = it_architecture(ItScale::about(200), 42);
+        let omissions = omissions::check(&m, &meta);
+        // Missing versions and off-metamodel 'has' endpoints are seeded in.
+        assert!(!omissions.is_empty());
+        assert!(omissions
+            .iter()
+            .any(|o| matches!(o.kind, crate::omissions::OmissionKind::MissingProperty { .. })));
+        assert!(omissions
+            .iter()
+            .any(|o| matches!(o.kind, crate::omissions::OmissionKind::UnexpectedEndpoints { .. })));
+    }
+
+    #[test]
+    fn papers_query_works_on_it_workload() {
+        let meta = it_metamodel();
+        let m = it_architecture(ItScale::about(100), 1);
+        let q = Query::from_type("user")
+            .follow("likes")
+            .follow_to("uses", "Program")
+            .dedup()
+            .sort_by_label();
+        let native = q.run_native(&m, &meta);
+        let xq = q.run_xquery(&m, &meta).unwrap();
+        assert_eq!(native, xq);
+    }
+
+    #[test]
+    fn glass_catalog_has_no_system_being_designed_requirement() {
+        let meta = glass_metamodel();
+        let m = glass_catalog(40, 3);
+        let omissions = omissions::check(&m, &meta);
+        assert!(omissions.iter().all(|o| !o.message.contains("SystemBeingDesigned")));
+        // But condition omissions exist (seeded ~1/6 missing).
+        assert!(omissions
+            .iter()
+            .any(|o| matches!(o.kind, crate::omissions::OmissionKind::MissingProperty { .. })));
+    }
+
+    #[test]
+    fn random_model_round_trips_through_xml() {
+        let m = random_model(50, 3, 5, 3, 99);
+        let xml = crate::xmlio::export_string(&m);
+        let back = crate::xmlio::import_string(&xml).unwrap();
+        assert_eq!(back.node_count(), m.node_count());
+        assert_eq!(back.relation_count(), m.relation_count());
+    }
+
+    #[test]
+    fn random_metamodel_is_a_tree() {
+        let meta = random_metamodel(20, 5, 123);
+        // Every type descends from T0.
+        for i in 0..20 {
+            assert!(meta.is_node_subtype(&format!("T{i}"), "T0"));
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! E1 — "Calling XQuery from Java to evaluate queries was preposterously
+//! inefficient, and would have made the workbench unusably slow."
+//!
+//! Regenerates the comparison as a parameter sweep: the same calculus query
+//! evaluated (a) natively against the graph, (b) by compilation to XQuery
+//! against the exported model XML on a **prepared** engine (export cost
+//! excluded), and (c) end-to-end including the export — what the UI would
+//! actually have paid per query.
+
+use awb::{xmlio, Query};
+use bench_suite::it_workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xquery::Engine;
+
+fn papers_query() -> Query {
+    Query::from_type("user")
+        .follow("likes")
+        .follow_to("uses", "Program")
+        .dedup()
+        .sort_by_label()
+}
+
+fn bench_calculus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_calculus");
+    group.sample_size(10);
+    for &n in &[50usize, 200, 800] {
+        let w = it_workload(n, 42);
+        let query = papers_query();
+
+        group.bench_with_input(BenchmarkId::new("native", n), &n, |b, _| {
+            b.iter(|| black_box(query.run_native(&w.model, &w.meta)));
+        });
+
+        // Prepared: engine already holds the exported model.
+        let mut engine = Engine::new();
+        let doc = xmlio::export_to_store(&w.model, engine.store_mut());
+        engine.register_document("awb-model", doc);
+        group.bench_with_input(BenchmarkId::new("xquery_prepared", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    query
+                        .run_xquery_prepared(&mut engine, &w.model, &w.meta)
+                        .expect("query runs"),
+                )
+            });
+        });
+
+        // Full: export + compile + evaluate per call (only for the smaller
+        // sizes; the point is made without waiting on the largest).
+        if n <= 200 {
+            group.bench_with_input(BenchmarkId::new("xquery_full", n), &n, |b, _| {
+                b.iter(|| black_box(query.run_xquery(&w.model, &w.meta).expect("query runs")));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_calculus);
+criterion_main!(benches);

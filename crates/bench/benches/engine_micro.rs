@@ -1,0 +1,80 @@
+//! Microbenchmarks of the XQuery engine substrate itself: parsing,
+//! path evaluation, FLWOR, construction, and comparison — the baseline
+//! costs under every other experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xquery::Engine;
+
+fn library_xml(n: usize) -> String {
+    let mut s = String::from("<library>");
+    for i in 0..n {
+        s.push_str(&format!(
+            "<book year=\"{}\"><title>Book {i}</title><pages>{}</pages></book>",
+            1950 + (i % 70),
+            100 + i
+        ));
+    }
+    s.push_str("</library>");
+    s
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_micro");
+
+    // Compilation.
+    let engine = Engine::new();
+    let gen_src = docgen::xq::GEN_XQ;
+    group.bench_function("compile_generator_module", |b| {
+        b.iter(|| black_box(engine.compile(gen_src).unwrap()));
+    });
+    group.bench_function("compile_small_flwor", |b| {
+        b.iter(|| {
+            black_box(
+                engine
+                    .compile("for $x in 1 to 10 let $y := $x * 2 where $y > 5 return $y")
+                    .unwrap(),
+            )
+        });
+    });
+
+    // Evaluation over documents of growing size.
+    for &n in &[100usize, 1000] {
+        let mut e = Engine::new();
+        let doc = e.load_document(&library_xml(n)).unwrap();
+        e.register_document("lib", doc);
+        let queries = [
+            ("count_descendants", "count(doc(\"lib\")//book)"),
+            ("predicate_scan", "count(doc(\"lib\")/library/book[@year = \"1983\"])"),
+            (
+                "flwor_sort",
+                "for $b in doc(\"lib\")/library/book order by string($b/title) descending return $b/pages",
+            ),
+            (
+                "construct",
+                "<index>{ for $b in doc(\"lib\")/library/book return <e y=\"{$b/@year}\"/> }</index>",
+            ),
+        ];
+        for (name, q) in queries {
+            let compiled = e.compile(q).unwrap();
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                b.iter(|| black_box(e.evaluate(&compiled, None).unwrap()));
+            });
+        }
+    }
+
+    // The existential `=` on widening sequences.
+    let mut e = Engine::new();
+    for &n in &[10usize, 1000] {
+        let q = format!("(1 to {n}) = {n}");
+        let compiled = e.compile(&q).unwrap();
+        group.bench_with_input(BenchmarkId::new("general_eq_membership", n), &n, |b, _| {
+            b.iter(|| black_box(e.evaluate(&compiled, None).unwrap()));
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! E3 — error detection and handling: the error-value convention vs.
+//! exception-style `Result`.
+//!
+//! The fault-heavy template reads a property that is missing on a controlled
+//! fraction `p` of documents. The XQuery generator pays the is-error check
+//! at *every* call even when p = 0; the native generator pays only when
+//! trouble actually strikes.
+
+use bench_suite::{it_workload, set_fault_rate};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use docgen::{native, xq, GenInputs, Template};
+use std::hint::black_box;
+
+const FAULTY_TEMPLATE: &str = r#"<template>
+  <h1>Documents</h1>
+  <for nodes="all.Document">
+    <p><label/> is at version <value-of property="version"/>.</p>
+  </for>
+</template>"#;
+
+fn bench_errors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_errors");
+    group.sample_size(10);
+    let template = Template::parse(FAULTY_TEMPLATE).unwrap();
+
+    for &percent in &[0usize, 10, 50] {
+        let mut w = it_workload(150, 5);
+        set_fault_rate(&mut w.model, &w.meta, percent as f64 / 100.0);
+        let inputs = GenInputs {
+            model: &w.model,
+            meta: &w.meta,
+            template: &template,
+        };
+
+        group.bench_with_input(BenchmarkId::new("native_result", percent), &percent, |b, _| {
+            b.iter(|| black_box(native::generate(&inputs).expect("native runs")));
+        });
+
+        let mut generator = xq::XqGenerator::new(&inputs).expect("prepares");
+        group.bench_with_input(
+            BenchmarkId::new("xquery_error_values", percent),
+            &percent,
+            |b, _| {
+                b.iter(|| black_box(generator.run().expect("pipeline runs")));
+            },
+        );
+
+        // Ablation: the same generator written with the try/catch extension
+        // (the paper's moral #4) — no is-err ceremony at all.
+        let mut tc_generator = xq::XqGenerator::new_try_catch(&inputs).expect("prepares");
+        group.bench_with_input(
+            BenchmarkId::new("xquery_try_catch", percent),
+            &percent,
+            |b, _| {
+                b.iter(|| black_box(tc_generator.run().expect("pipeline runs")));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_errors);
+criterion_main!(benches);

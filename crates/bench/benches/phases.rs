@@ -1,0 +1,62 @@
+//! E2 — mutability vs. functionality: the multi-phase XQuery pipeline copies
+//! the entire document once per phase, while the rewrite mutates in place.
+//!
+//! Sweep: document size (sections) × number of post-generation phases for
+//! the XQuery pipeline, against the native generator (whose post passes are
+//! in-place placeholder fills).
+
+use bench_suite::it_workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use docgen::xq::{Phase, XqGenerator};
+use docgen::{native, GenInputs, Template};
+use std::hint::black_box;
+
+fn bench_phases(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_phases");
+    group.sample_size(10);
+    let w = it_workload(60, 7);
+
+    for &sections in &[5usize, 25] {
+        let template_src = scaling_template(sections);
+        let template = Template::parse(&template_src).unwrap();
+        let inputs = GenInputs {
+            model: &w.model,
+            meta: &w.meta,
+            template: &template,
+        };
+
+        group.bench_with_input(BenchmarkId::new("native_full", sections), &sections, |b, _| {
+            b.iter(|| black_box(native::generate(&inputs).expect("native runs")));
+        });
+
+        // XQuery with increasing numbers of copying phases.
+        for phases in 0..=Phase::ALL.len() {
+            let phase_list = &Phase::ALL[..phases];
+            let mut generator = XqGenerator::with_phases(&inputs, phase_list).expect("prepares");
+            group.bench_with_input(
+                BenchmarkId::new(format!("xquery_{phases}_extra_phases"), sections),
+                &sections,
+                |b, _| {
+                    b.iter(|| black_box(generator.run().expect("pipeline runs")));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+// Mirrors `lopsided::templates::scaling_template` (the bench crate does not
+// depend on the facade).
+fn scaling_template(sections: usize) -> String {
+    let mut t = String::from("<template>\n  <table-of-contents/>\n");
+    for i in 0..sections {
+        t.push_str(&format!(
+            "  <section heading=\"Section {i}\">\n    <for nodes=\"all.user\"><p><label/></p></for>\n  </section>\n"
+        ));
+    }
+    t.push_str("  <table-of-omissions types=\"Document\"/>\n</template>\n");
+    t
+}
+
+criterion_group!(benches, bench_phases);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! E5 — table construction: skeleton-then-fill (native, mutable) vs.
+//! all-at-once functional construction (XQuery). "It was so easy to do in
+//! Java that we would not have noticed that it could possibly be harder, if
+//! we had not done it in XQuery."
+
+use awb::{Metamodel, Model};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use docgen::{native, xq, GenInputs, Template};
+use std::hint::black_box;
+
+/// A model with `rows` servers, `cols` programs, and a sparse `runs`
+/// relation between them.
+fn table_model(rows: usize, cols: usize) -> (Metamodel, Model) {
+    let meta = awb::workload::it_metamodel();
+    let mut model = Model::new();
+    let servers: Vec<_> = (0..rows)
+        .map(|i| model.add_node("Server", format!("server-{i:03}")))
+        .collect();
+    let programs: Vec<_> = (0..cols)
+        .map(|j| model.add_node("Program", format!("program-{j:03}")))
+        .collect();
+    for (i, &s) in servers.iter().enumerate() {
+        for (j, &p) in programs.iter().enumerate() {
+            if (i + j) % 3 == 0 {
+                model.add_relation("runs", s, p);
+            }
+        }
+    }
+    (meta, model)
+}
+
+const TABLE_TEMPLATE: &str =
+    r#"<template><awb-table rows="all.Server" cols="all.Program" relation="runs" corner="server\program"/></template>"#;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_tables");
+    group.sample_size(10);
+    for &(rows, cols) in &[(5usize, 5usize), (20, 10), (40, 20)] {
+        let (meta, model) = table_model(rows, cols);
+        let template = Template::parse(TABLE_TEMPLATE).unwrap();
+        let inputs = GenInputs {
+            model: &model,
+            meta: &meta,
+            template: &template,
+        };
+        let id = format!("{rows}x{cols}");
+
+        group.bench_with_input(BenchmarkId::new("native_skeleton_fill", &id), &id, |b, _| {
+            b.iter(|| black_box(native::generate(&inputs).expect("native runs")));
+        });
+
+        let mut generator = xq::XqGenerator::with_phases(&inputs, &[]).expect("prepares");
+        group.bench_with_input(BenchmarkId::new("xquery_functional", &id), &id, |b, _| {
+            b.iter(|| black_box(generator.run().expect("pipeline runs")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

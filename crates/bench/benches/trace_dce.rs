@@ -1,0 +1,67 @@
+//! E4 — debugging vs. the optimizer: a program salted with `k` dead
+//! `let $dummy := trace(…)` bindings, run under
+//!
+//! * the Galax-style optimizer (trace treated as pure → deleted: fast and
+//!   silent — the paper's catastrophe),
+//! * the fixed optimizer (trace kept: slower, but the output exists),
+//! * no optimizer at all.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xquery::{Engine, EngineOptions};
+
+/// Builds a program that computes over 1..100 with `k` dead trace bindings
+/// inside the loop body.
+fn traced_program(k: usize) -> String {
+    let mut body = String::from("for $i in 1 to 100 return (\n");
+    body.push_str("  let $x := $i * 2\n");
+    for j in 0..k {
+        body.push_str(&format!("  let $dummy{j} := trace(\"probe{j}=\", $x + {j})\n"));
+    }
+    body.push_str("  return $x)\n");
+    body
+}
+
+fn bench_trace_dce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_trace_dce");
+    for &k in &[0usize, 8, 32] {
+        let src = traced_program(k);
+
+        let mut galax = Engine::galax();
+        let galax_query = galax.compile(&src).unwrap();
+        group.bench_with_input(BenchmarkId::new("galax_dce", k), &k, |b, _| {
+            b.iter(|| {
+                let out = galax.evaluate(&galax_query, None).unwrap();
+                galax.take_trace();
+                black_box(out)
+            });
+        });
+
+        let mut fixed = Engine::new();
+        let fixed_query = fixed.compile(&src).unwrap();
+        group.bench_with_input(BenchmarkId::new("fixed_keeps_trace", k), &k, |b, _| {
+            b.iter(|| {
+                let out = fixed.evaluate(&fixed_query, None).unwrap();
+                black_box(fixed.take_trace());
+                black_box(out)
+            });
+        });
+
+        let mut raw = Engine::with_options(EngineOptions {
+            optimize: false,
+            ..Default::default()
+        });
+        let raw_query = raw.compile(&src).unwrap();
+        group.bench_with_input(BenchmarkId::new("unoptimized", k), &k, |b, _| {
+            b.iter(|| {
+                let out = raw.evaluate(&raw_query, None).unwrap();
+                black_box(raw.take_trace());
+                black_box(out)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_dce);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Microbenchmarks of the XML substrate: parse, serialize, deep-copy, and
+//! document-order sorting — the floor under both document generators.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use xmlstore::parser::ParseOptions;
+use xmlstore::Store;
+
+fn document(n: usize) -> String {
+    let mut s = String::from("<library>");
+    for i in 0..n {
+        s.push_str(&format!(
+            "<book year=\"{}\" id=\"b{i}\"><title>Book &amp; Volume {i}</title><blurb>text {i} with <em>markup</em> inside</blurb></book>",
+            1950 + (i % 70)
+        ));
+    }
+    s.push_str("</library>");
+    s
+}
+
+fn bench_xml(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xml_micro");
+    for &n in &[100usize, 1000] {
+        let xml = document(n);
+        group.throughput(Throughput::Bytes(xml.len() as u64));
+
+        group.bench_with_input(BenchmarkId::new("parse", n), &n, |b, _| {
+            b.iter(|| {
+                let mut store = Store::new();
+                black_box(store.parse_str(&xml, &ParseOptions::default()).unwrap())
+            });
+        });
+
+        let mut store = Store::new();
+        let doc = store.parse_str(&xml, &ParseOptions::default()).unwrap();
+        group.bench_with_input(BenchmarkId::new("serialize", n), &n, |b, _| {
+            b.iter(|| black_box(store.to_xml(doc)));
+        });
+        group.bench_with_input(BenchmarkId::new("serialize_pretty", n), &n, |b, _| {
+            b.iter(|| black_box(store.to_pretty_xml(doc)));
+        });
+
+        let root = store.document_element(doc).unwrap();
+        group.bench_with_input(BenchmarkId::new("deep_copy", n), &n, |b, _| {
+            b.iter(|| {
+                let mut scratch = store.clone();
+                black_box(scratch.deep_copy(root))
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("descendants", n), &n, |b, _| {
+            b.iter(|| black_box(store.descendants(root).len()));
+        });
+
+        let nodes = store.descendants(root);
+        group.bench_with_input(BenchmarkId::new("doc_order_sort", n), &n, |b, _| {
+            b.iter(|| {
+                let mut shuffled: Vec<_> = nodes.iter().rev().copied().collect();
+                shuffled.sort_by_cached_key(|&id| store.order_key(id));
+                black_box(shuffled.len())
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("string_value", n), &n, |b, _| {
+            b.iter(|| black_box(store.string_value(root).len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_xml);
+criterion_main!(benches);

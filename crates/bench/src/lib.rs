@@ -1,0 +1,355 @@
+//! Shared plumbing for the benchmark harness: workload construction, fault
+//! injection, line counting (E6), and the type-metastasis analysis (E8).
+
+use awb::workload::{it_architecture, it_metamodel, ItScale};
+use awb::{Metamodel, Model, PropValue};
+
+/// A model+metamodel pair sized for an experiment.
+pub struct Workload {
+    pub meta: Metamodel,
+    pub model: Model,
+}
+
+/// IT-architecture workload of roughly `n` nodes.
+pub fn it_workload(n: usize, seed: u64) -> Workload {
+    Workload {
+        meta: it_metamodel(),
+        model: it_architecture(ItScale::about(n), seed),
+    }
+}
+
+/// Rewrites the documents of `model` so that exactly `rate` (0.0–1.0) of
+/// them are missing their version property — the fault-injection knob of
+/// experiment E3.
+pub fn set_fault_rate(model: &mut Model, meta: &Metamodel, rate: f64) {
+    let docs = model.nodes_of_type("Document", meta);
+    let n_faulty = ((docs.len() as f64) * rate).round() as usize;
+    for (i, d) in docs.into_iter().enumerate() {
+        if i < n_faulty {
+            model.remove_prop(d, "version");
+        } else {
+            model.set_prop(d, "version", PropValue::Str("1.0".into()));
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// E6: implementation sizes
+// ----------------------------------------------------------------------
+
+/// Non-blank, non-comment line count of one source text. Handles `//`
+/// full-line comments (Rust) and `(: … :)` block comments (XQuery),
+/// including multi-line blocks.
+pub fn loc(text: &str) -> usize {
+    let mut comment_depth = 0i32;
+    let mut count = 0usize;
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with("//") {
+            continue;
+        }
+        let mut code_on_line = false;
+        let mut rest = trimmed;
+        while !rest.is_empty() {
+            if comment_depth > 0 {
+                match rest.find(":)") {
+                    Some(i) => {
+                        // account for nested opens before this close
+                        let opens = rest[..i].matches("(:").count() as i32;
+                        comment_depth += opens - 1;
+                        rest = &rest[i + 2..];
+                    }
+                    None => {
+                        comment_depth += rest.matches("(:").count() as i32;
+                        rest = "";
+                    }
+                }
+            } else {
+                match rest.find("(:") {
+                    Some(i) => {
+                        if !rest[..i].trim().is_empty() {
+                            code_on_line = true;
+                        }
+                        comment_depth = 1;
+                        rest = &rest[i + 2..];
+                    }
+                    None => {
+                        if !rest.trim().is_empty() {
+                            code_on_line = true;
+                        }
+                        rest = "";
+                    }
+                }
+            }
+        }
+        if code_on_line {
+            count += 1;
+        }
+    }
+    count
+}
+
+/// How many lines mention any of the given markers? Used to estimate the
+/// share of error-handling ceremony in each implementation.
+pub fn marker_loc(text: &str, markers: &[&str]) -> usize {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .filter(|l| markers.iter().any(|m| l.contains(m)))
+        .count()
+}
+
+// ----------------------------------------------------------------------
+// E8: type metastasis over the shipped XQuery sources
+// ----------------------------------------------------------------------
+
+/// The function-level call graph of an XQuery module.
+pub struct CallGraph {
+    pub functions: Vec<String>,
+    /// `edges[i]` = indices of functions that function `i` calls.
+    pub edges: Vec<Vec<usize>>,
+}
+
+/// Builds the call graph of `source` (user-declared functions only).
+pub fn call_graph(source: &str) -> CallGraph {
+    let module = xquery::parser::parse_module(source).expect("module parses");
+    let names: Vec<String> = module.functions.iter().map(|f| f.name.clone()).collect();
+    let index = |n: &str| names.iter().position(|x| x == n);
+    let mut edges = vec![Vec::new(); names.len()];
+    for (i, f) in module.functions.iter().enumerate() {
+        let mut calls = Vec::new();
+        collect_calls(&f.body, &mut calls);
+        for callee in calls {
+            if let Some(j) = index(&callee) {
+                if !edges[i].contains(&j) {
+                    edges[i].push(j);
+                }
+            }
+        }
+    }
+    CallGraph {
+        functions: names,
+        edges,
+    }
+}
+
+fn collect_calls(expr: &xquery::ast::Expr, out: &mut Vec<String>) {
+    use xquery::ast::{AttrPart, ConstructorName, ContentPart, Expr, FlworClause};
+    if let Expr::Call { name, .. } = expr {
+        out.push(name.clone());
+    }
+    match expr {
+        Expr::Literal(_) | Expr::VarRef(..) | Expr::ContextItem(_) | Expr::Root(_) => {}
+        Expr::Comma(parts) => parts.iter().for_each(|e| collect_calls(e, out)),
+        Expr::Range(a, b)
+        | Expr::Arith(_, a, b)
+        | Expr::GeneralCmp(_, a, b)
+        | Expr::ValueCmp(_, a, b)
+        | Expr::NodeCmp(_, a, b)
+        | Expr::SetExpr(_, a, b)
+        | Expr::And(a, b)
+        | Expr::Or(a, b) => {
+            collect_calls(a, out);
+            collect_calls(b, out);
+        }
+        Expr::Neg(e) | Expr::CompText(e) | Expr::CompComment(e) => collect_calls(e, out),
+        Expr::If(c, t, e) => {
+            collect_calls(c, out);
+            collect_calls(t, out);
+            collect_calls(e, out);
+        }
+        Expr::Flwor {
+            clauses,
+            where_,
+            order_by,
+            return_,
+        } => {
+            for c in clauses {
+                match c {
+                    FlworClause::For { seq, .. } => collect_calls(seq, out),
+                    FlworClause::Let { expr, .. } => collect_calls(expr, out),
+                }
+            }
+            if let Some(w) = where_ {
+                collect_calls(w, out);
+            }
+            for o in order_by {
+                collect_calls(&o.key, out);
+            }
+            collect_calls(return_, out);
+        }
+        Expr::Quantified {
+            bindings,
+            satisfies,
+            ..
+        } => {
+            for (_, e) in bindings {
+                collect_calls(e, out);
+            }
+            collect_calls(satisfies, out);
+        }
+        Expr::AxisStep { predicates, .. } => predicates.iter().for_each(|e| collect_calls(e, out)),
+        Expr::Path { start, steps } => {
+            collect_calls(start, out);
+            for s in steps {
+                collect_calls(&s.expr, out);
+            }
+        }
+        Expr::Filter(base, predicates) => {
+            collect_calls(base, out);
+            predicates.iter().for_each(|e| collect_calls(e, out));
+        }
+        Expr::Call { args, .. } => args.iter().for_each(|e| collect_calls(e, out)),
+        Expr::DirectElement { attrs, content, .. } => {
+            for (_, parts) in attrs {
+                for p in parts {
+                    if let AttrPart::Enclosed(e) = p {
+                        collect_calls(e, out);
+                    }
+                }
+            }
+            for c in content {
+                match c {
+                    ContentPart::Enclosed(e) | ContentPart::Node(e) => collect_calls(e, out),
+                    ContentPart::Literal(_) => {}
+                }
+            }
+        }
+        Expr::CompElement { name, content, .. } => {
+            if let ConstructorName::Computed(e) = name {
+                collect_calls(e, out);
+            }
+            if let Some(c) = content {
+                collect_calls(c, out);
+            }
+        }
+        Expr::CompAttribute { name, value, .. } => {
+            if let ConstructorName::Computed(e) = name {
+                collect_calls(e, out);
+            }
+            if let Some(v) = value {
+                collect_calls(v, out);
+            }
+        }
+        Expr::TypeSwitch {
+            operand,
+            cases,
+            default,
+            ..
+        } => {
+            collect_calls(operand, out);
+            for c in cases {
+                collect_calls(&c.body, out);
+            }
+            collect_calls(default, out);
+        }
+        Expr::TryCatch { try_, catch, .. } => {
+            collect_calls(try_, out);
+            collect_calls(catch, out);
+        }
+        Expr::InstanceOf(e, _) | Expr::CastAs(e, _, _) | Expr::CastableAs(e, _) => collect_calls(e, out),
+    }
+}
+
+impl CallGraph {
+    /// The annotation closure of a seed function: once its parameters are
+    /// annotated, every function whose values flow into or out of it needs
+    /// annotations too — callers and callees, transitively. "Once types are
+    /// used somewhere, they rapidly metastatize and need to be used
+    /// everywhere."
+    pub fn annotation_closure(&self, seed: &str) -> Vec<&str> {
+        let Some(start) = self.functions.iter().position(|f| f == seed) else {
+            return Vec::new();
+        };
+        let n = self.functions.len();
+        let mut adj = vec![Vec::new(); n];
+        for (i, outs) in self.edges.iter().enumerate() {
+            for &j in outs {
+                adj[i].push(j);
+                adj[j].push(i);
+            }
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![start];
+        seen[start] = true;
+        while let Some(i) = stack.pop() {
+            for &j in &adj[i] {
+                if !seen[j] {
+                    seen[j] = true;
+                    stack.push(j);
+                }
+            }
+        }
+        (0..n).filter(|&i| seen[i]).map(|i| self.functions[i].as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loc_skips_blank_and_comment_lines() {
+        let rust = "// comment\n\nfn f() {}\n    // indented comment\nlet x = 1;\n";
+        assert_eq!(loc(rust), 2);
+        let xq = "(: comment :)\n\nlet $x := 1\n(: multi\n   line\n:)\nreturn $x\n";
+        assert_eq!(loc(xq), 2);
+        let mixed = "let $x := 1 (: trailing :)\n";
+        assert_eq!(loc(mixed), 1);
+    }
+
+    #[test]
+    fn shipped_xq_sources_have_substance() {
+        for (name, src) in docgen::xq::ALL_SOURCES {
+            assert!(loc(src) >= 7, "{name} is too small: {}", loc(src));
+        }
+        assert!(loc(docgen::xq::GEN_XQ) > 200, "the generator is the big one");
+    }
+
+    #[test]
+    fn call_graph_of_a_tiny_module() {
+        let src = r#"
+            declare function local:a($x) { local:b($x) + local:c($x) };
+            declare function local:b($x) { $x };
+            declare function local:c($x) { local:b($x) };
+            declare function local:lonely($x) { $x };
+            local:a(1)
+        "#;
+        let g = call_graph(src);
+        assert_eq!(g.functions.len(), 4);
+        let closure = g.annotation_closure("local:b");
+        assert_eq!(closure.len(), 3, "a, b, c — but not lonely: {closure:?}");
+        assert!(!closure.contains(&"local:lonely"));
+    }
+
+    #[test]
+    fn metastasis_on_the_real_generator_is_severe() {
+        let g = call_graph(docgen::xq::GEN_XQ);
+        // Annotating the humble attribute-fetcher drags in most of the
+        // program.
+        let closure = g.annotation_closure("local:req-attr");
+        assert!(
+            closure.len() * 2 > g.functions.len(),
+            "{} of {} functions",
+            closure.len(),
+            g.functions.len()
+        );
+    }
+
+    #[test]
+    fn fault_rate_controls_missing_versions() {
+        let Workload { meta, mut model } = it_workload(100, 1);
+        set_fault_rate(&mut model, &meta, 0.0);
+        let count_missing = |model: &Model, meta: &Metamodel| {
+            model
+                .nodes_of_type("Document", meta)
+                .into_iter()
+                .filter(|&d| model.prop(d, "version").is_none())
+                .count()
+        };
+        assert_eq!(count_missing(&model, &meta), 0);
+        set_fault_rate(&mut model, &meta, 0.5);
+        let docs = model.nodes_of_type("Document", &meta).len();
+        assert_eq!(count_missing(&model, &meta), docs / 2);
+    }
+}

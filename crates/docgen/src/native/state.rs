@@ -1,0 +1,201 @@
+//! Mutable generation state and the post-walk fill passes.
+//!
+//! "Java is an imperative language, blessed with a wide selection of mutable
+//! data structures without peculiar requirements on their elements. A few
+//! lines of code let the generation state include a list of
+//! table-of-contents entries and a set of visited nodes."
+
+use crate::trouble::GenTrouble;
+use crate::GenInputs;
+use awb::NodeRef;
+use std::collections::HashSet;
+use xmlstore::{NodeId, Store};
+
+/// One table-of-contents entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TocEntry {
+    pub level: usize,
+    pub heading: String,
+    pub anchor: String,
+}
+
+/// The mutable state threaded through one generation run.
+#[derive(Debug, Default)]
+pub struct GenState {
+    /// "whenever a heading that goes in the table of contents is produced,
+    /// toss it into a list."
+    pub toc: Vec<TocEntry>,
+    /// "whenever a node is observed in the document, cram it into a set."
+    pub visited: HashSet<NodeRef>,
+    /// `<table-of-contents/>` placeholders awaiting the post pass.
+    pub toc_placeholders: Vec<NodeId>,
+    /// `<table-of-omissions/>` placeholders with their type lists.
+    pub omission_placeholders: Vec<(NodeId, Vec<String>)>,
+    /// Marker text → generated content (detached nodes in the output store).
+    pub replacements: Vec<(String, Vec<NodeId>)>,
+    /// Per-item troubles caught at `<for>` loops.
+    pub trouble_count: usize,
+}
+
+impl GenState {
+    /// Fills every `<table-of-contents/>` placeholder with the accumulated
+    /// entries — in-place mutation, no copying.
+    pub fn fill_toc(&mut self, store: &mut Store) -> Result<(), GenTrouble> {
+        for &placeholder in &self.toc_placeholders {
+            let ul = store.create_element("ul");
+            store.set_attribute(ul, "class", "toc").map_err(internal)?;
+            for entry in &self.toc {
+                let li = store.create_element("li");
+                store
+                    .set_attribute(li, "class", format!("lvl-{}", entry.level))
+                    .map_err(internal)?;
+                let a = store.create_element("a");
+                store
+                    .set_attribute(a, "href", format!("#{}", entry.anchor))
+                    .map_err(internal)?;
+                if !entry.heading.is_empty() {
+                    let text = store.create_text(entry.heading.clone());
+                    store.append_child(a, text).map_err(internal)?;
+                }
+                store.append_child(li, a).map_err(internal)?;
+                store.append_child(ul, li).map_err(internal)?;
+            }
+            store.append_child(placeholder, ul).map_err(internal)?;
+        }
+        Ok(())
+    }
+
+    /// Fills every `<table-of-omissions/>` placeholder: nodes of the listed
+    /// types that the walk never focused, sorted by label.
+    pub fn fill_omissions(&mut self, store: &mut Store, inputs: &GenInputs) -> Result<(), GenTrouble> {
+        for (placeholder, types) in &self.omission_placeholders {
+            let mut omitted: Vec<NodeRef> = Vec::new();
+            for ty in types {
+                for node in inputs.model.nodes_of_type(ty, inputs.meta) {
+                    if !self.visited.contains(&node) && !omitted.contains(&node) {
+                        omitted.push(node);
+                    }
+                }
+            }
+            omitted.sort_by(|&a, &b| {
+                inputs
+                    .model
+                    .label(a)
+                    .cmp(inputs.model.label(b))
+                    .then(a.cmp(&b))
+            });
+            if omitted.is_empty() {
+                let p = store.create_element("p");
+                store.set_attribute(p, "class", "no-omissions").map_err(internal)?;
+                let t = store.create_text("Nothing is omitted.");
+                store.append_child(p, t).map_err(internal)?;
+                store.append_child(*placeholder, p).map_err(internal)?;
+            } else {
+                let ul = store.create_element("ul");
+                store.set_attribute(ul, "class", "omissions").map_err(internal)?;
+                for node in omitted {
+                    let li = store.create_element("li");
+                    let t = store.create_text(format!(
+                        "{} ({})",
+                        inputs.model.label(node),
+                        inputs.model.node_type(node)
+                    ));
+                    store.append_child(li, t).map_err(internal)?;
+                    store.append_child(ul, li).map_err(internal)?;
+                }
+                store.append_child(*placeholder, ul).map_err(internal)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Splices registered marker content into the text of the document:
+    /// "search for the phrase in the HTML structure. It will probably be in
+    /// the middle of a XML Text node, so rip that node apart and shove
+    /// Table 1's HTML bodily into the gap."
+    pub fn apply_marker_replacements(&mut self, store: &mut Store, root: NodeId) -> Result<(), GenTrouble> {
+        for (marker, content) in &self.replacements {
+            let mut guard = 0;
+            while let Some((text_node, offset)) = store.find_text(root, marker) {
+                guard += 1;
+                if guard > 10_000 {
+                    return Err(GenTrouble::new(format!(
+                        "marker {marker:?} replacement did not terminate (does the replacement contain the marker?)"
+                    )));
+                }
+                // Split off the tail, delete the marker text from its head,
+                // and insert the content between.
+                let tail = store.split_text(text_node, offset).map_err(internal)?;
+                // tail currently starts with the marker text; trim it.
+                let tail_text = store.string_value(tail);
+                store
+                    .set_text(tail, tail_text[marker.len()..].to_string())
+                    .map_err(internal)?;
+                let parent = store.parent(tail).expect("tail has a parent");
+                let tail_pos = store
+                    .children(parent)
+                    .iter()
+                    .position(|&c| c == tail)
+                    .expect("tail is a child");
+                for (i, &node) in content.iter().enumerate() {
+                    let copy = store.deep_copy(node);
+                    store.insert_child(parent, tail_pos + i, copy).map_err(internal)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn internal(e: xmlstore::XmlError) -> GenTrouble {
+    GenTrouble::new(format!("internal output-tree error: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toc_fill_produces_links() {
+        let mut store = Store::new();
+        let holder = store.create_element("div");
+        let mut state = GenState {
+            toc: vec![
+                TocEntry {
+                    level: 1,
+                    heading: "One".into(),
+                    anchor: "one".into(),
+                },
+                TocEntry {
+                    level: 2,
+                    heading: "Two".into(),
+                    anchor: "two".into(),
+                },
+            ],
+            toc_placeholders: vec![holder],
+            ..Default::default()
+        };
+        state.fill_toc(&mut store).unwrap();
+        let xml = store.to_xml(holder);
+        assert_eq!(
+            xml,
+            r##"<div><ul class="toc"><li class="lvl-1"><a href="#one">One</a></li><li class="lvl-2"><a href="#two">Two</a></li></ul></div>"##
+        );
+    }
+
+    #[test]
+    fn replacement_guard_trips_on_self_reference() {
+        let mut store = Store::new();
+        let root = store.create_element("document");
+        let t = store.create_text("MARKER here".to_string());
+        store.append_child(root, t).unwrap();
+        // content that contains the marker again → would loop forever
+        let evil = store.create_text("MARKER".to_string());
+        let mut state = GenState {
+            replacements: vec![("MARKER".into(), vec![evil])],
+            ..Default::default()
+        };
+        let err = state.apply_marker_replacements(&mut store, root).unwrap_err();
+        assert!(err.message.contains("did not terminate"), "{}", err.message);
+    }
+}

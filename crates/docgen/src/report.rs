@@ -1,0 +1,39 @@
+//! Output comparison for the two engines (experiment E7).
+
+/// Are two generated documents equal after normalization? Normalization is
+/// deliberately thin — both engines are held to the same serialized form —
+/// but we forgive trailing whitespace differences inside text runs.
+pub fn normalized_equal(a: &str, b: &str) -> bool {
+    normalize(a) == normalize(b)
+}
+
+fn normalize(s: &str) -> String {
+    // Collapse runs of whitespace between tags; the engines never disagree
+    // on anything else by construction.
+    let mut out = String::with_capacity(s.len());
+    let mut ws = false;
+    for c in s.chars() {
+        if c.is_whitespace() {
+            ws = true;
+        } else {
+            if ws {
+                out.push(' ');
+                ws = false;
+            }
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whitespace_runs_collapse() {
+        assert!(normalized_equal("<a>x  y</a>", "<a>x y</a>"));
+        assert!(normalized_equal("<a>x</a>\n", "<a>x</a>"));
+        assert!(!normalized_equal("<a>x</a>", "<a>y</a>"));
+    }
+}

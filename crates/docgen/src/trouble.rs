@@ -1,0 +1,92 @@
+//! `GenTrouble` — the exception type of the rewrite.
+//!
+//! "We chose to allow nearly every function to throw our own GenTrouble
+//! exception. GenTrouble was an exception carrying quite a bit of data – a
+//! string describing what the error was, plus the inputs that went into
+//! causing the error." The utility functions "generally got extra arguments
+//! … so that it can throw a more comprehensive error message."
+
+use awb::NodeRef;
+use std::fmt;
+
+/// The one error type nearly every generator function can raise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenTrouble {
+    /// What went wrong, in external (user-facing) terms.
+    pub message: String,
+    /// The model node in focus when trouble struck, with its label.
+    pub focus: Option<(NodeRef, String)>,
+    /// Where in the template we were — an element path like
+    /// `template/ol/for/if`.
+    pub template_path: String,
+}
+
+impl GenTrouble {
+    pub fn new(message: impl Into<String>) -> Self {
+        GenTrouble {
+            message: message.into(),
+            focus: None,
+            template_path: String::new(),
+        }
+    }
+
+    /// Attaches the focus node ("concerning node N12321").
+    pub fn with_focus(mut self, node: NodeRef, label: impl Into<String>) -> Self {
+        self.focus = Some((node, label.into()));
+        self
+    }
+
+    /// Attaches the template location ("when looking at the `<foo>` part of
+    /// the document template").
+    pub fn at_template(mut self, path: impl Into<String>) -> Self {
+        self.template_path = path.into();
+        self
+    }
+}
+
+impl fmt::Display for GenTrouble {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "There was trouble generating a work product: {}", self.message)?;
+        if let Some((node, label)) = &self.focus {
+            write!(f, " (concerning node N{} \"{label}\")", node.0)?;
+        }
+        if !self.template_path.is_empty() {
+            write!(f, " (at template {})", self.template_path)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for GenTrouble {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn carries_all_the_data() {
+        let t = GenTrouble::new("missing property \"version\"")
+            .with_focus(NodeRef(12321), "Spec")
+            .at_template("template/for/value-of");
+        let s = t.to_string();
+        assert!(s.contains("missing property"), "{s}");
+        assert!(s.contains("N12321"), "{s}");
+        assert!(s.contains("\"Spec\""), "{s}");
+        assert!(s.contains("template/for/value-of"), "{s}");
+    }
+
+    #[test]
+    fn question_mark_propagation_compiles() {
+        fn low() -> Result<i32, GenTrouble> {
+            Err(GenTrouble::new("deep failure"))
+        }
+        fn mid() -> Result<i32, GenTrouble> {
+            let v = low()?; // no ceremony at the call site
+            Ok(v + 1)
+        }
+        fn top() -> Result<i32, GenTrouble> {
+            mid()
+        }
+        assert_eq!(top().unwrap_err().message, "deep failure");
+    }
+}

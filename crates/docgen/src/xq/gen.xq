@@ -1,0 +1,420 @@
+(: ===================================================================
+   Phase 1 of the AWB document generator, in XQuery.
+
+   "The heart of the document generator is a quite straightforward
+   recursive walk over the XML structure of the template, inspecting
+   each XML element in turn."
+
+   Error handling uses the error-value convention the paper describes:
+   every function that can fail returns either its value or a
+   <gen-error><message>…</message></gen-error> element, and every call
+   site must test local:is-err — "this turned nearly every function
+   call into a half-dozen lines of code."
+
+   State that the Java rewrite kept in mutable structures is emitted
+   here as <INTERNAL-DATA…> breadcrumbs for the later phases:
+     <INTERNAL-DATA><VISITED node-id="…"/></INTERNAL-DATA>
+     <INTERNAL-DATA><TOC-ENTRY level="…" anchor="…">…</TOC-ENTRY></INTERNAL-DATA>
+     <INTERNAL-DATA-TOC/>, <INTERNAL-DATA-OMISSIONS types="…"/>,
+     <INTERNAL-DATA-REPLACEMENT marker="…">…</INTERNAL-DATA-REPLACEMENT>
+   =================================================================== :)
+
+declare variable $model := doc("awb-model")/awb-model;
+declare variable $meta := doc("awb-meta")/awb-metamodel;
+declare variable $template := doc("template")/template;
+
+(: ----------------- the error-value convention ----------------- :)
+
+declare function local:err($msg) {
+  <gen-error><message>{$msg}</message></gen-error>
+};
+
+declare function local:is-err($v) {
+  some $i in $v satisfies $i instance of element(gen-error)
+};
+
+(: ----------------- small utilities ----------------- :)
+
+declare function local:text-or-empty($s) {
+  if ($s = "") then () else text { $s }
+};
+
+declare function local:req-attr($el, $attr-name) {
+  let $a := $el/@*[name(.) = $attr-name]
+  return
+    if (empty($a)) then
+      local:err(concat('required attribute "', $attr-name, '" is missing on <', name($el), '>'))
+    else string(($a)[1])
+};
+
+declare function local:label($node) {
+  string($node/@label)
+};
+
+(: subtype tests against the exported metamodel :)
+declare function local:is-node-subtype($sub, $sup) {
+  if ($sub = $sup) then true()
+  else
+    let $def := ($meta/node-type[@name = $sub])[1]
+    return
+      if (empty($def)) then false()
+      else if (empty($def/@parent)) then false()
+      else local:is-node-subtype(string($def/@parent), $sup)
+};
+
+declare function local:is-rel-subtype($sub, $sup) {
+  if ($sub = $sup) then true()
+  else
+    let $def := ($meta/relation-type[@name = $sub])[1]
+    return
+      if (empty($def)) then false()
+      else if (empty($def/@parent)) then false()
+      else local:is-rel-subtype(string($def/@parent), $sup)
+};
+
+declare function local:nodes-of-type($ty) {
+  $model/node[local:is-node-subtype(string(@type), $ty)]
+};
+
+(: heading → anchor slug; must agree character-for-character with the
+   native engine's slugify :)
+declare function local:slug-step($s, $i, $n, $acc, $pend) {
+  if ($i > $n) then $acc
+  else
+    let $c := substring($s, $i, 1)
+    return
+      if (contains("abcdefghijklmnopqrstuvwxyz0123456789", $c)) then
+        local:slug-step($s, $i + 1, $n,
+          concat($acc, (if ($pend and not($acc = "")) then "-" else ""), $c),
+          false())
+      else
+        local:slug-step($s, $i + 1, $n, $acc, true())
+};
+
+declare function local:slug($s) {
+  local:slug-step(lower-case($s), 1, string-length($s), "", false())
+};
+
+(: ----------------- the query calculus, interpreted -----------------
+   "This was essentially writing an interpreter in XQuery, which is not
+   a hard exercise." :)
+
+declare function local:run-steps($current, $steps) {
+  if (empty($steps)) then $current
+  else
+    let $step := $steps[1]
+    let $rest := subsequence($steps, 2)
+    let $tag := name($step)
+    return
+      if ($tag = "follow") then
+        let $rel := string($step/@relation)
+        let $fwd := not(string($step/@direction) = "backward")
+        let $next :=
+          if ($fwd) then
+            for $n in $current
+            for $r in $model/relation[local:is-rel-subtype(string(@type), $rel)]
+                                     [string(@source) = string($n/@id)]
+            return $model/node[@id = string($r/@target)]
+          else
+            for $n in $current
+            for $r in $model/relation[local:is-rel-subtype(string(@type), $rel)]
+                                     [string(@target) = string($n/@id)]
+            return $model/node[@id = string($r/@source)]
+        let $typed :=
+          if (exists($step/@target-type))
+          then $next[local:is-node-subtype(string(@type), string($step/@target-type))]
+          else $next
+        return local:run-steps($typed, $rest)
+      else if ($tag = "filter-type") then
+        local:run-steps($current[local:is-node-subtype(string(@type), string($step/@type))], $rest)
+      else if ($tag = "filter-property") then
+        local:run-steps(
+          $current[some $p in property[@name = string($step/@name)]
+                   satisfies string($p) = string($step/@equals)],
+          $rest)
+      else if ($tag = "dedup") then
+        local:run-steps(
+          for $id in distinct-values(for $n in $current return string($n/@id))
+          return $model/node[@id = $id],
+          $rest)
+      else if ($tag = "sort-by-label") then
+        local:run-steps(
+          for $n in $current order by string($n/@label) return $n,
+          $rest)
+      else
+        local:err(concat('bad <query>: unknown calculus step <', $tag, '>'))
+};
+
+declare function local:run-query($q) {
+  let $start-el := ($q/start)[1]
+  return
+    if (empty($start-el)) then local:err('bad <query>: <query> needs a <start>')
+    else
+      let $initial :=
+        if (exists($start-el/@type)) then local:nodes-of-type(string($start-el/@type))
+        else if (exists($start-el/@label)) then ($model/node[@label = string($start-el/@label)])[1]
+        else $model/node
+      return local:run-steps($initial, $q/*[not(name(.) = "start")])
+};
+
+(: ----------------- the recursive walk ----------------- :)
+
+(: generate a sequence of template nodes, checking each result — the
+   half-dozen-lines-per-call pattern :)
+declare function local:gen-seq($kids, $focus, $depth) {
+  if (empty($kids)) then ()
+  else
+    let $first := local:gen($kids[1], $focus, $depth)
+    return
+      if (local:is-err($first)) then $first
+      else
+        let $rest := local:gen-seq(subsequence($kids, 2), $focus, $depth)
+        return
+          if (local:is-err($rest)) then $rest
+          else ($first, $rest)
+};
+
+declare function local:gen-children($tpl, $focus, $depth) {
+  local:gen-seq($tpl/node(), $focus, $depth)
+};
+
+declare function local:gen-copy($n, $focus, $depth) {
+  let $kids := local:gen-children($n, $focus, $depth)
+  return
+    if (local:is-err($kids)) then $kids
+    else element {name($n)} { $n/@*, $kids }
+};
+
+declare function local:for-items($nodes, $body, $depth) {
+  for $node in $nodes
+  return (
+    <INTERNAL-DATA><VISITED node-id="{string($node/@id)}"/></INTERNAL-DATA>,
+    let $item := local:gen-seq($body, $node, $depth)
+    return
+      if (local:is-err($item))
+      then <span class="gen-error">{string(($item/message)[1])}</span>
+      else $item
+  )
+};
+
+declare function local:gen-for($n, $focus, $depth) {
+  if (exists($n/@nodes)) then
+    let $spec := string($n/@nodes)
+    return
+      if (starts-with($spec, "all.")) then
+        local:for-items(local:nodes-of-type(substring-after($spec, "all.")), $n/node(), $depth)
+      else
+        local:err(concat('cannot understand the node specification "', $spec,
+                         '" (expected "all.TYPE")'))
+  else if (empty($n/query)) then
+    local:err('required child <query> is missing on <for>')
+  else
+    let $results := local:run-query(($n/query)[1])
+    return
+      if (local:is-err($results)) then $results
+      else local:for-items($results, $n/node()[not(. instance of element(query))], $depth)
+};
+
+declare function local:eval-cond($c, $focus) {
+  let $tag := name($c)
+  return
+    if ($tag = "focus-is-type") then
+      let $ty := local:req-attr($c, "type")
+      return
+        if (local:is-err($ty)) then $ty
+        else if (empty($focus)) then local:err('there is no focus node for <focus-is-type/>')
+        else local:is-node-subtype(string($focus/@type), $ty)
+    else if ($tag = "has-property") then
+      let $pname := local:req-attr($c, "name")
+      return
+        if (local:is-err($pname)) then $pname
+        else if (empty($focus)) then local:err('there is no focus node for <has-property/>')
+        else exists($focus/property[@name = $pname][not(normalize-space(string(.)) = "")])
+    else if ($tag = "property-equals") then
+      let $pname := local:req-attr($c, "name")
+      return
+        if (local:is-err($pname)) then $pname
+        else
+          let $value := local:req-attr($c, "value")
+          return
+            if (local:is-err($value)) then $value
+            else if (empty($focus)) then local:err('there is no focus node for <property-equals/>')
+            else (some $p in $focus/property[@name = $pname] satisfies string($p) = $value)
+    else if ($tag = "not") then
+      let $inner := ($c/*)[1]
+      return
+        if (empty($inner)) then local:err('<not> must contain a condition element')
+        else
+          let $v := local:eval-cond($inner, $focus)
+          return
+            if (local:is-err($v)) then $v
+            else not($v)
+    else
+      local:err(concat('unknown condition <', $tag, '>'))
+};
+
+declare function local:gen-if($n, $focus, $depth) {
+  if (empty($n/test)) then local:err('required child <test> is missing on <if>')
+  else if (empty($n/then)) then local:err('required child <then> is missing on <if>')
+  else
+    let $cond := ($n/test/*)[1]
+    return
+      if (empty($cond)) then local:err('<test> must contain a condition element')
+      else
+        let $v := local:eval-cond($cond, $focus)
+        return
+          if (local:is-err($v)) then $v
+          else if ($v) then local:gen-children(($n/then)[1], $focus, $depth)
+          else if (exists($n/else)) then local:gen-children(($n/else)[1], $focus, $depth)
+          else ()
+};
+
+declare function local:gen-value-of($n, $focus) {
+  let $prop := local:req-attr($n, "property")
+  return
+    if (local:is-err($prop)) then $prop
+    else if (empty($focus)) then local:err('there is no focus node for <value-of/>')
+    else
+      let $p := $focus/property[@name = $prop]
+      return
+        if (exists($p)) then local:text-or-empty(string(($p)[1]))
+        else if (exists($n/@default)) then local:text-or-empty(string($n/@default))
+        else local:err(concat('There is no property "', $prop, '" on node "',
+                              local:label($focus), '".'))
+};
+
+declare function local:gen-section($n, $focus, $depth) {
+  let $heading := local:req-attr($n, "heading")
+  return
+    if (local:is-err($heading)) then $heading
+    else
+      let $anchor := local:slug($heading)
+      let $level := $depth + 1
+      let $kids := local:gen-children($n, $focus, $level)
+      return
+        if (local:is-err($kids)) then $kids
+        else (
+          <INTERNAL-DATA><TOC-ENTRY level="{string($level)}" anchor="{$anchor}">{
+            local:text-or-empty($heading)
+          }</TOC-ENTRY></INTERNAL-DATA>,
+          <div class="section">{
+            element {concat("h", string(min(($level + 1, 6))))} {
+              attribute id { $anchor },
+              local:text-or-empty($heading)
+            },
+            $kids
+          }</div>
+        )
+};
+
+(: the row/column table — "each row and then the table itself must be
+   produced in its entirety, all at once" :)
+declare function local:sorted-of-spec($spec) {
+  if (starts-with($spec, "all.")) then
+    for $n in local:nodes-of-type(substring-after($spec, "all."))
+    order by string($n/@label)
+    return $n
+  else
+    local:err(concat('cannot understand the node specification "', $spec,
+                     '" (expected "all.TYPE")'))
+};
+
+declare function local:gen-table($n, $focus) {
+  let $rows-spec := local:req-attr($n, "rows")
+  return
+    if (local:is-err($rows-spec)) then $rows-spec
+    else
+      let $cols-spec := local:req-attr($n, "cols")
+      return
+        if (local:is-err($cols-spec)) then $cols-spec
+        else
+          let $rel := local:req-attr($n, "relation")
+          return
+            if (local:is-err($rel)) then $rel
+            else
+              let $corner := string($n/@corner)
+              let $rows := local:sorted-of-spec($rows-spec)
+              return
+                if (local:is-err($rows)) then $rows
+                else
+                  let $cols := local:sorted-of-spec($cols-spec)
+                  return
+                    if (local:is-err($cols)) then $cols
+                    else
+                      <table class="awb-table">{
+                        <tr>{
+                          <td>{ local:text-or-empty($corner) }</td>,
+                          for $c in $cols return <td>{ local:text-or-empty(local:label($c)) }</td>
+                        }</tr>,
+                        for $r in $rows return
+                          <tr>{
+                            <td>{ local:text-or-empty(local:label($r)) }</td>,
+                            for $c in $cols return
+                              <td>{
+                                let $cnt := count(
+                                  $model/relation[local:is-rel-subtype(string(@type), $rel)]
+                                                 [string(@source) = string($r/@id)]
+                                                 [string(@target) = string($c/@id)])
+                                return if ($cnt > 0) then text { string($cnt) } else ()
+                              }</td>
+                          }</tr>
+                      }</table>
+};
+
+declare function local:gen-list($n, $focus) {
+  if (empty($n/query)) then local:err('required child <query> is missing on <list>')
+  else
+    let $results := local:run-query(($n/query)[1])
+    return
+      if (local:is-err($results)) then $results
+      else
+        <ul class="query-list">{
+          for $r in $results return <li>{ local:text-or-empty(local:label($r)) }</li>
+        }</ul>
+};
+
+declare function local:gen-marker($n, $focus, $depth) {
+  let $marker := local:req-attr($n, "marker")
+  return
+    if (local:is-err($marker)) then $marker
+    else
+      let $kids := local:gen-seq($n/node(), $focus, $depth)
+      return
+        if (local:is-err($kids)) then $kids
+        else <INTERNAL-DATA-REPLACEMENT marker="{$marker}">{$kids}</INTERNAL-DATA-REPLACEMENT>
+};
+
+declare function local:gen($n, $focus, $depth) {
+  if ($n instance of text()) then $n
+  else if (not($n instance of element())) then ()
+  else
+    let $tag := name($n)
+    return
+      if ($tag = "for") then local:gen-for($n, $focus, $depth)
+      else if ($tag = "if") then local:gen-if($n, $focus, $depth)
+      else if ($tag = "label") then
+        (if (empty($focus)) then local:err('there is no focus node for <label/>')
+         else local:text-or-empty(local:label($focus)))
+      else if ($tag = "value-of") then local:gen-value-of($n, $focus)
+      else if ($tag = "section") then local:gen-section($n, $focus, $depth)
+      else if ($tag = "table-of-contents") then
+        <div class="table-of-contents"><INTERNAL-DATA-TOC/></div>
+      else if ($tag = "table-of-omissions") then
+        (let $types := local:req-attr($n, "types")
+         return
+           if (local:is-err($types)) then $types
+           else <div class="table-of-omissions"><INTERNAL-DATA-OMISSIONS types="{$types}"/></div>)
+      else if ($tag = "awb-table") then local:gen-table($n, $focus)
+      else if ($tag = "list") then local:gen-list($n, $focus)
+      else if ($tag = "marker-content") then local:gen-marker($n, $focus, $depth)
+      else if ($tag = "query") then
+        local:err('<query> is only meaningful inside <for> or <list>')
+      else local:gen-copy($n, $focus, $depth)
+};
+
+(: ----------------- main ----------------- :)
+
+let $content := local:gen-seq($template/node(), (), 0)
+return
+  if (local:is-err($content)) then $content
+  else <document>{$content}</document>

@@ -1,0 +1,331 @@
+(: ===================================================================
+   Phase 1 of the document generator — ABLATION VARIANT: the same
+   generator as gen.xq, but written against an XQuery with the paper's
+   moral #4 implemented ("a little language should provide exception
+   handling").
+
+   Errors are raised with fn:error and caught ONCE, per <for> item and
+   at the top level, with try/catch. Every is-err check disappears; the
+   checked sequential recursion of gen.xq's local:gen-seq collapses to
+   a plain `for`, because errors now propagate by themselves.
+
+   Everything else — breadcrumbs, phases, output — is identical, and
+   the output must match gen.xq and the native rewrite byte for byte.
+   =================================================================== :)
+
+declare variable $model := doc("awb-model")/awb-model;
+declare variable $meta := doc("awb-meta")/awb-metamodel;
+declare variable $template := doc("template")/template;
+
+declare function local:text-or-empty($s) {
+  if ($s = "") then () else text { $s }
+};
+
+declare function local:req-attr($el, $attr-name) {
+  let $a := $el/@*[name(.) = $attr-name]
+  return
+    if (empty($a)) then
+      error(concat('required attribute "', $attr-name, '" is missing on <', name($el), '>'))
+    else string(($a)[1])
+};
+
+declare function local:label($node) {
+  string($node/@label)
+};
+
+declare function local:is-node-subtype($sub, $sup) {
+  if ($sub = $sup) then true()
+  else
+    let $def := ($meta/node-type[@name = $sub])[1]
+    return
+      if (empty($def)) then false()
+      else if (empty($def/@parent)) then false()
+      else local:is-node-subtype(string($def/@parent), $sup)
+};
+
+declare function local:is-rel-subtype($sub, $sup) {
+  if ($sub = $sup) then true()
+  else
+    let $def := ($meta/relation-type[@name = $sub])[1]
+    return
+      if (empty($def)) then false()
+      else if (empty($def/@parent)) then false()
+      else local:is-rel-subtype(string($def/@parent), $sup)
+};
+
+declare function local:nodes-of-type($ty) {
+  $model/node[local:is-node-subtype(string(@type), $ty)]
+};
+
+declare function local:slug-step($s, $i, $n, $acc, $pend) {
+  if ($i > $n) then $acc
+  else
+    let $c := substring($s, $i, 1)
+    return
+      if (contains("abcdefghijklmnopqrstuvwxyz0123456789", $c)) then
+        local:slug-step($s, $i + 1, $n,
+          concat($acc, (if ($pend and not($acc = "")) then "-" else ""), $c),
+          false())
+      else
+        local:slug-step($s, $i + 1, $n, $acc, true())
+};
+
+declare function local:slug($s) {
+  local:slug-step(lower-case($s), 1, string-length($s), "", false())
+};
+
+declare function local:run-steps($current, $steps) {
+  if (empty($steps)) then $current
+  else
+    let $step := $steps[1]
+    let $rest := subsequence($steps, 2)
+    let $tag := name($step)
+    return
+      if ($tag = "follow") then
+        let $rel := string($step/@relation)
+        let $fwd := not(string($step/@direction) = "backward")
+        let $next :=
+          if ($fwd) then
+            for $n in $current
+            for $r in $model/relation[local:is-rel-subtype(string(@type), $rel)]
+                                     [string(@source) = string($n/@id)]
+            return $model/node[@id = string($r/@target)]
+          else
+            for $n in $current
+            for $r in $model/relation[local:is-rel-subtype(string(@type), $rel)]
+                                     [string(@target) = string($n/@id)]
+            return $model/node[@id = string($r/@source)]
+        let $typed :=
+          if (exists($step/@target-type))
+          then $next[local:is-node-subtype(string(@type), string($step/@target-type))]
+          else $next
+        return local:run-steps($typed, $rest)
+      else if ($tag = "filter-type") then
+        local:run-steps($current[local:is-node-subtype(string(@type), string($step/@type))], $rest)
+      else if ($tag = "filter-property") then
+        local:run-steps(
+          $current[some $p in property[@name = string($step/@name)]
+                   satisfies string($p) = string($step/@equals)],
+          $rest)
+      else if ($tag = "dedup") then
+        local:run-steps(
+          for $id in distinct-values(for $n in $current return string($n/@id))
+          return $model/node[@id = $id],
+          $rest)
+      else if ($tag = "sort-by-label") then
+        local:run-steps(
+          for $n in $current order by string($n/@label) return $n,
+          $rest)
+      else
+        error(concat('bad <query>: unknown calculus step <', $tag, '>'))
+};
+
+declare function local:run-query($q) {
+  let $start-el := ($q/start)[1]
+  return
+    if (empty($start-el)) then error('bad <query>: <query> needs a <start>')
+    else
+      let $initial :=
+        if (exists($start-el/@type)) then local:nodes-of-type(string($start-el/@type))
+        else if (exists($start-el/@label)) then ($model/node[@label = string($start-el/@label)])[1]
+        else $model/node
+      return local:run-steps($initial, $q/*[not(name(.) = "start")])
+};
+
+(: With exceptions, generating children is a plain mapping — no checked
+   loop, no subsequence recursion. :)
+declare function local:gen-children($tpl, $focus, $depth) {
+  for $c in $tpl/node() return local:gen($c, $focus, $depth)
+};
+
+declare function local:gen-copy($n, $focus, $depth) {
+  element {name($n)} { $n/@*, local:gen-children($n, $focus, $depth) }
+};
+
+declare function local:for-items($nodes, $body, $depth) {
+  for $node in $nodes
+  return (
+    <INTERNAL-DATA><VISITED node-id="{string($node/@id)}"/></INTERNAL-DATA>,
+    (: errors in one item are caught HERE, once, like the rewrite's catch
+       at the loop :)
+    try {
+      for $b in $body return local:gen($b, $node, $depth)
+    } catch ($err) {
+      <span class="gen-error">{$err}</span>
+    }
+  )
+};
+
+declare function local:gen-for($n, $focus, $depth) {
+  if (exists($n/@nodes)) then
+    let $spec := string($n/@nodes)
+    return
+      if (starts-with($spec, "all.")) then
+        local:for-items(local:nodes-of-type(substring-after($spec, "all.")), $n/node(), $depth)
+      else
+        error(concat('cannot understand the node specification "', $spec,
+                     '" (expected "all.TYPE")'))
+  else if (empty($n/query)) then
+    error('required child <query> is missing on <for>')
+  else
+    local:for-items(local:run-query(($n/query)[1]),
+                    $n/node()[not(. instance of element(query))], $depth)
+};
+
+declare function local:eval-cond($c, $focus) {
+  let $tag := name($c)
+  return
+    if ($tag = "focus-is-type") then
+      let $ty := local:req-attr($c, "type")
+      return
+        if (empty($focus)) then error('there is no focus node for <focus-is-type/>')
+        else local:is-node-subtype(string($focus/@type), $ty)
+    else if ($tag = "has-property") then
+      let $pname := local:req-attr($c, "name")
+      return
+        if (empty($focus)) then error('there is no focus node for <has-property/>')
+        else exists($focus/property[@name = $pname][not(normalize-space(string(.)) = "")])
+    else if ($tag = "property-equals") then
+      let $pname := local:req-attr($c, "name")
+      let $value := local:req-attr($c, "value")
+      return
+        if (empty($focus)) then error('there is no focus node for <property-equals/>')
+        else (some $p in $focus/property[@name = $pname] satisfies string($p) = $value)
+    else if ($tag = "not") then
+      let $inner := ($c/*)[1]
+      return
+        if (empty($inner)) then error('<not> must contain a condition element')
+        else not(local:eval-cond($inner, $focus))
+    else
+      error(concat('unknown condition <', $tag, '>'))
+};
+
+declare function local:gen-if($n, $focus, $depth) {
+  if (empty($n/test)) then error('required child <test> is missing on <if>')
+  else if (empty($n/then)) then error('required child <then> is missing on <if>')
+  else
+    let $cond := ($n/test/*)[1]
+    return
+      if (empty($cond)) then error('<test> must contain a condition element')
+      else if (local:eval-cond($cond, $focus)) then
+        local:gen-children(($n/then)[1], $focus, $depth)
+      else if (exists($n/else)) then
+        local:gen-children(($n/else)[1], $focus, $depth)
+      else ()
+};
+
+declare function local:gen-value-of($n, $focus) {
+  let $prop := local:req-attr($n, "property")
+  return
+    if (empty($focus)) then error('there is no focus node for <value-of/>')
+    else
+      let $p := $focus/property[@name = $prop]
+      return
+        if (exists($p)) then local:text-or-empty(string(($p)[1]))
+        else if (exists($n/@default)) then local:text-or-empty(string($n/@default))
+        else error(concat('There is no property "', $prop, '" on node "',
+                          local:label($focus), '".'))
+};
+
+declare function local:gen-section($n, $focus, $depth) {
+  let $heading := local:req-attr($n, "heading")
+  let $anchor := local:slug($heading)
+  let $level := $depth + 1
+  return (
+    <INTERNAL-DATA><TOC-ENTRY level="{string($level)}" anchor="{$anchor}">{
+      local:text-or-empty($heading)
+    }</TOC-ENTRY></INTERNAL-DATA>,
+    <div class="section">{
+      element {concat("h", string(min(($level + 1, 6))))} {
+        attribute id { $anchor },
+        local:text-or-empty($heading)
+      },
+      local:gen-children($n, $focus, $level)
+    }</div>
+  )
+};
+
+declare function local:sorted-of-spec($spec) {
+  if (starts-with($spec, "all.")) then
+    for $n in local:nodes-of-type(substring-after($spec, "all."))
+    order by string($n/@label)
+    return $n
+  else
+    error(concat('cannot understand the node specification "', $spec,
+                 '" (expected "all.TYPE")'))
+};
+
+declare function local:gen-table($n, $focus) {
+  let $rows := local:sorted-of-spec(local:req-attr($n, "rows"))
+  let $cols := local:sorted-of-spec(local:req-attr($n, "cols"))
+  let $rel := local:req-attr($n, "relation")
+  let $corner := string($n/@corner)
+  return
+    <table class="awb-table">{
+      <tr>{
+        <td>{ local:text-or-empty($corner) }</td>,
+        for $c in $cols return <td>{ local:text-or-empty(local:label($c)) }</td>
+      }</tr>,
+      for $r in $rows return
+        <tr>{
+          <td>{ local:text-or-empty(local:label($r)) }</td>,
+          for $c in $cols return
+            <td>{
+              let $cnt := count(
+                $model/relation[local:is-rel-subtype(string(@type), $rel)]
+                               [string(@source) = string($r/@id)]
+                               [string(@target) = string($c/@id)])
+              return if ($cnt > 0) then text { string($cnt) } else ()
+            }</td>
+        }</tr>
+    }</table>
+};
+
+declare function local:gen-list($n, $focus) {
+  if (empty($n/query)) then error('required child <query> is missing on <list>')
+  else
+    <ul class="query-list">{
+      for $r in local:run-query(($n/query)[1])
+      return <li>{ local:text-or-empty(local:label($r)) }</li>
+    }</ul>
+};
+
+declare function local:gen-marker($n, $focus, $depth) {
+  let $marker := local:req-attr($n, "marker")
+  return
+    <INTERNAL-DATA-REPLACEMENT marker="{$marker}">{
+      local:gen-children($n, $focus, $depth)
+    }</INTERNAL-DATA-REPLACEMENT>
+};
+
+declare function local:gen($n, $focus, $depth) {
+  if ($n instance of text()) then $n
+  else if (not($n instance of element())) then ()
+  else
+    let $tag := name($n)
+    return
+      if ($tag = "for") then local:gen-for($n, $focus, $depth)
+      else if ($tag = "if") then local:gen-if($n, $focus, $depth)
+      else if ($tag = "label") then
+        (if (empty($focus)) then error('there is no focus node for <label/>')
+         else local:text-or-empty(local:label($focus)))
+      else if ($tag = "value-of") then local:gen-value-of($n, $focus)
+      else if ($tag = "section") then local:gen-section($n, $focus, $depth)
+      else if ($tag = "table-of-contents") then
+        <div class="table-of-contents"><INTERNAL-DATA-TOC/></div>
+      else if ($tag = "table-of-omissions") then
+        <div class="table-of-omissions"><INTERNAL-DATA-OMISSIONS types="{local:req-attr($n, 'types')}"/></div>
+      else if ($tag = "awb-table") then local:gen-table($n, $focus)
+      else if ($tag = "list") then local:gen-list($n, $focus)
+      else if ($tag = "marker-content") then local:gen-marker($n, $focus, $depth)
+      else if ($tag = "query") then
+        error('<query> is only meaningful inside <for> or <list>')
+      else local:gen-copy($n, $focus, $depth)
+};
+
+(: top-level: one catch, like the rewrite's main :)
+try {
+  <document>{ for $c in $template/node() return local:gen($c, (), 0) }</document>
+} catch ($err) {
+  <gen-error><message>{$err}</message></gen-error>
+}

@@ -1,0 +1,40 @@
+(: ===================================================================
+   Phase 4: marker replacement.
+
+   'Replacing the phrase "TABLE-1-GOES-HERE" with the HTML that produces
+   Table 1, in the middle of a big messy blob of formatted text.'
+
+   In a pure language there is no ripping apart and shoving: instead
+   the whole document is copied, and every text node is re-derived as
+   (before-part, replacement content, after-part) around each marker
+   occurrence. The <INTERNAL-DATA-REPLACEMENT> registrations are
+   consumed (dropped) by this pass.
+
+   Input: $doc. Output: another full copy of the document.
+   =================================================================== :)
+
+declare variable $reps := $doc//INTERNAL-DATA-REPLACEMENT;
+
+declare function local:apply-reps($text, $r) {
+  if (empty($r)) then
+    (if ($text = "") then () else text { $text })
+  else
+    let $marker := string($r[1]/@marker)
+    return
+      if (contains($text, $marker)) then (
+        local:apply-reps(substring-before($text, $marker), subsequence($r, 2)),
+        $r[1]/node(),
+        local:apply-reps(substring-after($text, $marker), $r)
+      )
+      else local:apply-reps($text, subsequence($r, 2))
+};
+
+declare function local:copy($n) {
+  if ($n instance of element()) then
+    if (name($n) = "INTERNAL-DATA-REPLACEMENT") then ()
+    else element {name($n)} { $n/@*, for $c in $n/node() return local:copy($c) }
+  else if ($n instance of text()) then local:apply-reps(string($n), $reps)
+  else $n
+};
+
+local:copy($doc)

@@ -1,0 +1,454 @@
+//! Running the XQuery document generator: the five-phase pipeline.
+//!
+//! Each phase is a standalone XQuery program (the `.xq` files beside this
+//! module) evaluated by the workspace engine. Phase 1 generates the document
+//! with `<INTERNAL-DATA>` breadcrumbs; phases 2–5 each copy the entire
+//! document: omissions, table of contents, marker replacement, and finally
+//! stripping the scaffolding. "It was fairly inefficient, requiring multiple
+//! copies of the entire output … This wasn't horrible, though it wasn't
+//! entirely pleasant either."
+
+use crate::trouble::GenTrouble;
+use crate::GenInputs;
+use xmlstore::NodeId;
+use xquery::{CompiledQuery, Engine, Item};
+
+/// Phase-1 source: the generator proper.
+pub const GEN_XQ: &str = include_str!("gen.xq");
+/// Phase-1 source, ablation variant: the same generator written with the
+/// `try/catch` extension (the paper's moral #4) instead of the error-value
+/// convention. Same output, far less ceremony — see `paper_tables -- morals`.
+pub const GEN_TC_XQ: &str = include_str!("gen_tc.xq");
+/// Phase-2 source: table of omissions.
+pub const OMISSIONS_XQ: &str = include_str!("omissions.xq");
+/// Phase-3 source: table of contents.
+pub const TOC_XQ: &str = include_str!("toc.xq");
+/// Phase-4 source: marker replacement.
+pub const MARKERS_XQ: &str = include_str!("markers.xq");
+/// Phase-5 source: strip INTERNAL-DATA.
+pub const STRIP_XQ: &str = include_str!("strip.xq");
+
+/// All shipped sources, for line counting (experiment E6).
+pub const ALL_SOURCES: &[(&str, &str)] = &[
+    ("gen.xq", GEN_XQ),
+    ("omissions.xq", OMISSIONS_XQ),
+    ("toc.xq", TOC_XQ),
+    ("markers.xq", MARKERS_XQ),
+    ("strip.xq", STRIP_XQ),
+];
+
+/// The pipeline phases after generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    Omissions,
+    Toc,
+    Markers,
+    Strip,
+}
+
+impl Phase {
+    /// The standard pipeline, in the paper's order.
+    pub const ALL: [Phase; 4] = [Phase::Omissions, Phase::Toc, Phase::Markers, Phase::Strip];
+
+    fn source(self) -> &'static str {
+        match self {
+            Phase::Omissions => OMISSIONS_XQ,
+            Phase::Toc => TOC_XQ,
+            Phase::Markers => MARKERS_XQ,
+            Phase::Strip => STRIP_XQ,
+        }
+    }
+}
+
+/// The result of an XQuery-pipeline run.
+#[derive(Debug)]
+pub struct XqOutput {
+    /// Final serialized document.
+    pub xml: String,
+    /// Error notes (`gen-error` spans) present in the final document.
+    pub trouble_count: usize,
+    /// Serialized size after phase 1 and after each later phase — the
+    /// "multiple copies of the entire output" the paper paid for.
+    pub phase_sizes: Vec<usize>,
+}
+
+/// A prepared XQuery generator: engine with model/metamodel/template loaded
+/// and all phase queries compiled. Reusable across runs (benches).
+pub struct XqGenerator {
+    engine: Engine,
+    gen_query: CompiledQuery,
+    phase_queries: Vec<(Phase, CompiledQuery)>,
+}
+
+impl XqGenerator {
+    /// Prepares a generator for the given inputs with the standard phases.
+    pub fn new(inputs: &GenInputs) -> Result<Self, GenTrouble> {
+        XqGenerator::with_phases(inputs, &Phase::ALL)
+    }
+
+    /// Prepares the try/catch ablation variant ([`GEN_TC_XQ`]) with the
+    /// standard phases.
+    pub fn new_try_catch(inputs: &GenInputs) -> Result<Self, GenTrouble> {
+        XqGenerator::with_generator(inputs, GEN_TC_XQ, &Phase::ALL)
+    }
+
+    /// Prepares a generator with a custom phase list (experiment E2 varies
+    /// the number of copying phases).
+    pub fn with_phases(inputs: &GenInputs, phases: &[Phase]) -> Result<Self, GenTrouble> {
+        XqGenerator::with_generator(inputs, GEN_XQ, phases)
+    }
+
+    /// Prepares a generator with a custom phase-1 source and phase list.
+    pub fn with_generator(
+        inputs: &GenInputs,
+        generator_source: &str,
+        phases: &[Phase],
+    ) -> Result<Self, GenTrouble> {
+        let mut engine = Engine::new();
+        let model_doc = awb::xmlio::export_to_store(inputs.model, engine.store_mut());
+        engine.register_document("awb-model", model_doc);
+        let meta_doc = awb::xmlio::export_metamodel_to_store(inputs.meta, engine.store_mut());
+        engine.register_document("awb-meta", meta_doc);
+        let template_doc = engine
+            .load_document(&inputs.template.to_xml())
+            .map_err(|e| GenTrouble::new(format!("template load failed: {e}")))?;
+        engine.register_document("template", template_doc);
+
+        let gen_query = engine
+            .compile(generator_source)
+            .map_err(|e| GenTrouble::new(format!("the generator source failed to compile: {e}")))?;
+        let phase_queries = phases
+            .iter()
+            .map(|&p| {
+                engine
+                    .compile(p.source())
+                    .map(|q| (p, q))
+                    .map_err(|e| GenTrouble::new(format!("{p:?} phase failed to compile: {e}")))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(XqGenerator {
+            engine,
+            gen_query,
+            phase_queries,
+        })
+    }
+
+    /// Runs the whole pipeline once.
+    pub fn run(&mut self) -> Result<XqOutput, GenTrouble> {
+        let mut phase_sizes = Vec::with_capacity(1 + self.phase_queries.len());
+
+        let gen_query = self.gen_query.clone();
+        let doc = self.eval_to_element(&gen_query, None)?;
+        phase_sizes.push(self.engine.store().to_xml(doc).len());
+
+        let mut current = doc;
+        for i in 0..self.phase_queries.len() {
+            let query = self.phase_queries[i].1.clone();
+            current = self.eval_to_element(&query, Some(current))?;
+            phase_sizes.push(self.engine.store().to_xml(current).len());
+        }
+
+        let xml = self.engine.store().to_xml(current);
+        let trouble_count = xml.matches("class=\"gen-error\"").count();
+        Ok(XqOutput {
+            xml,
+            trouble_count,
+            phase_sizes,
+        })
+    }
+
+    /// Runs only phase 1 (used by benches isolating generation cost).
+    pub fn run_phase1(&mut self) -> Result<NodeId, GenTrouble> {
+        let gen_query = self.gen_query.clone();
+        self.eval_to_element(&gen_query, None)
+    }
+
+    fn eval_to_element(&mut self, query: &CompiledQuery, doc: Option<NodeId>) -> Result<NodeId, GenTrouble> {
+        if let Some(d) = doc {
+            self.engine.bind_node("doc", d);
+        }
+        let out = self
+            .engine
+            .evaluate(query, None)
+            .map_err(|e| GenTrouble::new(format!("XQuery evaluation failed: {e}")))?;
+        let node = match out.as_singleton() {
+            Some(Item::Node(n)) => *n,
+            _ => {
+                return Err(GenTrouble::new(format!(
+                    "the XQuery phase returned {} items instead of one element",
+                    out.len()
+                )))
+            }
+        };
+        // A top-level <gen-error> aborts, mirroring the native engine.
+        if self
+            .engine
+            .store()
+            .name(node)
+            .is_some_and(|q| q.to_string() == "gen-error")
+        {
+            let message = self
+                .engine
+                .store()
+                .child_element_named(node, "message")
+                .map(|m| self.engine.store().string_value(m))
+                .unwrap_or_else(|| "unknown generation error".to_string());
+            return Err(GenTrouble::new(message));
+        }
+        Ok(node)
+    }
+}
+
+/// One-shot convenience: prepare and run the full pipeline.
+pub fn generate(inputs: &GenInputs) -> Result<XqOutput, GenTrouble> {
+    XqGenerator::new(inputs)?.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::Template;
+    use awb::{Model, PropValue};
+
+    fn meta() -> awb::Metamodel {
+        awb::workload::it_metamodel()
+    }
+
+    fn tiny_model() -> Model {
+        let mut m = Model::new();
+        let sys = m.add_node("SystemBeingDesigned", "Orion");
+        let u1 = m.add_node("user", "alice");
+        let u2 = m.add_node("superuser", "root");
+        let p = m.add_node("Program", "compiler");
+        m.set_prop(p, "language", PropValue::Str("rust".into()));
+        let d = m.add_node("Document", "spec");
+        m.set_prop(d, "version", PropValue::Str("1.2".into()));
+        m.add_relation("has", sys, u1);
+        m.add_relation("has", sys, u2);
+        m.add_relation("uses", u1, p);
+        m.add_relation("likes", u2, p);
+        m
+    }
+
+    fn gen(template: &str, model: &Model) -> XqOutput {
+        let meta = meta();
+        let template = Template::parse(template).unwrap();
+        let inputs = GenInputs {
+            model,
+            meta: &meta,
+            template: &template,
+        };
+        generate(&inputs).unwrap()
+    }
+
+    #[test]
+    fn passthrough_matches_native() {
+        let m = tiny_model();
+        let out = gen(r#"<template><h1 class="top">Hello</h1><p>text</p></template>"#, &m);
+        assert_eq!(
+            out.xml,
+            r#"<document><h1 class="top">Hello</h1><p>text</p></document>"#
+        );
+    }
+
+    #[test]
+    fn papers_for_if_example() {
+        let m = tiny_model();
+        let out = gen(
+            r#"<template>
+              <ol>
+                <for nodes="all.user">
+                  <li>
+                    <if>
+                      <test> <focus-is-type type="superuser"/> </test>
+                      <then> <b> <label/> </b> </then>
+                      <else> <label/> </else>
+                    </if>
+                  </li>
+                </for>
+              </ol>
+            </template>"#,
+            &m,
+        );
+        assert_eq!(
+            out.xml,
+            "<document><ol><li>alice</li><li><b>root</b></li></ol></document>"
+        );
+    }
+
+    #[test]
+    fn error_note_and_continue() {
+        let m = tiny_model();
+        let out = gen(
+            r#"<template><for nodes="all.Program"><p><value-of property="budget"/></p></for><p>after</p></template>"#,
+            &m,
+        );
+        assert_eq!(out.trouble_count, 1);
+        assert!(out.xml.contains(
+            r#"<span class="gen-error">There is no property "budget" on node "compiler".</span>"#
+        ), "{}", out.xml);
+        assert!(out.xml.contains("<p>after</p>"));
+    }
+
+    #[test]
+    fn top_level_error_aborts() {
+        let meta = meta();
+        let m = tiny_model();
+        let template = Template::parse(r#"<template><label/></template>"#).unwrap();
+        let inputs = GenInputs {
+            model: &m,
+            meta: &meta,
+            template: &template,
+        };
+        let err = generate(&inputs).unwrap_err();
+        assert!(err.message.contains("no focus"), "{}", err.message);
+    }
+
+    #[test]
+    fn phases_strip_internal_data() {
+        let m = tiny_model();
+        let out = gen(
+            r#"<template><for nodes="all.user"><p><label/></p></for></template>"#,
+            &m,
+        );
+        assert!(!out.xml.contains("INTERNAL-DATA"), "{}", out.xml);
+        assert!(!out.xml.contains("VISITED"), "{}", out.xml);
+        // phase sizes recorded for 1 + 4 phases
+        assert_eq!(out.phase_sizes.len(), 5);
+        // the pre-strip copies are larger than the final document
+        assert!(out.phase_sizes[0] > out.phase_sizes[4]);
+    }
+
+    #[test]
+    fn toc_and_omissions_render() {
+        let m = tiny_model();
+        let out = gen(
+            r#"<template>
+                <table-of-contents/>
+                <section heading="Overview"><p>o</p></section>
+                <for nodes="all.user"><p><label/></p></for>
+                <table-of-omissions types="user,Document"/>
+            </template>"#,
+            &m,
+        );
+        assert!(out.xml.contains(r##"<li class="lvl-1"><a href="#overview">Overview</a></li>"##), "{}", out.xml);
+        assert!(out.xml.contains("<li>spec (Document)</li>"), "{}", out.xml);
+        assert!(!out.xml.contains("<li>alice ("), "visited users are not omitted: {}", out.xml);
+    }
+
+    #[test]
+    fn marker_replacement() {
+        let m = tiny_model();
+        let out = gen(
+            r#"<template>
+              <marker-content marker="TABLE-1-GOES-HERE"><b>THE TABLE</b></marker-content>
+              <p>Before TABLE-1-GOES-HERE after, and TABLE-1-GOES-HERE again.</p>
+            </template>"#,
+            &m,
+        );
+        assert_eq!(
+            out.xml,
+            "<document><p>Before <b>THE TABLE</b> after, and <b>THE TABLE</b> again.</p></document>"
+        );
+    }
+
+    /// Partial pipelines (experiment E2's knob) behave sensibly: without
+    /// the strip phase the INTERNAL-DATA scaffolding survives; each phase
+    /// consumes exactly its own markers.
+    #[test]
+    fn partial_phase_pipelines() {
+        let meta = meta();
+        let m = tiny_model();
+        let template = Template::parse(
+            r#"<template>
+                <table-of-contents/>
+                <section heading="Users"><for nodes="all.user"><p><label/></p></for></section>
+                <table-of-omissions types="Document"/>
+            </template>"#,
+        )
+        .unwrap();
+        let inputs = GenInputs {
+            model: &m,
+            meta: &meta,
+            template: &template,
+        };
+
+        // No phases at all: scaffolding everywhere, nothing rendered.
+        let raw = XqGenerator::with_phases(&inputs, &[]).unwrap().run().unwrap();
+        assert!(raw.xml.contains("<INTERNAL-DATA-TOC/>"), "{}", raw.xml);
+        assert!(raw.xml.contains("INTERNAL-DATA-OMISSIONS"), "{}", raw.xml);
+        assert!(raw.xml.contains("<VISITED"), "{}", raw.xml);
+
+        // Only the omissions phase: its marker is consumed, the others stay.
+        let om = XqGenerator::with_phases(&inputs, &[Phase::Omissions]).unwrap().run().unwrap();
+        assert!(!om.xml.contains("INTERNAL-DATA-OMISSIONS"), "{}", om.xml);
+        assert!(om.xml.contains("class=\"omissions\"") || om.xml.contains("no-omissions"));
+        assert!(om.xml.contains("<INTERNAL-DATA-TOC/>"));
+
+        // Only the toc phase.
+        let toc = XqGenerator::with_phases(&inputs, &[Phase::Toc]).unwrap().run().unwrap();
+        assert!(!toc.xml.contains("INTERNAL-DATA-TOC"), "{}", toc.xml);
+        assert!(toc.xml.contains("class=\"toc\""));
+
+        // Strip alone removes every trace of the scaffolding.
+        let stripped = XqGenerator::with_phases(&inputs, &[Phase::Strip]).unwrap().run().unwrap();
+        assert!(!stripped.xml.contains("INTERNAL-DATA"), "{}", stripped.xml);
+        assert!(!stripped.xml.contains("VISITED"));
+    }
+
+    /// The try/catch ablation generator must match the error-value one
+    /// byte for byte — including the error notes.
+    #[test]
+    fn try_catch_variant_matches() {
+        let meta = meta();
+        let m = tiny_model();
+        for template_src in [
+            r#"<template><for nodes="all.user"><p><label/></p></for></template>"#,
+            r#"<template><for nodes="all.Program"><p><value-of property="budget"/></p></for><p>after</p></template>"#,
+            r#"<template>
+                <table-of-contents/>
+                <section heading="Overview"><for nodes="all.user"><p><label/></p></for></section>
+                <marker-content marker="T1"><b>THE TABLE</b></marker-content>
+                <p>see T1 here</p>
+                <table-of-omissions types="user,Document"/>
+            </template>"#,
+        ] {
+            let template = Template::parse(template_src).unwrap();
+            let inputs = GenInputs {
+                model: &m,
+                meta: &meta,
+                template: &template,
+            };
+            let classic = XqGenerator::new(&inputs).unwrap().run().unwrap();
+            let tc = XqGenerator::new_try_catch(&inputs).unwrap().run().unwrap();
+            assert_eq!(classic.xml, tc.xml, "template: {template_src}");
+            assert_eq!(classic.trouble_count, tc.trouble_count);
+        }
+    }
+
+    #[test]
+    fn try_catch_variant_aborts_on_top_level_error() {
+        let meta = meta();
+        let m = tiny_model();
+        let template = Template::parse(r#"<template><label/></template>"#).unwrap();
+        let inputs = GenInputs {
+            model: &m,
+            meta: &meta,
+            template: &template,
+        };
+        let err = XqGenerator::new_try_catch(&inputs).unwrap().run().unwrap_err();
+        assert!(err.message.contains("no focus"), "{}", err.message);
+    }
+
+    #[test]
+    fn awb_table_renders() {
+        let m = tiny_model();
+        let out = gen(
+            r#"<template><awb-table rows="all.user" cols="all.Program" relation="uses" corner="user\program"/></template>"#,
+            &m,
+        );
+        assert!(out.xml.contains(r#"<td>user\program</td>"#), "{}", out.xml);
+        assert!(out.xml.contains("<td>1</td>"), "{}", out.xml);
+        assert!(out.xml.contains("<td/>"), "{}", out.xml);
+    }
+}

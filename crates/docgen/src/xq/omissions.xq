@@ -1,0 +1,64 @@
+(: ===================================================================
+   Phase 2: the table of omissions.
+
+   "Phase 2 constructs the table of omissions. It looks at all the
+   <VISITED> tags in the document – which can be nicely phrased in
+   XQuery as $doc//VISITED – and constructs the table of omissions out
+   of that. It then copies the entire document, sticking the table of
+   omissions in the right place."
+
+   Input: $doc (phase-1 <document>), doc("awb-model"), doc("awb-meta").
+   Output: a fresh copy of the whole document.
+   =================================================================== :)
+
+declare variable $model := doc("awb-model")/awb-model;
+declare variable $meta := doc("awb-meta")/awb-metamodel;
+
+declare function local:is-node-subtype($sub, $sup) {
+  if ($sub = $sup) then true()
+  else
+    let $def := ($meta/node-type[@name = $sub])[1]
+    return
+      if (empty($def)) then false()
+      else if (empty($def/@parent)) then false()
+      else local:is-node-subtype(string($def/@parent), $sup)
+};
+
+declare function local:nodes-of-type($ty) {
+  $model/node[local:is-node-subtype(string(@type), $ty)]
+};
+
+declare function local:render-omissions($types) {
+  let $visited := for $v in $doc//VISITED return string($v/@node-id)
+  let $candidates :=
+    for $ty in tokenize($types, ",")
+    return
+      if (normalize-space($ty) = "") then ()
+      else local:nodes-of-type(normalize-space($ty))
+  let $omitted-ids :=
+    distinct-values(
+      for $n in $candidates
+      return if (string($n/@id) = $visited) then () else string($n/@id))
+  let $omitted := for $id in $omitted-ids return $model/node[@id = $id]
+  let $sorted :=
+    for $n in $omitted
+    order by string($n/@label), number(substring-after(string($n/@id), "N"))
+    return $n
+  return
+    if (empty($sorted)) then <p class="no-omissions">Nothing is omitted.</p>
+    else
+      <ul class="omissions">{
+        for $n in $sorted
+        return <li>{concat(string($n/@label), " (", string($n/@type), ")")}</li>
+      }</ul>
+};
+
+(: the whole-document copy :)
+declare function local:copy($n) {
+  if ($n instance of element()) then
+    if (name($n) = "INTERNAL-DATA-OMISSIONS") then local:render-omissions(string($n/@types))
+    else element {name($n)} { $n/@*, for $c in $n/node() return local:copy($c) }
+  else $n
+};
+
+local:copy($doc)

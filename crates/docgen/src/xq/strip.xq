@@ -1,0 +1,20 @@
+(: ===================================================================
+   Phase 5: strip the scaffolding.
+
+   "The final phase walks over the document and destroys all
+   <INTERNAL-DATA> tags and their children, thus erasing all the data
+   used for communicating between phases. (Or, strictly, it copies
+   everything but the <INTERNAL-DATA> elements, since no mutation
+   happens anywhere.)"
+
+   Input: $doc. Output: the final document — yet another full copy.
+   =================================================================== :)
+
+declare function local:copy($n) {
+  if ($n instance of element()) then
+    if (starts-with(name($n), "INTERNAL-DATA")) then ()
+    else element {name($n)} { $n/@*, for $c in $n/node() return local:copy($c) }
+  else $n
+};
+
+local:copy($doc)

@@ -1,0 +1,30 @@
+(: ===================================================================
+   Phase 3: the table of contents.
+
+   "Phase 3 constructs the table of contents, similarly." — collect the
+   <TOC-ENTRY> breadcrumbs, then copy the entire document replacing the
+   <INTERNAL-DATA-TOC/> placeholder with the rendered list.
+
+   Input: $doc. Output: another full copy of the document.
+   =================================================================== :)
+
+declare function local:render-toc() {
+  <ul class="toc">{
+    for $e in $doc//TOC-ENTRY
+    return
+      <li class="lvl-{string($e/@level)}">{
+        <a href="#{string($e/@anchor)}">{
+          if (string($e) = "") then () else text { string($e) }
+        }</a>
+      }</li>
+  }</ul>
+};
+
+declare function local:copy($n) {
+  if ($n instance of element()) then
+    if (name($n) = "INTERNAL-DATA-TOC") then local:render-toc()
+    else element {name($n)} { $n/@*, for $c in $n/node() return local:copy($c) }
+  else $n
+};
+
+local:copy($doc)

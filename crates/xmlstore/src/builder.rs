@@ -1,0 +1,132 @@
+//! A small fluent builder for constructing trees — the convenience layer a
+//! library user reaches for before the raw `create_*` / `append_child` API.
+//!
+//! ```
+//! use xmlstore::{Store, builder::build};
+//!
+//! let mut store = Store::new();
+//! let el = build(&mut store, "book")
+//!     .attr("year", "2005")
+//!     .child("title", |t| t.text("Lopsided"))
+//!     .text("…")
+//!     .id();
+//! assert_eq!(store.to_xml(el), r#"<book year="2005"><title>Lopsided</title>…</book>"#);
+//! ```
+
+use crate::qname::QName;
+use crate::store::{NodeId, Store};
+
+/// Starts building a detached element named `name` in `store`.
+pub fn build<'a>(store: &'a mut Store, name: impl Into<QName>) -> ElementBuilder<'a> {
+    let el = store.create_element(name);
+    ElementBuilder { store, el }
+}
+
+/// Fluent construction handle for one element.
+pub struct ElementBuilder<'a> {
+    store: &'a mut Store,
+    el: NodeId,
+}
+
+impl ElementBuilder<'_> {
+    /// Sets an attribute.
+    pub fn attr(self, name: impl Into<QName>, value: impl Into<String>) -> Self {
+        self.store
+            .set_attribute(self.el, name, value)
+            .expect("builder target is an element");
+        self
+    }
+
+    /// Appends a text child.
+    pub fn text(self, text: impl Into<String>) -> Self {
+        let t = text.into();
+        if !t.is_empty() {
+            let node = self.store.create_text(t);
+            self.store
+                .append_child(self.el, node)
+                .expect("builder children are fresh");
+        }
+        self
+    }
+
+    /// Appends a comment child.
+    pub fn comment(self, text: impl Into<String>) -> Self {
+        let node = self.store.create_comment(text);
+        self.store
+            .append_child(self.el, node)
+            .expect("builder children are fresh");
+        self
+    }
+
+    /// Appends an element child built by `f`.
+    pub fn child(self, name: impl Into<QName>, f: impl FnOnce(ElementBuilder) -> ElementBuilder) -> Self {
+        let child = {
+            let b = build(self.store, name);
+            f(b).id()
+        };
+        self.store
+            .append_child(self.el, child)
+            .expect("builder children are fresh");
+        self
+    }
+
+    /// Appends an empty element child.
+    pub fn empty_child(self, name: impl Into<QName>) -> Self {
+        self.child(name, |c| c)
+    }
+
+    /// Appends an already-built detached node.
+    pub fn node(self, node: NodeId) -> Self {
+        self.store
+            .append_child(self.el, node)
+            .expect("builder children must be detached non-attribute nodes");
+        self
+    }
+
+    /// Finishes, returning the element's id.
+    pub fn id(self) -> NodeId {
+        self.el
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_construction() {
+        let mut store = Store::new();
+        let el = build(&mut store, "table")
+            .attr("class", "awb-table")
+            .child("tr", |tr| {
+                tr.child("td", |td| td.text("corner"))
+                    .child("td", |td| td.text("col 1"))
+            })
+            .child("tr", |tr| tr.empty_child("td").empty_child("td"))
+            .id();
+        assert_eq!(
+            store.to_xml(el),
+            r#"<table class="awb-table"><tr><td>corner</td><td>col 1</td></tr><tr><td/><td/></tr></table>"#
+        );
+    }
+
+    #[test]
+    fn mixed_content_and_comments() {
+        let mut store = Store::new();
+        let note = store.create_text(" appended");
+        let el = build(&mut store, "p")
+            .text("hello ")
+            .child("b", |b| b.text("world"))
+            .comment("hi")
+            .node(note)
+            .id();
+        assert_eq!(store.to_xml(el), "<p>hello <b>world</b><!--hi--> appended</p>");
+    }
+
+    #[test]
+    fn empty_text_is_skipped() {
+        let mut store = Store::new();
+        let el = build(&mut store, "e").text("").id();
+        assert_eq!(store.to_xml(el), "<e/>");
+    }
+}

@@ -1,0 +1,90 @@
+//! Errors produced by the XML parser and the store's structural checks.
+
+use std::fmt;
+
+/// What went wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlErrorKind {
+    /// Input ended in the middle of a construct.
+    UnexpectedEof,
+    /// A character that cannot start or continue the current construct.
+    UnexpectedChar(char),
+    /// `</a>` closed `<b>`.
+    MismatchedClose { expected: String, found: String },
+    /// A close tag with no open element.
+    UnbalancedClose(String),
+    /// The same attribute appeared twice on one element.
+    DuplicateAttribute(String),
+    /// `&name;` with an unknown entity name.
+    UnknownEntity(String),
+    /// A malformed numeric character reference.
+    BadCharRef(String),
+    /// Something that is not well-formed XML, with a human explanation.
+    Malformed(String),
+    /// A structural operation on the store was invalid (wrong node kind,
+    /// detached node where an attached one was required, cycle, …).
+    Structure(String),
+}
+
+/// An error with the 1-based source position where it was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    pub kind: XmlErrorKind,
+    pub line: u32,
+    pub column: u32,
+}
+
+impl XmlError {
+    pub fn new(kind: XmlErrorKind, line: u32, column: u32) -> Self {
+        XmlError { kind, line, column }
+    }
+
+    /// An error with no meaningful position (structural operations).
+    pub fn structural(msg: impl Into<String>) -> Self {
+        XmlError::new(XmlErrorKind::Structure(msg.into()), 0, 0)
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            XmlErrorKind::UnexpectedEof => write!(f, "unexpected end of input")?,
+            XmlErrorKind::UnexpectedChar(c) => write!(f, "unexpected character {c:?}")?,
+            XmlErrorKind::MismatchedClose { expected, found } => {
+                write!(f, "mismatched close tag: expected </{expected}>, found </{found}>")?
+            }
+            XmlErrorKind::UnbalancedClose(name) => {
+                write!(f, "close tag </{name}> with no matching open tag")?
+            }
+            XmlErrorKind::DuplicateAttribute(name) => {
+                write!(f, "duplicate attribute {name:?}")?
+            }
+            XmlErrorKind::UnknownEntity(name) => write!(f, "unknown entity &{name};")?,
+            XmlErrorKind::BadCharRef(text) => write!(f, "bad character reference &#{text};")?,
+            XmlErrorKind::Malformed(msg) => write!(f, "malformed XML: {msg}")?,
+            XmlErrorKind::Structure(msg) => return write!(f, "structure error: {msg}"),
+        }
+        write!(f, " at line {}, column {}", self.line, self.column)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = XmlError::new(XmlErrorKind::UnexpectedChar('<'), 3, 7);
+        let s = e.to_string();
+        assert!(s.contains("line 3"), "{s}");
+        assert!(s.contains("column 7"), "{s}");
+    }
+
+    #[test]
+    fn structural_display_has_no_position() {
+        let e = XmlError::structural("not an element");
+        assert_eq!(e.to_string(), "structure error: not an element");
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the store: parse/serialize round-trips and
+//! document-order laws on randomly generated trees.
+
+use crate::parser::ParseOptions;
+use crate::store::{NodeId, Store};
+use proptest::prelude::*;
+
+/// A recipe for building a random XML tree deterministically.
+#[derive(Debug, Clone)]
+enum TreeSpec {
+    Text(String),
+    Element {
+        name: String,
+        attrs: Vec<(String, String)>,
+        children: Vec<TreeSpec>,
+    },
+}
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9-]{0,6}".prop_map(|s| s)
+}
+
+fn text_strategy() -> impl Strategy<Value = String> {
+    // Includes characters that need escaping, and whitespace.
+    "[ a-zA-Z0-9&<>\"'\\.]{1,12}".prop_map(|s| s)
+}
+
+fn tree_strategy() -> impl Strategy<Value = TreeSpec> {
+    let leaf = prop_oneof![
+        text_strategy().prop_map(TreeSpec::Text),
+        (name_strategy(), prop::collection::vec((name_strategy(), text_strategy()), 0..3)).prop_map(
+            |(name, attrs)| TreeSpec::Element {
+                name,
+                attrs,
+                children: vec![],
+            }
+        ),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (
+            name_strategy(),
+            prop::collection::vec((name_strategy(), text_strategy()), 0..3),
+            prop::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(name, attrs, children)| TreeSpec::Element { name, attrs, children })
+    })
+}
+
+fn build(store: &mut Store, spec: &TreeSpec) -> NodeId {
+    match spec {
+        TreeSpec::Text(t) => store.create_text(t.clone()),
+        TreeSpec::Element { name, attrs, children } => {
+            let el = store.create_element(name.as_str());
+            for (k, v) in attrs {
+                store.set_attribute(el, k.as_str(), v.clone()).unwrap();
+            }
+            for c in children {
+                let node = build(store, c);
+                store.append_child(el, node).unwrap();
+            }
+            el
+        }
+    }
+}
+
+fn root_element(spec: TreeSpec) -> TreeSpec {
+    match spec {
+        el @ TreeSpec::Element { .. } => el,
+        text => TreeSpec::Element {
+            name: "root".to_string(),
+            attrs: vec![],
+            children: vec![text],
+        },
+    }
+}
+
+proptest! {
+    /// serialize → parse → serialize is a fixpoint after one iteration.
+    #[test]
+    fn serialize_parse_roundtrip(spec in tree_strategy()) {
+        let spec = root_element(spec);
+        let mut s = Store::new();
+        let el = build(&mut s, &spec);
+        let xml1 = s.to_xml(el);
+        let mut s2 = Store::new();
+        let doc = s2.parse_str(&xml1, &ParseOptions::default()).unwrap();
+        let el2 = s2.document_element(doc).unwrap();
+        let xml2 = s2.to_xml(el2);
+        prop_assert_eq!(xml1, xml2);
+    }
+
+    /// Parsing preserves string values through escaping.
+    #[test]
+    fn string_value_survives_roundtrip(spec in tree_strategy()) {
+        let spec = root_element(spec);
+        let mut s = Store::new();
+        let el = build(&mut s, &spec);
+        let expected = s.string_value(el);
+        let xml = s.to_xml(el);
+        let mut s2 = Store::new();
+        let doc = s2.parse_str(&xml, &ParseOptions::default()).unwrap();
+        let el2 = s2.document_element(doc).unwrap();
+        prop_assert_eq!(s2.string_value(el2), expected);
+    }
+
+    /// doc_order is a strict total order over all nodes of one tree, and it
+    /// matches the order in which `descendants` yields them.
+    #[test]
+    fn doc_order_total_and_consistent(spec in tree_strategy()) {
+        let spec = root_element(spec);
+        let mut s = Store::new();
+        let el = build(&mut s, &spec);
+        let mut nodes = vec![el];
+        nodes.extend(s.descendants(el));
+        for (i, &a) in nodes.iter().enumerate() {
+            for (j, &b) in nodes.iter().enumerate() {
+                let ord = s.doc_order(a, b).expect("same tree");
+                prop_assert_eq!(ord, i.cmp(&j));
+            }
+        }
+    }
+
+    /// deep_copy yields an identical serialization, in fresh nodes.
+    #[test]
+    fn deep_copy_preserves_serialization(spec in tree_strategy()) {
+        let spec = root_element(spec);
+        let mut s = Store::new();
+        let el = build(&mut s, &spec);
+        let copy = s.deep_copy(el);
+        prop_assert_ne!(el, copy);
+        prop_assert_eq!(s.to_xml(el), s.to_xml(copy));
+    }
+}

@@ -1,0 +1,224 @@
+//! XML serialization: compact (exact) and pretty (indented) forms.
+
+use crate::store::{NodeId, NodeKind, Store};
+use std::fmt::Write as _;
+
+/// Serializer configuration.
+#[derive(Debug, Clone)]
+pub struct SerializeOptions {
+    /// Indent elements onto their own lines. Text-bearing ("mixed") content
+    /// is left inline so that pretty-printing never changes string values of
+    /// mixed-content elements.
+    pub pretty: bool,
+    /// Indent step used when `pretty` is set.
+    pub indent: &'static str,
+}
+
+impl Default for SerializeOptions {
+    fn default() -> Self {
+        SerializeOptions {
+            pretty: false,
+            indent: "  ",
+        }
+    }
+}
+
+impl SerializeOptions {
+    /// Two-space indented output.
+    pub fn pretty() -> Self {
+        SerializeOptions {
+            pretty: true,
+            ..Default::default()
+        }
+    }
+}
+
+/// Escapes character data (`&`, `<`, `>`).
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes an attribute value (also `"`).
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+impl Store {
+    /// Serializes the subtree at `id`.
+    pub fn serialize(&self, id: NodeId, options: &SerializeOptions) -> String {
+        let mut out = String::new();
+        self.write_node(id, options, 0, &mut out);
+        out
+    }
+
+    /// Compact serialization of `id` — the default exchange form.
+    pub fn to_xml(&self, id: NodeId) -> String {
+        self.serialize(id, &SerializeOptions::default())
+    }
+
+    /// Pretty serialization of `id`.
+    pub fn to_pretty_xml(&self, id: NodeId) -> String {
+        self.serialize(id, &SerializeOptions::pretty())
+    }
+
+    fn write_node(&self, id: NodeId, options: &SerializeOptions, depth: usize, out: &mut String) {
+        match self.kind(id) {
+            NodeKind::Document => {
+                let mut first = true;
+                for &c in self.children(id) {
+                    if options.pretty && !first {
+                        out.push('\n');
+                    }
+                    self.write_node(c, options, depth, out);
+                    first = false;
+                }
+            }
+            NodeKind::Element(name) => {
+                let _ = write!(out, "<{name}");
+                for &a in self.attributes(id) {
+                    if let NodeKind::Attribute(an, av) = self.kind(a) {
+                        let _ = write!(out, " {an}=\"{}\"", escape_attr(av));
+                    }
+                }
+                let children = self.children(id);
+                if children.is_empty() {
+                    out.push_str("/>");
+                    return;
+                }
+                out.push('>');
+                let mixed = children.iter().any(|&c| matches!(self.kind(c), NodeKind::Text(_)));
+                if options.pretty && !mixed {
+                    for &c in children {
+                        out.push('\n');
+                        for _ in 0..=depth {
+                            out.push_str(options.indent);
+                        }
+                        self.write_node(c, options, depth + 1, out);
+                    }
+                    out.push('\n');
+                    for _ in 0..depth {
+                        out.push_str(options.indent);
+                    }
+                } else {
+                    for &c in children {
+                        self.write_node(c, options, depth + 1, out);
+                    }
+                }
+                let _ = write!(out, "</{name}>");
+            }
+            NodeKind::Attribute(name, value) => {
+                // A detached attribute serialized on its own — matches how
+                // XQuery implementations print attribute items.
+                let _ = write!(out, "{name}=\"{}\"", escape_attr(value));
+            }
+            NodeKind::Text(t) => out.push_str(&escape_text(t)),
+            NodeKind::Comment(t) => {
+                let _ = write!(out, "<!--{t}-->");
+            }
+            NodeKind::Pi(target, data) => {
+                if data.is_empty() {
+                    let _ = write!(out, "<?{target}?>");
+                } else {
+                    let _ = write!(out, "<?{target} {data}?>");
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::ParseOptions;
+
+    fn roundtrip(input: &str) -> String {
+        let mut s = Store::new();
+        let doc = s.parse_str(input, &ParseOptions::default()).unwrap();
+        s.to_xml(doc)
+    }
+
+    #[test]
+    fn compact_roundtrip_identity_on_canonical_input() {
+        let input = r#"<a x="1"><b/>text<c>more</c></a>"#;
+        assert_eq!(roundtrip(input), input);
+    }
+
+    #[test]
+    fn escaping_applied() {
+        let mut s = Store::new();
+        let el = s.create_element("e");
+        s.set_attribute(el, "a", "x\"<&").unwrap();
+        let t = s.create_text("a<b>&c");
+        s.append_child(el, t).unwrap();
+        assert_eq!(
+            s.to_xml(el),
+            r#"<e a="x&quot;&lt;&amp;">a&lt;b&gt;&amp;c</e>"#
+        );
+    }
+
+    #[test]
+    fn empty_element_self_closes() {
+        let mut s = Store::new();
+        let el = s.create_element("e");
+        assert_eq!(s.to_xml(el), "<e/>");
+    }
+
+    #[test]
+    fn detached_attribute_prints_as_pair() {
+        let mut s = Store::new();
+        let a = s.create_attribute("troubles", "1");
+        assert_eq!(s.to_xml(a), "troubles=\"1\"");
+    }
+
+    #[test]
+    fn pretty_indents_element_content() {
+        let mut s = Store::new();
+        let doc = s
+            .parse_str("<a><b><c/></b></a>", &ParseOptions::default())
+            .unwrap();
+        let pretty = s.to_pretty_xml(doc);
+        assert_eq!(pretty, "<a>\n  <b>\n    <c/>\n  </b>\n</a>");
+    }
+
+    #[test]
+    fn pretty_leaves_mixed_content_inline() {
+        let mut s = Store::new();
+        let doc = s
+            .parse_str("<p>one <b>two</b> three</p>", &ParseOptions::default())
+            .unwrap();
+        let el = s.document_element(doc).unwrap();
+        assert_eq!(s.to_pretty_xml(el), "<p>one <b>two</b> three</p>");
+    }
+
+    #[test]
+    fn comment_and_pi_serialization() {
+        assert_eq!(roundtrip("<a><!--hi--><?t d?></a>"), "<a><!--hi--><?t d?></a>");
+    }
+
+    #[test]
+    fn parse_serialize_parse_is_stable() {
+        let input = r#"<m><n k="v&amp;w">t1<o/>t2</n></m>"#;
+        let once = roundtrip(input);
+        let twice = roundtrip(&once);
+        assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,820 @@
+//! The arena document store.
+//!
+//! All nodes — including attributes — live in one [`Store`] and are addressed
+//! by [`NodeId`]. Attributes being real nodes matters for the XQuery data
+//! model: the paper's troubles with `attribute troubles {1}` require
+//! *detached* attribute nodes that can be passed around as values and later
+//! folded into an element (or not).
+//!
+//! The store is deliberately a "grow-only" arena: removal detaches nodes but
+//! never reclaims slots. Evaluations are short-lived and the simplicity buys
+//! stable `NodeId`s, which the XQuery engine and the document generators both
+//! rely on.
+
+use crate::error::XmlError;
+use crate::qname::QName;
+
+/// Index of a node within its [`Store`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The seven kinds of node the store models (XQuery's document, element,
+/// attribute, text, comment, and processing-instruction nodes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A document root. Children are elements/text/comments/PIs.
+    Document,
+    /// An element with a name; attributes and children are stored in the
+    /// node's structure fields.
+    Element(QName),
+    /// An attribute: a name mapped to a string value. "Logically, it is
+    /// nothing more than a mapping of a single string name to a single
+    /// string value. Illogically, it caused us a great deal of trouble."
+    Attribute(QName, String),
+    /// A text node.
+    Text(String),
+    /// A comment.
+    Comment(String),
+    /// A processing instruction: target and data.
+    Pi(String, String),
+}
+
+#[derive(Debug, Clone)]
+struct NodeData {
+    kind: NodeKind,
+    parent: Option<NodeId>,
+    /// Child node ids, in document order. Only documents and elements have
+    /// children; empty for all other kinds.
+    children: Vec<NodeId>,
+    /// Attribute node ids, in the order they were added. Only elements have
+    /// attributes.
+    attributes: Vec<NodeId>,
+}
+
+impl NodeData {
+    fn new(kind: NodeKind) -> Self {
+        NodeData {
+            kind,
+            parent: None,
+            children: Vec::new(),
+            attributes: Vec::new(),
+        }
+    }
+}
+
+/// An arena of XML nodes. See the module docs.
+#[derive(Debug, Default, Clone)]
+pub struct Store {
+    nodes: Vec<NodeData>,
+}
+
+impl Store {
+    /// An empty store.
+    pub fn new() -> Self {
+        Store::default()
+    }
+
+    /// Number of nodes ever created (detached nodes included).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when no node has ever been created.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn alloc(&mut self, data: NodeData) -> NodeId {
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("node arena exceeded u32 range"));
+        self.nodes.push(data);
+        id
+    }
+
+    fn node(&self, id: NodeId) -> &NodeData {
+        &self.nodes[id.index()]
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut NodeData {
+        &mut self.nodes[id.index()]
+    }
+
+    // ------------------------------------------------------------------
+    // Creation
+    // ------------------------------------------------------------------
+
+    /// Creates an empty document node.
+    pub fn create_document(&mut self) -> NodeId {
+        self.alloc(NodeData::new(NodeKind::Document))
+    }
+
+    /// Creates a detached element.
+    pub fn create_element(&mut self, name: impl Into<QName>) -> NodeId {
+        self.alloc(NodeData::new(NodeKind::Element(name.into())))
+    }
+
+    /// Creates a detached attribute node.
+    pub fn create_attribute(&mut self, name: impl Into<QName>, value: impl Into<String>) -> NodeId {
+        self.alloc(NodeData::new(NodeKind::Attribute(name.into(), value.into())))
+    }
+
+    /// Creates a detached text node.
+    pub fn create_text(&mut self, text: impl Into<String>) -> NodeId {
+        self.alloc(NodeData::new(NodeKind::Text(text.into())))
+    }
+
+    /// Creates a detached comment node.
+    pub fn create_comment(&mut self, text: impl Into<String>) -> NodeId {
+        self.alloc(NodeData::new(NodeKind::Comment(text.into())))
+    }
+
+    /// Creates a detached processing-instruction node.
+    pub fn create_pi(&mut self, target: impl Into<String>, data: impl Into<String>) -> NodeId {
+        self.alloc(NodeData::new(NodeKind::Pi(target.into(), data.into())))
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The kind of `id`.
+    pub fn kind(&self, id: NodeId) -> &NodeKind {
+        &self.node(id).kind
+    }
+
+    /// The parent, if attached.
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.node(id).parent
+    }
+
+    /// The element or document children of `id`, in document order.
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.node(id).children
+    }
+
+    /// The attribute nodes of `id` (element only; empty otherwise).
+    pub fn attributes(&self, id: NodeId) -> &[NodeId] {
+        &self.node(id).attributes
+    }
+
+    /// The name of an element or attribute node.
+    pub fn name(&self, id: NodeId) -> Option<&QName> {
+        match &self.node(id).kind {
+            NodeKind::Element(name) | NodeKind::Attribute(name, _) => Some(name),
+            _ => None,
+        }
+    }
+
+    /// `true` if `id` is an element.
+    pub fn is_element(&self, id: NodeId) -> bool {
+        matches!(self.node(id).kind, NodeKind::Element(_))
+    }
+
+    /// `true` if `id` is an attribute node.
+    pub fn is_attribute(&self, id: NodeId) -> bool {
+        matches!(self.node(id).kind, NodeKind::Attribute(..))
+    }
+
+    /// `true` if `id` is a text node.
+    pub fn is_text(&self, id: NodeId) -> bool {
+        matches!(self.node(id).kind, NodeKind::Text(_))
+    }
+
+    /// `true` if `id` is a document node.
+    pub fn is_document(&self, id: NodeId) -> bool {
+        matches!(self.node(id).kind, NodeKind::Document)
+    }
+
+    /// The single element child of a document node.
+    pub fn document_element(&self, doc: NodeId) -> Option<NodeId> {
+        self.children(doc).iter().copied().find(|&c| self.is_element(c))
+    }
+
+    /// The value of the attribute of `el` named `name`, if present.
+    pub fn attribute_value(&self, el: NodeId, name: &str) -> Option<&str> {
+        self.attributes(el).iter().find_map(|&a| match &self.node(a).kind {
+            NodeKind::Attribute(n, v) if n.to_string() == name => Some(v.as_str()),
+            _ => None,
+        })
+    }
+
+    /// The attribute *node* of `el` named `name`, if present.
+    pub fn attribute_node(&self, el: NodeId, name: &str) -> Option<NodeId> {
+        self.attributes(el).iter().copied().find(|&a| match &self.node(a).kind {
+            NodeKind::Attribute(n, _) => n.to_string() == name,
+            _ => false,
+        })
+    }
+
+    /// The XPath *string value*: concatenated descendant text for
+    /// documents/elements; the literal content for the other kinds.
+    pub fn string_value(&self, id: NodeId) -> String {
+        match &self.node(id).kind {
+            NodeKind::Document | NodeKind::Element(_) => {
+                let mut out = String::new();
+                self.collect_text(id, &mut out);
+                out
+            }
+            NodeKind::Attribute(_, v) => v.clone(),
+            NodeKind::Text(t) | NodeKind::Comment(t) => t.clone(),
+            NodeKind::Pi(_, data) => data.clone(),
+        }
+    }
+
+    fn collect_text(&self, id: NodeId, out: &mut String) {
+        for &c in self.children(id) {
+            match &self.node(c).kind {
+                NodeKind::Text(t) => out.push_str(t),
+                NodeKind::Element(_) => self.collect_text(c, out),
+                _ => {}
+            }
+        }
+    }
+
+    /// First child element of `id` with the given local name.
+    pub fn child_element_named(&self, id: NodeId, name: &str) -> Option<NodeId> {
+        self.children(id)
+            .iter()
+            .copied()
+            .find(|&c| self.name(c).is_some_and(|n| n.has_local(name)))
+    }
+
+    /// All child elements of `id` with the given local name.
+    pub fn child_elements_named(&self, id: NodeId, name: &str) -> Vec<NodeId> {
+        self.children(id)
+            .iter()
+            .copied()
+            .filter(|&c| self.is_element(c) && self.name(c).is_some_and(|n| n.has_local(name)))
+            .collect()
+    }
+
+    /// All child elements of `id`.
+    pub fn child_elements(&self, id: NodeId) -> Vec<NodeId> {
+        self.children(id).iter().copied().filter(|&c| self.is_element(c)).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Mutation
+    // ------------------------------------------------------------------
+
+    fn assert_container(&self, id: NodeId) -> Result<(), XmlError> {
+        match self.node(id).kind {
+            NodeKind::Document | NodeKind::Element(_) => Ok(()),
+            _ => Err(XmlError::structural("only documents and elements have children")),
+        }
+    }
+
+    fn assert_detached(&self, id: NodeId) -> Result<(), XmlError> {
+        if self.node(id).parent.is_some() {
+            Err(XmlError::structural("node is already attached; detach it first"))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn would_cycle(&self, parent: NodeId, child: NodeId) -> bool {
+        let mut cur = Some(parent);
+        while let Some(n) = cur {
+            if n == child {
+                return true;
+            }
+            cur = self.node(n).parent;
+        }
+        false
+    }
+
+    /// Appends a detached non-attribute node as the last child of `parent`.
+    pub fn append_child(&mut self, parent: NodeId, child: NodeId) -> Result<(), XmlError> {
+        let pos = self.node(parent).children.len();
+        self.insert_child(parent, pos, child)
+    }
+
+    /// Inserts a detached non-attribute node at `index` among `parent`'s children.
+    pub fn insert_child(&mut self, parent: NodeId, index: usize, child: NodeId) -> Result<(), XmlError> {
+        self.assert_container(parent)?;
+        self.assert_detached(child)?;
+        if self.is_attribute(child) {
+            return Err(XmlError::structural(
+                "attribute nodes are attached with set_attribute_node, not as children",
+            ));
+        }
+        if self.would_cycle(parent, child) {
+            return Err(XmlError::structural("insertion would create a cycle"));
+        }
+        let len = self.node(parent).children.len();
+        if index > len {
+            return Err(XmlError::structural("child index out of bounds"));
+        }
+        self.node_mut(parent).children.insert(index, child);
+        self.node_mut(child).parent = Some(parent);
+        Ok(())
+    }
+
+    /// Detaches `id` from its parent (children or attributes list). No-op if
+    /// already detached.
+    pub fn detach(&mut self, id: NodeId) {
+        if let Some(parent) = self.node(id).parent {
+            let p = self.node_mut(parent);
+            p.children.retain(|&c| c != id);
+            p.attributes.retain(|&a| a != id);
+            self.node_mut(id).parent = None;
+        }
+    }
+
+    /// Replaces the attached node `old` with the detached node `new`,
+    /// preserving position. `old` is left detached.
+    pub fn replace_child(&mut self, old: NodeId, new: NodeId) -> Result<(), XmlError> {
+        let parent = self
+            .node(old)
+            .parent
+            .ok_or_else(|| XmlError::structural("replace_child: old node is detached"))?;
+        self.assert_detached(new)?;
+        if self.is_attribute(old) || self.is_attribute(new) {
+            return Err(XmlError::structural("replace_child does not handle attributes"));
+        }
+        if self.would_cycle(parent, new) {
+            return Err(XmlError::structural("replacement would create a cycle"));
+        }
+        let pos = self
+            .node(parent)
+            .children
+            .iter()
+            .position(|&c| c == old)
+            .ok_or_else(|| XmlError::structural("corrupt parent/child link"))?;
+        self.node_mut(parent).children[pos] = new;
+        self.node_mut(new).parent = Some(parent);
+        self.node_mut(old).parent = None;
+        Ok(())
+    }
+
+    /// Sets (creating or overwriting) attribute `name` on element `el`.
+    /// Returns the attribute node.
+    pub fn set_attribute(
+        &mut self,
+        el: NodeId,
+        name: impl Into<QName>,
+        value: impl Into<String>,
+    ) -> Result<NodeId, XmlError> {
+        let name = name.into();
+        let value = value.into();
+        if !self.is_element(el) {
+            return Err(XmlError::structural("set_attribute target is not an element"));
+        }
+        let existing = self.attributes(el).iter().copied().find(|&a| {
+            matches!(&self.node(a).kind, NodeKind::Attribute(n, _) if *n == name)
+        });
+        if let Some(attr) = existing {
+            if let NodeKind::Attribute(_, v) = &mut self.node_mut(attr).kind {
+                *v = value;
+            }
+            Ok(attr)
+        } else {
+            let attr = self.create_attribute(name, value);
+            self.node_mut(attr).parent = Some(el);
+            self.node_mut(el).attributes.push(attr);
+            Ok(attr)
+        }
+    }
+
+    /// Attaches a detached attribute node to `el`. Errors if an attribute
+    /// with the same name is already present (mirrors `XQDY0025`; callers
+    /// wanting Galax's lax behaviour check first).
+    pub fn set_attribute_node(&mut self, el: NodeId, attr: NodeId) -> Result<(), XmlError> {
+        if !self.is_element(el) {
+            return Err(XmlError::structural("set_attribute_node target is not an element"));
+        }
+        self.assert_detached(attr)?;
+        let name = match &self.node(attr).kind {
+            NodeKind::Attribute(n, _) => n.clone(),
+            _ => return Err(XmlError::structural("set_attribute_node argument is not an attribute")),
+        };
+        if self.attributes(el).iter().any(|&a| {
+            matches!(&self.node(a).kind, NodeKind::Attribute(n, _) if *n == name)
+        }) {
+            return Err(XmlError::structural(format!("duplicate attribute {name}")));
+        }
+        self.node_mut(attr).parent = Some(el);
+        self.node_mut(el).attributes.push(attr);
+        Ok(())
+    }
+
+    /// Attaches a detached attribute node to `el` **without** the duplicate
+    /// check — reproduces Galax's early behaviour of letting two attributes
+    /// with the same name coexist on a constructed element.
+    pub fn push_attribute_node_unchecked(&mut self, el: NodeId, attr: NodeId) -> Result<(), XmlError> {
+        if !self.is_element(el) {
+            return Err(XmlError::structural("attribute target is not an element"));
+        }
+        self.assert_detached(attr)?;
+        if !self.is_attribute(attr) {
+            return Err(XmlError::structural("argument is not an attribute node"));
+        }
+        self.node_mut(attr).parent = Some(el);
+        self.node_mut(el).attributes.push(attr);
+        Ok(())
+    }
+
+    /// Removes attribute `name` from `el`; returns the detached node if it
+    /// was present.
+    pub fn remove_attribute(&mut self, el: NodeId, name: &str) -> Option<NodeId> {
+        let attr = self.attribute_node(el, name)?;
+        self.detach(attr);
+        Some(attr)
+    }
+
+    /// Overwrites the content of a text/comment node.
+    pub fn set_text(&mut self, id: NodeId, text: impl Into<String>) -> Result<(), XmlError> {
+        match &mut self.node_mut(id).kind {
+            NodeKind::Text(t) | NodeKind::Comment(t) => {
+                *t = text.into();
+                Ok(())
+            }
+            _ => Err(XmlError::structural("set_text target is not a text or comment node")),
+        }
+    }
+
+    /// Renames an element.
+    pub fn set_name(&mut self, id: NodeId, name: impl Into<QName>) -> Result<(), XmlError> {
+        match &mut self.node_mut(id).kind {
+            NodeKind::Element(n) => {
+                *n = name.into();
+                Ok(())
+            }
+            _ => Err(XmlError::structural("set_name target is not an element")),
+        }
+    }
+
+    /// Splits the text node `id` at byte offset `at`, producing two adjacent
+    /// text nodes; returns the id of the second. This is the "rip that node
+    /// apart and shove Table 1's HTML bodily into the gap" primitive of the
+    /// paper's phrase-replacement task.
+    pub fn split_text(&mut self, id: NodeId, at: usize) -> Result<NodeId, XmlError> {
+        let (head, tail) = match &self.node(id).kind {
+            NodeKind::Text(t) => {
+                if !t.is_char_boundary(at) || at > t.len() {
+                    return Err(XmlError::structural("split offset is not a char boundary"));
+                }
+                (t[..at].to_string(), t[at..].to_string())
+            }
+            _ => return Err(XmlError::structural("split_text target is not a text node")),
+        };
+        let parent = self
+            .node(id)
+            .parent
+            .ok_or_else(|| XmlError::structural("split_text on a detached node"))?;
+        if let NodeKind::Text(t) = &mut self.node_mut(id).kind {
+            *t = head;
+        }
+        let tail_node = self.create_text(tail);
+        let pos = self
+            .node(parent)
+            .children
+            .iter()
+            .position(|&c| c == id)
+            .ok_or_else(|| XmlError::structural("corrupt parent/child link"))?;
+        self.node_mut(parent).children.insert(pos + 1, tail_node);
+        self.node_mut(tail_node).parent = Some(parent);
+        Ok(tail_node)
+    }
+
+    // ------------------------------------------------------------------
+    // Copying
+    // ------------------------------------------------------------------
+
+    /// Deep-copies the subtree at `id` into a detached tree in the same
+    /// store; returns the new root. Attribute nodes are copied detached when
+    /// `id` is itself an attribute. This is the copy semantics of XQuery's
+    /// node constructors.
+    pub fn deep_copy(&mut self, id: NodeId) -> NodeId {
+        let kind = self.node(id).kind.clone();
+        let copy = self.alloc(NodeData::new(kind));
+        let attrs: Vec<NodeId> = self.node(id).attributes.clone();
+        for a in attrs {
+            let ac = self.deep_copy(a);
+            self.node_mut(ac).parent = Some(copy);
+            self.node_mut(copy).attributes.push(ac);
+        }
+        let kids: Vec<NodeId> = self.node(id).children.clone();
+        for k in kids {
+            let kc = self.deep_copy(k);
+            self.node_mut(kc).parent = Some(copy);
+            self.node_mut(copy).children.push(kc);
+        }
+        copy
+    }
+
+    // ------------------------------------------------------------------
+    // Traversal and order
+    // ------------------------------------------------------------------
+
+    /// The root of the tree containing `id` (the node with no parent).
+    pub fn root(&self, id: NodeId) -> NodeId {
+        let mut cur = id;
+        while let Some(p) = self.node(cur).parent {
+            cur = p;
+        }
+        cur
+    }
+
+    /// Ancestors of `id`, nearest first (excluding `id`).
+    pub fn ancestors(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut cur = self.node(id).parent;
+        while let Some(p) = cur {
+            out.push(p);
+            cur = self.node(p).parent;
+        }
+        out
+    }
+
+    /// Descendant nodes of `id` in document order (excluding `id` and
+    /// excluding attribute nodes, per the XPath descendant axis).
+    pub fn descendants(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack: Vec<NodeId> = self.children(id).iter().rev().copied().collect();
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            stack.extend(self.children(n).iter().rev().copied());
+        }
+        out
+    }
+
+    /// Position of `id` among its parent's children/attributes, for order
+    /// comparison: attributes sort before children of the same element.
+    fn sibling_rank(&self, parent: NodeId, id: NodeId) -> Option<(u8, usize)> {
+        if let Some(p) = self.node(parent).attributes.iter().position(|&a| a == id) {
+            return Some((0, p));
+        }
+        self.node(parent).children.iter().position(|&c| c == id).map(|p| (1, p))
+    }
+
+    /// Document-order comparison of two nodes **in the same tree**.
+    /// Ancestors precede descendants; attributes follow their element but
+    /// precede its children. Returns `None` for nodes in different trees.
+    pub fn doc_order(&self, a: NodeId, b: NodeId) -> Option<std::cmp::Ordering> {
+        use std::cmp::Ordering;
+        if a == b {
+            return Some(Ordering::Equal);
+        }
+        let path_a = self.path_from_root(a)?;
+        let path_b = self.path_from_root(b)?;
+        if path_a.0 != path_b.0 {
+            return None;
+        }
+        for (ra, rb) in path_a.1.iter().zip(path_b.1.iter()) {
+            match ra.cmp(rb) {
+                Ordering::Equal => continue,
+                other => return Some(other),
+            }
+        }
+        // One path is a prefix of the other: the shorter (the ancestor) first.
+        Some(path_a.1.len().cmp(&path_b.1.len()))
+    }
+
+    /// A totally ordered key for sorting nodes into document order, usable
+    /// across trees (different trees order by root id). Ancestors sort
+    /// before descendants; attributes after their element, before children.
+    pub fn order_key(&self, id: NodeId) -> OrderKey {
+        let (root, ranks) = self
+            .path_from_root(id)
+            .expect("order_key: node's parent links are corrupt");
+        OrderKey { root, ranks }
+    }
+
+    fn path_from_root(&self, id: NodeId) -> Option<(NodeId, Vec<(u8, usize)>)> {
+        let mut ranks = Vec::new();
+        let mut cur = id;
+        while let Some(p) = self.node(cur).parent {
+            ranks.push(self.sibling_rank(p, cur)?);
+            cur = p;
+        }
+        ranks.reverse();
+        Some((cur, ranks))
+    }
+
+    /// Finds, in document order, the first text node under `scope` whose
+    /// content contains `needle`; returns the node and the byte offset.
+    /// Powers the `TABLE-1-GOES-HERE` replacement experiment.
+    pub fn find_text(&self, scope: NodeId, needle: &str) -> Option<(NodeId, usize)> {
+        if let NodeKind::Text(t) = &self.node(scope).kind {
+            if let Some(pos) = t.find(needle) {
+                return Some((scope, pos));
+            }
+        }
+        for &c in self.children(scope) {
+            if let Some(hit) = self.find_text(c, needle) {
+                return Some(hit);
+            }
+        }
+        None
+    }
+}
+
+/// See [`Store::order_key`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct OrderKey {
+    root: NodeId,
+    ranks: Vec<(u8, usize)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    fn small_tree(store: &mut Store) -> (NodeId, NodeId, NodeId, NodeId) {
+        let doc = store.create_document();
+        let root = store.create_element("root");
+        store.append_child(doc, root).unwrap();
+        let a = store.create_element("a");
+        let b = store.create_element("b");
+        store.append_child(root, a).unwrap();
+        store.append_child(root, b).unwrap();
+        (doc, root, a, b)
+    }
+
+    #[test]
+    fn build_and_navigate() {
+        let mut s = Store::new();
+        let (doc, root, a, b) = small_tree(&mut s);
+        assert_eq!(s.document_element(doc), Some(root));
+        assert_eq!(s.children(root), &[a, b]);
+        assert_eq!(s.parent(a), Some(root));
+        assert_eq!(s.root(a), doc);
+        assert_eq!(s.ancestors(a), vec![root, doc]);
+    }
+
+    #[test]
+    fn attributes_are_nodes() {
+        let mut s = Store::new();
+        let el = s.create_element("el");
+        let attr = s.set_attribute(el, "state", "MA").unwrap();
+        assert!(s.is_attribute(attr));
+        assert_eq!(s.parent(attr), Some(el));
+        assert_eq!(s.attribute_value(el, "state"), Some("MA"));
+        assert_eq!(s.string_value(attr), "MA");
+    }
+
+    #[test]
+    fn set_attribute_overwrites() {
+        let mut s = Store::new();
+        let el = s.create_element("el");
+        s.set_attribute(el, "a", "1").unwrap();
+        s.set_attribute(el, "a", "2").unwrap();
+        assert_eq!(s.attributes(el).len(), 1);
+        assert_eq!(s.attribute_value(el, "a"), Some("2"));
+    }
+
+    #[test]
+    fn set_attribute_node_rejects_duplicates() {
+        let mut s = Store::new();
+        let el = s.create_element("el");
+        let a1 = s.create_attribute("a", "1");
+        let a2 = s.create_attribute("a", "2");
+        s.set_attribute_node(el, a1).unwrap();
+        assert!(s.set_attribute_node(el, a2).is_err());
+    }
+
+    #[test]
+    fn detach_and_reattach() {
+        let mut s = Store::new();
+        let (_, root, a, b) = small_tree(&mut s);
+        s.detach(a);
+        assert_eq!(s.parent(a), None);
+        assert_eq!(s.children(root), &[b]);
+        s.insert_child(root, 1, a).unwrap();
+        assert_eq!(s.children(root), &[b, a]);
+    }
+
+    #[test]
+    fn append_attached_node_fails() {
+        let mut s = Store::new();
+        let (_, root, a, _) = small_tree(&mut s);
+        let other = s.create_element("other");
+        assert!(s.append_child(other, a).is_err(), "a is attached to root");
+        let _ = root;
+    }
+
+    #[test]
+    fn cycle_is_rejected() {
+        let mut s = Store::new();
+        let (_, root, a, _) = small_tree(&mut s);
+        s.detach(root);
+        assert!(s.append_child(a, root).is_err());
+    }
+
+    #[test]
+    fn attribute_as_child_is_rejected() {
+        let mut s = Store::new();
+        let el = s.create_element("el");
+        let attr = s.create_attribute("a", "1");
+        assert!(s.append_child(el, attr).is_err());
+    }
+
+    #[test]
+    fn replace_child_preserves_position() {
+        let mut s = Store::new();
+        let (_, root, a, b) = small_tree(&mut s);
+        let c = s.create_element("c");
+        s.replace_child(a, c).unwrap();
+        assert_eq!(s.children(root), &[c, b]);
+        assert_eq!(s.parent(a), None);
+    }
+
+    #[test]
+    fn string_value_concatenates_descendant_text() {
+        let mut s = Store::new();
+        let el = s.create_element("p");
+        let t1 = s.create_text("Hello ");
+        let em = s.create_element("em");
+        let t2 = s.create_text("world");
+        s.append_child(el, t1).unwrap();
+        s.append_child(el, em).unwrap();
+        s.append_child(em, t2).unwrap();
+        assert_eq!(s.string_value(el), "Hello world");
+    }
+
+    #[test]
+    fn split_text_splits() {
+        let mut s = Store::new();
+        let el = s.create_element("p");
+        let t = s.create_text("before MARKER after");
+        s.append_child(el, t).unwrap();
+        let (node, pos) = s.find_text(el, "MARKER").unwrap();
+        assert_eq!(node, t);
+        let tail = s.split_text(t, pos).unwrap();
+        assert_eq!(s.string_value(t), "before ");
+        assert_eq!(s.string_value(tail), "MARKER after");
+        assert_eq!(s.children(el), &[t, tail]);
+    }
+
+    #[test]
+    fn split_text_rejects_non_boundary() {
+        let mut s = Store::new();
+        let el = s.create_element("p");
+        let t = s.create_text("héllo");
+        s.append_child(el, t).unwrap();
+        assert!(s.split_text(t, 2).is_err(), "inside é");
+    }
+
+    #[test]
+    fn deep_copy_is_detached_and_equal_shape() {
+        let mut s = Store::new();
+        let (_, root, a, _) = small_tree(&mut s);
+        s.set_attribute(a, "k", "v").unwrap();
+        let copy = s.deep_copy(root);
+        assert_eq!(s.parent(copy), None);
+        assert_eq!(s.children(copy).len(), 2);
+        let a_copy = s.children(copy)[0];
+        assert_eq!(s.attribute_value(a_copy, "k"), Some("v"));
+        assert_ne!(a_copy, a, "copy allocates fresh nodes");
+    }
+
+    #[test]
+    fn doc_order_total_on_tree() {
+        let mut s = Store::new();
+        let (doc, root, a, b) = small_tree(&mut s);
+        let attr = s.set_attribute(root, "x", "1").unwrap();
+        let t = s.create_text("hi");
+        s.append_child(a, t).unwrap();
+        assert_eq!(s.doc_order(doc, root), Some(Ordering::Less));
+        assert_eq!(s.doc_order(root, attr), Some(Ordering::Less));
+        assert_eq!(s.doc_order(attr, a), Some(Ordering::Less));
+        assert_eq!(s.doc_order(a, t), Some(Ordering::Less));
+        assert_eq!(s.doc_order(t, b), Some(Ordering::Less));
+        assert_eq!(s.doc_order(b, b), Some(Ordering::Equal));
+        assert_eq!(s.doc_order(b, a), Some(Ordering::Greater));
+    }
+
+    #[test]
+    fn doc_order_across_trees_is_none() {
+        let mut s = Store::new();
+        let (_, _, a, _) = small_tree(&mut s);
+        let lone = s.create_element("lone");
+        assert_eq!(s.doc_order(a, lone), None);
+    }
+
+    #[test]
+    fn descendants_in_document_order() {
+        let mut s = Store::new();
+        let (_, root, a, b) = small_tree(&mut s);
+        let t = s.create_text("x");
+        s.append_child(a, t).unwrap();
+        assert_eq!(s.descendants(root), vec![a, t, b]);
+    }
+
+    #[test]
+    fn child_element_helpers() {
+        let mut s = Store::new();
+        let (_, root, a, b) = small_tree(&mut s);
+        assert_eq!(s.child_element_named(root, "a"), Some(a));
+        assert_eq!(s.child_element_named(root, "zz"), None);
+        assert_eq!(s.child_elements(root), vec![a, b]);
+        assert_eq!(s.child_elements_named(root, "b"), vec![b]);
+    }
+}

@@ -1,0 +1,118 @@
+//! `xq` — a tiny command-line front end for the engine.
+//!
+//! ```console
+//! $ cargo run -p xquery-engine --example xq -- 'for $i in 1 to 3 return $i * $i'
+//! 1 4 9
+//! $ cargo run -p xquery-engine --example xq -- --galax 'let $d := trace("x", 1) return 2'
+//! 2
+//! $ echo '<a><b/></a>' > /tmp/doc.xml
+//! $ cargo run -p xquery-engine --example xq -- --doc /tmp/doc.xml 'count(//b)'
+//! 1
+//! ```
+//!
+//! Flags: `--galax` (quirks mode), `--no-optimize`, `--static` (static type
+//! checking), `--doc FILE` (context document, also registered as
+//! `doc("input")`), `--xml` (serialize instead of display form),
+//! `--stats` (print optimizer statistics), `--trace` (print trace output).
+
+use std::process::ExitCode;
+use xquery::{Engine, EngineOptions};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1).collect::<Vec<_>>();
+    let mut options = EngineOptions::default();
+    let mut doc_path: Option<String> = None;
+    let mut as_xml = false;
+    let mut show_stats = false;
+    let mut show_trace = false;
+
+    let mut query: Option<String> = None;
+    while let Some(arg) = args.first().cloned() {
+        args.remove(0);
+        match arg.as_str() {
+            "--galax" => options = EngineOptions::galax(),
+            "--no-optimize" => options.optimize = false,
+            "--static" => options.static_typing = true,
+            "--xml" => as_xml = true,
+            "--stats" => show_stats = true,
+            "--trace" => show_trace = true,
+            "--doc" => {
+                doc_path = args.first().cloned();
+                if doc_path.is_none() {
+                    eprintln!("--doc requires a file path");
+                    return ExitCode::FAILURE;
+                }
+                args.remove(0);
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: xq [--galax] [--no-optimize] [--static] [--xml] [--stats] [--trace] [--doc FILE] QUERY");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                query = Some(other.to_string());
+                break;
+            }
+        }
+    }
+    let Some(query) = query else {
+        eprintln!("usage: xq [flags] QUERY   (try --help)");
+        return ExitCode::FAILURE;
+    };
+
+    let mut engine = Engine::with_options(options);
+    let mut context = None;
+    if let Some(path) = doc_path {
+        let xml = match std::fs::read_to_string(&path) {
+            Ok(x) => x,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match engine.load_document(&xml) {
+            Ok(doc) => {
+                engine.register_document("input", doc);
+                context = Some(doc);
+            }
+            Err(e) => {
+                eprintln!("cannot parse {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let compiled = match engine.compile(&query) {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("compile error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if show_stats {
+        eprintln!(
+            "optimizer: {} dead let(s) removed, {} trace(s) deleted, {} constant(s) folded",
+            compiled.stats.dead_lets_removed,
+            compiled.stats.traces_removed,
+            compiled.stats.constants_folded
+        );
+    }
+    match engine.evaluate(&compiled, context) {
+        Ok(seq) => {
+            if as_xml {
+                println!("{}", engine.serialize_sequence(&seq));
+            } else {
+                println!("{}", engine.display_sequence(&seq));
+            }
+            if show_trace {
+                for line in engine.take_trace() {
+                    eprintln!("trace: {line}");
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,496 @@
+//! The public engine façade: compile, bind, evaluate, serialize, trace.
+
+use crate::ast::Module;
+use crate::context::{DynamicContext, Focus, StaticContext};
+use crate::error::{Error, Result};
+use crate::eval::{eval, EvalEnv};
+use crate::functions::display_sequence;
+use crate::optimizer::{optimize_module, OptimizerOptions, OptimizerStats};
+use crate::parser::parse_module;
+use crate::value::{Item, Sequence};
+use std::collections::HashMap;
+use std::sync::Arc;
+use xmlstore::parser::ParseOptions;
+use xmlstore::{NodeId, Store};
+
+/// What to do when a constructed element receives two attributes with the
+/// same name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DupAttrPolicy {
+    /// Raise `XQDY0025` (the eventual W3C behaviour).
+    Error,
+    /// Keep the first one — one of the two outcomes the 2004 working draft
+    /// allowed ("can produce one of two results").
+    #[default]
+    KeepFirst,
+    /// Keep the last one — the other permitted outcome.
+    KeepLast,
+    /// Keep both — what Galax actually did ("Galax did not honor this as of
+    /// the time of writing").
+    KeepBoth,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineOptions {
+    /// Reproduce Galax's observable quirks: the `$glx:dot` error message
+    /// (without line numbers), duplicate attributes kept, and — via
+    /// [`EngineOptions::optimize`] — dead-code elimination that deletes
+    /// `fn:trace` calls.
+    pub galax_quirks: bool,
+    /// Run the optimizer at compile time.
+    pub optimize: bool,
+    /// Duplicate-attribute handling in constructors.
+    pub dup_attr_policy: DupAttrPolicy,
+    /// Maximum user-function recursion depth.
+    pub recursion_limit: usize,
+    /// Run the static type checker at compile time and reject programs with
+    /// diagnostics. Off by default — "we used XQuery in the untyped mode,
+    /// avoiding the type system entirely" — and turning it on is how the
+    /// metastasis experiment (E8) bites.
+    pub static_typing: bool,
+    /// Stack size of the evaluation thread. XQuery-style programs recurse
+    /// instead of looping (the document generator's per-sibling recursion is
+    /// the paper's own idiom), so the evaluator runs on its own thread with
+    /// room to spare.
+    pub eval_stack_bytes: usize,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            galax_quirks: false,
+            optimize: true,
+            dup_attr_policy: DupAttrPolicy::KeepFirst,
+            recursion_limit: 2048,
+            static_typing: false,
+            eval_stack_bytes: 256 * 1024 * 1024,
+        }
+    }
+}
+
+impl EngineOptions {
+    /// The Galax-compatible preset the paper's project effectively ran on.
+    pub fn galax() -> Self {
+        EngineOptions {
+            galax_quirks: true,
+            dup_attr_policy: DupAttrPolicy::KeepBoth,
+            ..Default::default()
+        }
+    }
+}
+
+/// A compiled query: the (optimized) module plus optimizer statistics.
+#[derive(Debug, Clone)]
+pub struct CompiledQuery {
+    pub module: Module,
+    pub stats: OptimizerStats,
+}
+
+/// An XQuery engine instance owning a node store, registered documents,
+/// external variable bindings, and the trace sink.
+pub struct Engine {
+    store: Store,
+    options: EngineOptions,
+    docs: HashMap<String, NodeId>,
+    globals: HashMap<String, Arc<Sequence>>,
+    trace: Vec<String>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// An engine with default (post-Galax, "fixed") options.
+    pub fn new() -> Self {
+        Engine::with_options(EngineOptions::default())
+    }
+
+    /// An engine reproducing Galax's quirks.
+    pub fn galax() -> Self {
+        Engine::with_options(EngineOptions::galax())
+    }
+
+    pub fn with_options(options: EngineOptions) -> Self {
+        Engine {
+            store: Store::new(),
+            options,
+            docs: HashMap::new(),
+            globals: HashMap::new(),
+            trace: Vec::new(),
+        }
+    }
+
+    pub fn options(&self) -> &EngineOptions {
+        &self.options
+    }
+
+    /// The node store (for inspecting result nodes).
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Mutable access to the store (for preparing inputs).
+    pub fn store_mut(&mut self) -> &mut Store {
+        &mut self.store
+    }
+
+    /// Parses an XML document into the engine's store (whitespace-only text
+    /// stripped — the data-oriented form queries want) and returns the
+    /// document node.
+    pub fn load_document(&mut self, xml: &str) -> Result<NodeId> {
+        self.store
+            .parse_str(xml, &ParseOptions::data_oriented())
+            .map_err(|e| Error::internal(format!("XML parse error: {e}")))
+    }
+
+    /// Parses an XML document keeping all whitespace.
+    pub fn load_document_verbatim(&mut self, xml: &str) -> Result<NodeId> {
+        self.store
+            .parse_str(xml, &ParseOptions::default())
+            .map_err(|e| Error::internal(format!("XML parse error: {e}")))
+    }
+
+    /// Registers a document node under a URI for `fn:doc($uri)`.
+    pub fn register_document(&mut self, uri: impl Into<String>, doc: NodeId) {
+        self.docs.insert(uri.into(), doc);
+    }
+
+    /// Binds an external variable visible to every query as `$name`.
+    pub fn bind(&mut self, name: impl Into<String>, value: Sequence) {
+        self.globals.insert(name.into(), Arc::new(value));
+    }
+
+    /// Binds an external variable to a single node.
+    pub fn bind_node(&mut self, name: impl Into<String>, node: NodeId) {
+        self.bind(name, Sequence::singleton(Item::Node(node)));
+    }
+
+    /// Compiles (parses, optionally optimizes) a query. Runs on a dedicated
+    /// thread sized like the evaluator's: the recursive-descent parser's
+    /// depth guard allows more nesting than small default stacks hold in
+    /// debug builds.
+    pub fn compile(&self, source: &str) -> Result<CompiledQuery> {
+        let stack = self.options.eval_stack_bytes;
+        std::thread::scope(|scope| {
+            std::thread::Builder::new()
+                .name("xquery-compile".to_string())
+                .stack_size(stack)
+                .spawn_scoped(scope, || self.compile_on_this_thread(source))
+                .expect("spawning the compile thread")
+                .join()
+                .expect("the compile thread panicked")
+        })
+    }
+
+    fn compile_on_this_thread(&self, source: &str) -> Result<CompiledQuery> {
+        let mut module = parse_module(source)?;
+        if self.options.static_typing {
+            let diagnostics = crate::static_typing::check_module(&module);
+            if let Some(first) = diagnostics.first() {
+                return Err(Error::new(
+                    crate::error::ErrorCode::XPTY0004,
+                    format!("static typing: {first} ({} diagnostic(s) total)", diagnostics.len()),
+                ));
+            }
+        }
+        let stats = if self.options.optimize {
+            optimize_module(
+                &mut module,
+                OptimizerOptions {
+                    trace_is_pure: self.options.galax_quirks,
+                },
+            )
+        } else {
+            OptimizerStats::default()
+        };
+        Ok(CompiledQuery { module, stats })
+    }
+
+    /// Evaluates a compiled query. `context_node`, when given, becomes the
+    /// context item (focus position 1 of 1).
+    ///
+    /// Evaluation runs on a dedicated thread with
+    /// [`EngineOptions::eval_stack_bytes`] of stack: functional-style XQuery
+    /// recurses where imperative code loops, and the per-sibling recursion
+    /// of realistic programs outgrows default thread stacks.
+    pub fn evaluate(&mut self, query: &CompiledQuery, context_node: Option<NodeId>) -> Result<Sequence> {
+        let stack = self.options.eval_stack_bytes;
+        std::thread::scope(|scope| {
+            std::thread::Builder::new()
+                .name("xquery-eval".to_string())
+                .stack_size(stack)
+                .spawn_scoped(scope, || self.evaluate_on_this_thread(query, context_node))
+                .expect("spawning the evaluation thread")
+                .join()
+                .expect("the evaluation thread panicked")
+        })
+    }
+
+    /// Like [`Engine::evaluate`] but with a full focus (context item,
+    /// position, size) — what an XSLT-style caller iterating a node list
+    /// needs for `position()`/`last()` to be meaningful.
+    pub fn evaluate_with_focus(
+        &mut self,
+        query: &CompiledQuery,
+        item: Item,
+        position: usize,
+        size: usize,
+    ) -> Result<Sequence> {
+        let stack = self.options.eval_stack_bytes;
+        std::thread::scope(|scope| {
+            std::thread::Builder::new()
+                .name("xquery-eval".to_string())
+                .stack_size(stack)
+                .spawn_scoped(scope, move || {
+                    self.evaluate_impl(
+                        query,
+                        Some(Focus {
+                            item,
+                            position,
+                            size,
+                        }),
+                    )
+                })
+                .expect("spawning the evaluation thread")
+                .join()
+                .expect("the evaluation thread panicked")
+        })
+    }
+
+    /// Evaluates **on the caller's thread** — no big-stack spawn. Suitable
+    /// for shallow expressions called at high frequency (XPath selects in an
+    /// XSLT transform); deep XQuery-style recursion should go through
+    /// [`Engine::evaluate`] instead.
+    pub fn evaluate_inline(
+        &mut self,
+        query: &CompiledQuery,
+        focus: Option<(Item, usize, usize)>,
+    ) -> Result<Sequence> {
+        self.evaluate_impl(
+            query,
+            focus.map(|(item, position, size)| Focus {
+                item,
+                position,
+                size,
+            }),
+        )
+    }
+
+    fn evaluate_on_this_thread(&mut self, query: &CompiledQuery, context_node: Option<NodeId>) -> Result<Sequence> {
+        self.evaluate_impl(
+            query,
+            context_node.map(|node| Focus {
+                item: Item::Node(node),
+                position: 1,
+                size: 1,
+            }),
+        )
+    }
+
+    fn evaluate_impl(&mut self, query: &CompiledQuery, focus: Option<Focus>) -> Result<Sequence> {
+        let mut statics = StaticContext::default();
+        for f in &query.module.functions {
+            statics.declare(f.clone())?;
+        }
+
+        // Module-level variables evaluate in order, each seeing the previous
+        // ones; external bindings come first and may be overridden.
+        let mut globals = self.globals.clone();
+        let mut ctx = DynamicContext::new();
+        ctx.focus = focus;
+        for decl in &query.module.variables {
+            let value = {
+                let mut env = EvalEnv {
+                    store: &mut self.store,
+                    options: &self.options,
+                    statics: &statics,
+                    docs: &self.docs,
+                    globals: &globals,
+                    trace: &mut self.trace,
+                    depth: 0,
+                };
+                eval(&decl.expr, &mut env, &mut ctx)?
+            };
+            if let Some(ty) = &decl.ty {
+                ty.check(&value, &self.store, &format!("declare variable ${}", decl.name))?;
+            }
+            globals.insert(decl.name.clone(), Arc::new(value));
+        }
+
+        let mut env = EvalEnv {
+            store: &mut self.store,
+            options: &self.options,
+            statics: &statics,
+            docs: &self.docs,
+            globals: &globals,
+            trace: &mut self.trace,
+            depth: 0,
+        };
+        eval(&query.module.body, &mut env, &mut ctx)
+    }
+
+    /// Compile-and-evaluate in one step.
+    pub fn evaluate_str(&mut self, source: &str, context_node: Option<NodeId>) -> Result<Sequence> {
+        let q = self.compile(source)?;
+        self.evaluate(&q, context_node)
+    }
+
+    /// Human-readable rendering: atomics as text, nodes serialized,
+    /// space-separated.
+    pub fn display_sequence(&self, seq: &Sequence) -> String {
+        display_sequence(seq, &self.store)
+    }
+
+    /// Serializes a sequence as XML (nodes serialized, atomics escaped as
+    /// text, concatenated).
+    pub fn serialize_sequence(&self, seq: &Sequence) -> String {
+        seq.iter()
+            .map(|item| match item {
+                Item::Atomic(a) => xmlstore::serializer::escape_text(&a.to_text()),
+                Item::Node(n) => self.store.to_xml(*n),
+            })
+            .collect::<Vec<_>>()
+            .join("")
+    }
+
+    /// Drains the `fn:trace` output collected so far.
+    pub fn take_trace(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> String {
+        let mut e = Engine::new();
+        let out = e.evaluate_str(src, None).unwrap();
+        e.display_sequence(&out)
+    }
+
+    #[test]
+    fn arithmetic_and_flwor() {
+        assert_eq!(run("for $i in 1 to 4 return $i * $i"), "1 4 9 16");
+        assert_eq!(run("6 div 4"), "1.5");
+        assert_eq!(run("6 div 2"), "3");
+        assert_eq!(run("7 idiv 2"), "3");
+        assert_eq!(run("7 mod 2"), "1");
+    }
+
+    #[test]
+    fn let_and_where_and_order() {
+        assert_eq!(
+            run("for $i in (3,1,2) let $d := $i * 10 where $d > 10 order by $i descending return $d"),
+            "30 20"
+        );
+    }
+
+    #[test]
+    fn paths_over_documents() {
+        let mut e = Engine::new();
+        let doc = e
+            .load_document("<lib><book year='1983'><title>A</title></book><book year='2005'><title>B</title></book></lib>")
+            .unwrap();
+        let out = e.evaluate_str("/lib/book[@year=\"2005\"]/title", Some(doc)).unwrap();
+        assert_eq!(e.serialize_sequence(&out), "<title>B</title>");
+        let out = e.evaluate_str("count(//book)", Some(doc)).unwrap();
+        assert_eq!(e.display_sequence(&out), "2");
+        let out = e.evaluate_str("/lib/book[1]/title", Some(doc)).unwrap();
+        assert_eq!(e.serialize_sequence(&out), "<title>A</title>");
+    }
+
+    #[test]
+    fn external_bindings_and_doc() {
+        let mut e = Engine::new();
+        let doc = e.load_document("<m><x>7</x></m>").unwrap();
+        e.register_document("model", doc);
+        e.bind("offset", Sequence::singleton(Item::integer(3)));
+        let out = e.evaluate_str("number(doc(\"model\")/m/x) + $offset", None).unwrap();
+        assert_eq!(e.display_sequence(&out), "10");
+    }
+
+    #[test]
+    fn user_functions_recursion() {
+        let src = r#"
+            declare function local:fact($n as xs:integer) as xs:integer {
+                if ($n le 1) then 1 else $n * local:fact($n - 1)
+            };
+            local:fact(6)
+        "#;
+        assert_eq!(run(src), "720");
+    }
+
+    #[test]
+    fn runaway_recursion_hits_the_limit() {
+        let mut e = Engine::with_options(EngineOptions {
+            recursion_limit: 64,
+            ..Default::default()
+        });
+        let err = e
+            .evaluate_str(
+                "declare function local:loop($n) { local:loop($n + 1) }; local:loop(0)",
+                None,
+            )
+            .unwrap_err();
+        assert!(err.message.contains("recursion limit"), "{}", err.message);
+    }
+
+    #[test]
+    fn module_variables_see_earlier_ones() {
+        assert_eq!(
+            run("declare variable $a := 2; declare variable $b := $a * 3; $b"),
+            "6"
+        );
+    }
+
+    #[test]
+    fn trace_collected_and_returns_last() {
+        let mut e = Engine::with_options(EngineOptions {
+            optimize: false,
+            ..Default::default()
+        });
+        let out = e.evaluate_str("let $x := trace(\"x=\", 5) return $x + 1", None).unwrap();
+        assert_eq!(e.display_sequence(&out), "6");
+        assert_eq!(e.take_trace(), vec!["x= 5"]);
+    }
+
+    #[test]
+    fn galax_mode_eats_dead_traces() {
+        let src = "let $x := 1 let $dummy := trace(\"x=\", $x) return $x";
+        let mut galax = Engine::galax();
+        let out = galax.evaluate_str(src, None).unwrap();
+        assert_eq!(galax.display_sequence(&out), "1");
+        assert!(galax.take_trace().is_empty(), "the trace was optimized away");
+
+        let mut fixed = Engine::new();
+        fixed.evaluate_str(src, None).unwrap();
+        assert_eq!(fixed.take_trace(), vec!["x= 1"]);
+    }
+
+    #[test]
+    fn error_kills_the_program() {
+        let mut e = Engine::new();
+        let err = e.evaluate_str("(1, error(\"doom\"), 3)", None).unwrap_err();
+        assert_eq!(err.code, crate::error::ErrorCode::FOER0000);
+        assert_eq!(err.message, "doom");
+    }
+
+    #[test]
+    fn quantifiers() {
+        assert_eq!(run("some $x in (1,2,3) satisfies $x gt 2"), "true");
+        assert_eq!(run("every $x in (1,2,3) satisfies $x gt 2"), "false");
+        assert_eq!(run("every $x in () satisfies false()"), "true");
+    }
+
+    #[test]
+    fn serialize_escapes_atomics() {
+        let mut e = Engine::new();
+        let out = e.evaluate_str("\"a<b\"", None).unwrap();
+        assert_eq!(e.serialize_sequence(&out), "a&lt;b");
+    }
+}

@@ -1,0 +1,622 @@
+//! The `fn:` builtin library.
+//!
+//! Roughly the working-draft core the AWB document generator leaned on. The
+//! two functions with a starring role in the paper live here:
+//!
+//! * `fn:error` — "prints $msg on the console and kills the program";
+//!   strategically-placed `error` calls were the project's first debugger.
+//! * `fn:trace` — added "after a certain amount of complaint"; prints its
+//!   arguments and returns the value of the **last** one (the early-Galax
+//!   behaviour the paper's `LET $x := trace("x=", something)` idiom relies
+//!   on).
+//!
+//! Documented deviations: `tokenize` and `replace` take *literal* separators
+//! and patterns, not regular expressions (the document generator only ever
+//! used literal ones).
+
+use crate::compare::{atomize, atomize_item, compare_atomics, deep_equal, effective_boolean_value};
+use crate::context::DynamicContext;
+use crate::error::{Error, ErrorCode, Result};
+use crate::eval::{join_atomized, EvalEnv};
+use crate::value::{format_double, Atomic, Item, Sequence};
+use std::cmp::Ordering;
+use xmlstore::Store;
+
+/// Does a builtin with this name accept this arity?
+pub fn is_builtin(name: &str, arity: usize) -> bool {
+    BUILTINS
+        .iter()
+        .any(|(n, lo, hi)| *n == name && arity >= *lo && arity <= *hi)
+}
+
+/// (name, min arity, max arity)
+const BUILTINS: &[(&str, usize, usize)] = &[
+    ("string", 0, 1),
+    ("data", 1, 1),
+    ("name", 0, 1),
+    ("local-name", 0, 1),
+    ("node-name", 1, 1),
+    ("root", 0, 1),
+    ("doc", 1, 1),
+    ("count", 1, 1),
+    ("empty", 1, 1),
+    ("exists", 1, 1),
+    ("distinct-values", 1, 1),
+    ("reverse", 1, 1),
+    ("insert-before", 3, 3),
+    ("remove", 2, 2),
+    ("subsequence", 2, 3),
+    ("index-of", 2, 2),
+    ("last", 0, 0),
+    ("position", 0, 0),
+    ("zero-or-one", 1, 1),
+    ("one-or-more", 1, 1),
+    ("exactly-one", 1, 1),
+    ("deep-equal", 2, 2),
+    ("not", 1, 1),
+    ("boolean", 1, 1),
+    ("true", 0, 0),
+    ("false", 0, 0),
+    ("number", 0, 1),
+    ("abs", 1, 1),
+    ("floor", 1, 1),
+    ("ceiling", 1, 1),
+    ("round", 1, 1),
+    ("sum", 1, 2),
+    ("avg", 1, 1),
+    ("min", 1, 1),
+    ("max", 1, 1),
+    ("concat", 2, 16),
+    ("string-join", 2, 2),
+    ("substring", 2, 3),
+    ("string-length", 0, 1),
+    ("normalize-space", 0, 1),
+    ("upper-case", 1, 1),
+    ("lower-case", 1, 1),
+    ("contains", 2, 2),
+    ("starts-with", 2, 2),
+    ("ends-with", 2, 2),
+    ("substring-before", 2, 2),
+    ("substring-after", 2, 2),
+    ("translate", 3, 3),
+    ("tokenize", 2, 2),
+    ("replace", 3, 3),
+    ("error", 0, 2),
+    ("trace", 1, 8),
+];
+
+/// Calls a builtin. `is_builtin` must have returned true for (name, arity).
+pub fn call_builtin(
+    name: &str,
+    args: Vec<Sequence>,
+    env: &mut EvalEnv,
+    ctx: &DynamicContext,
+    position: (u32, u32),
+) -> Result<Sequence> {
+    let store: &Store = env.store;
+    match (name, args.len()) {
+        // ---------------- accessors ----------------
+        ("string", 0) => {
+            let item = ctx.context_item(env.options.galax_quirks, position)?;
+            Ok(Atomic::Str(item_string_value(item, store)).into())
+        }
+        ("string", 1) => Ok(match args[0].as_singleton() {
+            Some(item) => Atomic::Str(item_string_value(item, store)).into(),
+            None if args[0].is_empty() => Atomic::Str(String::new()).into(),
+            None => {
+                return Err(Error::new(
+                    ErrorCode::XPTY0004,
+                    "fn:string requires at most one item",
+                ))
+            }
+        }),
+        ("data", 1) => Ok(atomize(&args[0], store)
+            .into_iter()
+            .map(Item::Atomic)
+            .collect()),
+        ("name", n) | ("local-name", n) => {
+            let node = if n == 0 {
+                match ctx.context_item(env.options.galax_quirks, position)? {
+                    Item::Node(id) => Some(*id),
+                    Item::Atomic(_) => {
+                        return Err(Error::new(ErrorCode::XPTY0004, "fn:name on an atomic value"))
+                    }
+                }
+            } else {
+                match args[0].as_singleton() {
+                    Some(Item::Node(id)) => Some(*id),
+                    Some(Item::Atomic(_)) => {
+                        return Err(Error::new(ErrorCode::XPTY0004, "fn:name on an atomic value"))
+                    }
+                    None => None,
+                }
+            };
+            let text = node
+                .and_then(|id| store.name(id).map(|q| {
+                    if name == "local-name" {
+                        q.local().to_string()
+                    } else {
+                        q.to_string()
+                    }
+                }))
+                .unwrap_or_default();
+            Ok(Atomic::Str(text).into())
+        }
+        ("node-name", 1) => match args[0].as_singleton() {
+            Some(Item::Node(id)) => Ok(store
+                .name(*id)
+                .map(|q| Atomic::Str(q.to_string()).into())
+                .unwrap_or_else(Sequence::empty)),
+            Some(Item::Atomic(_)) => {
+                Err(Error::new(ErrorCode::XPTY0004, "fn:node-name on an atomic value"))
+            }
+            None => Ok(Sequence::empty()),
+        },
+        ("root", n) => {
+            let node = if n == 0 {
+                match ctx.context_item(env.options.galax_quirks, position)? {
+                    Item::Node(id) => *id,
+                    Item::Atomic(_) => {
+                        return Err(Error::new(ErrorCode::XPTY0004, "fn:root on an atomic value"))
+                    }
+                }
+            } else {
+                match args[0].as_singleton() {
+                    Some(Item::Node(id)) => *id,
+                    Some(Item::Atomic(_)) => {
+                        return Err(Error::new(ErrorCode::XPTY0004, "fn:root on an atomic value"))
+                    }
+                    None => return Ok(Sequence::empty()),
+                }
+            };
+            Ok(Sequence::singleton(Item::Node(store.root(node))))
+        }
+        ("doc", 1) => {
+            let uri = string_arg(&args[0], store)?;
+            match env.docs.get(&uri) {
+                Some(&id) => Ok(Sequence::singleton(Item::Node(id))),
+                None => Err(Error::new(
+                    ErrorCode::FORG0001,
+                    format!("no document registered under {uri:?}"),
+                )),
+            }
+        }
+
+        // ---------------- sequences ----------------
+        ("count", 1) => Ok(Item::integer(args[0].len() as i64).into()),
+        ("empty", 1) => Ok(Item::boolean(args[0].is_empty()).into()),
+        ("exists", 1) => Ok(Item::boolean(!args[0].is_empty()).into()),
+        ("distinct-values", 1) => {
+            let atoms = atomize(&args[0], store);
+            let mut kept: Vec<Atomic> = Vec::with_capacity(atoms.len());
+            for a in atoms {
+                if !kept
+                    .iter()
+                    .any(|k| compare_atomics(k, &a) == Some(Ordering::Equal))
+                {
+                    kept.push(a);
+                }
+            }
+            Ok(kept.into_iter().map(Item::Atomic).collect())
+        }
+        ("reverse", 1) => {
+            let mut items = args.into_iter().next().unwrap().into_items();
+            items.reverse();
+            Ok(Sequence::from_items(items))
+        }
+        ("insert-before", 3) => {
+            let mut iter = args.into_iter();
+            let target = iter.next().unwrap();
+            let pos_seq = iter.next().unwrap();
+            let inserts = iter.next().unwrap();
+            let pos = integer_arg(&pos_seq, store)?.max(1) as usize;
+            let mut items = target.into_items();
+            let at = (pos - 1).min(items.len());
+            let tail = items.split_off(at);
+            items.extend(inserts.into_items());
+            items.extend(tail);
+            Ok(Sequence::from_items(items))
+        }
+        ("remove", 2) => {
+            let pos = integer_arg(&args[1], store)?;
+            let items = args.into_iter().next().unwrap().into_items();
+            Ok(items
+                .into_iter()
+                .enumerate()
+                .filter(|(i, _)| (i + 1) as i64 != pos)
+                .map(|(_, item)| item)
+                .collect())
+        }
+        ("subsequence", n) => {
+            let start = double_arg(&args[1], store)?.round();
+            let len = if n == 3 {
+                double_arg(&args[2], store)?.round()
+            } else {
+                f64::INFINITY
+            };
+            let items = args.into_iter().next().unwrap().into_items();
+            Ok(items
+                .into_iter()
+                .enumerate()
+                .filter(|(i, _)| {
+                    let p = (i + 1) as f64;
+                    p >= start && p < start + len
+                })
+                .map(|(_, item)| item)
+                .collect())
+        }
+        ("index-of", 2) => {
+            let haystack = atomize(&args[0], store);
+            let needles = atomize(&args[1], store);
+            let Some(needle) = needles.first() else {
+                return Ok(Sequence::empty());
+            };
+            Ok(haystack
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| compare_atomics(a, needle) == Some(Ordering::Equal))
+                .map(|(i, _)| Item::integer(i as i64 + 1))
+                .collect())
+        }
+        ("last", 0) => match &ctx.focus {
+            Some(f) => Ok(Item::integer(f.size as i64).into()),
+            None => Err(Error::new(ErrorCode::XPDY0002, "fn:last with no focus")),
+        },
+        ("position", 0) => match &ctx.focus {
+            Some(f) => Ok(Item::integer(f.position as i64).into()),
+            None => Err(Error::new(ErrorCode::XPDY0002, "fn:position with no focus")),
+        },
+        ("zero-or-one", 1) => {
+            if args[0].len() <= 1 {
+                Ok(args.into_iter().next().unwrap())
+            } else {
+                Err(Error::new(ErrorCode::FORG0004, "fn:zero-or-one: more than one item"))
+            }
+        }
+        ("one-or-more", 1) => {
+            if !args[0].is_empty() {
+                Ok(args.into_iter().next().unwrap())
+            } else {
+                Err(Error::new(ErrorCode::FORG0004, "fn:one-or-more: empty sequence"))
+            }
+        }
+        ("exactly-one", 1) => {
+            if args[0].len() == 1 {
+                Ok(args.into_iter().next().unwrap())
+            } else {
+                Err(Error::new(
+                    ErrorCode::FORG0004,
+                    format!("fn:exactly-one: got {} items", args[0].len()),
+                ))
+            }
+        }
+        ("deep-equal", 2) => Ok(Item::boolean(deep_equal(&args[0], &args[1], store)).into()),
+
+        // ---------------- booleans ----------------
+        ("not", 1) => Ok(Item::boolean(!effective_boolean_value(&args[0], store)?).into()),
+        ("boolean", 1) => Ok(Item::boolean(effective_boolean_value(&args[0], store)?).into()),
+        ("true", 0) => Ok(Item::boolean(true).into()),
+        ("false", 0) => Ok(Item::boolean(false).into()),
+
+        // ---------------- numerics ----------------
+        ("number", n) => {
+            let atoms = if n == 0 {
+                let item = ctx.context_item(env.options.galax_quirks, position)?;
+                vec![atomize_item(item, store)]
+            } else {
+                atomize(&args[0], store)
+            };
+            let value = match atoms.as_slice() {
+                [a] => a.as_number().or_else(|| match a {
+                    Atomic::Str(s) => s.trim().parse::<f64>().ok(),
+                    Atomic::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+                    _ => None,
+                }),
+                _ => None,
+            };
+            Ok(Atomic::Dbl(value.unwrap_or(f64::NAN)).into())
+        }
+        ("abs", 1) => numeric_unary(&args[0], store, i64::abs, f64::abs),
+        ("floor", 1) => numeric_unary(&args[0], store, |i| i, f64::floor),
+        ("ceiling", 1) => numeric_unary(&args[0], store, |i| i, f64::ceil),
+        ("round", 1) => numeric_unary(&args[0], store, |i| i, |d| (d + 0.5).floor()),
+        ("sum", n) => {
+            let atoms = atomize(&args[0], store);
+            if atoms.is_empty() {
+                return if n == 2 {
+                    Ok(args.into_iter().nth(1).unwrap())
+                } else {
+                    Ok(Item::integer(0).into())
+                };
+            }
+            fold_numeric(&atoms, "fn:sum").map(|total| total.into())
+        }
+        ("avg", 1) => {
+            let atoms = atomize(&args[0], store);
+            if atoms.is_empty() {
+                return Ok(Sequence::empty());
+            }
+            let n = atoms.len() as f64;
+            let total = fold_numeric(&atoms, "fn:avg")?;
+            let total = match total {
+                Atomic::Int(i) => i as f64,
+                Atomic::Dbl(d) => d,
+                _ => unreachable!(),
+            };
+            Ok(Atomic::Dbl(total / n).into())
+        }
+        ("min", 1) | ("max", 1) => {
+            let atoms = atomize(&args[0], store);
+            if atoms.is_empty() {
+                return Ok(Sequence::empty());
+            }
+            let want = if name == "min" { Ordering::Less } else { Ordering::Greater };
+            let mut best = atoms[0].clone();
+            for a in &atoms[1..] {
+                match compare_atomics(a, &best) {
+                    Some(ord) if ord == want => best = a.clone(),
+                    Some(_) => {}
+                    None => {
+                        return Err(Error::new(
+                            ErrorCode::FORG0006,
+                            format!("fn:{name}: incomparable values"),
+                        ))
+                    }
+                }
+            }
+            Ok(Item::Atomic(best).into())
+        }
+
+        // ---------------- strings ----------------
+        ("concat", _) => {
+            let mut out = String::new();
+            for a in &args {
+                if a.len() > 1 {
+                    return Err(Error::new(
+                        ErrorCode::XPTY0004,
+                        "fn:concat arguments must be single items",
+                    ));
+                }
+                if let Some(item) = a.as_singleton() {
+                    out.push_str(&atomize_item(item, store).to_text());
+                }
+            }
+            Ok(Atomic::Str(out).into())
+        }
+        ("string-join", 2) => {
+            let sep = string_arg(&args[1], store)?;
+            let parts: Vec<String> = atomize(&args[0], store).iter().map(|a| a.to_text()).collect();
+            Ok(Atomic::Str(parts.join(&sep)).into())
+        }
+        ("substring", n) => {
+            let s = string_arg(&args[0], store)?;
+            let start = double_arg(&args[1], store)?.round();
+            let len = if n == 3 {
+                double_arg(&args[2], store)?.round()
+            } else {
+                f64::INFINITY
+            };
+            let chars: Vec<char> = s.chars().collect();
+            let out: String = chars
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| {
+                    let p = (i + 1) as f64;
+                    p >= start && p < start + len
+                })
+                .map(|(_, c)| *c)
+                .collect();
+            Ok(Atomic::Str(out).into())
+        }
+        ("string-length", n) => {
+            let s = if n == 0 {
+                let item = ctx.context_item(env.options.galax_quirks, position)?;
+                item_string_value(item, store)
+            } else {
+                string_arg(&args[0], store)?
+            };
+            Ok(Item::integer(s.chars().count() as i64).into())
+        }
+        ("normalize-space", n) => {
+            let s = if n == 0 {
+                let item = ctx.context_item(env.options.galax_quirks, position)?;
+                item_string_value(item, store)
+            } else {
+                string_arg(&args[0], store)?
+            };
+            Ok(Atomic::Str(s.split_whitespace().collect::<Vec<_>>().join(" ")).into())
+        }
+        ("upper-case", 1) => Ok(Atomic::Str(string_arg(&args[0], store)?.to_uppercase()).into()),
+        ("lower-case", 1) => Ok(Atomic::Str(string_arg(&args[0], store)?.to_lowercase()).into()),
+        ("contains", 2) => {
+            let (s, t) = (string_arg(&args[0], store)?, string_arg(&args[1], store)?);
+            Ok(Item::boolean(s.contains(&t)).into())
+        }
+        ("starts-with", 2) => {
+            let (s, t) = (string_arg(&args[0], store)?, string_arg(&args[1], store)?);
+            Ok(Item::boolean(s.starts_with(&t)).into())
+        }
+        ("ends-with", 2) => {
+            let (s, t) = (string_arg(&args[0], store)?, string_arg(&args[1], store)?);
+            Ok(Item::boolean(s.ends_with(&t)).into())
+        }
+        ("substring-before", 2) => {
+            let (s, t) = (string_arg(&args[0], store)?, string_arg(&args[1], store)?);
+            let out = s.find(&t).map(|i| s[..i].to_string()).unwrap_or_default();
+            Ok(Atomic::Str(out).into())
+        }
+        ("substring-after", 2) => {
+            let (s, t) = (string_arg(&args[0], store)?, string_arg(&args[1], store)?);
+            let out = s
+                .find(&t)
+                .map(|i| s[i + t.len()..].to_string())
+                .unwrap_or_default();
+            Ok(Atomic::Str(out).into())
+        }
+        ("translate", 3) => {
+            let s = string_arg(&args[0], store)?;
+            let from: Vec<char> = string_arg(&args[1], store)?.chars().collect();
+            let to: Vec<char> = string_arg(&args[2], store)?.chars().collect();
+            let out: String = s
+                .chars()
+                .filter_map(|c| match from.iter().position(|&f| f == c) {
+                    Some(i) => to.get(i).copied(),
+                    None => Some(c),
+                })
+                .collect();
+            Ok(Atomic::Str(out).into())
+        }
+        ("tokenize", 2) => {
+            // Literal separator, not a regex (documented deviation).
+            let s = string_arg(&args[0], store)?;
+            let sep = string_arg(&args[1], store)?;
+            if sep.is_empty() {
+                return Err(Error::new(ErrorCode::FORG0001, "fn:tokenize: empty separator"));
+            }
+            Ok(s.split(&sep as &str)
+                .map(|part| Item::string(part.to_string()))
+                .collect())
+        }
+        ("replace", 3) => {
+            // Literal find/replace, not a regex (documented deviation).
+            let s = string_arg(&args[0], store)?;
+            let find = string_arg(&args[1], store)?;
+            let with = string_arg(&args[2], store)?;
+            if find.is_empty() {
+                return Err(Error::new(ErrorCode::FORG0001, "fn:replace: empty pattern"));
+            }
+            Ok(Atomic::Str(s.replace(&find as &str, &with)).into())
+        }
+
+        // ---------------- error & trace ----------------
+        ("error", n) => {
+            let message = if n >= 1 {
+                join_atomized(&args[0], store)
+            } else {
+                "fn:error".to_string()
+            };
+            let mut err = Error::new(ErrorCode::FOER0000, message).at(position.0, position.1);
+            if n >= 1 {
+                err = err.with_value(args.into_iter().next().unwrap());
+            }
+            Err(err)
+        }
+        ("trace", _) => {
+            // Prints all arguments, returns the value of the LAST one — the
+            // early-Galax contract the paper's tracing idiom depends on.
+            let rendered: Vec<String> = args
+                .iter()
+                .map(|a| display_sequence(a, store))
+                .collect();
+            env.trace.push(rendered.join(" "));
+            Ok(args.into_iter().next_back().unwrap())
+        }
+
+        _ => Err(Error::new(
+            ErrorCode::XPST0017,
+            format!("unknown builtin {name}#{}", args.len()),
+        )
+        .at(position.0, position.1)),
+    }
+}
+
+/// The string value of one item.
+pub fn item_string_value(item: &Item, store: &Store) -> String {
+    match item {
+        Item::Atomic(a) => a.to_text(),
+        Item::Node(n) => store.string_value(*n),
+    }
+}
+
+/// Human-readable rendering of a sequence (used by `trace` and the engine's
+/// display API): atomics as text, nodes serialized, space-separated.
+pub fn display_sequence(seq: &Sequence, store: &Store) -> String {
+    seq.iter()
+        .map(|item| match item {
+            Item::Atomic(a) => a.to_text(),
+            Item::Node(n) => store.to_xml(*n),
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn string_arg(seq: &Sequence, store: &Store) -> Result<String> {
+    match seq.as_singleton() {
+        Some(item) => Ok(item_string_value(item, store)),
+        None if seq.is_empty() => Ok(String::new()),
+        None => Err(Error::new(
+            ErrorCode::XPTY0004,
+            "expected a single string argument",
+        )),
+    }
+}
+
+fn double_arg(seq: &Sequence, store: &Store) -> Result<f64> {
+    let atoms = atomize(seq, store);
+    match atoms.as_slice() {
+        [a] => a
+            .as_number()
+            .or_else(|| match a {
+                Atomic::Str(s) => s.trim().parse().ok(),
+                _ => None,
+            })
+            .ok_or_else(|| Error::new(ErrorCode::FORG0001, "expected a numeric argument")),
+        _ => Err(Error::new(ErrorCode::XPTY0004, "expected a single numeric argument")),
+    }
+}
+
+fn integer_arg(seq: &Sequence, store: &Store) -> Result<i64> {
+    Ok(double_arg(seq, store)? as i64)
+}
+
+fn numeric_unary(
+    seq: &Sequence,
+    store: &Store,
+    int_op: impl Fn(i64) -> i64,
+    dbl_op: impl Fn(f64) -> f64,
+) -> Result<Sequence> {
+    let atoms = atomize(seq, store);
+    match atoms.as_slice() {
+        [] => Ok(Sequence::empty()),
+        [Atomic::Int(i)] => Ok(Atomic::Int(int_op(*i)).into()),
+        [a] => {
+            let d = a.as_number().ok_or_else(|| {
+                Error::new(ErrorCode::XPTY0004, format!("numeric function on {}", a.type_name()))
+            })?;
+            Ok(Atomic::Dbl(dbl_op(d)).into())
+        }
+        _ => Err(Error::new(ErrorCode::XPTY0004, "numeric function on a sequence")),
+    }
+}
+
+fn fold_numeric(atoms: &[Atomic], what: &str) -> Result<Atomic> {
+    let mut int_total: Option<i64> = Some(0);
+    let mut dbl_total = 0.0;
+    for a in atoms {
+        match a {
+            Atomic::Int(i) => {
+                int_total = int_total.and_then(|t| t.checked_add(*i));
+                dbl_total += *i as f64;
+            }
+            other => {
+                let d = other.as_number().ok_or_else(|| {
+                    Error::new(
+                        ErrorCode::FORG0006,
+                        format!("{what}: non-numeric value {:?}", other.to_text()),
+                    )
+                })?;
+                int_total = None;
+                dbl_total += d;
+            }
+        }
+    }
+    Ok(match int_total {
+        Some(i) => Atomic::Int(i),
+        None => Atomic::Dbl(dbl_total),
+    })
+}
+
+/// `format_double` re-export used by the engine's display layer.
+pub fn _format_double(d: f64) -> String {
+    format_double(d)
+}

@@ -1,0 +1,376 @@
+//! The scanning layer: a raw cursor with token-shaped primitives.
+//!
+//! XQuery's grammar is famously context-sensitive — `<` begins a direct
+//! element constructor in expression position but is the less-than operator
+//! after an operand; keywords like `for` are ordinary names in a path. We
+//! therefore avoid a separate token stream entirely: the parser drives a
+//! [`Cursor`] that exposes *primitives* (`take_name`, `take_symbol`,
+//! `take_string_literal`, raw character access for constructor content), and
+//! decides contextually what to ask for.
+//!
+//! Two of the paper's syntactic quirks live exactly here:
+//!
+//! * **dashes are name characters** — [`Cursor::take_name`] consumes
+//!   `n-1` as a single three-character name, so `$n-1` is a variable
+//!   reference, not subtraction (quirk #3);
+//! * **`/` is never division** — there is no division symbol at all; the
+//!   parser recognizes the *name* `div` (quirk #2).
+
+use crate::error::{Error, Result};
+use xmlstore::qname::{is_name_char, is_name_start};
+
+/// A character cursor over query source with line/column tracking.
+#[derive(Debug, Clone)]
+pub struct Cursor<'a> {
+    input: &'a str,
+    pos: usize,
+    line: u32,
+    column: u32,
+}
+
+impl<'a> Cursor<'a> {
+    pub fn new(input: &'a str) -> Self {
+        Cursor {
+            input,
+            pos: 0,
+            line: 1,
+            column: 1,
+        }
+    }
+
+    /// Current 1-based (line, column).
+    pub fn position(&self) -> (u32, u32) {
+        (self.line, self.column)
+    }
+
+    /// Byte offset (for slicing raw constructor content).
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    pub fn error(&self, message: impl Into<String>) -> Error {
+        Error::syntax(message, self.line, self.column)
+    }
+
+    /// The next character, without consuming.
+    pub fn peek(&self) -> Option<char> {
+        self.input[self.pos..].chars().next()
+    }
+
+    /// The character after the next one.
+    pub fn peek2(&self) -> Option<char> {
+        let mut chars = self.input[self.pos..].chars();
+        chars.next();
+        chars.next()
+    }
+
+    /// Consumes and returns one character.
+    pub fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    /// Does the remaining input start with `s` (no whitespace skipping)?
+    pub fn looking_at(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s)
+    }
+
+    /// Consumes `s` if the input starts with it.
+    pub fn eat(&mut self, s: &str) -> bool {
+        if self.looking_at(s) {
+            for _ in s.chars() {
+                self.bump();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Skips whitespace and (nested) `(: … :)` comments.
+    pub fn skip_ws(&mut self) -> Result<()> {
+        loop {
+            while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+                self.bump();
+            }
+            if self.looking_at("(:") {
+                self.skip_comment()?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn skip_comment(&mut self) -> Result<()> {
+        let start = self.position();
+        self.eat("(:");
+        let mut depth = 1u32;
+        while depth > 0 {
+            if self.looking_at("(:") {
+                self.eat("(:");
+                depth += 1;
+            } else if self.looking_at(":)") {
+                self.eat(":)");
+                depth -= 1;
+            } else if self.bump().is_none() {
+                return Err(Error::syntax("unterminated comment", start.0, start.1));
+            }
+        }
+        Ok(())
+    }
+
+    /// After `skip_ws`: true at end of input.
+    pub fn at_end(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Token-shaped primitives (each skips leading whitespace itself)
+    // ------------------------------------------------------------------
+
+    /// Peeks whether a (Q)name starts here (after whitespace).
+    pub fn peek_name_start(&mut self) -> Result<bool> {
+        self.skip_ws()?;
+        Ok(matches!(self.peek(), Some(c) if is_name_start(c)))
+    }
+
+    /// Consumes a QName (`ncname` or `prefix:local`). Dashes and dots are
+    /// name characters: `take_name` on `n-1` yields `"n-1"`.
+    pub fn take_name(&mut self) -> Result<String> {
+        self.skip_ws()?;
+        let start = self.pos;
+        match self.peek() {
+            Some(c) if is_name_start(c) => {
+                self.bump();
+            }
+            _ => return Err(self.error("expected a name")),
+        }
+        while matches!(self.peek(), Some(c) if is_name_char(c)) {
+            self.bump();
+        }
+        // Optional single ':' for a prefixed name — only when immediately
+        // followed by a name start (so `a :: b` and `a : b` don't glue).
+        if self.peek() == Some(':')
+            && self.peek2().is_some_and(is_name_start)
+            && !self.input[self.pos..].starts_with("::")
+        {
+            self.bump();
+            while matches!(self.peek(), Some(c) if is_name_char(c)) {
+                self.bump();
+            }
+        }
+        Ok(self.input[start..self.pos].to_string())
+    }
+
+    /// Consumes `symbol` (after whitespace) if present. Longer symbols must
+    /// be tried before their prefixes (`<=` before `<`).
+    pub fn take_symbol(&mut self, symbol: &str) -> Result<bool> {
+        self.skip_ws()?;
+        Ok(self.eat(symbol))
+    }
+
+    /// Peeks for `symbol` (after whitespace) without consuming.
+    pub fn peek_symbol(&mut self, symbol: &str) -> Result<bool> {
+        self.skip_ws()?;
+        Ok(self.looking_at(symbol))
+    }
+
+    /// Consumes the given keyword only when it appears as a *whole name*
+    /// (not a prefix of a longer name, so `lets` is not `let`).
+    pub fn take_keyword(&mut self, kw: &str) -> Result<bool> {
+        self.skip_ws()?;
+        if !self.looking_at(kw) {
+            return Ok(false);
+        }
+        let after = self.input[self.pos + kw.len()..].chars().next();
+        if matches!(after, Some(c) if is_name_char(c) || c == ':') {
+            return Ok(false);
+        }
+        self.eat(kw);
+        Ok(true)
+    }
+
+    /// Peeks a keyword as a whole name.
+    pub fn peek_keyword(&mut self, kw: &str) -> Result<bool> {
+        self.skip_ws()?;
+        if !self.looking_at(kw) {
+            return Ok(false);
+        }
+        let after = self.input[self.pos + kw.len()..].chars().next();
+        Ok(!matches!(after, Some(c) if is_name_char(c) || c == ':'))
+    }
+
+    /// Numeric literal: integer (`i64`) or double (decimal point and/or
+    /// exponent). Assumes the caller checked that a digit (or `.digit`)
+    /// starts here.
+    pub fn take_number(&mut self) -> Result<NumberLit> {
+        self.skip_ws()?;
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.bump();
+        }
+        let mut is_double = false;
+        if self.peek() == Some('.') && self.peek2().is_some_and(|c| c.is_ascii_digit()) {
+            is_double = true;
+            self.bump();
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some('e' | 'E'))
+            && matches!(self.peek2(), Some(c) if c.is_ascii_digit() || c == '+' || c == '-')
+        {
+            is_double = true;
+            self.bump();
+            if matches!(self.peek(), Some('+' | '-')) {
+                self.bump();
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        let text = &self.input[start..self.pos];
+        if text.is_empty() {
+            return Err(self.error("expected a number"));
+        }
+        if is_double {
+            text.parse::<f64>()
+                .map(NumberLit::Double)
+                .map_err(|_| self.error(format!("bad numeric literal {text:?}")))
+        } else {
+            text.parse::<i64>()
+                .map(NumberLit::Integer)
+                .map_err(|_| self.error(format!("integer literal out of range: {text}")))
+        }
+    }
+
+    /// String literal in single or double quotes; the quote is escaped by
+    /// doubling (`"say ""hi"""`).
+    pub fn take_string_literal(&mut self) -> Result<String> {
+        self.skip_ws()?;
+        let quote = match self.peek() {
+            Some(c @ ('"' | '\'')) => c,
+            _ => return Err(self.error("expected a string literal")),
+        };
+        self.bump();
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(c) if c == quote => {
+                    self.bump();
+                    if self.peek() == Some(quote) {
+                        self.bump();
+                        out.push(quote);
+                    } else {
+                        return Ok(out);
+                    }
+                }
+                Some(c) => {
+                    self.bump();
+                    out.push(c);
+                }
+                None => return Err(self.error("unterminated string literal")),
+            }
+        }
+    }
+}
+
+/// A scanned numeric literal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NumberLit {
+    Integer(i64),
+    Double(f64),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_swallows_dashes() {
+        let mut c = Cursor::new("n-1");
+        assert_eq!(c.take_name().unwrap(), "n-1");
+        assert!(c.at_end());
+    }
+
+    #[test]
+    fn name_with_space_stops_at_dash() {
+        let mut c = Cursor::new("n - 1");
+        assert_eq!(c.take_name().unwrap(), "n");
+        assert!(c.take_symbol("-").unwrap());
+        assert_eq!(c.take_number().unwrap(), NumberLit::Integer(1));
+    }
+
+    #[test]
+    fn prefixed_names() {
+        let mut c = Cursor::new("local:child-named");
+        assert_eq!(c.take_name().unwrap(), "local:child-named");
+    }
+
+    #[test]
+    fn axis_colons_not_glued() {
+        let mut c = Cursor::new("parent::book");
+        assert_eq!(c.take_name().unwrap(), "parent");
+        assert!(c.take_symbol("::").unwrap());
+        assert_eq!(c.take_name().unwrap(), "book");
+    }
+
+    #[test]
+    fn keywords_need_word_boundary() {
+        let mut c = Cursor::new("letter");
+        assert!(!c.take_keyword("let").unwrap());
+        assert_eq!(c.take_name().unwrap(), "letter");
+    }
+
+    #[test]
+    fn numbers_int_and_double() {
+        let mut c = Cursor::new("42 3.5 1e3 7.25E-2");
+        assert_eq!(c.take_number().unwrap(), NumberLit::Integer(42));
+        assert_eq!(c.take_number().unwrap(), NumberLit::Double(3.5));
+        assert_eq!(c.take_number().unwrap(), NumberLit::Double(1000.0));
+        assert_eq!(c.take_number().unwrap(), NumberLit::Double(0.0725));
+    }
+
+    #[test]
+    fn integer_dot_path_not_a_double() {
+        // `1.` followed by non-digit: integer then something else (XPath
+        // `1 . foo` is nonsense anyway, but the scanner must not die).
+        let mut c = Cursor::new("1.x");
+        assert_eq!(c.take_number().unwrap(), NumberLit::Integer(1));
+        assert!(c.take_symbol(".").unwrap());
+    }
+
+    #[test]
+    fn string_literals_with_doubled_quotes() {
+        let mut c = Cursor::new(r#""say ""hi""" 'it''s'"#);
+        assert_eq!(c.take_string_literal().unwrap(), "say \"hi\"");
+        assert_eq!(c.take_string_literal().unwrap(), "it's");
+    }
+
+    #[test]
+    fn nested_comments_skipped() {
+        let mut c = Cursor::new("(: outer (: inner :) still :) name");
+        assert_eq!(c.take_name().unwrap(), "name");
+    }
+
+    #[test]
+    fn unterminated_comment_is_error() {
+        let mut c = Cursor::new("(: oops");
+        assert!(c.skip_ws().is_err());
+    }
+
+    #[test]
+    fn position_tracking() {
+        let mut c = Cursor::new("a\n  b");
+        c.take_name().unwrap();
+        c.skip_ws().unwrap();
+        assert_eq!(c.position(), (2, 3));
+    }
+}

@@ -1,0 +1,50 @@
+//! # xslt — an XSLT 1.0-subset processor
+//!
+//! The paper considered XSLT and rejected it for the document generator
+//! ("our transformations seem more extreme than the ones XSLT is intended
+//! for … XSLT, which is not generous with variable bindings, nested
+//! computations, and the like"), but *did* use it as glue: "the XQuery
+//! component could produce a big XML file with all the output streams as
+//! children of the root element, and a little XSLT program could split them
+//! apart."
+//!
+//! This crate provides exactly that class of XSLT: template rules with match
+//! patterns and priorities, `apply-templates`, `for-each`, `value-of`,
+//! `if`/`choose`, `copy`/`copy-of`, `element`/`attribute`, `call-template`,
+//! and attribute value templates. XPath expressions in `select=`/`test=` are
+//! compiled and evaluated by the workspace's XQuery engine.
+//!
+//! ## Example
+//!
+//! ```
+//! let sheet = r#"
+//!   <xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+//!     <xsl:template match="/">
+//!       <out><xsl:apply-templates select="doc/item"/></out>
+//!     </xsl:template>
+//!     <xsl:template match="item[@keep = 'yes']">
+//!       <kept><xsl:value-of select="string(.)"/></kept>
+//!     </xsl:template>
+//!     <xsl:template match="item"/>
+//!   </xsl:stylesheet>"#;
+//! let input = r#"<doc><item keep="yes">a</item><item>b</item></doc>"#;
+//! let out = xslt::transform_str(sheet, input).unwrap();
+//! assert_eq!(out, "<out><kept>a</kept></out>");
+//! ```
+//!
+//! ## Subset boundaries
+//!
+//! No namespaces beyond the literal `xsl:` prefix, no imports/includes, no
+//! keys, no `xsl:sort`, no template parameters. These were not needed for
+//! the paper's splitter-sized programs; `docgen` remains the place for
+//! "more extreme" transformations.
+
+mod pattern;
+#[cfg(test)]
+mod proptests;
+mod stylesheet;
+mod transform;
+
+pub use pattern::Pattern;
+pub use stylesheet::{CompiledStylesheet, XsltError};
+pub use transform::transform_str;

@@ -1,0 +1,292 @@
+//! Match patterns: the `match=` side of a template rule.
+//!
+//! The subset: `/`, `*`, `name`, `a/b/c` (parent chains), `@name`, `@*`,
+//! `text()`, `node()`, unions with `|`, and one trailing predicate
+//! `name[@attr = 'value']`. Default priorities follow XSLT 1.0: more
+//! specific patterns win without explicit `priority=`.
+
+use xmlstore::{NodeId, NodeKind, Store};
+
+/// One step of a parent-chain pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Step {
+    Name(String),
+    Any,
+}
+
+impl Step {
+    fn matches(&self, store: &Store, node: NodeId) -> bool {
+        match (self, store.kind(node)) {
+            (Step::Any, NodeKind::Element(_)) => true,
+            (Step::Name(want), NodeKind::Element(q)) => q.to_string() == *want,
+            _ => false,
+        }
+    }
+}
+
+/// A trailing attribute-equality predicate: `[@name = 'value']`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrPredicate {
+    pub name: String,
+    pub value: String,
+}
+
+/// A parsed match pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pattern {
+    /// `/` — the document node.
+    Root,
+    /// An element chain: last step matches the node, earlier steps its
+    /// ancestors-by-parent, with an optional attribute predicate on the
+    /// last step.
+    Elements {
+        steps: Vec<Step>,
+        predicate: Option<AttrPredicate>,
+    },
+    /// `@name` / `@*`
+    Attribute(Option<String>),
+    /// `text()`
+    Text,
+    /// `node()` — any child-axis node (element, text, comment, PI).
+    AnyNode,
+}
+
+impl Pattern {
+    /// Parses a pattern, expanding `|` unions into several patterns.
+    pub fn parse_union(text: &str) -> Result<Vec<Pattern>, String> {
+        text.split('|')
+            .map(str::trim)
+            .map(Pattern::parse_single)
+            .collect()
+    }
+
+    fn parse_single(text: &str) -> Result<Pattern, String> {
+        if text.is_empty() {
+            return Err("empty match pattern".to_string());
+        }
+        if text == "/" {
+            return Ok(Pattern::Root);
+        }
+        if text == "text()" {
+            return Ok(Pattern::Text);
+        }
+        if text == "node()" {
+            return Ok(Pattern::AnyNode);
+        }
+        if let Some(attr) = text.strip_prefix('@') {
+            return Ok(Pattern::Attribute(if attr == "*" {
+                None
+            } else {
+                Some(attr.to_string())
+            }));
+        }
+        // Optional one trailing predicate on the last step.
+        let (path, predicate) = match text.find('[') {
+            Some(open) => {
+                let close = text
+                    .rfind(']')
+                    .ok_or_else(|| format!("unclosed predicate in pattern {text:?}"))?;
+                let inner = &text[open + 1..close];
+                (&text[..open], Some(parse_attr_predicate(inner)?))
+            }
+            None => (text, None),
+        };
+        let steps: Vec<Step> = path
+            .split('/')
+            .map(str::trim)
+            .map(|s| {
+                if s == "*" {
+                    Ok(Step::Any)
+                } else if s.is_empty() {
+                    Err(format!("empty step in pattern {text:?}"))
+                } else if s.chars().all(|c| xmlstore::qname::is_name_char(c) || c == ':') {
+                    Ok(Step::Name(s.to_string()))
+                } else {
+                    Err(format!("unsupported pattern step {s:?}"))
+                }
+            })
+            .collect::<Result<_, _>>()?;
+        if steps.is_empty() {
+            return Err(format!("empty pattern {text:?}"));
+        }
+        Ok(Pattern::Elements { steps, predicate })
+    }
+
+    /// XSLT 1.0 default priority: name tests 0, `*` −0.5, kind tests −0.5,
+    /// anything longer (chains, predicates) +0.5.
+    pub fn default_priority(&self) -> f64 {
+        match self {
+            Pattern::Root => 0.5,
+            Pattern::Text | Pattern::AnyNode => -0.5,
+            Pattern::Attribute(None) => -0.5,
+            Pattern::Attribute(Some(_)) => 0.0,
+            Pattern::Elements { steps, predicate } => {
+                if steps.len() > 1 || predicate.is_some() {
+                    0.5
+                } else if steps[0] == Step::Any {
+                    -0.5
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Does this pattern match `node`?
+    pub fn matches(&self, store: &Store, node: NodeId) -> bool {
+        match self {
+            Pattern::Root => store.is_document(node),
+            Pattern::Text => store.is_text(node),
+            Pattern::AnyNode => !store.is_document(node) && !store.is_attribute(node),
+            Pattern::Attribute(name) => match store.kind(node) {
+                NodeKind::Attribute(q, _) => {
+                    name.as_deref().is_none_or(|w| q.to_string() == w)
+                }
+                _ => false,
+            },
+            Pattern::Elements { steps, predicate } => {
+                let last = steps.last().expect("non-empty steps");
+                if !last.matches(store, node) {
+                    return false;
+                }
+                if let Some(pred) = predicate {
+                    if store.attribute_value(node, &pred.name) != Some(pred.value.as_str()) {
+                        return false;
+                    }
+                }
+                // Earlier steps match successive parents.
+                let mut current = node;
+                for step in steps[..steps.len() - 1].iter().rev() {
+                    let Some(parent) = store.parent(current) else {
+                        return false;
+                    };
+                    if !step.matches(store, parent) {
+                        return false;
+                    }
+                    current = parent;
+                }
+                true
+            }
+        }
+    }
+}
+
+fn parse_attr_predicate(inner: &str) -> Result<AttrPredicate, String> {
+    // Only the form  @name = 'value'  (or "value").
+    let mut parts = inner.splitn(2, '=');
+    let lhs = parts.next().unwrap_or("").trim();
+    let rhs = parts
+        .next()
+        .ok_or_else(|| format!("unsupported predicate {inner:?} (only @name = 'value')"))?
+        .trim();
+    let name = lhs
+        .strip_prefix('@')
+        .ok_or_else(|| format!("unsupported predicate {inner:?} (only @name = 'value')"))?;
+    let value = rhs
+        .strip_prefix('\'')
+        .and_then(|r| r.strip_suffix('\''))
+        .or_else(|| rhs.strip_prefix('"').and_then(|r| r.strip_suffix('"')))
+        .ok_or_else(|| format!("predicate value must be quoted in {inner:?}"))?;
+    Ok(AttrPredicate {
+        name: name.trim().to_string(),
+        value: value.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlstore::parser::ParseOptions;
+
+    fn tree() -> (Store, NodeId, NodeId, NodeId, NodeId) {
+        let mut s = Store::new();
+        let doc = s
+            .parse_str(
+                "<a><b keep='yes'>text</b><c><b/></c></a>",
+                &ParseOptions::default(),
+            )
+            .unwrap();
+        let a = s.document_element(doc).unwrap();
+        let b1 = s.child_elements(a)[0];
+        let c = s.child_elements(a)[1];
+        (s, doc, a, b1, c)
+    }
+
+    #[test]
+    fn simple_name_and_star() {
+        let (s, doc, a, b1, _) = tree();
+        let p = Pattern::parse_single("b").unwrap();
+        assert!(p.matches(&s, b1));
+        assert!(!p.matches(&s, a));
+        assert!(!p.matches(&s, doc));
+        let any = Pattern::parse_single("*").unwrap();
+        assert!(any.matches(&s, a));
+        assert!(any.matches(&s, b1));
+        assert!(!any.matches(&s, doc));
+    }
+
+    #[test]
+    fn root_text_node_patterns() {
+        let (s, doc, a, b1, _) = tree();
+        assert!(Pattern::Root.matches(&s, doc));
+        assert!(!Pattern::Root.matches(&s, a));
+        let text = s.children(b1)[0];
+        assert!(Pattern::parse_single("text()").unwrap().matches(&s, text));
+        assert!(Pattern::parse_single("node()").unwrap().matches(&s, text));
+        assert!(Pattern::parse_single("node()").unwrap().matches(&s, a));
+        assert!(!Pattern::parse_single("node()").unwrap().matches(&s, doc));
+    }
+
+    #[test]
+    fn parent_chains() {
+        let (s, _, _, b1, c) = tree();
+        let b_in_c = s.child_elements(c)[0];
+        let p = Pattern::parse_single("c/b").unwrap();
+        assert!(p.matches(&s, b_in_c));
+        assert!(!p.matches(&s, b1));
+        let p = Pattern::parse_single("a/c/b").unwrap();
+        assert!(p.matches(&s, b_in_c));
+        let p = Pattern::parse_single("*/b").unwrap();
+        assert!(p.matches(&s, b_in_c));
+        assert!(p.matches(&s, b1));
+    }
+
+    #[test]
+    fn attribute_patterns_and_predicates() {
+        let (s, _, _, b1, c) = tree();
+        let keep = s.attribute_node(b1, "keep").unwrap();
+        assert!(Pattern::parse_single("@keep").unwrap().matches(&s, keep));
+        assert!(Pattern::parse_single("@*").unwrap().matches(&s, keep));
+        assert!(!Pattern::parse_single("@nope").unwrap().matches(&s, keep));
+        let p = Pattern::parse_single("b[@keep = 'yes']").unwrap();
+        assert!(p.matches(&s, b1));
+        let b_in_c = s.child_elements(c)[0];
+        assert!(!p.matches(&s, b_in_c));
+    }
+
+    #[test]
+    fn unions_expand() {
+        let ps = Pattern::parse_union("a | b|text()").unwrap();
+        assert_eq!(ps.len(), 3);
+    }
+
+    #[test]
+    fn priorities_rank_specificity() {
+        let name = Pattern::parse_single("b").unwrap();
+        let star = Pattern::parse_single("*").unwrap();
+        let chain = Pattern::parse_single("c/b").unwrap();
+        let pred = Pattern::parse_single("b[@k = 'v']").unwrap();
+        assert!(chain.default_priority() > name.default_priority());
+        assert!(pred.default_priority() > name.default_priority());
+        assert!(name.default_priority() > star.default_priority());
+        assert!(star.default_priority() >= Pattern::Text.default_priority());
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Pattern::parse_single("").is_err());
+        assert!(Pattern::parse_single("a[b").is_err());
+        assert!(Pattern::parse_single("a[position() = 1]").is_err());
+        assert!(Pattern::parse_single("a//b").is_err());
+    }
+}

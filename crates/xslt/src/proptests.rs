@@ -1,0 +1,66 @@
+//! Property tests: the processor must reject or process — never panic —
+//! whatever stylesheet/input combination arrives, and identity-style
+//! transforms must round-trip.
+
+use crate::transform_str;
+use proptest::prelude::*;
+
+fn small_xml() -> impl Strategy<Value = String> {
+    // name, attr value, text
+    ("[a-z]{1,6}", "[a-z0-9]{0,6}", "[ a-z0-9]{0,10}").prop_map(|(name, attr, text)| {
+        format!("<{name} a=\"{attr}\"><child>{text}</child><child/></{name}>")
+    })
+}
+
+proptest! {
+    /// Arbitrary noise as a stylesheet: error or success, never a panic.
+    #[test]
+    fn never_panics_on_noise_sheets(noise in ".{0,120}", input in small_xml()) {
+        let _ = transform_str(&noise, &input);
+        let sheet = format!(
+            "<xsl:stylesheet xmlns:xsl=\"x\"><xsl:template match=\"/\">{}</xsl:template></xsl:stylesheet>",
+            xml_escape(&noise)
+        );
+        let _ = transform_str(&sheet, &input);
+    }
+
+    /// The copy-everything stylesheet reproduces any input element.
+    #[test]
+    fn copy_of_is_identity(input in small_xml()) {
+        let sheet = r#"<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+            <xsl:template match="/"><xsl:copy-of select="*"/></xsl:template>
+        </xsl:stylesheet>"#;
+        let out = transform_str(sheet, &input).unwrap();
+        // Compare via re-parse (attribute quoting may differ textually).
+        let mut a = xmlstore::Store::new();
+        let da = a.parse_str(&input, &xmlstore::parser::ParseOptions::data_oriented()).unwrap();
+        let mut b = xmlstore::Store::new();
+        let db = b.parse_str(&out, &xmlstore::parser::ParseOptions::data_oriented()).unwrap();
+        prop_assert_eq!(a.to_xml(da), b.to_xml(db));
+    }
+
+    /// Built-in rules alone produce the concatenated text of the document.
+    #[test]
+    fn builtin_rules_yield_string_value(input in small_xml()) {
+        let sheet = r#"<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+        </xsl:stylesheet>"#;
+        let out = transform_str(sheet, &input).unwrap();
+        let mut s = xmlstore::Store::new();
+        let d = s.parse_str(&input, &xmlstore::parser::ParseOptions::data_oriented()).unwrap();
+        let expected = xmlstore::serializer::escape_text(&s.string_value(d));
+        prop_assert_eq!(out, expected);
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.chars()
+        .filter(|c| !c.is_control())
+        .map(|c| match c {
+            '<' => "&lt;".to_string(),
+            '>' => "&gt;".to_string(),
+            '&' => "&amp;".to_string(),
+            '"' => "&quot;".to_string(),
+            other => other.to_string(),
+        })
+        .collect()
+}

@@ -1,0 +1,77 @@
+//! "AWB has retargeted to be a workbench for (1) an antique glass dealer,
+//! and (2) itself." — this example is the (2): a metamodel describing a
+//! software workbench, a model describing *this repository*, and the
+//! document generator producing the repository's own overview document.
+//!
+//! Run with: `cargo run --example awb_documents_itself`
+
+use lopsided::awb::workload::{awb_self_metamodel, awb_self_model};
+use lopsided::awb::{omissions, Query};
+use lopsided::docgen::{self, normalized_equal, GenInputs, Template};
+
+const SELF_TEMPLATE: &str = r#"<template>
+  <h1>The Lopsided Workbench, documented by itself</h1>
+  <table-of-contents/>
+  <section heading="Crates">
+    <ul>
+      <for nodes="all.Crate">
+        <li><b><label/></b> v<value-of property="version"/> — <value-of property="description" default=""/></li>
+      </for>
+    </ul>
+  </section>
+  <section heading="Modules by size">
+    <for nodes="all.Module">
+      <p><label/> (<value-of property="loc"/> loc)</p>
+    </for>
+  </section>
+  <section heading="Experiments">
+    <for nodes="all.Experiment">
+      <p><label/>
+        <if>
+          <test><has-property name="paper-section"/></test>
+          <then> — §<value-of property="paper-section"/></then>
+          <else> — <b>not yet mapped to the paper!</b></else>
+        </if>
+      </p>
+    </for>
+  </section>
+  <section heading="Record keeping">
+    <table-of-omissions types="Experiment"/>
+  </section>
+</template>"#;
+
+fn main() {
+    let meta = awb_self_metamodel();
+    let model = awb_self_model();
+    println!(
+        "self-model: {} nodes, {} relation objects\n",
+        model.node_count(),
+        model.relation_count()
+    );
+
+    // What does the xquery crate depend on? Ask the calculus.
+    let deps = Query::from_label("docgen").follow("depends-on").sort_by_label();
+    let names: Vec<&str> = deps
+        .run_native(&model, &meta)
+        .into_iter()
+        .map(|n| model.label(n))
+        .collect();
+    println!("docgen depends on: {names:?}\n");
+
+    let template = Template::parse(SELF_TEMPLATE).expect("template parses");
+    let inputs = GenInputs {
+        model: &model,
+        meta: &meta,
+        template: &template,
+    };
+    let native = docgen::native::generate(&inputs).expect("native generation");
+    let xq = docgen::xq::generate(&inputs).expect("XQuery generation");
+    assert!(normalized_equal(&native.to_xml(), &xq.xml));
+
+    println!("{}", native.to_pretty_xml());
+
+    println!("\nOmissions window:");
+    for o in omissions::check(&model, &meta) {
+        println!("  - {o}");
+    }
+}

@@ -1,0 +1,96 @@
+//! The debugging story, §"Debugging XQuery": error-based binary search,
+//! the trace function, and the optimizer that eats your traces.
+//!
+//! Run with: `cargo run --example debugging_galax`
+
+use lopsided::xquery::{Engine, EngineOptions};
+
+fn main() {
+    // -----------------------------------------------------------------
+    // 1. "our best tool turned out to be the error($msg) function, which
+    //    prints $msg on the console and kills the program."
+    // -----------------------------------------------------------------
+    println!("== error()-based binary search ==");
+    let mut engine = Engine::new();
+    let program_with_probe = r#"
+        declare function local:step1($x) { $x * 2 };
+        declare function local:step2($x) { $x[2] };      (: the bug is near here :)
+        declare function local:step3($x) { $x + 1 };
+        let $a := local:step1(21)
+        let $probe := error("reached the probe; $a computed fine")
+        let $b := local:step2($a)
+        return local:step3($b)
+    "#;
+    match engine.evaluate_str(program_with_probe, None) {
+        Err(e) => println!("  program died as intended: {e}"),
+        Ok(_) => unreachable!("the probe kills the program"),
+    }
+
+    // -----------------------------------------------------------------
+    // 2. "After a certain amount of complaint … the XQuery team chose to …
+    //    add a trace function which prints its arguments and returns the
+    //    value of the last one."
+    // -----------------------------------------------------------------
+    println!("\n== trace(), in live position ==");
+    let mut engine = Engine::new();
+    let out = engine
+        .evaluate_str(
+            "let $x := trace(\"x=\", 6 * 7) let $y := trace(\"y=\", $x + 0) return $y",
+            None,
+        )
+        .unwrap();
+    println!("  result: {}", engine.display_sequence(&out));
+    for line in engine.take_trace() {
+        println!("  trace: {line}");
+    }
+
+    // -----------------------------------------------------------------
+    // 3. "Simply adding the trace introduces a dead variable $dummy, which
+    //    the Galax compiler helpfully optimizes away – along with the call
+    //    to trace."
+    // -----------------------------------------------------------------
+    println!("\n== the naive tracing pattern, under both optimizers ==");
+    let naive = r#"
+        let $x := 6 * 7
+        let $dummy := trace("x=", $x)
+        let $y := $x + 1
+        return $y
+    "#;
+    let mut galax = Engine::galax();
+    let q = galax.compile(naive).unwrap();
+    println!(
+        "  galax compile: {} dead let(s) removed, {} trace call(s) deleted",
+        q.stats.dead_lets_removed, q.stats.traces_removed
+    );
+    galax.evaluate(&q, None).unwrap();
+    println!("  galax trace output: {:?}   <- silence", galax.take_trace());
+
+    let mut fixed = Engine::with_options(EngineOptions::default());
+    let q = fixed.compile(naive).unwrap();
+    println!(
+        "  fixed compile: {} dead let(s) removed, {} trace call(s) deleted",
+        q.stats.dead_lets_removed, q.stats.traces_removed
+    );
+    fixed.evaluate(&q, None).unwrap();
+    println!("  fixed trace output: {:?}", fixed.take_trace());
+
+    // -----------------------------------------------------------------
+    // 4. "So, we had to insinuate trace calls into non-dead code." — and
+    //    then perform delicate surgery to take them out again.
+    // -----------------------------------------------------------------
+    println!("\n== the insinuated workaround survives even Galax ==");
+    let insinuated = "let $x := trace(\"x=\", 6 * 7) return $x + 1";
+    let mut galax = Engine::galax();
+    let out = galax.evaluate_str(insinuated, None).unwrap();
+    println!("  result: {}", galax.display_sequence(&out));
+    println!("  galax trace output: {:?}", galax.take_trace());
+
+    // -----------------------------------------------------------------
+    // 5. The error messages themselves: Galax vs fixed.
+    // -----------------------------------------------------------------
+    println!("\n== forgetting the '$' ==");
+    let mut galax = Engine::galax();
+    println!("  galax: {}", galax.evaluate_str("x", None).unwrap_err());
+    let mut fixed = Engine::new();
+    println!("  fixed: {}", fixed.evaluate_str("x", None).unwrap_err());
+}

@@ -1,0 +1,75 @@
+//! Quickstart: the XQuery engine on its own — queries, quirks, and the two
+//! comparison families the paper discusses.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use lopsided::xquery::{Engine, EngineOptions};
+
+fn show(engine: &mut Engine, query: &str) {
+    match engine.evaluate_str(query, None) {
+        Ok(seq) => println!("  {query:<55} => {}", engine.display_sequence(&seq)),
+        Err(e) => println!("  {query:<55} !! {e}"),
+    }
+}
+
+fn main() {
+    println!("== Dissecting XML (the part XQuery is superb at) ==");
+    let mut engine = Engine::new();
+    let doc = engine
+        .load_document(
+            r#"<library>
+                 <book year="1986"><title>Programming Pearls</title></book>
+                 <book year="2004"><title>XQuery from the Experts</title></book>
+               </library>"#,
+        )
+        .expect("well-formed XML");
+    engine.register_document("library", doc);
+    for q in [
+        r#"count(doc("library")//book)"#,
+        r#"string(doc("library")/library/book[@year = "2004"]/title)"#,
+        r#"for $b in doc("library")//book order by string($b/@year) descending return string($b/title)"#,
+        r#"some $b in doc("library")//book satisfies number($b/@year) lt 1990"#,
+    ] {
+        show(&mut engine, q);
+    }
+
+    println!("\n== Sequences are flat ==");
+    for q in [
+        "count((1,(2,3,4),(),(5,((6,7)))))",
+        "(1,(2,3,4),(),(5,((6,7))))",
+        "let $p1 := (1,2) let $p2 := (3,4) return count(($p1, $p2))",
+    ] {
+        show(&mut engine, q);
+    }
+
+    println!("\n== '=' is existential; 'eq' is a singleton operator ==");
+    for q in ["1 = (1,2,3)", "(1,2,3) = 3", "1 = 3", "1 eq (1,2,3)"] {
+        show(&mut engine, q);
+    }
+
+    println!("\n== Attribute folding ==");
+    for q in [
+        "let $x := attribute troubles {1} return <el> {$x} </el>",
+        "let $x := attribute troubles {1} return <el> \"doom\" {$x} </el>",
+    ] {
+        show(&mut engine, q);
+    }
+
+    println!("\n== The syntactic quirks ==");
+    for q in ["let $n-1 := 10 return $n-1", "let $n := 10 return ($n)-1", "6 div 2"] {
+        show(&mut engine, q);
+    }
+
+    println!("\n== Galax-mode error messages (quirks on) ==");
+    let mut galax = Engine::galax();
+    show(&mut galax, "x"); // forgot the '$', no context item
+
+    println!("\n== trace() under the Galax optimizer vs the fixed one ==");
+    let src = "let $x := 6 * 7 let $dummy := trace(\"x=\", $x) return $x";
+    let mut galax = Engine::galax();
+    galax.evaluate_str(src, None).unwrap();
+    println!("  galax trace output: {:?} (the dead let was optimized away!)", galax.take_trace());
+    let mut fixed = Engine::with_options(EngineOptions::default());
+    fixed.evaluate_str(src, None).unwrap();
+    println!("  fixed trace output: {:?}", fixed.take_trace());
+}

@@ -1,0 +1,38 @@
+//! # lopsided — a reproduction of *Lopsided Little Languages* (SIGMOD 2005)
+//!
+//! This workspace rebuilds, as runnable Rust, the entire system world of
+//! Bard Bloom's experience paper about using XQuery for the Architect's
+//! Workbench (AWB) document-generation subsystem — and measures every
+//! behaviour and claim the paper reports.
+//!
+//! * [`xquery`] — a from-scratch XQuery interpreter with the 2004-era
+//!   semantics the paper exercised (flat sequences, attribute-node folding,
+//!   existential `=`, `fn:trace`/`fn:error`, and a Galax-quirks mode whose
+//!   optimizer deletes dead `trace` calls).
+//! * [`xmlstore`] — the XML substrate: arena DOM, parser, serializer,
+//!   mutation, document order.
+//! * [`awb`] — the AWB substrate: metamodel, annotated multigraph, the XML
+//!   exchange format, the query calculus (with native and compiled-to-XQuery
+//!   evaluators), the omissions checker, and workload generators.
+//! * [`docgen`] — the document generator, implemented **twice**: the
+//!   original multi-phase XQuery architecture and the mutable "Java rewrite".
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use lopsided::xquery::Engine;
+//!
+//! let mut engine = Engine::new();
+//! let doc = engine.load_document("<lib><book year='2005'>Lopsided</book></lib>").unwrap();
+//! let out = engine.evaluate_str("string(/lib/book[@year = \"2005\"])", Some(doc)).unwrap();
+//! assert_eq!(engine.display_sequence(&out), "Lopsided");
+//! ```
+
+pub use awb;
+pub use docgen;
+pub use xmlstore;
+pub use xquery;
+pub use xslt;
+
+pub mod streams;
+pub mod templates;

@@ -1,0 +1,138 @@
+//! §Output Streams, reproduced.
+//!
+//! "XQuery, as is reasonable enough for a query language, produces only a
+//! single output stream. We quickly realized that we needed multiple output
+//! streams – one for the output document, another for a report of problems,
+//! etc. XQuery couldn't do that. It wasn't a huge problem – the XQuery
+//! component could produce a big XML file with all the output streams as
+//! children of the root element, and a little XSLT program could split them
+//! apart – but by that time it seemed to be adding insult to injury."
+//!
+//! [`generate_with_streams`] runs the XQuery document generator, has a small
+//! XQuery program bundle the document and its problem report into one
+//! `<streams>` tree (the only thing a single-output language can do), and
+//! then runs two little XSLT programs to split the streams apart again.
+
+use docgen::{GenInputs, GenTrouble};
+use xquery::{Engine, Item};
+
+/// The split outputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamOutputs {
+    /// The generated document (error notes included in place, as rendered).
+    pub document: String,
+    /// The problems report: one `<problem>` per error note.
+    pub problems: String,
+    /// The combined single-stream tree the XQuery side actually produced.
+    pub combined: String,
+}
+
+/// The XQuery program that merges the streams — one output is all you get.
+pub const STREAMS_XQ: &str = r#"
+<streams>{
+  <document>{ $doc }</document>,
+  <problems>{
+    for $e in $doc//span[@class = "gen-error"]
+    return <problem>{ string($e) }</problem>
+  }</problems>
+}</streams>
+"#;
+
+/// The little XSLT program that recovers the document stream.
+pub const SPLIT_DOCUMENT_XSL: &str = r#"<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+  <xsl:template match="/"><xsl:copy-of select="streams/document/node()"/></xsl:template>
+</xsl:stylesheet>"#;
+
+/// The little XSLT program that recovers the problems stream.
+pub const SPLIT_PROBLEMS_XSL: &str = r#"<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+  <xsl:template match="/"><report><xsl:copy-of select="streams/problems/node()"/></report></xsl:template>
+</xsl:stylesheet>"#;
+
+/// Generates via the XQuery pipeline, merges document + problems into one
+/// `<streams>` tree, then splits with XSLT.
+pub fn generate_with_streams(inputs: &GenInputs) -> Result<StreamOutputs, GenTrouble> {
+    // 1. The XQuery document generator (single output).
+    let generated = docgen::xq::generate(inputs)?;
+
+    // 2. Bundle the streams — still a single output.
+    let mut engine = Engine::new();
+    let doc_node = engine
+        .load_document(&generated.xml)
+        .map_err(|e| GenTrouble::new(format!("re-loading generated document: {e}")))?;
+    let root = engine
+        .store()
+        .document_element(doc_node)
+        .ok_or_else(|| GenTrouble::new("generated document is empty"))?;
+    engine.bind_node("doc", root);
+    let combined_seq = engine
+        .evaluate_str(STREAMS_XQ, None)
+        .map_err(|e| GenTrouble::new(format!("streams program failed: {e}")))?;
+    let combined = match combined_seq.as_singleton() {
+        Some(Item::Node(n)) => engine.store().to_xml(*n),
+        _ => return Err(GenTrouble::new("streams program did not return one element")),
+    };
+
+    // 3. Split them apart with the little XSLT programs.
+    let document = xslt::transform_str(SPLIT_DOCUMENT_XSL, &combined)
+        .map_err(|e| GenTrouble::new(format!("document splitter: {e}")))?;
+    let problems = xslt::transform_str(SPLIT_PROBLEMS_XSL, &combined)
+        .map_err(|e| GenTrouble::new(format!("problems splitter: {e}")))?;
+
+    Ok(StreamOutputs {
+        document,
+        problems,
+        combined,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awb::workload::{it_architecture, it_metamodel, ItScale};
+    use docgen::Template;
+
+    #[test]
+    fn streams_split_cleanly() {
+        let meta = it_metamodel();
+        let model = it_architecture(ItScale::about(60), 9);
+        // The faulty template guarantees some problems.
+        let template = Template::parse(crate::templates::FAULTY_DOCUMENT_LIST).unwrap();
+        let inputs = GenInputs {
+            model: &model,
+            meta: &meta,
+            template: &template,
+        };
+        let out = generate_with_streams(&inputs).unwrap();
+        assert!(out.combined.starts_with("<streams>"));
+        assert!(out.document.starts_with("<document>"), "{}", out.document);
+        assert!(out.problems.starts_with("<report>"), "{}", out.problems);
+        let n_problems = out.problems.matches("<problem>").count();
+        assert!(n_problems > 0, "the workload seeds missing versions");
+        assert_eq!(
+            n_problems,
+            out.document.matches("gen-error").count(),
+            "one problem per inline error note"
+        );
+        // The recovered document equals the generator's own output.
+        let direct = docgen::xq::generate(&inputs).unwrap();
+        assert_eq!(out.document, direct.xml);
+    }
+
+    #[test]
+    fn clean_model_yields_empty_report() {
+        let meta = it_metamodel();
+        let mut model = it_architecture(ItScale::about(40), 10);
+        // Fill in every version so nothing is missing.
+        for d in model.nodes_of_type("Document", &meta) {
+            model.set_prop(d, "version", awb::PropValue::Str("1.0".into()));
+        }
+        let template = Template::parse(crate::templates::FAULTY_DOCUMENT_LIST).unwrap();
+        let inputs = GenInputs {
+            model: &model,
+            meta: &meta,
+            template: &template,
+        };
+        let out = generate_with_streams(&inputs).unwrap();
+        assert_eq!(out.problems, "<report/>");
+    }
+}

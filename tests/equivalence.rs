@@ -1,0 +1,70 @@
+//! Experiment E7: "In a few weeks we had pretty much reproduced the power of
+//! the XQuery code" — the two generators must produce identical documents on
+//! every workload, fault-free or not.
+
+use lopsided::awb::workload::{glass_catalog, glass_metamodel, it_architecture, it_metamodel, ItScale};
+use lopsided::docgen::{self, normalized_equal, GenInputs, Template};
+use lopsided::templates;
+
+fn assert_engines_agree(model: &lopsided::awb::Model, meta: &lopsided::awb::Metamodel, template: &str) {
+    let template = Template::parse(template).expect("template parses");
+    let inputs = GenInputs {
+        model,
+        meta,
+        template: &template,
+    };
+    let native = docgen::native::generate(&inputs).expect("native generation");
+    let xq = docgen::xq::generate(&inputs).expect("XQuery generation");
+    assert!(
+        normalized_equal(&native.to_xml(), &xq.xml),
+        "engines disagree.\n--- native ---\n{}\n--- xquery ---\n{}",
+        native.to_xml(),
+        xq.xml
+    );
+    assert_eq!(
+        native.trouble_count, xq.trouble_count,
+        "error-note counts disagree"
+    );
+}
+
+#[test]
+fn system_context_on_it_architecture() {
+    let meta = it_metamodel();
+    for seed in [1, 2, 3] {
+        let model = it_architecture(ItScale::about(60), seed);
+        assert_engines_agree(&model, &meta, templates::SYSTEM_CONTEXT);
+    }
+}
+
+#[test]
+fn catalogue_on_glass_dealer() {
+    let meta = glass_metamodel();
+    for seed in [10, 11] {
+        let model = glass_catalog(25, seed);
+        assert_engines_agree(&model, &meta, templates::GLASS_CATALOGUE);
+    }
+}
+
+#[test]
+fn faulty_template_agrees_including_error_notes() {
+    let meta = it_metamodel();
+    let model = it_architecture(ItScale::about(60), 4);
+    // FAULTY_DOCUMENT_LIST hits documents whose version is missing; both
+    // engines must emit the same error notes in the same places.
+    assert_engines_agree(&model, &meta, templates::FAULTY_DOCUMENT_LIST);
+}
+
+#[test]
+fn scaling_template_agrees() {
+    let meta = it_metamodel();
+    let model = it_architecture(ItScale::about(40), 5);
+    let template = templates::scaling_template(6);
+    assert_engines_agree(&model, &meta, &template);
+}
+
+#[test]
+fn empty_model_agrees() {
+    let meta = it_metamodel();
+    let model = lopsided::awb::Model::new();
+    assert_engines_agree(&model, &meta, templates::SYSTEM_CONTEXT);
+}

@@ -1,0 +1,197 @@
+//! Property test for E7: the native and XQuery generators agree on
+//! *randomly generated* templates, not just the canned ones.
+
+use lopsided::awb::workload::{it_architecture, it_metamodel, ItScale};
+use lopsided::docgen::{self, normalized_equal, GenInputs, Template};
+use proptest::prelude::*;
+
+/// A random template AST we can render to XML.
+#[derive(Debug, Clone)]
+enum Tpl {
+    Text(String),
+    Passthrough(Vec<Tpl>),
+    Label,
+    ValueOf { prop: String, default: Option<String> },
+    If { cond: Cond, then: Vec<Tpl>, els: Option<Vec<Tpl>> },
+    For { ty: String, body: Vec<Tpl> },
+    Section { heading: String, body: Vec<Tpl> },
+    Toc,
+    Omissions(String),
+    List(String),
+}
+
+#[derive(Debug, Clone)]
+enum Cond {
+    FocusIsType(String),
+    HasProperty(String),
+    PropertyEquals(String, String),
+    Not(Box<Cond>),
+}
+
+const TYPES: &[&str] = &["user", "superuser", "Program", "Document", "Server", "Thing"];
+const PROPS: &[&str] = &["language", "version", "firstName", "cores", "nonexistent"];
+
+fn type_name() -> impl Strategy<Value = String> {
+    prop::sample::select(TYPES).prop_map(str::to_string)
+}
+
+fn prop_name() -> impl Strategy<Value = String> {
+    prop::sample::select(PROPS).prop_map(str::to_string)
+}
+
+fn cond_strategy() -> impl Strategy<Value = Cond> {
+    let leaf = prop_oneof![
+        type_name().prop_map(Cond::FocusIsType),
+        prop_name().prop_map(Cond::HasProperty),
+        (prop_name(), "[a-z]{0,4}").prop_map(|(p, v)| Cond::PropertyEquals(p, v)),
+    ];
+    leaf.prop_recursive(2, 4, 1, |inner| inner.prop_map(|c| Cond::Not(Box::new(c))))
+}
+
+/// `in_focus` controls whether focus-dependent directives are allowed.
+fn tpl_strategy(in_focus: bool) -> impl Strategy<Value = Tpl> {
+    let text = "[ a-zA-Z0-9,.]{1,12}".prop_map(Tpl::Text);
+    let leaf = if in_focus {
+        prop_oneof![
+            text,
+            Just(Tpl::Label),
+            (prop_name(), prop::option::of("[a-z]{0,4}".prop_map(String::from)))
+                .prop_map(|(prop, default)| Tpl::ValueOf { prop, default }),
+        ]
+        .boxed()
+    } else {
+        prop_oneof![
+            text,
+            Just(Tpl::Toc),
+            type_name().prop_map(Tpl::Omissions),
+            type_name().prop_map(Tpl::List),
+        ]
+        .boxed()
+    };
+    leaf.prop_recursive(3, 16, 3, move |inner| {
+        let body = prop::collection::vec(inner.clone(), 0..3);
+        let mut choices = vec![
+            body.clone().prop_map(Tpl::Passthrough).boxed(),
+            ("[A-Z][a-z]{0,8}", body.clone())
+                .prop_map(|(heading, body)| Tpl::Section { heading, body })
+                .boxed(),
+        ];
+        if in_focus {
+            choices.push(
+                (cond_strategy(), body.clone(), prop::option::of(body.clone()))
+                    .prop_map(|(cond, then, els)| Tpl::If { cond, then, els })
+                    .boxed(),
+            );
+        } else {
+            // Entering a <for> switches the body strategy to focus-allowed.
+            choices.push(
+                (type_name(), prop::collection::vec(tpl_strategy_focused(), 0..3))
+                    .prop_map(|(ty, body)| Tpl::For { ty, body })
+                    .boxed(),
+            );
+        }
+        prop::strategy::Union::new(choices)
+    })
+}
+
+/// A small, non-recursive focused strategy for `for` bodies (bounded depth).
+fn tpl_strategy_focused() -> impl Strategy<Value = Tpl> {
+    prop_oneof![
+        "[ a-z]{1,8}".prop_map(Tpl::Text),
+        Just(Tpl::Label),
+        (prop_name(), prop::option::of("[a-z]{0,4}".prop_map(String::from)))
+            .prop_map(|(prop, default)| Tpl::ValueOf { prop, default }),
+        (cond_strategy(), prop::collection::vec(Just(Tpl::Label), 0..2))
+            .prop_map(|(cond, then)| Tpl::If { cond, then, els: None }),
+    ]
+}
+
+fn render(tpl: &Tpl, out: &mut String) {
+    match tpl {
+        Tpl::Text(t) => out.push_str(t),
+        Tpl::Passthrough(body) => {
+            out.push_str("<div>");
+            body.iter().for_each(|t| render(t, out));
+            out.push_str("</div>");
+        }
+        Tpl::Label => out.push_str("<label/>"),
+        Tpl::ValueOf { prop, default } => {
+            out.push_str(&format!("<value-of property=\"{prop}\""));
+            if let Some(d) = default {
+                out.push_str(&format!(" default=\"{d}\""));
+            }
+            out.push_str("/>");
+        }
+        Tpl::If { cond, then, els } => {
+            out.push_str("<if><test>");
+            render_cond(cond, out);
+            out.push_str("</test><then>");
+            then.iter().for_each(|t| render(t, out));
+            out.push_str("</then>");
+            if let Some(els) = els {
+                out.push_str("<else>");
+                els.iter().for_each(|t| render(t, out));
+                out.push_str("</else>");
+            }
+            out.push_str("</if>");
+        }
+        Tpl::For { ty, body } => {
+            out.push_str(&format!("<for nodes=\"all.{ty}\">"));
+            body.iter().for_each(|t| render(t, out));
+            out.push_str("</for>");
+        }
+        Tpl::Section { heading, body } => {
+            out.push_str(&format!("<section heading=\"{heading}\">"));
+            body.iter().for_each(|t| render(t, out));
+            out.push_str("</section>");
+        }
+        Tpl::Toc => out.push_str("<table-of-contents/>"),
+        Tpl::Omissions(ty) => out.push_str(&format!("<table-of-omissions types=\"{ty}\"/>")),
+        Tpl::List(ty) => out.push_str(&format!(
+            "<list><query><start type=\"{ty}\"/><sort-by-label/></query></list>"
+        )),
+    }
+}
+
+fn render_cond(cond: &Cond, out: &mut String) {
+    match cond {
+        Cond::FocusIsType(ty) => out.push_str(&format!("<focus-is-type type=\"{ty}\"/>")),
+        Cond::HasProperty(p) => out.push_str(&format!("<has-property name=\"{p}\"/>")),
+        Cond::PropertyEquals(p, v) => {
+            out.push_str(&format!("<property-equals name=\"{p}\" value=\"{v}\"/>"))
+        }
+        Cond::Not(inner) => {
+            out.push_str("<not>");
+            render_cond(inner, out);
+            out.push_str("</not>");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn engines_agree_on_random_templates(
+        parts in prop::collection::vec(tpl_strategy(false), 1..5),
+        seed in 0u64..100,
+    ) {
+        let mut xml = String::from("<template>");
+        parts.iter().for_each(|t| render(t, &mut xml));
+        xml.push_str("</template>");
+
+        let meta = it_metamodel();
+        let model = it_architecture(ItScale::about(30), seed);
+        let template = Template::parse(&xml).expect("rendered template parses");
+        let inputs = GenInputs { model: &model, meta: &meta, template: &template };
+
+        let native = docgen::native::generate(&inputs).expect("native generation");
+        let xq = docgen::xq::generate(&inputs).expect("XQuery generation");
+        prop_assert!(
+            normalized_equal(&native.to_xml(), &xq.xml),
+            "template: {}\n--- native ---\n{}\n--- xquery ---\n{}",
+            xml, native.to_xml(), xq.xml
+        );
+        prop_assert_eq!(native.trouble_count, xq.trouble_count);
+    }
+}

@@ -1,0 +1,116 @@
+//! The paper's reported behaviours, regenerated through the *public* API
+//! (the unit-level versions live inside `xquery`; these guard the facade).
+
+use lopsided::xquery::{Engine, ErrorCode};
+
+fn display(engine: &mut Engine, src: &str) -> String {
+    match engine.evaluate_str(src, None) {
+        Ok(s) if s.is_empty() => "()".to_string(),
+        Ok(s) => engine.display_sequence(&s),
+        Err(e) => format!("error:{}", e.code),
+    }
+}
+
+/// T1: the indexing table, one row per assertion.
+#[test]
+fn t1_indexing_table_via_public_api() {
+    let mut e = Engine::new();
+    let case = |e: &mut Engine, x: &str, y: &str, z: &str| {
+        display(e, &format!("let $X := {x} let $Y := {y} let $Z := {z} return ($X,$Y,$Z)[2]"))
+    };
+    assert_eq!(case(&mut e, "1", "2", "3"), "2");
+    assert_eq!(case(&mut e, "1", "(2, \"2a\")", "4"), "2");
+    assert_eq!(case(&mut e, "1", "()", "3"), "3");
+    assert_eq!(case(&mut e, "(\"1a\",\"1b\")", "2", "3"), "1b");
+    assert_eq!(case(&mut e, "1", "()", "(\"3a\",\"3b\")"), "3a"); // paper erratum: prints "3b"
+    assert_eq!(case(&mut e, "()", "(2)", "()"), "()");
+    // The error row, element form:
+    let err = e
+        .evaluate_str(
+            "let $X := 1 let $Y := attribute y {\"why?\"} let $Z := 2 return <el>{$X}{$Y}{$Z}</el>",
+            None,
+        )
+        .unwrap_err();
+    assert_eq!(err.code, ErrorCode::XQTY0024);
+}
+
+/// B1: the three attribute-folding programs.
+#[test]
+fn b1_attribute_folding_via_public_api() {
+    let mut e = Engine::new();
+    let out = e
+        .evaluate_str("let $x := attribute troubles {1} return <el> {$x} </el>", None)
+        .unwrap();
+    assert_eq!(e.serialize_sequence(&out), "<el troubles=\"1\"/>");
+
+    let err = e
+        .evaluate_str("let $x := attribute troubles {1} return <el> \"doom\" {$x} </el>", None)
+        .unwrap_err();
+    assert_eq!(err.code, ErrorCode::XQTY0024);
+
+    // Galax keeps duplicates.
+    let mut galax = Engine::galax();
+    let out = galax
+        .evaluate_str(
+            "let $a := attribute a {1} let $b := attribute a {2} let $c := attribute b {3} return <el> {$a}{$b}{$c} </el>",
+            None,
+        )
+        .unwrap();
+    assert_eq!(galax.serialize_sequence(&out), "<el a=\"1\" a=\"2\" b=\"3\"/>");
+}
+
+/// B2: existential `=` vs the singleton operators.
+#[test]
+fn b2_comparison_families_via_public_api() {
+    let mut e = Engine::new();
+    assert_eq!(display(&mut e, "1 = (1,2,3)"), "true");
+    assert_eq!(display(&mut e, "(1,2,3) = 3"), "true");
+    assert_eq!(display(&mut e, "1 = 3"), "false");
+    assert_eq!(display(&mut e, "1 eq (1,2,3)"), "error:XPTY0004");
+    assert_eq!(display(&mut e, "1 eq 1"), "true");
+}
+
+/// B3: the syntactic quirks.
+#[test]
+fn b3_syntactic_quirks_via_public_api() {
+    let mut e = Engine::new();
+    // $n-1 is one variable
+    assert_eq!(display(&mut e, "let $n-1 := 42 return $n-1"), "42");
+    // subtraction needs the break
+    assert_eq!(display(&mut e, "let $n := 42 return ($n)-1"), "41");
+    assert_eq!(display(&mut e, "let $n := 42 return $n - 1"), "41");
+    // div, not /
+    assert_eq!(display(&mut e, "6 div 4"), "1.5");
+    // bare name is a child step; Galax's message is verbatim
+    let mut galax = Engine::galax();
+    assert_eq!(
+        galax.evaluate_str("x", None).unwrap_err().message,
+        "Internal_Error: Variable '$glx:dot' not found."
+    );
+}
+
+/// The quantifier example from the XQuery tour.
+#[test]
+fn quantifier_tour_example() {
+    let mut e = Engine::new();
+    let doc = e
+        .load_document("<x><kids><k><foo/><foo/><bar/></k><k><bar/></k></kids></x>")
+        .unwrap();
+    e.bind_node("x", e.store().document_element(doc).unwrap());
+    assert_eq!(
+        display(&mut e, "some $y in $x/kids/k satisfies count($y//foo) gt count($y//bar)"),
+        "true"
+    );
+}
+
+/// E4 in miniature: compile-time stats show the trace deletion.
+#[test]
+fn e4_trace_deletion_stats() {
+    let src = "let $x := 1 let $dummy := trace(\"x=\", $x) return $x";
+    let galax = Engine::galax();
+    let q = galax.compile(src).unwrap();
+    assert_eq!((q.stats.dead_lets_removed, q.stats.traces_removed), (1, 1));
+    let fixed = Engine::new();
+    let q = fixed.compile(src).unwrap();
+    assert_eq!((q.stats.dead_lets_removed, q.stats.traces_removed), (0, 0));
+}
