@@ -120,7 +120,11 @@ impl Query {
     }
 
     /// Follow forward, "but only to" targets of the given type.
-    pub fn follow_to(mut self, relation: impl Into<String>, target_type: impl Into<String>) -> Self {
+    pub fn follow_to(
+        mut self,
+        relation: impl Into<String>,
+        target_type: impl Into<String>,
+    ) -> Self {
         self.steps.push(QueryStep::Follow {
             relation: relation.into(),
             direction: Direction::Forward,
@@ -209,9 +213,9 @@ impl Query {
                         target_type: attr("target-type"),
                     });
                 }
-                "filter-type" => {
-                    steps.push(QueryStep::FilterType(attr("type").ok_or("<filter-type> needs type=")?))
-                }
+                "filter-type" => steps.push(QueryStep::FilterType(
+                    attr("type").ok_or("<filter-type> needs type=")?,
+                )),
                 "filter-property" => steps.push(QueryStep::FilterProperty {
                     name: attr("name").ok_or("<filter-property> needs name=")?,
                     equals: attr("equals").ok_or("<filter-property> needs equals=")?,
@@ -297,10 +301,9 @@ impl Query {
         let mut step_no = 0usize;
 
         let start = match &self.start {
-            StartSet::AllOfType(ty) => format!(
-                "$m/node[@type = {}]",
-                string_list(&meta.node_subtypes(ty))
-            ),
+            StartSet::AllOfType(ty) => {
+                format!("$m/node[@type = {}]", string_list(&meta.node_subtypes(ty)))
+            }
             StartSet::NodeByLabel(label) => {
                 format!("$m/node[@label = {}][1]", xq_string(label))
             }
@@ -373,33 +376,63 @@ impl Query {
     /// Runs the compiled XQuery against a freshly exported copy of `model`
     /// (engine construction, export, compile, evaluate — the full cost the
     /// UI would have paid per query).
-    pub fn run_xquery(&self, model: &Model, meta: &Metamodel) -> Result<Vec<NodeRef>, xquery::Error> {
+    pub fn run_xquery(
+        &self,
+        model: &Model,
+        meta: &Metamodel,
+    ) -> Result<Vec<NodeRef>, xquery::Error> {
         let mut engine = Engine::new();
         let doc = xmlio::export_to_store(model, engine.store_mut());
         engine.register_document("awb-model", doc);
         self.run_xquery_prepared(&mut engine, model, meta)
     }
 
+    /// Compiles the generated XQuery once against `engine`, so repeated
+    /// evaluations (the UI re-running the same query) pay only the lowered
+    /// program's run cost, not parse + optimize + lower every time.
+    pub fn prepare_xquery(
+        &self,
+        engine: &Engine,
+        meta: &Metamodel,
+    ) -> Result<PreparedQuery, xquery::Error> {
+        let compiled = engine.compile(&self.to_xquery(meta))?;
+        Ok(PreparedQuery { compiled })
+    }
+
     /// Runs the compiled XQuery on an engine that already holds the exported
     /// model (registered as `"awb-model"`). Isolates query-evaluation cost
-    /// from export cost in the benches.
+    /// from export cost in the benches; compiles once per call (use
+    /// [`Query::prepare_xquery`] to also amortize compilation).
     pub fn run_xquery_prepared(
         &self,
         engine: &mut Engine,
         model: &Model,
         meta: &Metamodel,
     ) -> Result<Vec<NodeRef>, xquery::Error> {
-        let src = self.to_xquery(meta);
-        let out = engine.evaluate_str(&src, None)?;
+        self.prepare_xquery(engine, meta)?.run(engine, model)
+    }
+}
+
+/// A calculus query compiled down to a lowered XQuery program, reusable
+/// across evaluations on the engine it was compiled for.
+pub struct PreparedQuery {
+    compiled: xquery::CompiledQuery,
+}
+
+impl PreparedQuery {
+    /// Evaluates the prepared program and maps the returned id strings back
+    /// to model nodes.
+    pub fn run(&self, engine: &mut Engine, model: &Model) -> Result<Vec<NodeRef>, xquery::Error> {
+        let out = engine.evaluate(&self.compiled, None)?;
         let mut refs = Vec::with_capacity(out.len());
         for item in out.iter() {
             let id = match item {
                 Item::Atomic(a) => a.to_text(),
                 Item::Node(n) => engine.store().string_value(*n),
             };
-            let node = model
-                .node_from_id_string(&id)
-                .ok_or_else(|| xquery::Error::internal(format!("query returned unknown id {id:?}")))?;
+            let node = model.node_from_id_string(&id).ok_or_else(|| {
+                xquery::Error::internal(format!("query returned unknown id {id:?}"))
+            })?;
             refs.push(node);
         }
         Ok(refs)
@@ -499,7 +532,9 @@ mod tests {
     #[test]
     fn backward_follow() {
         let (meta, m) = setup();
-        let q = Query::from_label("Compiler").follow_back("uses").sort_by_label();
+        let q = Query::from_label("Compiler")
+            .follow_back("uses")
+            .sort_by_label();
         let native = q.run_native(&m, &meta);
         let labels: Vec<&str> = native.iter().map(|&n| m.label(n)).collect();
         assert_eq!(labels, vec!["Root"]);
@@ -555,8 +590,14 @@ mod tests {
                 .dedup()
                 .sort_by_label()
         );
-        assert!(Query::from_xml("<query><follow relation='x'/></query>").is_err(), "no start");
-        assert!(Query::from_xml("<query><start/><warp/></query>").is_err(), "unknown step");
+        assert!(
+            Query::from_xml("<query><follow relation='x'/></query>").is_err(),
+            "no start"
+        );
+        assert!(
+            Query::from_xml("<query><start/><warp/></query>").is_err(),
+            "unknown step"
+        );
         assert!(Query::from_xml("<nope/>").is_err());
     }
 

@@ -31,7 +31,7 @@ pub mod omissions;
 pub mod workload;
 pub mod xmlio;
 
-pub use calculus::{Direction, Query, QueryStep, StartSet};
+pub use calculus::{Direction, PreparedQuery, Query, QueryStep, StartSet};
 pub use meta::{Metamodel, PropType, Requirement};
 pub use model::{Model, NodeRef, PropValue, RelRef};
 pub use omissions::{Omission, OmissionKind};

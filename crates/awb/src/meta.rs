@@ -118,7 +118,10 @@ impl Metamodel {
                 parent: parent.map(str::to_string),
                 properties: properties
                     .into_iter()
-                    .map(|(n, ty)| PropertyDecl { name: n.to_string(), ty })
+                    .map(|(n, ty)| PropertyDecl {
+                        name: n.to_string(),
+                        ty,
+                    })
                     .collect(),
             },
         );
@@ -177,7 +180,9 @@ impl Metamodel {
 
     /// Is node type `sub` equal to or a descendant of `sup`?
     pub fn is_node_subtype(&self, sub: &str, sup: &str) -> bool {
-        self.is_subtype(sub, sup, |n| self.node_types.get(n).and_then(|d| d.parent.as_deref()))
+        self.is_subtype(sub, sup, |n| {
+            self.node_types.get(n).and_then(|d| d.parent.as_deref())
+        })
     }
 
     /// Is relation type `sub` equal to or a descendant of `sup`? ("favors
@@ -264,11 +269,15 @@ impl Metamodel {
         let mut hops = 0;
         while let Some(def) = cur {
             if def.expectations.iter().any(|e| {
-                self.is_node_subtype(src_type, &e.source) && self.is_node_subtype(tgt_type, &e.target)
+                self.is_node_subtype(src_type, &e.source)
+                    && self.is_node_subtype(tgt_type, &e.target)
             }) {
                 return true;
             }
-            cur = def.parent.as_deref().and_then(|p| self.relation_types.get(p));
+            cur = def
+                .parent
+                .as_deref()
+                .and_then(|p| self.relation_types.get(p));
             hops += 1;
             if hops > 64 {
                 break;
@@ -285,13 +294,21 @@ mod tests {
     fn sample() -> Metamodel {
         let mut m = Metamodel::new();
         m.add_node_type("Thing", None, vec![("label", PropType::Str)]);
-        m.add_node_type("Person", Some("Thing"), vec![
-            ("firstName", PropType::Str),
-            ("lastName", PropType::Str),
-            ("birthYear", PropType::Int),
-            ("biography", PropType::Html),
-        ]);
-        m.add_node_type("SuperUser", Some("Person"), vec![("clearance", PropType::Int)]);
+        m.add_node_type(
+            "Person",
+            Some("Thing"),
+            vec![
+                ("firstName", PropType::Str),
+                ("lastName", PropType::Str),
+                ("birthYear", PropType::Int),
+                ("biography", PropType::Html),
+            ],
+        );
+        m.add_node_type(
+            "SuperUser",
+            Some("Person"),
+            vec![("clearance", PropType::Int)],
+        );
         m.add_node_type("Program", Some("Thing"), vec![]);
         m.add_relation_type("likes", None, vec![("Person", "Thing")]);
         m.add_relation_type("favors", Some("likes"), vec![]);
@@ -333,8 +350,15 @@ mod tests {
         let props = m.properties_of("Shadow");
         let bio = props.iter().find(|p| p.name == "biography").unwrap();
         assert_eq!(bio.ty, PropType::Str);
-        assert!(props.iter().any(|p| p.name == "label"), "inherited from Thing");
-        let names: Vec<_> = m.properties_of("SuperUser").iter().map(|p| p.name.clone()).collect();
+        assert!(
+            props.iter().any(|p| p.name == "label"),
+            "inherited from Thing"
+        );
+        let names: Vec<_> = m
+            .properties_of("SuperUser")
+            .iter()
+            .map(|p| p.name.clone())
+            .collect();
         assert!(names.contains(&"clearance".to_string()));
         assert!(names.contains(&"firstName".to_string()));
     }
@@ -366,7 +390,10 @@ mod tests {
         m.add_node_type("A", Some("B"), vec![]);
         m.add_node_type("B", Some("A"), vec![]);
         assert!(!m.is_node_subtype("A", "C"));
-        assert!(m.is_node_subtype("A", "B"), "reachable within the hop budget");
+        assert!(
+            m.is_node_subtype("A", "B"),
+            "reachable within the hop budget"
+        );
         assert!(m.properties_of("A").is_empty());
     }
 

@@ -137,7 +137,9 @@ impl Model {
 
     /// Sets a property on a relation object.
     pub fn set_rel_prop(&mut self, rel: RelRef, name: impl Into<String>, value: PropValue) {
-        self.relations[rel.0 as usize].props.insert(name.into(), value);
+        self.relations[rel.0 as usize]
+            .props
+            .insert(name.into(), value);
     }
 
     pub fn node_type(&self, node: NodeRef) -> &str {
@@ -315,7 +317,10 @@ mod tests {
         // user-invented property ("giving Person nodes a middleName")
         m.set_prop(p, "middleName", PropValue::Str("King".into()));
         assert_eq!(m.prop(p, "birthYear"), Some(&PropValue::Int(1815)));
-        assert_eq!(m.prop(p, "middleName"), Some(&PropValue::Str("King".into())));
+        assert_eq!(
+            m.prop(p, "middleName"),
+            Some(&PropValue::Str("King".into()))
+        );
         assert_eq!(m.prop(p, "nope"), None);
     }
 

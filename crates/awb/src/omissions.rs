@@ -68,7 +68,10 @@ pub fn check(model: &Model, meta: &Metamodel) -> Vec<Omission> {
                     });
                 }
             }
-            Requirement::RequiredProperty { node_type, property } => {
+            Requirement::RequiredProperty {
+                node_type,
+                property,
+            } => {
                 for node in model.nodes_of_type(node_type, meta) {
                     let missing = match model.prop(node, property) {
                         None => true,
@@ -90,7 +93,10 @@ pub fn check(model: &Model, meta: &Metamodel) -> Vec<Omission> {
                     }
                 }
             }
-            Requirement::RequiredRelation { node_type, relation } => {
+            Requirement::RequiredRelation {
+                node_type,
+                relation,
+            } => {
                 for node in model.nodes_of_type(node_type, meta) {
                     let has_any = model
                         .out_relations(node)
@@ -200,7 +206,9 @@ mod tests {
         model.set_prop(doc_blank, "version", PropValue::Str("  ".into()));
         let omissions = check(&model, &meta);
         assert_eq!(omissions.len(), 2);
-        assert!(omissions.iter().all(|o| matches!(o.kind, OmissionKind::MissingProperty { .. })));
+        assert!(omissions
+            .iter()
+            .all(|o| matches!(o.kind, OmissionKind::MissingProperty { .. })));
         let _ = (doc_bad, doc_blank);
     }
 

@@ -21,16 +21,28 @@ pub fn it_metamodel() -> Metamodel {
     m.add_node_type("SystemBeingDesigned", Some("System"), vec![]);
     m.add_node_type("Server", Some("Thing"), vec![("cores", PropType::Int)]);
     m.add_node_type("Subsystem", Some("Thing"), vec![]);
-    m.add_node_type("user", Some("Thing"), vec![
-        ("firstName", PropType::Str),
-        ("lastName", PropType::Str),
-        ("birthYear", PropType::Int),
-        ("biography", PropType::Html),
-    ]);
-    m.add_node_type("superuser", Some("user"), vec![("clearance", PropType::Int)]);
+    m.add_node_type(
+        "user",
+        Some("Thing"),
+        vec![
+            ("firstName", PropType::Str),
+            ("lastName", PropType::Str),
+            ("birthYear", PropType::Int),
+            ("biography", PropType::Html),
+        ],
+    );
+    m.add_node_type(
+        "superuser",
+        Some("user"),
+        vec![("clearance", PropType::Int)],
+    );
     m.add_node_type("Program", Some("Thing"), vec![("language", PropType::Str)]);
     m.add_node_type("Document", Some("Thing"), vec![("version", PropType::Str)]);
-    m.add_node_type("PerformanceRequirement", Some("Thing"), vec![("percentile", PropType::Int)]);
+    m.add_node_type(
+        "PerformanceRequirement",
+        Some("Thing"),
+        vec![("percentile", PropType::Int)],
+    );
 
     // "The IT architecture system uses the relation has in dozens of ways."
     m.add_relation_type(
@@ -185,11 +197,20 @@ pub fn it_architecture(scale: ItScale, seed: u64) -> Model {
         // ~1 in 5 documents is missing version information — fodder for the
         // omissions table.
         if rng.gen_range(0..5) != 0 {
-            m.set_prop(d, "version", PropValue::Str(format!("{}.{}", rng.gen_range(1..4), i % 10)));
+            m.set_prop(
+                d,
+                "version",
+                PropValue::Str(format!("{}.{}", rng.gen_range(1..4), i % 10)),
+            );
         }
         // Most documents document something.
         if rng.gen_range(0..10) != 0 {
-            let all: Vec<_> = users.iter().chain(&programs).chain(&servers).copied().collect();
+            let all: Vec<_> = users
+                .iter()
+                .chain(&programs)
+                .chain(&servers)
+                .copied()
+                .collect();
             if let Some(&t) = pick(&all, &mut rng) {
                 m.add_relation("documents", d, t);
             }
@@ -220,11 +241,15 @@ fn pick<'a, T>(slice: &'a [T], rng: &mut StdRng) -> Option<&'a T> {
 pub fn glass_metamodel() -> Metamodel {
     let mut m = Metamodel::new();
     m.add_node_type("Thing", None, vec![("description", PropType::Str)]);
-    m.add_node_type("GlassPiece", Some("Thing"), vec![
-        ("year", PropType::Int),
-        ("price", PropType::Int),
-        ("condition", PropType::Str),
-    ]);
+    m.add_node_type(
+        "GlassPiece",
+        Some("Thing"),
+        vec![
+            ("year", PropType::Int),
+            ("price", PropType::Int),
+            ("condition", PropType::Str),
+        ],
+    );
     m.add_node_type("Maker", Some("Thing"), vec![("country", PropType::Str)]);
     m.add_node_type("Era", Some("Thing"), vec![]);
     m.add_node_type("Customer", Some("Thing"), vec![("since", PropType::Int)]);
@@ -301,7 +326,11 @@ pub fn awb_self_metamodel() -> Metamodel {
     m.add_node_type("Crate", Some("Artifact"), vec![("version", PropType::Str)]);
     m.add_node_type("Module", Some("Artifact"), vec![("loc", PropType::Int)]);
     m.add_node_type("Engine", Some("Module"), vec![]);
-    m.add_node_type("Experiment", Some("Artifact"), vec![("paper-section", PropType::Str)]);
+    m.add_node_type(
+        "Experiment",
+        Some("Artifact"),
+        vec![("paper-section", PropType::Str)],
+    );
     m.add_node_type("Workload", Some("Artifact"), vec![]);
     m.add_relation_type("contains", None, vec![("Crate", "Module")]);
     m.add_relation_type("depends-on", None, vec![("Crate", "Crate")]);
@@ -392,7 +421,13 @@ pub fn random_metamodel(n_types: usize, n_rels: usize, seed: u64) -> Metamodel {
 
 /// A random model over [`random_metamodel`] types: `n_nodes` nodes, each
 /// with ~`fanout` outgoing edges of random relation types.
-pub fn random_model(n_nodes: usize, fanout: usize, n_types: usize, n_rels: usize, seed: u64) -> Model {
+pub fn random_model(
+    n_nodes: usize,
+    fanout: usize,
+    n_types: usize,
+    n_rels: usize,
+    seed: u64,
+) -> Model {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut m = Model::new();
     for i in 0..n_nodes {
@@ -420,9 +455,15 @@ mod tests {
     fn it_architecture_is_deterministic() {
         let a = it_architecture(ItScale::about(100), 7);
         let b = it_architecture(ItScale::about(100), 7);
-        assert_eq!(crate::xmlio::export_string(&a), crate::xmlio::export_string(&b));
+        assert_eq!(
+            crate::xmlio::export_string(&a),
+            crate::xmlio::export_string(&b)
+        );
         let c = it_architecture(ItScale::about(100), 8);
-        assert_ne!(crate::xmlio::export_string(&a), crate::xmlio::export_string(&c));
+        assert_ne!(
+            crate::xmlio::export_string(&a),
+            crate::xmlio::export_string(&c)
+        );
     }
 
     #[test]
@@ -432,7 +473,10 @@ mod tests {
         let m = it_architecture(scale, 42);
         assert_eq!(m.nodes_of_type("SystemBeingDesigned", &meta).len(), 1);
         assert_eq!(m.nodes_of_type("Server", &meta).len(), scale.servers);
-        assert!(m.nodes_of_type("user", &meta).len() >= scale.users, "superusers are users");
+        assert!(
+            m.nodes_of_type("user", &meta).len() >= scale.users,
+            "superusers are users"
+        );
         assert!(m.relation_count() > m.node_count(), "richly connected");
     }
 
@@ -443,12 +487,14 @@ mod tests {
         let omissions = omissions::check(&m, &meta);
         // Missing versions and off-metamodel 'has' endpoints are seeded in.
         assert!(!omissions.is_empty());
-        assert!(omissions
-            .iter()
-            .any(|o| matches!(o.kind, crate::omissions::OmissionKind::MissingProperty { .. })));
-        assert!(omissions
-            .iter()
-            .any(|o| matches!(o.kind, crate::omissions::OmissionKind::UnexpectedEndpoints { .. })));
+        assert!(omissions.iter().any(|o| matches!(
+            o.kind,
+            crate::omissions::OmissionKind::MissingProperty { .. }
+        )));
+        assert!(omissions.iter().any(|o| matches!(
+            o.kind,
+            crate::omissions::OmissionKind::UnexpectedEndpoints { .. }
+        )));
     }
 
     #[test]
@@ -470,11 +516,14 @@ mod tests {
         let meta = glass_metamodel();
         let m = glass_catalog(40, 3);
         let omissions = omissions::check(&m, &meta);
-        assert!(omissions.iter().all(|o| !o.message.contains("SystemBeingDesigned")));
-        // But condition omissions exist (seeded ~1/6 missing).
         assert!(omissions
             .iter()
-            .any(|o| matches!(o.kind, crate::omissions::OmissionKind::MissingProperty { .. })));
+            .all(|o| !o.message.contains("SystemBeingDesigned")));
+        // But condition omissions exist (seeded ~1/6 missing).
+        assert!(omissions.iter().any(|o| matches!(
+            o.kind,
+            crate::omissions::OmissionKind::MissingProperty { .. }
+        )));
     }
 
     #[test]

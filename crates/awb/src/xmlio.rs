@@ -46,8 +46,12 @@ pub fn export_to_store(model: &Model, store: &mut Store) -> NodeId {
         store
             .set_attribute(el, "id", model.node_id_string(node))
             .expect("element");
-        store.set_attribute(el, "type", model.node_type(node)).expect("element");
-        store.set_attribute(el, "label", model.label(node)).expect("element");
+        store
+            .set_attribute(el, "type", model.node_type(node))
+            .expect("element");
+        store
+            .set_attribute(el, "label", model.label(node))
+            .expect("element");
         for (name, value) in model.props(node) {
             let p = export_property(store, name, value);
             store.append_child(el, p).expect("fresh property");
@@ -56,8 +60,12 @@ pub fn export_to_store(model: &Model, store: &mut Store) -> NodeId {
     }
     for rel in model.all_relations() {
         let el = store.create_element("relation");
-        store.set_attribute(el, "id", format!("R{}", rel.0)).expect("element");
-        store.set_attribute(el, "type", model.rel_type(rel)).expect("element");
+        store
+            .set_attribute(el, "id", format!("R{}", rel.0))
+            .expect("element");
+        store
+            .set_attribute(el, "type", model.rel_type(rel))
+            .expect("element");
         store
             .set_attribute(el, "source", model.node_id_string(model.rel_source(rel)))
             .expect("element");
@@ -68,7 +76,9 @@ pub fn export_to_store(model: &Model, store: &mut Store) -> NodeId {
             let p = export_property(store, name, value);
             store.append_child(el, p).expect("fresh property");
         }
-        store.append_child(root, el).expect("fresh relation element");
+        store
+            .append_child(root, el)
+            .expect("fresh relation element");
     }
     doc
 }
@@ -76,7 +86,9 @@ pub fn export_to_store(model: &Model, store: &mut Store) -> NodeId {
 fn export_property(store: &mut Store, name: &str, value: &PropValue) -> NodeId {
     let p = store.create_element("property");
     store.set_attribute(p, "name", name).expect("element");
-    store.set_attribute(p, "type", value.type_name()).expect("element");
+    store
+        .set_attribute(p, "type", value.type_name())
+        .expect("element");
     match value {
         PropValue::Html(markup) => {
             // Child nodes, not a text attribute: parse the markup; fall back
@@ -109,15 +121,16 @@ fn export_property(store: &mut Store, name: &str, value: &PropValue) -> NodeId {
 pub fn copy_across(src: &Store, node: NodeId, dst: &mut Store) -> NodeId {
     let copy = match src.kind(node) {
         NodeKind::Document => dst.create_document(),
-        NodeKind::Element(name) => dst.create_element(name.clone()),
-        NodeKind::Attribute(name, value) => dst.create_attribute(name.clone(), value.clone()),
+        NodeKind::Element(name) => dst.create_element(*name),
+        NodeKind::Attribute(name, value) => dst.create_attribute(*name, value.clone()),
         NodeKind::Text(t) => dst.create_text(t.clone()),
         NodeKind::Comment(t) => dst.create_comment(t.clone()),
         NodeKind::Pi(t, d) => dst.create_pi(t.clone(), d.clone()),
     };
     for &a in src.attributes(node) {
         if let NodeKind::Attribute(name, value) = src.kind(a) {
-            dst.set_attribute(copy, name.clone(), value.clone()).expect("element");
+            dst.set_attribute(copy, *name, value.clone())
+                .expect("element");
         }
     }
     for &c in src.children(node) {
@@ -147,7 +160,9 @@ pub fn export_metamodel_to_store(meta: &crate::meta::Metamodel, store: &mut Stor
         let el = store.create_element("node-type");
         store.set_attribute(el, "name", name).expect("element");
         if let Some(p) = &def.parent {
-            store.set_attribute(el, "parent", p.clone()).expect("element");
+            store
+                .set_attribute(el, "parent", p.clone())
+                .expect("element");
         }
         store.append_child(root, el).expect("fresh element");
     }
@@ -158,7 +173,9 @@ pub fn export_metamodel_to_store(meta: &crate::meta::Metamodel, store: &mut Stor
         let el = store.create_element("relation-type");
         store.set_attribute(el, "name", name).expect("element");
         if let Some(p) = &def.parent {
-            store.set_attribute(el, "parent", p.clone()).expect("element");
+            store
+                .set_attribute(el, "parent", p.clone())
+                .expect("element");
         }
         store.append_child(root, el).expect("fresh element");
     }
@@ -194,7 +211,10 @@ pub fn import_string(xml: &str) -> Result<Model, ImportError> {
             .attribute_value(el, "id")
             .ok_or_else(|| ImportError("<node> without id".into()))?
             .to_string();
-        let ty = store.attribute_value(el, "type").unwrap_or("Thing").to_string();
+        let ty = store
+            .attribute_value(el, "type")
+            .unwrap_or("Thing")
+            .to_string();
         let label = store.attribute_value(el, "label").unwrap_or("").to_string();
         let node = model.add_node(ty, label);
         for p in store.child_elements_named(el, "property") {
@@ -211,7 +231,10 @@ pub fn import_string(xml: &str) -> Result<Model, ImportError> {
             .ok_or_else(|| ImportError(format!("relation references unknown node {id:?}")))
     };
     for el in store.child_elements_named(root, "relation") {
-        let ty = store.attribute_value(el, "type").unwrap_or("related").to_string();
+        let ty = store
+            .attribute_value(el, "type")
+            .unwrap_or("related")
+            .to_string();
         let source = lookup(
             store
                 .attribute_value(el, "source")
@@ -248,11 +271,7 @@ fn import_property(store: &Store, p: NodeId) -> Result<(String, PropValue), Impo
         "boolean" => PropValue::Bool(store.string_value(p).trim() == "true"),
         "html" => {
             // Serialize children back to markup.
-            let markup: String = store
-                .children(p)
-                .iter()
-                .map(|&c| store.to_xml(c))
-                .collect();
+            let markup: String = store.children(p).iter().map(|&c| store.to_xml(c)).collect();
             PropValue::Html(markup)
         }
         _ => PropValue::Str(store.string_value(p)),
@@ -270,7 +289,11 @@ mod tests {
         let prog = m.add_node("Program", "Compiler <2.0>");
         m.set_prop(alice, "birthYear", PropValue::Int(1815));
         m.set_prop(alice, "active", PropValue::Bool(true));
-        m.set_prop(alice, "biography", PropValue::Html("<p>Hello <b>world</b></p>".into()));
+        m.set_prop(
+            alice,
+            "biography",
+            PropValue::Html("<p>Hello <b>world</b></p>".into()),
+        );
         m.set_prop(prog, "note", PropValue::Str("a & b".into()));
         let r = m.add_relation("uses", alice, prog);
         m.set_rel_prop(r, "since", PropValue::Int(1999));
@@ -293,8 +316,14 @@ mod tests {
             Some(&PropValue::Html("<p>Hello <b>world</b></p>".into()))
         );
         let prog = back.node_by_label("Compiler <2.0>").unwrap();
-        assert_eq!(back.prop(prog, "note"), Some(&PropValue::Str("a & b".into())));
-        assert_eq!(back.rel_prop(crate::model::RelRef(0), "since"), Some(&PropValue::Int(1999)));
+        assert_eq!(
+            back.prop(prog, "note"),
+            Some(&PropValue::Str("a & b".into()))
+        );
+        assert_eq!(
+            back.rel_prop(crate::model::RelRef(0), "since"),
+            Some(&PropValue::Int(1999))
+        );
     }
 
     #[test]
@@ -332,7 +361,9 @@ mod tests {
     #[test]
     fn import_rejects_garbage() {
         assert!(import_string("<not-a-model/>").is_err());
-        assert!(import_string("<awb-model><relation source='N0' target='N1'/></awb-model>").is_err());
+        assert!(
+            import_string("<awb-model><relation source='N0' target='N1'/></awb-model>").is_err()
+        );
         assert!(import_string("<awb-model><node/></awb-model>").is_err());
         assert!(import_string("nonsense").is_err());
     }

@@ -32,18 +32,16 @@ fn bench_calculus(c: &mut Criterion) {
             b.iter(|| black_box(query.run_native(&w.model, &w.meta)));
         });
 
-        // Prepared: engine already holds the exported model.
+        // Prepared: engine already holds the exported model and the query
+        // is compiled (lowered) once up front.
         let mut engine = Engine::new();
         let doc = xmlio::export_to_store(&w.model, engine.store_mut());
         engine.register_document("awb-model", doc);
+        let prepared = query
+            .prepare_xquery(&engine, &w.meta)
+            .expect("query compiles");
         group.bench_with_input(BenchmarkId::new("xquery_prepared", n), &n, |b, _| {
-            b.iter(|| {
-                black_box(
-                    query
-                        .run_xquery_prepared(&mut engine, &w.model, &w.meta)
-                        .expect("query runs"),
-                )
-            });
+            b.iter(|| black_box(prepared.run(&mut engine, &w.model).expect("query runs")));
         });
 
         // Full: export + compile + evaluate per call (only for the smaller

@@ -32,9 +32,13 @@ fn bench_errors(c: &mut Criterion) {
             template: &template,
         };
 
-        group.bench_with_input(BenchmarkId::new("native_result", percent), &percent, |b, _| {
-            b.iter(|| black_box(native::generate(&inputs).expect("native runs")));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("native_result", percent),
+            &percent,
+            |b, _| {
+                b.iter(|| black_box(native::generate(&inputs).expect("native runs")));
+            },
+        );
 
         let mut generator = xq::XqGenerator::new(&inputs).expect("prepares");
         group.bench_with_input(

@@ -25,9 +25,13 @@ fn bench_phases(c: &mut Criterion) {
             template: &template,
         };
 
-        group.bench_with_input(BenchmarkId::new("native_full", sections), &sections, |b, _| {
-            b.iter(|| black_box(native::generate(&inputs).expect("native runs")));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("native_full", sections),
+            &sections,
+            |b, _| {
+                b.iter(|| black_box(native::generate(&inputs).expect("native runs")));
+            },
+        );
 
         // XQuery with increasing numbers of copying phases.
         for phases in 0..=Phase::ALL.len() {

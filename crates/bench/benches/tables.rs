@@ -29,8 +29,7 @@ fn table_model(rows: usize, cols: usize) -> (Metamodel, Model) {
     (meta, model)
 }
 
-const TABLE_TEMPLATE: &str =
-    r#"<template><awb-table rows="all.Server" cols="all.Program" relation="runs" corner="server\program"/></template>"#;
+const TABLE_TEMPLATE: &str = r#"<template><awb-table rows="all.Server" cols="all.Program" relation="runs" corner="server\program"/></template>"#;
 
 fn bench_tables(c: &mut Criterion) {
     let mut group = c.benchmark_group("e5_tables");
@@ -45,9 +44,13 @@ fn bench_tables(c: &mut Criterion) {
         };
         let id = format!("{rows}x{cols}");
 
-        group.bench_with_input(BenchmarkId::new("native_skeleton_fill", &id), &id, |b, _| {
-            b.iter(|| black_box(native::generate(&inputs).expect("native runs")));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("native_skeleton_fill", &id),
+            &id,
+            |b, _| {
+                b.iter(|| black_box(native::generate(&inputs).expect("native runs")));
+            },
+        );
 
         let mut generator = xq::XqGenerator::with_phases(&inputs, &[]).expect("prepares");
         group.bench_with_input(BenchmarkId::new("xquery_functional", &id), &id, |b, _| {

@@ -16,7 +16,9 @@ fn traced_program(k: usize) -> String {
     let mut body = String::from("for $i in 1 to 100 return (\n");
     body.push_str("  let $x := $i * 2\n");
     for j in 0..k {
-        body.push_str(&format!("  let $dummy{j} := trace(\"probe{j}=\", $x + {j})\n"));
+        body.push_str(&format!(
+            "  let $dummy{j} := trace(\"probe{j}=\", $x + {j})\n"
+        ));
     }
     body.push_str("  return $x)\n");
     body

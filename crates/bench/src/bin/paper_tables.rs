@@ -60,6 +60,115 @@ fn main() {
     if want("morals") {
         morals();
     }
+    // Opt-in only (writes a file): `paper_tables -- bench-json`.
+    if args.iter().any(|a| a == "bench-json") {
+        bench_json();
+    }
+}
+
+// ----------------------------------------------------------------------
+// bench-json: machine-readable perf snapshot for cross-PR comparison.
+// ----------------------------------------------------------------------
+
+fn median_ms(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+/// Times `f` once, in milliseconds.
+fn time_ms(f: &mut impl FnMut()) -> f64 {
+    let t = Instant::now();
+    f();
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+/// Runs `f` once to warm up, then `reps` timed times; returns the median.
+fn measure(reps: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    median_ms((0..reps).map(|_| time_ms(&mut f)).collect())
+}
+
+/// Variable-heavy micro-benches: the tree walker resolves every `$v` by a
+/// linear name scan, the lowered runner by a slot index, so these isolate
+/// the cost the refactor removes.
+const MICRO: &[(&str, &str)] = &[
+    (
+        "var_reads_in_loop",
+        "let $a := 1 let $b := 2 let $c := 3 let $d := 4 let $e := 5 let $f := 6 let $g := 7 let $h := 8 \
+         return sum(for $i in 1 to 5000 return $a + $b + $c + $d + $e + $f + $g + $h + $i)",
+    ),
+    (
+        "shadowed_lets_in_loop",
+        "sum(for $i in 1 to 3000 return (let $x := $i let $x := $x * 2 let $x := $x + 1 return $x))",
+    ),
+    (
+        "recursive_user_function",
+        "declare function local:fib($n) { if ($n le 1) then $n else local:fib($n - 1) + local:fib($n - 2) }; local:fib(16)",
+    ),
+    (
+        "flwor_order_by",
+        "sum(for $i in 1 to 2000 order by $i mod 7, $i descending return $i)",
+    ),
+];
+
+/// `paper_tables -- bench-json` — writes `BENCH_1.json`: medians for the E1
+/// calculus sweep and the engine micro-benches, each run through both the
+/// lowered program (`Engine::evaluate`) and the reference tree walker
+/// (`Engine::evaluate_reference`), so future PRs have a trajectory to
+/// compare against.
+fn bench_json() {
+    header("bench-json — writing BENCH_1.json (medians, milliseconds)");
+    const REPS: usize = 5;
+    let mut out =
+        String::from("{\n  \"units\": \"milliseconds, median of 5 runs after 1 warm-up\",\n");
+    out.push_str("  \"e1_calculus\": [\n");
+    for (idx, n) in [50usize, 200, 800].into_iter().enumerate() {
+        let w = it_workload(n, 42);
+        let q = Query::from_type("user")
+            .follow("likes")
+            .follow_to("uses", "Program")
+            .dedup()
+            .sort_by_label();
+        let native_ms = measure(REPS, || {
+            let _ = q.run_native(&w.model, &w.meta);
+        });
+        let mut engine = Engine::new();
+        let doc = xmlio::export_to_store(&w.model, engine.store_mut());
+        engine.register_document("awb-model", doc);
+        let compiled = engine.compile(&q.to_xquery(&w.meta)).unwrap();
+        let lowered_ms = measure(REPS, || {
+            engine.evaluate(&compiled, None).unwrap();
+        });
+        let reference_ms = measure(REPS, || {
+            engine.evaluate_reference(&compiled, None).unwrap();
+        });
+        println!(
+            "  e1 n={n:>3}: native {native_ms:.3} ms, xq lowered {lowered_ms:.3} ms, xq reference {reference_ms:.3} ms"
+        );
+        let comma = if idx < 2 { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"nodes\": {n}, \"native_ms\": {native_ms:.4}, \"xq_lowered_ms\": {lowered_ms:.4}, \"xq_reference_walker_ms\": {reference_ms:.4}}}{comma}\n"
+        ));
+    }
+    out.push_str("  ],\n  \"engine_micro\": [\n");
+    for (idx, (name, src)) in MICRO.iter().enumerate() {
+        let mut engine = Engine::new();
+        let compiled = engine.compile(src).unwrap();
+        let lowered_ms = measure(REPS, || {
+            engine.evaluate(&compiled, None).unwrap();
+        });
+        let reference_ms = measure(REPS, || {
+            engine.evaluate_reference(&compiled, None).unwrap();
+        });
+        println!("  micro {name}: lowered {lowered_ms:.3} ms, reference {reference_ms:.3} ms");
+        let comma = if idx + 1 < MICRO.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"lowered_ms\": {lowered_ms:.4}, \"reference_walker_ms\": {reference_ms:.4}}}{comma}\n"
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write("BENCH_1.json", &out).expect("writing BENCH_1.json");
+    println!("  wrote BENCH_1.json");
 }
 
 fn header(title: &str) {
@@ -89,7 +198,10 @@ fn t1_indexing_table() {
         ("A part of Z*", "1", "()", "(\"3a\",\"3b\")", "3a"),
         ("Nothing", "()", "(2)", "()", "()"),
     ];
-    println!("{:<16} {:<14} {:<12} {:<14} {:<8} {:<8}", "Result", "X", "Y", "Z", "paper", "ours");
+    println!(
+        "{:<16} {:<14} {:<12} {:<14} {:<8} {:<8}",
+        "Result", "X", "Y", "Z", "paper", "ours"
+    );
     for (label, x, y, z, paper) in rows {
         let got = eval_display(
             &mut e,
@@ -104,7 +216,10 @@ fn t1_indexing_table() {
             None,
         )
         .unwrap_err();
-    println!("{:<16} {:<14} {:<12} {:<14} {:<8} error ({})", "An error", "1", "attribute", "2", "error", err.code);
+    println!(
+        "{:<16} {:<14} {:<12} {:<14} {:<8} error ({})",
+        "An error", "1", "attribute", "2", "error", err.code
+    );
 }
 
 fn b1_attribute_folding() {
@@ -140,7 +255,13 @@ fn b1_attribute_folding() {
 fn b2_comparisons() {
     header("B2 — '=' is existential; 'eq' demands singletons (§Syntactic Quirks #4)");
     let mut e = Engine::new();
-    for q in ["1 = (1,2,3)", "(1,2,3) = 3", "1 = 3", "1 eq (1,2,3)", "1 eq 1"] {
+    for q in [
+        "1 = (1,2,3)",
+        "(1,2,3) = 3",
+        "1 = 3",
+        "1 eq (1,2,3)",
+        "1 eq 1",
+    ] {
         println!("  {q:<16} => {}", eval_display(&mut e, q));
     }
 }
@@ -148,13 +269,28 @@ fn b2_comparisons() {
 fn b3_quirks() {
     header("B3 — the remaining syntactic quirks (§Syntactic Quirks #1–3)");
     let mut e = Engine::new();
-    println!("  $n-1 is one variable:     let $n-1 := 42 return $n-1  => {}", eval_display(&mut e, "let $n-1 := 42 return $n-1"));
-    println!("  subtraction needs space:  let $n := 42 return $n - 1 => {}", eval_display(&mut e, "let $n := 42 return $n - 1"));
-    println!("  '/' is a path; 'div' divides:  6 div 4 => {}", eval_display(&mut e, "6 div 4"));
+    println!(
+        "  $n-1 is one variable:     let $n-1 := 42 return $n-1  => {}",
+        eval_display(&mut e, "let $n-1 := 42 return $n-1")
+    );
+    println!(
+        "  subtraction needs space:  let $n := 42 return $n - 1 => {}",
+        eval_display(&mut e, "let $n := 42 return $n - 1")
+    );
+    println!(
+        "  '/' is a path; 'div' divides:  6 div 4 => {}",
+        eval_display(&mut e, "6 div 4")
+    );
     let mut galax = Engine::galax();
-    println!("  forgot the '$' (Galax):   x => {}", galax.evaluate_str("x", None).unwrap_err().message);
+    println!(
+        "  forgot the '$' (Galax):   x => {}",
+        galax.evaluate_str("x", None).unwrap_err().message
+    );
     let mut fixed = Engine::new();
-    println!("  forgot the '$' (fixed):   x => {}", fixed.evaluate_str("x", None).unwrap_err());
+    println!(
+        "  forgot the '$' (fixed):   x => {}",
+        fixed.evaluate_str("x", None).unwrap_err()
+    );
 }
 
 fn e1_calculus() {
@@ -178,8 +314,9 @@ fn e1_calculus() {
         let mut engine = Engine::new();
         let doc = xmlio::export_to_store(&w.model, engine.store_mut());
         engine.register_document("awb-model", doc);
+        let pq = q.prepare_xquery(&engine, &w.meta).unwrap();
         let t = Instant::now();
-        let prepared = q.run_xquery_prepared(&mut engine, &w.model, &w.meta).unwrap();
+        let prepared = pq.run(&mut engine, &w.model).unwrap();
         let prepared_t = t.elapsed();
         assert_eq!(native, prepared);
 
@@ -319,7 +456,10 @@ fn e4_trace_dce() {
 
     // The timing side: k dead traces in a loop body.
     println!("\n  runtime with k dead trace-lets inside a 100-iteration loop:");
-    println!("  {:>4} | {:>12} | {:>12} | {:>12}", "k", "galax (DCE)", "fixed", "unoptimized");
+    println!(
+        "  {:>4} | {:>12} | {:>12} | {:>12}",
+        "k", "galax (DCE)", "fixed", "unoptimized"
+    );
     for k in [0usize, 8, 32] {
         let mut body = String::from("for $i in 1 to 100 return (let $x := $i * 2 ");
         for j in 0..k {
@@ -346,18 +486,28 @@ fn e4_trace_dce() {
             }
             row.push(t.elapsed() / 10);
         }
-        println!("  {:>4} | {:>12.3?} | {:>12.3?} | {:>12.3?}", k, row[0], row[1], row[2]);
+        println!(
+            "  {:>4} | {:>12.3?} | {:>12.3?} | {:>12.3?}",
+            k, row[0], row[1], row[2]
+        );
     }
 }
 
 fn e5_tables() {
     header("E5 — the row/column table: skeleton-fill vs. all-at-once (§Mutability in Java)");
-    println!("{:>8} | {:>12} | {:>12} | same output?", "size", "native", "xquery");
+    println!(
+        "{:>8} | {:>12} | {:>12} | same output?",
+        "size", "native", "xquery"
+    );
     for (rows, cols) in [(5usize, 5usize), (20, 10), (40, 20)] {
         let meta = awb::workload::it_metamodel();
         let mut model = awb::Model::new();
-        let servers: Vec<_> = (0..rows).map(|i| model.add_node("Server", format!("s{i:03}"))).collect();
-        let programs: Vec<_> = (0..cols).map(|j| model.add_node("Program", format!("p{j:03}"))).collect();
+        let servers: Vec<_> = (0..rows)
+            .map(|i| model.add_node("Server", format!("s{i:03}")))
+            .collect();
+        let programs: Vec<_> = (0..cols)
+            .map(|j| model.add_node("Program", format!("p{j:03}")))
+            .collect();
         for (i, &s) in servers.iter().enumerate() {
             for (j, &p) in programs.iter().enumerate() {
                 if (i + j) % 3 == 0 {
@@ -407,10 +557,22 @@ fn e6_loc() {
     );
 
     let native_files = [
-        ("native/mod.rs", include_str!("../../../docgen/src/native/mod.rs")),
-        ("native/walk.rs", include_str!("../../../docgen/src/native/walk.rs")),
-        ("native/state.rs", include_str!("../../../docgen/src/native/state.rs")),
-        ("native/tables.rs", include_str!("../../../docgen/src/native/tables.rs")),
+        (
+            "native/mod.rs",
+            include_str!("../../../docgen/src/native/mod.rs"),
+        ),
+        (
+            "native/walk.rs",
+            include_str!("../../../docgen/src/native/walk.rs"),
+        ),
+        (
+            "native/state.rs",
+            include_str!("../../../docgen/src/native/state.rs"),
+        ),
+        (
+            "native/tables.rs",
+            include_str!("../../../docgen/src/native/tables.rs"),
+        ),
     ];
     println!("  native rewrite (tests included in the files but not in spirit):");
     let mut native_total = 0;
@@ -431,7 +593,11 @@ fn e6_loc() {
 fn e7_equivalence() {
     header("E7 — the rewrite \"pretty much reproduced the power\": output equivalence");
     let meta = awb::workload::it_metamodel();
-    for (name, n, seed) in [("small", 40usize, 1u64), ("medium", 120, 2), ("large", 300, 3)] {
+    for (name, n, seed) in [
+        ("small", 40usize, 1u64),
+        ("medium", 120, 2),
+        ("large", 300, 3),
+    ] {
         let model = awb::workload::it_architecture(awb::workload::ItScale::about(n), seed);
         let template = Template::parse(SYSTEM_CONTEXT).unwrap();
         let inputs = GenInputs {
@@ -459,7 +625,10 @@ fn e8_metastasis() {
     // Untyped mode (as the project ran): the checker is silent.
     let module = xquery::parser::parse_module(docgen::xq::GEN_XQ).unwrap();
     let untyped = xquery::static_typing::check_module(&module);
-    println!("  static checker on the untyped generator: {} diagnostic(s)", untyped.len());
+    println!(
+        "  static checker on the untyped generator: {} diagnostic(s)",
+        untyped.len()
+    );
 
     // "We made the mistake of trying to put type annotations on some
     // utility functions" — annotate exactly one, re-check.
@@ -467,7 +636,11 @@ fn e8_metastasis() {
         "declare function local:req-attr($el, $attr-name) {",
         "declare function local:req-attr($el as element(), $attr-name as xs:string) {",
     );
-    assert_ne!(annotated_src, docgen::xq::GEN_XQ, "the seed signature exists");
+    assert_ne!(
+        annotated_src,
+        docgen::xq::GEN_XQ,
+        "the seed signature exists"
+    );
     let module = xquery::parser::parse_module(&annotated_src).unwrap();
     let diags = xquery::static_typing::check_module(&module);
     let mut functions_hit: Vec<&str> = diags
@@ -487,7 +660,13 @@ fn e8_metastasis() {
 
     println!("\n  and the transitive data-flow component those fixes would drag in:");
     println!("  {:<28} {:>8} {:>9}", "seed function", "closure", "share");
-    for seed in ["local:req-attr", "local:is-err", "local:label", "local:slug", "local:run-query"] {
+    for seed in [
+        "local:req-attr",
+        "local:is-err",
+        "local:label",
+        "local:slug",
+        "local:run-query",
+    ] {
         let closure = g.annotation_closure(seed);
         println!(
             "  {seed:<28} {:>8} {:>8.0}%",
@@ -531,9 +710,20 @@ fn e9_output_streams() {
         <xsl:template match="/"><report><xsl:copy-of select="streams/problems/node()"/></report></xsl:template></xsl:stylesheet>"#;
     let document = xslt::transform_str(doc_xsl, &combined).unwrap();
     let problems = xslt::transform_str(prob_xsl, &combined).unwrap();
-    println!("  combined tree : {} bytes (both streams as children of one root)", combined.len());
-    println!("  document      : {} bytes, recovered by a {}-line XSLT program", document.len(), doc_xsl.lines().count());
-    println!("  problems      : {} problem(s): {}", problems.matches("<problem>").count(), &problems[..problems.len().min(120)]);
+    println!(
+        "  combined tree : {} bytes (both streams as children of one root)",
+        combined.len()
+    );
+    println!(
+        "  document      : {} bytes, recovered by a {}-line XSLT program",
+        document.len(),
+        doc_xsl.lines().count()
+    );
+    println!(
+        "  problems      : {} problem(s): {}",
+        problems.matches("<problem>").count(),
+        &problems[..problems.len().min(120)]
+    );
     assert_eq!(document, generated.xml);
     println!("  the recovered document equals the generator's own output ✓");
 }
@@ -592,9 +782,7 @@ fn morals() {
         e.display_sequence(&b)
     );
 
-    println!(
-        "\n  and at full scale: the WHOLE generator rewritten with try/catch (gen_tc.xq)"
-    );
+    println!("\n  and at full scale: the WHOLE generator rewritten with try/catch (gen_tc.xq)");
     println!(
         "    gen.xq (error-value convention): {} loc with {} guarded call sites",
         loc(docgen::xq::GEN_XQ),
@@ -606,15 +794,25 @@ fn morals() {
         docgen::xq::GEN_TC_XQ.matches("catch").count()
     );
 
-    println!("\n  moral #1 (basic data structures) : set-of-strings works on sequences; generic sets");
-    println!("                                     remain impossible (tests: set_of_strings_library,");
+    println!(
+        "\n  moral #1 (basic data structures) : set-of-strings works on sequences; generic sets"
+    );
+    println!(
+        "                                     remain impossible (tests: set_of_strings_library,"
+    );
     println!("                                     generic_sets_are_impossible)");
-    println!("  moral #2 (mutable structures)    : deliberately not added — \"In some cases (including");
+    println!(
+        "  moral #2 (mutable structures)    : deliberately not added — \"In some cases (including"
+    );
     println!("                                     XQuery) there are good reasons for not allowing mutation.\"");
     println!("  moral #3 (control structures)    : \"XQuery got this one right.\" — FLWOR/if/quantifiers/recursion");
     println!("  moral #5 (debugging/tracing)     : fn:trace with a DCE-proof optimizer (see E4)");
-    println!("  moral #6 (traditional syntax)    : historical constraints reproduced instead (see B3)");
-    println!("  moral #7 (focus on the purpose)  : the XML dissection/construction layer — see B1/T1");
+    println!(
+        "  moral #6 (traditional syntax)    : historical constraints reproduced instead (see B3)"
+    );
+    println!(
+        "  moral #7 (focus on the purpose)  : the XML dissection/construction layer — see B1/T1"
+    );
 }
 
 const SYSTEM_CONTEXT: &str = r#"<template>

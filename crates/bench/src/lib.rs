@@ -247,7 +247,9 @@ fn collect_calls(expr: &xquery::ast::Expr, out: &mut Vec<String>) {
             collect_calls(try_, out);
             collect_calls(catch, out);
         }
-        Expr::InstanceOf(e, _) | Expr::CastAs(e, _, _) | Expr::CastableAs(e, _) => collect_calls(e, out),
+        Expr::InstanceOf(e, _) | Expr::CastAs(e, _, _) | Expr::CastableAs(e, _) => {
+            collect_calls(e, out)
+        }
     }
 }
 
@@ -280,7 +282,10 @@ impl CallGraph {
                 }
             }
         }
-        (0..n).filter(|&i| seen[i]).map(|i| self.functions[i].as_str()).collect()
+        (0..n)
+            .filter(|&i| seen[i])
+            .map(|i| self.functions[i].as_str())
+            .collect()
     }
 }
 
@@ -303,7 +308,10 @@ mod tests {
         for (name, src) in docgen::xq::ALL_SOURCES {
             assert!(loc(src) >= 7, "{name} is too small: {}", loc(src));
         }
-        assert!(loc(docgen::xq::GEN_XQ) > 200, "the generator is the big one");
+        assert!(
+            loc(docgen::xq::GEN_XQ) > 200,
+            "the generator is the big one"
+        );
     }
 
     #[test]

@@ -229,9 +229,18 @@ mod tests {
         );
         let xml = out.to_xml();
         assert!(xml.contains(r#"<h2 id="overview">Overview</h2>"#), "{xml}");
-        assert!(xml.contains(r#"<h3 id="inner">Inner</h3>"#), "nested deeper: {xml}");
-        assert!(xml.contains(r##"<li class="lvl-1"><a href="#overview">Overview</a></li>"##), "{xml}");
-        assert!(xml.contains(r##"<li class="lvl-2"><a href="#inner">Inner</a></li>"##), "{xml}");
+        assert!(
+            xml.contains(r#"<h3 id="inner">Inner</h3>"#),
+            "nested deeper: {xml}"
+        );
+        assert!(
+            xml.contains(r##"<li class="lvl-1"><a href="#overview">Overview</a></li>"##),
+            "{xml}"
+        );
+        assert!(
+            xml.contains(r##"<li class="lvl-2"><a href="#inner">Inner</a></li>"##),
+            "{xml}"
+        );
     }
 
     #[test]
@@ -327,7 +336,8 @@ mod tests {
         let meta = meta();
         let m = tiny_model();
         let template =
-            Template::parse(r#"<template><for nodes="every.user"><label/></for></template>"#).unwrap();
+            Template::parse(r#"<template><for nodes="every.user"><label/></for></template>"#)
+                .unwrap();
         let inputs = GenInputs {
             model: &m,
             meta: &meta,

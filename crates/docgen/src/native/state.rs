@@ -67,7 +67,11 @@ impl GenState {
 
     /// Fills every `<table-of-omissions/>` placeholder: nodes of the listed
     /// types that the walk never focused, sorted by label.
-    pub fn fill_omissions(&mut self, store: &mut Store, inputs: &GenInputs) -> Result<(), GenTrouble> {
+    pub fn fill_omissions(
+        &mut self,
+        store: &mut Store,
+        inputs: &GenInputs,
+    ) -> Result<(), GenTrouble> {
         for (placeholder, types) in &self.omission_placeholders {
             let mut omitted: Vec<NodeRef> = Vec::new();
             for ty in types {
@@ -86,13 +90,17 @@ impl GenState {
             });
             if omitted.is_empty() {
                 let p = store.create_element("p");
-                store.set_attribute(p, "class", "no-omissions").map_err(internal)?;
+                store
+                    .set_attribute(p, "class", "no-omissions")
+                    .map_err(internal)?;
                 let t = store.create_text("Nothing is omitted.");
                 store.append_child(p, t).map_err(internal)?;
                 store.append_child(*placeholder, p).map_err(internal)?;
             } else {
                 let ul = store.create_element("ul");
-                store.set_attribute(ul, "class", "omissions").map_err(internal)?;
+                store
+                    .set_attribute(ul, "class", "omissions")
+                    .map_err(internal)?;
                 for node in omitted {
                     let li = store.create_element("li");
                     let t = store.create_text(format!(
@@ -113,7 +121,11 @@ impl GenState {
     /// "search for the phrase in the HTML structure. It will probably be in
     /// the middle of a XML Text node, so rip that node apart and shove
     /// Table 1's HTML bodily into the gap."
-    pub fn apply_marker_replacements(&mut self, store: &mut Store, root: NodeId) -> Result<(), GenTrouble> {
+    pub fn apply_marker_replacements(
+        &mut self,
+        store: &mut Store,
+        root: NodeId,
+    ) -> Result<(), GenTrouble> {
         for (marker, content) in &self.replacements {
             let mut guard = 0;
             while let Some((text_node, offset)) = store.find_text(root, marker) {
@@ -139,7 +151,9 @@ impl GenState {
                     .expect("tail is a child");
                 for (i, &node) in content.iter().enumerate() {
                     let copy = store.deep_copy(node);
-                    store.insert_child(parent, tail_pos + i, copy).map_err(internal)?;
+                    store
+                        .insert_child(parent, tail_pos + i, copy)
+                        .map_err(internal)?;
                 }
             }
         }
@@ -195,7 +209,9 @@ mod tests {
             replacements: vec![("MARKER".into(), vec![evil])],
             ..Default::default()
         };
-        let err = state.apply_marker_replacements(&mut store, root).unwrap_err();
+        let err = state
+            .apply_marker_replacements(&mut store, root)
+            .unwrap_err();
         assert!(err.message.contains("did not terminate"), "{}", err.message);
     }
 }

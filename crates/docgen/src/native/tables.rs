@@ -25,7 +25,8 @@ pub fn build_awb_table(
     // Pass 1: the skeleton — every <tr>/<td> empty, references kept in a
     // two-dimensional array.
     let table = out.create_element("table");
-    out.set_attribute(table, "class", "awb-table").map_err(err)?;
+    out.set_attribute(table, "class", "awb-table")
+        .map_err(err)?;
     let n_rows = rows.len() + 1;
     let n_cols = cols.len() + 1;
     let mut cells: Vec<Vec<NodeId>> = Vec::with_capacity(n_rows);
@@ -110,15 +111,8 @@ mod tests {
             template: &template,
         };
         let mut out = Store::new();
-        let table = build_awb_table(
-            &mut out,
-            &inputs,
-            &[r1, r2],
-            &[c1, c2],
-            "rel",
-            "row\\col",
-        )
-        .unwrap();
+        let table =
+            build_awb_table(&mut out, &inputs, &[r1, r2], &[c1, c2], "rel", "row\\col").unwrap();
         assert_eq!(
             out.to_xml(table),
             "<table class=\"awb-table\">\

@@ -51,15 +51,28 @@ impl Walker<'_, '_> {
     }
 
     fn required_attr(&self, el: NodeId, name: &str) -> Gen<String> {
-        self.tpl().attribute_value(el, name).map(str::to_string).ok_or_else(|| {
-            let tag = self.tpl().name(el).map(|q| q.to_string()).unwrap_or_default();
-            self.trouble(format!("required attribute \"{name}\" is missing on <{tag}>"))
-        })
+        self.tpl()
+            .attribute_value(el, name)
+            .map(str::to_string)
+            .ok_or_else(|| {
+                let tag = self
+                    .tpl()
+                    .name(el)
+                    .map(|q| q.to_string())
+                    .unwrap_or_default();
+                self.trouble(format!(
+                    "required attribute \"{name}\" is missing on <{tag}>"
+                ))
+            })
     }
 
     fn required_child(&self, el: NodeId, name: &str) -> Gen<NodeId> {
         self.tpl().child_element_named(el, name).ok_or_else(|| {
-            let tag = self.tpl().name(el).map(|q| q.to_string()).unwrap_or_default();
+            let tag = self
+                .tpl()
+                .name(el)
+                .map(|q| q.to_string())
+                .unwrap_or_default();
             self.trouble(format!("required child <{name}> is missing on <{tag}>"))
         })
     }
@@ -76,7 +89,9 @@ impl Walker<'_, '_> {
         match self.tpl().kind(tpl_node).clone() {
             NodeKind::Text(t) => {
                 let node = self.out.create_text(t);
-                self.out.append_child(out_parent, node).map_err(|e| self.out_err(e))
+                self.out
+                    .append_child(out_parent, node)
+                    .map_err(|e| self.out_err(e))
             }
             NodeKind::Element(name) => {
                 let local = name.local().to_string();
@@ -102,7 +117,9 @@ impl Walker<'_, '_> {
             "section" => self.gen_section(el, out_parent),
             "table-of-contents" => {
                 let div = self.create_div("table-of-contents")?;
-                self.out.append_child(out_parent, div).map_err(|e| self.out_err(e))?;
+                self.out
+                    .append_child(out_parent, div)
+                    .map_err(|e| self.out_err(e))?;
                 self.state.toc_placeholders.push(div);
                 Ok(())
             }
@@ -114,7 +131,9 @@ impl Walker<'_, '_> {
                     .filter(|s| !s.is_empty())
                     .collect();
                 let div = self.create_div("table-of-omissions")?;
-                self.out.append_child(out_parent, div).map_err(|e| self.out_err(e))?;
+                self.out
+                    .append_child(out_parent, div)
+                    .map_err(|e| self.out_err(e))?;
                 self.state.omission_placeholders.push((div, types));
                 Ok(())
             }
@@ -128,14 +147,18 @@ impl Walker<'_, '_> {
     }
 
     fn copy_through(&mut self, el: NodeId, out_parent: NodeId) -> Gen {
-        let name = self.tpl().name(el).expect("element").clone();
+        let name = *self.tpl().name(el).expect("element");
         let copy = self.out.create_element(name);
         for &attr in &self.tpl().attributes(el).to_vec() {
             if let NodeKind::Attribute(an, av) = self.tpl().kind(attr).clone() {
-                self.out.set_attribute(copy, an, av).map_err(|e| self.out_err(e))?;
+                self.out
+                    .set_attribute(copy, an, av)
+                    .map_err(|e| self.out_err(e))?;
             }
         }
-        self.out.append_child(out_parent, copy).map_err(|e| self.out_err(e))?;
+        self.out
+            .append_child(out_parent, copy)
+            .map_err(|e| self.out_err(e))?;
         self.walk_children(el, copy)
     }
 
@@ -146,12 +169,16 @@ impl Walker<'_, '_> {
             return Ok(());
         }
         let node = self.out.create_text(text);
-        self.out.append_child(out_parent, node).map_err(|e| self.out_err(e))
+        self.out
+            .append_child(out_parent, node)
+            .map_err(|e| self.out_err(e))
     }
 
     fn create_div(&mut self, class: &str) -> Gen<NodeId> {
         let div = self.out.create_element("div");
-        self.out.set_attribute(div, "class", class).map_err(|e| self.out_err(e))?;
+        self.out
+            .set_attribute(div, "class", class)
+            .map_err(|e| self.out_err(e))?;
         Ok(div)
     }
 
@@ -201,7 +228,9 @@ impl Walker<'_, '_> {
                 Ok(()) => {
                     for &child in &self.out.children(holder).to_vec() {
                         self.out.detach(child);
-                        self.out.append_child(out_parent, child).map_err(|e| self.out_err(e))?;
+                        self.out
+                            .append_child(out_parent, child)
+                            .map_err(|e| self.out_err(e))?;
                     }
                 }
                 Err(trouble) => {
@@ -213,8 +242,12 @@ impl Walker<'_, '_> {
                         .set_attribute(span, "class", "gen-error")
                         .map_err(|e| self.out_err(e))?;
                     let text = self.out.create_text(trouble.message.clone());
-                    self.out.append_child(span, text).map_err(|e| self.out_err(e))?;
-                    self.out.append_child(out_parent, span).map_err(|e| self.out_err(e))?;
+                    self.out
+                        .append_child(span, text)
+                        .map_err(|e| self.out_err(e))?;
+                    self.out
+                        .append_child(out_parent, span)
+                        .map_err(|e| self.out_err(e))?;
                 }
             }
         }
@@ -244,7 +277,11 @@ impl Walker<'_, '_> {
     }
 
     fn eval_condition(&mut self, cond: NodeId) -> Gen<bool> {
-        let name = self.tpl().name(cond).map(|q| q.to_string()).unwrap_or_default();
+        let name = self
+            .tpl()
+            .name(cond)
+            .map(|q| q.to_string())
+            .unwrap_or_default();
         match name.as_str() {
             "focus-is-type" => {
                 let ty = self.required_attr(cond, "type")?;
@@ -323,11 +360,19 @@ impl Walker<'_, '_> {
             anchor: anchor.clone(),
         });
         let div = self.create_div("section")?;
-        self.out.append_child(out_parent, div).map_err(|e| self.out_err(e))?;
-        let h = self.out.create_element(format!("h{}", (level + 1).min(6)).as_str());
-        self.out.set_attribute(h, "id", anchor).map_err(|e| self.out_err(e))?;
+        self.out
+            .append_child(out_parent, div)
+            .map_err(|e| self.out_err(e))?;
+        let h = self
+            .out
+            .create_element(format!("h{}", (level + 1).min(6)).as_str());
+        self.out
+            .set_attribute(h, "id", anchor)
+            .map_err(|e| self.out_err(e))?;
         let text = self.out.create_text(heading);
-        self.out.append_child(h, text).map_err(|e| self.out_err(e))?;
+        self.out
+            .append_child(h, text)
+            .map_err(|e| self.out_err(e))?;
         self.out.append_child(div, h).map_err(|e| self.out_err(e))?;
         let result = self.walk_children(el, div);
         self.section_depth -= 1;
@@ -342,14 +387,21 @@ impl Walker<'_, '_> {
         let rows_spec = self.required_attr(el, "rows")?;
         let cols_spec = self.required_attr(el, "cols")?;
         let relation = self.required_attr(el, "relation")?;
-        let corner = self.tpl().attribute_value(el, "corner").unwrap_or("").to_string();
+        let corner = self
+            .tpl()
+            .attribute_value(el, "corner")
+            .unwrap_or("")
+            .to_string();
         let mut rows = nodes_of_all_spec(&rows_spec, self.inputs, &self.path_string())?;
         let mut cols = nodes_of_all_spec(&cols_spec, self.inputs, &self.path_string())?;
         let model = self.inputs.model;
         rows.sort_by(|a, b| model.label(*a).cmp(model.label(*b)).then(a.cmp(b)));
         cols.sort_by(|a, b| model.label(*a).cmp(model.label(*b)).then(a.cmp(b)));
-        let table = tables::build_awb_table(self.out, self.inputs, &rows, &cols, &relation, &corner)?;
-        self.out.append_child(out_parent, table).map_err(|e| self.out_err(e))
+        let table =
+            tables::build_awb_table(self.out, self.inputs, &rows, &cols, &relation, &corner)?;
+        self.out
+            .append_child(out_parent, table)
+            .map_err(|e| self.out_err(e))
     }
 
     // ------------------------------------------------------------------
@@ -370,7 +422,9 @@ impl Walker<'_, '_> {
             self.append_text(li, self.inputs.model.label(node).to_string())?;
             self.out.append_child(ul, li).map_err(|e| self.out_err(e))?;
         }
-        self.out.append_child(out_parent, ul).map_err(|e| self.out_err(e))
+        self.out
+            .append_child(out_parent, ul)
+            .map_err(|e| self.out_err(e))
     }
 
     // ------------------------------------------------------------------

@@ -46,7 +46,11 @@ impl GenTrouble {
 
 impl fmt::Display for GenTrouble {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "There was trouble generating a work product: {}", self.message)?;
+        write!(
+            f,
+            "There was trouble generating a work product: {}",
+            self.message
+        )?;
         if let Some((node, label)) = &self.focus {
             write!(f, " (concerning node N{} \"{label}\")", node.0)?;
         }

@@ -73,7 +73,9 @@ pub struct XqOutput {
 }
 
 /// A prepared XQuery generator: engine with model/metamodel/template loaded
-/// and all phase queries compiled. Reusable across runs (benches).
+/// and all phase queries compiled — each [`CompiledQuery`] carries its
+/// lowered, slot-resolved program, so repeated runs skip parse/optimize/lower
+/// entirely. Reusable across runs (benches).
 pub struct XqGenerator {
     engine: Engine,
     gen_query: CompiledQuery,
@@ -163,7 +165,11 @@ impl XqGenerator {
         self.eval_to_element(&gen_query, None)
     }
 
-    fn eval_to_element(&mut self, query: &CompiledQuery, doc: Option<NodeId>) -> Result<NodeId, GenTrouble> {
+    fn eval_to_element(
+        &mut self,
+        query: &CompiledQuery,
+        doc: Option<NodeId>,
+    ) -> Result<NodeId, GenTrouble> {
         if let Some(d) = doc {
             self.engine.bind_node("doc", d);
         }
@@ -244,7 +250,10 @@ mod tests {
     #[test]
     fn passthrough_matches_native() {
         let m = tiny_model();
-        let out = gen(r#"<template><h1 class="top">Hello</h1><p>text</p></template>"#, &m);
+        let out = gen(
+            r#"<template><h1 class="top">Hello</h1><p>text</p></template>"#,
+            &m,
+        );
         assert_eq!(
             out.xml,
             r#"<document><h1 class="top">Hello</h1><p>text</p></document>"#
@@ -331,9 +340,18 @@ mod tests {
             </template>"#,
             &m,
         );
-        assert!(out.xml.contains(r##"<li class="lvl-1"><a href="#overview">Overview</a></li>"##), "{}", out.xml);
+        assert!(
+            out.xml
+                .contains(r##"<li class="lvl-1"><a href="#overview">Overview</a></li>"##),
+            "{}",
+            out.xml
+        );
         assert!(out.xml.contains("<li>spec (Document)</li>"), "{}", out.xml);
-        assert!(!out.xml.contains("<li>alice ("), "visited users are not omitted: {}", out.xml);
+        assert!(
+            !out.xml.contains("<li>alice ("),
+            "visited users are not omitted: {}",
+            out.xml
+        );
     }
 
     #[test]
@@ -374,24 +392,36 @@ mod tests {
         };
 
         // No phases at all: scaffolding everywhere, nothing rendered.
-        let raw = XqGenerator::with_phases(&inputs, &[]).unwrap().run().unwrap();
+        let raw = XqGenerator::with_phases(&inputs, &[])
+            .unwrap()
+            .run()
+            .unwrap();
         assert!(raw.xml.contains("<INTERNAL-DATA-TOC/>"), "{}", raw.xml);
         assert!(raw.xml.contains("INTERNAL-DATA-OMISSIONS"), "{}", raw.xml);
         assert!(raw.xml.contains("<VISITED"), "{}", raw.xml);
 
         // Only the omissions phase: its marker is consumed, the others stay.
-        let om = XqGenerator::with_phases(&inputs, &[Phase::Omissions]).unwrap().run().unwrap();
+        let om = XqGenerator::with_phases(&inputs, &[Phase::Omissions])
+            .unwrap()
+            .run()
+            .unwrap();
         assert!(!om.xml.contains("INTERNAL-DATA-OMISSIONS"), "{}", om.xml);
         assert!(om.xml.contains("class=\"omissions\"") || om.xml.contains("no-omissions"));
         assert!(om.xml.contains("<INTERNAL-DATA-TOC/>"));
 
         // Only the toc phase.
-        let toc = XqGenerator::with_phases(&inputs, &[Phase::Toc]).unwrap().run().unwrap();
+        let toc = XqGenerator::with_phases(&inputs, &[Phase::Toc])
+            .unwrap()
+            .run()
+            .unwrap();
         assert!(!toc.xml.contains("INTERNAL-DATA-TOC"), "{}", toc.xml);
         assert!(toc.xml.contains("class=\"toc\""));
 
         // Strip alone removes every trace of the scaffolding.
-        let stripped = XqGenerator::with_phases(&inputs, &[Phase::Strip]).unwrap().run().unwrap();
+        let stripped = XqGenerator::with_phases(&inputs, &[Phase::Strip])
+            .unwrap()
+            .run()
+            .unwrap();
         assert!(!stripped.xml.contains("INTERNAL-DATA"), "{}", stripped.xml);
         assert!(!stripped.xml.contains("VISITED"));
     }
@@ -436,7 +466,10 @@ mod tests {
             meta: &meta,
             template: &template,
         };
-        let err = XqGenerator::new_try_catch(&inputs).unwrap().run().unwrap_err();
+        let err = XqGenerator::new_try_catch(&inputs)
+            .unwrap()
+            .run()
+            .unwrap_err();
         assert!(err.message.contains("no focus"), "{}", err.message);
     }
 

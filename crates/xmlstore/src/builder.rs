@@ -59,7 +59,11 @@ impl ElementBuilder<'_> {
     }
 
     /// Appends an element child built by `f`.
-    pub fn child(self, name: impl Into<QName>, f: impl FnOnce(ElementBuilder) -> ElementBuilder) -> Self {
+    pub fn child(
+        self,
+        name: impl Into<QName>,
+        f: impl FnOnce(ElementBuilder) -> ElementBuilder,
+    ) -> Self {
         let child = {
             let b = build(self.store, name);
             f(b).id()
@@ -120,7 +124,10 @@ mod tests {
             .comment("hi")
             .node(note)
             .id();
-        assert_eq!(store.to_xml(el), "<p>hello <b>world</b><!--hi--> appended</p>");
+        assert_eq!(
+            store.to_xml(el),
+            "<p>hello <b>world</b><!--hi--> appended</p>"
+        );
     }
 
     #[test]

@@ -50,15 +50,14 @@ impl fmt::Display for XmlError {
         match &self.kind {
             XmlErrorKind::UnexpectedEof => write!(f, "unexpected end of input")?,
             XmlErrorKind::UnexpectedChar(c) => write!(f, "unexpected character {c:?}")?,
-            XmlErrorKind::MismatchedClose { expected, found } => {
-                write!(f, "mismatched close tag: expected </{expected}>, found </{found}>")?
-            }
+            XmlErrorKind::MismatchedClose { expected, found } => write!(
+                f,
+                "mismatched close tag: expected </{expected}>, found </{found}>"
+            )?,
             XmlErrorKind::UnbalancedClose(name) => {
                 write!(f, "close tag </{name}> with no matching open tag")?
             }
-            XmlErrorKind::DuplicateAttribute(name) => {
-                write!(f, "duplicate attribute {name:?}")?
-            }
+            XmlErrorKind::DuplicateAttribute(name) => write!(f, "duplicate attribute {name:?}")?,
             XmlErrorKind::UnknownEntity(name) => write!(f, "unknown entity &{name};")?,
             XmlErrorKind::BadCharRef(text) => write!(f, "bad character reference &#{text};")?,
             XmlErrorKind::Malformed(msg) => write!(f, "malformed XML: {msg}")?,

@@ -33,10 +33,12 @@ pub mod parser;
 pub mod qname;
 pub mod serializer;
 pub mod store;
+pub mod sym;
 
 pub use error::{XmlError, XmlErrorKind};
 pub use qname::QName;
 pub use store::{NodeId, NodeKind, Store};
+pub use sym::{intern, Sym};
 
 #[cfg(test)]
 mod proptests;

@@ -225,8 +225,11 @@ impl<'a> Parser<'a> {
     fn parse_element(&mut self, store: &mut Store) -> Result<NodeId, XmlError> {
         self.expect("<")?;
         let name = self.parse_name()?;
-        let qname = QName::parse(&name)
-            .ok_or_else(|| self.err(XmlErrorKind::Malformed(format!("bad element name {name:?}"))))?;
+        let qname = QName::parse(&name).ok_or_else(|| {
+            self.err(XmlErrorKind::Malformed(format!(
+                "bad element name {name:?}"
+            )))
+        })?;
         let el = store.create_element(qname);
 
         // Attributes.
@@ -249,7 +252,9 @@ impl<'a> Parser<'a> {
                         ));
                     }
                     let qn = QName::parse(&attr_name).ok_or_else(|| {
-                        self.err(XmlErrorKind::Malformed(format!("bad attribute name {attr_name:?}")))
+                        self.err(XmlErrorKind::Malformed(format!(
+                            "bad attribute name {attr_name:?}"
+                        )))
                     })?;
                     store
                         .set_attribute(el, qn, value)
@@ -268,7 +273,12 @@ impl<'a> Parser<'a> {
         Ok(el)
     }
 
-    fn parse_content(&mut self, store: &mut Store, parent: NodeId, open_name: &str) -> Result<(), XmlError> {
+    fn parse_content(
+        &mut self,
+        store: &mut Store,
+        parent: NodeId,
+        open_name: &str,
+    ) -> Result<(), XmlError> {
         let mut text = String::new();
         let mut text_has_nonspace = false;
         loop {
@@ -488,14 +498,18 @@ mod tests {
     #[test]
     fn unknown_entity_is_error() {
         let mut s = Store::new();
-        let err = s.parse_str("<a>&nope;</a>", &ParseOptions::default()).unwrap_err();
+        let err = s
+            .parse_str("<a>&nope;</a>", &ParseOptions::default())
+            .unwrap_err();
         assert!(matches!(err.kind, XmlErrorKind::UnknownEntity(n) if n == "nope"));
     }
 
     #[test]
     fn bad_char_ref_is_error() {
         let mut s = Store::new();
-        let err = s.parse_str("<a>&#xD800;</a>", &ParseOptions::default()).unwrap_err();
+        let err = s
+            .parse_str("<a>&#xD800;</a>", &ParseOptions::default())
+            .unwrap_err();
         assert!(matches!(err.kind, XmlErrorKind::BadCharRef(_)));
     }
 
@@ -525,7 +539,10 @@ mod tests {
     fn comments_dropped_in_data_mode() {
         let mut s = Store::new();
         let doc = s
-            .parse_str("<a>  <!-- gone -->  <b/>  </a>", &ParseOptions::data_oriented())
+            .parse_str(
+                "<a>  <!-- gone -->  <b/>  </a>",
+                &ParseOptions::data_oriented(),
+            )
             .unwrap();
         let a = s.document_element(doc).unwrap();
         assert_eq!(s.children(a).len(), 1);
@@ -541,7 +558,9 @@ mod tests {
     #[test]
     fn mismatched_close_reports_names() {
         let mut s = Store::new();
-        let err = s.parse_str("<a><b></a>", &ParseOptions::default()).unwrap_err();
+        let err = s
+            .parse_str("<a><b></a>", &ParseOptions::default())
+            .unwrap_err();
         match err.kind {
             XmlErrorKind::MismatchedClose { expected, found } => {
                 assert_eq!(expected, "b");
@@ -554,14 +573,18 @@ mod tests {
     #[test]
     fn duplicate_attribute_rejected() {
         let mut s = Store::new();
-        let err = s.parse_str("<a x='1' x='2'/>", &ParseOptions::default()).unwrap_err();
+        let err = s
+            .parse_str("<a x='1' x='2'/>", &ParseOptions::default())
+            .unwrap_err();
         assert!(matches!(err.kind, XmlErrorKind::DuplicateAttribute(n) if n == "x"));
     }
 
     #[test]
     fn error_positions_are_tracked() {
         let mut s = Store::new();
-        let err = s.parse_str("<a>\n  <b x=></b>\n</a>", &ParseOptions::default()).unwrap_err();
+        let err = s
+            .parse_str("<a>\n  <b x=></b>\n</a>", &ParseOptions::default())
+            .unwrap_err();
         assert_eq!(err.line, 2);
         assert!(err.column > 1);
     }
@@ -569,7 +592,9 @@ mod tests {
     #[test]
     fn content_after_root_rejected() {
         let mut s = Store::new();
-        let err = s.parse_str("<a/><b/>", &ParseOptions::default()).unwrap_err();
+        let err = s
+            .parse_str("<a/><b/>", &ParseOptions::default())
+            .unwrap_err();
         assert!(matches!(err.kind, XmlErrorKind::Malformed(_)));
     }
 

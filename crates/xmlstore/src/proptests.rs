@@ -28,13 +28,15 @@ fn text_strategy() -> impl Strategy<Value = String> {
 fn tree_strategy() -> impl Strategy<Value = TreeSpec> {
     let leaf = prop_oneof![
         text_strategy().prop_map(TreeSpec::Text),
-        (name_strategy(), prop::collection::vec((name_strategy(), text_strategy()), 0..3)).prop_map(
-            |(name, attrs)| TreeSpec::Element {
+        (
+            name_strategy(),
+            prop::collection::vec((name_strategy(), text_strategy()), 0..3)
+        )
+            .prop_map(|(name, attrs)| TreeSpec::Element {
                 name,
                 attrs,
                 children: vec![],
-            }
-        ),
+            }),
     ];
     leaf.prop_recursive(3, 24, 4, |inner| {
         (
@@ -42,14 +44,22 @@ fn tree_strategy() -> impl Strategy<Value = TreeSpec> {
             prop::collection::vec((name_strategy(), text_strategy()), 0..3),
             prop::collection::vec(inner, 0..4),
         )
-            .prop_map(|(name, attrs, children)| TreeSpec::Element { name, attrs, children })
+            .prop_map(|(name, attrs, children)| TreeSpec::Element {
+                name,
+                attrs,
+                children,
+            })
     })
 }
 
 fn build(store: &mut Store, spec: &TreeSpec) -> NodeId {
     match spec {
         TreeSpec::Text(t) => store.create_text(t.clone()),
-        TreeSpec::Element { name, attrs, children } => {
+        TreeSpec::Element {
+            name,
+            attrs,
+            children,
+        } => {
             let el = store.create_element(name.as_str());
             for (k, v) in attrs {
                 store.set_attribute(el, k.as_str(), v.clone()).unwrap();

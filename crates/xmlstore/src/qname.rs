@@ -5,29 +5,32 @@
 //! keeps its prefix *literally* rather than resolving it against namespace
 //! declarations. Two names are equal iff prefix and local part are equal.
 
+use crate::sym::{intern, Sym};
 use std::fmt;
 
-/// A qualified XML name: optional prefix plus local part.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+/// A qualified XML name: optional prefix plus local part, both interned.
+/// Equality and hashing are integer operations on the symbols, and the type
+/// is `Copy` — cloning a name costs nothing.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct QName {
-    prefix: Option<Box<str>>,
-    local: Box<str>,
+    prefix: Option<Sym>,
+    local: Sym,
 }
 
 impl QName {
     /// Creates a name with no prefix.
-    pub fn unprefixed(local: impl Into<String>) -> Self {
+    pub fn unprefixed(local: impl AsRef<str>) -> Self {
         QName {
             prefix: None,
-            local: local.into().into_boxed_str(),
+            local: intern(local.as_ref()),
         }
     }
 
     /// Creates a prefixed name.
-    pub fn prefixed(prefix: impl Into<String>, local: impl Into<String>) -> Self {
+    pub fn prefixed(prefix: impl AsRef<str>, local: impl AsRef<str>) -> Self {
         QName {
-            prefix: Some(prefix.into().into_boxed_str()),
-            local: local.into().into_boxed_str(),
+            prefix: Some(intern(prefix.as_ref())),
+            local: intern(local.as_ref()),
         }
     }
 
@@ -46,32 +49,81 @@ impl QName {
     }
 
     /// The prefix, if any.
-    pub fn prefix(&self) -> Option<&str> {
-        self.prefix.as_deref()
+    pub fn prefix(&self) -> Option<&'static str> {
+        self.prefix.map(Sym::as_str)
+    }
+
+    /// The prefix symbol, if any.
+    pub fn prefix_sym(&self) -> Option<Sym> {
+        self.prefix
     }
 
     /// The local part. Named `local` on the constructor; this accessor is
     /// the conventional XPath `local-name()`.
-    pub fn local_part(&self) -> &str {
-        &self.local
+    pub fn local_part(&self) -> &'static str {
+        self.local.as_str()
     }
 
     /// Convenience alias used throughout the workspace.
-    pub fn local(&self) -> &str {
-        &self.local
+    pub fn local(&self) -> &'static str {
+        self.local.as_str()
+    }
+
+    /// The local-part symbol.
+    pub fn local_sym(&self) -> Sym {
+        self.local
     }
 
     /// `true` when the local part (ignoring prefix) equals `s`.
     pub fn has_local(&self, s: &str) -> bool {
-        &*self.local == s
+        self.local.as_str() == s
+    }
+
+    /// `true` when the displayed form (`prefix:local` or `local`) equals
+    /// `s`, without allocating.
+    pub fn display_is(&self, s: &str) -> bool {
+        match self.prefix {
+            None => self.local.as_str() == s,
+            Some(p) => {
+                let (pfx, loc) = (p.as_str(), self.local.as_str());
+                s.len() == pfx.len() + 1 + loc.len()
+                    && s.starts_with(pfx)
+                    && s.as_bytes()[pfx.len()] == b':'
+                    && s.ends_with(loc)
+            }
+        }
+    }
+}
+
+impl PartialOrd for QName {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Ordering compares resolved text (prefix first, then local part), matching
+/// the pre-interning derive on `(Option<Box<str>>, Box<str>)`.
+impl Ord for QName {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        let self_prefix = self.prefix.map(Sym::as_str);
+        let other_prefix = other.prefix.map(Sym::as_str);
+        self_prefix
+            .cmp(&other_prefix)
+            .then_with(|| self.local.as_str().cmp(other.local.as_str()))
+    }
+}
+
+impl fmt::Debug for QName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "QName({self})")
     }
 }
 
 impl fmt::Display for QName {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match &self.prefix {
+        match self.prefix {
             Some(p) => write!(f, "{p}:{}", self.local),
-            None => f.write_str(&self.local),
+            None => f.write_str(self.local.as_str()),
         }
     }
 }

@@ -105,7 +105,9 @@ impl Store {
                     return;
                 }
                 out.push('>');
-                let mixed = children.iter().any(|&c| matches!(self.kind(c), NodeKind::Text(_)));
+                let mixed = children
+                    .iter()
+                    .any(|&c| matches!(self.kind(c), NodeKind::Text(_)));
                 if options.pretty && !mixed {
                     for &c in children {
                         out.push('\n');
@@ -211,7 +213,10 @@ mod tests {
 
     #[test]
     fn comment_and_pi_serialization() {
-        assert_eq!(roundtrip("<a><!--hi--><?t d?></a>"), "<a><!--hi--><?t d?></a>");
+        assert_eq!(
+            roundtrip("<a><!--hi--><?t d?></a>"),
+            "<a><!--hi--><?t d?></a>"
+        );
     }
 
     #[test]

@@ -120,7 +120,10 @@ impl Store {
 
     /// Creates a detached attribute node.
     pub fn create_attribute(&mut self, name: impl Into<QName>, value: impl Into<String>) -> NodeId {
-        self.alloc(NodeData::new(NodeKind::Attribute(name.into(), value.into())))
+        self.alloc(NodeData::new(NodeKind::Attribute(
+            name.into(),
+            value.into(),
+        )))
     }
 
     /// Creates a detached text node.
@@ -192,23 +195,42 @@ impl Store {
 
     /// The single element child of a document node.
     pub fn document_element(&self, doc: NodeId) -> Option<NodeId> {
-        self.children(doc).iter().copied().find(|&c| self.is_element(c))
+        self.children(doc)
+            .iter()
+            .copied()
+            .find(|&c| self.is_element(c))
     }
 
     /// The value of the attribute of `el` named `name`, if present.
     pub fn attribute_value(&self, el: NodeId, name: &str) -> Option<&str> {
-        self.attributes(el).iter().find_map(|&a| match &self.node(a).kind {
-            NodeKind::Attribute(n, v) if n.to_string() == name => Some(v.as_str()),
-            _ => None,
-        })
+        self.attributes(el)
+            .iter()
+            .find_map(|&a| match &self.node(a).kind {
+                NodeKind::Attribute(n, v) if n.display_is(name) => Some(v.as_str()),
+                _ => None,
+            })
+    }
+
+    /// Like [`Store::attribute_value`] with a pre-interned name: the scan
+    /// compares symbols, no text at all.
+    pub fn attribute_value_q(&self, el: NodeId, name: QName) -> Option<&str> {
+        self.attributes(el)
+            .iter()
+            .find_map(|&a| match &self.node(a).kind {
+                NodeKind::Attribute(n, v) if *n == name => Some(v.as_str()),
+                _ => None,
+            })
     }
 
     /// The attribute *node* of `el` named `name`, if present.
     pub fn attribute_node(&self, el: NodeId, name: &str) -> Option<NodeId> {
-        self.attributes(el).iter().copied().find(|&a| match &self.node(a).kind {
-            NodeKind::Attribute(n, _) => n.to_string() == name,
-            _ => false,
-        })
+        self.attributes(el)
+            .iter()
+            .copied()
+            .find(|&a| match &self.node(a).kind {
+                NodeKind::Attribute(n, _) => n.display_is(name),
+                _ => false,
+            })
     }
 
     /// The XPath *string value*: concatenated descendant text for
@@ -255,7 +277,11 @@ impl Store {
 
     /// All child elements of `id`.
     pub fn child_elements(&self, id: NodeId) -> Vec<NodeId> {
-        self.children(id).iter().copied().filter(|&c| self.is_element(c)).collect()
+        self.children(id)
+            .iter()
+            .copied()
+            .filter(|&c| self.is_element(c))
+            .collect()
     }
 
     // ------------------------------------------------------------------
@@ -265,13 +291,17 @@ impl Store {
     fn assert_container(&self, id: NodeId) -> Result<(), XmlError> {
         match self.node(id).kind {
             NodeKind::Document | NodeKind::Element(_) => Ok(()),
-            _ => Err(XmlError::structural("only documents and elements have children")),
+            _ => Err(XmlError::structural(
+                "only documents and elements have children",
+            )),
         }
     }
 
     fn assert_detached(&self, id: NodeId) -> Result<(), XmlError> {
         if self.node(id).parent.is_some() {
-            Err(XmlError::structural("node is already attached; detach it first"))
+            Err(XmlError::structural(
+                "node is already attached; detach it first",
+            ))
         } else {
             Ok(())
         }
@@ -295,7 +325,12 @@ impl Store {
     }
 
     /// Inserts a detached non-attribute node at `index` among `parent`'s children.
-    pub fn insert_child(&mut self, parent: NodeId, index: usize, child: NodeId) -> Result<(), XmlError> {
+    pub fn insert_child(
+        &mut self,
+        parent: NodeId,
+        index: usize,
+        child: NodeId,
+    ) -> Result<(), XmlError> {
         self.assert_container(parent)?;
         self.assert_detached(child)?;
         if self.is_attribute(child) {
@@ -335,7 +370,9 @@ impl Store {
             .ok_or_else(|| XmlError::structural("replace_child: old node is detached"))?;
         self.assert_detached(new)?;
         if self.is_attribute(old) || self.is_attribute(new) {
-            return Err(XmlError::structural("replace_child does not handle attributes"));
+            return Err(XmlError::structural(
+                "replace_child does not handle attributes",
+            ));
         }
         if self.would_cycle(parent, new) {
             return Err(XmlError::structural("replacement would create a cycle"));
@@ -363,11 +400,15 @@ impl Store {
         let name = name.into();
         let value = value.into();
         if !self.is_element(el) {
-            return Err(XmlError::structural("set_attribute target is not an element"));
+            return Err(XmlError::structural(
+                "set_attribute target is not an element",
+            ));
         }
-        let existing = self.attributes(el).iter().copied().find(|&a| {
-            matches!(&self.node(a).kind, NodeKind::Attribute(n, _) if *n == name)
-        });
+        let existing = self
+            .attributes(el)
+            .iter()
+            .copied()
+            .find(|&a| matches!(&self.node(a).kind, NodeKind::Attribute(n, _) if *n == name));
         if let Some(attr) = existing {
             if let NodeKind::Attribute(_, v) = &mut self.node_mut(attr).kind {
                 *v = value;
@@ -386,16 +427,24 @@ impl Store {
     /// wanting Galax's lax behaviour check first).
     pub fn set_attribute_node(&mut self, el: NodeId, attr: NodeId) -> Result<(), XmlError> {
         if !self.is_element(el) {
-            return Err(XmlError::structural("set_attribute_node target is not an element"));
+            return Err(XmlError::structural(
+                "set_attribute_node target is not an element",
+            ));
         }
         self.assert_detached(attr)?;
         let name = match &self.node(attr).kind {
-            NodeKind::Attribute(n, _) => n.clone(),
-            _ => return Err(XmlError::structural("set_attribute_node argument is not an attribute")),
+            NodeKind::Attribute(n, _) => *n,
+            _ => {
+                return Err(XmlError::structural(
+                    "set_attribute_node argument is not an attribute",
+                ))
+            }
         };
-        if self.attributes(el).iter().any(|&a| {
-            matches!(&self.node(a).kind, NodeKind::Attribute(n, _) if *n == name)
-        }) {
+        if self
+            .attributes(el)
+            .iter()
+            .any(|&a| matches!(&self.node(a).kind, NodeKind::Attribute(n, _) if *n == name))
+        {
             return Err(XmlError::structural(format!("duplicate attribute {name}")));
         }
         self.node_mut(attr).parent = Some(el);
@@ -406,7 +455,11 @@ impl Store {
     /// Attaches a detached attribute node to `el` **without** the duplicate
     /// check — reproduces Galax's early behaviour of letting two attributes
     /// with the same name coexist on a constructed element.
-    pub fn push_attribute_node_unchecked(&mut self, el: NodeId, attr: NodeId) -> Result<(), XmlError> {
+    pub fn push_attribute_node_unchecked(
+        &mut self,
+        el: NodeId,
+        attr: NodeId,
+    ) -> Result<(), XmlError> {
         if !self.is_element(el) {
             return Err(XmlError::structural("attribute target is not an element"));
         }
@@ -434,7 +487,9 @@ impl Store {
                 *t = text.into();
                 Ok(())
             }
-            _ => Err(XmlError::structural("set_text target is not a text or comment node")),
+            _ => Err(XmlError::structural(
+                "set_text target is not a text or comment node",
+            )),
         }
     }
 
@@ -550,7 +605,11 @@ impl Store {
         if let Some(p) = self.node(parent).attributes.iter().position(|&a| a == id) {
             return Some((0, p));
         }
-        self.node(parent).children.iter().position(|&c| c == id).map(|p| (1, p))
+        self.node(parent)
+            .children
+            .iter()
+            .position(|&c| c == id)
+            .map(|p| (1, p))
     }
 
     /// Document-order comparison of two nodes **in the same tree**.

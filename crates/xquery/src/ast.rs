@@ -100,7 +100,10 @@ pub enum Axis {
 impl Axis {
     /// Is this a reverse axis (positions count backwards in predicates)?
     pub fn is_reverse(self) -> bool {
-        matches!(self, Axis::Parent | Axis::Ancestor | Axis::AncestorOrSelf | Axis::PrecedingSibling)
+        matches!(
+            self,
+            Axis::Parent | Axis::Ancestor | Axis::AncestorOrSelf | Axis::PrecedingSibling
+        )
     }
 }
 

@@ -20,7 +20,7 @@ use xmlstore::Store;
 pub fn atomize_item(item: &Item, store: &Store) -> Atomic {
     match item {
         Item::Atomic(a) => a.clone(),
-        Item::Node(n) => Atomic::Untyped(store.string_value(*n)),
+        Item::Node(n) => Atomic::Untyped(store.string_value(*n).into()),
     }
 }
 
@@ -41,8 +41,8 @@ pub fn effective_boolean_value(seq: &Sequence, _store: &Store) -> Result<bool> {
     }
     if let Some(Item::Atomic(a)) = seq.as_singleton() {
         return Ok(match a {
-                Atomic::Bool(b) => *b,
-                Atomic::Str(s) | Atomic::Untyped(s) => !s.is_empty(),
+            Atomic::Bool(b) => *b,
+            Atomic::Str(s) | Atomic::Untyped(s) => !s.is_empty(),
             Atomic::Int(i) => *i != 0,
             Atomic::Dbl(d) => *d != 0.0 && !d.is_nan(),
         });
@@ -156,9 +156,7 @@ pub fn deep_equal(left: &Sequence, right: &Sequence, store: &Store) -> bool {
         return false;
     }
     left.iter().zip(right.iter()).all(|(a, b)| match (a, b) {
-        (Item::Atomic(x), Item::Atomic(y)) => {
-            compare_atomics(x, y) == Some(Ordering::Equal)
-        }
+        (Item::Atomic(x), Item::Atomic(y)) => compare_atomics(x, y) == Some(Ordering::Equal),
         (Item::Node(x), Item::Node(y)) => nodes_deep_equal(*x, *y, store),
         _ => false,
     })
@@ -190,13 +188,19 @@ fn nodes_deep_equal(a: xmlstore::NodeId, b: xmlstore::NodeId, store: &Store) -> 
             let ka = store.children(a);
             let kb = store.children(b);
             ka.len() == kb.len()
-                && ka.iter().zip(kb.iter()).all(|(&x, &y)| nodes_deep_equal(x, y, store))
+                && ka
+                    .iter()
+                    .zip(kb.iter())
+                    .all(|(&x, &y)| nodes_deep_equal(x, y, store))
         }
         (NodeKind::Document, NodeKind::Document) => {
             let ka = store.children(a);
             let kb = store.children(b);
             ka.len() == kb.len()
-                && ka.iter().zip(kb.iter()).all(|(&x, &y)| nodes_deep_equal(x, y, store))
+                && ka
+                    .iter()
+                    .zip(kb.iter())
+                    .all(|(&x, &y)| nodes_deep_equal(x, y, store))
         }
         _ => false,
     }
@@ -214,11 +218,26 @@ mod tests {
     fn papers_existential_equals() {
         let store = Store::new();
         // 1 = (1,2,3)
-        assert!(general_compare(CmpOp::Eq, &ints(&[1]), &ints(&[1, 2, 3]), &store));
+        assert!(general_compare(
+            CmpOp::Eq,
+            &ints(&[1]),
+            &ints(&[1, 2, 3]),
+            &store
+        ));
         // (1,2,3) = 3
-        assert!(general_compare(CmpOp::Eq, &ints(&[1, 2, 3]), &ints(&[3]), &store));
+        assert!(general_compare(
+            CmpOp::Eq,
+            &ints(&[1, 2, 3]),
+            &ints(&[3]),
+            &store
+        ));
         // not(1 = 3)
-        assert!(!general_compare(CmpOp::Eq, &ints(&[1]), &ints(&[3]), &store));
+        assert!(!general_compare(
+            CmpOp::Eq,
+            &ints(&[1]),
+            &ints(&[3]),
+            &store
+        ));
     }
 
     #[test]
@@ -243,8 +262,18 @@ mod tests {
         // "Once in a while, we used = to test if a sequence contained a value."
         let store = Store::new();
         let haystack: Sequence = ["a", "b", "c"].iter().map(|s| Item::string(*s)).collect();
-        assert!(general_compare(CmpOp::Eq, &Item::string("b").into(), &haystack, &store));
-        assert!(!general_compare(CmpOp::Eq, &Item::string("z").into(), &haystack, &store));
+        assert!(general_compare(
+            CmpOp::Eq,
+            &Item::string("b").into(),
+            &haystack,
+            &store
+        ));
+        assert!(!general_compare(
+            CmpOp::Eq,
+            &Item::string("z").into(),
+            &haystack,
+            &store
+        ));
     }
 
     #[test]
@@ -259,7 +288,10 @@ mod tests {
 
     #[test]
     fn string_vs_number_incomparable() {
-        assert_eq!(compare_atomics(&Atomic::Str("1".into()), &Atomic::Int(1)), None);
+        assert_eq!(
+            compare_atomics(&Atomic::Str("1".into()), &Atomic::Int(1)),
+            None
+        );
         assert_eq!(compare_atomics(&Atomic::Bool(true), &Atomic::Int(1)), None);
     }
 
@@ -269,7 +301,10 @@ mod tests {
             compare_atomics(&Atomic::Untyped("true".into()), &Atomic::Bool(true)),
             Some(Ordering::Equal)
         );
-        assert_eq!(compare_atomics(&Atomic::Untyped("maybe".into()), &Atomic::Bool(true)), None);
+        assert_eq!(
+            compare_atomics(&Atomic::Untyped("maybe".into()), &Atomic::Bool(true)),
+            None
+        );
     }
 
     #[test]
@@ -280,8 +315,13 @@ mod tests {
         assert!(!effective_boolean_value(&Atomic::Str("".into()).into(), &store).unwrap());
         assert!(!effective_boolean_value(&Atomic::Dbl(f64::NAN).into(), &store).unwrap());
         let node = store.create_element("e");
-        let seq: Sequence = vec![Item::Node(node), Item::integer(0)].into_iter().collect();
-        assert!(effective_boolean_value(&seq, &store).unwrap(), "first item node → true");
+        let seq: Sequence = vec![Item::Node(node), Item::integer(0)]
+            .into_iter()
+            .collect();
+        assert!(
+            effective_boolean_value(&seq, &store).unwrap(),
+            "first item node → true"
+        );
         let multi = ints(&[1, 2]);
         assert!(effective_boolean_value(&multi, &store).is_err());
     }
@@ -308,10 +348,22 @@ mod tests {
         let a = mk(&mut store, "2");
         let b = mk(&mut store, "2");
         let c = mk(&mut store, "3");
-        assert!(deep_equal(&Item::Node(a).into(), &Item::Node(b).into(), &store));
-        assert!(!deep_equal(&Item::Node(a).into(), &Item::Node(c).into(), &store));
+        assert!(deep_equal(
+            &Item::Node(a).into(),
+            &Item::Node(b).into(),
+            &store
+        ));
+        assert!(!deep_equal(
+            &Item::Node(a).into(),
+            &Item::Node(c).into(),
+            &store
+        ));
         // atomic vs node is not deep-equal
-        assert!(!deep_equal(&Item::Node(a).into(), &Item::string("x").into(), &store));
+        assert!(!deep_equal(
+            &Item::Node(a).into(),
+            &Item::string("x").into(),
+            &store
+        ));
         // untyped "1" deep-equals integer 1 via comparison rules
         let u: Sequence = Atomic::Untyped("1".into()).into();
         assert!(deep_equal(&u, &ints(&[1]), &store));

@@ -82,8 +82,10 @@ impl DynamicContext {
                     "Internal_Error: Variable '$glx:dot' not found.",
                 ))
             }
-            None => Err(Error::new(ErrorCode::XPDY0002, "the context item is undefined")
-                .at(position.0, position.1)),
+            None => Err(
+                Error::new(ErrorCode::XPDY0002, "the context item is undefined")
+                    .at(position.0, position.1),
+            ),
         }
     }
 }
@@ -123,9 +125,15 @@ mod tests {
         vars.bind("x", Sequence::singleton(Item::integer(1)));
         let mark = vars.mark();
         vars.bind("x", Sequence::singleton(Item::integer(2)));
-        assert_eq!(vars.lookup("x").unwrap().as_singleton(), Some(&Item::integer(2)));
+        assert_eq!(
+            vars.lookup("x").unwrap().as_singleton(),
+            Some(&Item::integer(2))
+        );
         vars.pop_to(mark);
-        assert_eq!(vars.lookup("x").unwrap().as_singleton(), Some(&Item::integer(1)));
+        assert_eq!(
+            vars.lookup("x").unwrap().as_singleton(),
+            Some(&Item::integer(1))
+        );
         assert!(vars.lookup("y").is_none());
     }
 
@@ -133,7 +141,10 @@ mod tests {
     fn galax_context_item_message_verbatim() {
         let ctx = DynamicContext::new();
         let err = ctx.context_item(true, (9, 9)).unwrap_err();
-        assert_eq!(err.message, "Internal_Error: Variable '$glx:dot' not found.");
+        assert_eq!(
+            err.message,
+            "Internal_Error: Variable '$glx:dot' not found."
+        );
         assert!(err.position.is_none(), "Galax gave no line number");
     }
 

@@ -1,0 +1,260 @@
+//! Differential tests: the lowered runner against the tree-walking
+//! reference evaluator.
+//!
+//! Every query here is compiled ONCE and executed through both paths
+//! ([`Engine::evaluate`] → lowered program, [`Engine::evaluate_reference`] →
+//! tree walker); the two must agree on success values (displayed form),
+//! error code, error message, error position, and the collected `fn:trace`
+//! output — under both standard and Galax-quirks options.
+
+use crate::engine::{Engine, EngineOptions};
+use proptest::prelude::*;
+use xmlstore::NodeId;
+
+/// Runs one source both ways and asserts observable equivalence. Returns a
+/// short outcome description for debugging.
+fn assert_equivalent(e: &mut Engine, src: &str, doc: Option<NodeId>) -> Result<String, String> {
+    let q = match e.compile(src) {
+        Ok(q) => q,
+        // Compile failures never reach either evaluator; nothing to compare.
+        Err(err) => return Ok(format!("compile error: {}", err.message)),
+    };
+    e.take_trace();
+    let lowered = e.evaluate(&q, doc);
+    let lowered_trace = e.take_trace();
+    let reference = e.evaluate_reference(&q, doc);
+    let reference_trace = e.take_trace();
+
+    if lowered_trace != reference_trace {
+        return Err(format!(
+            "trace mismatch on {src:?}: lowered {lowered_trace:?} vs reference {reference_trace:?}"
+        ));
+    }
+    match (lowered, reference) {
+        (Ok(a), Ok(b)) => {
+            let (da, db) = (e.display_sequence(&a), e.display_sequence(&b));
+            if da != db {
+                return Err(format!("value mismatch on {src:?}: {da:?} vs {db:?}"));
+            }
+            Ok(format!("ok: {da}"))
+        }
+        (Err(a), Err(b)) => {
+            if (a.code, &a.message, a.position) != (b.code, &b.message, b.position) {
+                return Err(format!(
+                    "error mismatch on {src:?}: {:?} {:?} at {:?} vs {:?} {:?} at {:?}",
+                    a.code, a.message, a.position, b.code, b.message, b.position
+                ));
+            }
+            Ok(format!("err: {}", a.message))
+        }
+        (Ok(a), Err(b)) => Err(format!(
+            "lowered succeeded ({}) where reference failed ({}) on {src:?}",
+            e.display_sequence(&a),
+            b.message
+        )),
+        (Err(a), Ok(b)) => Err(format!(
+            "lowered failed ({}) where reference succeeded ({}) on {src:?}",
+            a.message,
+            e.display_sequence(&b)
+        )),
+    }
+}
+
+const DOC: &str = "<lib genre='all'>\
+    <book year='1983'><title>A</title><author>X</author></book>\
+    <book year='2005'><title>B</title><author>Y</author><author>Z</author></book>\
+    <book year='1990'><title>C</title></book>\
+    <note>loose text</note>\
+</lib>";
+
+/// Hand-picked corpus exercising every expression family, including the
+/// error paths and the Galax-quirk messages.
+const CORPUS: &[&str] = &[
+    // Variables, shadowing, FLWOR.
+    "let $x := 1 return let $x := 2 return $x + $x",
+    "for $i in (3,1,2) let $d := $i * 10 where $d > 10 order by $i descending return $d",
+    "for $b at $i in //book return ($i, $b/title/string(.))",
+    "for $b in //book order by number($b/@year) return $b/title",
+    "let $x as xs:integer := 5 return $x",
+    "let $x as xs:string := 5 return $x",
+    // Unbound variables: quirks vs standard error, position included or not.
+    "$nowhere",
+    "let $a := 1 return $a-1",
+    // Context item.
+    ".",
+    "position()",
+    "/",
+    // Paths, axes, predicates.
+    "//book[@year=\"2005\"]/author",
+    "//book[2]/title",
+    "//book[position() = last()]",
+    "/lib/book/title/..",
+    "//author/ancestor::lib/@genre",
+    "//title/following-sibling::author",
+    "//book[author]/title/text()",
+    "count(//node())",
+    "//book union //note",
+    "(//book union //note) intersect //book",
+    "//book except //book[1]",
+    "//book[1] is //book[1]",
+    "//book[1] << //book[2]",
+    // Arithmetic and comparisons.
+    "6 div 4",
+    "1 div 0",
+    "7 idiv 0",
+    "5 mod 0",
+    "-(1,2)",
+    "() + 1",
+    "1 = (1,2,3)",
+    "\"b\" gt \"a\"",
+    "(1,2) eq 1",
+    "2 to 5",
+    // Functions: builtin, user, unknown, recursion.
+    "string-join((\"a\",\"b\"), \"-\")",
+    "concat(\"a\", 1, true())",
+    "substring(\"lopsided\", 2, 3)",
+    "declare function local:f($n as xs:integer) as xs:integer { if ($n le 1) then 1 else $n * local:f($n - 1) }; local:f(5)",
+    "declare function local:g($s) { $s }; local:g((1,2,3))",
+    "declare function local:h($s as xs:string) { $s }; local:h(7)",
+    "no-such-function(1, 2)",
+    "fn:count((1,2))",
+    "declare function local:loop($n) { local:loop($n + 1) }; local:loop(0)",
+    // Function frames are closure-free: $hidden is not captured.
+    "declare function local:leak($p) { $p + $hidden }; let $hidden := 10 return local:leak(1)",
+    // Globals.
+    "declare variable $a := 2; declare variable $b := $a * 3; $b",
+    "declare variable $v as xs:string := 9; $v",
+    // Constructors.
+    "<el a=\"x{1+1}\">t{2+2}</el>",
+    "<out>{//book[1]/title}</out>",
+    "<e>{attribute n {\"v\"}, \"body\"}</e>",
+    "<e>{\"body\", attribute n {\"v\"}}</e>",
+    "<e a=\"1\">{attribute a {\"2\"}}</e>",
+    "element {concat(\"t\", \"ag\")} {1 + 1}",
+    "element {()} {1}",
+    "attribute q {(1,2,3)}",
+    "text {(\"a\", \"b\")}",
+    "comment {\"c\"}",
+    "document {<d/>}",
+    // Control flow, quantifiers, typeswitch, try/catch, casts.
+    "if (//note) then \"has\" else \"none\"",
+    "some $x in (1,2,3) satisfies $x gt 2",
+    "every $x in () satisfies false()",
+    "typeswitch (1.5) case $i as xs:integer return \"int\" case $d as xs:double return concat(\"dbl:\", $d) default return \"other\"",
+    "try { 1 div 0 } catch ($e) { $e }",
+    "try { error(\"boom\") } catch ($e) { concat(\"caught: \", $e) }",
+    "\"7\" cast as xs:integer",
+    "\"x\" cast as xs:integer",
+    "\"x\" castable as xs:integer",
+    "(1,2) instance of xs:integer+",
+    // Trace (runner must feed the shared sink identically).
+    "let $x := trace(\"x=\", 5) return $x + 1",
+    "trace(\"a\", trace(\"b\", 1) + 1)",
+];
+
+#[test]
+fn corpus_matches_reference_standard() {
+    let mut e = Engine::with_options(EngineOptions {
+        dup_attr_policy: crate::engine::DupAttrPolicy::Error,
+        ..Default::default()
+    });
+    let doc = e.load_document(DOC).unwrap();
+    for src in CORPUS {
+        assert_equivalent(&mut e, src, Some(doc)).unwrap();
+    }
+}
+
+#[test]
+fn corpus_matches_reference_galax_quirks() {
+    let mut e = Engine::galax();
+    let doc = e.load_document(DOC).unwrap();
+    for src in CORPUS {
+        assert_equivalent(&mut e, src, Some(doc)).unwrap();
+    }
+}
+
+#[test]
+fn corpus_matches_reference_without_context() {
+    // No context item: `.`-dependent queries must fail identically —
+    // including the Galax "$glx:dot" message without a position.
+    for quirks in [false, true] {
+        let mut e = if quirks {
+            Engine::galax()
+        } else {
+            Engine::new()
+        };
+        for src in CORPUS {
+            assert_equivalent(&mut e, src, None).unwrap();
+        }
+    }
+}
+
+#[test]
+fn corpus_matches_reference_unoptimized() {
+    // With the optimizer off, both paths see the raw parse tree (dead lets
+    // and traces intact) — a different program shape than the default runs.
+    let mut e = Engine::with_options(EngineOptions {
+        optimize: false,
+        ..Default::default()
+    });
+    let doc = e.load_document(DOC).unwrap();
+    for src in CORPUS {
+        assert_equivalent(&mut e, src, Some(doc)).unwrap();
+    }
+}
+
+/// Generator for the property-based differential run: well-formed-ish
+/// sources mixing bindings (live, dead, shadowed), arithmetic, sequences,
+/// traces, constructors, and deliberate failure paths.
+fn diff_source() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        (0i64..50).prop_map(|i| i.to_string()),
+        Just("\"s\"".to_string()),
+        Just("()".to_string()),
+        Just("(1,2,3)".to_string()),
+        Just("$unbound".to_string()),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a}) + ({b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("(({a}), ({b}))")),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| format!("let $v := ({a}) return (({b}), count($v))")),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| format!("let $v := ({a}) return let $v := ({b}) return $v")),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| format!("for $i in ({a}) return (($i), ({b}))")),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| format!("if (({a}) = ({b})) then ({a}) else ({b})")),
+            inner
+                .clone()
+                .prop_map(|a| format!("some $q in ({a}) satisfies $q > 1")),
+            inner.clone().prop_map(|a| format!("trace(\"t=\", ({a}))")),
+            inner
+                .clone()
+                .prop_map(|a| format!("try {{ ({a}) eq (1,2) }} catch ($e) {{ $e }}")),
+            inner
+                .clone()
+                .prop_map(|a| format!("<el a=\"{{({a})}}\">{{({a})}}</el>")),
+            inner.clone().prop_map(|a| format!("count(({a}))")),
+            inner.clone().prop_map(|a| format!("no-such(({a}))")),
+            inner.clone().prop_map(|a| format!(
+                "typeswitch (({a})) case $n as xs:integer return $n default $d return count($d)"
+            )),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The lowered runner is observably equivalent to the tree walker on
+    /// generated programs, with quirks both off and on.
+    #[test]
+    fn lowered_runner_matches_reference(src in diff_source(), quirks in any::<bool>()) {
+        let mut e = if quirks { Engine::galax() } else { Engine::new() };
+        if let Err(msg) = assert_equivalent(&mut e, &src, None) {
+            return Err(TestCaseError::fail(msg));
+        }
+    }
+}

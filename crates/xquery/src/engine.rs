@@ -5,13 +5,15 @@ use crate::context::{DynamicContext, Focus, StaticContext};
 use crate::error::{Error, Result};
 use crate::eval::{eval, EvalEnv};
 use crate::functions::display_sequence;
+use crate::lower::{lower_module, Program};
 use crate::optimizer::{optimize_module, OptimizerOptions, OptimizerStats};
 use crate::parser::parse_module;
+use crate::run::{run, Frame, RunEnv};
 use crate::value::{Item, Sequence};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use xmlstore::parser::ParseOptions;
-use xmlstore::{NodeId, Store};
+use xmlstore::{intern, NodeId, Store, Sym};
 
 /// What to do when a constructed element receives two attributes with the
 /// same name.
@@ -80,21 +82,105 @@ impl EngineOptions {
     }
 }
 
-/// A compiled query: the (optimized) module plus optimizer statistics.
+/// A compiled query: the (optimized) module, its lowered [`Program`] — what
+/// [`Engine::evaluate`] actually runs — and optimizer statistics. The module
+/// is retained for the tree-walking reference path
+/// ([`Engine::evaluate_reference`]) and for inspection.
 #[derive(Debug, Clone)]
 pub struct CompiledQuery {
     pub module: Module,
+    pub program: Program,
     pub stats: OptimizerStats,
 }
 
+/// A job shipped to the persistent big-stack worker thread.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A persistent worker thread with a large stack, reused across
+/// `Engine::compile`/`Engine::evaluate` calls instead of spawning a fresh
+/// scoped thread per query. XQuery-style programs recurse where imperative
+/// code loops, so evaluation needs the big stack — but paying thread spawn
+/// and teardown per query dominated short queries (the XSLT driver and the
+/// calculus evaluator issue thousands).
+struct StackWorker {
+    sender: mpsc::Sender<Job>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl StackWorker {
+    fn new(stack_bytes: usize) -> StackWorker {
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let handle = std::thread::Builder::new()
+            .name("xquery-eval".to_string())
+            .stack_size(stack_bytes)
+            .spawn(move || {
+                while let Ok(job) = receiver.recv() {
+                    job();
+                }
+            })
+            .expect("spawning the evaluation thread");
+        StackWorker {
+            sender,
+            handle: Some(handle),
+        }
+    }
+
+    fn sender(&self) -> mpsc::Sender<Job> {
+        self.sender.clone()
+    }
+}
+
+impl Drop for StackWorker {
+    fn drop(&mut self) {
+        // Closing the channel ends the worker loop; join so the thread is
+        // gone when the engine is.
+        let (closed, _) = mpsc::channel();
+        self.sender = closed;
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Runs `f` on the worker thread and blocks until it completes.
+///
+/// The closure may borrow the caller's stack (including `&mut Engine`): the
+/// rendezvous on the result channel guarantees those borrows outlive the
+/// job, which is what makes the lifetime erasure below sound. A panic inside
+/// `f` is caught on the worker (keeping it alive for the next query) and
+/// re-raised here with the same message the old spawn-per-call code used.
+fn run_on_worker<T, F>(sender: &mpsc::Sender<Job>, f: F) -> T
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let (tx, rx) = mpsc::channel();
+    let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+        if let Ok(value) = result {
+            let _ = tx.send(value);
+        }
+        // On panic `tx` is dropped unsent; the recv below turns that into
+        // the caller-side panic.
+    });
+    // Erase the borrow lifetime: the blocking recv below keeps every borrow
+    // alive until the job has finished (or been dropped with the queue).
+    let job: Job = unsafe { std::mem::transmute(job) };
+    sender.send(job).expect("the evaluation thread is gone");
+    rx.recv()
+        .unwrap_or_else(|_| panic!("the evaluation thread panicked"))
+}
+
 /// An XQuery engine instance owning a node store, registered documents,
-/// external variable bindings, and the trace sink.
+/// external variable bindings, the trace sink, and the persistent
+/// evaluation thread.
 pub struct Engine {
     store: Store,
     options: EngineOptions,
     docs: HashMap<String, NodeId>,
     globals: HashMap<String, Arc<Sequence>>,
     trace: Vec<String>,
+    worker: StackWorker,
 }
 
 impl Default for Engine {
@@ -115,12 +201,14 @@ impl Engine {
     }
 
     pub fn with_options(options: EngineOptions) -> Self {
+        let worker = StackWorker::new(options.eval_stack_bytes);
         Engine {
             store: Store::new(),
             options,
             docs: HashMap::new(),
             globals: HashMap::new(),
             trace: Vec::new(),
+            worker,
         }
     }
 
@@ -169,21 +257,13 @@ impl Engine {
         self.bind(name, Sequence::singleton(Item::Node(node)));
     }
 
-    /// Compiles (parses, optionally optimizes) a query. Runs on a dedicated
-    /// thread sized like the evaluator's: the recursive-descent parser's
+    /// Compiles (parses, optionally optimizes, lowers) a query. Runs on the
+    /// engine's persistent big-stack thread: the recursive-descent parser's
     /// depth guard allows more nesting than small default stacks hold in
     /// debug builds.
     pub fn compile(&self, source: &str) -> Result<CompiledQuery> {
-        let stack = self.options.eval_stack_bytes;
-        std::thread::scope(|scope| {
-            std::thread::Builder::new()
-                .name("xquery-compile".to_string())
-                .stack_size(stack)
-                .spawn_scoped(scope, || self.compile_on_this_thread(source))
-                .expect("spawning the compile thread")
-                .join()
-                .expect("the compile thread panicked")
-        })
+        let sender = self.worker.sender();
+        run_on_worker(&sender, || self.compile_on_this_thread(source))
     }
 
     fn compile_on_this_thread(&self, source: &str) -> Result<CompiledQuery> {
@@ -193,7 +273,10 @@ impl Engine {
             if let Some(first) = diagnostics.first() {
                 return Err(Error::new(
                     crate::error::ErrorCode::XPTY0004,
-                    format!("static typing: {first} ({} diagnostic(s) total)", diagnostics.len()),
+                    format!(
+                        "static typing: {first} ({} diagnostic(s) total)",
+                        diagnostics.len()
+                    ),
                 ));
             }
         }
@@ -207,26 +290,34 @@ impl Engine {
         } else {
             OptimizerStats::default()
         };
-        Ok(CompiledQuery { module, stats })
+        // Lowering runs AFTER the (quirks-aware) optimizer: trace-DCE and
+        // friends see the tree they always saw, and the lowered program is a
+        // faithful translation of the optimizer's output.
+        let program = lower_module(&module)?;
+        Ok(CompiledQuery {
+            module,
+            program,
+            stats,
+        })
     }
 
-    /// Evaluates a compiled query. `context_node`, when given, becomes the
-    /// context item (focus position 1 of 1).
+    /// Evaluates a compiled query (through the lowered program).
+    /// `context_node`, when given, becomes the context item (focus position
+    /// 1 of 1).
     ///
-    /// Evaluation runs on a dedicated thread with
+    /// Evaluation runs on the engine's persistent worker thread with
     /// [`EngineOptions::eval_stack_bytes`] of stack: functional-style XQuery
     /// recurses where imperative code loops, and the per-sibling recursion
-    /// of realistic programs outgrows default thread stacks.
-    pub fn evaluate(&mut self, query: &CompiledQuery, context_node: Option<NodeId>) -> Result<Sequence> {
-        let stack = self.options.eval_stack_bytes;
-        std::thread::scope(|scope| {
-            std::thread::Builder::new()
-                .name("xquery-eval".to_string())
-                .stack_size(stack)
-                .spawn_scoped(scope, || self.evaluate_on_this_thread(query, context_node))
-                .expect("spawning the evaluation thread")
-                .join()
-                .expect("the evaluation thread panicked")
+    /// of realistic programs outgrows default thread stacks. The thread is
+    /// reused across calls — no spawn per query.
+    pub fn evaluate(
+        &mut self,
+        query: &CompiledQuery,
+        context_node: Option<NodeId>,
+    ) -> Result<Sequence> {
+        let sender = self.worker.sender();
+        run_on_worker(&sender, move || {
+            self.evaluate_on_this_thread(query, context_node)
         })
     }
 
@@ -240,24 +331,38 @@ impl Engine {
         position: usize,
         size: usize,
     ) -> Result<Sequence> {
-        let stack = self.options.eval_stack_bytes;
-        std::thread::scope(|scope| {
-            std::thread::Builder::new()
-                .name("xquery-eval".to_string())
-                .stack_size(stack)
-                .spawn_scoped(scope, move || {
-                    self.evaluate_impl(
-                        query,
-                        Some(Focus {
-                            item,
-                            position,
-                            size,
-                        }),
-                    )
-                })
-                .expect("spawning the evaluation thread")
-                .join()
-                .expect("the evaluation thread panicked")
+        let sender = self.worker.sender();
+        run_on_worker(&sender, move || {
+            self.evaluate_impl(
+                query,
+                Some(Focus {
+                    item,
+                    position,
+                    size,
+                }),
+            )
+        })
+    }
+
+    /// Evaluates through the **tree-walking reference evaluator** instead of
+    /// the lowered program. Kept for differential testing (the lowered
+    /// runner must be observably identical) and as the executable
+    /// specification of the semantics.
+    pub fn evaluate_reference(
+        &mut self,
+        query: &CompiledQuery,
+        context_node: Option<NodeId>,
+    ) -> Result<Sequence> {
+        let sender = self.worker.sender();
+        run_on_worker(&sender, move || {
+            self.evaluate_reference_impl(
+                query,
+                context_node.map(|node| Focus {
+                    item: Item::Node(node),
+                    position: 1,
+                    size: 1,
+                }),
+            )
         })
     }
 
@@ -280,7 +385,11 @@ impl Engine {
         )
     }
 
-    fn evaluate_on_this_thread(&mut self, query: &CompiledQuery, context_node: Option<NodeId>) -> Result<Sequence> {
+    fn evaluate_on_this_thread(
+        &mut self,
+        query: &CompiledQuery,
+        context_node: Option<NodeId>,
+    ) -> Result<Sequence> {
         self.evaluate_impl(
             query,
             context_node.map(|node| Focus {
@@ -292,6 +401,60 @@ impl Engine {
     }
 
     fn evaluate_impl(&mut self, query: &CompiledQuery, focus: Option<Focus>) -> Result<Sequence> {
+        let program = &query.program;
+
+        // External bindings come first (keyed by interned name) and may be
+        // overridden by module declarations, which evaluate in order, each
+        // seeing the previous ones.
+        let mut globals: HashMap<Sym, Arc<Sequence>> = self
+            .globals
+            .iter()
+            .map(|(name, value)| (intern(name), value.clone()))
+            .collect();
+        let mut ctx = DynamicContext::new();
+        ctx.focus = focus;
+        for decl in &program.globals {
+            let value = {
+                let mut env = RunEnv {
+                    store: &mut self.store,
+                    options: &self.options,
+                    program,
+                    docs: &self.docs,
+                    globals: &globals,
+                    trace: &mut self.trace,
+                    depth: 0,
+                };
+                let mut frame = Frame::new(decl.frame);
+                run(&decl.expr, &mut env, &mut frame, &mut ctx)?
+            };
+            if let Some(ty) = &decl.ty {
+                ty.check(
+                    &value,
+                    &self.store,
+                    &format!("declare variable ${}", decl.name),
+                )?;
+            }
+            globals.insert(decl.name, Arc::new(value));
+        }
+
+        let mut env = RunEnv {
+            store: &mut self.store,
+            options: &self.options,
+            program,
+            docs: &self.docs,
+            globals: &globals,
+            trace: &mut self.trace,
+            depth: 0,
+        };
+        let mut frame = Frame::new(program.body_frame);
+        run(&program.body, &mut env, &mut frame, &mut ctx)
+    }
+
+    fn evaluate_reference_impl(
+        &mut self,
+        query: &CompiledQuery,
+        focus: Option<Focus>,
+    ) -> Result<Sequence> {
         let mut statics = StaticContext::default();
         for f in &query.module.functions {
             statics.declare(f.clone())?;
@@ -316,7 +479,11 @@ impl Engine {
                 eval(&decl.expr, &mut env, &mut ctx)?
             };
             if let Some(ty) = &decl.ty {
-                ty.check(&value, &self.store, &format!("declare variable ${}", decl.name))?;
+                ty.check(
+                    &value,
+                    &self.store,
+                    &format!("declare variable ${}", decl.name),
+                )?;
             }
             globals.insert(decl.name.clone(), Arc::new(value));
         }
@@ -396,7 +563,9 @@ mod tests {
         let doc = e
             .load_document("<lib><book year='1983'><title>A</title></book><book year='2005'><title>B</title></book></lib>")
             .unwrap();
-        let out = e.evaluate_str("/lib/book[@year=\"2005\"]/title", Some(doc)).unwrap();
+        let out = e
+            .evaluate_str("/lib/book[@year=\"2005\"]/title", Some(doc))
+            .unwrap();
         assert_eq!(e.serialize_sequence(&out), "<title>B</title>");
         let out = e.evaluate_str("count(//book)", Some(doc)).unwrap();
         assert_eq!(e.display_sequence(&out), "2");
@@ -410,7 +579,9 @@ mod tests {
         let doc = e.load_document("<m><x>7</x></m>").unwrap();
         e.register_document("model", doc);
         e.bind("offset", Sequence::singleton(Item::integer(3)));
-        let out = e.evaluate_str("number(doc(\"model\")/m/x) + $offset", None).unwrap();
+        let out = e
+            .evaluate_str("number(doc(\"model\")/m/x) + $offset", None)
+            .unwrap();
         assert_eq!(e.display_sequence(&out), "10");
     }
 
@@ -454,7 +625,9 @@ mod tests {
             optimize: false,
             ..Default::default()
         });
-        let out = e.evaluate_str("let $x := trace(\"x=\", 5) return $x + 1", None).unwrap();
+        let out = e
+            .evaluate_str("let $x := trace(\"x=\", 5) return $x + 1", None)
+            .unwrap();
         assert_eq!(e.display_sequence(&out), "6");
         assert_eq!(e.take_trace(), vec!["x= 5"]);
     }
@@ -465,7 +638,10 @@ mod tests {
         let mut galax = Engine::galax();
         let out = galax.evaluate_str(src, None).unwrap();
         assert_eq!(galax.display_sequence(&out), "1");
-        assert!(galax.take_trace().is_empty(), "the trace was optimized away");
+        assert!(
+            galax.take_trace().is_empty(),
+            "the trace was optimized away"
+        );
 
         let mut fixed = Engine::new();
         fixed.evaluate_str(src, None).unwrap();

@@ -8,7 +8,9 @@
 //! ([`DupAttrPolicy`]).
 
 use crate::ast::*;
-use crate::compare::{atomize, atomize_item, effective_boolean_value, general_compare, value_compare};
+use crate::compare::{
+    atomize, atomize_item, effective_boolean_value, general_compare, value_compare,
+};
 use crate::context::{DynamicContext, Focus, StaticContext};
 use crate::engine::{DupAttrPolicy, EngineOptions};
 use crate::error::{Error, ErrorCode, Result};
@@ -40,7 +42,10 @@ impl EvalEnv<'_> {
         if self.depth >= self.options.recursion_limit {
             Err(Error::new(
                 ErrorCode::Internal,
-                format!("recursion limit of {} exceeded", self.options.recursion_limit),
+                format!(
+                    "recursion limit of {} exceeded",
+                    self.options.recursion_limit
+                ),
             )
             .at(position.0, position.1))
         } else {
@@ -54,27 +59,30 @@ pub fn eval(expr: &Expr, env: &mut EvalEnv, ctx: &mut DynamicContext) -> Result<
     match expr {
         Expr::Literal(a) => Ok(Sequence::singleton(Item::Atomic(a.clone()))),
 
-        Expr::VarRef(name, position) => match ctx
-            .vars
-            .lookup(name)
-            .or_else(|| env.globals.get(name))
-        {
-            Some(v) => Ok((**v).clone()),
-            None => {
-                if env.options.galax_quirks {
-                    Err(Error::new(
-                        ErrorCode::Internal,
-                        format!("Internal_Error: Variable '${name}' not found."),
-                    ))
-                } else {
-                    Err(Error::new(ErrorCode::XPST0008, format!("variable ${name} is not bound"))
+        Expr::VarRef(name, position) => {
+            match ctx.vars.lookup(name).or_else(|| env.globals.get(name)) {
+                Some(v) => Ok((**v).clone()),
+                None => {
+                    if env.options.galax_quirks {
+                        Err(Error::new(
+                            ErrorCode::Internal,
+                            format!("Internal_Error: Variable '${name}' not found."),
+                        ))
+                    } else {
+                        Err(Error::new(
+                            ErrorCode::XPST0008,
+                            format!("variable ${name} is not bound"),
+                        )
                         .at(position.0, position.1))
+                    }
                 }
             }
-        },
+        }
 
         Expr::ContextItem(position) => {
-            let item = ctx.context_item(env.options.galax_quirks, *position)?.clone();
+            let item = ctx
+                .context_item(env.options.galax_quirks, *position)?
+                .clone();
             Ok(Sequence::singleton(item))
         }
 
@@ -89,8 +97,10 @@ pub fn eval(expr: &Expr, env: &mut EvalEnv, ctx: &mut DynamicContext) -> Result<
         Expr::Range(lo, hi) => {
             let lo = eval(lo, env, ctx)?;
             let hi = eval(hi, env, ctx)?;
-            let (Some(lo), Some(hi)) = (singleton_integer(&lo, env.store)?, singleton_integer(&hi, env.store)?)
-            else {
+            let (Some(lo), Some(hi)) = (
+                singleton_integer(&lo, env.store)?,
+                singleton_integer(&hi, env.store)?,
+            ) else {
                 return Ok(Sequence::empty());
             };
             Ok((lo..=hi).map(Item::integer).collect())
@@ -226,7 +236,9 @@ pub fn eval(expr: &Expr, env: &mut EvalEnv, ctx: &mut DynamicContext) -> Result<
         }
 
         Expr::Root(position) => {
-            let item = ctx.context_item(env.options.galax_quirks, *position)?.clone();
+            let item = ctx
+                .context_item(env.options.galax_quirks, *position)?
+                .clone();
             match item {
                 Item::Node(n) => Ok(Sequence::singleton(Item::Node(env.store.root(n)))),
                 Item::Atomic(_) => Err(Error::new(
@@ -243,7 +255,9 @@ pub fn eval(expr: &Expr, env: &mut EvalEnv, ctx: &mut DynamicContext) -> Result<
             predicates,
             position,
         } => {
-            let item = ctx.context_item(env.options.galax_quirks, *position)?.clone();
+            let item = ctx
+                .context_item(env.options.galax_quirks, *position)?
+                .clone();
             let node = match item {
                 Item::Node(n) => n,
                 Item::Atomic(_) => {
@@ -267,7 +281,7 @@ pub fn eval(expr: &Expr, env: &mut EvalEnv, ctx: &mut DynamicContext) -> Result<
             let mut current = eval(start, env, ctx)?;
             for step in steps {
                 if step.double_slash {
-                    current = expand_descendant_or_self(&current, env)?;
+                    current = expand_descendant_or_self(&current, env.store)?;
                 }
                 current = map_step(&current, &step.expr, env, ctx)?;
             }
@@ -308,12 +322,12 @@ pub fn eval(expr: &Expr, env: &mut EvalEnv, ctx: &mut DynamicContext) -> Result<
         } => {
             let name = constructor_name(name, env, ctx, *position)?;
             let el = env.store.create_element(QName::from(name.as_str()));
-            let mut builder = ContentBuilder::new(el, *position);
+            let mut builder = ContentBuilder::new(el, *position, env.options.dup_attr_policy);
             if let Some(content) = content {
                 let seq = eval(content, env, ctx)?;
-                builder.push_sequence(seq, env)?;
+                builder.push_sequence(seq, env.store)?;
             }
-            builder.finish(env)?;
+            builder.finish(env.store)?;
             Ok(Sequence::singleton(Item::Node(el)))
         }
 
@@ -349,22 +363,22 @@ pub fn eval(expr: &Expr, env: &mut EvalEnv, ctx: &mut DynamicContext) -> Result<
             Ok(Sequence::singleton(Item::Node(node)))
         }
 
-        Expr::TryCatch { try_, var, catch } => {
-            match eval(try_, env, ctx) {
-                Ok(v) => Ok(v),
-                Err(e) if e.code == ErrorCode::Internal => Err(e),
-                Err(e) => {
-                    let mark = ctx.vars.mark();
-                    if let Some(v) = var {
-                        ctx.vars
-                            .bind(v.clone(), Sequence::singleton(Item::string(e.message.clone())));
-                    }
-                    let r = eval(catch, env, ctx);
-                    ctx.vars.pop_to(mark);
-                    r
+        Expr::TryCatch { try_, var, catch } => match eval(try_, env, ctx) {
+            Ok(v) => Ok(v),
+            Err(e) if e.code == ErrorCode::Internal => Err(e),
+            Err(e) => {
+                let mark = ctx.vars.mark();
+                if let Some(v) = var {
+                    ctx.vars.bind(
+                        v.clone(),
+                        Sequence::singleton(Item::string(e.message.clone())),
+                    );
                 }
+                let r = eval(catch, env, ctx);
+                ctx.vars.pop_to(mark);
+                r
             }
-        }
+        },
 
         Expr::TypeSwitch {
             operand,
@@ -417,8 +431,10 @@ pub fn eval(expr: &Expr, env: &mut EvalEnv, ctx: &mut DynamicContext) -> Result<
         Expr::CastAs(e, ty, position) => {
             let seq = eval(e, env, ctx)?;
             let SeqType::Of(ItemType::Atomic(target), occ) = ty else {
-                return Err(Error::new(ErrorCode::XPST0003, "cast target must be an atomic type")
-                    .at(position.0, position.1));
+                return Err(
+                    Error::new(ErrorCode::XPST0003, "cast target must be an atomic type")
+                        .at(position.0, position.1),
+                );
             };
             if seq.is_empty() {
                 return if occ.accepts(0) {
@@ -454,15 +470,7 @@ fn eval_flwor(
     let mut keyed: Vec<(Vec<Option<Atomic>>, Sequence)> = Vec::new();
     let mut plain = Sequence::empty();
     let result = flwor_tuples(
-        clauses,
-        0,
-        where_,
-        order_by,
-        return_,
-        env,
-        ctx,
-        &mut keyed,
-        &mut plain,
+        clauses, 0, where_, order_by, return_, env, ctx, &mut keyed, &mut plain,
     );
     ctx.vars.pop_to(mark);
     result?;
@@ -473,7 +481,12 @@ fn eval_flwor(
     let specs: Vec<&OrderSpec> = order_by.iter().collect();
     keyed.sort_by(|(ka, _), (kb, _)| {
         for (i, spec) in specs.iter().enumerate() {
-            let ord = compare_order_keys(ka[i].as_ref(), kb[i].as_ref(), spec);
+            let ord = compare_order_keys(
+                ka[i].as_ref(),
+                kb[i].as_ref(),
+                spec.descending,
+                spec.empty_least,
+            );
             if ord != std::cmp::Ordering::Equal {
                 return ord;
             }
@@ -483,32 +496,34 @@ fn eval_flwor(
     Ok(Sequence::concat(keyed.into_iter().map(|(_, v)| v)))
 }
 
-fn compare_order_keys(
+pub(crate) fn compare_order_keys(
     a: Option<&Atomic>,
     b: Option<&Atomic>,
-    spec: &OrderSpec,
+    descending: bool,
+    empty_least: bool,
 ) -> std::cmp::Ordering {
     use std::cmp::Ordering;
     let ord = match (a, b) {
         (None, None) => Ordering::Equal,
         (None, Some(_)) => {
-            if spec.empty_least {
+            if empty_least {
                 Ordering::Less
             } else {
                 Ordering::Greater
             }
         }
         (Some(_), None) => {
-            if spec.empty_least {
+            if empty_least {
                 Ordering::Greater
             } else {
                 Ordering::Less
             }
         }
-        (Some(x), Some(y)) => crate::compare::compare_atomics(x, y)
-            .unwrap_or_else(|| x.to_text().cmp(&y.to_text())),
+        (Some(x), Some(y)) => {
+            crate::compare::compare_atomics(x, y).unwrap_or_else(|| x.to_text().cmp(&y.to_text()))
+        }
     };
-    if spec.descending {
+    if descending {
         ord.reverse()
     } else {
         ord
@@ -561,10 +576,22 @@ fn flwor_tuples(
                 let mark = ctx.vars.mark();
                 ctx.vars.bind(var.clone(), Sequence::singleton(item));
                 if let Some(at_var) = at {
-                    ctx.vars
-                        .bind(at_var.clone(), Sequence::singleton(Item::integer(i as i64 + 1)));
+                    ctx.vars.bind(
+                        at_var.clone(),
+                        Sequence::singleton(Item::integer(i as i64 + 1)),
+                    );
                 }
-                let r = flwor_tuples(clauses, idx + 1, where_, order_by, return_, env, ctx, keyed, plain);
+                let r = flwor_tuples(
+                    clauses,
+                    idx + 1,
+                    where_,
+                    order_by,
+                    return_,
+                    env,
+                    ctx,
+                    keyed,
+                    plain,
+                );
                 ctx.vars.pop_to(mark);
                 r?;
             }
@@ -577,7 +604,17 @@ fn flwor_tuples(
             }
             let mark = ctx.vars.mark();
             ctx.vars.bind(var.clone(), value);
-            let r = flwor_tuples(clauses, idx + 1, where_, order_by, return_, env, ctx, keyed, plain);
+            let r = flwor_tuples(
+                clauses,
+                idx + 1,
+                where_,
+                order_by,
+                return_,
+                env,
+                ctx,
+                keyed,
+                plain,
+            );
             ctx.vars.pop_to(mark);
             r
         }
@@ -618,16 +655,16 @@ fn quantified(
 // ----------------------------------------------------------------------
 
 /// Expands `//` into a descendant-or-self pass over the current node set.
-fn expand_descendant_or_self(current: &Sequence, env: &mut EvalEnv) -> Result<Sequence> {
+pub(crate) fn expand_descendant_or_self(current: &Sequence, store: &Store) -> Result<Sequence> {
     let mut out: Vec<NodeId> = Vec::new();
     for item in current.iter() {
-        let n = item.as_node().ok_or_else(|| {
-            Error::new(ErrorCode::XPTY0019, "'//' applied to an atomic value")
-        })?;
+        let n = item
+            .as_node()
+            .ok_or_else(|| Error::new(ErrorCode::XPTY0019, "'//' applied to an atomic value"))?;
         out.push(n);
-        out.extend(env.store.descendants(n));
+        out.extend(store.descendants(n));
     }
-    let unique = dedup_sorted(out, env.store);
+    let unique = dedup_sorted(out, store);
     Ok(unique.into_iter().map(Item::Node).collect())
 }
 
@@ -665,17 +702,20 @@ fn map_step(
         ));
     }
     let ids: Vec<NodeId> = results.iter().filter_map(|i| i.as_node()).collect();
-    Ok(dedup_sorted(ids, env.store).into_iter().map(Item::Node).collect())
+    Ok(dedup_sorted(ids, env.store)
+        .into_iter()
+        .map(Item::Node)
+        .collect())
 }
 
-fn dedup_sorted(nodes: Vec<NodeId>, store: &Store) -> Vec<NodeId> {
+pub(crate) fn dedup_sorted(nodes: Vec<NodeId>, store: &Store) -> Vec<NodeId> {
     let mut seen = HashSet::with_capacity(nodes.len());
     let mut unique: Vec<NodeId> = nodes.into_iter().filter(|n| seen.insert(*n)).collect();
     unique.sort_by_cached_key(|&n| store.order_key(n));
     unique
 }
 
-fn axis_candidates(axis: Axis, node: NodeId, store: &Store) -> Vec<NodeId> {
+pub(crate) fn axis_candidates(axis: Axis, node: NodeId, store: &Store) -> Vec<NodeId> {
     match axis {
         Axis::Child => store.children(node).to_vec(),
         Axis::Descendant => store.descendants(node),
@@ -811,25 +851,31 @@ fn predicate_holds(
     let result = eval(pred, env, ctx);
     ctx.focus = saved;
     let value = result?;
+    predicate_outcome(&value, position, env.store)
+}
+
+/// The predicate rule shared by both evaluators: a numeric singleton is a
+/// position test, anything else takes its effective boolean value.
+pub(crate) fn predicate_outcome(value: &Sequence, position: usize, store: &Store) -> Result<bool> {
     if let Some(Item::Atomic(a)) = value.as_singleton() {
         if a.is_numeric() {
             let n = a.as_number().unwrap_or(f64::NAN);
             return Ok(n == position as f64);
         }
     }
-    effective_boolean_value(&value, env.store)
+    effective_boolean_value(value, store)
 }
 
 // ----------------------------------------------------------------------
 // Arithmetic
 // ----------------------------------------------------------------------
 
-enum NumOperand {
+pub(crate) enum NumOperand {
     Int(i64),
     Dbl(f64),
 }
 
-fn singleton_number(seq: &Sequence, store: &Store) -> Result<Option<NumOperand>> {
+pub(crate) fn singleton_number(seq: &Sequence, store: &Store) -> Result<Option<NumOperand>> {
     let atoms = atomize(seq, store);
     if atoms.is_empty() {
         return Ok(None);
@@ -860,7 +906,7 @@ fn singleton_number(seq: &Sequence, store: &Store) -> Result<Option<NumOperand>>
     }
 }
 
-fn singleton_integer(seq: &Sequence, store: &Store) -> Result<Option<i64>> {
+pub(crate) fn singleton_integer(seq: &Sequence, store: &Store) -> Result<Option<i64>> {
     match singleton_number(seq, store)? {
         None => Ok(None),
         Some(NumOperand::Int(i)) => Ok(Some(i)),
@@ -872,7 +918,7 @@ fn singleton_integer(seq: &Sequence, store: &Store) -> Result<Option<i64>> {
     }
 }
 
-fn arith(op: ArithOp, l: &Sequence, r: &Sequence, store: &Store) -> Result<Sequence> {
+pub(crate) fn arith(op: ArithOp, l: &Sequence, r: &Sequence, store: &Store) -> Result<Sequence> {
     let (Some(a), Some(b)) = (singleton_number(l, store)?, singleton_number(r, store)?) else {
         return Ok(Sequence::empty());
     };
@@ -969,7 +1015,11 @@ fn call_user(
     // paper describes as metastasis.
     for (param, arg) in decl.params.iter().zip(args.iter()) {
         if let Some(ty) = &param.ty {
-            ty.check(arg, env.store, &format!("argument ${} of {}", param.name, decl.name))?;
+            ty.check(
+                arg,
+                env.store,
+                &format!("argument ${} of {}", param.name, decl.name),
+            )?;
         }
     }
     // Functions see only their parameters (no captured locals): evaluate the
@@ -1002,7 +1052,7 @@ fn construct_element(
     ctx: &mut DynamicContext,
 ) -> Result<NodeId> {
     let el = env.store.create_element(QName::from(name));
-    let mut builder = ContentBuilder::new(el, position);
+    let mut builder = ContentBuilder::new(el, position, env.options.dup_attr_policy);
     for (aname, parts) in attrs {
         let mut value = String::new();
         for part in parts {
@@ -1014,31 +1064,36 @@ fn construct_element(
                 }
             }
         }
-        let attr = env.store.create_attribute(QName::from(aname.as_str()), value);
-        builder.add_attribute(attr, env)?;
+        let attr = env
+            .store
+            .create_attribute(QName::from(aname.as_str()), value);
+        builder.add_attribute(attr, env.store)?;
     }
     for part in content {
         match part {
-            ContentPart::Literal(t) => builder.push_text(t.clone(), env)?,
+            ContentPart::Literal(t) => builder.push_text(t.clone(), env.store)?,
             ContentPart::Enclosed(e) => {
                 let seq = eval(e, env, ctx)?;
-                builder.push_sequence(seq, env)?;
+                builder.push_sequence(seq, env.store)?;
             }
             ContentPart::Node(e) => {
                 let seq = eval(e, env, ctx)?;
-                builder.push_sequence(seq, env)?;
+                builder.push_sequence(seq, env.store)?;
             }
         }
     }
-    builder.finish(env)?;
+    builder.finish(env.store)?;
     Ok(el)
 }
 
 /// Implements the element-content construction rules, including attribute
-/// folding. One builder per constructed element.
-struct ContentBuilder {
+/// folding. One builder per constructed element. Shared by the tree-walking
+/// reference evaluator and the lowered runner: it deals only in values and
+/// the store, never in expressions.
+pub(crate) struct ContentBuilder {
     element: NodeId,
     position: (u32, u32),
+    dup_attr_policy: DupAttrPolicy,
     /// Set once any non-attribute content has been appended — after which an
     /// attribute item raises `XQTY0024`.
     content_started: bool,
@@ -1047,16 +1102,21 @@ struct ContentBuilder {
 }
 
 impl ContentBuilder {
-    fn new(element: NodeId, position: (u32, u32)) -> Self {
+    pub(crate) fn new(
+        element: NodeId,
+        position: (u32, u32),
+        dup_attr_policy: DupAttrPolicy,
+    ) -> Self {
         ContentBuilder {
             element,
             position,
+            dup_attr_policy,
             content_started: false,
             pending: Vec::new(),
         }
     }
 
-    fn flush_pending(&mut self, env: &mut EvalEnv) -> Result<()> {
+    fn flush_pending(&mut self, store: &mut Store) -> Result<()> {
         if self.pending.is_empty() {
             return Ok(());
         }
@@ -1069,41 +1129,41 @@ impl ContentBuilder {
             self.content_started = true;
             return Ok(());
         }
-        self.append_text_node(text, env)
+        self.append_text_node(text, store)
     }
 
-    fn append_text_node(&mut self, text: String, env: &mut EvalEnv) -> Result<()> {
+    fn append_text_node(&mut self, text: String, store: &mut Store) -> Result<()> {
         self.content_started = true;
         // Merge with a preceding text node (adjacent text nodes coalesce).
-        if let Some(&last) = env.store.children(self.element).last() {
-            if env.store.is_text(last) {
-                let merged = format!("{}{}", env.store.string_value(last), text);
-                env.store.set_text(last, merged).map_err(internal)?;
+        if let Some(&last) = store.children(self.element).last() {
+            if store.is_text(last) {
+                let merged = format!("{}{}", store.string_value(last), text);
+                store.set_text(last, merged).map_err(internal)?;
                 return Ok(());
             }
         }
-        let node = env.store.create_text(text);
-        env.store.append_child(self.element, node).map_err(internal)?;
+        let node = store.create_text(text);
+        store.append_child(self.element, node).map_err(internal)?;
         Ok(())
     }
 
     /// Literal text from the constructor body.
-    fn push_text(&mut self, text: String, env: &mut EvalEnv) -> Result<()> {
-        self.flush_pending(env)?;
-        self.append_text_node(text, env)
+    pub(crate) fn push_text(&mut self, text: String, store: &mut Store) -> Result<()> {
+        self.flush_pending(store)?;
+        self.append_text_node(text, store)
     }
 
     /// An evaluated `{expr}` (or computed-constructor content) sequence.
-    fn push_sequence(&mut self, seq: Sequence, env: &mut EvalEnv) -> Result<()> {
+    pub(crate) fn push_sequence(&mut self, seq: Sequence, store: &mut Store) -> Result<()> {
         for item in seq.into_items() {
             match item {
                 Item::Atomic(a) => self.pending.push(a.to_text()),
                 Item::Node(n) => {
-                    match env.store.kind(n).clone() {
+                    match store.kind(n).clone() {
                         NodeKind::Attribute(..) => {
                             // Folding: leading attributes become attributes
                             // of the parent; after content it is an error.
-                            self.flush_pending(env)?;
+                            self.flush_pending(store)?;
                             if self.content_started {
                                 return Err(Error::new(
                                     ErrorCode::XQTY0024,
@@ -1111,22 +1171,22 @@ impl ContentBuilder {
                                 )
                                 .at(self.position.0, self.position.1));
                             }
-                            let copy = env.store.deep_copy(n);
-                            self.add_attribute(copy, env)?;
+                            let copy = store.deep_copy(n);
+                            self.add_attribute(copy, store)?;
                         }
                         NodeKind::Document => {
-                            self.flush_pending(env)?;
+                            self.flush_pending(store)?;
                             // Documents splice their children.
-                            for child in env.store.children(n).to_vec() {
-                                let copy = env.store.deep_copy(child);
-                                env.store.append_child(self.element, copy).map_err(internal)?;
+                            for child in store.children(n).to_vec() {
+                                let copy = store.deep_copy(child);
+                                store.append_child(self.element, copy).map_err(internal)?;
                             }
                             self.content_started = true;
                         }
                         _ => {
-                            self.flush_pending(env)?;
-                            let copy = env.store.deep_copy(n);
-                            env.store.append_child(self.element, copy).map_err(internal)?;
+                            self.flush_pending(store)?;
+                            let copy = store.deep_copy(n);
+                            store.append_child(self.element, copy).map_err(internal)?;
                             self.content_started = true;
                         }
                     }
@@ -1135,18 +1195,18 @@ impl ContentBuilder {
         }
         // Pending atomics are joined lazily; a following text part must not
         // be glued into the same join group, so flush at sequence end.
-        self.flush_pending(env)
+        self.flush_pending(store)
     }
 
     /// Adds an attribute node (already detached, owned) under the duplicate
     /// policy in force.
-    fn add_attribute(&mut self, attr: NodeId, env: &mut EvalEnv) -> Result<()> {
-        let name = match env.store.kind(attr) {
+    pub(crate) fn add_attribute(&mut self, attr: NodeId, store: &mut Store) -> Result<()> {
+        let name = match store.kind(attr) {
             NodeKind::Attribute(q, _) => q.to_string(),
             _ => return Err(Error::internal("add_attribute on a non-attribute")),
         };
-        let existing = env.store.attribute_node(self.element, &name);
-        match (env.options.dup_attr_policy, existing) {
+        let existing = store.attribute_node(self.element, &name);
+        match (self.dup_attr_policy, existing) {
             (DupAttrPolicy::Error, Some(_)) => Err(Error::new(
                 ErrorCode::XQDY0025,
                 format!("duplicate attribute {name:?} on constructed element"),
@@ -1154,28 +1214,26 @@ impl ContentBuilder {
             .at(self.position.0, self.position.1)),
             (DupAttrPolicy::KeepFirst, Some(_)) => Ok(()),
             (DupAttrPolicy::KeepLast, Some(old)) => {
-                env.store.detach(old);
-                env.store
+                store.detach(old);
+                store
                     .push_attribute_node_unchecked(self.element, attr)
                     .map_err(internal)
             }
-            (DupAttrPolicy::KeepBoth, _) => env
-                .store
+            (DupAttrPolicy::KeepBoth, _) => store
                 .push_attribute_node_unchecked(self.element, attr)
                 .map_err(internal),
-            (_, None) => env
-                .store
+            (_, None) => store
                 .push_attribute_node_unchecked(self.element, attr)
                 .map_err(internal),
         }
     }
 
-    fn finish(&mut self, env: &mut EvalEnv) -> Result<()> {
-        self.flush_pending(env)
+    pub(crate) fn finish(&mut self, store: &mut Store) -> Result<()> {
+        self.flush_pending(store)
     }
 }
 
-fn internal(e: xmlstore::XmlError) -> Error {
+pub(crate) fn internal(e: xmlstore::XmlError) -> Error {
     Error::internal(e.to_string())
 }
 

@@ -20,72 +20,162 @@ use crate::error::{Error, ErrorCode, Result};
 use crate::eval::{join_atomized, EvalEnv};
 use crate::value::{format_double, Atomic, Item, Sequence};
 use std::cmp::Ordering;
-use xmlstore::Store;
+use std::collections::HashMap;
+use xmlstore::{NodeId, Store};
+
+/// A builtin function, resolved once (at lowering time) so that every call
+/// site dispatches on an enum instead of re-matching the function name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Builtin {
+    String,
+    Data,
+    Name,
+    LocalName,
+    NodeName,
+    Root,
+    Doc,
+    Count,
+    Empty,
+    Exists,
+    DistinctValues,
+    Reverse,
+    InsertBefore,
+    Remove,
+    Subsequence,
+    IndexOf,
+    Last,
+    Position,
+    ZeroOrOne,
+    OneOrMore,
+    ExactlyOne,
+    DeepEqual,
+    Not,
+    Boolean,
+    True,
+    False,
+    Number,
+    Abs,
+    Floor,
+    Ceiling,
+    Round,
+    Sum,
+    Avg,
+    Min,
+    Max,
+    Concat,
+    StringJoin,
+    Substring,
+    StringLength,
+    NormalizeSpace,
+    UpperCase,
+    LowerCase,
+    Contains,
+    StartsWith,
+    EndsWith,
+    SubstringBefore,
+    SubstringAfter,
+    Translate,
+    Tokenize,
+    Replace,
+    ErrorFn,
+    Trace,
+}
+
+use Builtin as B;
+
+impl Builtin {
+    /// The `fn:` name, for diagnostics.
+    pub fn name(self) -> &'static str {
+        BUILTINS
+            .iter()
+            .find(|(_, b, _, _)| *b == self)
+            .map(|(n, _, _, _)| *n)
+            .expect("every builtin is in the table")
+    }
+}
+
+/// Resolves a builtin by name and arity.
+pub fn lookup_builtin(name: &str, arity: usize) -> Option<Builtin> {
+    BUILTINS
+        .iter()
+        .find(|(n, _, lo, hi)| *n == name && arity >= *lo && arity <= *hi)
+        .map(|(_, b, _, _)| *b)
+}
 
 /// Does a builtin with this name accept this arity?
 pub fn is_builtin(name: &str, arity: usize) -> bool {
-    BUILTINS
-        .iter()
-        .any(|(n, lo, hi)| *n == name && arity >= *lo && arity <= *hi)
+    lookup_builtin(name, arity).is_some()
 }
 
-/// (name, min arity, max arity)
-const BUILTINS: &[(&str, usize, usize)] = &[
-    ("string", 0, 1),
-    ("data", 1, 1),
-    ("name", 0, 1),
-    ("local-name", 0, 1),
-    ("node-name", 1, 1),
-    ("root", 0, 1),
-    ("doc", 1, 1),
-    ("count", 1, 1),
-    ("empty", 1, 1),
-    ("exists", 1, 1),
-    ("distinct-values", 1, 1),
-    ("reverse", 1, 1),
-    ("insert-before", 3, 3),
-    ("remove", 2, 2),
-    ("subsequence", 2, 3),
-    ("index-of", 2, 2),
-    ("last", 0, 0),
-    ("position", 0, 0),
-    ("zero-or-one", 1, 1),
-    ("one-or-more", 1, 1),
-    ("exactly-one", 1, 1),
-    ("deep-equal", 2, 2),
-    ("not", 1, 1),
-    ("boolean", 1, 1),
-    ("true", 0, 0),
-    ("false", 0, 0),
-    ("number", 0, 1),
-    ("abs", 1, 1),
-    ("floor", 1, 1),
-    ("ceiling", 1, 1),
-    ("round", 1, 1),
-    ("sum", 1, 2),
-    ("avg", 1, 1),
-    ("min", 1, 1),
-    ("max", 1, 1),
-    ("concat", 2, 16),
-    ("string-join", 2, 2),
-    ("substring", 2, 3),
-    ("string-length", 0, 1),
-    ("normalize-space", 0, 1),
-    ("upper-case", 1, 1),
-    ("lower-case", 1, 1),
-    ("contains", 2, 2),
-    ("starts-with", 2, 2),
-    ("ends-with", 2, 2),
-    ("substring-before", 2, 2),
-    ("substring-after", 2, 2),
-    ("translate", 3, 3),
-    ("tokenize", 2, 2),
-    ("replace", 3, 3),
-    ("error", 0, 2),
-    ("trace", 1, 8),
+/// (name, builtin, min arity, max arity)
+const BUILTINS: &[(&str, Builtin, usize, usize)] = &[
+    ("string", B::String, 0, 1),
+    ("data", B::Data, 1, 1),
+    ("name", B::Name, 0, 1),
+    ("local-name", B::LocalName, 0, 1),
+    ("node-name", B::NodeName, 1, 1),
+    ("root", B::Root, 0, 1),
+    ("doc", B::Doc, 1, 1),
+    ("count", B::Count, 1, 1),
+    ("empty", B::Empty, 1, 1),
+    ("exists", B::Exists, 1, 1),
+    ("distinct-values", B::DistinctValues, 1, 1),
+    ("reverse", B::Reverse, 1, 1),
+    ("insert-before", B::InsertBefore, 3, 3),
+    ("remove", B::Remove, 2, 2),
+    ("subsequence", B::Subsequence, 2, 3),
+    ("index-of", B::IndexOf, 2, 2),
+    ("last", B::Last, 0, 0),
+    ("position", B::Position, 0, 0),
+    ("zero-or-one", B::ZeroOrOne, 1, 1),
+    ("one-or-more", B::OneOrMore, 1, 1),
+    ("exactly-one", B::ExactlyOne, 1, 1),
+    ("deep-equal", B::DeepEqual, 2, 2),
+    ("not", B::Not, 1, 1),
+    ("boolean", B::Boolean, 1, 1),
+    ("true", B::True, 0, 0),
+    ("false", B::False, 0, 0),
+    ("number", B::Number, 0, 1),
+    ("abs", B::Abs, 1, 1),
+    ("floor", B::Floor, 1, 1),
+    ("ceiling", B::Ceiling, 1, 1),
+    ("round", B::Round, 1, 1),
+    ("sum", B::Sum, 1, 2),
+    ("avg", B::Avg, 1, 1),
+    ("min", B::Min, 1, 1),
+    ("max", B::Max, 1, 1),
+    ("concat", B::Concat, 2, 16),
+    ("string-join", B::StringJoin, 2, 2),
+    ("substring", B::Substring, 2, 3),
+    ("string-length", B::StringLength, 0, 1),
+    ("normalize-space", B::NormalizeSpace, 0, 1),
+    ("upper-case", B::UpperCase, 1, 1),
+    ("lower-case", B::LowerCase, 1, 1),
+    ("contains", B::Contains, 2, 2),
+    ("starts-with", B::StartsWith, 2, 2),
+    ("ends-with", B::EndsWith, 2, 2),
+    ("substring-before", B::SubstringBefore, 2, 2),
+    ("substring-after", B::SubstringAfter, 2, 2),
+    ("translate", B::Translate, 3, 3),
+    ("tokenize", B::Tokenize, 2, 2),
+    ("replace", B::Replace, 3, 3),
+    ("error", B::ErrorFn, 0, 2),
+    ("trace", B::Trace, 1, 8),
 ];
 
-/// Calls a builtin. `is_builtin` must have returned true for (name, arity).
+/// The engine state a builtin may touch, decoupled from any particular
+/// evaluator (the tree-walking reference and the lowered runner both build
+/// one of these from their own environments).
+pub struct CallCtx<'a> {
+    pub store: &'a Store,
+    pub galax_quirks: bool,
+    pub docs: &'a HashMap<String, NodeId>,
+    pub trace: &'a mut Vec<String>,
+}
+
+/// Calls a builtin by name. `is_builtin` must have returned true for
+/// (name, arity). Used by the tree-walking reference evaluator; the lowered
+/// runner resolves the name once and calls [`dispatch_builtin`] directly.
 pub fn call_builtin(
     name: &str,
     args: Vec<Sequence>,
@@ -93,16 +183,40 @@ pub fn call_builtin(
     ctx: &DynamicContext,
     position: (u32, u32),
 ) -> Result<Sequence> {
-    let store: &Store = env.store;
-    match (name, args.len()) {
+    let Some(builtin) = lookup_builtin(name, args.len()) else {
+        return Err(Error::new(
+            ErrorCode::XPST0017,
+            format!("unknown builtin {name}#{}", args.len()),
+        )
+        .at(position.0, position.1));
+    };
+    let mut cx = CallCtx {
+        store: env.store,
+        galax_quirks: env.options.galax_quirks,
+        docs: env.docs,
+        trace: env.trace,
+    };
+    dispatch_builtin(builtin, args, &mut cx, ctx, position)
+}
+
+/// Calls a resolved builtin: direct enum dispatch, no string matching.
+pub fn dispatch_builtin(
+    builtin: Builtin,
+    args: Vec<Sequence>,
+    cx: &mut CallCtx,
+    ctx: &DynamicContext,
+    position: (u32, u32),
+) -> Result<Sequence> {
+    let store: &Store = cx.store;
+    match (builtin, args.len()) {
         // ---------------- accessors ----------------
-        ("string", 0) => {
-            let item = ctx.context_item(env.options.galax_quirks, position)?;
-            Ok(Atomic::Str(item_string_value(item, store)).into())
+        (B::String, 0) => {
+            let item = ctx.context_item(cx.galax_quirks, position)?;
+            Ok(Atomic::Str(item_string_value(item, store).into()).into())
         }
-        ("string", 1) => Ok(match args[0].as_singleton() {
-            Some(item) => Atomic::Str(item_string_value(item, store)).into(),
-            None if args[0].is_empty() => Atomic::Str(String::new()).into(),
+        (B::String, 1) => Ok(match args[0].as_singleton() {
+            Some(item) => Atomic::Str(item_string_value(item, store).into()).into(),
+            None if args[0].is_empty() => Atomic::Str(String::new().into()).into(),
             None => {
                 return Err(Error::new(
                     ErrorCode::XPTY0004,
@@ -110,70 +224,85 @@ pub fn call_builtin(
                 ))
             }
         }),
-        ("data", 1) => Ok(atomize(&args[0], store)
+        (B::Data, 1) => Ok(atomize(&args[0], store)
             .into_iter()
             .map(Item::Atomic)
             .collect()),
-        ("name", n) | ("local-name", n) => {
+        (B::Name, n) | (B::LocalName, n) => {
             let node = if n == 0 {
-                match ctx.context_item(env.options.galax_quirks, position)? {
+                match ctx.context_item(cx.galax_quirks, position)? {
                     Item::Node(id) => Some(*id),
                     Item::Atomic(_) => {
-                        return Err(Error::new(ErrorCode::XPTY0004, "fn:name on an atomic value"))
+                        return Err(Error::new(
+                            ErrorCode::XPTY0004,
+                            "fn:name on an atomic value",
+                        ))
                     }
                 }
             } else {
                 match args[0].as_singleton() {
                     Some(Item::Node(id)) => Some(*id),
                     Some(Item::Atomic(_)) => {
-                        return Err(Error::new(ErrorCode::XPTY0004, "fn:name on an atomic value"))
+                        return Err(Error::new(
+                            ErrorCode::XPTY0004,
+                            "fn:name on an atomic value",
+                        ))
                     }
                     None => None,
                 }
             };
             let text = node
-                .and_then(|id| store.name(id).map(|q| {
-                    if name == "local-name" {
-                        q.local().to_string()
-                    } else {
-                        q.to_string()
-                    }
-                }))
+                .and_then(|id| {
+                    store.name(id).map(|q| {
+                        if builtin == B::LocalName {
+                            q.local().to_string()
+                        } else {
+                            q.to_string()
+                        }
+                    })
+                })
                 .unwrap_or_default();
-            Ok(Atomic::Str(text).into())
+            Ok(Atomic::Str(text.into()).into())
         }
-        ("node-name", 1) => match args[0].as_singleton() {
+        (B::NodeName, 1) => match args[0].as_singleton() {
             Some(Item::Node(id)) => Ok(store
                 .name(*id)
-                .map(|q| Atomic::Str(q.to_string()).into())
+                .map(|q| Atomic::Str(q.to_string().into()).into())
                 .unwrap_or_else(Sequence::empty)),
-            Some(Item::Atomic(_)) => {
-                Err(Error::new(ErrorCode::XPTY0004, "fn:node-name on an atomic value"))
-            }
+            Some(Item::Atomic(_)) => Err(Error::new(
+                ErrorCode::XPTY0004,
+                "fn:node-name on an atomic value",
+            )),
             None => Ok(Sequence::empty()),
         },
-        ("root", n) => {
+        (B::Root, n) => {
             let node = if n == 0 {
-                match ctx.context_item(env.options.galax_quirks, position)? {
+                match ctx.context_item(cx.galax_quirks, position)? {
                     Item::Node(id) => *id,
                     Item::Atomic(_) => {
-                        return Err(Error::new(ErrorCode::XPTY0004, "fn:root on an atomic value"))
+                        return Err(Error::new(
+                            ErrorCode::XPTY0004,
+                            "fn:root on an atomic value",
+                        ))
                     }
                 }
             } else {
                 match args[0].as_singleton() {
                     Some(Item::Node(id)) => *id,
                     Some(Item::Atomic(_)) => {
-                        return Err(Error::new(ErrorCode::XPTY0004, "fn:root on an atomic value"))
+                        return Err(Error::new(
+                            ErrorCode::XPTY0004,
+                            "fn:root on an atomic value",
+                        ))
                     }
                     None => return Ok(Sequence::empty()),
                 }
             };
             Ok(Sequence::singleton(Item::Node(store.root(node))))
         }
-        ("doc", 1) => {
+        (B::Doc, 1) => {
             let uri = string_arg(&args[0], store)?;
-            match env.docs.get(&uri) {
+            match cx.docs.get(&uri) {
                 Some(&id) => Ok(Sequence::singleton(Item::Node(id))),
                 None => Err(Error::new(
                     ErrorCode::FORG0001,
@@ -183,10 +312,10 @@ pub fn call_builtin(
         }
 
         // ---------------- sequences ----------------
-        ("count", 1) => Ok(Item::integer(args[0].len() as i64).into()),
-        ("empty", 1) => Ok(Item::boolean(args[0].is_empty()).into()),
-        ("exists", 1) => Ok(Item::boolean(!args[0].is_empty()).into()),
-        ("distinct-values", 1) => {
+        (B::Count, 1) => Ok(Item::integer(args[0].len() as i64).into()),
+        (B::Empty, 1) => Ok(Item::boolean(args[0].is_empty()).into()),
+        (B::Exists, 1) => Ok(Item::boolean(!args[0].is_empty()).into()),
+        (B::DistinctValues, 1) => {
             let atoms = atomize(&args[0], store);
             let mut kept: Vec<Atomic> = Vec::with_capacity(atoms.len());
             for a in atoms {
@@ -199,12 +328,12 @@ pub fn call_builtin(
             }
             Ok(kept.into_iter().map(Item::Atomic).collect())
         }
-        ("reverse", 1) => {
+        (B::Reverse, 1) => {
             let mut items = args.into_iter().next().unwrap().into_items();
             items.reverse();
             Ok(Sequence::from_items(items))
         }
-        ("insert-before", 3) => {
+        (B::InsertBefore, 3) => {
             let mut iter = args.into_iter();
             let target = iter.next().unwrap();
             let pos_seq = iter.next().unwrap();
@@ -217,7 +346,7 @@ pub fn call_builtin(
             items.extend(tail);
             Ok(Sequence::from_items(items))
         }
-        ("remove", 2) => {
+        (B::Remove, 2) => {
             let pos = integer_arg(&args[1], store)?;
             let items = args.into_iter().next().unwrap().into_items();
             Ok(items
@@ -227,7 +356,7 @@ pub fn call_builtin(
                 .map(|(_, item)| item)
                 .collect())
         }
-        ("subsequence", n) => {
+        (B::Subsequence, n) => {
             let start = double_arg(&args[1], store)?.round();
             let len = if n == 3 {
                 double_arg(&args[2], store)?.round()
@@ -245,7 +374,7 @@ pub fn call_builtin(
                 .map(|(_, item)| item)
                 .collect())
         }
-        ("index-of", 2) => {
+        (B::IndexOf, 2) => {
             let haystack = atomize(&args[0], store);
             let needles = atomize(&args[1], store);
             let Some(needle) = needles.first() else {
@@ -258,29 +387,35 @@ pub fn call_builtin(
                 .map(|(i, _)| Item::integer(i as i64 + 1))
                 .collect())
         }
-        ("last", 0) => match &ctx.focus {
+        (B::Last, 0) => match &ctx.focus {
             Some(f) => Ok(Item::integer(f.size as i64).into()),
             None => Err(Error::new(ErrorCode::XPDY0002, "fn:last with no focus")),
         },
-        ("position", 0) => match &ctx.focus {
+        (B::Position, 0) => match &ctx.focus {
             Some(f) => Ok(Item::integer(f.position as i64).into()),
             None => Err(Error::new(ErrorCode::XPDY0002, "fn:position with no focus")),
         },
-        ("zero-or-one", 1) => {
+        (B::ZeroOrOne, 1) => {
             if args[0].len() <= 1 {
                 Ok(args.into_iter().next().unwrap())
             } else {
-                Err(Error::new(ErrorCode::FORG0004, "fn:zero-or-one: more than one item"))
+                Err(Error::new(
+                    ErrorCode::FORG0004,
+                    "fn:zero-or-one: more than one item",
+                ))
             }
         }
-        ("one-or-more", 1) => {
+        (B::OneOrMore, 1) => {
             if !args[0].is_empty() {
                 Ok(args.into_iter().next().unwrap())
             } else {
-                Err(Error::new(ErrorCode::FORG0004, "fn:one-or-more: empty sequence"))
+                Err(Error::new(
+                    ErrorCode::FORG0004,
+                    "fn:one-or-more: empty sequence",
+                ))
             }
         }
-        ("exactly-one", 1) => {
+        (B::ExactlyOne, 1) => {
             if args[0].len() == 1 {
                 Ok(args.into_iter().next().unwrap())
             } else {
@@ -290,18 +425,18 @@ pub fn call_builtin(
                 ))
             }
         }
-        ("deep-equal", 2) => Ok(Item::boolean(deep_equal(&args[0], &args[1], store)).into()),
+        (B::DeepEqual, 2) => Ok(Item::boolean(deep_equal(&args[0], &args[1], store)).into()),
 
         // ---------------- booleans ----------------
-        ("not", 1) => Ok(Item::boolean(!effective_boolean_value(&args[0], store)?).into()),
-        ("boolean", 1) => Ok(Item::boolean(effective_boolean_value(&args[0], store)?).into()),
-        ("true", 0) => Ok(Item::boolean(true).into()),
-        ("false", 0) => Ok(Item::boolean(false).into()),
+        (B::Not, 1) => Ok(Item::boolean(!effective_boolean_value(&args[0], store)?).into()),
+        (B::Boolean, 1) => Ok(Item::boolean(effective_boolean_value(&args[0], store)?).into()),
+        (B::True, 0) => Ok(Item::boolean(true).into()),
+        (B::False, 0) => Ok(Item::boolean(false).into()),
 
         // ---------------- numerics ----------------
-        ("number", n) => {
+        (B::Number, n) => {
             let atoms = if n == 0 {
-                let item = ctx.context_item(env.options.galax_quirks, position)?;
+                let item = ctx.context_item(cx.galax_quirks, position)?;
                 vec![atomize_item(item, store)]
             } else {
                 atomize(&args[0], store)
@@ -316,11 +451,11 @@ pub fn call_builtin(
             };
             Ok(Atomic::Dbl(value.unwrap_or(f64::NAN)).into())
         }
-        ("abs", 1) => numeric_unary(&args[0], store, i64::abs, f64::abs),
-        ("floor", 1) => numeric_unary(&args[0], store, |i| i, f64::floor),
-        ("ceiling", 1) => numeric_unary(&args[0], store, |i| i, f64::ceil),
-        ("round", 1) => numeric_unary(&args[0], store, |i| i, |d| (d + 0.5).floor()),
-        ("sum", n) => {
+        (B::Abs, 1) => numeric_unary(&args[0], store, i64::abs, f64::abs),
+        (B::Floor, 1) => numeric_unary(&args[0], store, |i| i, f64::floor),
+        (B::Ceiling, 1) => numeric_unary(&args[0], store, |i| i, f64::ceil),
+        (B::Round, 1) => numeric_unary(&args[0], store, |i| i, |d| (d + 0.5).floor()),
+        (B::Sum, n) => {
             let atoms = atomize(&args[0], store);
             if atoms.is_empty() {
                 return if n == 2 {
@@ -331,7 +466,7 @@ pub fn call_builtin(
             }
             fold_numeric(&atoms, "fn:sum").map(|total| total.into())
         }
-        ("avg", 1) => {
+        (B::Avg, 1) => {
             let atoms = atomize(&args[0], store);
             if atoms.is_empty() {
                 return Ok(Sequence::empty());
@@ -345,12 +480,16 @@ pub fn call_builtin(
             };
             Ok(Atomic::Dbl(total / n).into())
         }
-        ("min", 1) | ("max", 1) => {
+        (B::Min, 1) | (B::Max, 1) => {
             let atoms = atomize(&args[0], store);
             if atoms.is_empty() {
                 return Ok(Sequence::empty());
             }
-            let want = if name == "min" { Ordering::Less } else { Ordering::Greater };
+            let want = if builtin == B::Min {
+                Ordering::Less
+            } else {
+                Ordering::Greater
+            };
             let mut best = atoms[0].clone();
             for a in &atoms[1..] {
                 match compare_atomics(a, &best) {
@@ -359,7 +498,7 @@ pub fn call_builtin(
                     None => {
                         return Err(Error::new(
                             ErrorCode::FORG0006,
-                            format!("fn:{name}: incomparable values"),
+                            format!("fn:{}: incomparable values", builtin.name()),
                         ))
                     }
                 }
@@ -368,7 +507,7 @@ pub fn call_builtin(
         }
 
         // ---------------- strings ----------------
-        ("concat", _) => {
+        (B::Concat, _) => {
             let mut out = String::new();
             for a in &args {
                 if a.len() > 1 {
@@ -381,14 +520,17 @@ pub fn call_builtin(
                     out.push_str(&atomize_item(item, store).to_text());
                 }
             }
-            Ok(Atomic::Str(out).into())
+            Ok(Atomic::Str(out.into()).into())
         }
-        ("string-join", 2) => {
+        (B::StringJoin, 2) => {
             let sep = string_arg(&args[1], store)?;
-            let parts: Vec<String> = atomize(&args[0], store).iter().map(|a| a.to_text()).collect();
-            Ok(Atomic::Str(parts.join(&sep)).into())
+            let parts: Vec<String> = atomize(&args[0], store)
+                .iter()
+                .map(|a| a.to_text())
+                .collect();
+            Ok(Atomic::Str(parts.join(&sep).into()).into())
         }
-        ("substring", n) => {
+        (B::Substring, n) => {
             let s = string_arg(&args[0], store)?;
             let start = double_arg(&args[1], store)?.round();
             let len = if n == 3 {
@@ -406,54 +548,58 @@ pub fn call_builtin(
                 })
                 .map(|(_, c)| *c)
                 .collect();
-            Ok(Atomic::Str(out).into())
+            Ok(Atomic::Str(out.into()).into())
         }
-        ("string-length", n) => {
+        (B::StringLength, n) => {
             let s = if n == 0 {
-                let item = ctx.context_item(env.options.galax_quirks, position)?;
+                let item = ctx.context_item(cx.galax_quirks, position)?;
                 item_string_value(item, store)
             } else {
                 string_arg(&args[0], store)?
             };
             Ok(Item::integer(s.chars().count() as i64).into())
         }
-        ("normalize-space", n) => {
+        (B::NormalizeSpace, n) => {
             let s = if n == 0 {
-                let item = ctx.context_item(env.options.galax_quirks, position)?;
+                let item = ctx.context_item(cx.galax_quirks, position)?;
                 item_string_value(item, store)
             } else {
                 string_arg(&args[0], store)?
             };
-            Ok(Atomic::Str(s.split_whitespace().collect::<Vec<_>>().join(" ")).into())
+            Ok(Atomic::Str(s.split_whitespace().collect::<Vec<_>>().join(" ").into()).into())
         }
-        ("upper-case", 1) => Ok(Atomic::Str(string_arg(&args[0], store)?.to_uppercase()).into()),
-        ("lower-case", 1) => Ok(Atomic::Str(string_arg(&args[0], store)?.to_lowercase()).into()),
-        ("contains", 2) => {
+        (B::UpperCase, 1) => {
+            Ok(Atomic::Str(string_arg(&args[0], store)?.to_uppercase().into()).into())
+        }
+        (B::LowerCase, 1) => {
+            Ok(Atomic::Str(string_arg(&args[0], store)?.to_lowercase().into()).into())
+        }
+        (B::Contains, 2) => {
             let (s, t) = (string_arg(&args[0], store)?, string_arg(&args[1], store)?);
             Ok(Item::boolean(s.contains(&t)).into())
         }
-        ("starts-with", 2) => {
+        (B::StartsWith, 2) => {
             let (s, t) = (string_arg(&args[0], store)?, string_arg(&args[1], store)?);
             Ok(Item::boolean(s.starts_with(&t)).into())
         }
-        ("ends-with", 2) => {
+        (B::EndsWith, 2) => {
             let (s, t) = (string_arg(&args[0], store)?, string_arg(&args[1], store)?);
             Ok(Item::boolean(s.ends_with(&t)).into())
         }
-        ("substring-before", 2) => {
+        (B::SubstringBefore, 2) => {
             let (s, t) = (string_arg(&args[0], store)?, string_arg(&args[1], store)?);
             let out = s.find(&t).map(|i| s[..i].to_string()).unwrap_or_default();
-            Ok(Atomic::Str(out).into())
+            Ok(Atomic::Str(out.into()).into())
         }
-        ("substring-after", 2) => {
+        (B::SubstringAfter, 2) => {
             let (s, t) = (string_arg(&args[0], store)?, string_arg(&args[1], store)?);
             let out = s
                 .find(&t)
                 .map(|i| s[i + t.len()..].to_string())
                 .unwrap_or_default();
-            Ok(Atomic::Str(out).into())
+            Ok(Atomic::Str(out.into()).into())
         }
-        ("translate", 3) => {
+        (B::Translate, 3) => {
             let s = string_arg(&args[0], store)?;
             let from: Vec<char> = string_arg(&args[1], store)?.chars().collect();
             let to: Vec<char> = string_arg(&args[2], store)?.chars().collect();
@@ -464,20 +610,23 @@ pub fn call_builtin(
                     None => Some(c),
                 })
                 .collect();
-            Ok(Atomic::Str(out).into())
+            Ok(Atomic::Str(out.into()).into())
         }
-        ("tokenize", 2) => {
+        (B::Tokenize, 2) => {
             // Literal separator, not a regex (documented deviation).
             let s = string_arg(&args[0], store)?;
             let sep = string_arg(&args[1], store)?;
             if sep.is_empty() {
-                return Err(Error::new(ErrorCode::FORG0001, "fn:tokenize: empty separator"));
+                return Err(Error::new(
+                    ErrorCode::FORG0001,
+                    "fn:tokenize: empty separator",
+                ));
             }
             Ok(s.split(&sep as &str)
                 .map(|part| Item::string(part.to_string()))
                 .collect())
         }
-        ("replace", 3) => {
+        (B::Replace, 3) => {
             // Literal find/replace, not a regex (documented deviation).
             let s = string_arg(&args[0], store)?;
             let find = string_arg(&args[1], store)?;
@@ -485,11 +634,11 @@ pub fn call_builtin(
             if find.is_empty() {
                 return Err(Error::new(ErrorCode::FORG0001, "fn:replace: empty pattern"));
             }
-            Ok(Atomic::Str(s.replace(&find as &str, &with)).into())
+            Ok(Atomic::Str(s.replace(&find as &str, &with).into()).into())
         }
 
         // ---------------- error & trace ----------------
-        ("error", n) => {
+        (B::ErrorFn, n) => {
             let message = if n >= 1 {
                 join_atomized(&args[0], store)
             } else {
@@ -501,20 +650,17 @@ pub fn call_builtin(
             }
             Err(err)
         }
-        ("trace", _) => {
+        (B::Trace, _) => {
             // Prints all arguments, returns the value of the LAST one — the
             // early-Galax contract the paper's tracing idiom depends on.
-            let rendered: Vec<String> = args
-                .iter()
-                .map(|a| display_sequence(a, store))
-                .collect();
-            env.trace.push(rendered.join(" "));
+            let rendered: Vec<String> = args.iter().map(|a| display_sequence(a, store)).collect();
+            cx.trace.push(rendered.join(" "));
             Ok(args.into_iter().next_back().unwrap())
         }
 
         _ => Err(Error::new(
             ErrorCode::XPST0017,
-            format!("unknown builtin {name}#{}", args.len()),
+            format!("unknown builtin {}#{}", builtin.name(), args.len()),
         )
         .at(position.0, position.1)),
     }
@@ -561,7 +707,10 @@ fn double_arg(seq: &Sequence, store: &Store) -> Result<f64> {
                 _ => None,
             })
             .ok_or_else(|| Error::new(ErrorCode::FORG0001, "expected a numeric argument")),
-        _ => Err(Error::new(ErrorCode::XPTY0004, "expected a single numeric argument")),
+        _ => Err(Error::new(
+            ErrorCode::XPTY0004,
+            "expected a single numeric argument",
+        )),
     }
 }
 
@@ -581,11 +730,17 @@ fn numeric_unary(
         [Atomic::Int(i)] => Ok(Atomic::Int(int_op(*i)).into()),
         [a] => {
             let d = a.as_number().ok_or_else(|| {
-                Error::new(ErrorCode::XPTY0004, format!("numeric function on {}", a.type_name()))
+                Error::new(
+                    ErrorCode::XPTY0004,
+                    format!("numeric function on {}", a.type_name()),
+                )
             })?;
             Ok(Atomic::Dbl(dbl_op(d)).into())
         }
-        _ => Err(Error::new(ErrorCode::XPTY0004, "numeric function on a sequence")),
+        _ => Err(Error::new(
+            ErrorCode::XPTY0004,
+            "numeric function on a sequence",
+        )),
     }
 }
 

@@ -37,8 +37,10 @@ pub mod error;
 pub mod eval;
 pub mod functions;
 pub mod lexer;
+pub mod lower;
 pub mod optimizer;
 pub mod parser;
+pub mod run;
 pub mod static_typing;
 pub mod types;
 pub mod value;
@@ -47,6 +49,8 @@ pub use engine::{CompiledQuery, DupAttrPolicy, Engine, EngineOptions};
 pub use error::{Error, ErrorCode};
 pub use value::{Atomic, Item, Sequence};
 
+#[cfg(test)]
+mod differential;
 #[cfg(test)]
 mod proptests;
 #[cfg(test)]

@@ -60,7 +60,8 @@ struct Cx<'a> {
 /// Fixpoint purity for user functions: impure iff the body (transitively)
 /// calls `fn:error`, or `fn:trace` when trace is impure.
 fn function_purity(functions: &[FunctionDecl], options: OptimizerOptions) -> HashMap<String, bool> {
-    let mut purity: HashMap<String, bool> = functions.iter().map(|f| (f.name.clone(), true)).collect();
+    let mut purity: HashMap<String, bool> =
+        functions.iter().map(|f| (f.name.clone(), true)).collect();
     loop {
         let mut changed = false;
         for f in functions {
@@ -105,7 +106,10 @@ fn count_traces(expr: &Expr) -> usize {
         Expr::Call { name, .. } if name == "trace" || name == "fn:trace" => 1,
         _ => 0,
     };
-    own + subexpressions(expr).iter().map(|e| count_traces(e)).sum::<usize>()
+    own + subexpressions(expr)
+        .iter()
+        .map(|e| count_traces(e))
+        .sum::<usize>()
 }
 
 /// Does `expr` reference `$name` anywhere? (Conservative about shadowing:
@@ -256,7 +260,9 @@ fn optimize_expr(expr: &mut Expr, cx: &Cx, stats: &mut OptimizerStats) {
             let mut i = 0;
             while i < clauses.len() {
                 let dead = match &clauses[i] {
-                    FlworClause::Let { var, expr: init, .. } => {
+                    FlworClause::Let {
+                        var, expr: init, ..
+                    } => {
                         let used_later = clauses[i + 1..].iter().any(|c| match c {
                             FlworClause::For { seq, .. } => uses_var(seq, var),
                             FlworClause::Let { expr, .. } => uses_var(expr, var),
@@ -298,14 +304,18 @@ fn optimize_expr(expr: &mut Expr, cx: &Cx, stats: &mut OptimizerStats) {
         },
         Expr::And(a, b) => match (&**a, &**b) {
             (Expr::Literal(Atomic::Bool(false)), _) => Some(Expr::Literal(Atomic::Bool(false))),
-            (Expr::Literal(Atomic::Bool(true)), rhs) if matches!(rhs, Expr::Literal(Atomic::Bool(_))) => {
+            (Expr::Literal(Atomic::Bool(true)), rhs)
+                if matches!(rhs, Expr::Literal(Atomic::Bool(_))) =>
+            {
                 Some(rhs.clone())
             }
             _ => None,
         },
         Expr::Or(a, b) => match (&**a, &**b) {
             (Expr::Literal(Atomic::Bool(true)), _) => Some(Expr::Literal(Atomic::Bool(true))),
-            (Expr::Literal(Atomic::Bool(false)), rhs) if matches!(rhs, Expr::Literal(Atomic::Bool(_))) => {
+            (Expr::Literal(Atomic::Bool(false)), rhs)
+                if matches!(rhs, Expr::Literal(Atomic::Bool(_))) =>
+            {
                 Some(rhs.clone())
             }
             _ => None,
@@ -486,7 +496,10 @@ mod tests {
         assert_eq!(quirky.traces_removed, 1, "— and the trace with it");
 
         let (_, fixed) = optimize(src, false);
-        assert_eq!(fixed.dead_lets_removed, 0, "fixed optimizer keeps the trace");
+        assert_eq!(
+            fixed.dead_lets_removed, 0,
+            "fixed optimizer keeps the trace"
+        );
         assert_eq!(fixed.traces_removed, 0);
     }
 
@@ -524,7 +537,10 @@ mod tests {
         assert_eq!(fixed.dead_lets_removed, 0, "wrapper transitively traces");
         let (_, quirky) = optimize(src, true);
         assert_eq!(quirky.dead_lets_removed, 1);
-        assert_eq!(quirky.traces_removed, 0, "the trace is inside the callee, not the let");
+        assert_eq!(
+            quirky.traces_removed, 0,
+            "the trace is inside the callee, not the let"
+        );
     }
 
     #[test]

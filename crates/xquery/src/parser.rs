@@ -527,15 +527,27 @@ impl<'a> Parser<'a> {
         // `<`/`>` so `<<` is not taken as less-than.
         if self.cur.take_keyword("is")? {
             let right = self.range_expr()?;
-            return Ok(Expr::NodeCmp(NodeCmpOp::Is, Box::new(left), Box::new(right)));
+            return Ok(Expr::NodeCmp(
+                NodeCmpOp::Is,
+                Box::new(left),
+                Box::new(right),
+            ));
         }
         if self.cur.take_symbol("<<")? {
             let right = self.range_expr()?;
-            return Ok(Expr::NodeCmp(NodeCmpOp::Precedes, Box::new(left), Box::new(right)));
+            return Ok(Expr::NodeCmp(
+                NodeCmpOp::Precedes,
+                Box::new(left),
+                Box::new(right),
+            ));
         }
         if self.cur.take_symbol(">>")? {
             let right = self.range_expr()?;
-            return Ok(Expr::NodeCmp(NodeCmpOp::Follows, Box::new(left), Box::new(right)));
+            return Ok(Expr::NodeCmp(
+                NodeCmpOp::Follows,
+                Box::new(left),
+                Box::new(right),
+            ));
         }
         // General comparisons — longest symbols first.
         for (sym, op) in [
@@ -820,8 +832,9 @@ impl<'a> Parser<'a> {
 
             if self.cur.peek_symbol("::")? {
                 self.cur.take_symbol("::")?;
-                let axis = axis_from_name(&name)
-                    .ok_or_else(|| Error::syntax(format!("unknown axis {name:?}"), position.0, position.1))?;
+                let axis = axis_from_name(&name).ok_or_else(|| {
+                    Error::syntax(format!("unknown axis {name:?}"), position.0, position.1)
+                })?;
                 let test = self.node_test()?;
                 let predicates = self.predicates()?;
                 return Ok(Expr::AxisStep {
@@ -852,7 +865,9 @@ impl<'a> Parser<'a> {
                     if self.cur.peek_symbol("{")? {
                         Some(ConstructorName::Computed(Box::new(name_expr)))
                     } else {
-                        return Err(self.cur.error("expected '{' after computed constructor name"));
+                        return Err(self
+                            .cur
+                            .error("expected '{' after computed constructor name"));
                     }
                 } else {
                     None
@@ -1036,7 +1051,7 @@ impl<'a> Parser<'a> {
             }
             Some('"') | Some('\'') => {
                 let s = self.cur.take_string_literal()?;
-                Ok(Expr::Literal(Atomic::Str(s)))
+                Ok(Expr::Literal(Atomic::Str(s.into())))
             }
             Some(c) if c.is_ascii_digit() => match self.cur.take_number()? {
                 NumberLit::Integer(i) => Ok(Expr::Literal(Atomic::Int(i))),
@@ -1104,7 +1119,9 @@ impl<'a> Parser<'a> {
             }
         }
         self.cur.eat("-->");
-        Ok(Expr::CompComment(Box::new(Expr::Literal(Atomic::Str(text)))))
+        Ok(Expr::CompComment(Box::new(Expr::Literal(Atomic::Str(
+            text.into(),
+        )))))
     }
 
     /// Attribute value with `{expr}` holes: `year="{$y}!"`.
@@ -1186,9 +1203,9 @@ impl<'a> Parser<'a> {
                 self.cur.eat("</");
                 let close = self.cur.take_name()?;
                 if close != open_name {
-                    return Err(self
-                        .cur
-                        .error(format!("mismatched close tag: expected </{open_name}>, found </{close}>")));
+                    return Err(self.cur.error(format!(
+                        "mismatched close tag: expected </{open_name}>, found </{close}>"
+                    )));
                 }
                 self.cur.skip_ws()?;
                 if !self.cur.eat(">") {
@@ -1257,7 +1274,8 @@ impl<'a> Parser<'a> {
             }
             let code = u32::from_str_radix(&digits, if hex { 16 } else { 10 })
                 .map_err(|_| self.cur.error("bad character reference"))?;
-            let c = char::from_u32(code).ok_or_else(|| self.cur.error("bad character reference"))?;
+            let c =
+                char::from_u32(code).ok_or_else(|| self.cur.error("bad character reference"))?;
             Ok(c.to_string())
         } else {
             let name = self.cur.take_name()?;
@@ -1341,7 +1359,13 @@ impl<'a> Parser<'a> {
 fn is_kind_test_name(name: &str) -> bool {
     matches!(
         name,
-        "node" | "text" | "comment" | "processing-instruction" | "element" | "attribute" | "document-node"
+        "node"
+            | "text"
+            | "comment"
+            | "processing-instruction"
+            | "element"
+            | "attribute"
+            | "document-node"
     )
 }
 
@@ -1367,9 +1391,18 @@ mod tests {
 
     #[test]
     fn literal_kinds() {
-        assert!(matches!(parse_expr("42").unwrap(), Expr::Literal(Atomic::Int(42))));
-        assert!(matches!(parse_expr("3.5").unwrap(), Expr::Literal(Atomic::Dbl(_))));
-        assert!(matches!(parse_expr("\"hi\"").unwrap(), Expr::Literal(Atomic::Str(_))));
+        assert!(matches!(
+            parse_expr("42").unwrap(),
+            Expr::Literal(Atomic::Int(42))
+        ));
+        assert!(matches!(
+            parse_expr("3.5").unwrap(),
+            Expr::Literal(Atomic::Dbl(_))
+        ));
+        assert!(matches!(
+            parse_expr("\"hi\"").unwrap(),
+            Expr::Literal(Atomic::Str(_))
+        ));
     }
 
     #[test]
@@ -1384,15 +1417,25 @@ mod tests {
     #[test]
     fn parenthesised_subtraction_works() {
         // "($n)-1 or some such"
-        assert!(matches!(parse_expr("($n)-1").unwrap(), Expr::Arith(ArithOp::Sub, _, _)));
-        assert!(matches!(parse_expr("$n - 1").unwrap(), Expr::Arith(ArithOp::Sub, _, _)));
+        assert!(matches!(
+            parse_expr("($n)-1").unwrap(),
+            Expr::Arith(ArithOp::Sub, _, _)
+        ));
+        assert!(matches!(
+            parse_expr("$n - 1").unwrap(),
+            Expr::Arith(ArithOp::Sub, _, _)
+        ));
     }
 
     #[test]
     fn bare_name_is_a_child_step_not_a_variable() {
         // Quirk #1.
         match parse_expr("x").unwrap() {
-            Expr::AxisStep { axis: Axis::Child, test: NodeTest::Name(n), .. } => assert_eq!(n, "x"),
+            Expr::AxisStep {
+                axis: Axis::Child,
+                test: NodeTest::Name(n),
+                ..
+            } => assert_eq!(n, "x"),
             other => panic!("expected child step, got {other:?}"),
         }
     }
@@ -1400,7 +1443,10 @@ mod tests {
     #[test]
     fn slash_is_a_path_not_division() {
         assert!(matches!(parse_expr("$x/kid").unwrap(), Expr::Path { .. }));
-        assert!(matches!(parse_expr("6 div 2").unwrap(), Expr::Arith(ArithOp::Div, _, _)));
+        assert!(matches!(
+            parse_expr("6 div 2").unwrap(),
+            Expr::Arith(ArithOp::Div, _, _)
+        ));
     }
 
     #[test]
@@ -1429,8 +1475,16 @@ mod tests {
     #[test]
     fn axes_parse() {
         for axis in [
-            "child", "descendant", "descendant-or-self", "attribute", "self", "parent",
-            "ancestor", "ancestor-or-self", "following-sibling", "preceding-sibling",
+            "child",
+            "descendant",
+            "descendant-or-self",
+            "attribute",
+            "self",
+            "parent",
+            "ancestor",
+            "ancestor-or-self",
+            "following-sibling",
+            "preceding-sibling",
         ] {
             parse_expr(&format!("{axis}::book")).unwrap();
         }
@@ -1444,7 +1498,12 @@ mod tests {
         )
         .unwrap();
         match e {
-            Expr::Flwor { clauses, where_, order_by, .. } => {
+            Expr::Flwor {
+                clauses,
+                where_,
+                order_by,
+                ..
+            } => {
                 assert_eq!(clauses.len(), 2);
                 assert!(where_.is_some());
                 assert_eq!(order_by.len(), 1);
@@ -1460,7 +1519,10 @@ mod tests {
         // has a <for> directive!).
         match parse_expr("$t/for").unwrap() {
             Expr::Path { steps, .. } => match &steps[0].expr {
-                Expr::AxisStep { test: NodeTest::Name(n), .. } => assert_eq!(n, "for"),
+                Expr::AxisStep {
+                    test: NodeTest::Name(n),
+                    ..
+                } => assert_eq!(n, "for"),
                 other => panic!("{other:?}"),
             },
             other => panic!("{other:?}"),
@@ -1469,25 +1531,55 @@ mod tests {
 
     #[test]
     fn quantified_expressions() {
-        let e = parse_expr("some $y in $x/kids satisfies count($y//foo) gt count($y//bar)").unwrap();
-        assert!(matches!(e, Expr::Quantified { quantifier: Quantifier::Some, .. }));
+        let e =
+            parse_expr("some $y in $x/kids satisfies count($y//foo) gt count($y//bar)").unwrap();
+        assert!(matches!(
+            e,
+            Expr::Quantified {
+                quantifier: Quantifier::Some,
+                ..
+            }
+        ));
         let e = parse_expr("every $y in (1,2) satisfies $y gt 0").unwrap();
-        assert!(matches!(e, Expr::Quantified { quantifier: Quantifier::Every, .. }));
+        assert!(matches!(
+            e,
+            Expr::Quantified {
+                quantifier: Quantifier::Every,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn comparisons_general_vs_value() {
-        assert!(matches!(parse_expr("1 = (1,2,3)").unwrap(), Expr::GeneralCmp(CmpOp::Eq, _, _)));
-        assert!(matches!(parse_expr("1 eq 1").unwrap(), Expr::ValueCmp(CmpOp::Eq, _, _)));
-        assert!(matches!(parse_expr("$a le $b").unwrap(), Expr::ValueCmp(CmpOp::Le, _, _)));
-        assert!(matches!(parse_expr("$a <= $b").unwrap(), Expr::GeneralCmp(CmpOp::Le, _, _)));
+        assert!(matches!(
+            parse_expr("1 = (1,2,3)").unwrap(),
+            Expr::GeneralCmp(CmpOp::Eq, _, _)
+        ));
+        assert!(matches!(
+            parse_expr("1 eq 1").unwrap(),
+            Expr::ValueCmp(CmpOp::Eq, _, _)
+        ));
+        assert!(matches!(
+            parse_expr("$a le $b").unwrap(),
+            Expr::ValueCmp(CmpOp::Le, _, _)
+        ));
+        assert!(matches!(
+            parse_expr("$a <= $b").unwrap(),
+            Expr::GeneralCmp(CmpOp::Le, _, _)
+        ));
     }
 
     #[test]
     fn direct_constructor_with_holes() {
         let e = parse_expr(r#"<el year="{$y}">{$x} tail<kid/></el>"#).unwrap();
         match e {
-            Expr::DirectElement { name, attrs, content, .. } => {
+            Expr::DirectElement {
+                name,
+                attrs,
+                content,
+                ..
+            } => {
                 assert_eq!(name, "el");
                 assert_eq!(attrs.len(), 1);
                 // "{$x}" hole, " tail" text, <kid/> child
@@ -1531,7 +1623,10 @@ mod tests {
             parse_expr("element point {(), 1}").unwrap(),
             Expr::CompElement { .. }
         ));
-        assert!(matches!(parse_expr("text {\"hi\"}").unwrap(), Expr::CompText(_)));
+        assert!(matches!(
+            parse_expr("text {\"hi\"}").unwrap(),
+            Expr::CompText(_)
+        ));
     }
 
     #[test]
@@ -1570,13 +1665,22 @@ mod tests {
 
     #[test]
     fn instance_of_and_cast() {
-        assert!(matches!(parse_expr("$x instance of xs:string").unwrap(), Expr::InstanceOf(..)));
-        assert!(matches!(parse_expr("$x cast as xs:integer").unwrap(), Expr::CastAs(..)));
+        assert!(matches!(
+            parse_expr("$x instance of xs:string").unwrap(),
+            Expr::InstanceOf(..)
+        ));
+        assert!(matches!(
+            parse_expr("$x cast as xs:integer").unwrap(),
+            Expr::CastAs(..)
+        ));
     }
 
     #[test]
     fn if_requires_paren_but_if_element_ok() {
-        assert!(matches!(parse_expr("if ($x) then 1 else 2").unwrap(), Expr::If(..)));
+        assert!(matches!(
+            parse_expr("if ($x) then 1 else 2").unwrap(),
+            Expr::If(..)
+        ));
         // <if> is a template directive; `$t/if` must be a step.
         assert!(matches!(parse_expr("$t/if").unwrap(), Expr::Path { .. }));
     }

@@ -12,9 +12,9 @@ use xmlstore::Store;
 fn atomic_strategy() -> impl Strategy<Value = Atomic> {
     prop_oneof![
         any::<i64>().prop_map(Atomic::Int),
-        "[a-z]{0,6}".prop_map(Atomic::Str),
+        "[a-z]{0,6}".prop_map(Atomic::string),
         any::<bool>().prop_map(Atomic::Bool),
-        (-1000i64..1000).prop_map(|i| Atomic::Untyped(i.to_string())),
+        (-1000i64..1000).prop_map(|i| Atomic::untyped(i.to_string())),
     ]
 }
 

@@ -1,0 +1,930 @@
+//! The slot-based runner for lowered programs.
+//!
+//! This is the "run" half of the compile/run split: it executes the
+//! [`Program`](crate::lower::Program) produced by [`crate::lower`], reading
+//! variables from a flat [`Frame`] by pre-resolved index, dispatching
+//! builtins on their enum, and calling user functions through a dense table.
+//!
+//! It must be observably identical to the tree-walking reference evaluator
+//! in [`crate::eval`] — same values, same error codes and messages (including
+//! the Galax-quirk ones), same trace output. To keep the two from drifting,
+//! everything expression-independent (arithmetic promotion, axis candidate
+//! enumeration, the predicate rule, order-key comparison, element-content
+//! construction) lives in shared helpers in `eval`/`functions`; this module
+//! only re-implements the walking skeleton over the lowered form.
+
+use crate::ast::{Axis, NodeCmpOp, Quantifier, SetOp};
+use crate::compare::{
+    atomize, atomize_item, effective_boolean_value, general_compare, value_compare,
+};
+use crate::context::{DynamicContext, Focus};
+use crate::engine::EngineOptions;
+use crate::error::{Error, ErrorCode, Result};
+use crate::eval::{
+    arith, axis_candidates, compare_order_keys, dedup_sorted, expand_descendant_or_self,
+    join_atomized, predicate_outcome, singleton_integer, singleton_number, ContentBuilder,
+    NumOperand,
+};
+use crate::functions::{dispatch_builtin, CallCtx};
+use crate::lower::{
+    CompiledFunction, LAttrPart, LConstructorName, LContentPart, LExpr, LFlworClause, LNodeTest,
+    LOrderSpec, Program,
+};
+use crate::types::{cast_atomic, ItemType, SeqType};
+use crate::value::{Atomic, Item, Sequence};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use xmlstore::{NodeId, NodeKind, QName, Store, Sym};
+
+/// Everything the runner threads besides the focus and the frame.
+pub struct RunEnv<'a> {
+    pub store: &'a mut Store,
+    pub options: &'a EngineOptions,
+    pub program: &'a Program,
+    /// Registered documents for `fn:doc`.
+    pub docs: &'a HashMap<String, NodeId>,
+    /// Module-level variables, keyed by interned name. Declarations are
+    /// inserted by the engine as they evaluate, so initializers see exactly
+    /// the earlier ones — the same visibility the reference evaluator has.
+    pub globals: &'a HashMap<Sym, Arc<Sequence>>,
+    /// Output sink for `fn:trace`.
+    pub trace: &'a mut Vec<String>,
+    /// Current user-function recursion depth.
+    pub depth: usize,
+}
+
+/// A flat frame of variable slots. Slot indices were resolved at lowering
+/// time; scopes never pop at runtime because a slot is only ever read by
+/// references its binder dominates.
+pub struct Frame {
+    slots: Vec<Option<Arc<Sequence>>>,
+}
+
+impl Frame {
+    pub fn new(size: usize) -> Frame {
+        Frame {
+            slots: vec![None; size],
+        }
+    }
+
+    fn set(&mut self, slot: u32, value: Arc<Sequence>) {
+        self.slots[slot as usize] = Some(value);
+    }
+
+    fn get(&self, slot: u32) -> Option<&Arc<Sequence>> {
+        self.slots[slot as usize].as_ref()
+    }
+}
+
+/// Evaluates a lowered expression to a sequence.
+pub fn run(
+    expr: &LExpr,
+    env: &mut RunEnv,
+    frame: &mut Frame,
+    ctx: &mut DynamicContext,
+) -> Result<Sequence> {
+    match expr {
+        LExpr::Literal(a) => Ok(Sequence::singleton(Item::Atomic(a.clone()))),
+
+        LExpr::LocalRef(slot) => match frame.get(*slot) {
+            Some(v) => Ok((**v).clone()),
+            // Unreachable for a correct lowering: every LocalRef is
+            // dominated by its binder.
+            None => Err(Error::internal(format!("unbound frame slot {slot}"))),
+        },
+
+        LExpr::GlobalRef(name, position) => match env.globals.get(name) {
+            Some(v) => Ok((**v).clone()),
+            None => {
+                if env.options.galax_quirks {
+                    Err(Error::new(
+                        ErrorCode::Internal,
+                        format!("Internal_Error: Variable '${name}' not found."),
+                    ))
+                } else {
+                    Err(Error::new(
+                        ErrorCode::XPST0008,
+                        format!("variable ${name} is not bound"),
+                    )
+                    .at(position.0, position.1))
+                }
+            }
+        },
+
+        LExpr::ContextItem(position) => {
+            let item = ctx
+                .context_item(env.options.galax_quirks, *position)?
+                .clone();
+            Ok(Sequence::singleton(item))
+        }
+
+        LExpr::Comma(parts) => {
+            let mut out = Sequence::empty();
+            for p in parts {
+                out.push_seq(run(p, env, frame, ctx)?);
+            }
+            Ok(out)
+        }
+
+        LExpr::Range(lo, hi) => {
+            let lo = run(lo, env, frame, ctx)?;
+            let hi = run(hi, env, frame, ctx)?;
+            let (Some(lo), Some(hi)) = (
+                singleton_integer(&lo, env.store)?,
+                singleton_integer(&hi, env.store)?,
+            ) else {
+                return Ok(Sequence::empty());
+            };
+            Ok((lo..=hi).map(Item::integer).collect())
+        }
+
+        LExpr::Arith(op, l, r) => {
+            let l = run(l, env, frame, ctx)?;
+            let r = run(r, env, frame, ctx)?;
+            arith(*op, &l, &r, env.store)
+        }
+
+        LExpr::Neg(e) => {
+            let v = run(e, env, frame, ctx)?;
+            let Some(n) = singleton_number(&v, env.store)? else {
+                return Ok(Sequence::empty());
+            };
+            Ok(match n {
+                NumOperand::Int(i) => Atomic::Int(-i).into(),
+                NumOperand::Dbl(d) => Atomic::Dbl(-d).into(),
+            })
+        }
+
+        LExpr::GeneralCmp(op, l, r) => {
+            let l = run(l, env, frame, ctx)?;
+            let r = run(r, env, frame, ctx)?;
+            Ok(Atomic::Bool(general_compare(*op, &l, &r, env.store)).into())
+        }
+
+        LExpr::ValueCmp(op, l, r) => {
+            let l = run(l, env, frame, ctx)?;
+            let r = run(r, env, frame, ctx)?;
+            match value_compare(*op, &l, &r, env.store)? {
+                Some(b) => Ok(Atomic::Bool(b).into()),
+                None => Ok(Sequence::empty()),
+            }
+        }
+
+        LExpr::NodeCmp(op, l, r) => {
+            let l = run(l, env, frame, ctx)?;
+            let r = run(r, env, frame, ctx)?;
+            if l.is_empty() || r.is_empty() {
+                return Ok(Sequence::empty());
+            }
+            let (Some(Item::Node(a)), Some(Item::Node(b))) = (l.as_singleton(), r.as_singleton())
+            else {
+                return Err(Error::new(
+                    ErrorCode::XPTY0004,
+                    "node comparison requires singleton nodes",
+                ));
+            };
+            let result = match op {
+                NodeCmpOp::Is => a == b,
+                NodeCmpOp::Precedes | NodeCmpOp::Follows => {
+                    let ord = env.store.doc_order(*a, *b).ok_or_else(|| {
+                        Error::new(
+                            ErrorCode::XPTY0004,
+                            "document-order comparison of nodes in different trees",
+                        )
+                    })?;
+                    match op {
+                        NodeCmpOp::Precedes => ord == std::cmp::Ordering::Less,
+                        _ => ord == std::cmp::Ordering::Greater,
+                    }
+                }
+            };
+            Ok(Atomic::Bool(result).into())
+        }
+
+        LExpr::SetExpr(op, l, r) => {
+            let l = run(l, env, frame, ctx)?;
+            let r = run(r, env, frame, ctx)?;
+            let (Some(ls), Some(rs)) = (l.all_nodes(), r.all_nodes()) else {
+                return Err(Error::new(
+                    ErrorCode::XPTY0004,
+                    "union/intersect/except operands must be node sequences",
+                ));
+            };
+            let right_set: HashSet<NodeId> = rs.iter().copied().collect();
+            let combined: Vec<NodeId> = match op {
+                SetOp::Union => ls.into_iter().chain(rs).collect(),
+                SetOp::Intersect => ls.into_iter().filter(|n| right_set.contains(n)).collect(),
+                SetOp::Except => ls.into_iter().filter(|n| !right_set.contains(n)).collect(),
+            };
+            Ok(dedup_sorted(combined, env.store)
+                .into_iter()
+                .map(Item::Node)
+                .collect())
+        }
+
+        LExpr::And(l, r) => {
+            let lv = run(l, env, frame, ctx)?;
+            if !effective_boolean_value(&lv, env.store)? {
+                return Ok(Atomic::Bool(false).into());
+            }
+            let rv = run(r, env, frame, ctx)?;
+            Ok(Atomic::Bool(effective_boolean_value(&rv, env.store)?).into())
+        }
+
+        LExpr::Or(l, r) => {
+            let lv = run(l, env, frame, ctx)?;
+            if effective_boolean_value(&lv, env.store)? {
+                return Ok(Atomic::Bool(true).into());
+            }
+            let rv = run(r, env, frame, ctx)?;
+            Ok(Atomic::Bool(effective_boolean_value(&rv, env.store)?).into())
+        }
+
+        LExpr::If(c, t, e) => {
+            let cv = run(c, env, frame, ctx)?;
+            if effective_boolean_value(&cv, env.store)? {
+                run(t, env, frame, ctx)
+            } else {
+                run(e, env, frame, ctx)
+            }
+        }
+
+        LExpr::Flwor {
+            clauses,
+            where_,
+            order_by,
+            return_,
+        } => run_flwor(
+            clauses,
+            where_.as_deref(),
+            order_by,
+            return_,
+            env,
+            frame,
+            ctx,
+        ),
+
+        LExpr::Quantified {
+            quantifier,
+            bindings,
+            satisfies,
+        } => quantified(*quantifier, bindings, satisfies, 0, env, frame, ctx)
+            .map(|b| Atomic::Bool(b).into()),
+
+        LExpr::Root(position) => {
+            let item = ctx
+                .context_item(env.options.galax_quirks, *position)?
+                .clone();
+            match item {
+                Item::Node(n) => Ok(Sequence::singleton(Item::Node(env.store.root(n)))),
+                Item::Atomic(_) => Err(Error::new(
+                    ErrorCode::XPTY0019,
+                    "'/' requires a node context item",
+                )
+                .at(position.0, position.1)),
+            }
+        }
+
+        LExpr::AxisStep {
+            axis,
+            test,
+            predicates,
+            position,
+        } => {
+            let item = ctx
+                .context_item(env.options.galax_quirks, *position)?
+                .clone();
+            let node = match item {
+                Item::Node(n) => n,
+                Item::Atomic(_) => {
+                    return Err(Error::new(
+                        ErrorCode::XPTY0019,
+                        "axis step applied to an atomic value",
+                    )
+                    .at(position.0, position.1))
+                }
+            };
+            let candidates = axis_candidates(*axis, node, env.store);
+            let tested: Vec<NodeId> = candidates
+                .into_iter()
+                .filter(|&n| node_test_matches(test, *axis, n, env.store))
+                .collect();
+            let filtered = apply_predicates_nodes(tested, predicates, env, frame, ctx)?;
+            Ok(filtered.into_iter().map(Item::Node).collect())
+        }
+
+        LExpr::Path { start, steps } => {
+            let mut current = run(start, env, frame, ctx)?;
+            for step in steps {
+                if step.double_slash {
+                    current = expand_descendant_or_self(&current, env.store)?;
+                }
+                current = map_step(&current, &step.expr, env, frame, ctx)?;
+            }
+            Ok(current)
+        }
+
+        LExpr::Filter(base, predicates) => {
+            let seq = run(base, env, frame, ctx)?;
+            apply_predicates_items(seq, predicates, env, frame, ctx)
+        }
+
+        LExpr::CallBuiltin {
+            builtin,
+            args,
+            position,
+        } => {
+            let mut values = Vec::with_capacity(args.len());
+            for a in args {
+                values.push(run(a, env, frame, ctx)?);
+            }
+            let mut cx = CallCtx {
+                store: env.store,
+                galax_quirks: env.options.galax_quirks,
+                docs: env.docs,
+                trace: env.trace,
+            };
+            dispatch_builtin(*builtin, values, &mut cx, ctx, *position)
+        }
+
+        LExpr::CallUser {
+            index,
+            args,
+            position,
+        } => {
+            let mut values = Vec::with_capacity(args.len());
+            for a in args {
+                values.push(run(a, env, frame, ctx)?);
+            }
+            let func = &env.program.functions[*index as usize];
+            call_user(func, values, *position, env)
+        }
+
+        LExpr::CallUnknown {
+            name,
+            args,
+            position,
+        } => {
+            // The walker evaluates arguments before discovering the call
+            // resolves to nothing; preserve that (argument errors and
+            // traces fire first).
+            for a in args {
+                run(a, env, frame, ctx)?;
+            }
+            Err(Error::new(
+                ErrorCode::XPST0017,
+                format!("unknown function {name}#{}", args.len()),
+            )
+            .at(position.0, position.1))
+        }
+
+        LExpr::DirectElement {
+            name,
+            attrs,
+            content,
+            position,
+        } => {
+            let el = env.store.create_element(*name);
+            let mut builder = ContentBuilder::new(el, *position, env.options.dup_attr_policy);
+            for (aname, parts) in attrs {
+                let mut value = String::new();
+                for part in parts {
+                    match part {
+                        LAttrPart::Literal(t) => value.push_str(t),
+                        LAttrPart::Enclosed(e) => {
+                            let seq = run(e, env, frame, ctx)?;
+                            value.push_str(&join_atomized(&seq, env.store));
+                        }
+                    }
+                }
+                let attr = env.store.create_attribute(*aname, value);
+                builder.add_attribute(attr, env.store)?;
+            }
+            for part in content {
+                match part {
+                    LContentPart::Literal(t) => builder.push_text(t.clone(), env.store)?,
+                    LContentPart::Enclosed(e) | LContentPart::Node(e) => {
+                        let seq = run(e, env, frame, ctx)?;
+                        builder.push_sequence(seq, env.store)?;
+                    }
+                }
+            }
+            builder.finish(env.store)?;
+            Ok(Sequence::singleton(Item::Node(el)))
+        }
+
+        LExpr::CompElement {
+            name,
+            content,
+            position,
+        } => {
+            let name = constructor_qname(name, env, frame, ctx, *position)?;
+            let el = env.store.create_element(name);
+            let mut builder = ContentBuilder::new(el, *position, env.options.dup_attr_policy);
+            if let Some(content) = content {
+                let seq = run(content, env, frame, ctx)?;
+                builder.push_sequence(seq, env.store)?;
+            }
+            builder.finish(env.store)?;
+            Ok(Sequence::singleton(Item::Node(el)))
+        }
+
+        LExpr::CompAttribute {
+            name,
+            value,
+            position,
+        } => {
+            let name = constructor_qname(name, env, frame, ctx, *position)?;
+            let text = match value {
+                Some(v) => {
+                    let seq = run(v, env, frame, ctx)?;
+                    join_atomized(&seq, env.store)
+                }
+                None => String::new(),
+            };
+            let attr = env.store.create_attribute(name, text);
+            Ok(Sequence::singleton(Item::Node(attr)))
+        }
+
+        LExpr::CompText(e) => {
+            let seq = run(e, env, frame, ctx)?;
+            if seq.is_empty() {
+                return Ok(Sequence::empty());
+            }
+            let node = env.store.create_text(join_atomized(&seq, env.store));
+            Ok(Sequence::singleton(Item::Node(node)))
+        }
+
+        LExpr::CompComment(e) => {
+            let seq = run(e, env, frame, ctx)?;
+            let node = env.store.create_comment(join_atomized(&seq, env.store));
+            Ok(Sequence::singleton(Item::Node(node)))
+        }
+
+        LExpr::TryCatch { try_, var, catch } => match run(try_, env, frame, ctx) {
+            Ok(v) => Ok(v),
+            Err(e) if e.code == ErrorCode::Internal => Err(e),
+            Err(e) => {
+                if let Some(slot) = var {
+                    frame.set(
+                        *slot,
+                        Arc::new(Sequence::singleton(Item::string(e.message.clone()))),
+                    );
+                }
+                run(catch, env, frame, ctx)
+            }
+        },
+
+        LExpr::TypeSwitch {
+            operand,
+            cases,
+            default_var,
+            default,
+        } => {
+            let value = run(operand, env, frame, ctx)?;
+            for case in cases {
+                if case.ty.matches(&value, env.store) {
+                    if let Some(slot) = &case.var {
+                        frame.set(*slot, Arc::new(value.clone()));
+                    }
+                    return run(&case.body, env, frame, ctx);
+                }
+            }
+            if let Some(slot) = default_var {
+                frame.set(*slot, Arc::new(value));
+            }
+            run(default, env, frame, ctx)
+        }
+
+        LExpr::InstanceOf(e, ty) => {
+            let seq = run(e, env, frame, ctx)?;
+            Ok(Atomic::Bool(ty.matches(&seq, env.store)).into())
+        }
+
+        LExpr::CastableAs(e, ty) => {
+            let seq = run(e, env, frame, ctx)?;
+            let SeqType::Of(ItemType::Atomic(target), occ) = ty else {
+                return Ok(Atomic::Bool(false).into());
+            };
+            let ok = match seq.as_singleton() {
+                None if seq.is_empty() => occ.accepts(0),
+                None => false,
+                Some(item) => {
+                    let a = atomize_item(item, env.store);
+                    cast_atomic(&a, *target).is_ok()
+                }
+            };
+            Ok(Atomic::Bool(ok).into())
+        }
+
+        LExpr::CastAs(e, ty, position) => {
+            let seq = run(e, env, frame, ctx)?;
+            let SeqType::Of(ItemType::Atomic(target), occ) = ty else {
+                return Err(
+                    Error::new(ErrorCode::XPST0003, "cast target must be an atomic type")
+                        .at(position.0, position.1),
+                );
+            };
+            if seq.is_empty() {
+                return if occ.accepts(0) {
+                    Ok(Sequence::empty())
+                } else {
+                    Err(Error::new(ErrorCode::XPTY0004, "cast of an empty sequence")
+                        .at(position.0, position.1))
+                };
+            }
+            let Some(item) = seq.as_singleton() else {
+                return Err(Error::new(ErrorCode::XPTY0004, "cast requires a singleton")
+                    .at(position.0, position.1));
+            };
+            let a = atomize_item(item, env.store);
+            Ok(cast_atomic(&a, *target)?.into())
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// FLWOR
+// ----------------------------------------------------------------------
+
+fn run_flwor(
+    clauses: &[LFlworClause],
+    where_: Option<&LExpr>,
+    order_by: &[LOrderSpec],
+    return_: &LExpr,
+    env: &mut RunEnv,
+    frame: &mut Frame,
+    ctx: &mut DynamicContext,
+) -> Result<Sequence> {
+    let mut keyed: Vec<(Vec<Option<Atomic>>, Sequence)> = Vec::new();
+    let mut plain = Sequence::empty();
+    flwor_tuples(
+        clauses, 0, where_, order_by, return_, env, frame, ctx, &mut keyed, &mut plain,
+    )?;
+
+    if order_by.is_empty() {
+        return Ok(plain);
+    }
+    keyed.sort_by(|(ka, _), (kb, _)| {
+        for (i, spec) in order_by.iter().enumerate() {
+            let ord = compare_order_keys(
+                ka[i].as_ref(),
+                kb[i].as_ref(),
+                spec.descending,
+                spec.empty_least,
+            );
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(Sequence::concat(keyed.into_iter().map(|(_, v)| v)))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn flwor_tuples(
+    clauses: &[LFlworClause],
+    idx: usize,
+    where_: Option<&LExpr>,
+    order_by: &[LOrderSpec],
+    return_: &LExpr,
+    env: &mut RunEnv,
+    frame: &mut Frame,
+    ctx: &mut DynamicContext,
+    keyed: &mut Vec<(Vec<Option<Atomic>>, Sequence)>,
+    plain: &mut Sequence,
+) -> Result<()> {
+    if idx == clauses.len() {
+        if let Some(w) = where_ {
+            let wv = run(w, env, frame, ctx)?;
+            if !effective_boolean_value(&wv, env.store)? {
+                return Ok(());
+            }
+        }
+        if order_by.is_empty() {
+            plain.push_seq(run(return_, env, frame, ctx)?);
+        } else {
+            let mut keys = Vec::with_capacity(order_by.len());
+            for spec in order_by {
+                let kv = run(&spec.key, env, frame, ctx)?;
+                let atoms = atomize(&kv, env.store);
+                if atoms.len() > 1 {
+                    return Err(Error::new(
+                        ErrorCode::XPTY0004,
+                        "order by key must be a singleton",
+                    ));
+                }
+                keys.push(atoms.into_iter().next());
+            }
+            let value = run(return_, env, frame, ctx)?;
+            keyed.push((keys, value));
+        }
+        return Ok(());
+    }
+    match &clauses[idx] {
+        LFlworClause::For { var, at, seq } => {
+            let items = run(seq, env, frame, ctx)?;
+            for (i, item) in items.into_items().into_iter().enumerate() {
+                frame.set(*var, Arc::new(Sequence::singleton(item)));
+                if let Some(at_slot) = at {
+                    frame.set(
+                        *at_slot,
+                        Arc::new(Sequence::singleton(Item::integer(i as i64 + 1))),
+                    );
+                }
+                flwor_tuples(
+                    clauses,
+                    idx + 1,
+                    where_,
+                    order_by,
+                    return_,
+                    env,
+                    frame,
+                    ctx,
+                    keyed,
+                    plain,
+                )?;
+            }
+            Ok(())
+        }
+        LFlworClause::Let {
+            var,
+            name,
+            ty,
+            expr,
+        } => {
+            let value = run(expr, env, frame, ctx)?;
+            if let Some(ty) = ty {
+                ty.check(&value, env.store, &format!("let ${name}"))?;
+            }
+            frame.set(*var, Arc::new(value));
+            flwor_tuples(
+                clauses,
+                idx + 1,
+                where_,
+                order_by,
+                return_,
+                env,
+                frame,
+                ctx,
+                keyed,
+                plain,
+            )
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn quantified(
+    quantifier: Quantifier,
+    bindings: &[(u32, LExpr)],
+    satisfies: &LExpr,
+    idx: usize,
+    env: &mut RunEnv,
+    frame: &mut Frame,
+    ctx: &mut DynamicContext,
+) -> Result<bool> {
+    if idx == bindings.len() {
+        let v = run(satisfies, env, frame, ctx)?;
+        return effective_boolean_value(&v, env.store);
+    }
+    let (slot, seq_expr) = &bindings[idx];
+    let items = run(seq_expr, env, frame, ctx)?;
+    for item in items.into_items() {
+        frame.set(*slot, Arc::new(Sequence::singleton(item)));
+        let hit = quantified(quantifier, bindings, satisfies, idx + 1, env, frame, ctx)?;
+        match quantifier {
+            Quantifier::Some if hit => return Ok(true),
+            Quantifier::Every if !hit => return Ok(false),
+            _ => {}
+        }
+    }
+    Ok(matches!(quantifier, Quantifier::Every))
+}
+
+// ----------------------------------------------------------------------
+// Paths, predicates
+// ----------------------------------------------------------------------
+
+fn map_step(
+    current: &Sequence,
+    step: &LExpr,
+    env: &mut RunEnv,
+    frame: &mut Frame,
+    ctx: &mut DynamicContext,
+) -> Result<Sequence> {
+    let size = current.len();
+    let mut results = Sequence::empty();
+    for (i, item) in current.iter().enumerate() {
+        let saved = ctx.focus.take();
+        ctx.focus = Some(Focus {
+            item: item.clone(),
+            position: i + 1,
+            size,
+        });
+        let r = run(step, env, frame, ctx);
+        ctx.focus = saved;
+        results.push_seq(r?);
+    }
+    let nodes = results.iter().filter(|i| i.is_node()).count();
+    if nodes == 0 {
+        return Ok(results);
+    }
+    if nodes != results.len() {
+        return Err(Error::new(
+            ErrorCode::XPTY0019,
+            "a path step returned a mix of nodes and atomic values",
+        ));
+    }
+    let ids: Vec<NodeId> = results.iter().filter_map(|i| i.as_node()).collect();
+    Ok(dedup_sorted(ids, env.store)
+        .into_iter()
+        .map(Item::Node)
+        .collect())
+}
+
+/// The lowered node test: names were parsed to `QName`s at compile time, so
+/// matching is symbol equality, never a string render.
+fn node_test_matches(test: &LNodeTest, axis: Axis, node: NodeId, store: &Store) -> bool {
+    let kind = store.kind(node);
+    match test {
+        LNodeTest::AnyKind => true,
+        LNodeTest::Text => matches!(kind, NodeKind::Text(_)),
+        LNodeTest::Comment => matches!(kind, NodeKind::Comment(_)),
+        LNodeTest::Pi => matches!(kind, NodeKind::Pi(..)),
+        LNodeTest::Document => matches!(kind, NodeKind::Document),
+        LNodeTest::Element(name) => match kind {
+            NodeKind::Element(q) => match name {
+                None => true,
+                Some(want) => q == want,
+            },
+            _ => false,
+        },
+        LNodeTest::AttributeTest(name) => match kind {
+            NodeKind::Attribute(q, _) => match name {
+                None => true,
+                Some(want) => q == want,
+            },
+            _ => false,
+        },
+        LNodeTest::AnyName => {
+            if axis == Axis::Attribute {
+                matches!(kind, NodeKind::Attribute(..))
+            } else {
+                matches!(kind, NodeKind::Element(_))
+            }
+        }
+        LNodeTest::Name(want) => {
+            if axis == Axis::Attribute {
+                matches!(kind, NodeKind::Attribute(q, _) if q == want)
+            } else {
+                matches!(kind, NodeKind::Element(q) if q == want)
+            }
+        }
+    }
+}
+
+fn apply_predicates_nodes(
+    nodes: Vec<NodeId>,
+    predicates: &[LExpr],
+    env: &mut RunEnv,
+    frame: &mut Frame,
+    ctx: &mut DynamicContext,
+) -> Result<Vec<NodeId>> {
+    let mut current = nodes;
+    for pred in predicates {
+        let size = current.len();
+        let mut kept = Vec::with_capacity(current.len());
+        for (i, &n) in current.iter().enumerate() {
+            if predicate_holds(pred, Item::Node(n), i + 1, size, env, frame, ctx)? {
+                kept.push(n);
+            }
+        }
+        current = kept;
+    }
+    Ok(current)
+}
+
+fn apply_predicates_items(
+    seq: Sequence,
+    predicates: &[LExpr],
+    env: &mut RunEnv,
+    frame: &mut Frame,
+    ctx: &mut DynamicContext,
+) -> Result<Sequence> {
+    let mut current = seq.into_items();
+    for pred in predicates {
+        let size = current.len();
+        let mut kept = Vec::with_capacity(current.len());
+        for (i, item) in current.into_iter().enumerate() {
+            if predicate_holds(pred, item.clone(), i + 1, size, env, frame, ctx)? {
+                kept.push(item);
+            }
+        }
+        current = kept;
+    }
+    Ok(Sequence::from_items(current))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn predicate_holds(
+    pred: &LExpr,
+    item: Item,
+    position: usize,
+    size: usize,
+    env: &mut RunEnv,
+    frame: &mut Frame,
+    ctx: &mut DynamicContext,
+) -> Result<bool> {
+    let saved = ctx.focus.take();
+    ctx.focus = Some(Focus {
+        item,
+        position,
+        size,
+    });
+    let result = run(pred, env, frame, ctx);
+    ctx.focus = saved;
+    let value = result?;
+    predicate_outcome(&value, position, env.store)
+}
+
+// ----------------------------------------------------------------------
+// Function calls
+// ----------------------------------------------------------------------
+
+fn call_user(
+    func: &CompiledFunction,
+    args: Vec<Sequence>,
+    position: (u32, u32),
+    env: &mut RunEnv,
+) -> Result<Sequence> {
+    if env.depth >= env.options.recursion_limit {
+        return Err(Error::new(
+            ErrorCode::Internal,
+            format!(
+                "recursion limit of {} exceeded",
+                env.options.recursion_limit
+            ),
+        )
+        .at(position.0, position.1));
+    }
+    for (param, arg) in func.params.iter().zip(args.iter()) {
+        if let Some(ty) = &param.ty {
+            ty.check(
+                arg,
+                env.store,
+                &format!("argument ${} of {}", param.name, func.name),
+            )?;
+        }
+    }
+    // Closure-free frames: the function body sees exactly its parameters
+    // (slots 0..arity) plus the globals, never the caller's slots or focus.
+    let mut inner = Frame::new(func.frame);
+    for (i, arg) in args.into_iter().enumerate() {
+        inner.set(i as u32, Arc::new(arg));
+    }
+    let mut inner_ctx = DynamicContext::new();
+    env.depth += 1;
+    let result = run(&func.body, env, &mut inner, &mut inner_ctx);
+    env.depth -= 1;
+    let value = result?;
+    if let Some(ty) = &func.return_type {
+        ty.check(&value, env.store, &format!("result of {}", func.name))?;
+    }
+    Ok(value)
+}
+
+// ----------------------------------------------------------------------
+// Constructors
+// ----------------------------------------------------------------------
+
+/// Resolves a (possibly computed) constructor name to a `QName`. Literal
+/// names were resolved at lowering time.
+fn constructor_qname(
+    name: &LConstructorName,
+    env: &mut RunEnv,
+    frame: &mut Frame,
+    ctx: &mut DynamicContext,
+    position: (u32, u32),
+) -> Result<QName> {
+    match name {
+        LConstructorName::Literal(q) => Ok(*q),
+        LConstructorName::Computed(e) => {
+            let seq = run(e, env, frame, ctx)?;
+            let Some(item) = seq.as_singleton() else {
+                return Err(Error::new(
+                    ErrorCode::XPTY0004,
+                    "a computed constructor name must be a single value",
+                )
+                .at(position.0, position.1));
+            };
+            let text = atomize_item(item, env.store).to_text();
+            if text.is_empty() {
+                return Err(Error::new(ErrorCode::FORG0001, "empty constructor name")
+                    .at(position.0, position.1));
+            }
+            Ok(QName::from(text.as_str()))
+        }
+    }
+}

@@ -247,7 +247,11 @@ impl TypeEnv {
     }
 
     fn lookup(&self, name: &str) -> Option<&SeqType> {
-        self.entries.iter().rev().find(|(n, _)| n == name).map(|(_, t)| t)
+        self.entries
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t)
     }
 }
 
@@ -296,7 +300,10 @@ impl Checker<'_> {
             Expr::Range(a, b) => {
                 self.infer(a, env);
                 self.infer(b, env);
-                SeqType::Of(ItemType::Atomic(AtomicType::Integer), Occurrence::ZeroOrMore)
+                SeqType::Of(
+                    ItemType::Atomic(AtomicType::Integer),
+                    Occurrence::ZeroOrMore,
+                )
             }
             Expr::Arith(_, a, b) => {
                 let ta = self.infer(a, env);
@@ -310,7 +317,11 @@ impl Checker<'_> {
                     Occurrence::ZeroOrOne
                 };
                 SeqType::Of(
-                    ItemType::Atomic(if int { AtomicType::Integer } else { AtomicType::Double }),
+                    ItemType::Atomic(if int {
+                        AtomicType::Integer
+                    } else {
+                        AtomicType::Double
+                    }),
                     occ,
                 )
             }
@@ -363,7 +374,9 @@ impl Checker<'_> {
                         FlworClause::Let { var, ty, expr } => {
                             let inferred = self.infer(expr, env);
                             if let Some(declared) = ty {
-                                if !subtype(&inferred, declared) && !might_narrow(&inferred, declared) {
+                                if !subtype(&inferred, declared)
+                                    && !might_narrow(&inferred, declared)
+                                {
                                     self.diag(
                                         format!(
                                             "let ${var}: value of static type {inferred} cannot satisfy {declared}"
@@ -443,7 +456,12 @@ impl Checker<'_> {
                 args,
                 position,
             } => self.infer_call(name, args, *position, env),
-            Expr::DirectElement { name, attrs, content, .. } => {
+            Expr::DirectElement {
+                name,
+                attrs,
+                content,
+                ..
+            } => {
                 for (_, parts) in attrs {
                     for p in parts {
                         if let AttrPart::Enclosed(e) = p {
@@ -600,7 +618,10 @@ fn never_empty(t: &SeqType) -> bool {
 fn is_integerish(t: &SeqType) -> bool {
     matches!(
         t,
-        SeqType::Of(ItemType::Atomic(AtomicType::Integer), Occurrence::One | Occurrence::ZeroOrOne)
+        SeqType::Of(
+            ItemType::Atomic(AtomicType::Integer),
+            Occurrence::One | Occurrence::ZeroOrOne
+        )
     )
 }
 
@@ -696,7 +717,11 @@ mod tests {
         assert_eq!(diags.len(), 1, "{diags:?}");
         assert!(diags[0].message.contains("$s"), "{}", diags[0].message);
         assert_eq!(diags[0].in_function.as_deref(), Some("local:caller"));
-        assert!(diags[0].message.contains("annotate the source"), "{}", diags[0].message);
+        assert!(
+            diags[0].message.contains("annotate the source"),
+            "{}",
+            diags[0].message
+        );
     }
 
     #[test]
@@ -720,7 +745,11 @@ mod tests {
             "#,
         );
         assert_eq!(diags.len(), 1);
-        assert!(diags[0].message.contains("disjoint"), "{}", diags[0].message);
+        assert!(
+            diags[0].message.contains("disjoint"),
+            "{}",
+            diags[0].message
+        );
     }
 
     #[test]
@@ -744,7 +773,11 @@ mod tests {
             "#,
         );
         assert_eq!(diags.len(), 1);
-        assert!(diags[0].message.contains("return type"), "{}", diags[0].message);
+        assert!(
+            diags[0].message.contains("return type"),
+            "{}",
+            diags[0].message
+        );
     }
 
     #[test]

@@ -53,12 +53,22 @@ fn t1_element_children_variant() {
     // With single-item values the children are *text* (atomics become text),
     // so /*[2] (elements only) is empty — instead, element-valued items:
     assert_eq!(
-        t1_case("<a>1</a>", "<b>2</b>", "<c>3</c>", "<el>{$X}{$Y}{$Z}</el>/*[2]/string(.)"),
+        t1_case(
+            "<a>1</a>",
+            "<b>2</b>",
+            "<c>3</c>",
+            "<el>{$X}{$Y}{$Z}</el>/*[2]/string(.)"
+        ),
         "2"
     );
     // Y empty: the second element child is Z's.
     assert_eq!(
-        t1_case("<a>1</a>", "()", "<c>3</c>", "<el>{$X}{$Y}{$Z}</el>/*[2]/string(.)"),
+        t1_case(
+            "<a>1</a>",
+            "()",
+            "<c>3</c>",
+            "<el>{$X}{$Y}{$Z}</el>/*[2]/string(.)"
+        ),
         "3"
     );
     // Y a two-element sequence: part of Y.
@@ -90,7 +100,10 @@ fn t1_element_children_variant() {
 fn attribute_folds_into_parent() {
     let mut e = engine();
     let out = e
-        .evaluate_str("let $x := attribute troubles {1} return <el> {$x} </el>", None)
+        .evaluate_str(
+            "let $x := attribute troubles {1} return <el> {$x} </el>",
+            None,
+        )
         .unwrap();
     assert_eq!(e.serialize_sequence(&out), "<el troubles=\"1\"/>");
 }
@@ -146,7 +159,10 @@ fn duplicate_attributes_three_ways() {
     // Galax: both attributes survive.
     let mut galax = Engine::galax();
     let out = galax.evaluate_str(src, None).unwrap();
-    assert_eq!(galax.serialize_sequence(&out), "<el a=\"1\" a=\"2\" b=\"3\"/>");
+    assert_eq!(
+        galax.serialize_sequence(&out),
+        "<el a=\"1\" a=\"2\" b=\"3\"/>"
+    );
 }
 
 /// §Syntactic Quirks item 4 — run through the engine end to end.
@@ -173,7 +189,10 @@ fn existential_equals_end_to_end() {
 fn forgotten_dollar_gives_glx_dot_error() {
     let mut galax = Engine::galax();
     let err = galax.evaluate_str("x", None).unwrap_err();
-    assert_eq!(err.message, "Internal_Error: Variable '$glx:dot' not found.");
+    assert_eq!(
+        err.message,
+        "Internal_Error: Variable '$glx:dot' not found."
+    );
     assert!(err.position.is_none());
 
     // The fixed engine gives a position and a sensible message.
@@ -252,7 +271,10 @@ fn set_of_strings_idiom() {
 fn points_as_lists_break() {
     let mut e = engine();
     let out = e
-        .evaluate_str("let $p1 := (1,2) let $p2 := (3,4) return count(($p1, $p2))", None)
+        .evaluate_str(
+            "let $p1 := (1,2) let $p2 := (3,4) return count(($p1, $p2))",
+            None,
+        )
         .unwrap();
     assert_eq!(e.display_sequence(&out), "4");
 }
@@ -290,7 +312,10 @@ fn flattening_rationale_examples() {
     assert_eq!(e.display_sequence(&out), "1 2 3");
     // Searching unifies with accumulating: a singleton needs no unwrapping.
     let out = e
-        .evaluate_str("(for $c in $r//c where string($c) = \"2\" return $c)[1]/string(.)", None)
+        .evaluate_str(
+            "(for $c in $r//c where string($c) = \"2\" return $c)[1]/string(.)",
+            None,
+        )
         .unwrap();
     assert_eq!(e.display_sequence(&out), "2");
 }
@@ -350,7 +375,11 @@ fn multiple_returns_blend() {
         count(local:gen())
     "#;
     let out = e.evaluate_str(src, None).unwrap();
-    assert_eq!(e.display_sequence(&out), "4", "three 'values' became four items");
+    assert_eq!(
+        e.display_sequence(&out),
+        "4",
+        "three 'values' became four items"
+    );
 }
 
 /// The INTERNAL-DATA phase-communication pattern in miniature.
@@ -477,7 +506,11 @@ fn generic_sets_are_impossible() {
             None,
         )
         .unwrap();
-    assert_eq!(e.display_sequence(&out), "4", "two points became four numbers");
+    assert_eq!(
+        e.display_sequence(&out),
+        "4",
+        "two points became four numbers"
+    );
 }
 
 /// without-leading-or-trailing-spaces and child-element-named — the utility
@@ -541,12 +574,21 @@ fn try_catch_details() {
     // no error → try value
     assert_eq!(show(&mut e, "try { 1 + 1 } catch { 0 }"), "2");
     // catch without a variable
-    assert_eq!(show(&mut e, "try { error(\"x\") } catch { \"caught\" }"), "caught");
+    assert_eq!(
+        show(&mut e, "try { error(\"x\") } catch { \"caught\" }"),
+        "caught"
+    );
     // dynamic type errors are catchable too
-    assert_eq!(show(&mut e, "try { 1 eq (1,2) } catch { \"typed\" }"), "typed");
+    assert_eq!(
+        show(&mut e, "try { 1 eq (1,2) } catch { \"typed\" }"),
+        "typed"
+    );
     // nested: inner catch wins
     assert_eq!(
-        show(&mut e, "try { try { error(\"inner\") } catch { \"i\" } } catch { \"o\" }"),
+        show(
+            &mut e,
+            "try { try { error(\"inner\") } catch { \"i\" } } catch { \"o\" }"
+        ),
         "i"
     );
     // errors raised in the catch clause propagate
@@ -626,7 +668,9 @@ fn typeswitch_dispatch() {
 #[test]
 fn typeswitch_requires_case_and_default() {
     let mut e = engine();
-    assert!(e.evaluate_str("typeswitch (1) default return 2", None).is_err());
+    assert!(e
+        .evaluate_str("typeswitch (1) default return 2", None)
+        .is_err());
     assert!(e
         .evaluate_str("typeswitch (1) case xs:integer return 2", None)
         .is_err());
@@ -651,7 +695,11 @@ fn external_sequences_flatten() {
     let mut e = engine();
     let mut s = Sequence::empty();
     s.push(Item::integer(1));
-    s.push_seq(vec![Item::integer(2), Item::integer(3)].into_iter().collect());
+    s.push_seq(
+        vec![Item::integer(2), Item::integer(3)]
+            .into_iter()
+            .collect(),
+    );
     e.bind("xs", s);
     let out = e.evaluate_str("count($xs)", None).unwrap();
     assert_eq!(e.display_sequence(&out), "3");

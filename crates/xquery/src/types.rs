@@ -200,7 +200,10 @@ impl SeqType {
         } else {
             Err(Error::new(
                 ErrorCode::XPTY0004,
-                format!("{what}: expected {self}, got a sequence of {} item(s)", seq.len()),
+                format!(
+                    "{what}: expected {self}, got a sequence of {} item(s)",
+                    seq.len()
+                ),
             ))
         }
     }
@@ -220,12 +223,17 @@ pub fn cast_atomic(value: &Atomic, target: AtomicType) -> Result<Atomic> {
     let fail = || {
         Error::new(
             ErrorCode::FORG0001,
-            format!("cannot cast {} ({}) to {}", value.to_text(), value.type_name(), target.name()),
+            format!(
+                "cannot cast {} ({}) to {}",
+                value.to_text(),
+                value.type_name(),
+                target.name()
+            ),
         )
     };
     Ok(match target {
-        AtomicType::String => Atomic::Str(value.to_text()),
-        AtomicType::UntypedAtomic => Atomic::Untyped(value.to_text()),
+        AtomicType::String => Atomic::Str(value.to_text().into()),
+        AtomicType::UntypedAtomic => Atomic::Untyped(value.to_text().into()),
         AtomicType::AnyAtomic => value.clone(),
         AtomicType::Integer => match value {
             Atomic::Int(i) => Atomic::Int(*i),
@@ -302,7 +310,9 @@ mod tests {
     fn seq_type_check_reports_xpty0004() {
         let s = store();
         let ty = SeqType::Of(ItemType::Atomic(AtomicType::String), Occurrence::One);
-        let seq: Sequence = vec![Item::integer(1), Item::integer(2)].into_iter().collect();
+        let seq: Sequence = vec![Item::integer(1), Item::integer(2)]
+            .into_iter()
+            .collect();
         let err = ty.check(&seq, &s, "argument $x").unwrap_err();
         assert_eq!(err.code, ErrorCode::XPTY0004);
         assert!(err.message.contains("argument $x"), "{}", err.message);
@@ -320,8 +330,14 @@ mod tests {
 
     #[test]
     fn casts() {
-        assert_eq!(cast_atomic(&Atomic::Str("42".into()), AtomicType::Integer).unwrap(), Atomic::Int(42));
-        assert_eq!(cast_atomic(&Atomic::Int(1), AtomicType::Boolean).unwrap(), Atomic::Bool(true));
+        assert_eq!(
+            cast_atomic(&Atomic::Str("42".into()), AtomicType::Integer).unwrap(),
+            Atomic::Int(42)
+        );
+        assert_eq!(
+            cast_atomic(&Atomic::Int(1), AtomicType::Boolean).unwrap(),
+            Atomic::Bool(true)
+        );
         assert_eq!(
             cast_atomic(&Atomic::Untyped("2.5".into()), AtomicType::Double).unwrap(),
             Atomic::Dbl(2.5)
@@ -336,8 +352,14 @@ mod tests {
     #[test]
     fn from_name_accepts_schema_zoo() {
         // "twenty-three primitive types" — the aliases we fold together.
-        assert_eq!(AtomicType::from_name("xs:nonNegativeInteger"), Some(AtomicType::Integer));
-        assert_eq!(AtomicType::from_name("xs:decimal"), Some(AtomicType::Double));
+        assert_eq!(
+            AtomicType::from_name("xs:nonNegativeInteger"),
+            Some(AtomicType::Integer)
+        );
+        assert_eq!(
+            AtomicType::from_name("xs:decimal"),
+            Some(AtomicType::Double)
+        );
         assert_eq!(AtomicType::from_name("xs:duration"), None);
     }
 }

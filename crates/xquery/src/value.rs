@@ -11,21 +11,26 @@
 //! representation.
 
 use std::fmt;
+use std::sync::Arc;
 use xmlstore::NodeId;
 
 /// An atomic (scalar) value. The paper: "we never used anything but strings,
 /// numbers, and booleans" — plus `untypedAtomic`, which is what atomizing a
 /// node yields in the untyped mode the project ran in.
+///
+/// String payloads are `Arc<str>`: cloning an atomic is a refcount bump, and
+/// the lowering pass hands out literals backed by the interner so every
+/// occurrence of the same literal shares one allocation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Atomic {
-    Str(String),
+    Str(Arc<str>),
     Int(i64),
     Dbl(f64),
     Bool(bool),
     /// The string value of a node, not yet committed to a type
     /// (`xs:untypedAtomic`). Compares as a number against numbers and as a
     /// string against strings.
-    Untyped(String),
+    Untyped(Arc<str>),
 }
 
 impl Atomic {
@@ -40,10 +45,20 @@ impl Atomic {
         }
     }
 
+    /// Builds an `xs:string` value.
+    pub fn string(s: impl Into<Arc<str>>) -> Atomic {
+        Atomic::Str(s.into())
+    }
+
+    /// Builds an `xs:untypedAtomic` value.
+    pub fn untyped(s: impl Into<Arc<str>>) -> Atomic {
+        Atomic::Untyped(s.into())
+    }
+
     /// The lexical (string) form.
     pub fn to_text(&self) -> String {
         match self {
-            Atomic::Str(s) | Atomic::Untyped(s) => s.clone(),
+            Atomic::Str(s) | Atomic::Untyped(s) => s.to_string(),
             Atomic::Int(i) => i.to_string(),
             Atomic::Dbl(d) => format_double(*d),
             Atomic::Bool(b) => b.to_string(),
@@ -72,7 +87,11 @@ pub fn format_double(d: f64) -> String {
     if d.is_nan() {
         "NaN".to_string()
     } else if d.is_infinite() {
-        if d > 0.0 { "INF".to_string() } else { "-INF".to_string() }
+        if d > 0.0 {
+            "INF".to_string()
+        } else {
+            "-INF".to_string()
+        }
     } else if d == d.trunc() && d.abs() < 1e15 {
         format!("{}", d as i64)
     } else {
@@ -98,7 +117,7 @@ impl Item {
         Item::Atomic(Atomic::Int(i))
     }
 
-    pub fn string(s: impl Into<String>) -> Item {
+    pub fn string(s: impl Into<Arc<str>>) -> Item {
         Item::Atomic(Atomic::Str(s.into()))
     }
 

@@ -59,7 +59,7 @@ fn conformance_corpus() {
         ("2 + ()", "()"),
         ("() * 3", "()"),
         ("1 + \"x\"", "error:XPTY0004"),
-        ("9223372036854775807 + 1", "9223372036854776000"),  // overflow promotes to double
+        ("9223372036854775807 + 1", "9223372036854776000"), // overflow promotes to double
         // ---------- sequences & ranges ----------
         ("count(())", "0"),
         ("count((1,2,3))", "3"),
@@ -158,25 +158,46 @@ fn conformance_corpus() {
         ("count($site/nothing)", "0"),
         ("count($site/people/person[1]/parent::people)", "1"),
         ("count($site//pet/ancestor::site)", "1"),
-        ("count($site/people/person[1]/following-sibling::person)", "2"),
-        ("count($site/people/person[3]/preceding-sibling::person)", "2"),
+        (
+            "count($site/people/person[1]/following-sibling::person)",
+            "2",
+        ),
+        (
+            "count($site/people/person[3]/preceding-sibling::person)",
+            "2",
+        ),
         ("name($site/people/person[1]/..)", "people"),
         ("count($site/people/person/self::person)", "3"),
         ("count($site//element(person))", "3"),
         ("count($site//attribute(id))", "3"),
         ("string($site/people/person[last()]/name)", "Cid"),
-        ("for $p in $site//person order by number($p/@age) return string($p/name)", "Cid Ann Bob"),
+        (
+            "for $p in $site//person order by number($p/@age) return string($p/name)",
+            "Cid Ann Bob",
+        ),
         // position predicates on reverse axes count from the context node
-        ("name($site/people/person[3]/preceding-sibling::*[1])", "person"),
+        (
+            "name($site/people/person[3]/preceding-sibling::*[1])",
+            "person",
+        ),
         // ---------- FLWOR ----------
         ("for $i in (1,2,3) return $i * 10", "10 20 30"),
         ("for $i at $p in (\"a\",\"b\") return $p", "1 2"),
-        ("for $i in (1,2), $j in (10,20) return $i + $j", "11 21 12 22"),
+        (
+            "for $i in (1,2), $j in (10,20) return $i + $j",
+            "11 21 12 22",
+        ),
         ("let $x := 5 return $x + $x", "10"),
         ("for $i in (1,2,3) where $i mod 2 eq 1 return $i", "1 3"),
         ("for $i in (3,1,2) order by $i return $i", "1 2 3"),
-        ("for $i in (3,1,2) order by $i descending return $i", "3 2 1"),
-        ("for $s in (\"b\",\"a\",\"c\") order by $s return $s", "a b c"),
+        (
+            "for $i in (3,1,2) order by $i descending return $i",
+            "3 2 1",
+        ),
+        (
+            "for $s in (\"b\",\"a\",\"c\") order by $s return $s",
+            "a b c",
+        ),
         ("for $i in () return $i", "()"),
         // ---------- quantifiers ----------
         ("some $x in (1,2,3) satisfies $x gt 2", "true"),
@@ -191,10 +212,13 @@ fn conformance_corpus() {
         ("<a>{1, 2}</a>", "<a>1 2</a>"),
         ("<a>x{\"y\"}z</a>", "<a>xyz</a>"),
         ("<a>{<b/>}{<c/>}</a>", "<a><b/><c/></a>"),
-        ("element point {attribute x {1}, \"p\"}", "<point x=\"1\">p</point>"),
+        (
+            "element point {attribute x {1}, \"p\"}",
+            "<point x=\"1\">p</point>",
+        ),
         ("attribute n {1 + 2}", "n=\"3\""),
         ("text {\"hi\"}", "hi"),
-        ("string(<a>{\"x\", <b>y</b>, \"z\"}</a>)", "xyz"),  // atomics split by a node do not space-join
+        ("string(<a>{\"x\", <b>y</b>, \"z\"}</a>)", "xyz"), // atomics split by a node do not space-join
         ("<el a=\"{1+1}b\"/>", "<el a=\"2b\"/>"),
         ("count(<a><b/><b/></a>/b)", "2"),
         // ---------- node identity & set ops ----------
@@ -211,30 +235,51 @@ fn conformance_corpus() {
         ("<a/> instance of element(a)", "true"),
         ("\"42\" cast as xs:integer", "42"),
         ("\"x\" cast as xs:integer", "error:FORG0001"),
-        ("typeswitch (1) case xs:string return \"s\" default return \"d\"", "d"),
+        (
+            "typeswitch (1) case xs:string return \"s\" default return \"d\"",
+            "d",
+        ),
         ("\"42\" castable as xs:integer", "true"),
         ("\"x\" castable as xs:integer", "false"),
         ("() castable as xs:integer?", "true"),
         ("() castable as xs:integer", "false"),
         ("(1,2) castable as xs:integer", "false"),
         ("<a>7</a> castable as xs:integer", "true"),
-        ("for $i in (3,1,2) order by $i empty greatest return $i", "1 2 3"),
+        (
+            "for $i in (3,1,2) order by $i empty greatest return $i",
+            "1 2 3",
+        ),
         // keys that are genuinely empty: empty-least is the default
-        ("for $i in (3, 1) order by (if ($i = 3) then () else $i) return $i", "3 1"),
-        ("for $i in (3, 1) order by (if ($i = 3) then () else $i) empty greatest return $i", "1 3"),
+        (
+            "for $i in (3, 1) order by (if ($i = 3) then () else $i) return $i",
+            "3 1",
+        ),
+        (
+            "for $i in (3, 1) order by (if ($i = 3) then () else $i) empty greatest return $i",
+            "1 3",
+        ),
         ("try { 1 div 0 } catch { -1 }", "-1"),
         ("try { (1,2,3)[2] } catch { -1 }", "2"),
-        ("typeswitch (\"x\") case $s as xs:string return concat($s, \"!\") default return \"d\"", "x!"),
+        (
+            "typeswitch (\"x\") case $s as xs:string return concat($s, \"!\") default return \"d\"",
+            "x!",
+        ),
         // ---------- functions & errors ----------
         ("error(\"boom\")", "error:FOER0000"),
         ("nonexistent-function(1)", "error:XPST0017"),
         ("count(1, 2)", "error:XPST0017"),
         ("$unbound", "error:XPST0008"),
-        ("deep-equal(<a x=\"1\"><b/></a>, <a x=\"1\"><b/></a>)", "true"),
+        (
+            "deep-equal(<a x=\"1\"><b/></a>, <a x=\"1\"><b/></a>)",
+            "true",
+        ),
         ("deep-equal(<a x=\"1\"/>, <a x=\"2\"/>)", "false"),
         ("name($site)", "site"),
         ("local-name($site)", "site"),
-        ("string(root(($site//pet)[1])/site/people/person[1]/@id)", "p1"),
+        (
+            "string(root(($site//pet)[1])/site/people/person[1]/@id)",
+            "p1",
+        ),
         // ---------- comments and whitespace ----------
         ("(: comment :) 42", "42"),
         ("1 (: a (: nested :) one :) + 1", "2"),
@@ -245,7 +290,9 @@ fn conformance_corpus() {
     for (query, expected) in cases {
         let got = run_case(&mut engine, query);
         if got != *expected {
-            failures.push(format!("  {query}\n    expected: {expected}\n    got:      {got}"));
+            failures.push(format!(
+                "  {query}\n    expected: {expected}\n    got:      {got}"
+            ));
         }
     }
     assert!(

@@ -138,12 +138,19 @@ fn q4_books_by_author() {
                </result>
            }</results>"#,
     );
-    assert!(out.contains(
-        "<result><author>Stevens</author>\
+    assert!(
+        out.contains(
+            "<result><author>Stevens</author>\
          <title>TCP/IP Illustrated</title>\
          <title>Advanced Programming in the Unix environment</title></result>"
-    ), "{out}");
-    assert_eq!(out.matches("<result>").count(), 4, "Stevens, Abiteboul, Buneman, Suciu");
+        ),
+        "{out}"
+    );
+    assert_eq!(
+        out.matches("<result>").count(),
+        4,
+        "Stevens, Abiteboul, Buneman, Suciu"
+    );
 }
 
 /// Q5: join with the second source — each book with prices from both.
@@ -182,7 +189,11 @@ fn q6_first_author_et_al() {
                </book>
            }</bib>"#,
     );
-    assert_eq!(out.matches("<book>").count(), 3, "the edited volume has no authors");
+    assert_eq!(
+        out.matches("<book>").count(),
+        3,
+        "the edited volume has no authors"
+    );
     assert!(out.contains("<author><last>Abiteboul</last><first>Serge</first></author><et-al/>"));
     assert!(!out.contains("Stevens</last><first>W.</first></author><et-al/>"));
 }
@@ -198,10 +209,18 @@ fn q7_sorted_titles() {
              return <book year="{$b/@year}">{ $b/title }</book>
            }</bib>"#,
     );
-    let positions: Vec<usize> = ["Advanced Programming", "Data on the Web", "TCP/IP", "The Economics"]
-        .iter()
-        .map(|t| out.find(t).unwrap_or_else(|| panic!("{t} missing from {out}")))
-        .collect();
+    let positions: Vec<usize> = [
+        "Advanced Programming",
+        "Data on the Web",
+        "TCP/IP",
+        "The Economics",
+    ]
+    .iter()
+    .map(|t| {
+        out.find(t)
+            .unwrap_or_else(|| panic!("{t} missing from {out}"))
+    })
+    .collect();
     assert!(positions.windows(2).all(|w| w[0] < w[1]), "{positions:?}");
 }
 

@@ -99,7 +99,10 @@ impl Pattern {
                     Ok(Step::Any)
                 } else if s.is_empty() {
                     Err(format!("empty step in pattern {text:?}"))
-                } else if s.chars().all(|c| xmlstore::qname::is_name_char(c) || c == ':') {
+                } else if s
+                    .chars()
+                    .all(|c| xmlstore::qname::is_name_char(c) || c == ':')
+                {
                     Ok(Step::Name(s.to_string()))
                 } else {
                     Err(format!("unsupported pattern step {s:?}"))
@@ -139,9 +142,7 @@ impl Pattern {
             Pattern::Text => store.is_text(node),
             Pattern::AnyNode => !store.is_document(node) && !store.is_attribute(node),
             Pattern::Attribute(name) => match store.kind(node) {
-                NodeKind::Attribute(q, _) => {
-                    name.as_deref().is_none_or(|w| q.to_string() == w)
-                }
+                NodeKind::Attribute(q, _) => name.as_deref().is_none_or(|w| q.to_string() == w),
                 _ => false,
             },
             Pattern::Elements { steps, predicate } => {

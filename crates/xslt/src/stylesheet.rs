@@ -79,9 +79,7 @@ impl CompiledStylesheet {
                             .map_err(|_| XsltError(format!("bad priority {p:?}")))
                     })
                     .transpose()?;
-                for pattern in
-                    Pattern::parse_union(&match_text).map_err(XsltError)?
-                {
+                for pattern in Pattern::parse_union(&match_text).map_err(XsltError)? {
                     let priority = explicit_priority.unwrap_or_else(|| pattern.default_priority());
                     rules.push(TemplateRule {
                         pattern,
@@ -92,7 +90,11 @@ impl CompiledStylesheet {
                 }
             }
         }
-        Ok(CompiledStylesheet { store, rules, named })
+        Ok(CompiledStylesheet {
+            store,
+            rules,
+            named,
+        })
     }
 
     /// The best rule for `node` in `input`: highest (priority, order).

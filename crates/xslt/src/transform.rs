@@ -3,7 +3,7 @@
 
 use crate::stylesheet::{CompiledStylesheet, XsltError};
 use std::collections::HashMap;
-use xmlstore::{NodeId, NodeKind, Store};
+use xmlstore::{intern, NodeId, NodeKind, Store, Sym};
 use xquery::{CompiledQuery, Engine, Item};
 
 /// One-shot convenience: compile and run.
@@ -63,20 +63,23 @@ struct Transformer<'a> {
     /// Holds both the input document and the output under construction;
     /// XPath in `select=`/`test=` evaluates here.
     engine: Engine,
-    cache: HashMap<String, CompiledQuery>,
+    /// Compiled `select=`/`test=` expressions, keyed by interned symbol so
+    /// repeated template instantiations hash an integer, not the source text.
+    cache: HashMap<Sym, CompiledQuery>,
     depth: usize,
 }
 
 impl Transformer<'_> {
     fn compiled(&mut self, expr: &str) -> Result<CompiledQuery, XsltError> {
-        if let Some(q) = self.cache.get(expr) {
+        let key = intern(expr);
+        if let Some(q) = self.cache.get(&key) {
             return Ok(q.clone());
         }
         let q = self
             .engine
             .compile(expr)
             .map_err(|e| XsltError(format!("bad XPath {expr:?}: {e}")))?;
-        self.cache.insert(expr.to_string(), q.clone());
+        self.cache.insert(key, q.clone());
         Ok(q)
     }
 
@@ -104,7 +107,9 @@ impl Transformer<'_> {
             }
         }
         let node = self.out().create_text(text.to_string());
-        self.out().append_child(out_parent, node).map_err(internal)?;
+        self.out()
+            .append_child(out_parent, node)
+            .map_err(internal)?;
         Ok(())
     }
 
@@ -178,7 +183,12 @@ impl Transformer<'_> {
         Ok(())
     }
 
-    fn instantiate(&mut self, sheet_node: NodeId, ctx: Ctx, out_parent: NodeId) -> Result<(), XsltError> {
+    fn instantiate(
+        &mut self,
+        sheet_node: NodeId,
+        ctx: Ctx,
+        out_parent: NodeId,
+    ) -> Result<(), XsltError> {
         match self.sheet.store.kind(sheet_node).clone() {
             NodeKind::Text(t) => {
                 // Whitespace-only text in the stylesheet is formatting, not
@@ -196,10 +206,11 @@ impl Transformer<'_> {
                     Some(local) => self.instruction(local, sheet_node, ctx, out_parent),
                     None => {
                         // Literal result element: copy, with AVT attributes.
-                        let el = self.out().create_element(name.clone());
+                        let el = self.out().create_element(name);
                         self.out().append_child(out_parent, el).map_err(internal)?;
                         for attr in self.sheet.store.attributes(sheet_node).to_vec() {
-                            if let NodeKind::Attribute(an, av) = self.sheet.store.kind(attr).clone() {
+                            if let NodeKind::Attribute(an, av) = self.sheet.store.kind(attr).clone()
+                            {
                                 let value = self.avt(&av, ctx)?;
                                 self.out().set_attribute(el, an, value).map_err(internal)?;
                             }
@@ -231,16 +242,19 @@ impl Transformer<'_> {
                 self.append_text(out_parent, &text)
             }
             "apply-templates" => {
-                let nodes: Vec<NodeId> = match self.sheet.store.attribute_value(sheet_node, "select") {
-                    Some(select) => {
-                        let select = select.to_string();
-                        let seq = self.eval(&select, ctx)?;
-                        seq.all_nodes().ok_or_else(|| {
-                            XsltError(format!("apply-templates select {select:?} returned non-nodes"))
-                        })?
-                    }
-                    None => self.engine.store().children(ctx.node).to_vec(),
-                };
+                let nodes: Vec<NodeId> =
+                    match self.sheet.store.attribute_value(sheet_node, "select") {
+                        Some(select) => {
+                            let select = select.to_string();
+                            let seq = self.eval(&select, ctx)?;
+                            seq.all_nodes().ok_or_else(|| {
+                                XsltError(format!(
+                                    "apply-templates select {select:?} returned non-nodes"
+                                ))
+                            })?
+                        }
+                        None => self.engine.store().children(ctx.node).to_vec(),
+                    };
                 let n = nodes.len();
                 for (i, node) in nodes.into_iter().enumerate() {
                     self.apply_templates(node, i + 1, n, out_parent)?;
@@ -290,7 +304,9 @@ impl Transformer<'_> {
                             return self.instantiate_children(branch, ctx, out_parent);
                         }
                         other => {
-                            return Err(XsltError(format!("unexpected <{other}> inside xsl:choose")))
+                            return Err(XsltError(format!(
+                                "unexpected <{other}> inside xsl:choose"
+                            )))
                         }
                     }
                 }
@@ -304,7 +320,9 @@ impl Transformer<'_> {
                 }
                 NodeKind::Text(t) => self.append_text(out_parent, &t),
                 NodeKind::Attribute(name, value) => {
-                    self.out().set_attribute(out_parent, name, value).map_err(internal)?;
+                    self.out()
+                        .set_attribute(out_parent, name, value)
+                        .map_err(internal)?;
                     Ok(())
                 }
                 NodeKind::Document => self.instantiate_children(sheet_node, ctx, out_parent),
@@ -327,11 +345,15 @@ impl Transformer<'_> {
                             } else if self.engine.store().is_document(n) {
                                 for child in self.engine.store().children(n).to_vec() {
                                     let copy = self.out().deep_copy(child);
-                                    self.out().append_child(out_parent, copy).map_err(internal)?;
+                                    self.out()
+                                        .append_child(out_parent, copy)
+                                        .map_err(internal)?;
                                 }
                             } else {
                                 let copy = self.out().deep_copy(n);
-                                self.out().append_child(out_parent, copy).map_err(internal)?;
+                                self.out()
+                                    .append_child(out_parent, copy)
+                                    .map_err(internal)?;
                             }
                         }
                         Item::Atomic(a) => self.append_text(out_parent, &a.to_text())?,
@@ -584,10 +606,17 @@ mod tests {
         let s = sheet(r#"<xsl:template match="/"><xsl:value-of/></xsl:template>"#);
         assert!(transform_str(&s, "<x/>").unwrap_err().0.contains("select"));
         let s = sheet(r#"<xsl:template match="/"><xsl:frobnicate/></xsl:template>"#);
-        assert!(transform_str(&s, "<x/>").unwrap_err().0.contains("unsupported instruction"));
+        assert!(transform_str(&s, "<x/>")
+            .unwrap_err()
+            .0
+            .contains("unsupported instruction"));
         let s = sheet(r#"<xsl:template match="/"><xsl:value-of select="((("/></xsl:template>"#);
-        assert!(transform_str(&s, "<x/>").unwrap_err().0.contains("bad XPath"));
-        let s = sheet(r#"<xsl:template match="/"><xsl:call-template name="ghost"/></xsl:template>"#);
+        assert!(transform_str(&s, "<x/>")
+            .unwrap_err()
+            .0
+            .contains("bad XPath"));
+        let s =
+            sheet(r#"<xsl:template match="/"><xsl:call-template name="ghost"/></xsl:template>"#);
         assert!(transform_str(&s, "<x/>").unwrap_err().0.contains("ghost"));
     }
 

@@ -50,7 +50,9 @@ fn main() {
     );
 
     // What does the xquery crate depend on? Ask the calculus.
-    let deps = Query::from_label("docgen").follow("depends-on").sort_by_label();
+    let deps = Query::from_label("docgen")
+        .follow("depends-on")
+        .sort_by_label();
     let names: Vec<&str> = deps
         .run_native(&model, &meta)
         .into_iter()

@@ -63,7 +63,10 @@ fn main() {
         q.stats.dead_lets_removed, q.stats.traces_removed
     );
     galax.evaluate(&q, None).unwrap();
-    println!("  galax trace output: {:?}   <- silence", galax.take_trace());
+    println!(
+        "  galax trace output: {:?}   <- silence",
+        galax.take_trace()
+    );
 
     let mut fixed = Engine::with_options(EngineOptions::default());
     let q = fixed.compile(naive).unwrap();

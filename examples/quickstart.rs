@@ -56,7 +56,11 @@ fn main() {
     }
 
     println!("\n== The syntactic quirks ==");
-    for q in ["let $n-1 := 10 return $n-1", "let $n := 10 return ($n)-1", "6 div 2"] {
+    for q in [
+        "let $n-1 := 10 return $n-1",
+        "let $n := 10 return ($n)-1",
+        "6 div 2",
+    ] {
         show(&mut engine, q);
     }
 
@@ -68,7 +72,10 @@ fn main() {
     let src = "let $x := 6 * 7 let $dummy := trace(\"x=\", $x) return $x";
     let mut galax = Engine::galax();
     galax.evaluate_str(src, None).unwrap();
-    println!("  galax trace output: {:?} (the dead let was optimized away!)", galax.take_trace());
+    println!(
+        "  galax trace output: {:?} (the dead let was optimized away!)",
+        galax.take_trace()
+    );
     let mut fixed = Engine::with_options(EngineOptions::default());
     fixed.evaluate_str(src, None).unwrap();
     println!("  fixed trace output: {:?}", fixed.take_trace());

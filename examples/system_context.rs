@@ -5,8 +5,8 @@
 //!
 //! Run with: `cargo run --example system_context`
 
-use lopsided::awb::workload::{it_architecture, it_metamodel, ItScale};
 use lopsided::awb::omissions;
+use lopsided::awb::workload::{it_architecture, it_metamodel, ItScale};
 use lopsided::docgen::{self, normalized_equal, GenInputs, Template};
 use lopsided::templates::SYSTEM_CONTEXT;
 use std::time::Instant;
@@ -63,7 +63,10 @@ fn main() {
 
     // The always-visible Omissions window (independent of generation).
     let omissions = omissions::check(&model, &meta);
-    println!("\nOmissions window ({} entries), first few:", omissions.len());
+    println!(
+        "\nOmissions window ({} entries), first few:",
+        omissions.len()
+    );
     for o in omissions.iter().take(5) {
         println!("  - {o}");
     }

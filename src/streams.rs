@@ -69,7 +69,11 @@ pub fn generate_with_streams(inputs: &GenInputs) -> Result<StreamOutputs, GenTro
         .map_err(|e| GenTrouble::new(format!("streams program failed: {e}")))?;
     let combined = match combined_seq.as_singleton() {
         Some(Item::Node(n)) => engine.store().to_xml(*n),
-        _ => return Err(GenTrouble::new("streams program did not return one element")),
+        _ => {
+            return Err(GenTrouble::new(
+                "streams program did not return one element",
+            ))
+        }
     };
 
     // 3. Split them apart with the little XSLT programs.

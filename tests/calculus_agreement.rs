@@ -21,7 +21,11 @@ fn step_strategy() -> impl Strategy<Value = QueryStep> {
         ((0..N_RELS), any::<bool>(), prop::option::of(0..N_TYPES)).prop_map(|(r, fwd, tt)| {
             QueryStep::Follow {
                 relation: format!("R{r}"),
-                direction: if fwd { Direction::Forward } else { Direction::Backward },
+                direction: if fwd {
+                    Direction::Forward
+                } else {
+                    Direction::Backward
+                },
                 target_type: tt.map(|t| format!("T{t}")),
             }
         }),
@@ -32,7 +36,10 @@ fn step_strategy() -> impl Strategy<Value = QueryStep> {
 }
 
 fn query_strategy() -> impl Strategy<Value = Query> {
-    (start_strategy(), prop::collection::vec(step_strategy(), 0..4))
+    (
+        start_strategy(),
+        prop::collection::vec(step_strategy(), 0..4),
+    )
         .prop_map(|(start, steps)| Query { start, steps })
 }
 

@@ -2,11 +2,17 @@
 //! the XQuery code" — the two generators must produce identical documents on
 //! every workload, fault-free or not.
 
-use lopsided::awb::workload::{glass_catalog, glass_metamodel, it_architecture, it_metamodel, ItScale};
+use lopsided::awb::workload::{
+    glass_catalog, glass_metamodel, it_architecture, it_metamodel, ItScale,
+};
 use lopsided::docgen::{self, normalized_equal, GenInputs, Template};
 use lopsided::templates;
 
-fn assert_engines_agree(model: &lopsided::awb::Model, meta: &lopsided::awb::Metamodel, template: &str) {
+fn assert_engines_agree(
+    model: &lopsided::awb::Model,
+    meta: &lopsided::awb::Metamodel,
+    template: &str,
+) {
     let template = Template::parse(template).expect("template parses");
     let inputs = GenInputs {
         model,

@@ -11,10 +11,23 @@ enum Tpl {
     Text(String),
     Passthrough(Vec<Tpl>),
     Label,
-    ValueOf { prop: String, default: Option<String> },
-    If { cond: Cond, then: Vec<Tpl>, els: Option<Vec<Tpl>> },
-    For { ty: String, body: Vec<Tpl> },
-    Section { heading: String, body: Vec<Tpl> },
+    ValueOf {
+        prop: String,
+        default: Option<String>,
+    },
+    If {
+        cond: Cond,
+        then: Vec<Tpl>,
+        els: Option<Vec<Tpl>>,
+    },
+    For {
+        ty: String,
+        body: Vec<Tpl>,
+    },
+    Section {
+        heading: String,
+        body: Vec<Tpl>,
+    },
     Toc,
     Omissions(String),
     List(String),
@@ -28,7 +41,14 @@ enum Cond {
     Not(Box<Cond>),
 }
 
-const TYPES: &[&str] = &["user", "superuser", "Program", "Document", "Server", "Thing"];
+const TYPES: &[&str] = &[
+    "user",
+    "superuser",
+    "Program",
+    "Document",
+    "Server",
+    "Thing",
+];
 const PROPS: &[&str] = &["language", "version", "firstName", "cores", "nonexistent"];
 
 fn type_name() -> impl Strategy<Value = String> {
@@ -55,7 +75,10 @@ fn tpl_strategy(in_focus: bool) -> impl Strategy<Value = Tpl> {
         prop_oneof![
             text,
             Just(Tpl::Label),
-            (prop_name(), prop::option::of("[a-z]{0,4}".prop_map(String::from)))
+            (
+                prop_name(),
+                prop::option::of("[a-z]{0,4}".prop_map(String::from))
+            )
                 .prop_map(|(prop, default)| Tpl::ValueOf { prop, default }),
         ]
         .boxed()
@@ -78,14 +101,21 @@ fn tpl_strategy(in_focus: bool) -> impl Strategy<Value = Tpl> {
         ];
         if in_focus {
             choices.push(
-                (cond_strategy(), body.clone(), prop::option::of(body.clone()))
+                (
+                    cond_strategy(),
+                    body.clone(),
+                    prop::option::of(body.clone()),
+                )
                     .prop_map(|(cond, then, els)| Tpl::If { cond, then, els })
                     .boxed(),
             );
         } else {
             // Entering a <for> switches the body strategy to focus-allowed.
             choices.push(
-                (type_name(), prop::collection::vec(tpl_strategy_focused(), 0..3))
+                (
+                    type_name(),
+                    prop::collection::vec(tpl_strategy_focused(), 0..3),
+                )
                     .prop_map(|(ty, body)| Tpl::For { ty, body })
                     .boxed(),
             );
@@ -99,10 +129,20 @@ fn tpl_strategy_focused() -> impl Strategy<Value = Tpl> {
     prop_oneof![
         "[ a-z]{1,8}".prop_map(Tpl::Text),
         Just(Tpl::Label),
-        (prop_name(), prop::option::of("[a-z]{0,4}".prop_map(String::from)))
+        (
+            prop_name(),
+            prop::option::of("[a-z]{0,4}".prop_map(String::from))
+        )
             .prop_map(|(prop, default)| Tpl::ValueOf { prop, default }),
-        (cond_strategy(), prop::collection::vec(Just(Tpl::Label), 0..2))
-            .prop_map(|(cond, then)| Tpl::If { cond, then, els: None }),
+        (
+            cond_strategy(),
+            prop::collection::vec(Just(Tpl::Label), 0..2)
+        )
+            .prop_map(|(cond, then)| Tpl::If {
+                cond,
+                then,
+                els: None
+            }),
     ]
 }
 

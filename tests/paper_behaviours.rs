@@ -16,7 +16,10 @@ fn display(engine: &mut Engine, src: &str) -> String {
 fn t1_indexing_table_via_public_api() {
     let mut e = Engine::new();
     let case = |e: &mut Engine, x: &str, y: &str, z: &str| {
-        display(e, &format!("let $X := {x} let $Y := {y} let $Z := {z} return ($X,$Y,$Z)[2]"))
+        display(
+            e,
+            &format!("let $X := {x} let $Y := {y} let $Z := {z} return ($X,$Y,$Z)[2]"),
+        )
     };
     assert_eq!(case(&mut e, "1", "2", "3"), "2");
     assert_eq!(case(&mut e, "1", "(2, \"2a\")", "4"), "2");
@@ -39,12 +42,18 @@ fn t1_indexing_table_via_public_api() {
 fn b1_attribute_folding_via_public_api() {
     let mut e = Engine::new();
     let out = e
-        .evaluate_str("let $x := attribute troubles {1} return <el> {$x} </el>", None)
+        .evaluate_str(
+            "let $x := attribute troubles {1} return <el> {$x} </el>",
+            None,
+        )
         .unwrap();
     assert_eq!(e.serialize_sequence(&out), "<el troubles=\"1\"/>");
 
     let err = e
-        .evaluate_str("let $x := attribute troubles {1} return <el> \"doom\" {$x} </el>", None)
+        .evaluate_str(
+            "let $x := attribute troubles {1} return <el> \"doom\" {$x} </el>",
+            None,
+        )
         .unwrap_err();
     assert_eq!(err.code, ErrorCode::XQTY0024);
 
@@ -56,7 +65,10 @@ fn b1_attribute_folding_via_public_api() {
             None,
         )
         .unwrap();
-    assert_eq!(galax.serialize_sequence(&out), "<el a=\"1\" a=\"2\" b=\"3\"/>");
+    assert_eq!(
+        galax.serialize_sequence(&out),
+        "<el a=\"1\" a=\"2\" b=\"3\"/>"
+    );
 }
 
 /// B2: existential `=` vs the singleton operators.
@@ -98,7 +110,10 @@ fn quantifier_tour_example() {
         .unwrap();
     e.bind_node("x", e.store().document_element(doc).unwrap());
     assert_eq!(
-        display(&mut e, "some $y in $x/kids/k satisfies count($y//foo) gt count($y//bar)"),
+        display(
+            &mut e,
+            "some $y in $x/kids/k satisfies count($y//foo) gt count($y//bar)"
+        ),
         "true"
     );
 }

@@ -34,8 +34,14 @@ fn save_load_document_roundtrip() {
     assert_eq!(doc_a.to_xml(), doc_b.to_xml());
 
     // And produces the same omissions.
-    let om_a: Vec<String> = omissions::check(&model, &meta).iter().map(|o| o.message.clone()).collect();
-    let om_b: Vec<String> = omissions::check(&reloaded, &meta).iter().map(|o| o.message.clone()).collect();
+    let om_a: Vec<String> = omissions::check(&model, &meta)
+        .iter()
+        .map(|o| o.message.clone())
+        .collect();
+    let om_b: Vec<String> = omissions::check(&reloaded, &meta)
+        .iter()
+        .map(|o| o.message.clone())
+        .collect();
     assert_eq!(om_a, om_b);
 }
 
@@ -46,7 +52,10 @@ fn queries_agree_between_ui_and_docgen_implementations() {
     let meta = it_metamodel();
     let model = it_architecture(ItScale::about(100), 77);
     let queries = [
-        Query::from_type("user").follow("likes").dedup().sort_by_label(),
+        Query::from_type("user")
+            .follow("likes")
+            .dedup()
+            .sort_by_label(),
         Query::from_type("user")
             .follow("likes")
             .follow_to("uses", "Program")
@@ -59,7 +68,9 @@ fn queries_agree_between_ui_and_docgen_implementations() {
     ];
     for (i, q) in queries.iter().enumerate() {
         let native = q.run_native(&model, &meta);
-        let xq = q.run_xquery(&model, &meta).unwrap_or_else(|e| panic!("query {i}: {e}"));
+        let xq = q
+            .run_xquery(&model, &meta)
+            .unwrap_or_else(|e| panic!("query {i}: {e}"));
         assert_eq!(native, xq, "query {i} disagrees");
     }
 }
@@ -81,7 +92,10 @@ fn generated_document_is_well_formed_xml() {
         .parse_str(&xml, &lopsided::xmlstore::parser::ParseOptions::default())
         .expect("output re-parses");
     assert_eq!(
-        store.name(store.document_element(doc).unwrap()).unwrap().local(),
+        store
+            .name(store.document_element(doc).unwrap())
+            .unwrap()
+            .local(),
         "document"
     );
 }

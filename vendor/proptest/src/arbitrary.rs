@@ -1,0 +1,68 @@
+//! `any::<T>()` — default strategies for primitive types. Integer generation
+//! mixes edge cases, small values, and full-range draws so arithmetic
+//! overflow paths get exercised.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+pub trait Arbitrary: Sized + 'static {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+#[derive(Debug)]
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T> Clone for AnyStrategy<T> {
+    fn clone(&self) -> Self {
+        AnyStrategy(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                match rng.below(4) {
+                    0 => [0 as $t, 1 as $t, <$t>::MAX, <$t>::MIN][rng.below(4)],
+                    1 => ((rng.next_u64() % 201) as i64 - 100) as $t,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        match rng.below(4) {
+            0 => [0.0, 1.0, -1.0, 0.5][rng.below(4)],
+            _ => ((rng.next_u64() % 2_000_001) as f64 - 1_000_000.0) / 100.0,
+        }
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        (0x20u8 + rng.below(0x5f) as u8) as char
+    }
+}

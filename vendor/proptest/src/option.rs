@@ -1,0 +1,24 @@
+//! `prop::option::of` — optional values, `Some` roughly half the time.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+#[derive(Clone, Debug)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.next_u64() & 1 == 0 {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Generator for the regex subset used in string strategies: literal
+//! characters, `.`, character classes with ranges (`[a-z0-9-]`), and the
+//! quantifiers `{n}`, `{m,n}`, `?`, `*`, `+` (the latter two bounded at 8).
+
+use crate::test_runner::TestRng;
+
+struct Atom {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+const PRINTABLE: std::ops::RangeInclusive<u8> = 0x20..=0x7e;
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let set: Vec<char> = match chars[i] {
+            '[' => {
+                let mut set = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    if chars[i] == '\\' && i + 1 < chars.len() {
+                        set.push(chars[i + 1]);
+                        i += 2;
+                    } else if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i] as u32, chars[i + 2] as u32);
+                        assert!(lo <= hi, "bad range in class: {pattern}");
+                        set.extend((lo..=hi).filter_map(char::from_u32));
+                        i += 3;
+                    } else {
+                        set.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in: {pattern}");
+                i += 1; // consume ']'
+                set
+            }
+            '.' => {
+                i += 1;
+                PRINTABLE.map(|b| b as char).collect()
+            }
+            '\\' if i + 1 < chars.len() => {
+                i += 2;
+                vec![chars[i - 1]]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .map(|p| p + i)
+                        .unwrap_or_else(|| panic!("unterminated quantifier in: {pattern}"));
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((m, n)) => (
+                            m.trim().parse().expect("quantifier min"),
+                            n.trim().parse().expect("quantifier max"),
+                        ),
+                        None => {
+                            let n: usize = body.trim().parse().expect("quantifier count");
+                            (n, n)
+                        }
+                    }
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "bad quantifier in: {pattern}");
+        atoms.push(Atom {
+            chars: set,
+            min,
+            max,
+        });
+    }
+    atoms
+}
+
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for atom in parse(pattern) {
+        let count = atom.min + rng.below(atom.max - atom.min + 1);
+        for _ in 0..count {
+            out.push(atom.chars[rng.below(atom.chars.len())]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_range_and_literal() {
+        let mut rng = TestRng::for_test("class_with_range_and_literal");
+        for _ in 0..100 {
+            let s = generate("[a-z][a-z0-9-]{0,6}", &mut rng);
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase(), "bad start: {s}");
+            assert!(s.len() <= 7, "too long: {s}");
+            for c in cs {
+                assert!(
+                    c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-',
+                    "bad char in: {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dot_class_is_printable() {
+        let mut rng = TestRng::for_test("dot_class_is_printable");
+        for _ in 0..20 {
+            let s = generate(".{0,200}", &mut rng);
+            assert!(s.len() <= 200);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn exact_count_and_mixed_literals() {
+        let mut rng = TestRng::for_test("exact_count_and_mixed_literals");
+        let s = generate("ab[0-9]{3}", &mut rng);
+        assert_eq!(s.len(), 5);
+        assert!(s.starts_with("ab"));
+        assert!(s[2..].chars().all(|c| c.is_ascii_digit()));
+    }
+}

@@ -1,0 +1,50 @@
+//! `prop::sample::select` — uniform choice from a fixed set of values.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+pub trait SelectInput<T> {
+    fn into_options(self) -> Vec<T>;
+}
+
+impl<T: Clone> SelectInput<T> for Vec<T> {
+    fn into_options(self) -> Vec<T> {
+        self
+    }
+}
+
+impl<T: Clone> SelectInput<T> for &[T] {
+    fn into_options(self) -> Vec<T> {
+        self.to_vec()
+    }
+}
+
+impl<T: Clone, const N: usize> SelectInput<T> for &[T; N] {
+    fn into_options(self) -> Vec<T> {
+        self.to_vec()
+    }
+}
+
+impl<T: Clone, const N: usize> SelectInput<T> for [T; N] {
+    fn into_options(self) -> Vec<T> {
+        self.to_vec()
+    }
+}
+
+pub fn select<T: Clone + 'static>(options: impl SelectInput<T>) -> Select<T> {
+    let options = options.into_options();
+    assert!(!options.is_empty(), "select requires at least one option");
+    Select { options }
+}
+
+#[derive(Clone, Debug)]
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+impl<T: Clone + 'static> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.options[rng.below(self.options.len())].clone()
+    }
+}

@@ -1,0 +1,134 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no network access, so the real crates.io `rand`
+//! cannot be fetched. This vendored stub implements exactly the surface the
+//! workspace uses — `StdRng::seed_from_u64` plus `Rng::gen_range` over
+//! half-open and inclusive integer ranges — on top of a SplitMix64 generator.
+//! Workloads only need determinism-per-seed, not any particular stream, so a
+//! different stream from upstream `rand` is fine.
+
+/// Range forms that `gen_range` can sample a `T` from, given one 64-bit
+/// draw. `T` is a trait parameter (not an associated type) so that call-site
+/// inference flows backwards from the use of the result, exactly as with
+/// upstream rand's `SampleRange`.
+pub trait SampleRange<T> {
+    fn sample(self, draw: u64) -> T;
+}
+
+/// Integer types samplable from a single 64-bit draw. The two blanket
+/// `SampleRange` impls below are the only ones for `Range`/`RangeInclusive`,
+/// so type inference unifies `T` with the range's element type and flows
+/// outward from the call site, as with upstream rand.
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_half_open(lo: Self, hi: Self, draw: u64) -> Self;
+    fn sample_inclusive(lo: Self, hi: Self, draw: u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(lo: $t, hi: $t, draw: u64) -> $t {
+                assert!(lo < hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                (lo as i128 + (draw as u128 % span) as i128) as $t
+            }
+            fn sample_inclusive(lo: $t, hi: $t, draw: u64) -> $t {
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (draw as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample(self, draw: u64) -> T {
+        T::sample_half_open(self.start, self.end, draw)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample(self, draw: u64) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_inclusive(lo, hi, draw)
+    }
+}
+
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let draw = self.next_u64();
+        range.sample(draw)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub mod rngs {
+    /// Deterministic SplitMix64 generator (Steele, Lea, Flood 2014). Small,
+    /// fast, passes BigCrush for this use (workload synthesis).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(2..=64);
+            assert!((2..=64).contains(&x));
+            let y = rng.gen_range(0..4usize);
+            assert!(y < 4);
+            let z = rng.gen_range(-10i64..10);
+            assert!((-10..10).contains(&z));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}
