@@ -111,13 +111,55 @@ const MICRO: &[(&str, &str)] = &[
     ),
 ];
 
-/// `paper_tables -- bench-json` — writes `BENCH_1.json`: medians for the E1
-/// calculus sweep and the engine micro-benches, each run through both the
-/// lowered program (`Engine::evaluate`) and the reference tree walker
+/// Axis-heavy micro-benches over a generated document: descendant name
+/// lookups, attribute-equality predicates, deep ancestor chains, and
+/// dedup/doc-order-sort pressure — the paths the structural indexes serve.
+const AXIS_MICRO: &[(&str, &str)] = &[
+    ("axis_descendant_name", "count(//item)"),
+    ("axis_attr_eq_probe", "count(/root/item[@k = \"k7\"])"),
+    (
+        "axis_attr_eq_list",
+        "count(/root/item[@k = (\"k3\", \"k11\", \"k40\")])",
+    ),
+    ("axis_deep_ancestor", "count(//leaf/ancestor::d)"),
+    ("dedup_doc_order_union", "count(//item | //sub/..)"),
+    (
+        "order_by_large_seq",
+        "count(for $i in //item order by string($i/@k) descending, $i/@g return $i)",
+    ),
+];
+
+/// Document backing [`AXIS_MICRO`]: a wide fan-out of attributed `item`
+/// elements plus one 200-deep `d` chain ending in a marked `leaf`.
+fn axis_bench_doc() -> String {
+    let mut s = String::from("<root>");
+    for i in 0..2000 {
+        s.push_str(&format!(
+            "<item k='k{}' g='g{}'><sub/></item>",
+            i % 50,
+            i % 7
+        ));
+    }
+    for _ in 0..200 {
+        s.push_str("<d>");
+    }
+    s.push_str("<leaf mark='x'/>");
+    for _ in 0..200 {
+        s.push_str("</d>");
+    }
+    s.push_str("</root>");
+    s
+}
+
+/// `paper_tables -- bench-json` — writes `BENCH_2.json`: medians for the E1
+/// calculus sweep and the engine micro-benches (same protocol and units as
+/// the committed `BENCH_1.json`), plus the axis/dedup/doc-order micro-benches
+/// added with the structural indexes, each run through both the lowered
+/// program (`Engine::evaluate`) and the reference tree walker
 /// (`Engine::evaluate_reference`), so future PRs have a trajectory to
 /// compare against.
 fn bench_json() {
-    header("bench-json — writing BENCH_1.json (medians, milliseconds)");
+    header("bench-json — writing BENCH_2.json (medians, milliseconds)");
     const REPS: usize = 5;
     let mut out =
         String::from("{\n  \"units\": \"milliseconds, median of 5 runs after 1 warm-up\",\n");
@@ -166,9 +208,28 @@ fn bench_json() {
             "    {{\"name\": \"{name}\", \"lowered_ms\": {lowered_ms:.4}, \"reference_walker_ms\": {reference_ms:.4}}}{comma}\n"
         ));
     }
+    out.push_str("  ],\n  \"axis_micro\": [\n");
+    let mut engine = Engine::new();
+    let doc = engine
+        .load_document(&axis_bench_doc())
+        .expect("axis bench document");
+    for (idx, (name, src)) in AXIS_MICRO.iter().enumerate() {
+        let compiled = engine.compile(src).unwrap();
+        let lowered_ms = measure(REPS, || {
+            engine.evaluate(&compiled, Some(doc)).unwrap();
+        });
+        let reference_ms = measure(REPS, || {
+            engine.evaluate_reference(&compiled, Some(doc)).unwrap();
+        });
+        println!("  axis {name}: lowered {lowered_ms:.3} ms, reference {reference_ms:.3} ms");
+        let comma = if idx + 1 < AXIS_MICRO.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"lowered_ms\": {lowered_ms:.4}, \"reference_walker_ms\": {reference_ms:.4}}}{comma}\n"
+        ));
+    }
     out.push_str("  ]\n}\n");
-    std::fs::write("BENCH_1.json", &out).expect("writing BENCH_1.json");
-    println!("  wrote BENCH_1.json");
+    std::fs::write("BENCH_2.json", &out).expect("writing BENCH_2.json");
+    println!("  wrote BENCH_2.json");
 }
 
 fn header(title: &str) {

@@ -191,7 +191,7 @@ impl XqGenerator {
             .engine
             .store()
             .name(node)
-            .is_some_and(|q| q.to_string() == "gen-error")
+            .is_some_and(|q| q.display_is("gen-error"))
         {
             let message = self
                 .engine

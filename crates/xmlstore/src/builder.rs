@@ -15,6 +15,7 @@
 
 use crate::qname::QName;
 use crate::store::{NodeId, Store};
+use std::sync::Arc;
 
 /// Starts building a detached element named `name` in `store`.
 pub fn build<'a>(store: &'a mut Store, name: impl Into<QName>) -> ElementBuilder<'a> {
@@ -30,7 +31,7 @@ pub struct ElementBuilder<'a> {
 
 impl ElementBuilder<'_> {
     /// Sets an attribute.
-    pub fn attr(self, name: impl Into<QName>, value: impl Into<String>) -> Self {
+    pub fn attr(self, name: impl Into<QName>, value: impl Into<Arc<str>>) -> Self {
         self.store
             .set_attribute(self.el, name, value)
             .expect("builder target is an element");
@@ -38,8 +39,8 @@ impl ElementBuilder<'_> {
     }
 
     /// Appends a text child.
-    pub fn text(self, text: impl Into<String>) -> Self {
-        let t = text.into();
+    pub fn text(self, text: impl Into<Arc<str>>) -> Self {
+        let t: Arc<str> = text.into();
         if !t.is_empty() {
             let node = self.store.create_text(t);
             self.store
@@ -50,7 +51,7 @@ impl ElementBuilder<'_> {
     }
 
     /// Appends a comment child.
-    pub fn comment(self, text: impl Into<String>) -> Self {
+    pub fn comment(self, text: impl Into<Arc<str>>) -> Self {
         let node = self.store.create_comment(text);
         self.store
             .append_child(self.el, node)

@@ -37,7 +37,7 @@ pub mod sym;
 
 pub use error::{XmlError, XmlErrorKind};
 pub use qname::QName;
-pub use store::{NodeId, NodeKind, Store};
+pub use store::{Descendants, NodeId, NodeKind, OrderKey, Store};
 pub use sym::{intern, Sym};
 
 #[cfg(test)]

@@ -528,8 +528,8 @@ mod tests {
         assert_eq!(
             kinds,
             vec![
-                NodeKind::Comment(" in ".to_string()),
-                NodeKind::Pi("target".to_string(), "data".to_string())
+                NodeKind::Comment(" in ".into()),
+                NodeKind::Pi("target".into(), "data".into())
             ]
         );
         assert!(matches!(s.kind(s.children(doc)[0]), NodeKind::Comment(_)));

@@ -140,4 +140,127 @@ proptest! {
         prop_assert_ne!(el, copy);
         prop_assert_eq!(s.to_xml(el), s.to_xml(copy));
     }
+
+    /// The pre/post-indexed doc_order agrees with the walk-based reference
+    /// on every node pair — attributes included — both on the fresh tree and
+    /// again after a random structural or value mutation.
+    #[test]
+    fn indexed_order_matches_walk_under_mutation(spec in tree_strategy(), pick in any::<u8>(), mode in 0u8..3) {
+        let spec = root_element(spec);
+        let mut s = Store::new();
+        let el = build(&mut s, &spec);
+        assert_index_matches_walk(&s, el)?;
+
+        let movable: Vec<NodeId> = s
+            .descendants(el)
+            .into_iter()
+            .filter(|&n| !s.is_attribute(n))
+            .collect();
+        let elements: Vec<NodeId> = std::iter::once(el)
+            .chain(s.descendants(el))
+            .filter(|&n| s.is_element(n))
+            .collect();
+        match mode {
+            // Detach a subtree and re-append it at the end of the root.
+            0 if !movable.is_empty() => {
+                let n = movable[pick as usize % movable.len()];
+                s.detach(n);
+                s.append_child(el, n).unwrap();
+            }
+            // Overwrite (or add) an attribute value: numbering must survive.
+            1 => {
+                let target = elements[pick as usize % elements.len()];
+                s.set_attribute(target, "mut", "ated").unwrap();
+            }
+            // Grow the tree under a random element.
+            2 => {
+                let target = elements[pick as usize % elements.len()];
+                let t = s.create_text("new");
+                s.append_child(target, t).unwrap();
+            }
+            _ => {}
+        }
+        assert_index_matches_walk(&s, el)?;
+    }
+
+    /// The lazily built attribute-value index returns exactly the elements a
+    /// subtree scan finds, and follows value overwrites.
+    #[test]
+    fn attr_value_index_matches_scan(spec in tree_strategy(), overwrite in any::<bool>()) {
+        let spec = root_element(spec);
+        let mut s = Store::new();
+        let el = build(&mut s, &spec);
+        let pairs = attr_pairs(&s, el);
+        for (local, value) in &pairs {
+            prop_assert_eq!(
+                s.elements_with_attr_value(el, crate::sym::intern(local), value),
+                scan_attr_value(&s, el, local, value)
+            );
+        }
+        if overwrite {
+            if let Some((local, old)) = pairs.first().cloned() {
+                let owner = scan_attr_value(&s, el, &local, &old)[0];
+                s.set_attribute(owner, local.as_str(), "rewritten").unwrap();
+                let sym = crate::sym::intern(&local);
+                prop_assert_eq!(
+                    s.elements_with_attr_value(el, sym, &old),
+                    scan_attr_value(&s, el, &local, &old)
+                );
+                prop_assert_eq!(
+                    s.elements_with_attr_value(el, sym, "rewritten"),
+                    scan_attr_value(&s, el, &local, "rewritten")
+                );
+            }
+        }
+    }
+}
+
+/// Every (attribute local name, value) pair present below `el` — the
+/// descendant axis skips attribute nodes, so they are collected per element.
+fn attr_pairs(s: &Store, el: NodeId) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for n in s.descendants(el) {
+        for &a in s.attributes(n) {
+            if let crate::store::NodeKind::Attribute(q, v) = s.kind(a) {
+                out.push((q.local().to_string(), v.to_string()));
+            }
+        }
+    }
+    out
+}
+
+/// Reference for `elements_with_attr_value`: a plain subtree scan matching
+/// by attribute local name and exact value, strictly below `el`.
+fn scan_attr_value(s: &Store, el: NodeId, local: &str, value: &str) -> Vec<NodeId> {
+    s.descendants(el)
+        .into_iter()
+        .filter(|&n| {
+            s.is_element(n)
+                && s.attributes(n).iter().any(|&a| {
+                    matches!(s.kind(a), crate::store::NodeKind::Attribute(q, v)
+                        if q.local() == local && **v == *value)
+                })
+        })
+        .collect()
+}
+
+/// All-pairs agreement between the indexed `doc_order` and the pre-index
+/// walk, over elements, texts, and attributes of the tree at `el`.
+fn assert_index_matches_walk(
+    s: &Store,
+    el: NodeId,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let mut nodes = vec![el];
+    for n in std::iter::once(el).chain(s.descendants(el)) {
+        nodes.extend_from_slice(s.attributes(n));
+        if n != el {
+            nodes.push(n);
+        }
+    }
+    for &a in &nodes {
+        for &b in &nodes {
+            prop_assert_eq!(s.doc_order(a, b), s.doc_order_by_walk(a, b));
+        }
+    }
+    Ok(())
 }

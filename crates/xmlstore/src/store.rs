@@ -10,9 +10,26 @@
 //! never reclaims slots. Evaluations are short-lived and the simplicity buys
 //! stable `NodeId`s, which the XQuery engine and the document generators both
 //! rely on.
+//!
+//! ## Structural index
+//!
+//! Document order and the descendant axis are answered from a lazily built
+//! per-tree index: a pre/post numbering (one DFS counter, entry and exit)
+//! plus a name → nodes map per tree. `a` is an ancestor of `b` iff
+//! `pre(a) < pre(b) && post(b) < post(a)`, and document order is just the
+//! `pre` comparison — both O(1) once a tree is numbered, where the previous
+//! implementation re-walked parent chains with linear sibling-position scans
+//! on every comparison. Structural mutations drop the owning tree's index;
+//! the next order query renumbers that tree in one pass. Value-only edits
+//! (attribute overwrite, `set_text`) keep the index. The walk-based
+//! comparison survives as [`Store::doc_order_by_walk`], the reference
+//! implementation the property tests check the index against.
 
 use crate::error::XmlError;
 use crate::qname::QName;
+use crate::sym::Sym;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Index of a node within its [`Store`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -26,6 +43,10 @@ impl NodeId {
 
 /// The seven kinds of node the store models (XQuery's document, element,
 /// attribute, text, comment, and processing-instruction nodes).
+///
+/// String payloads are `Arc<str>`: taking a node's string value, deep-copying
+/// a subtree, and atomizing a node for comparison are all refcount bumps, not
+/// `String` clones (the same treatment `Atomic::Str` got in the value model).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NodeKind {
     /// A document root. Children are elements/text/comments/PIs.
@@ -36,13 +57,13 @@ pub enum NodeKind {
     /// An attribute: a name mapped to a string value. "Logically, it is
     /// nothing more than a mapping of a single string name to a single
     /// string value. Illogically, it caused us a great deal of trouble."
-    Attribute(QName, String),
+    Attribute(QName, Arc<str>),
     /// A text node.
-    Text(String),
+    Text(Arc<str>),
     /// A comment.
-    Comment(String),
+    Comment(Arc<str>),
     /// A processing instruction: target and data.
-    Pi(String, String),
+    Pi(Arc<str>, Arc<str>),
 }
 
 #[derive(Debug, Clone)]
@@ -68,10 +89,90 @@ impl NodeData {
     }
 }
 
+/// One node's slot in the structural index. Valid only while the owning
+/// tree's stamp (in `StoreIndex::trees`) still equals `stamp`.
+#[derive(Debug, Clone, Copy)]
+struct OrdEntry {
+    /// DFS entry rank within the tree (attributes numbered right after their
+    /// element, before its children — the data-model attribute position).
+    pre: u32,
+    /// DFS exit rank; the subtree of `n` is exactly the ids with
+    /// `pre(n) < pre && post < post(n)`.
+    post: u32,
+    /// Distance from the tree root.
+    depth: u32,
+    /// Root of the tree this numbering belongs to.
+    root: NodeId,
+    /// Numbering pass that wrote this entry; 0 = never numbered.
+    stamp: u64,
+}
+
+impl Default for OrdEntry {
+    fn default() -> Self {
+        OrdEntry {
+            pre: 0,
+            post: 0,
+            depth: 0,
+            root: NodeId(0),
+            stamp: 0,
+        }
+    }
+}
+
+/// Per-tree name index, rebuilt together with the numbering. The vectors are
+/// in `pre` order by construction, so a descendant lookup is a binary search
+/// for the scope's interval.
+#[derive(Debug, Clone, Default)]
+struct TreeIndex {
+    stamp: u64,
+    elements_by_local: HashMap<Sym, Vec<NodeId>>,
+    attributes_by_local: HashMap<Sym, Vec<NodeId>>,
+    /// Per attribute name, exact string value → owner elements in `pre`
+    /// order. Built lazily per name on first lookup (from
+    /// `attributes_by_local`), and cleared — numbering kept — on
+    /// attribute-value overwrites.
+    attr_values: HashMap<Sym, HashMap<Arc<str>, Vec<NodeId>>>,
+}
+
+/// The store-wide lazy index: a parallel entry table plus the set of trees
+/// with a currently valid numbering. Stamps are globally unique per
+/// numbering pass, so a stale entry can never validate against a newer pass.
+#[derive(Debug, Default)]
+struct StoreIndex {
+    entries: Vec<OrdEntry>,
+    trees: HashMap<NodeId, TreeIndex>,
+    next_stamp: u64,
+}
+
+impl StoreIndex {
+    fn entry_if_current(&self, id: NodeId) -> Option<OrdEntry> {
+        let e = *self.entries.get(id.index())?;
+        if e.stamp != 0 && self.trees.get(&e.root).is_some_and(|t| t.stamp == e.stamp) {
+            Some(e)
+        } else {
+            None
+        }
+    }
+}
+
 /// An arena of XML nodes. See the module docs.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default)]
 pub struct Store {
     nodes: Vec<NodeData>,
+    /// Lazily built structural index; a `Mutex` (not `RefCell`) so shared
+    /// stores stay `Sync` — compiled stylesheets holding a store are handed
+    /// to big-stack worker threads by reference.
+    index: Mutex<StoreIndex>,
+}
+
+impl Clone for Store {
+    fn clone(&self) -> Self {
+        // The index is a cache: the clone starts cold and renumbers on demand.
+        Store {
+            nodes: self.nodes.clone(),
+            index: Mutex::new(StoreIndex::default()),
+        }
+    }
 }
 
 impl Store {
@@ -119,7 +220,11 @@ impl Store {
     }
 
     /// Creates a detached attribute node.
-    pub fn create_attribute(&mut self, name: impl Into<QName>, value: impl Into<String>) -> NodeId {
+    pub fn create_attribute(
+        &mut self,
+        name: impl Into<QName>,
+        value: impl Into<Arc<str>>,
+    ) -> NodeId {
         self.alloc(NodeData::new(NodeKind::Attribute(
             name.into(),
             value.into(),
@@ -127,17 +232,17 @@ impl Store {
     }
 
     /// Creates a detached text node.
-    pub fn create_text(&mut self, text: impl Into<String>) -> NodeId {
+    pub fn create_text(&mut self, text: impl Into<Arc<str>>) -> NodeId {
         self.alloc(NodeData::new(NodeKind::Text(text.into())))
     }
 
     /// Creates a detached comment node.
-    pub fn create_comment(&mut self, text: impl Into<String>) -> NodeId {
+    pub fn create_comment(&mut self, text: impl Into<Arc<str>>) -> NodeId {
         self.alloc(NodeData::new(NodeKind::Comment(text.into())))
     }
 
     /// Creates a detached processing-instruction node.
-    pub fn create_pi(&mut self, target: impl Into<String>, data: impl Into<String>) -> NodeId {
+    pub fn create_pi(&mut self, target: impl Into<Arc<str>>, data: impl Into<Arc<str>>) -> NodeId {
         self.alloc(NodeData::new(NodeKind::Pi(target.into(), data.into())))
     }
 
@@ -206,7 +311,7 @@ impl Store {
         self.attributes(el)
             .iter()
             .find_map(|&a| match &self.node(a).kind {
-                NodeKind::Attribute(n, v) if n.display_is(name) => Some(v.as_str()),
+                NodeKind::Attribute(n, v) if n.display_is(name) => Some(&v[..]),
                 _ => None,
             })
     }
@@ -217,7 +322,7 @@ impl Store {
         self.attributes(el)
             .iter()
             .find_map(|&a| match &self.node(a).kind {
-                NodeKind::Attribute(n, v) if *n == name => Some(v.as_str()),
+                NodeKind::Attribute(n, v) if *n == name => Some(&v[..]),
                 _ => None,
             })
     }
@@ -236,11 +341,23 @@ impl Store {
     /// The XPath *string value*: concatenated descendant text for
     /// documents/elements; the literal content for the other kinds.
     pub fn string_value(&self, id: NodeId) -> String {
+        self.string_value_arc(id).to_string()
+    }
+
+    /// [`Store::string_value`] without the copy: leaf kinds hand back their
+    /// shared payload (a refcount bump); containers with a single text child
+    /// share that child's payload; only mixed content allocates.
+    pub fn string_value_arc(&self, id: NodeId) -> Arc<str> {
         match &self.node(id).kind {
             NodeKind::Document | NodeKind::Element(_) => {
+                if let [only] = self.children(id)[..] {
+                    if let NodeKind::Text(t) = &self.node(only).kind {
+                        return t.clone();
+                    }
+                }
                 let mut out = String::new();
                 self.collect_text(id, &mut out);
-                out
+                out.into()
             }
             NodeKind::Attribute(_, v) => v.clone(),
             NodeKind::Text(t) | NodeKind::Comment(t) => t.clone(),
@@ -249,11 +366,9 @@ impl Store {
     }
 
     fn collect_text(&self, id: NodeId, out: &mut String) {
-        for &c in self.children(id) {
-            match &self.node(c).kind {
-                NodeKind::Text(t) => out.push_str(t),
-                NodeKind::Element(_) => self.collect_text(c, out),
-                _ => {}
+        for n in self.descendants_iter(id) {
+            if let NodeKind::Text(t) = &self.node(n).kind {
+                out.push_str(t);
             }
         }
     }
@@ -318,6 +433,35 @@ impl Store {
         false
     }
 
+    /// Drops the cached numbering for the tree containing `id` (and, for a
+    /// detached node being attached, its own old tree). Called by every
+    /// structural mutation; value-only edits skip it.
+    fn invalidate_tree_of(&mut self, id: NodeId) {
+        let root = self.root(id);
+        self.index
+            .get_mut()
+            .unwrap_or_else(|e| e.into_inner())
+            .trees
+            .remove(&root);
+    }
+
+    /// Drops only the attribute-value maps of the tree containing `id`,
+    /// keeping its numbering and name vectors. Called when an attribute's
+    /// value is overwritten in place: document order is unaffected, but any
+    /// cached value → owners map is now stale.
+    fn invalidate_attr_values_of(&mut self, id: NodeId) {
+        let root = self.root(id);
+        if let Some(tree) = self
+            .index
+            .get_mut()
+            .unwrap_or_else(|e| e.into_inner())
+            .trees
+            .get_mut(&root)
+        {
+            tree.attr_values.clear();
+        }
+    }
+
     /// Appends a detached non-attribute node as the last child of `parent`.
     pub fn append_child(&mut self, parent: NodeId, child: NodeId) -> Result<(), XmlError> {
         let pos = self.node(parent).children.len();
@@ -345,6 +489,8 @@ impl Store {
         if index > len {
             return Err(XmlError::structural("child index out of bounds"));
         }
+        self.invalidate_tree_of(parent);
+        self.invalidate_tree_of(child);
         self.node_mut(parent).children.insert(index, child);
         self.node_mut(child).parent = Some(parent);
         Ok(())
@@ -354,6 +500,7 @@ impl Store {
     /// already detached.
     pub fn detach(&mut self, id: NodeId) {
         if let Some(parent) = self.node(id).parent {
+            self.invalidate_tree_of(id);
             let p = self.node_mut(parent);
             p.children.retain(|&c| c != id);
             p.attributes.retain(|&a| a != id);
@@ -383,6 +530,8 @@ impl Store {
             .iter()
             .position(|&c| c == old)
             .ok_or_else(|| XmlError::structural("corrupt parent/child link"))?;
+        self.invalidate_tree_of(old);
+        self.invalidate_tree_of(new);
         self.node_mut(parent).children[pos] = new;
         self.node_mut(new).parent = Some(parent);
         self.node_mut(old).parent = None;
@@ -395,7 +544,7 @@ impl Store {
         &mut self,
         el: NodeId,
         name: impl Into<QName>,
-        value: impl Into<String>,
+        value: impl Into<Arc<str>>,
     ) -> Result<NodeId, XmlError> {
         let name = name.into();
         let value = value.into();
@@ -410,11 +559,15 @@ impl Store {
             .copied()
             .find(|&a| matches!(&self.node(a).kind, NodeKind::Attribute(n, _) if *n == name));
         if let Some(attr) = existing {
+            // Value-only overwrite: order and names unchanged, so the
+            // numbering stays — only the value → owners maps go stale.
             if let NodeKind::Attribute(_, v) = &mut self.node_mut(attr).kind {
                 *v = value;
             }
+            self.invalidate_attr_values_of(el);
             Ok(attr)
         } else {
+            self.invalidate_tree_of(el);
             let attr = self.create_attribute(name, value);
             self.node_mut(attr).parent = Some(el);
             self.node_mut(el).attributes.push(attr);
@@ -447,6 +600,8 @@ impl Store {
         {
             return Err(XmlError::structural(format!("duplicate attribute {name}")));
         }
+        self.invalidate_tree_of(el);
+        self.invalidate_tree_of(attr);
         self.node_mut(attr).parent = Some(el);
         self.node_mut(el).attributes.push(attr);
         Ok(())
@@ -467,6 +622,8 @@ impl Store {
         if !self.is_attribute(attr) {
             return Err(XmlError::structural("argument is not an attribute node"));
         }
+        self.invalidate_tree_of(el);
+        self.invalidate_tree_of(attr);
         self.node_mut(attr).parent = Some(el);
         self.node_mut(el).attributes.push(attr);
         Ok(())
@@ -480,8 +637,9 @@ impl Store {
         Some(attr)
     }
 
-    /// Overwrites the content of a text/comment node.
-    pub fn set_text(&mut self, id: NodeId, text: impl Into<String>) -> Result<(), XmlError> {
+    /// Overwrites the content of a text/comment node. Value-only: the
+    /// structural index is untouched.
+    pub fn set_text(&mut self, id: NodeId, text: impl Into<Arc<str>>) -> Result<(), XmlError> {
         match &mut self.node_mut(id).kind {
             NodeKind::Text(t) | NodeKind::Comment(t) => {
                 *t = text.into();
@@ -493,14 +651,18 @@ impl Store {
         }
     }
 
-    /// Renames an element.
+    /// Renames an element. Invalidates the name index of its tree.
     pub fn set_name(&mut self, id: NodeId, name: impl Into<QName>) -> Result<(), XmlError> {
+        if !self.is_element(id) {
+            return Err(XmlError::structural("set_name target is not an element"));
+        }
+        self.invalidate_tree_of(id);
         match &mut self.node_mut(id).kind {
             NodeKind::Element(n) => {
                 *n = name.into();
                 Ok(())
             }
-            _ => Err(XmlError::structural("set_name target is not an element")),
+            _ => unreachable!("checked above"),
         }
     }
 
@@ -509,12 +671,12 @@ impl Store {
     /// apart and shove Table 1's HTML bodily into the gap" primitive of the
     /// paper's phrase-replacement task.
     pub fn split_text(&mut self, id: NodeId, at: usize) -> Result<NodeId, XmlError> {
-        let (head, tail) = match &self.node(id).kind {
+        let (head, tail): (Arc<str>, Arc<str>) = match &self.node(id).kind {
             NodeKind::Text(t) => {
                 if !t.is_char_boundary(at) || at > t.len() {
                     return Err(XmlError::structural("split offset is not a char boundary"));
                 }
-                (t[..at].to_string(), t[at..].to_string())
+                (t[..at].into(), t[at..].into())
             }
             _ => return Err(XmlError::structural("split_text target is not a text node")),
         };
@@ -522,6 +684,7 @@ impl Store {
             .node(id)
             .parent
             .ok_or_else(|| XmlError::structural("split_text on a detached node"))?;
+        self.invalidate_tree_of(id);
         if let NodeKind::Text(t) = &mut self.node_mut(id).kind {
             *t = head;
         }
@@ -544,7 +707,8 @@ impl Store {
     /// Deep-copies the subtree at `id` into a detached tree in the same
     /// store; returns the new root. Attribute nodes are copied detached when
     /// `id` is itself an attribute. This is the copy semantics of XQuery's
-    /// node constructors.
+    /// node constructors. The copy is a fresh tree, so the source tree's
+    /// index stays valid.
     pub fn deep_copy(&mut self, id: NodeId) -> NodeId {
         let kind = self.node(id).kind.clone();
         let copy = self.alloc(NodeData::new(kind));
@@ -564,7 +728,7 @@ impl Store {
     }
 
     // ------------------------------------------------------------------
-    // Traversal and order
+    // Traversal
     // ------------------------------------------------------------------
 
     /// The root of the tree containing `id` (the node with no parent).
@@ -590,14 +754,282 @@ impl Store {
     /// Descendant nodes of `id` in document order (excluding `id` and
     /// excluding attribute nodes, per the XPath descendant axis).
     pub fn descendants(&self, id: NodeId) -> Vec<NodeId> {
-        let mut out = Vec::new();
-        let mut stack: Vec<NodeId> = self.children(id).iter().rev().copied().collect();
-        while let Some(n) = stack.pop() {
-            out.push(n);
-            stack.extend(self.children(n).iter().rev().copied());
-        }
-        out
+        self.descendants_iter(id).collect()
     }
+
+    /// Iterator form of [`Store::descendants`]: same nodes, same order, no
+    /// intermediate `Vec`.
+    pub fn descendants_iter(&self, id: NodeId) -> Descendants<'_> {
+        Descendants {
+            store: self,
+            stack: self.children(id).iter().rev().copied().collect(),
+        }
+    }
+
+    /// Finds, in document order, the first text node under `scope` whose
+    /// content contains `needle`; returns the node and the byte offset.
+    /// Powers the `TABLE-1-GOES-HERE` replacement experiment.
+    pub fn find_text(&self, scope: NodeId, needle: &str) -> Option<(NodeId, usize)> {
+        if let NodeKind::Text(t) = &self.node(scope).kind {
+            if let Some(pos) = t.find(needle) {
+                return Some((scope, pos));
+            }
+        }
+        for n in self.descendants_iter(scope) {
+            if let NodeKind::Text(t) = &self.node(n).kind {
+                if let Some(pos) = t.find(needle) {
+                    return Some((n, pos));
+                }
+            }
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Document order (indexed)
+    // ------------------------------------------------------------------
+
+    fn index(&self) -> MutexGuard<'_, StoreIndex> {
+        self.index.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Returns the current entry for `id`, renumbering its tree first if the
+    /// cached numbering is missing or stale.
+    fn ensure_entry(&self, ix: &mut StoreIndex, id: NodeId) -> OrdEntry {
+        if let Some(e) = ix.entry_if_current(id) {
+            return e;
+        }
+        let root = self.root(id);
+        self.reindex_tree(ix, root);
+        ix.entries[id.index()]
+    }
+
+    /// One DFS over the tree at `root`: assigns pre/post/depth to every node
+    /// (attributes immediately after their element) and rebuilds the tree's
+    /// name index, all under a fresh stamp.
+    fn reindex_tree(&self, ix: &mut StoreIndex, root: NodeId) {
+        ix.next_stamp += 1;
+        let stamp = ix.next_stamp;
+        if ix.entries.len() < self.nodes.len() {
+            ix.entries.resize(self.nodes.len(), OrdEntry::default());
+        }
+        let mut tree = TreeIndex {
+            stamp,
+            ..TreeIndex::default()
+        };
+        let mut counter: u32 = 0;
+        enum Visit {
+            Enter(NodeId, u32),
+            Exit(NodeId),
+        }
+        let mut stack = vec![Visit::Enter(root, 0)];
+        while let Some(v) = stack.pop() {
+            match v {
+                Visit::Enter(n, depth) => {
+                    counter += 1;
+                    ix.entries[n.index()] = OrdEntry {
+                        pre: counter,
+                        post: 0,
+                        depth,
+                        root,
+                        stamp,
+                    };
+                    if let NodeKind::Element(q) = &self.node(n).kind {
+                        tree.elements_by_local
+                            .entry(q.local_sym())
+                            .or_default()
+                            .push(n);
+                    }
+                    for &a in &self.node(n).attributes {
+                        counter += 1;
+                        ix.entries[a.index()] = OrdEntry {
+                            pre: counter,
+                            post: counter,
+                            depth: depth + 1,
+                            root,
+                            stamp,
+                        };
+                        if let NodeKind::Attribute(q, _) = &self.node(a).kind {
+                            tree.attributes_by_local
+                                .entry(q.local_sym())
+                                .or_default()
+                                .push(a);
+                        }
+                    }
+                    stack.push(Visit::Exit(n));
+                    for &c in self.node(n).children.iter().rev() {
+                        stack.push(Visit::Enter(c, depth + 1));
+                    }
+                }
+                Visit::Exit(n) => {
+                    counter += 1;
+                    ix.entries[n.index()].post = counter;
+                }
+            }
+        }
+        ix.trees.insert(root, tree);
+    }
+
+    /// Document-order comparison of two nodes **in the same tree**.
+    /// Ancestors precede descendants; attributes follow their element but
+    /// precede its children. Returns `None` for nodes in different trees.
+    /// O(1) once the tree is numbered.
+    pub fn doc_order(&self, a: NodeId, b: NodeId) -> Option<std::cmp::Ordering> {
+        if a == b {
+            return Some(std::cmp::Ordering::Equal);
+        }
+        let mut ix = self.index();
+        let ea = self.ensure_entry(&mut ix, a);
+        let eb = self.ensure_entry(&mut ix, b);
+        if ea.root != eb.root {
+            return None;
+        }
+        Some(ea.pre.cmp(&eb.pre))
+    }
+
+    /// `true` when `a` strictly precedes `b` in document order (same tree).
+    pub fn is_before(&self, a: NodeId, b: NodeId) -> bool {
+        self.doc_order(a, b) == Some(std::cmp::Ordering::Less)
+    }
+
+    /// `true` when `anc` is a proper ancestor of `desc` (same tree): the
+    /// pre/post interval containment test, O(1) once numbered. Attributes
+    /// number inside their element's interval, so an element is an ancestor
+    /// of its attributes.
+    pub fn is_ancestor(&self, anc: NodeId, desc: NodeId) -> bool {
+        if anc == desc {
+            return false;
+        }
+        let mut ix = self.index();
+        let ea = self.ensure_entry(&mut ix, anc);
+        let ed = self.ensure_entry(&mut ix, desc);
+        ea.root == ed.root && ea.pre < ed.pre && ed.post < ea.post
+    }
+
+    /// Distance of `id` from its tree root (root = 0; an attribute is one
+    /// deeper than its element).
+    pub fn depth(&self, id: NodeId) -> u32 {
+        let mut ix = self.index();
+        self.ensure_entry(&mut ix, id).depth
+    }
+
+    /// A totally ordered key for sorting nodes into document order, usable
+    /// across trees (different trees order by root id). Ancestors sort
+    /// before descendants; attributes after their element, before children.
+    pub fn order_key(&self, id: NodeId) -> OrderKey {
+        let mut ix = self.index();
+        let e = self.ensure_entry(&mut ix, id);
+        OrderKey {
+            root: e.root,
+            pre: e.pre,
+        }
+    }
+
+    /// Batch [`Store::order_key`]: one index lock for the whole slice — the
+    /// dedup/doc-order-sort hot path.
+    pub fn order_keys(&self, nodes: &[NodeId]) -> Vec<OrderKey> {
+        let mut ix = self.index();
+        nodes
+            .iter()
+            .map(|&n| {
+                let e = self.ensure_entry(&mut ix, n);
+                OrderKey {
+                    root: e.root,
+                    pre: e.pre,
+                }
+            })
+            .collect()
+    }
+
+    /// Descendant *elements* of `scope` (strictly below it, any depth) whose
+    /// name has local symbol `local`, in document order — a binary-searched
+    /// range of the per-tree name index instead of a subtree walk. Callers
+    /// with a prefixed name test filter the result on the full [`QName`].
+    pub fn descendant_elements_by_local(&self, scope: NodeId, local: Sym) -> Vec<NodeId> {
+        let mut ix = self.index();
+        let e = self.ensure_entry(&mut ix, scope);
+        let Some(named) = ix
+            .trees
+            .get(&e.root)
+            .and_then(|t| t.elements_by_local.get(&local))
+        else {
+            return Vec::new();
+        };
+        Store::interval_slice(named, &ix.entries, e).to_vec()
+    }
+
+    /// Attributes with local symbol `local` on `scope` or any descendant of
+    /// it, in document order (the fused `//@name` lookup: attributes number
+    /// inside their element's interval).
+    pub fn descendant_or_self_attributes_by_local(&self, scope: NodeId, local: Sym) -> Vec<NodeId> {
+        let mut ix = self.index();
+        let e = self.ensure_entry(&mut ix, scope);
+        let Some(named) = ix
+            .trees
+            .get(&e.root)
+            .and_then(|t| t.attributes_by_local.get(&local))
+        else {
+            return Vec::new();
+        };
+        Store::interval_slice(named, &ix.entries, e).to_vec()
+    }
+
+    /// Elements strictly below `scope` carrying an attribute whose name has
+    /// local symbol `local` and whose value is exactly `value`, in document
+    /// order. Backed by a per-tree value map built lazily per attribute
+    /// name, so an equality probe costs a hash lookup plus an interval
+    /// binary search instead of a subtree scan.
+    ///
+    /// The map is keyed by *local* symbol: an owner found through a prefixed
+    /// attribute (`x:id="5"`) is still returned, so callers matching an
+    /// unprefixed test must re-verify the full [`QName`] on the owner.
+    pub fn elements_with_attr_value(&self, scope: NodeId, local: Sym, value: &str) -> Vec<NodeId> {
+        let mut ix = self.index();
+        let scope_entry = self.ensure_entry(&mut ix, scope);
+        let StoreIndex { entries, trees, .. } = &mut *ix;
+        let Some(tree) = trees.get_mut(&scope_entry.root) else {
+            return Vec::new();
+        };
+        let by_value = tree.attr_values.entry(local).or_insert_with(|| {
+            let mut map: HashMap<Arc<str>, Vec<NodeId>> = HashMap::new();
+            // The per-name attribute vector is in pre order, and each
+            // attribute's owner shares its relative position, so the owner
+            // vectors come out pre-ordered too.
+            for &a in tree
+                .attributes_by_local
+                .get(&local)
+                .map(Vec::as_slice)
+                .unwrap_or_default()
+            {
+                if let (NodeKind::Attribute(_, v), Some(owner)) =
+                    (&self.node(a).kind, self.node(a).parent)
+                {
+                    map.entry(v.clone()).or_default().push(owner);
+                }
+            }
+            map
+        });
+        let Some(owners) = by_value.get(value) else {
+            return Vec::new();
+        };
+        Store::interval_slice(owners, entries, scope_entry).to_vec()
+    }
+
+    /// The contiguous run of `named` (pre-ordered, same tree as `scope`)
+    /// falling strictly inside `scope`'s pre/post interval.
+    fn interval_slice<'v>(
+        named: &'v [NodeId],
+        entries: &[OrdEntry],
+        scope: OrdEntry,
+    ) -> &'v [NodeId] {
+        let start = named.partition_point(|&n| entries[n.index()].pre <= scope.pre);
+        let end = start + named[start..].partition_point(|&n| entries[n.index()].pre < scope.post);
+        &named[start..end]
+    }
+
+    // ------------------------------------------------------------------
+    // Document order (walk-based reference)
+    // ------------------------------------------------------------------
 
     /// Position of `id` among its parent's children/attributes, for order
     /// comparison: attributes sort before children of the same element.
@@ -612,10 +1044,10 @@ impl Store {
             .map(|p| (1, p))
     }
 
-    /// Document-order comparison of two nodes **in the same tree**.
-    /// Ancestors precede descendants; attributes follow their element but
-    /// precede its children. Returns `None` for nodes in different trees.
-    pub fn doc_order(&self, a: NodeId, b: NodeId) -> Option<std::cmp::Ordering> {
+    /// The pre-index implementation of [`Store::doc_order`]: walks both
+    /// parent chains and compares sibling ranks. Kept as the reference the
+    /// property tests hold the numbering to; not used on any hot path.
+    pub fn doc_order_by_walk(&self, a: NodeId, b: NodeId) -> Option<std::cmp::Ordering> {
         use std::cmp::Ordering;
         if a == b {
             return Some(Ordering::Equal);
@@ -635,16 +1067,6 @@ impl Store {
         Some(path_a.1.len().cmp(&path_b.1.len()))
     }
 
-    /// A totally ordered key for sorting nodes into document order, usable
-    /// across trees (different trees order by root id). Ancestors sort
-    /// before descendants; attributes after their element, before children.
-    pub fn order_key(&self, id: NodeId) -> OrderKey {
-        let (root, ranks) = self
-            .path_from_root(id)
-            .expect("order_key: node's parent links are corrupt");
-        OrderKey { root, ranks }
-    }
-
     fn path_from_root(&self, id: NodeId) -> Option<(NodeId, Vec<(u8, usize)>)> {
         let mut ranks = Vec::new();
         let mut cur = id;
@@ -655,30 +1077,33 @@ impl Store {
         ranks.reverse();
         Some((cur, ranks))
     }
+}
 
-    /// Finds, in document order, the first text node under `scope` whose
-    /// content contains `needle`; returns the node and the byte offset.
-    /// Powers the `TABLE-1-GOES-HERE` replacement experiment.
-    pub fn find_text(&self, scope: NodeId, needle: &str) -> Option<(NodeId, usize)> {
-        if let NodeKind::Text(t) = &self.node(scope).kind {
-            if let Some(pos) = t.find(needle) {
-                return Some((scope, pos));
-            }
-        }
-        for &c in self.children(scope) {
-            if let Some(hit) = self.find_text(c, needle) {
-                return Some(hit);
-            }
-        }
-        None
+/// Document-order iterator over the descendants of a node (excluding the
+/// node itself and attribute nodes). See [`Store::descendants_iter`].
+#[derive(Debug)]
+pub struct Descendants<'a> {
+    store: &'a Store,
+    stack: Vec<NodeId>,
+}
+
+impl Iterator for Descendants<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let n = self.stack.pop()?;
+        self.stack
+            .extend(self.store.children(n).iter().rev().copied());
+        Some(n)
     }
 }
 
-/// See [`Store::order_key`].
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+/// See [`Store::order_key`]: `(root, pre)` — two machine words, `Copy`,
+/// totally ordered across trees (root id first, then document position).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct OrderKey {
     root: NodeId,
-    ranks: Vec<(u8, usize)>,
+    pre: u32,
 }
 
 #[cfg(test)]
@@ -799,6 +1224,18 @@ mod tests {
     }
 
     #[test]
+    fn string_value_arc_shares_single_text_payload() {
+        let mut s = Store::new();
+        let el = s.create_element("p");
+        let t = s.create_text("only");
+        s.append_child(el, t).unwrap();
+        let via_el = s.string_value_arc(el);
+        let via_t = s.string_value_arc(t);
+        assert!(Arc::ptr_eq(&via_el, &via_t), "single-text fast path shares");
+        assert_eq!(&*via_el, "only");
+    }
+
+    #[test]
     fn split_text_splits() {
         let mut s = Store::new();
         let el = s.create_element("p");
@@ -859,12 +1296,159 @@ mod tests {
     }
 
     #[test]
+    fn doc_order_survives_mutation_between_queries() {
+        let mut s = Store::new();
+        let (_, root, a, b) = small_tree(&mut s);
+        assert_eq!(s.doc_order(a, b), Some(Ordering::Less));
+        // Move a after b: the cached numbering must be dropped and rebuilt.
+        s.detach(a);
+        s.append_child(root, a).unwrap();
+        assert_eq!(s.doc_order(a, b), Some(Ordering::Greater));
+        assert_eq!(s.doc_order(b, a), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn is_ancestor_and_depth() {
+        let mut s = Store::new();
+        let (doc, root, a, b) = small_tree(&mut s);
+        let attr = s.set_attribute(a, "k", "v").unwrap();
+        assert!(s.is_ancestor(doc, a));
+        assert!(s.is_ancestor(root, a));
+        assert!(s.is_ancestor(a, attr), "element contains its attributes");
+        assert!(!s.is_ancestor(a, a), "proper ancestry only");
+        assert!(!s.is_ancestor(a, b));
+        assert!(!s.is_ancestor(a, root));
+        assert_eq!(s.depth(doc), 0);
+        assert_eq!(s.depth(root), 1);
+        assert_eq!(s.depth(a), 2);
+        assert_eq!(s.depth(attr), 3);
+    }
+
+    #[test]
     fn descendants_in_document_order() {
         let mut s = Store::new();
         let (_, root, a, b) = small_tree(&mut s);
         let t = s.create_text("x");
         s.append_child(a, t).unwrap();
         assert_eq!(s.descendants(root), vec![a, t, b]);
+        let via_iter: Vec<NodeId> = s.descendants_iter(root).collect();
+        assert_eq!(via_iter, vec![a, t, b]);
+    }
+
+    #[test]
+    fn name_index_finds_descendant_elements() {
+        let mut s = Store::new();
+        let doc = s.create_document();
+        let root = s.create_element("root");
+        s.append_child(doc, root).unwrap();
+        let mut bs = Vec::new();
+        for _ in 0..3 {
+            let mid = s.create_element("mid");
+            s.append_child(root, mid).unwrap();
+            let b = s.create_element("b");
+            s.set_attribute(b, "k", "v").unwrap();
+            s.append_child(mid, b).unwrap();
+            bs.push(b);
+        }
+        let local = QName::from("b").local_sym();
+        assert_eq!(s.descendant_elements_by_local(doc, local), bs);
+        assert_eq!(s.descendant_elements_by_local(root, local), bs);
+        // Scoped to one subtree: only that subtree's match.
+        let first_mid = s.children(root)[0];
+        assert_eq!(s.descendant_elements_by_local(first_mid, local), bs[..1]);
+        // The scope element itself is excluded (strict descendants).
+        assert_eq!(s.descendant_elements_by_local(bs[0], local), Vec::new());
+        // Attribute lookup includes the scope's own attributes.
+        let k = QName::from("k").local_sym();
+        assert_eq!(s.descendant_or_self_attributes_by_local(bs[0], k).len(), 1);
+        assert_eq!(s.descendant_or_self_attributes_by_local(doc, k).len(), 3);
+    }
+
+    #[test]
+    fn name_index_follows_renames() {
+        let mut s = Store::new();
+        let (doc, _, a, _) = small_tree(&mut s);
+        let a_sym = QName::from("a").local_sym();
+        let z_sym = QName::from("z").local_sym();
+        assert_eq!(s.descendant_elements_by_local(doc, a_sym), vec![a]);
+        s.set_name(a, "z").unwrap();
+        assert_eq!(s.descendant_elements_by_local(doc, a_sym), Vec::new());
+        assert_eq!(s.descendant_elements_by_local(doc, z_sym), vec![a]);
+    }
+
+    #[test]
+    fn attr_value_index_finds_owners_in_scope() {
+        let mut s = Store::new();
+        let doc = s.create_document();
+        let root = s.create_element("r");
+        s.append_child(doc, root).unwrap();
+        let (mut hits, mut misses) = (Vec::new(), Vec::new());
+        for i in 0..4 {
+            let item = s.create_element("item");
+            s.set_attribute(item, "k", if i % 2 == 0 { "hit" } else { "miss" })
+                .unwrap();
+            s.append_child(root, item).unwrap();
+            if i % 2 == 0 {
+                hits.push(item);
+            } else {
+                misses.push(item);
+            }
+        }
+        let k = QName::from("k").local_sym();
+        assert_eq!(s.elements_with_attr_value(doc, k, "hit"), hits);
+        assert_eq!(s.elements_with_attr_value(doc, k, "miss"), misses);
+        assert_eq!(s.elements_with_attr_value(doc, k, "absent"), Vec::new());
+        // Scope is strict: an element is not its own descendant.
+        assert_eq!(s.elements_with_attr_value(hits[0], k, "hit"), Vec::new());
+        // A prefixed attribute with the same local name is still returned
+        // (callers re-verify the full QName).
+        let extra = s.create_element("item");
+        s.set_attribute(extra, QName::prefixed("p", "k"), "hit")
+            .unwrap();
+        s.append_child(root, extra).unwrap();
+        let with_prefixed: Vec<NodeId> = hits.iter().copied().chain([extra]).collect();
+        assert_eq!(s.elements_with_attr_value(doc, k, "hit"), with_prefixed);
+    }
+
+    #[test]
+    fn attr_value_index_follows_value_overwrites() {
+        let mut s = Store::new();
+        let root = s.create_element("r");
+        let item = s.create_element("item");
+        s.set_attribute(item, "k", "old").unwrap();
+        s.append_child(root, item).unwrap();
+        let k = QName::from("k").local_sym();
+        assert_eq!(s.elements_with_attr_value(root, k, "old"), vec![item]);
+        // Overwrite keeps the numbering (same order key) but must not leave
+        // a stale value → owners map behind.
+        let key_before = s.order_key(item);
+        s.set_attribute(item, "k", "new").unwrap();
+        assert_eq!(s.order_key(item), key_before);
+        assert_eq!(s.elements_with_attr_value(root, k, "old"), Vec::new());
+        assert_eq!(s.elements_with_attr_value(root, k, "new"), vec![item]);
+    }
+
+    #[test]
+    fn order_keys_match_walk_reference() {
+        let mut s = Store::new();
+        let (doc, root, a, b) = small_tree(&mut s);
+        let attr = s.set_attribute(root, "x", "1").unwrap();
+        let t = s.create_text("hi");
+        s.append_child(a, t).unwrap();
+        let nodes = [doc, root, attr, a, t, b];
+        for &x in &nodes {
+            for &y in &nodes {
+                assert_eq!(
+                    s.doc_order(x, y),
+                    s.doc_order_by_walk(x, y),
+                    "{x:?} vs {y:?}"
+                );
+                assert_eq!(
+                    s.order_key(x).cmp(&s.order_key(y)) == Ordering::Less,
+                    s.doc_order_by_walk(x, y) == Some(Ordering::Less)
+                );
+            }
+        }
     }
 
     #[test]

@@ -16,11 +16,13 @@ use crate::value::{Atomic, Item, Sequence};
 use std::cmp::Ordering;
 use xmlstore::Store;
 
-/// Atomizes one item: nodes become their (untyped) string value.
+/// Atomizes one item: nodes become their (untyped) string value. Leaf nodes
+/// hand their `Arc<str>` payload straight through — no `String` allocation
+/// on the attribute-comparison hot path.
 pub fn atomize_item(item: &Item, store: &Store) -> Atomic {
     match item {
         Item::Atomic(a) => a.clone(),
-        Item::Node(n) => Atomic::Untyped(store.string_value(*n).into()),
+        Item::Node(n) => Atomic::Untyped(store.string_value_arc(*n)),
     }
 }
 

@@ -203,6 +203,118 @@ fn corpus_matches_reference_unoptimized() {
     }
 }
 
+/// A deeper document for the axis-heavy corpus: nested `level` chains, an
+/// element *named* `k` next to attributes named `k`, numeric-looking
+/// attribute values, and a prefixed attribute sharing a local name.
+const DEEP_DOC: &str = "<doc ver='1'>\
+    <level a='1'><level a='2'><level a='3'><level a='4'>\
+        <leaf k='a' n='7'/><leaf k='b' n='07'/>\
+    </level></level></level></level>\
+    <item k='a'/><item k='a'/><item k='b'/><item k='c' x:id='a'/>\
+    <k k='inner'><leaf k='a'/></k>\
+    <ref sel='b'/>\
+</doc>";
+
+/// Axis-heavy corpus: deep trees, `//x[...]` attribute predicates (both the
+/// index-served shapes and the deliberate fall-back shapes), `ancestor::`,
+/// mixed element/attribute names, and order-by over large sequences. The
+/// indexed fast paths must be observably identical to a plain scan.
+const AXIS_CORPUS: &[&str] = &[
+    // Attribute-equality predicates the fused index path serves.
+    "/doc/item[@k = \"a\"]",
+    "/doc/item[@k = (\"a\", \"b\")]",
+    "/doc/item[@k = (\"a\", \"a\")]",
+    "/doc/item[@k = ()]",
+    "/doc/item[@k = \"zzz\"]",
+    "/doc/missing[@k = \"a\"]",
+    "/doc/item[\"a\" = @k]",
+    "let $k := \"b\" return /doc/item[@k = $k]",
+    "let $r := /doc/ref return /doc/item[@k = $r/@sel]",
+    "/doc/item[@k = /doc/ref/@sel]",
+    // Positional predicates after (or before) the equality.
+    "/doc/item[@k = \"a\"][2]",
+    "/doc/item[@k = \"a\"][position() = last()]",
+    "/doc/item[position() > 1][@k = \"a\"]",
+    // Numeric comparisons must NOT be answered by the string-value index:
+    // \"07\" equals 7 numerically but not textually.
+    "//leaf[@n = 7]",
+    "//leaf[@n = \"7\"]",
+    "//leaf[@n = \"07\"]",
+    "//leaf[@n = 7.0]",
+    "/doc/item[@k = 0]",
+    // Prefixed attribute: same local name, different QName.
+    "/doc/item[@x:id = \"a\"]",
+    // RHS errors: raised only when a name-matching candidate exists.
+    "/doc/item[@k = $undefined]",
+    "/doc/missing[@k = $undefined]",
+    "/doc/item[@k = (1 div 0)]",
+    // Deep descendant steps with predicates.
+    "//leaf[@k = \"a\"]",
+    "//level[@a = \"4\"]/leaf",
+    "//k/leaf[@k = \"a\"]",
+    "some $i in //item satisfies $i/@k = \"a\"",
+    // Mixed element/attribute names: `k` is both.
+    "//k",
+    "//@k",
+    "count(//level)",
+    // Ancestor axis from deep nodes.
+    "//leaf/ancestor::level/@a",
+    "//leaf[@k = \"a\"]/ancestor::*[last()]",
+    // Order-by over large sequences (dedup / doc-order-sort pressure).
+    "for $i in 1 to 200 order by -$i return $i",
+    "for $l in //leaf order by string($l/@k) descending return string($l/@k)",
+    "for $a in //@a order by number($a) descending return number($a)",
+    // Fused path over a freshly constructed document.
+    "let $d := document { <r><i k=\"a\"/><i k=\"b\"/><i k=\"a\"/></r> } return count($d/r/i[@k = \"a\"])",
+];
+
+#[test]
+fn axis_corpus_matches_reference_standard() {
+    let mut e = Engine::with_options(EngineOptions {
+        dup_attr_policy: crate::engine::DupAttrPolicy::Error,
+        ..Default::default()
+    });
+    let doc = e.load_document(DEEP_DOC).unwrap();
+    for src in AXIS_CORPUS {
+        assert_equivalent(&mut e, src, Some(doc)).unwrap();
+    }
+}
+
+#[test]
+fn axis_corpus_matches_reference_galax_quirks() {
+    let mut e = Engine::galax();
+    let doc = e.load_document(DEEP_DOC).unwrap();
+    for src in AXIS_CORPUS {
+        assert_equivalent(&mut e, src, Some(doc)).unwrap();
+    }
+}
+
+#[test]
+fn axis_corpus_matches_reference_without_context() {
+    for quirks in [false, true] {
+        let mut e = if quirks {
+            Engine::galax()
+        } else {
+            Engine::new()
+        };
+        for src in AXIS_CORPUS {
+            assert_equivalent(&mut e, src, None).unwrap();
+        }
+    }
+}
+
+#[test]
+fn axis_corpus_matches_reference_unoptimized() {
+    let mut e = Engine::with_options(EngineOptions {
+        optimize: false,
+        ..Default::default()
+    });
+    let doc = e.load_document(DEEP_DOC).unwrap();
+    for src in AXIS_CORPUS {
+        assert_equivalent(&mut e, src, Some(doc)).unwrap();
+    }
+}
+
 /// Generator for the property-based differential run: well-formed-ish
 /// sources mixing bindings (live, dead, shadowed), arithmetic, sequences,
 /// traces, constructors, and deliberate failure paths.
@@ -256,5 +368,38 @@ proptest! {
         if let Err(msg) = assert_equivalent(&mut e, &src, None) {
             return Err(TestCaseError::fail(msg));
         }
+    }
+
+    /// The index-served attribute-equality predicate agrees with its generic
+    /// twin: routing the RHS through a `for`/`concat` identity defeats the
+    /// fused-step detection, so the twin always takes the scan path. Both
+    /// shapes run under both evaluators and all four values must match.
+    #[test]
+    fn fused_attr_eq_matches_generic_twin(
+        vals in prop::collection::vec("[abc]", 1..4),
+        step in prop_oneof![Just("/doc/item"), Just("//leaf"), Just("//item")],
+        quirks in any::<bool>(),
+    ) {
+        let list = vals
+            .iter()
+            .map(|v| format!("\"{v}\""))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let fused = format!("{step}[@k = ({list})]");
+        let generic =
+            format!("{step}[@k = (for $v in ({list}) return concat($v, \"\"))]");
+        let mut e = if quirks { Engine::galax() } else { Engine::new() };
+        let doc = e.load_document(DEEP_DOC).unwrap();
+        if let Err(msg) = assert_equivalent(&mut e, &fused, Some(doc)) {
+            return Err(TestCaseError::fail(msg));
+        }
+        if let Err(msg) = assert_equivalent(&mut e, &generic, Some(doc)) {
+            return Err(TestCaseError::fail(msg));
+        }
+        let qf = e.compile(&fused).unwrap();
+        let qg = e.compile(&generic).unwrap();
+        let a = e.evaluate(&qf, Some(doc)).unwrap();
+        let b = e.evaluate(&qg, Some(doc)).unwrap();
+        prop_assert_eq!(e.display_sequence(&a), e.display_sequence(&b));
     }
 }

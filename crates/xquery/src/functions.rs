@@ -212,10 +212,10 @@ pub fn dispatch_builtin(
         // ---------------- accessors ----------------
         (B::String, 0) => {
             let item = ctx.context_item(cx.galax_quirks, position)?;
-            Ok(Atomic::Str(item_string_value(item, store).into()).into())
+            Ok(Atomic::Str(item_string_value_arc(item, store)).into())
         }
         (B::String, 1) => Ok(match args[0].as_singleton() {
-            Some(item) => Atomic::Str(item_string_value(item, store).into()).into(),
+            Some(item) => Atomic::Str(item_string_value_arc(item, store)).into(),
             None if args[0].is_empty() => Atomic::Str(String::new().into()).into(),
             None => {
                 return Err(Error::new(
@@ -671,6 +671,17 @@ pub fn item_string_value(item: &Item, store: &Store) -> String {
     match item {
         Item::Atomic(a) => a.to_text(),
         Item::Node(n) => store.string_value(*n),
+    }
+}
+
+/// [`item_string_value`] without the copy: string-ish atomics and leaf nodes
+/// hand back their shared payload. `fn:string` — the paper code's favourite
+/// accessor — rides this on every dedup/sort key.
+pub fn item_string_value_arc(item: &Item, store: &Store) -> std::sync::Arc<str> {
+    match item {
+        Item::Atomic(Atomic::Str(s) | Atomic::Untyped(s)) => s.clone(),
+        Item::Atomic(a) => a.to_text().into(),
+        Item::Node(n) => store.string_value_arc(*n),
     }
 }
 

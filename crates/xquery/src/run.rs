@@ -13,7 +13,7 @@
 //! construction) lives in shared helpers in `eval`/`functions`; this module
 //! only re-implements the walking skeleton over the lowered form.
 
-use crate::ast::{Axis, NodeCmpOp, Quantifier, SetOp};
+use crate::ast::{Axis, CmpOp, NodeCmpOp, Quantifier, SetOp};
 use crate::compare::{
     atomize, atomize_item, effective_boolean_value, general_compare, value_compare,
 };
@@ -21,8 +21,9 @@ use crate::context::{DynamicContext, Focus};
 use crate::engine::EngineOptions;
 use crate::error::{Error, ErrorCode, Result};
 use crate::eval::{
-    arith, axis_candidates, compare_order_keys, dedup_sorted, expand_descendant_or_self,
-    join_atomized, predicate_outcome, singleton_integer, singleton_number, ContentBuilder,
+    arith, axis_candidates, compare_order_keys, dedup_sorted, eval_fused_descendant_step,
+    expand_descendant_or_self, fused_attr_eq_candidates, has_child_element_named, join_atomized,
+    predicate_outcome, singleton_integer, singleton_number, ContentBuilder, FusedAttrEq, FusedStep,
     NumOperand,
 };
 use crate::functions::{dispatch_builtin, CallCtx};
@@ -304,6 +305,19 @@ pub fn run(
                     .at(position.0, position.1))
                 }
             };
+            if let Some(step) = fused_attr_eq_step(*axis, test, predicates) {
+                // Same shape as the generic path: no candidates → empty,
+                // predicates (and their errors) never reached.
+                if !has_child_element_named(env.store, node, &step.fused.child) {
+                    return Ok(Sequence::empty());
+                }
+                let rhs = run(step.rhs, env, frame, ctx)?;
+                if let Some(matched) = fused_attr_eq_candidates(node, &step.fused, &rhs, env.store)
+                {
+                    let filtered = apply_predicates_nodes(matched, step.rest, env, frame, ctx)?;
+                    return Ok(filtered.into_iter().map(Item::Node).collect());
+                }
+            }
             let candidates = axis_candidates(*axis, node, env.store);
             let tested: Vec<NodeId> = candidates
                 .into_iter()
@@ -317,6 +331,10 @@ pub fn run(
             let mut current = run(start, env, frame, ctx)?;
             for step in steps {
                 if step.double_slash {
+                    if let Some(fused) = fused_double_slash_step(&step.expr) {
+                        current = eval_fused_descendant_step(&current, fused, env.store)?;
+                        continue;
+                    }
                     current = expand_descendant_or_self(&current, env.store)?;
                 }
                 current = map_step(&current, &step.expr, env, frame, ctx)?;
@@ -746,6 +764,102 @@ fn map_step(
 
 /// The lowered node test: names were parsed to `QName`s at compile time, so
 /// matching is symbol equality, never a string render.
+/// Lowered mirror of the walker's `fused_double_slash_step`: name tests are
+/// already interned `QName`s here, so any simple predicate-free `//name` or
+/// `//@name` step qualifies for the index lookup.
+fn fused_double_slash_step(expr: &LExpr) -> Option<FusedStep> {
+    let LExpr::AxisStep {
+        axis,
+        test,
+        predicates,
+        ..
+    } = expr
+    else {
+        return None;
+    };
+    if !predicates.is_empty() {
+        return None;
+    }
+    match (axis, test) {
+        (Axis::Child, LNodeTest::Name(want)) if want.prefix_sym().is_none() => {
+            Some(FusedStep::ChildNamed(*want))
+        }
+        (Axis::Attribute, LNodeTest::Name(want)) if want.prefix_sym().is_none() => {
+            Some(FusedStep::AttrNamed(*want))
+        }
+        _ => None,
+    }
+}
+
+/// Lowered mirror of the walker's `is_focus_free_simple`: the comparand may
+/// not depend on the candidate node, and evaluating it once instead of per
+/// candidate must be unobservable — no calls (hence no `fn:trace`), no
+/// constructors; path steps rebind their own focus and are predicate-free.
+fn is_focus_free_simple(e: &LExpr) -> bool {
+    match e {
+        LExpr::Literal(_) | LExpr::LocalRef(_) | LExpr::GlobalRef(..) => true,
+        LExpr::Comma(es) => es.iter().all(is_focus_free_simple),
+        LExpr::Path { start, steps } => is_focus_free_simple(start)
+            && steps.iter().all(
+                |s| matches!(&s.expr, LExpr::AxisStep { predicates, .. } if predicates.is_empty()),
+            ),
+        _ => false,
+    }
+}
+
+/// `@name` with no predicates and no prefix, as one side of the fused
+/// equality.
+fn attr_step_name(e: &LExpr) -> Option<QName> {
+    match e {
+        LExpr::AxisStep {
+            axis: Axis::Attribute,
+            test: LNodeTest::Name(a),
+            predicates,
+            ..
+        } if predicates.is_empty() && a.prefix_sym().is_none() => Some(*a),
+        _ => None,
+    }
+}
+
+/// Lowered detection result for the fused `child[@attr = RHS]` step.
+struct FusedAttrEqStep<'a> {
+    fused: FusedAttrEq,
+    rhs: &'a LExpr,
+    rest: &'a [LExpr],
+}
+
+/// Lowered mirror of the walker's `fused_attr_eq_step`: names are already
+/// interned `QName`s here, so the unprefixed restriction is a symbol check.
+fn fused_attr_eq_step<'a>(
+    axis: Axis,
+    test: &LNodeTest,
+    predicates: &'a [LExpr],
+) -> Option<FusedAttrEqStep<'a>> {
+    if axis != Axis::Child {
+        return None;
+    }
+    let LNodeTest::Name(want) = test else {
+        return None;
+    };
+    if want.prefix_sym().is_some() {
+        return None;
+    }
+    let (first, rest) = predicates.split_first()?;
+    let LExpr::GeneralCmp(CmpOp::Eq, l, r) = first else {
+        return None;
+    };
+    let (attr, rhs) = match (attr_step_name(l), attr_step_name(r)) {
+        (Some(a), None) if is_focus_free_simple(r) => (a, &**r),
+        (None, Some(a)) if is_focus_free_simple(l) => (a, &**l),
+        _ => return None,
+    };
+    Some(FusedAttrEqStep {
+        fused: FusedAttrEq { child: *want, attr },
+        rhs,
+        rest,
+    })
+}
+
 fn node_test_matches(test: &LNodeTest, axis: Axis, node: NodeId, store: &Store) -> bool {
     let kind = store.kind(node);
     match test {

@@ -146,9 +146,34 @@ impl Item {
 /// All constructors flatten: [`Sequence::from_items`] concatenates,
 /// [`Sequence::push_seq`] splices. `(1)` and `1` are indistinguishable —
 /// [`Sequence::singleton`] and a one-push sequence produce equal values.
-#[derive(Debug, Clone, PartialEq, Default)]
+///
+/// The items live behind an `Arc`, copy-on-write: cloning a sequence — every
+/// variable reference, FLWOR rebinding, and function-argument pass — is a
+/// refcount bump, and the backing `Vec` is only copied when a shared
+/// sequence is actually mutated ([`Arc::make_mut`]).
+#[derive(Debug, Clone)]
 pub struct Sequence {
-    items: Vec<Item>,
+    items: Arc<Vec<Item>>,
+}
+
+/// The one shared allocation behind every empty sequence.
+fn empty_items() -> Arc<Vec<Item>> {
+    static EMPTY: std::sync::OnceLock<Arc<Vec<Item>>> = std::sync::OnceLock::new();
+    EMPTY.get_or_init(|| Arc::new(Vec::new())).clone()
+}
+
+impl Default for Sequence {
+    fn default() -> Self {
+        Sequence {
+            items: empty_items(),
+        }
+    }
+}
+
+impl PartialEq for Sequence {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.items, &other.items) || self.items == other.items
+    }
 }
 
 impl Sequence {
@@ -159,32 +184,49 @@ impl Sequence {
 
     /// A one-item sequence — indistinguishable from the item itself.
     pub fn singleton(item: Item) -> Self {
-        Sequence { items: vec![item] }
+        Sequence {
+            items: Arc::new(vec![item]),
+        }
     }
 
     /// Builds from items (already flat by the type system: `Item` cannot be
     /// a sequence).
     pub fn from_items(items: Vec<Item>) -> Self {
-        Sequence { items }
+        Sequence {
+            items: Arc::new(items),
+        }
     }
 
     /// Concatenates (= flattens) a list of sequences:
-    /// `(1,(2,3,4),(),(5,((6,7)))) = (1,2,3,4,5,6,7)`.
+    /// `(1,(2,3,4),(),(5,((6,7)))) = (1,2,3,4,5,6,7)`. A single non-empty
+    /// part is reused whole — no copy.
     pub fn concat(parts: impl IntoIterator<Item = Sequence>) -> Self {
-        let mut items = Vec::new();
+        let mut out = Sequence::empty();
         for p in parts {
-            items.extend(p.items);
+            out.push_seq(p);
         }
-        Sequence { items }
+        out
     }
 
     pub fn push(&mut self, item: Item) {
-        self.items.push(item);
+        Arc::make_mut(&mut self.items).push(item);
     }
 
-    /// Splices another sequence onto the end (flattening).
+    /// Splices another sequence onto the end (flattening). Appending to an
+    /// empty sequence steals the other's allocation.
     pub fn push_seq(&mut self, other: Sequence) {
-        self.items.extend(other.items);
+        if other.is_empty() {
+            return;
+        }
+        if self.is_empty() {
+            *self = other;
+            return;
+        }
+        let dst = Arc::make_mut(&mut self.items);
+        match Arc::try_unwrap(other.items) {
+            Ok(v) => dst.extend(v),
+            Err(shared) => dst.extend(shared.iter().cloned()),
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -199,8 +241,10 @@ impl Sequence {
         &self.items
     }
 
+    /// The backing items, avoiding a copy when this sequence holds the only
+    /// reference.
     pub fn into_items(self) -> Vec<Item> {
-        self.items
+        Arc::try_unwrap(self.items).unwrap_or_else(|shared| (*shared).clone())
     }
 
     pub fn iter(&self) -> std::slice::Iter<'_, Item> {
@@ -235,9 +279,7 @@ impl Sequence {
 
 impl FromIterator<Item> for Sequence {
     fn from_iter<T: IntoIterator<Item = Item>>(iter: T) -> Self {
-        Sequence {
-            items: iter.into_iter().collect(),
-        }
+        Sequence::from_items(iter.into_iter().collect())
     }
 }
 
@@ -246,7 +288,7 @@ impl IntoIterator for Sequence {
     type IntoIter = std::vec::IntoIter<Item>;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.items.into_iter()
+        self.into_items().into_iter()
     }
 }
 
