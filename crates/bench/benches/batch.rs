@@ -1,0 +1,100 @@
+//! Batch-throughput benchmarks: the E1 calculus sweep and the mixed
+//! xq/native docgen workload fanned across the evaluation worker pool,
+//! with the generator queries compiled once per batch.
+
+use bench_suite::{it_workload, Workload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use docgen::batch::{generate_batch_with, BatchJob, CompiledPipeline, GeneratorKind};
+use docgen::{GenInputs, Template};
+use std::hint::black_box;
+use xquery::{CompiledQuery, Engine, StackPool};
+
+const POOL_STACK: usize = 256 * 1024 * 1024;
+
+fn e1_job(w: &Workload, compiled: &CompiledQuery) -> usize {
+    let mut engine = Engine::new();
+    let doc = awb::xmlio::export_to_store(&w.model, engine.store_mut());
+    engine.register_document("awb-model", doc);
+    engine.evaluate(compiled, None).unwrap().len()
+}
+
+fn bench_e1_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_batch");
+    let workloads: Vec<Workload> = (0..16).map(|i| it_workload(50, 42 + i)).collect();
+    let q = awb::Query::from_type("user")
+        .follow("likes")
+        .follow_to("uses", "Program")
+        .dedup()
+        .sort_by_label();
+    let compiled = Engine::new()
+        .compile(&q.to_xquery(&workloads[0].meta))
+        .unwrap();
+
+    for workers in [1usize, 2, 4] {
+        let pool = StackPool::new(workers, POOL_STACK);
+        group.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, _| {
+            b.iter(|| {
+                let jobs: Vec<_> = workloads
+                    .iter()
+                    .map(|w| {
+                        let compiled = &compiled;
+                        move || e1_job(w, compiled)
+                    })
+                    .collect();
+                black_box(pool.run_batch(jobs))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_docgen_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("docgen_batch");
+    let template = Template::parse(
+        r#"<template><h1>Docs</h1><for nodes="all.Document"><p><label/></p></for><table-of-omissions types="user"/></template>"#,
+    )
+    .unwrap();
+    let workloads: Vec<Workload> = (0..8).map(|i| it_workload(60, 100 + i)).collect();
+    let jobs: Vec<BatchJob<'_>> = workloads
+        .iter()
+        .enumerate()
+        .map(|(i, w)| BatchJob {
+            kind: if i % 2 == 0 {
+                GeneratorKind::Xquery
+            } else {
+                GeneratorKind::Native
+            },
+            inputs: GenInputs {
+                model: &w.model,
+                meta: &w.meta,
+                template: &template,
+            },
+        })
+        .collect();
+    let pipeline = CompiledPipeline::standard().unwrap();
+
+    for workers in [1usize, 4] {
+        let pool = StackPool::new(workers, POOL_STACK);
+        group.bench_with_input(
+            BenchmarkId::new("mixed_workers", workers),
+            &workers,
+            |b, _| {
+                b.iter(|| black_box(generate_batch_with(&jobs, &pipeline, &pool)));
+            },
+        );
+    }
+
+    // The compile-once win by itself: a fresh six-program pipeline compile
+    // per iteration vs handing out Arcs to the shared one.
+    group.bench_function("pipeline_compile", |b| {
+        b.iter(|| black_box(CompiledPipeline::standard().unwrap()));
+    });
+    group.bench_function("pipeline_clone", |b| {
+        b.iter(|| black_box(pipeline.clone()));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_e1_batch, bench_docgen_batch);
+criterion_main!(benches);

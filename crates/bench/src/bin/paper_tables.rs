@@ -8,11 +8,12 @@
 //! careful versions live in `cargo bench`.
 
 use awb::{xmlio, Query};
-use bench_suite::{call_graph, it_workload, loc, marker_loc, set_fault_rate};
+use bench_suite::{call_graph, it_workload, loc, marker_loc, set_fault_rate, Workload};
+use docgen::batch::{generate_batch_with, BatchJob, CompiledPipeline, GeneratorKind};
 use docgen::xq::{Phase, XqGenerator};
 use docgen::{native, normalized_equal, GenInputs, Template};
 use std::time::Instant;
-use xquery::{Engine, EngineOptions};
+use xquery::{Engine, EngineOptions, StackPool};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -151,18 +152,21 @@ fn axis_bench_doc() -> String {
     s
 }
 
-/// `paper_tables -- bench-json` — writes `BENCH_2.json`: medians for the E1
-/// calculus sweep and the engine micro-benches (same protocol and units as
-/// the committed `BENCH_1.json`), plus the axis/dedup/doc-order micro-benches
-/// added with the structural indexes, each run through both the lowered
-/// program (`Engine::evaluate`) and the reference tree walker
-/// (`Engine::evaluate_reference`), so future PRs have a trajectory to
-/// compare against.
+/// `paper_tables -- bench-json` — writes `BENCH_3.json`: the BENCH_2
+/// sections (E1 calculus sweep, engine micro-benches, axis micro-benches —
+/// same protocol and units, so the trajectory stays comparable) plus the
+/// batch-throughput sections added with the worker pool: the E1 query fanned
+/// over a batch of per-document models at 1/2/4/8 workers (docs/sec),
+/// shared-compile vs per-document-compile, and a mixed XQuery/native docgen
+/// batch. `host_cpus` records the machine's parallelism so scaling numbers
+/// read honestly: thread-level speedup is capped by the core count.
 fn bench_json() {
-    header("bench-json — writing BENCH_2.json (medians, milliseconds)");
+    header("bench-json — writing BENCH_3.json (medians, milliseconds)");
     const REPS: usize = 5;
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut out =
         String::from("{\n  \"units\": \"milliseconds, median of 5 runs after 1 warm-up\",\n");
+    out.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
     out.push_str("  \"e1_calculus\": [\n");
     for (idx, n) in [50usize, 200, 800].into_iter().enumerate() {
         let w = it_workload(n, 42);
@@ -227,9 +231,226 @@ fn bench_json() {
             "    {{\"name\": \"{name}\", \"lowered_ms\": {lowered_ms:.4}, \"reference_walker_ms\": {reference_ms:.4}}}{comma}\n"
         ));
     }
-    out.push_str("  ]\n}\n");
-    std::fs::write("BENCH_2.json", &out).expect("writing BENCH_2.json");
-    println!("  wrote BENCH_2.json");
+    out.push_str("  ],\n");
+    e1_batch_json(&mut out, REPS);
+    docgen_batch_json(&mut out, REPS);
+    out.push_str("}\n");
+    std::fs::write("BENCH_3.json", &out).expect("writing BENCH_3.json");
+    println!("  wrote BENCH_3.json");
+}
+
+/// One E1 batch job: a fresh engine, the per-document model exported into
+/// it, and the **shared** compiled query evaluated. Returns the result
+/// cardinality (used to assert determinism across worker counts).
+fn e1_batch_job(w: &Workload, compiled: &xquery::CompiledQuery) -> usize {
+    let mut engine = Engine::new();
+    let doc = xmlio::export_to_store(&w.model, engine.store_mut());
+    engine.register_document("awb-model", doc);
+    engine.evaluate(compiled, None).unwrap().len()
+}
+
+/// Batch-throughput sections: the E1 sweep fanned across the pool at
+/// 1/2/4/8 workers, plus shared-compile vs per-document-compile at one
+/// worker (the compile-once win the `Arc<Program>` sharing buys).
+fn e1_batch_json(out: &mut String, reps: usize) {
+    let q = Query::from_type("user")
+        .follow("likes")
+        .follow_to("uses", "Program")
+        .dedup()
+        .sort_by_label();
+
+    out.push_str("  \"e1_batch\": [\n");
+    let mut rows = Vec::new();
+    for (n, docs) in [(50usize, 32usize), (200, 16), (800, 8)] {
+        let workloads: Vec<Workload> = (0..docs).map(|i| it_workload(n, 42 + i as u64)).collect();
+        let src = q.to_xquery(&workloads[0].meta);
+        let compiled = Engine::new().compile(&src).unwrap();
+
+        let mut baseline: Option<Vec<usize>> = None;
+        for workers in [1usize, 2, 4, 8] {
+            let pool = StackPool::new(workers, 256 * 1024 * 1024);
+            let run_batch = || {
+                let jobs: Vec<_> = workloads
+                    .iter()
+                    .map(|w| {
+                        let compiled = &compiled;
+                        move || e1_batch_job(w, compiled)
+                    })
+                    .collect();
+                pool.run_batch(jobs)
+            };
+            // Results must be deterministic and order-stable across worker
+            // counts before the timing means anything.
+            let results = run_batch();
+            match &baseline {
+                None => baseline = Some(results),
+                Some(b) => assert_eq!(&results, b, "batch results diverged at {workers} workers"),
+            }
+            let batch_ms = measure(reps, || {
+                run_batch();
+            });
+            let docs_per_sec = docs as f64 / (batch_ms / 1e3);
+            println!(
+                "  e1 batch n={n:>3} docs={docs:>2} workers={workers}: {batch_ms:.1} ms ({docs_per_sec:.1} docs/sec)"
+            );
+            rows.push(format!(
+                "    {{\"nodes\": {n}, \"docs\": {docs}, \"workers\": {workers}, \"batch_ms\": {batch_ms:.4}, \"docs_per_sec\": {docs_per_sec:.2}}}"
+            ));
+        }
+    }
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n  ],\n");
+
+    // Compile sharing: the same document batch with the query compiled
+    // once (shared `Arc<Program>`) vs recompiled per document. Measured at
+    // n=50, where per-document evaluation is cheap enough that compile cost
+    // is a visible fraction of the batch.
+    out.push_str("  \"e1_compile_sharing\": [\n");
+    let (n, docs) = (50usize, 32usize);
+    let workloads: Vec<Workload> = (0..docs).map(|i| it_workload(n, 42 + i as u64)).collect();
+    let src = q.to_xquery(&workloads[0].meta);
+    let compiled = Engine::new().compile(&src).unwrap();
+    let pool = StackPool::new(1, 256 * 1024 * 1024);
+    let mut rows = Vec::new();
+    for (mode, per_doc_compile) in [("shared_compile", false), ("per_doc_compile", true)] {
+        let run_batch = || {
+            let jobs: Vec<_> = workloads
+                .iter()
+                .map(|w| {
+                    let compiled = &compiled;
+                    let src = &src;
+                    move || {
+                        if per_doc_compile {
+                            let mut engine = Engine::new();
+                            let doc = xmlio::export_to_store(&w.model, engine.store_mut());
+                            engine.register_document("awb-model", doc);
+                            let q = engine.compile(src).unwrap();
+                            engine.evaluate(&q, None).unwrap().len()
+                        } else {
+                            e1_batch_job(w, compiled)
+                        }
+                    }
+                })
+                .collect();
+            pool.run_batch(jobs)
+        };
+        let batch_ms = measure(reps, || {
+            run_batch();
+        });
+        let docs_per_sec = docs as f64 / (batch_ms / 1e3);
+        println!("  e1 compile sharing {mode}: {batch_ms:.1} ms ({docs_per_sec:.1} docs/sec)");
+        rows.push(format!(
+            "    {{\"nodes\": {n}, \"docs\": {docs}, \"mode\": \"{mode}\", \"batch_ms\": {batch_ms:.4}, \"docs_per_sec\": {docs_per_sec:.2}}}"
+        ));
+    }
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n  ],\n");
+}
+
+/// Mixed xq/native document-generation batch through `docgen::batch`: the
+/// production shape (regenerate a document set after a model edit), half
+/// through the five-phase XQuery pipeline, half through the native walker.
+fn docgen_batch_json(out: &mut String, reps: usize) {
+    let template = Template::parse(
+        r#"<template><h1>Documents</h1><for nodes="all.Document"><p><label/> is at version <value-of property="version" default="?"/>.</p></for><table-of-omissions types="user"/></template>"#,
+    )
+    .unwrap();
+    let docs = 8usize;
+    let workloads: Vec<Workload> = (0..docs).map(|i| it_workload(60, 100 + i as u64)).collect();
+    let jobs: Vec<BatchJob<'_>> = workloads
+        .iter()
+        .enumerate()
+        .map(|(i, w)| BatchJob {
+            kind: if i % 2 == 0 {
+                GeneratorKind::Xquery
+            } else {
+                GeneratorKind::Native
+            },
+            inputs: GenInputs {
+                model: &w.model,
+                meta: &w.meta,
+                template: &template,
+            },
+        })
+        .collect();
+    let pipeline = CompiledPipeline::standard().unwrap();
+
+    out.push_str("  \"docgen_mixed_batch\": [\n");
+    let mut rows = Vec::new();
+    let mut baseline: Option<Vec<String>> = None;
+    for workers in [1usize, 2, 4, 8] {
+        let pool = StackPool::new(workers, 256 * 1024 * 1024);
+        let run = || {
+            generate_batch_with(&jobs, &pipeline, &pool)
+                .into_iter()
+                .map(|r| r.expect("batch job").xml)
+                .collect::<Vec<String>>()
+        };
+        let results = run();
+        match &baseline {
+            None => baseline = Some(results),
+            Some(b) => assert_eq!(&results, b, "docgen batch diverged at {workers} workers"),
+        }
+        let batch_ms = measure(reps, || {
+            run();
+        });
+        let docs_per_sec = docs as f64 / (batch_ms / 1e3);
+        println!(
+            "  docgen mixed batch docs={docs} workers={workers}: {batch_ms:.1} ms ({docs_per_sec:.1} docs/sec)"
+        );
+        rows.push(format!(
+            "    {{\"docs\": {docs}, \"workers\": {workers}, \"batch_ms\": {batch_ms:.4}, \"docs_per_sec\": {docs_per_sec:.2}}}"
+        ));
+    }
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n  ],\n");
+
+    // Compile sharing at the pipeline level: the six-program XQuery
+    // pipeline compiled once for the whole batch vs recompiled per
+    // document (what serial `xq::generate` does).
+    out.push_str("  \"docgen_compile_sharing\": [\n");
+    let xq_jobs: Vec<BatchJob<'_>> = workloads
+        .iter()
+        .map(|w| BatchJob {
+            kind: GeneratorKind::Xquery,
+            inputs: GenInputs {
+                model: &w.model,
+                meta: &w.meta,
+                template: &template,
+            },
+        })
+        .collect();
+    let pool = StackPool::new(1, 256 * 1024 * 1024);
+    let mut rows = Vec::new();
+    for (mode, per_doc_compile) in [("shared_compile", false), ("per_doc_compile", true)] {
+        let batch_ms = measure(reps, || {
+            if per_doc_compile {
+                let fresh = CompiledPipeline::standard().unwrap();
+                for r in generate_batch_with(&xq_jobs[..1], &fresh, &pool) {
+                    r.expect("batch job");
+                }
+                // One pipeline compile per document, like serial
+                // `xq::generate`: repeat compile+run for each remaining doc.
+                for job in &xq_jobs[1..] {
+                    let fresh = CompiledPipeline::standard().unwrap();
+                    for r in generate_batch_with(std::slice::from_ref(job), &fresh, &pool) {
+                        r.expect("batch job");
+                    }
+                }
+            } else {
+                for r in generate_batch_with(&xq_jobs, &pipeline, &pool) {
+                    r.expect("batch job");
+                }
+            }
+        });
+        let docs_per_sec = docs as f64 / (batch_ms / 1e3);
+        println!("  docgen compile sharing {mode}: {batch_ms:.1} ms ({docs_per_sec:.1} docs/sec)");
+        rows.push(format!(
+            "    {{\"docs\": {docs}, \"mode\": \"{mode}\", \"batch_ms\": {batch_ms:.4}, \"docs_per_sec\": {docs_per_sec:.2}}}"
+        ));
+    }
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n  ]\n");
 }
 
 fn header(title: &str) {

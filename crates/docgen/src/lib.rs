@@ -45,6 +45,7 @@ pub mod report;
 pub mod template;
 pub mod trouble;
 
+pub mod batch;
 pub mod native;
 pub mod xq;
 

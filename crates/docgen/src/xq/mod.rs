@@ -50,7 +50,7 @@ impl Phase {
     /// The standard pipeline, in the paper's order.
     pub const ALL: [Phase; 4] = [Phase::Omissions, Phase::Toc, Phase::Markers, Phase::Strip];
 
-    fn source(self) -> &'static str {
+    pub(crate) fn source(self) -> &'static str {
         match self {
             Phase::Omissions => OMISSIONS_XQ,
             Phase::Toc => TOC_XQ,
@@ -106,16 +106,7 @@ impl XqGenerator {
         generator_source: &str,
         phases: &[Phase],
     ) -> Result<Self, GenTrouble> {
-        let mut engine = Engine::new();
-        let model_doc = awb::xmlio::export_to_store(inputs.model, engine.store_mut());
-        engine.register_document("awb-model", model_doc);
-        let meta_doc = awb::xmlio::export_metamodel_to_store(inputs.meta, engine.store_mut());
-        engine.register_document("awb-meta", meta_doc);
-        let template_doc = engine
-            .load_document(&inputs.template.to_xml())
-            .map_err(|e| GenTrouble::new(format!("template load failed: {e}")))?;
-        engine.register_document("template", template_doc);
-
+        let engine = XqGenerator::engine_for(inputs)?;
         let gen_query = engine
             .compile(generator_source)
             .map_err(|e| GenTrouble::new(format!("the generator source failed to compile: {e}")))?;
@@ -133,6 +124,36 @@ impl XqGenerator {
             gen_query,
             phase_queries,
         })
+    }
+
+    /// Prepares a generator around an already compiled pipeline: the engine
+    /// and its documents are per-generator, the programs are the batch's
+    /// `Arc`-shared ones — no per-document compilation at all.
+    pub fn with_compiled(
+        inputs: &GenInputs,
+        pipeline: &crate::batch::CompiledPipeline,
+    ) -> Result<Self, GenTrouble> {
+        let engine = XqGenerator::engine_for(inputs)?;
+        Ok(XqGenerator {
+            engine,
+            gen_query: pipeline.generator.clone(),
+            phase_queries: pipeline.phases.clone(),
+        })
+    }
+
+    /// A fresh engine with the model, metamodel, and template loaded and
+    /// registered under the URIs the pipeline sources expect.
+    fn engine_for(inputs: &GenInputs) -> Result<Engine, GenTrouble> {
+        let mut engine = Engine::new();
+        let model_doc = awb::xmlio::export_to_store(inputs.model, engine.store_mut());
+        engine.register_document("awb-model", model_doc);
+        let meta_doc = awb::xmlio::export_metamodel_to_store(inputs.meta, engine.store_mut());
+        engine.register_document("awb-meta", meta_doc);
+        let template_doc = engine
+            .load_document(&inputs.template.to_xml())
+            .map_err(|e| GenTrouble::new(format!("template load failed: {e}")))?;
+        engine.register_document("template", template_doc);
+        Ok(engine)
     }
 
     /// Runs the whole pipeline once.

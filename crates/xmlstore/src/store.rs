@@ -793,6 +793,22 @@ impl Store {
         self.index.lock().unwrap_or_else(|e| e.into_inner())
     }
 
+    /// The number of numbering passes the lazy index has run so far — a
+    /// diagnostic counter for concurrency tests ("N readers racing on a cold
+    /// index must build it exactly once") and instrumentation. Purely
+    /// observational; never affects query results.
+    pub fn index_passes(&self) -> u64 {
+        self.index().next_stamp
+    }
+
+    /// Test hook: forces the stamp counter to an arbitrary value so the
+    /// exhaustion path in [`Store::reindex_tree`] can be exercised without
+    /// 2^64 rebuilds.
+    #[cfg(test)]
+    fn force_next_stamp(&self, stamp: u64) {
+        self.index().next_stamp = stamp;
+    }
+
     /// Returns the current entry for `id`, renumbering its tree first if the
     /// cached numbering is missing or stale.
     fn ensure_entry(&self, ix: &mut StoreIndex, id: NodeId) -> OrdEntry {
@@ -808,6 +824,17 @@ impl Store {
     /// (attributes immediately after their element) and rebuilds the tree's
     /// name index, all under a fresh stamp.
     fn reindex_tree(&self, ix: &mut StoreIndex, root: NodeId) {
+        if ix.next_stamp == u64::MAX {
+            // Stamp exhaustion: incrementing would wrap to 0, the "never
+            // numbered" sentinel, and a rebuilt entry stamped 0 would be
+            // treated as stale forever — or worse, collide with genuinely
+            // stale entries from ancient passes. Reset the whole index
+            // (every tree renumbers on demand) and restart the counter; a
+            // live entry is never issued stamp 0.
+            ix.entries.clear();
+            ix.trees.clear();
+            ix.next_stamp = 0;
+        }
         ix.next_stamp += 1;
         let stamp = ix.next_stamp;
         if ix.entries.len() < self.nodes.len() {
@@ -1459,5 +1486,105 @@ mod tests {
         assert_eq!(s.child_element_named(root, "zz"), None);
         assert_eq!(s.child_elements(root), vec![a, b]);
         assert_eq!(s.child_elements_named(root, "b"), vec![b]);
+    }
+
+    /// Subtree-scan reference for [`Store::elements_with_attr_value`]:
+    /// element descendants of `scope` carrying an attribute with the given
+    /// local symbol and exact value, found without consulting any index.
+    fn scan_elements_with_attr_value(
+        s: &Store,
+        scope: NodeId,
+        local: Sym,
+        value: &str,
+    ) -> Vec<NodeId> {
+        s.descendants_iter(scope)
+            .filter(|&n| matches!(&s.node(n).kind, NodeKind::Element(_)))
+            .filter(|&el| {
+                s.attributes(el).iter().any(|&a| match &s.node(a).kind {
+                    NodeKind::Attribute(q, v) => q.local_sym() == local && &**v == value,
+                    _ => false,
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn attr_value_index_forgets_detached_nodes() {
+        let mut s = Store::new();
+        let doc = s.create_document();
+        let root = s.create_element("r");
+        s.append_child(doc, root).unwrap();
+        let k = QName::from("k").local_sym();
+        let mut items = Vec::new();
+        for _ in 0..6 {
+            let wrapper = s.create_element("w");
+            s.append_child(root, wrapper).unwrap();
+            let item = s.create_element("item");
+            s.set_attribute(item, "k", "v").unwrap();
+            s.append_child(wrapper, item).unwrap();
+            items.push((wrapper, item));
+        }
+        // Warm the index, including the lazily built value → owners map.
+        let all: Vec<NodeId> = items.iter().map(|&(_, item)| item).collect();
+        assert_eq!(s.elements_with_attr_value(doc, k, "v"), all);
+
+        // Detaching a whole subtree must make its item unreachable through
+        // the value index — and the answer must equal the subtree scan.
+        let (wrapper, gone) = items[2];
+        s.detach(wrapper);
+        let got = s.elements_with_attr_value(doc, k, "v");
+        assert!(!got.contains(&gone), "detached node still indexed");
+        assert_eq!(got, scan_elements_with_attr_value(&s, doc, k, "v"));
+
+        // Removing just the attribute must drop its former owner too.
+        let (_, owner) = items[4];
+        s.remove_attribute(owner, "k").unwrap();
+        let got = s.elements_with_attr_value(doc, k, "v");
+        assert!(!got.contains(&owner), "attribute-less owner still indexed");
+        assert_eq!(got, scan_elements_with_attr_value(&s, doc, k, "v"));
+
+        // The detached subtree is a tree of its own now and still finds its
+        // own item (fresh numbering, fresh value map).
+        assert_eq!(s.elements_with_attr_value(wrapper, k, "v"), vec![gone]);
+    }
+
+    #[test]
+    fn stamp_exhaustion_resets_instead_of_reissuing_the_sentinel() {
+        let mut s = Store::new();
+        let (doc, root, a, b) = small_tree(&mut s);
+        // A second, independent tree whose numbering is warm when the
+        // counter wraps: its stale entries must not validate after a reset.
+        let other = s.create_element("other");
+        let leaf = s.create_element("leaf");
+        s.append_child(other, leaf).unwrap();
+        assert_eq!(s.doc_order(other, leaf), Some(Ordering::Less));
+
+        // Put the counter at the edge: the next rebuild would hand out
+        // stamp 0, the "never numbered" sentinel, without the guard.
+        s.force_next_stamp(u64::MAX);
+        s.detach(b);
+        s.append_child(root, b).unwrap();
+        // Triggers the rebuild at the edge — this must reset, not wrap.
+        assert_eq!(s.doc_order(a, b), Some(Ordering::Less));
+        let passes = s.index_passes();
+        assert!(
+            passes >= 1 && passes < 16,
+            "stamp counter did not reset: {passes}"
+        );
+
+        // Every pair in both trees still answers exactly like the
+        // index-free walk reference after the reset.
+        let nodes = [doc, root, a, b, other, leaf];
+        for &x in &nodes {
+            for &y in &nodes {
+                assert_eq!(s.doc_order(x, y), s.doc_order_by_walk(x, y), "{x:?} {y:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn store_is_shareable_across_threads() {
+        fn send_sync<T: Send + Sync>() {}
+        send_sync::<Store>();
     }
 }

@@ -403,3 +403,193 @@ proptest! {
         prop_assert_eq!(e.display_sequence(&a), e.display_sequence(&b));
     }
 }
+
+// ---------------------------------------------------------------------
+// Pooled-path and concurrency stress tests
+//
+// The worker pool must not change what any query observes: the whole
+// corpus, fanned over a shared pool under every engine configuration,
+// has to produce byte-identical outcome strings to the serial run. The
+// shared `Store` index must behave as a proper concurrent lazy cache:
+// many racing readers, one build.
+// ---------------------------------------------------------------------
+
+use crate::engine::{CompiledQuery, DupAttrPolicy, StackPool};
+use std::sync::Arc;
+
+/// The four engine configurations the serial corpus tests above run under.
+fn four_configs() -> Vec<(&'static str, EngineOptions)> {
+    vec![
+        (
+            "standard",
+            EngineOptions {
+                dup_attr_policy: DupAttrPolicy::Error,
+                ..Default::default()
+            },
+        ),
+        ("galax-quirks", EngineOptions::galax()),
+        ("default", EngineOptions::default()),
+        (
+            "unoptimized",
+            EngineOptions {
+                optimize: false,
+                ..Default::default()
+            },
+        ),
+    ]
+}
+
+/// Every (document, query) case the serial corpus tests cover: both corpora
+/// against their documents plus the context-free runs.
+fn corpus_cases() -> Vec<(Option<&'static str>, &'static str)> {
+    let mut cases = Vec::new();
+    for src in CORPUS {
+        cases.push((Some(DOC), *src));
+        cases.push((None, *src));
+    }
+    for src in AXIS_CORPUS {
+        cases.push((Some(DEEP_DOC), *src));
+    }
+    cases
+}
+
+/// One corpus case on a fresh engine — on the shared pool when given one,
+/// on a private single worker otherwise. The returned outcome string is
+/// what the byte-identical assertions compare.
+fn case_outcome(
+    options: EngineOptions,
+    pool: Option<Arc<StackPool>>,
+    doc_xml: Option<&str>,
+    src: &str,
+) -> String {
+    let mut e = match pool {
+        Some(pool) => Engine::with_pool(options, pool),
+        None => Engine::with_options(options),
+    };
+    let doc = doc_xml.map(|xml| e.load_document(xml).unwrap());
+    assert_equivalent(&mut e, src, doc).unwrap()
+}
+
+#[test]
+fn pooled_corpus_is_byte_identical_to_serial_under_all_configs() {
+    let pool = Arc::new(StackPool::new(4, 64 * 1024 * 1024));
+    let cases = corpus_cases();
+    for (name, options) in four_configs() {
+        let serial: Vec<String> = cases
+            .iter()
+            .map(|&(doc, src)| case_outcome(options.clone(), None, doc, src))
+            .collect();
+        let jobs: Vec<_> = cases
+            .iter()
+            .map(|&(doc, src)| {
+                let options = options.clone();
+                let pool = Arc::clone(&pool);
+                move || case_outcome(options, Some(pool), doc, src)
+            })
+            .collect();
+        let pooled = pool.run_batch(jobs);
+        assert_eq!(serial, pooled, "pooled corpus diverged under {name}");
+    }
+}
+
+/// Display-or-error outcome of one precompiled query.
+fn eval_outcome(e: &mut Engine, q: &CompiledQuery, doc: Option<NodeId>) -> String {
+    match e.evaluate(q, doc) {
+        Ok(v) => format!("ok: {}", e.display_sequence(&v)),
+        Err(err) => format!("err: {:?} {} at {:?}", err.code, err.message, err.position),
+    }
+}
+
+#[test]
+fn deep_corpus_from_threads_matches_serial() {
+    // Compile the axis corpus ONCE; every thread evaluates the same
+    // `Arc`-shared programs on its own engine and store.
+    let compiler = Engine::new();
+    let queries: Vec<(&str, std::result::Result<CompiledQuery, String>)> = AXIS_CORPUS
+        .iter()
+        .map(|src| (*src, compiler.compile(src).map_err(|e| e.message)))
+        .collect();
+
+    let run_all = || -> Vec<String> {
+        let mut e = Engine::new();
+        let doc = e.load_document(DEEP_DOC).unwrap();
+        queries
+            .iter()
+            .map(|(_, q)| match q {
+                Ok(q) => eval_outcome(&mut e, q, Some(doc)),
+                Err(msg) => format!("compile err: {msg}"),
+            })
+            .collect()
+    };
+
+    let serial = run_all();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4).map(|_| scope.spawn(run_all)).collect();
+        for handle in handles {
+            assert_eq!(handle.join().unwrap(), serial);
+        }
+    });
+}
+
+#[test]
+fn shared_store_index_builds_once_under_contention() {
+    use std::cmp::Ordering;
+    use xmlstore::parser::ParseOptions;
+    use xmlstore::{intern, Store};
+
+    let mut store = Store::new();
+    let doc = store
+        .parse_str(DEEP_DOC, &ParseOptions::data_oriented())
+        .unwrap();
+    let store = store; // frozen: concurrent readers only from here on
+
+    // Index-free expected answers, computed before any index exists.
+    let leaf = intern("leaf");
+    let k = intern("k");
+    let nodes: Vec<NodeId> = std::iter::once(doc)
+        .chain(store.descendants_iter(doc))
+        .collect();
+    let expected_orders: Vec<Option<Ordering>> = nodes
+        .iter()
+        .flat_map(|&a| nodes.iter().map(move |&b| (a, b)))
+        .map(|(a, b)| store.doc_order_by_walk(a, b))
+        .collect();
+    let expected_leaves: Vec<NodeId> = store
+        .descendants_iter(doc)
+        .filter(|&n| store.is_element(n) && store.name(n).is_some_and(|q| q.local_sym() == leaf))
+        .collect();
+    let expected_owners: Vec<NodeId> = store
+        .descendants_iter(doc)
+        .filter(|&n| store.is_element(n) && store.attribute_value(n, "k") == Some("a"))
+        .collect();
+    assert!(!expected_leaves.is_empty() && !expected_owners.is_empty());
+    assert_eq!(store.index_passes(), 0, "baseline must not touch the index");
+
+    // N racing readers, each probing the lazy index several times over.
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            scope.spawn(|| {
+                for _ in 0..3 {
+                    let orders: Vec<Option<Ordering>> = nodes
+                        .iter()
+                        .flat_map(|&a| nodes.iter().map(move |&b| (a, b)))
+                        .map(|(a, b)| store.doc_order(a, b))
+                        .collect();
+                    assert_eq!(format!("{orders:?}"), format!("{expected_orders:?}"));
+                    assert_eq!(
+                        format!("{:?}", store.descendant_elements_by_local(doc, leaf)),
+                        format!("{expected_leaves:?}")
+                    );
+                    assert_eq!(
+                        format!("{:?}", store.elements_with_attr_value(doc, k, "a")),
+                        format!("{expected_owners:?}")
+                    );
+                }
+            });
+        }
+    });
+
+    // One tree, no mutations: the numbering ran exactly once — no torn or
+    // repeated rebuilds under contention.
+    assert_eq!(store.index_passes(), 1);
+}

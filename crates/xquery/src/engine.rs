@@ -11,7 +11,7 @@ use crate::parser::parse_module;
 use crate::run::{run, Frame, RunEnv};
 use crate::value::{Item, Sequence};
 use std::collections::HashMap;
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use xmlstore::parser::ParseOptions;
 use xmlstore::{intern, NodeId, Store, Sym};
 
@@ -51,11 +51,16 @@ pub struct EngineOptions {
     /// avoiding the type system entirely" — and turning it on is how the
     /// metastasis experiment (E8) bites.
     pub static_typing: bool,
-    /// Stack size of the evaluation thread. XQuery-style programs recurse
-    /// instead of looping (the document generator's per-sibling recursion is
-    /// the paper's own idiom), so the evaluator runs on its own thread with
-    /// room to spare.
+    /// Stack size of each evaluation worker thread. XQuery-style programs
+    /// recurse instead of looping (the document generator's per-sibling
+    /// recursion is the paper's own idiom), so the evaluator runs on its own
+    /// thread with room to spare.
     pub eval_stack_bytes: usize,
+    /// Number of big-stack evaluation workers in the engine's pool. A single
+    /// query still runs on exactly one worker, so the default of 1 keeps the
+    /// single-query path observably identical to the pre-pool engine; batch
+    /// drivers ([`StackPool::run_batch`]) raise this to overlap documents.
+    pub eval_workers: usize,
 }
 
 impl Default for EngineOptions {
@@ -67,6 +72,7 @@ impl Default for EngineOptions {
             recursion_limit: 2048,
             static_typing: false,
             eval_stack_bytes: 256 * 1024 * 1024,
+            eval_workers: 1,
         }
     }
 }
@@ -86,101 +92,234 @@ impl EngineOptions {
 /// [`Engine::evaluate`] actually runs — and optimizer statistics. The module
 /// is retained for the tree-walking reference path
 /// ([`Engine::evaluate_reference`]) and for inspection.
+///
+/// Both the module and the program sit behind `Arc`: a query is compiled
+/// once and the same program can then be evaluated by many engines on many
+/// threads concurrently (names and literals are interned process-wide, so a
+/// `Sym` means the same thing everywhere). Cloning a `CompiledQuery` is two
+/// reference bumps, not a deep copy.
 #[derive(Debug, Clone)]
 pub struct CompiledQuery {
-    pub module: Module,
-    pub program: Program,
+    pub module: Arc<Module>,
+    pub program: Arc<Program>,
     pub stats: OptimizerStats,
 }
 
-/// A job shipped to the persistent big-stack worker thread.
+/// A job shipped to a big-stack worker thread.
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
-/// A persistent worker thread with a large stack, reused across
-/// `Engine::compile`/`Engine::evaluate` calls instead of spawning a fresh
-/// scoped thread per query. XQuery-style programs recurse where imperative
-/// code loops, so evaluation needs the big stack — but paying thread spawn
-/// and teardown per query dominated short queries (the XSLT driver and the
-/// calculus evaluator issue thousands).
-struct StackWorker {
-    sender: mpsc::Sender<Job>,
-    handle: Option<std::thread::JoinHandle<()>>,
+std::thread_local! {
+    /// Set on pool worker threads. A [`StackPool::run`] issued *from* a
+    /// worker runs inline instead of re-enqueueing: the stack is already the
+    /// big one, and a rendezvous hop from inside the pool would deadlock a
+    /// fully busy pool (every worker waiting on a job only a worker could
+    /// run).
+    static IS_EVAL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
 }
 
-impl StackWorker {
-    fn new(stack_bytes: usize) -> StackWorker {
-        let (sender, receiver) = mpsc::channel::<Job>();
-        let handle = std::thread::Builder::new()
-            .name("xquery-eval".to_string())
-            .stack_size(stack_bytes)
-            .spawn(move || {
-                while let Ok(job) = receiver.recv() {
-                    job();
-                }
-            })
-            .expect("spawning the evaluation thread");
-        StackWorker {
-            sender,
-            handle: Some(handle),
+/// A fixed-size pool of persistent worker threads with large stacks, reused
+/// across `Engine::compile`/`Engine::evaluate` calls instead of spawning a
+/// fresh scoped thread per query. XQuery-style programs recurse where
+/// imperative code loops, so evaluation needs the big stack — but paying
+/// thread spawn and teardown per query dominated short queries (the XSLT
+/// driver and the calculus evaluator issue thousands).
+///
+/// Every engine owns an `Arc<StackPool>`; by default a private one with a
+/// single worker, which keeps one query at a time flowing through one thread
+/// exactly like the old single-worker engine. Batch drivers share one pool
+/// across many engines ([`Engine::with_pool`]) and fan independent jobs over
+/// it with [`StackPool::run_batch`].
+///
+/// Workers are spawned lazily on first use: a pool that only ever services
+/// calls made *from* another pool's worker (the nested-engine case in batch
+/// document generation) never starts a thread at all.
+pub struct StackPool {
+    workers: usize,
+    stack_bytes: usize,
+    inner: Mutex<PoolInner>,
+}
+
+struct PoolInner {
+    sender: Option<mpsc::Sender<Job>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl StackPool {
+    /// A pool of `workers` threads (at least one), each with `stack_bytes`
+    /// of stack. Threads are not started until the first job needs one.
+    pub fn new(workers: usize, stack_bytes: usize) -> StackPool {
+        StackPool {
+            workers: workers.max(1),
+            stack_bytes,
+            inner: Mutex::new(PoolInner {
+                sender: None,
+                handles: Vec::new(),
+            }),
         }
     }
 
+    /// The number of worker threads this pool runs at capacity.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The job-queue sender, spawning the worker threads on first use.
     fn sender(&self) -> mpsc::Sender<Job> {
-        self.sender.clone()
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(sender) = &inner.sender {
+            return sender.clone();
+        }
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        for i in 0..self.workers {
+            let receiver = Arc::clone(&receiver);
+            let handle = std::thread::Builder::new()
+                .name(format!("xquery-eval-{i}"))
+                .stack_size(self.stack_bytes)
+                .spawn(move || {
+                    IS_EVAL_WORKER.with(|flag| flag.set(true));
+                    loop {
+                        // Hold the queue lock only to dequeue, never while
+                        // running a job, so idle workers can keep pulling.
+                        let job = {
+                            let queue = receiver.lock().unwrap_or_else(|e| e.into_inner());
+                            queue.recv()
+                        };
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => break,
+                        }
+                    }
+                })
+                .expect("spawning an evaluation worker");
+            inner.handles.push(handle);
+        }
+        inner.sender = Some(sender.clone());
+        sender
+    }
+
+    /// Runs `f` on a pool worker and blocks until it completes.
+    ///
+    /// The closure may borrow the caller's stack (including `&mut Engine`):
+    /// the rendezvous on the result channel guarantees those borrows outlive
+    /// the job, which is what makes the lifetime erasure below sound. A
+    /// panic inside `f` is caught on the worker (keeping it alive for the
+    /// next query) and its original payload is re-raised here with
+    /// [`std::panic::resume_unwind`], so the caller observes the same panic
+    /// message it would have seen on an ordinary thread.
+    ///
+    /// Called from a pool worker (of any pool), `f` runs inline on the
+    /// current thread instead — see [`IS_EVAL_WORKER`].
+    pub fn run<T, F>(&self, f: F) -> T
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        if IS_EVAL_WORKER.with(|flag| flag.get()) {
+            return f();
+        }
+        let (tx, rx) = mpsc::channel();
+        let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+            let _ = tx.send(result);
+        });
+        // Erase the borrow lifetime: the blocking recv below keeps every
+        // borrow alive until the job has finished (or been dropped with the
+        // queue).
+        let job: Job = unsafe { std::mem::transmute(job) };
+        self.sender()
+            .send(job)
+            .expect("the evaluation pool is gone");
+        match rx.recv() {
+            Ok(Ok(value)) => value,
+            Ok(Err(payload)) => std::panic::resume_unwind(payload),
+            Err(_) => panic!("the evaluation worker died without reporting a result"),
+        }
+    }
+
+    /// Runs a batch of independent jobs across the pool and returns their
+    /// results **in submission order**, regardless of which worker finished
+    /// first. Blocks until every job has completed.
+    ///
+    /// Panics are collected per job; after the whole batch has drained, the
+    /// first panicking job's payload (in submission order) is re-raised via
+    /// [`std::panic::resume_unwind`]. Draining before unwinding is what
+    /// keeps the lifetime erasure sound: jobs may borrow the caller's stack,
+    /// so no worker may still be running one when this frame unwinds.
+    ///
+    /// Called from a pool worker, the batch runs inline sequentially (same
+    /// order guarantee, no extra threads).
+    pub fn run_batch<T, F>(&self, jobs: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        if IS_EVAL_WORKER.with(|flag| flag.get()) {
+            return jobs.into_iter().map(|f| f()).collect();
+        }
+        let n = jobs.len();
+        let (tx, rx) = mpsc::channel();
+        let sender = self.sender();
+        for (index, f) in jobs.into_iter().enumerate() {
+            let tx = tx.clone();
+            let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+                let _ = tx.send((index, result));
+            });
+            let job: Job = unsafe { std::mem::transmute(job) };
+            sender.send(job).expect("the evaluation pool is gone");
+        }
+        drop(tx);
+        let mut slots: Vec<Option<std::thread::Result<T>>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        for _ in 0..n {
+            match rx.recv() {
+                Ok((index, result)) => slots[index] = Some(result),
+                Err(_) => panic!("an evaluation worker died mid-batch"),
+            }
+        }
+        let mut results = Vec::with_capacity(n);
+        let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for slot in slots {
+            match slot.expect("every batch job reports exactly once") {
+                Ok(value) => results.push(value),
+                Err(payload) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(payload);
+                    }
+                }
+            }
+        }
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
+        results
     }
 }
 
-impl Drop for StackWorker {
+impl Drop for StackPool {
     fn drop(&mut self) {
-        // Closing the channel ends the worker loop; join so the thread is
-        // gone when the engine is.
-        let (closed, _) = mpsc::channel();
-        self.sender = closed;
-        if let Some(handle) = self.handle.take() {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        // Closing the channel ends the worker loops; join so the threads
+        // are gone when the pool is.
+        inner.sender = None;
+        for handle in inner.handles.drain(..) {
             let _ = handle.join();
         }
     }
 }
 
-/// Runs `f` on the worker thread and blocks until it completes.
-///
-/// The closure may borrow the caller's stack (including `&mut Engine`): the
-/// rendezvous on the result channel guarantees those borrows outlive the
-/// job, which is what makes the lifetime erasure below sound. A panic inside
-/// `f` is caught on the worker (keeping it alive for the next query) and
-/// re-raised here with the same message the old spawn-per-call code used.
-fn run_on_worker<T, F>(sender: &mpsc::Sender<Job>, f: F) -> T
-where
-    T: Send,
-    F: FnOnce() -> T + Send,
-{
-    let (tx, rx) = mpsc::channel();
-    let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
-        if let Ok(value) = result {
-            let _ = tx.send(value);
-        }
-        // On panic `tx` is dropped unsent; the recv below turns that into
-        // the caller-side panic.
-    });
-    // Erase the borrow lifetime: the blocking recv below keeps every borrow
-    // alive until the job has finished (or been dropped with the queue).
-    let job: Job = unsafe { std::mem::transmute(job) };
-    sender.send(job).expect("the evaluation thread is gone");
-    rx.recv()
-        .unwrap_or_else(|_| panic!("the evaluation thread panicked"))
-}
-
 /// An XQuery engine instance owning a node store, registered documents,
-/// external variable bindings, the trace sink, and the persistent
-/// evaluation thread.
+/// external variable bindings, the trace sink, and a handle to its
+/// evaluation pool (private by default, shareable via
+/// [`Engine::with_pool`]).
 pub struct Engine {
     store: Store,
     options: EngineOptions,
     docs: HashMap<String, NodeId>,
     globals: HashMap<String, Arc<Sequence>>,
     trace: Vec<String>,
-    worker: StackWorker,
+    pool: Arc<StackPool>,
 }
 
 impl Default for Engine {
@@ -201,15 +340,32 @@ impl Engine {
     }
 
     pub fn with_options(options: EngineOptions) -> Self {
-        let worker = StackWorker::new(options.eval_stack_bytes);
+        let pool = Arc::new(StackPool::new(
+            options.eval_workers,
+            options.eval_stack_bytes,
+        ));
+        Engine::with_pool(options, pool)
+    }
+
+    /// An engine running its evaluations on an existing (typically shared)
+    /// pool. Batch drivers create one pool and many engines: the engines'
+    /// stores and traces stay private, while the big-stack threads — the
+    /// expensive part — are shared.
+    pub fn with_pool(options: EngineOptions, pool: Arc<StackPool>) -> Self {
         Engine {
             store: Store::new(),
             options,
             docs: HashMap::new(),
             globals: HashMap::new(),
             trace: Vec::new(),
-            worker,
+            pool,
         }
+    }
+
+    /// The engine's evaluation pool, for sharing with sibling engines or
+    /// fanning batches ([`StackPool::run_batch`]).
+    pub fn pool(&self) -> &Arc<StackPool> {
+        &self.pool
     }
 
     pub fn options(&self) -> &EngineOptions {
@@ -262,8 +418,8 @@ impl Engine {
     /// depth guard allows more nesting than small default stacks hold in
     /// debug builds.
     pub fn compile(&self, source: &str) -> Result<CompiledQuery> {
-        let sender = self.worker.sender();
-        run_on_worker(&sender, || self.compile_on_this_thread(source))
+        let pool = Arc::clone(&self.pool);
+        pool.run(|| self.compile_on_this_thread(source))
     }
 
     fn compile_on_this_thread(&self, source: &str) -> Result<CompiledQuery> {
@@ -295,8 +451,8 @@ impl Engine {
         // faithful translation of the optimizer's output.
         let program = lower_module(&module)?;
         Ok(CompiledQuery {
-            module,
-            program,
+            module: Arc::new(module),
+            program: Arc::new(program),
             stats,
         })
     }
@@ -305,20 +461,18 @@ impl Engine {
     /// `context_node`, when given, becomes the context item (focus position
     /// 1 of 1).
     ///
-    /// Evaluation runs on the engine's persistent worker thread with
+    /// Evaluation runs on one of the engine's persistent pool workers with
     /// [`EngineOptions::eval_stack_bytes`] of stack: functional-style XQuery
     /// recurses where imperative code loops, and the per-sibling recursion
-    /// of realistic programs outgrows default thread stacks. The thread is
+    /// of realistic programs outgrows default thread stacks. The threads are
     /// reused across calls — no spawn per query.
     pub fn evaluate(
         &mut self,
         query: &CompiledQuery,
         context_node: Option<NodeId>,
     ) -> Result<Sequence> {
-        let sender = self.worker.sender();
-        run_on_worker(&sender, move || {
-            self.evaluate_on_this_thread(query, context_node)
-        })
+        let pool = Arc::clone(&self.pool);
+        pool.run(move || self.evaluate_on_this_thread(query, context_node))
     }
 
     /// Like [`Engine::evaluate`] but with a full focus (context item,
@@ -331,8 +485,8 @@ impl Engine {
         position: usize,
         size: usize,
     ) -> Result<Sequence> {
-        let sender = self.worker.sender();
-        run_on_worker(&sender, move || {
+        let pool = Arc::clone(&self.pool);
+        pool.run(move || {
             self.evaluate_impl(
                 query,
                 Some(Focus {
@@ -353,8 +507,8 @@ impl Engine {
         query: &CompiledQuery,
         context_node: Option<NodeId>,
     ) -> Result<Sequence> {
-        let sender = self.worker.sender();
-        run_on_worker(&sender, move || {
+        let pool = Arc::clone(&self.pool);
+        pool.run(move || {
             self.evaluate_reference_impl(
                 query,
                 context_node.map(|node| Focus {
@@ -401,7 +555,7 @@ impl Engine {
     }
 
     fn evaluate_impl(&mut self, query: &CompiledQuery, focus: Option<Focus>) -> Result<Sequence> {
-        let program = &query.program;
+        let program: &Program = &query.program;
 
         // External bindings come first (keyed by interned name) and may be
         // overridden by module declarations, which evaluate in order, each
@@ -668,5 +822,151 @@ mod tests {
         let mut e = Engine::new();
         let out = e.evaluate_str("\"a<b\"", None).unwrap();
         assert_eq!(e.serialize_sequence(&out), "a&lt;b");
+    }
+
+    const TEST_STACK: usize = 4 * 1024 * 1024;
+
+    /// The text of a caught panic payload, whether the compiler produced a
+    /// formatted `String` or const-folded the format into a `&'static str`.
+    fn payload_text(payload: &(dyn std::any::Any + Send)) -> &str {
+        payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&'static str>().copied())
+            .expect("panic payload carries no text")
+    }
+
+    #[test]
+    fn panic_payload_survives_the_worker_hop() {
+        let pool = StackPool::new(1, TEST_STACK);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(|| panic!("original message {}", 42))
+        }))
+        .unwrap_err();
+        assert_eq!(payload_text(caught.as_ref()), "original message 42");
+        // The worker caught the panic and still serves the next job.
+        assert_eq!(pool.run(|| 7), 7);
+    }
+
+    #[test]
+    fn runtime_formatted_panic_payload_survives_too() {
+        // A runtime value in the format args forces a heap `String` payload;
+        // the exact text must still survive the hop.
+        let pool = StackPool::new(1, TEST_STACK);
+        let dynamic: usize = std::env::args().count().max(1);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(|| panic!("dynamic message {}", dynamic * 10))
+        }))
+        .unwrap_err();
+        assert_eq!(
+            payload_text(caught.as_ref()),
+            format!("dynamic message {}", dynamic * 10)
+        );
+    }
+
+    #[test]
+    fn batch_results_come_back_in_submission_order() {
+        let pool = StackPool::new(4, TEST_STACK);
+        let jobs: Vec<_> = (0..32).map(|i| move || i * i).collect();
+        assert_eq!(
+            pool.run_batch(jobs),
+            (0..32).map(|i| i * i).collect::<Vec<i64>>()
+        );
+    }
+
+    #[test]
+    fn batch_overlaps_across_workers() {
+        // A handshake only two simultaneously running jobs can complete:
+        // with a single worker (or serialized execution) this would hang,
+        // so passing proves the pool genuinely overlaps jobs.
+        let pool = StackPool::new(2, TEST_STACK);
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let jobs: Vec<_> = (0..2)
+            .map(|i| {
+                let barrier = Arc::clone(&barrier);
+                move || {
+                    barrier.wait();
+                    i
+                }
+            })
+            .collect();
+        assert_eq!(pool.run_batch(jobs), vec![0, 1]);
+    }
+
+    #[test]
+    fn batch_panic_is_reraised_after_the_batch_drains() {
+        let pool = StackPool::new(2, TEST_STACK);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let jobs: Vec<Box<dyn FnOnce() -> i64 + Send>> = vec![
+                Box::new(|| 1),
+                Box::new(|| panic!("job two failed")),
+                Box::new(|| 3),
+            ];
+            pool.run_batch(jobs)
+        }))
+        .unwrap_err();
+        assert_eq!(payload_text(caught.as_ref()), "job two failed");
+        // The pool is still healthy afterwards.
+        assert_eq!(pool.run(|| 11), 11);
+    }
+
+    #[test]
+    fn nested_run_from_a_worker_runs_inline() {
+        // One worker: a true re-enqueue would deadlock, so returning at all
+        // proves the nested call ran inline on the worker thread.
+        let pool = Arc::new(StackPool::new(1, TEST_STACK));
+        let inner = Arc::clone(&pool);
+        let batch_inner = Arc::clone(&pool);
+        assert_eq!(pool.run(move || inner.run(|| 5)), 5);
+        assert_eq!(
+            pool.run(move || batch_inner.run_batch(vec![|| 1, || 2])),
+            vec![1, 2]
+        );
+    }
+
+    #[test]
+    fn engines_share_a_pool_and_compiled_queries() {
+        let pool = Arc::new(StackPool::new(2, TEST_STACK));
+        let compiler = Engine::with_pool(EngineOptions::default(), Arc::clone(&pool));
+        let query = compiler.compile("for $i in 1 to 3 return $i * $i").unwrap();
+        // A clone of the compiled query shares the same lowered program.
+        let clone = query.clone();
+        assert!(Arc::ptr_eq(&query.program, &clone.program));
+        // A different engine on the same pool evaluates it: compiled
+        // artifacts only hold process-wide interned symbols.
+        let mut other = Engine::with_pool(EngineOptions::default(), pool);
+        let out = other.evaluate(&clone, None).unwrap();
+        assert_eq!(other.display_sequence(&out), "1 4 9");
+    }
+
+    #[test]
+    fn pooled_engine_matches_the_default_engine() {
+        let src = "declare variable $n := 4; string-join(for $i in 1 to $n return string($i * $i), \",\")";
+        let mut plain = Engine::new();
+        let out = plain.evaluate_str(src, None).unwrap();
+        let expected = plain.display_sequence(&out);
+        let mut pooled = Engine::with_options(EngineOptions {
+            eval_workers: 4,
+            ..Default::default()
+        });
+        let out = pooled.evaluate_str(src, None).unwrap();
+        let got = pooled.display_sequence(&out);
+        assert_eq!(expected, got);
+    }
+
+    /// The Send/Sync audit the pool relies on, checked by the compiler:
+    /// compiled programs and sequences cross thread boundaries, engines
+    /// move onto workers, and the pool itself is shared behind an `Arc`.
+    #[test]
+    fn concurrency_audit_compile_time_assertions() {
+        fn send_sync<T: Send + Sync>() {}
+        fn send<T: Send>() {}
+        send_sync::<Program>();
+        send_sync::<Module>();
+        send_sync::<CompiledQuery>();
+        send_sync::<Sequence>();
+        send_sync::<StackPool>();
+        send_sync::<Store>();
+        send::<Engine>();
     }
 }

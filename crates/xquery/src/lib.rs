@@ -45,7 +45,7 @@ pub mod static_typing;
 pub mod types;
 pub mod value;
 
-pub use engine::{CompiledQuery, DupAttrPolicy, Engine, EngineOptions};
+pub use engine::{CompiledQuery, DupAttrPolicy, Engine, EngineOptions, StackPool};
 pub use error::{Error, ErrorCode};
 pub use value::{Atomic, Item, Sequence};
 

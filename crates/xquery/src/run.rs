@@ -12,6 +12,17 @@
 //! enumeration, the predicate rule, order-key comparison, element-content
 //! construction) lives in shared helpers in `eval`/`functions`; this module
 //! only re-implements the walking skeleton over the lowered form.
+//!
+//! ## Concurrency contract
+//!
+//! A [`Program`] is immutable after lowering and `Send + Sync`: every name
+//! and literal it holds is a process-globally interned symbol, so the same
+//! `Arc<Program>` may be evaluated concurrently from any number of engines
+//! and pool workers (see `engine::StackPool`). All mutable state — the
+//! frame, the dynamic context, trace output — is created per evaluation and
+//! never escapes it; the runner itself recurses deeply, which is why
+//! evaluation always happens on a big-stack pool worker rather than the
+//! caller's thread.
 
 use crate::ast::{Axis, CmpOp, NodeCmpOp, Quantifier, SetOp};
 use crate::compare::{
