@@ -71,9 +71,37 @@ fn main() {
 // bench-json: machine-readable perf snapshot for cross-PR comparison.
 // ----------------------------------------------------------------------
 
-fn median_ms(mut samples: Vec<f64>) -> f64 {
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
-    samples[samples.len() / 2]
+/// Per-row timing summary: median for the headline number, min/max for the
+/// envelope, and `spread` = (max − min) / median so a reader can tell a
+/// stable row (spread ≪ 1) from a noisy one at a glance.
+#[derive(Clone, Copy)]
+struct Stats {
+    median: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Stats {
+    fn spread(&self) -> f64 {
+        if self.median > 0.0 {
+            (self.max - self.min) / self.median
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Renders one metric as four JSON fields: `<name>_ms` (the median, same key
+/// the earlier BENCH_N snapshots used, so trajectories stay comparable),
+/// plus `<name>_min_ms`, `<name>_max_ms`, and `<name>_spread`.
+fn metric_json(name: &str, s: Stats) -> String {
+    format!(
+        "\"{name}_ms\": {:.4}, \"{name}_min_ms\": {:.4}, \"{name}_max_ms\": {:.4}, \"{name}_spread\": {:.3}",
+        s.median,
+        s.min,
+        s.max,
+        s.spread()
+    )
 }
 
 /// Times `f` once, in milliseconds.
@@ -83,10 +111,34 @@ fn time_ms(f: &mut impl FnMut()) -> f64 {
     t.elapsed().as_secs_f64() * 1e3
 }
 
-/// Runs `f` once to warm up, then `reps` timed times; returns the median.
-fn measure(reps: usize, mut f: impl FnMut()) -> f64 {
+/// Runs `f` once to warm up, then `reps` timed times; returns the summary.
+fn measure(reps: usize, mut f: impl FnMut()) -> Stats {
     f();
-    median_ms((0..reps).map(|_| time_ms(&mut f)).collect())
+    let mut samples: Vec<f64> = (0..reps).map(|_| time_ms(&mut f)).collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    Stats {
+        median: samples[samples.len() / 2],
+        min: samples[0],
+        max: samples[samples.len() - 1],
+    }
+}
+
+/// Like [`measure`], but times `inner` calls per sample and reports
+/// per-call figures. The axis rows finish in microseconds, where a
+/// single-call sample is dominated by timer granularity and scheduler
+/// jitter; batching the calls makes the medians reproducible.
+fn measure_per_call(reps: usize, inner: usize, mut f: impl FnMut()) -> Stats {
+    let s = measure(reps, || {
+        for _ in 0..inner {
+            f();
+        }
+    });
+    let n = inner as f64;
+    Stats {
+        median: s.median / n,
+        min: s.min / n,
+        max: s.max / n,
+    }
 }
 
 /// Variable-heavy micro-benches: the tree walker resolves every `$v` by a
@@ -152,20 +204,26 @@ fn axis_bench_doc() -> String {
     s
 }
 
-/// `paper_tables -- bench-json` — writes `BENCH_3.json`: the BENCH_2
-/// sections (E1 calculus sweep, engine micro-benches, axis micro-benches —
-/// same protocol and units, so the trajectory stays comparable) plus the
-/// batch-throughput sections added with the worker pool: the E1 query fanned
-/// over a batch of per-document models at 1/2/4/8 workers (docs/sec),
-/// shared-compile vs per-document-compile, and a mixed XQuery/native docgen
-/// batch. `host_cpus` records the machine's parallelism so scaling numbers
-/// read honestly: thread-level speedup is capped by the core count.
+/// `paper_tables -- bench-json` — writes `BENCH_4.json`: the BENCH_3
+/// sections (E1 calculus sweep, engine micro-benches, axis micro-benches,
+/// batch throughput — same protocol and units, so the trajectory stays
+/// comparable), now measured with the runtime optimisation layer (hash-join
+/// `=`, loop-invariant hoisting, streaming existence) on by default. Every
+/// row carries min/max and the relative spread next to the median, so a
+/// reader can tell a stable number from a noisy one. `host_cpus` records the
+/// machine's parallelism so scaling numbers read honestly: thread-level
+/// speedup is capped by the core count.
 fn bench_json() {
-    header("bench-json — writing BENCH_3.json (medians, milliseconds)");
+    header("bench-json — writing BENCH_4.json (medians with min/max/spread, milliseconds)");
+    // Micro rows sit in the tens of microseconds where a median of 5 still
+    // wobbles visibly; batch rows run hundreds of milliseconds and 5 is
+    // plenty.
     const REPS: usize = 5;
+    const MICRO_REPS: usize = 15;
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let mut out =
-        String::from("{\n  \"units\": \"milliseconds, median of 5 runs after 1 warm-up\",\n");
+    let mut out = String::from(
+        "{\n  \"units\": \"milliseconds; e1/micro rows median of 15 runs (axis rows time 10 calls per run, per-call figures), batch rows median of 5, after 1 warm-up; spread = (max - min) / median\",\n",
+    );
     out.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
     out.push_str("  \"e1_calculus\": [\n");
     for (idx, n) in [50usize, 200, 800].into_iter().enumerate() {
@@ -175,41 +233,50 @@ fn bench_json() {
             .follow_to("uses", "Program")
             .dedup()
             .sort_by_label();
-        let native_ms = measure(REPS, || {
+        let native = measure(MICRO_REPS, || {
             let _ = q.run_native(&w.model, &w.meta);
         });
         let mut engine = Engine::new();
         let doc = xmlio::export_to_store(&w.model, engine.store_mut());
         engine.register_document("awb-model", doc);
         let compiled = engine.compile(&q.to_xquery(&w.meta)).unwrap();
-        let lowered_ms = measure(REPS, || {
+        let lowered = measure(MICRO_REPS, || {
             engine.evaluate(&compiled, None).unwrap();
         });
-        let reference_ms = measure(REPS, || {
+        let reference = measure(MICRO_REPS, || {
             engine.evaluate_reference(&compiled, None).unwrap();
         });
         println!(
-            "  e1 n={n:>3}: native {native_ms:.3} ms, xq lowered {lowered_ms:.3} ms, xq reference {reference_ms:.3} ms"
+            "  e1 n={n:>3}: native {:.3} ms, xq lowered {:.3} ms, xq reference {:.3} ms",
+            native.median, lowered.median, reference.median
         );
         let comma = if idx < 2 { "," } else { "" };
         out.push_str(&format!(
-            "    {{\"nodes\": {n}, \"native_ms\": {native_ms:.4}, \"xq_lowered_ms\": {lowered_ms:.4}, \"xq_reference_walker_ms\": {reference_ms:.4}}}{comma}\n"
+            "    {{\"nodes\": {n}, {}, {}, {}}}{comma}\n",
+            metric_json("native", native),
+            metric_json("xq_lowered", lowered),
+            metric_json("xq_reference_walker", reference)
         ));
     }
     out.push_str("  ],\n  \"engine_micro\": [\n");
     for (idx, (name, src)) in MICRO.iter().enumerate() {
         let mut engine = Engine::new();
         let compiled = engine.compile(src).unwrap();
-        let lowered_ms = measure(REPS, || {
+        let lowered = measure(MICRO_REPS, || {
             engine.evaluate(&compiled, None).unwrap();
         });
-        let reference_ms = measure(REPS, || {
+        let reference = measure(MICRO_REPS, || {
             engine.evaluate_reference(&compiled, None).unwrap();
         });
-        println!("  micro {name}: lowered {lowered_ms:.3} ms, reference {reference_ms:.3} ms");
+        println!(
+            "  micro {name}: lowered {:.3} ms, reference {:.3} ms",
+            lowered.median, reference.median
+        );
         let comma = if idx + 1 < MICRO.len() { "," } else { "" };
         out.push_str(&format!(
-            "    {{\"name\": \"{name}\", \"lowered_ms\": {lowered_ms:.4}, \"reference_walker_ms\": {reference_ms:.4}}}{comma}\n"
+            "    {{\"name\": \"{name}\", {}, {}}}{comma}\n",
+            metric_json("lowered", lowered),
+            metric_json("reference_walker", reference)
         ));
     }
     out.push_str("  ],\n  \"axis_micro\": [\n");
@@ -219,24 +286,29 @@ fn bench_json() {
         .expect("axis bench document");
     for (idx, (name, src)) in AXIS_MICRO.iter().enumerate() {
         let compiled = engine.compile(src).unwrap();
-        let lowered_ms = measure(REPS, || {
+        let lowered = measure_per_call(MICRO_REPS, 10, || {
             engine.evaluate(&compiled, Some(doc)).unwrap();
         });
-        let reference_ms = measure(REPS, || {
+        let reference = measure_per_call(MICRO_REPS, 10, || {
             engine.evaluate_reference(&compiled, Some(doc)).unwrap();
         });
-        println!("  axis {name}: lowered {lowered_ms:.3} ms, reference {reference_ms:.3} ms");
+        println!(
+            "  axis {name}: lowered {:.3} ms, reference {:.3} ms",
+            lowered.median, reference.median
+        );
         let comma = if idx + 1 < AXIS_MICRO.len() { "," } else { "" };
         out.push_str(&format!(
-            "    {{\"name\": \"{name}\", \"lowered_ms\": {lowered_ms:.4}, \"reference_walker_ms\": {reference_ms:.4}}}{comma}\n"
+            "    {{\"name\": \"{name}\", {}, {}}}{comma}\n",
+            metric_json("lowered", lowered),
+            metric_json("reference_walker", reference)
         ));
     }
     out.push_str("  ],\n");
     e1_batch_json(&mut out, REPS);
     docgen_batch_json(&mut out, REPS);
     out.push_str("}\n");
-    std::fs::write("BENCH_3.json", &out).expect("writing BENCH_3.json");
-    println!("  wrote BENCH_3.json");
+    std::fs::write("BENCH_4.json", &out).expect("writing BENCH_4.json");
+    println!("  wrote BENCH_4.json");
 }
 
 /// One E1 batch job: a fresh engine, the per-document model exported into
@@ -286,15 +358,17 @@ fn e1_batch_json(out: &mut String, reps: usize) {
                 None => baseline = Some(results),
                 Some(b) => assert_eq!(&results, b, "batch results diverged at {workers} workers"),
             }
-            let batch_ms = measure(reps, || {
+            let batch = measure(reps, || {
                 run_batch();
             });
-            let docs_per_sec = docs as f64 / (batch_ms / 1e3);
+            let docs_per_sec = docs as f64 / (batch.median / 1e3);
             println!(
-                "  e1 batch n={n:>3} docs={docs:>2} workers={workers}: {batch_ms:.1} ms ({docs_per_sec:.1} docs/sec)"
+                "  e1 batch n={n:>3} docs={docs:>2} workers={workers}: {:.1} ms ({docs_per_sec:.1} docs/sec)",
+                batch.median
             );
             rows.push(format!(
-                "    {{\"nodes\": {n}, \"docs\": {docs}, \"workers\": {workers}, \"batch_ms\": {batch_ms:.4}, \"docs_per_sec\": {docs_per_sec:.2}}}"
+                "    {{\"nodes\": {n}, \"docs\": {docs}, \"workers\": {workers}, {}, \"docs_per_sec\": {docs_per_sec:.2}}}",
+                metric_json("batch", batch)
             ));
         }
     }
@@ -334,13 +408,17 @@ fn e1_batch_json(out: &mut String, reps: usize) {
                 .collect();
             pool.run_batch(jobs)
         };
-        let batch_ms = measure(reps, || {
+        let batch = measure(reps, || {
             run_batch();
         });
-        let docs_per_sec = docs as f64 / (batch_ms / 1e3);
-        println!("  e1 compile sharing {mode}: {batch_ms:.1} ms ({docs_per_sec:.1} docs/sec)");
+        let docs_per_sec = docs as f64 / (batch.median / 1e3);
+        println!(
+            "  e1 compile sharing {mode}: {:.1} ms ({docs_per_sec:.1} docs/sec)",
+            batch.median
+        );
         rows.push(format!(
-            "    {{\"nodes\": {n}, \"docs\": {docs}, \"mode\": \"{mode}\", \"batch_ms\": {batch_ms:.4}, \"docs_per_sec\": {docs_per_sec:.2}}}"
+            "    {{\"nodes\": {n}, \"docs\": {docs}, \"mode\": \"{mode}\", {}, \"docs_per_sec\": {docs_per_sec:.2}}}",
+            metric_json("batch", batch)
         ));
     }
     out.push_str(&rows.join(",\n"));
@@ -391,15 +469,17 @@ fn docgen_batch_json(out: &mut String, reps: usize) {
             None => baseline = Some(results),
             Some(b) => assert_eq!(&results, b, "docgen batch diverged at {workers} workers"),
         }
-        let batch_ms = measure(reps, || {
+        let batch = measure(reps, || {
             run();
         });
-        let docs_per_sec = docs as f64 / (batch_ms / 1e3);
+        let docs_per_sec = docs as f64 / (batch.median / 1e3);
         println!(
-            "  docgen mixed batch docs={docs} workers={workers}: {batch_ms:.1} ms ({docs_per_sec:.1} docs/sec)"
+            "  docgen mixed batch docs={docs} workers={workers}: {:.1} ms ({docs_per_sec:.1} docs/sec)",
+            batch.median
         );
         rows.push(format!(
-            "    {{\"docs\": {docs}, \"workers\": {workers}, \"batch_ms\": {batch_ms:.4}, \"docs_per_sec\": {docs_per_sec:.2}}}"
+            "    {{\"docs\": {docs}, \"workers\": {workers}, {}, \"docs_per_sec\": {docs_per_sec:.2}}}",
+            metric_json("batch", batch)
         ));
     }
     out.push_str(&rows.join(",\n"));
@@ -423,7 +503,7 @@ fn docgen_batch_json(out: &mut String, reps: usize) {
     let pool = StackPool::new(1, 256 * 1024 * 1024);
     let mut rows = Vec::new();
     for (mode, per_doc_compile) in [("shared_compile", false), ("per_doc_compile", true)] {
-        let batch_ms = measure(reps, || {
+        let batch = measure(reps, || {
             if per_doc_compile {
                 let fresh = CompiledPipeline::standard().unwrap();
                 for r in generate_batch_with(&xq_jobs[..1], &fresh, &pool) {
@@ -443,10 +523,14 @@ fn docgen_batch_json(out: &mut String, reps: usize) {
                 }
             }
         });
-        let docs_per_sec = docs as f64 / (batch_ms / 1e3);
-        println!("  docgen compile sharing {mode}: {batch_ms:.1} ms ({docs_per_sec:.1} docs/sec)");
+        let docs_per_sec = docs as f64 / (batch.median / 1e3);
+        println!(
+            "  docgen compile sharing {mode}: {:.1} ms ({docs_per_sec:.1} docs/sec)",
+            batch.median
+        );
         rows.push(format!(
-            "    {{\"docs\": {docs}, \"mode\": \"{mode}\", \"batch_ms\": {batch_ms:.4}, \"docs_per_sec\": {docs_per_sec:.2}}}"
+            "    {{\"docs\": {docs}, \"mode\": \"{mode}\", {}, \"docs_per_sec\": {docs_per_sec:.2}}}",
+            metric_json("batch", batch)
         ));
     }
     out.push_str(&rows.join(",\n"));

@@ -985,6 +985,59 @@ impl Store {
         Store::interval_slice(named, &ix.entries, e).to_vec()
     }
 
+    /// Streams the name-index candidates of
+    /// [`Store::descendant_elements_by_local`] through `visit` in document
+    /// order, without cloning the index range, stopping (and returning
+    /// `true`) as soon as the visitor returns `true`. Existence probes over
+    /// the index short-circuit this way instead of materialising the whole
+    /// candidate vector.
+    ///
+    /// The visitor runs while the index lock is held: it may read node data
+    /// (`kind`, `children`, `attributes`, plain axis walks) but must not
+    /// call back into any index-backed query, which would self-deadlock.
+    pub fn any_descendant_element_by_local(
+        &self,
+        scope: NodeId,
+        local: Sym,
+        mut visit: impl FnMut(NodeId) -> bool,
+    ) -> bool {
+        let mut ix = self.index();
+        let e = self.ensure_entry(&mut ix, scope);
+        let Some(named) = ix
+            .trees
+            .get(&e.root)
+            .and_then(|t| t.elements_by_local.get(&local))
+        else {
+            return false;
+        };
+        Store::interval_slice(named, &ix.entries, e)
+            .iter()
+            .any(|&n| visit(n))
+    }
+
+    /// Streaming twin of [`Store::descendant_or_self_attributes_by_local`],
+    /// with the same visitor contract as
+    /// [`Store::any_descendant_element_by_local`].
+    pub fn any_descendant_or_self_attribute_by_local(
+        &self,
+        scope: NodeId,
+        local: Sym,
+        mut visit: impl FnMut(NodeId) -> bool,
+    ) -> bool {
+        let mut ix = self.index();
+        let e = self.ensure_entry(&mut ix, scope);
+        let Some(named) = ix
+            .trees
+            .get(&e.root)
+            .and_then(|t| t.attributes_by_local.get(&local))
+        else {
+            return false;
+        };
+        Store::interval_slice(named, &ix.entries, e)
+            .iter()
+            .any(|&n| visit(n))
+    }
+
     /// Attributes with local symbol `local` on `scope` or any descendant of
     /// it, in document order (the fused `//@name` lookup: attributes number
     /// inside their element's interval).

@@ -109,13 +109,88 @@ fn ordering_satisfies(op: CmpOp, ord: Ordering) -> bool {
 /// General comparison: existential over all atomized pairs. Incomparable
 /// pairs simply don't satisfy the operator (the 2004-era lax behaviour the
 /// project relied on when using `=` as "sequence contains").
+///
+/// This is the quadratic reference scan — the executable specification the
+/// tree walker uses. The lowered runner goes through
+/// [`general_compare_hashed`], which must stay observably identical.
 pub fn general_compare(op: CmpOp, left: &Sequence, right: &Sequence, store: &Store) -> bool {
     let ls = atomize(left, store);
     let rs = atomize(right, store);
+    scan_atoms(op, &ls, &rs)
+}
+
+/// The existential double loop over already-atomized operands.
+fn scan_atoms(op: CmpOp, ls: &[Atomic], rs: &[Atomic]) -> bool {
     ls.iter().any(|a| {
         rs.iter()
             .any(|b| compare_atomics(a, b).is_some_and(|ord| ordering_satisfies(op, ord)))
     })
+}
+
+/// Below this many candidate pairs the quadratic scan wins: hashing pays a
+/// per-atom setup cost the small cases never amortize.
+const HASH_JOIN_MIN_PAIRS: usize = 64;
+
+/// The string payload of a string-family atom, if it is one. Only when
+/// **every** atom on both sides is `Str`/`Untyped` does `=` degenerate to
+/// exact codepoint equality (see [`compare_atomics`]: all four
+/// string/untyped pairings compare stringwise, while a string against a
+/// number or boolean is incomparable and can never satisfy `=`/`!=`).
+pub(crate) fn string_family(a: &Atomic) -> Option<&str> {
+    match a {
+        Atomic::Str(s) | Atomic::Untyped(s) => Some(s),
+        _ => None,
+    }
+}
+
+/// [`general_compare`] with a hash-join fast path for the superlinear case
+/// the calculus generator hits (`@type = ("a", "b", ...)` membership tests
+/// over large node sets): for `=`/`!=` where both operands atomize to
+/// string-family atoms only, build a hash set over the smaller side and
+/// probe with the larger instead of scanning all pairs.
+///
+/// Gated exactly like the fused attr-eq path from the index work: any
+/// numeric or boolean atom on either side falls back to the quadratic scan
+/// (mixed-type coercion is not plain string equality), as do the ordering
+/// operators and small operands. `general_compare` never raises, so there
+/// is no error-ordering to preserve — the two entry points must simply
+/// return the same boolean, which the differential corpus and the proptest
+/// below enforce.
+pub fn general_compare_hashed(op: CmpOp, left: &Sequence, right: &Sequence, store: &Store) -> bool {
+    let ls = atomize(left, store);
+    let rs = atomize(right, store);
+    if matches!(op, CmpOp::Eq | CmpOp::Ne)
+        && ls.len() >= 2
+        && rs.len() >= 2
+        && ls.len().saturating_mul(rs.len()) >= HASH_JOIN_MIN_PAIRS
+    {
+        let lstr: Option<Vec<&str>> = ls.iter().map(string_family).collect();
+        let rstr: Option<Vec<&str>> = rs.iter().map(string_family).collect();
+        if let (Some(lstr), Some(rstr)) = (lstr, rstr) {
+            return match op {
+                CmpOp::Eq => {
+                    // Build over the smaller side, probe with the larger;
+                    // the probe short-circuits on the first hit.
+                    let (build, probe) = if lstr.len() <= rstr.len() {
+                        (&lstr, &rstr)
+                    } else {
+                        (&rstr, &lstr)
+                    };
+                    let set: std::collections::HashSet<&str> = build.iter().copied().collect();
+                    probe.iter().any(|s| set.contains(s))
+                }
+                CmpOp::Ne => {
+                    // Existential `!=` is true unless both sides hold exactly
+                    // one distinct value and it is the same one — O(n + m),
+                    // no hashing needed at all.
+                    let first = lstr[0];
+                    lstr.iter().any(|s| *s != first) || rstr.iter().any(|s| *s != first)
+                }
+                _ => unreachable!("gated to Eq/Ne above"),
+            };
+        }
+    }
+    scan_atoms(op, &ls, &rs)
 }
 
 /// Value comparison: operands must atomize to at most one item; the empty

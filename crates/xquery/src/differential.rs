@@ -257,6 +257,9 @@ const AXIS_CORPUS: &[&str] = &[
     "//k",
     "//@k",
     "count(//level)",
+    "count(//@k)",
+    "count(/doc/item//leaf)",
+    "let $s := \"x\" return count($s//item)",
     // Ancestor axis from deep nodes.
     "//leaf/ancestor::level/@a",
     "//leaf[@k = \"a\"]/ancestor::*[last()]",
@@ -312,6 +315,141 @@ fn axis_corpus_matches_reference_unoptimized() {
     let doc = e.load_document(DEEP_DOC).unwrap();
     for src in AXIS_CORPUS {
         assert_equivalent(&mut e, src, Some(doc)).unwrap();
+    }
+}
+
+/// A model-graph document shaped like the paper's E1 translation: `node`s
+/// with string ids joined against `rel`s by `@src`/`@dst`. It keeps the
+/// awkward rows on purpose: duplicate keys, a `rel` with no `@src` at all,
+/// an empty-string id, a numeric-looking id (`07`), and nodes with zero or
+/// several `val` children.
+const JOIN_DOC: &str = "<m>\
+    <node id='n1' type='user'><val>a</val><val>b</val></node>\
+    <node id='n2' type='user'/>\
+    <node id='n3' type='prog'><val>b</val></node>\
+    <node id='' type='user'/>\
+    <node type='ghost'/>\
+    <rel src='n1' dst='n3' type='likes'/>\
+    <rel src='n2' dst='n1' type='likes'/>\
+    <rel src='n1' dst='n2' type='uses'/>\
+    <rel src='n3' dst='n3' type='likes'/>\
+    <rel src='' dst='n2' type='likes'/>\
+    <rel src='07' dst='n1' type='uses'/>\
+    <rel dst='n1' type='uses'/>\
+</m>";
+
+/// Join- and hoist-heavy corpus: the FLWOR hash join (marked by `lopt` on
+/// the last `for` clause) against its quadratic meaning, every fallback
+/// shape (non-string keys, non-string probes, `at`-bindings, compound
+/// `where`), the hashed general comparison, and loop-invariant hoists whose
+/// subexpressions raise — which must raise exactly when the unhoisted
+/// program would.
+const JOIN_CORPUS: &[&str] = &[
+    // The E1 shape: equality of string-valued attributes on the last `for`.
+    "for $n in //node for $r in //rel where $r/@src = $n/@id return concat($n/@id, '->', $r/@dst)",
+    // Key on the right of the `=` (JoinSide::Right).
+    "for $n in //node for $r in //rel where $n/@id = $r/@src return string($r/@dst)",
+    // Filtered inputs, a membership test, and order-by — still joinable.
+    "for $n in //node[@type = 'user'] for $r in //rel[@type = ('likes', 'uses')] where $r/@src = $n/@id order by string($r/@dst) return string($r/@dst)",
+    // Multi-atom keys and probes: nodes with several `val` children.
+    "for $a in //node for $b in //node where $b/val = $a/val return concat($a/@id, '~', $b/@id)",
+    // The inner sequence depends on the outer binding: rebuilt per tuple.
+    "for $n in //node for $v in $n/val where $v = $n/val[1] return concat($n/@id, ':', $v)",
+    // A join inside the return of an outer for: the inner FLWOR joins on
+    // its own clause while the cached `//rel` keeps one table alive.
+    "for $n in //node return for $r in //rel where $r/@src = $n/@id return string($r/@dst)",
+    // Untyped attribute keys against numeric and string probes: 7 = '07'
+    // holds numerically, '7' = '07' does not — the numeric probe must take
+    // the general comparison, never the string table.
+    "for $n in (7, '07', '7') for $r in //rel where $r/@src = $n return string($r/@dst)",
+    // All-integer inputs: the table build aborts and every tuple scans.
+    "for $n in (1, 2, 3) for $r in (2, 3, 4, 2) where $r = $n return $r * 10",
+    // Mixed atoms in the key sequence abort the build midway through.
+    "for $n in ('a', 2) for $r in ('a', 'b', 2, 'a') where $r = $n return $r",
+    // String table, but some probes are numeric (per-tuple fallback).
+    "for $n in ('a', 2, 'b') for $r in ('a', 'b', 'c') where $r = $n return $r",
+    // A positional binding on the last `for` defeats the join.
+    "for $n in //node for $r at $p in //rel where $r/@src = $n/@id return $p",
+    // Compound `where`: not a bare equality, no join.
+    "for $n in //node for $r in //rel where $r/@src = $n/@id and $r/@type = 'likes' return string($r/@dst)",
+    // `!=` is existential too but never joined.
+    "for $n in //node for $r in //rel where $r/@src != $n/@id return string($r/@dst)",
+    // Key evaluation raises on the very first item — at the same position
+    // where the scan's first tuple would raise.
+    "for $n in (1, 2) for $r in ('x', 'y') where ($r + 0) = $n return $r",
+    // Probe evaluation raises on the first tuple, after the build started.
+    "for $n in (0, 1) for $r in ('x', 'y') where $r = (1 div $n) return $r",
+    // An invariant probe that raises: unbound variable on the probe side.
+    "for $n in //node for $r in //rel where $r/@src = $undefined return $r",
+    // Large literal comparisons: the hashed general compare (>= 64 pairs).
+    "('a','b','c','d','e','f','g','h') = ('h','x','y','z','q','r','s','t')",
+    "('a','b','c','d','e','f','g','h') != ('a','a','a','a','a','a','a','a')",
+    "count(//node[@id = ('n1', 'n2', 'zzz', '')])",
+    // Loop-invariant hoists that raise — exactly when unhoisted would.
+    "for $i in (1, 2, 3) return ($i, 7 idiv 0)",
+    "for $i in (1, 2) where (5 mod 0) > $i return $i",
+    "for $i in (1, 2) let $x := $i * (1 div 0) return $x",
+    // A hoisted cell on a branch never taken is never evaluated: no error.
+    "for $i in (1, 2) return (if ($i < 10) then $i else (1 div 0))",
+    // Invariant paths hoisted out of loop bodies (variable-rooted — paths
+    // from the context root are focus-dependent and stay put), plus
+    // shadowing across nested loops.
+    "let $d := /m return for $i in (1, 2, 3) return ($i, string($d/node[1]/@id))",
+    "for $i in (1, 2, 3) return ($i, string(//node[1]/@id))",
+    "for $i in 1 to 3 let $j := $i return for $i in //rel return concat($i/@dst, $j)",
+];
+
+#[test]
+fn join_corpus_matches_reference_standard() {
+    let mut e = Engine::with_options(EngineOptions {
+        dup_attr_policy: crate::engine::DupAttrPolicy::Error,
+        ..Default::default()
+    });
+    let doc = e.load_document(JOIN_DOC).unwrap();
+    for src in JOIN_CORPUS {
+        assert_equivalent(&mut e, src, Some(doc)).unwrap();
+    }
+}
+
+#[test]
+fn join_corpus_matches_reference_galax_quirks() {
+    let mut e = Engine::galax();
+    let doc = e.load_document(JOIN_DOC).unwrap();
+    for src in JOIN_CORPUS {
+        assert_equivalent(&mut e, src, Some(doc)).unwrap();
+    }
+}
+
+#[test]
+fn join_corpus_matches_reference_unoptimized() {
+    let mut e = Engine::with_options(EngineOptions {
+        optimize: false,
+        ..Default::default()
+    });
+    let doc = e.load_document(JOIN_DOC).unwrap();
+    for src in JOIN_CORPUS {
+        assert_equivalent(&mut e, src, Some(doc)).unwrap();
+    }
+}
+
+#[test]
+fn all_corpora_match_reference_with_runtime_opt_off() {
+    // The same three corpora with the lowered-plan optimiser forced off:
+    // no hoisting, no hash join, no streamed existence — the plain lowered
+    // program must still match the walker everywhere.
+    let mut e = Engine::with_options(EngineOptions {
+        runtime_opt: false,
+        ..Default::default()
+    });
+    for (doc_xml, corpus) in [
+        (DOC, CORPUS),
+        (DEEP_DOC, AXIS_CORPUS),
+        (JOIN_DOC, JOIN_CORPUS),
+    ] {
+        let doc = e.load_document(doc_xml).unwrap();
+        for src in corpus {
+            assert_equivalent(&mut e, src, Some(doc)).unwrap();
+        }
     }
 }
 
@@ -404,6 +542,151 @@ proptest! {
     }
 }
 
+/// One random atom literal: a short string or a small integer, so generated
+/// sequences mix table-served keys with fallback-forcing numerics.
+fn atom() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[abc]".prop_map(|s| format!("'{s}'")),
+        (0i64..4).prop_map(|i| i.to_string()),
+    ]
+}
+
+/// Renders a list of atom literals as an XQuery sequence expression.
+fn atom_list(atoms: &[String]) -> String {
+    if atoms.is_empty() {
+        "()".to_string()
+    } else {
+        format!("({})", atoms.join(", "))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The FLWOR hash join is observably identical to the quadratic scan:
+    /// the same program runs with the runtime optimiser on (join marked,
+    /// table probed) and off (plain nested loop), plus the tree walker for
+    /// each. Mixed string/integer atoms exercise the build abort and the
+    /// per-tuple probe fallback; `dup` probes exercise the bucket merge.
+    #[test]
+    fn flwor_hash_join_matches_quadratic_scan(
+        outer in prop::collection::vec(atom(), 0..8),
+        inner in prop::collection::vec(atom(), 0..10),
+        dup in any::<bool>(),
+    ) {
+        let probe = if dup { "($n, $n)" } else { "$n" };
+        let src = format!(
+            "for $n in {} for $r in {} where $r = {probe} return ($r, '|')",
+            atom_list(&outer),
+            atom_list(&inner),
+        );
+        let mut on = Engine::with_options(EngineOptions {
+            runtime_opt: true,
+            ..Default::default()
+        });
+        let mut off = Engine::with_options(EngineOptions {
+            runtime_opt: false,
+            ..Default::default()
+        });
+        // Each engine agrees with its own tree walker…
+        if let Err(msg) = assert_equivalent(&mut on, &src, None) {
+            return Err(TestCaseError::fail(msg));
+        }
+        if let Err(msg) = assert_equivalent(&mut off, &src, None) {
+            return Err(TestCaseError::fail(msg));
+        }
+        // …the optimised compile really did mark the join, the plain one
+        // didn't…
+        let qo = on.compile(&src).unwrap();
+        let qu = off.compile(&src).unwrap();
+        prop_assert_eq!(qo.plan_stats.hash_joins, 1);
+        prop_assert_eq!(qu.plan_stats.hash_joins, 0);
+        // …and the two engines agree with each other.
+        let a = on.evaluate(&qo, None).unwrap();
+        let b = off.evaluate(&qu, None).unwrap();
+        prop_assert_eq!(on.display_sequence(&a), off.display_sequence(&b));
+    }
+
+    /// The hashed general comparison agrees with the pairwise scan on
+    /// random atom sequences, for `=` and `!=` alike — the optimised and
+    /// unoptimised engines and both tree walkers see one truth value.
+    #[test]
+    fn hashed_general_compare_matches_scan(
+        a in prop::collection::vec(atom(), 0..12),
+        b in prop::collection::vec(atom(), 0..12),
+        ne in any::<bool>(),
+    ) {
+        let op = if ne { "!=" } else { "=" };
+        let src = format!("{} {op} {}", atom_list(&a), atom_list(&b));
+        let mut on = Engine::with_options(EngineOptions {
+            runtime_opt: true,
+            ..Default::default()
+        });
+        let mut off = Engine::with_options(EngineOptions {
+            runtime_opt: false,
+            ..Default::default()
+        });
+        for e in [&mut on, &mut off] {
+            if let Err(msg) = assert_equivalent(e, &src, None) {
+                return Err(TestCaseError::fail(msg));
+            }
+        }
+        let x = on.evaluate_str(&src, None).unwrap();
+        let y = off.evaluate_str(&src, None).unwrap();
+        prop_assert_eq!(on.display_sequence(&x), off.display_sequence(&y));
+    }
+}
+
+/// Galax-quirk regression: with the lowered-plan passes ON, the AST
+/// optimizer still deletes `fn:trace` in dead position — and nothing else.
+/// The live bindings survive (the value matches standard mode), the
+/// invariant hoist still runs on the pruned program, and a standard engine
+/// keeps the trace firing once per tuple through both evaluators.
+#[test]
+fn quirks_trace_deletion_survives_the_runtime_passes() {
+    let src = "let $m := /m return \
+               for $i in (1, 2) \
+               let $dead := trace('dead=', $i) \
+               let $live := concat('n', $i) \
+               return ($live, string($m/node[1]/@id))";
+
+    // `runtime_opt` is pinned on (not left to `XQ_OPT`) so the hoist
+    // assertion holds even when the suite runs with the optimiser off.
+    let mut galax = Engine::with_options(EngineOptions {
+        runtime_opt: true,
+        ..EngineOptions::galax()
+    });
+    let doc = galax.load_document(JOIN_DOC).unwrap();
+    let q = galax.compile(src).unwrap();
+    assert_eq!(q.stats.traces_removed, 1, "the dead trace is deleted");
+    assert!(
+        q.plan_stats.hoisted_invariant > 0,
+        "the invariant path is still hoisted after the quirks DCE, got {:?}",
+        q.plan_stats
+    );
+    let out = galax.evaluate(&q, Some(doc)).unwrap();
+    assert_eq!(galax.display_sequence(&out), "n1 n1 n2 n1");
+    assert!(
+        galax.take_trace().is_empty(),
+        "no trace escapes quirks mode"
+    );
+    let out = galax.evaluate_reference(&q, Some(doc)).unwrap();
+    assert_eq!(galax.display_sequence(&out), "n1 n1 n2 n1");
+    assert!(galax.take_trace().is_empty());
+
+    // Standard mode: the same value, but the trace fires per tuple.
+    let mut fixed = Engine::with_options(EngineOptions {
+        runtime_opt: true,
+        ..Default::default()
+    });
+    let doc = fixed.load_document(JOIN_DOC).unwrap();
+    let q = fixed.compile(src).unwrap();
+    assert_eq!(q.stats.traces_removed, 0, "standard mode deletes nothing");
+    let out = fixed.evaluate(&q, Some(doc)).unwrap();
+    assert_eq!(fixed.display_sequence(&out), "n1 n1 n2 n1");
+    assert_eq!(fixed.take_trace(), vec!["dead= 1", "dead= 2"]);
+}
+
 // ---------------------------------------------------------------------
 // Pooled-path and concurrency stress tests
 //
@@ -417,8 +700,10 @@ proptest! {
 use crate::engine::{CompiledQuery, DupAttrPolicy, StackPool};
 use std::sync::Arc;
 
-/// The four engine configurations the serial corpus tests above run under.
-fn four_configs() -> Vec<(&'static str, EngineOptions)> {
+/// The engine configurations the serial corpus tests above run under, plus
+/// the two optimiser-off variants: AST optimizer off, and the lowered-plan
+/// passes (hoisting, hash join, streamed existence) off.
+fn engine_configs() -> Vec<(&'static str, EngineOptions)> {
     vec![
         (
             "standard",
@@ -436,6 +721,21 @@ fn four_configs() -> Vec<(&'static str, EngineOptions)> {
                 ..Default::default()
             },
         ),
+        (
+            "runtime-unoptimized",
+            EngineOptions {
+                runtime_opt: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "fully-unoptimized",
+            EngineOptions {
+                optimize: false,
+                runtime_opt: false,
+                ..Default::default()
+            },
+        ),
     ]
 }
 
@@ -449,6 +749,9 @@ fn corpus_cases() -> Vec<(Option<&'static str>, &'static str)> {
     }
     for src in AXIS_CORPUS {
         cases.push((Some(DEEP_DOC), *src));
+    }
+    for src in JOIN_CORPUS {
+        cases.push((Some(JOIN_DOC), *src));
     }
     cases
 }
@@ -474,7 +777,7 @@ fn case_outcome(
 fn pooled_corpus_is_byte_identical_to_serial_under_all_configs() {
     let pool = Arc::new(StackPool::new(4, 64 * 1024 * 1024));
     let cases = corpus_cases();
-    for (name, options) in four_configs() {
+    for (name, options) in engine_configs() {
         let serial: Vec<String> = cases
             .iter()
             .map(|&(doc, src)| case_outcome(options.clone(), None, doc, src))

@@ -61,6 +61,17 @@ pub struct EngineOptions {
     /// single-query path observably identical to the pre-pool engine; batch
     /// drivers ([`StackPool::run_batch`]) raise this to overlap documents.
     pub eval_workers: usize,
+    /// Enable the lowered-program optimisation layer: the loop-invariant
+    /// hoisting pass over the lowered [`Program`], the hash-join existential
+    /// general comparison, and the streaming existence short-circuits in the
+    /// runner. All of these are gated rewrites that must be observably
+    /// identical to the plain paths (the differential suite runs with this
+    /// both on and off); the flag exists so CI can pin that claim and so a
+    /// regression can be bisected at runtime. Defaults to `true`; setting
+    /// the `XQ_OPT=0` environment variable forces it off. Distinct from
+    /// [`EngineOptions::optimize`], which is the paper-faithful *AST*
+    /// optimizer whose quirks-mode trace-DCE is itself under test.
+    pub runtime_opt: bool,
 }
 
 impl Default for EngineOptions {
@@ -73,6 +84,7 @@ impl Default for EngineOptions {
             static_typing: false,
             eval_stack_bytes: 256 * 1024 * 1024,
             eval_workers: 1,
+            runtime_opt: std::env::var("XQ_OPT").map_or(true, |v| v != "0"),
         }
     }
 }
@@ -103,6 +115,9 @@ pub struct CompiledQuery {
     pub module: Arc<Module>,
     pub program: Arc<Program>,
     pub stats: OptimizerStats,
+    /// What the lowered-plan pass did (zero everywhere when
+    /// [`EngineOptions::runtime_opt`] is off).
+    pub plan_stats: crate::lopt::PlanStats,
 }
 
 /// A job shipped to a big-stack worker thread.
@@ -449,11 +464,21 @@ impl Engine {
         // Lowering runs AFTER the (quirks-aware) optimizer: trace-DCE and
         // friends see the tree they always saw, and the lowered program is a
         // faithful translation of the optimizer's output.
-        let program = lower_module(&module)?;
+        let mut program = lower_module(&module)?;
+        let plan_stats = if self.options.runtime_opt {
+            // The lowered-plan pass only touches the program the runner
+            // executes; the retained module (and thus the reference walker)
+            // is untouched, which is what lets the differential suite hold
+            // the two observably identical.
+            crate::lopt::optimize_program(&mut program)
+        } else {
+            crate::lopt::PlanStats::default()
+        };
         Ok(CompiledQuery {
             module: Arc::new(module),
             program: Arc::new(program),
             stats,
+            plan_stats,
         })
     }
 

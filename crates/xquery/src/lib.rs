@@ -37,6 +37,7 @@ pub mod error;
 pub mod eval;
 pub mod functions;
 pub mod lexer;
+pub mod lopt;
 pub mod lower;
 pub mod optimizer;
 pub mod parser;

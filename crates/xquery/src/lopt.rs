@@ -1,0 +1,1006 @@
+//! The lowered-plan optimisation pass: loop-invariant hoisting and
+//! common-subexpression caching over FLWOR regions.
+//!
+//! This runs between [`crate::lower`] and [`crate::run`], after the
+//! paper-faithful AST optimizer has already done its (quirks-aware) work —
+//! the module the tree-walking reference evaluator executes is never
+//! touched, so the differential suite can hold the two paths observably
+//! identical with the pass on and off.
+//!
+//! ## What it does
+//!
+//! Within each FLWOR that has at least one `for` clause, repeated or
+//! loop-invariant subexpressions are wrapped in [`LExpr::CacheOnce`] cells
+//! backed by synthetic frame slots appended past the source program's
+//! locals. A cell evaluates its body on first *read* — in source position,
+//! so an expression that raises still raises exactly when the unhoisted
+//! program would — and is cleared by the `for` clause recorded in its
+//! reset list ([`LFlworClause::For`]):
+//!
+//! * **entry reset** at the first `for` clause after every binding the
+//!   subexpression depends on: the value is invariant across that loop, so
+//!   it refills at most once per (re-)entry of the loop. This is classic
+//!   loop-invariant code motion, done lazily.
+//! * **iteration reset** at the innermost `for` clause, for subexpressions
+//!   that depend on the current tuple but occur more than once downstream
+//!   (`where` plus `order by`, say): one evaluation per tuple.
+//!
+//! ## What may be cached
+//!
+//! Only subtrees that are deterministic given the frame: no function calls
+//! (so `fn:trace` and `fn:doc` are untouched — quirks-mode trace semantics
+//! cannot be affected), no node constructors (constructors create fresh
+//! node identities per evaluation, and a constructor elsewhere can never
+//! invalidate a cached *existing* node sequence because construction
+//! deep-copies content instead of mutating trees), no binder constructs,
+//! and no use of the *outer* focus — a path's own steps and predicates
+//! rebind focus internally and are fine. References to slots bound by
+//! nested binder constructs are excluded by poisoning during the scan:
+//! sibling scopes reuse slot numbers, so a nested `for $c` can shadow the
+//! number of an outer `let` and a naive slot check would lie.
+
+use crate::ast::CmpOp;
+use crate::lower::{JoinSide, LExpr, LFlworClause, LOrderSpec, LPathStep, Program};
+use std::collections::{BTreeMap, HashMap};
+
+/// What the pass did, for inspection and benchmarks (the differential
+/// corpus asserts results are identical whether these are zero or not).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanStats {
+    /// `CacheOnce` cells reset at loop entry (loop-invariant hoists).
+    pub hoisted_invariant: usize,
+    /// `CacheOnce` cells reset per tuple (common-subexpression caches).
+    pub cached_per_tuple: usize,
+    /// Final `for` clauses whose `where` equality was marked for the
+    /// runtime hash join (see [`LFlworClause::For::join`]).
+    pub hash_joins: usize,
+}
+
+/// Runs the pass over every executable body in the program, growing each
+/// body's frame by the synthetic slots it allocates.
+pub fn optimize_program(program: &mut Program) -> PlanStats {
+    let mut stats = PlanStats::default();
+    for f in &mut program.functions {
+        let mut alloc = SlotAlloc { frame: f.frame };
+        walk(&mut f.body, &mut alloc, &mut stats);
+        f.frame = alloc.frame;
+    }
+    for g in &mut program.globals {
+        let mut alloc = SlotAlloc { frame: g.frame };
+        walk(&mut g.expr, &mut alloc, &mut stats);
+        g.frame = alloc.frame;
+    }
+    let mut alloc = SlotAlloc {
+        frame: program.body_frame,
+    };
+    walk(&mut program.body, &mut alloc, &mut stats);
+    program.body_frame = alloc.frame;
+    stats
+}
+
+/// Allocates synthetic slots past the lowered frame of one executable body.
+struct SlotAlloc {
+    frame: usize,
+}
+
+impl SlotAlloc {
+    fn alloc(&mut self) -> u32 {
+        let slot = self.frame as u32;
+        self.frame += 1;
+        slot
+    }
+}
+
+/// Top-down walk: hoist within a FLWOR before descending, so outer regions
+/// see the pristine tree (a cell's body is itself cache-free and holds no
+/// FLWORs — binder constructs are never cacheable — so descending through
+/// freshly created cells finds no further work).
+fn walk(e: &mut LExpr, alloc: &mut SlotAlloc, stats: &mut PlanStats) {
+    if let LExpr::Flwor {
+        clauses,
+        where_,
+        order_by,
+        return_,
+    } = e
+    {
+        hoist_flwor(clauses, where_, order_by, return_, alloc, stats);
+        mark_hash_join(clauses, where_, stats);
+    }
+    for_each_child(e, &mut |c| walk(c, alloc, stats));
+}
+
+/// Marks the `for … where KEY($v) = PROBE` join pattern on a FLWOR's final
+/// `for` clause. The runtime turns the O(tuples × items) scan into one
+/// table build plus per-tuple probes; all it needs from the plan is which
+/// `where` operand is the key side.
+///
+/// The gates keep the rewrite invisible:
+/// * both operands must be [`join_simple`] — deterministic given the frame,
+///   no calls (no `trace` side effects), no constructors, no binders, no
+///   outer focus — so evaluating the key side once per item and the probe
+///   side once per tuple (instead of both per pair) changes no observable
+///   behaviour but the order work happens in, and error order is restored
+///   by the runtime's build discipline;
+/// * exactly one operand mentions the clause's variable (the key side);
+/// * the key side reads no *other* slot bound by this FLWOR's clauses —
+///   the table is reused across tuples, so its keys may depend only on the
+///   item and on bindings that cannot change between tuples;
+/// * no positional `at` binding (filtered iteration would still need the
+///   original positions; not worth the bookkeeping).
+fn mark_hash_join(
+    clauses: &mut [LFlworClause],
+    where_: &Option<Box<LExpr>>,
+    stats: &mut PlanStats,
+) {
+    let Some(w) = where_ else { return };
+    let LExpr::GeneralCmp(CmpOp::Eq, left, right) = &**w else {
+        return;
+    };
+    let mut clause_bound: Vec<u32> = Vec::new();
+    for c in clauses.iter() {
+        match c {
+            LFlworClause::For { var, at, .. } => {
+                clause_bound.push(*var);
+                if let Some(at) = at {
+                    clause_bound.push(*at);
+                }
+            }
+            LFlworClause::Let { var, .. } => clause_bound.push(*var),
+        }
+    }
+    let Some(LFlworClause::For {
+        var,
+        at: None,
+        join,
+        ..
+    }) = clauses.last_mut()
+    else {
+        return;
+    };
+    if !join_simple(left) || !join_simple(right) {
+        return;
+    }
+    let slots_of = |e: &LExpr| {
+        let mut slots = Vec::new();
+        join_slots(e, &mut |s| slots.push(s));
+        slots
+    };
+    let (ls, rs) = (slots_of(left), slots_of(right));
+    let side = match (ls.contains(var), rs.contains(var)) {
+        (true, false) => JoinSide::Left,
+        (false, true) => JoinSide::Right,
+        _ => return,
+    };
+    let key_slots = if side == JoinSide::Left { &ls } else { &rs };
+    if key_slots
+        .iter()
+        .any(|s| s != var && clause_bound.contains(s))
+    {
+        return;
+    }
+    *join = Some(side);
+    stats.hash_joins += 1;
+}
+
+/// Like [`cacheable`] with no poison and no focus, but looking *through*
+/// cache cells: a `where` operand that hoisting already wrapped is still a
+/// deterministic frame-only expression underneath.
+fn join_simple(e: &LExpr) -> bool {
+    match e {
+        LExpr::CacheOnce { expr, .. } => join_simple(expr),
+        _ => cacheable(e, &[], false),
+    }
+}
+
+/// [`collect_slots`] through cache cells (whose own synthetic slot is a
+/// cache address, not a variable read).
+fn join_slots(e: &LExpr, f: &mut impl FnMut(u32)) {
+    if let LExpr::CacheOnce { expr, .. } = e {
+        join_slots(expr, f);
+    } else {
+        collect_slots(e, f);
+    }
+}
+
+/// Calls `f` on every direct child expression of `e`.
+fn for_each_child(e: &mut LExpr, f: &mut impl FnMut(&mut LExpr)) {
+    match e {
+        LExpr::Literal(_)
+        | LExpr::LocalRef(_)
+        | LExpr::GlobalRef(..)
+        | LExpr::ContextItem(_)
+        | LExpr::Root(_) => {}
+        LExpr::Comma(parts) => parts.iter_mut().for_each(f),
+        LExpr::Range(a, b)
+        | LExpr::Arith(_, a, b)
+        | LExpr::GeneralCmp(_, a, b)
+        | LExpr::ValueCmp(_, a, b)
+        | LExpr::NodeCmp(_, a, b)
+        | LExpr::SetExpr(_, a, b)
+        | LExpr::And(a, b)
+        | LExpr::Or(a, b) => {
+            f(a);
+            f(b);
+        }
+        LExpr::Neg(a)
+        | LExpr::CompText(a)
+        | LExpr::CompComment(a)
+        | LExpr::InstanceOf(a, _)
+        | LExpr::CastAs(a, _, _)
+        | LExpr::CastableAs(a, _)
+        | LExpr::CacheOnce { expr: a, .. } => f(a),
+        LExpr::If(c, t, e2) => {
+            f(c);
+            f(t);
+            f(e2);
+        }
+        LExpr::Flwor {
+            clauses,
+            where_,
+            order_by,
+            return_,
+        } => {
+            for clause in clauses {
+                match clause {
+                    LFlworClause::For { seq, .. } => f(seq),
+                    LFlworClause::Let { expr, .. } => f(expr),
+                }
+            }
+            if let Some(w) = where_ {
+                f(w);
+            }
+            for spec in order_by {
+                f(&mut spec.key);
+            }
+            f(return_);
+        }
+        LExpr::Quantified {
+            bindings,
+            satisfies,
+            ..
+        } => {
+            for (_, seq) in bindings {
+                f(seq);
+            }
+            f(satisfies);
+        }
+        LExpr::AxisStep { predicates, .. } => predicates.iter_mut().for_each(f),
+        LExpr::Path { start, steps } => {
+            f(start);
+            for s in steps {
+                f(&mut s.expr);
+            }
+        }
+        LExpr::Filter(base, preds) => {
+            f(base);
+            preds.iter_mut().for_each(f);
+        }
+        LExpr::CallBuiltin { args, .. }
+        | LExpr::CallUser { args, .. }
+        | LExpr::CallUnknown { args, .. } => args.iter_mut().for_each(f),
+        LExpr::DirectElement { attrs, content, .. } => {
+            for (_, parts) in attrs {
+                for part in parts {
+                    if let crate::lower::LAttrPart::Enclosed(e2) = part {
+                        f(e2);
+                    }
+                }
+            }
+            for part in content {
+                match part {
+                    crate::lower::LContentPart::Enclosed(e2)
+                    | crate::lower::LContentPart::Node(e2) => f(e2),
+                    crate::lower::LContentPart::Literal(_) => {}
+                }
+            }
+        }
+        LExpr::CompElement { name, content, .. } => {
+            if let crate::lower::LConstructorName::Computed(n) = name {
+                f(n);
+            }
+            if let Some(c) = content {
+                f(c);
+            }
+        }
+        LExpr::CompAttribute { name, value, .. } => {
+            if let crate::lower::LConstructorName::Computed(n) = name {
+                f(n);
+            }
+            if let Some(v) = value {
+                f(v);
+            }
+        }
+        LExpr::TryCatch { try_, catch, .. } => {
+            f(try_);
+            f(catch);
+        }
+        LExpr::TypeSwitch {
+            operand,
+            cases,
+            default,
+            ..
+        } => {
+            f(operand);
+            for case in cases {
+                f(&mut case.body);
+            }
+            f(default);
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Per-FLWOR hoisting
+// ----------------------------------------------------------------------
+
+/// One candidate subexpression, grouped by structural key.
+struct Cand {
+    /// Largest clause index binding a slot the subtree reads, if any.
+    dep: Option<usize>,
+    /// Smallest/largest position among occurrences; clause exprs use their
+    /// clause index, `where`/`order by`/`return` use `usize::MAX`.
+    min_pos: usize,
+    max_pos: usize,
+    count: usize,
+}
+
+/// A chosen cache: the synthetic slot, the `for` clause that resets it, and
+/// whether the reset is on entry or per iteration. `used` records whether
+/// the rewrite phase actually installed a cell for it — a key whose only
+/// occurrences are embedded inside some larger rewritten candidate never
+/// materialises, and neither should its reset or its stats line.
+struct Decision {
+    slot: u32,
+    clause_idx: usize,
+    is_entry: bool,
+    used: bool,
+}
+
+struct HoistPass {
+    /// This FLWOR's clause binders, slot → clause index. Within the
+    /// scanned region (and outside poisoned subtrees) a slot number means
+    /// exactly one binder: clause scopes nest without popping.
+    binder_clause: HashMap<u32, usize>,
+    /// Slots bound by binder constructs *nested inside* the region —
+    /// references to them disqualify a subtree (the number may be reused
+    /// and the binding changes within one tuple).
+    poison: Vec<u32>,
+    cands: BTreeMap<String, Cand>,
+    /// Filled between the collect and rewrite scans.
+    decisions: BTreeMap<String, Decision>,
+    rewriting: bool,
+}
+
+fn hoist_flwor(
+    clauses: &mut [LFlworClause],
+    where_: &mut Option<Box<LExpr>>,
+    order_by: &mut [LOrderSpec],
+    return_: &mut LExpr,
+    alloc: &mut SlotAlloc,
+    stats: &mut PlanStats,
+) {
+    let for_indices: Vec<usize> = clauses
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| matches!(c, LFlworClause::For { .. }))
+        .map(|(i, _)| i)
+        .collect();
+    // No loop, nothing re-evaluates: every clause runs once per entry.
+    let Some((&f0, &last_for)) = for_indices.first().zip(for_indices.last()) else {
+        return;
+    };
+
+    let mut binder_clause = HashMap::new();
+    for (i, c) in clauses.iter().enumerate() {
+        match c {
+            LFlworClause::For { var, at, .. } => {
+                binder_clause.insert(*var, i);
+                if let Some(at) = at {
+                    binder_clause.insert(*at, i);
+                }
+            }
+            LFlworClause::Let { var, .. } => {
+                binder_clause.insert(*var, i);
+            }
+        }
+    }
+
+    let mut pass = HoistPass {
+        binder_clause,
+        poison: Vec::new(),
+        cands: BTreeMap::new(),
+        decisions: BTreeMap::new(),
+        rewriting: false,
+    };
+    pass.scan_region(clauses, where_, order_by, return_, f0);
+
+    // Pick a reset point per key. An entry target must lie at or before
+    // every occurrence (`j <= min_pos`): a cache read positioned before its
+    // reset clause would refill with the previous outer binding and then be
+    // served stale. It must also have a read strictly inside the loop
+    // (`max_pos > j`) — a value only read while producing clause `j`'s own
+    // sequence is already evaluated once per entry, and a cell would be
+    // pure overhead. The per-tuple fallback requires all reads after the
+    // innermost `for`, and at least two of them to pay for the cell.
+    let keys: Vec<String> = pass.cands.keys().cloned().collect();
+    for key in keys {
+        let cand = &pass.cands[&key];
+        let entry = for_indices
+            .iter()
+            .copied()
+            .find(|&j| cand.dep.is_none_or(|d| j > d));
+        let target = match entry {
+            Some(j) if j <= cand.min_pos && cand.max_pos > j => Some((j, true)),
+            _ if cand.min_pos > last_for && cand.count >= 2 => Some((last_for, false)),
+            _ => None,
+        };
+        let Some((clause_idx, is_entry)) = target else {
+            continue;
+        };
+        pass.decisions.insert(
+            key,
+            Decision {
+                slot: alloc.alloc(),
+                clause_idx,
+                is_entry,
+                used: false,
+            },
+        );
+    }
+    if pass.decisions.is_empty() {
+        return;
+    }
+
+    pass.rewriting = true;
+    pass.scan_region(clauses, where_, order_by, return_, f0);
+
+    for d in pass.decisions.values().filter(|d| d.used) {
+        let LFlworClause::For {
+            reset_entry,
+            reset_iter,
+            ..
+        } = &mut clauses[d.clause_idx]
+        else {
+            unreachable!("reset targets are for clauses");
+        };
+        if d.is_entry {
+            reset_entry.push(d.slot);
+            stats.hoisted_invariant += 1;
+        } else {
+            reset_iter.push(d.slot);
+            stats.cached_per_tuple += 1;
+        }
+    }
+}
+
+impl HoistPass {
+    /// One deterministic traversal of the region, used for both the collect
+    /// and the rewrite phase — the two must visit identically or a decision
+    /// could rewrite a site the collect never priced. The region starts at
+    /// the first `for`: earlier `let`s run once per entry, before any reset
+    /// point, so they can neither host nor read a cache.
+    fn scan_region(
+        &mut self,
+        clauses: &mut [LFlworClause],
+        where_: &mut Option<Box<LExpr>>,
+        order_by: &mut [LOrderSpec],
+        return_: &mut LExpr,
+        f0: usize,
+    ) {
+        for (i, clause) in clauses.iter_mut().enumerate().skip(f0) {
+            match clause {
+                LFlworClause::For { seq, .. } => self.visit(seq, i),
+                LFlworClause::Let { expr, .. } => self.visit(expr, i),
+            }
+        }
+        if let Some(w) = where_ {
+            self.visit(w, usize::MAX);
+        }
+        for spec in order_by.iter_mut() {
+            self.visit(&mut spec.key, usize::MAX);
+        }
+        self.visit(return_, usize::MAX);
+    }
+
+    fn visit(&mut self, e: &mut LExpr, pos: usize) {
+        if cacheable(e, &self.poison, false) && worth_caching(e) {
+            // The Debug rendering is the structural key: lowered
+            // expressions contain only interned symbols, resolved slots and
+            // literals, so equal renderings mean equal evaluation.
+            let key = format!("{e:?}");
+            if self.rewriting {
+                if let Some(d) = self.decisions.get_mut(&key) {
+                    d.used = true;
+                    let slot = d.slot;
+                    let inner = std::mem::replace(e, LExpr::LocalRef(0));
+                    *e = LExpr::CacheOnce {
+                        slot,
+                        expr: Box::new(inner),
+                    };
+                    return;
+                }
+            } else {
+                let dep = self.max_dep(e);
+                let cand = self.cands.entry(key).or_insert(Cand {
+                    dep,
+                    min_pos: pos,
+                    max_pos: pos,
+                    count: 0,
+                });
+                cand.count += 1;
+                cand.min_pos = cand.min_pos.min(pos);
+                cand.max_pos = cand.max_pos.max(pos);
+                // Keep descending: an occurrence of a *smaller* candidate
+                // embedded in this one must be priced too, or rewriting the
+                // small key elsewhere could miss this site's position.
+            }
+        }
+        self.visit_children(e, pos);
+    }
+
+    /// Recurse with poison tracking for nested binder constructs; the
+    /// shape mirrors the lowerer's scoping (a clause's expression is
+    /// lowered before its binder comes into scope).
+    fn visit_children(&mut self, e: &mut LExpr, pos: usize) {
+        match e {
+            LExpr::Flwor {
+                clauses,
+                where_,
+                order_by,
+                return_,
+            } => {
+                let mark = self.poison.len();
+                for clause in clauses.iter_mut() {
+                    match clause {
+                        LFlworClause::For { var, at, seq, .. } => {
+                            self.visit(seq, pos);
+                            self.poison.push(*var);
+                            if let Some(at) = at {
+                                self.poison.push(*at);
+                            }
+                        }
+                        LFlworClause::Let { var, expr, .. } => {
+                            self.visit(expr, pos);
+                            self.poison.push(*var);
+                        }
+                    }
+                }
+                if let Some(w) = where_ {
+                    self.visit(w, pos);
+                }
+                for spec in order_by.iter_mut() {
+                    self.visit(&mut spec.key, pos);
+                }
+                self.visit(return_, pos);
+                self.poison.truncate(mark);
+            }
+            LExpr::Quantified {
+                bindings,
+                satisfies,
+                ..
+            } => {
+                let mark = self.poison.len();
+                for (slot, seq) in bindings.iter_mut() {
+                    self.visit(seq, pos);
+                    self.poison.push(*slot);
+                }
+                self.visit(satisfies, pos);
+                self.poison.truncate(mark);
+            }
+            LExpr::TryCatch { try_, var, catch } => {
+                self.visit(try_, pos);
+                let mark = self.poison.len();
+                if let Some(v) = var {
+                    self.poison.push(*v);
+                }
+                self.visit(catch, pos);
+                self.poison.truncate(mark);
+            }
+            LExpr::TypeSwitch {
+                operand,
+                cases,
+                default_var,
+                default,
+            } => {
+                self.visit(operand, pos);
+                for case in cases.iter_mut() {
+                    let mark = self.poison.len();
+                    if let Some(v) = case.var {
+                        self.poison.push(v);
+                    }
+                    self.visit(&mut case.body, pos);
+                    self.poison.truncate(mark);
+                }
+                let mark = self.poison.len();
+                if let Some(v) = default_var {
+                    self.poison.push(*v);
+                }
+                self.visit(default, pos);
+                self.poison.truncate(mark);
+            }
+            _ => for_each_child(e, &mut |c| self.visit(c, pos)),
+        }
+    }
+
+    /// Largest clause index binding a slot the (cacheable) subtree reads.
+    fn max_dep(&self, e: &LExpr) -> Option<usize> {
+        let mut dep: Option<usize> = None;
+        collect_slots(e, &mut |slot| {
+            if let Some(&idx) = self.binder_clause.get(&slot) {
+                dep = Some(dep.map_or(idx, |d| d.max(idx)));
+            }
+        });
+        dep
+    }
+}
+
+/// Is this subtree deterministic given the frame, and so safe to memoize?
+/// `focus_ok` is true inside path-step and filter predicates, where the
+/// focus is (re)bound by the containing expression itself.
+fn cacheable(e: &LExpr, poison: &[u32], focus_ok: bool) -> bool {
+    match e {
+        LExpr::Literal(_) | LExpr::GlobalRef(..) => true,
+        LExpr::LocalRef(slot) => !poison.contains(slot),
+        LExpr::ContextItem(_) | LExpr::Root(_) => focus_ok,
+        LExpr::AxisStep { predicates, .. } => {
+            focus_ok && predicates.iter().all(|p| cacheable(p, poison, true))
+        }
+        LExpr::Comma(parts) => parts.iter().all(|p| cacheable(p, poison, focus_ok)),
+        LExpr::Range(a, b)
+        | LExpr::Arith(_, a, b)
+        | LExpr::GeneralCmp(_, a, b)
+        | LExpr::ValueCmp(_, a, b)
+        | LExpr::NodeCmp(_, a, b)
+        | LExpr::SetExpr(_, a, b)
+        | LExpr::And(a, b)
+        | LExpr::Or(a, b) => cacheable(a, poison, focus_ok) && cacheable(b, poison, focus_ok),
+        LExpr::Neg(a)
+        | LExpr::InstanceOf(a, _)
+        | LExpr::CastAs(a, _, _)
+        | LExpr::CastableAs(a, _) => cacheable(a, poison, focus_ok),
+        LExpr::If(c, t, e2) => {
+            cacheable(c, poison, focus_ok)
+                && cacheable(t, poison, focus_ok)
+                && cacheable(e2, poison, focus_ok)
+        }
+        LExpr::Path { start, steps } => {
+            cacheable(start, poison, focus_ok) && steps.iter().all(|s| step_cacheable(s, poison))
+        }
+        LExpr::Filter(base, preds) => {
+            cacheable(base, poison, focus_ok) && preds.iter().all(|p| cacheable(p, poison, true))
+        }
+        // Calls (trace! doc! user recursion), constructors (fresh node
+        // identity per evaluation), binder constructs, the outer focus, and
+        // existing cache cells are never cacheable.
+        _ => false,
+    }
+}
+
+/// A path step is cacheable when it is a plain axis step whose predicates
+/// are; anything fancier (a call in step position, say) is rejected.
+fn step_cacheable(s: &LPathStep, poison: &[u32]) -> bool {
+    match &s.expr {
+        LExpr::AxisStep { predicates, .. } => predicates.iter().all(|p| cacheable(p, poison, true)),
+        _ => false,
+    }
+}
+
+/// A cell only pays for itself when the subtree does real evaluation work:
+/// navigation, filtering, set algebra, comparison, or sequence/number
+/// construction. Bare literal lists and variable reads are cheaper than the
+/// cell that would cache them.
+fn worth_caching(e: &LExpr) -> bool {
+    let mut found = matches!(
+        e,
+        LExpr::Path { .. }
+            | LExpr::Filter(..)
+            | LExpr::SetExpr(..)
+            | LExpr::GeneralCmp(..)
+            | LExpr::ValueCmp(..)
+            | LExpr::NodeCmp(..)
+            | LExpr::Range(..)
+            | LExpr::Arith(..)
+    );
+    if !found {
+        // The work may sit below a cheap wrapper (`If`, `Comma`, casts).
+        let mut scan = |c: &LExpr| found = found || worth_caching(c);
+        for_each_child_ref(e, &mut scan);
+    }
+    found
+}
+
+/// Immutable twin of [`for_each_child`] for analysis-only walks.
+fn for_each_child_ref(e: &LExpr, f: &mut impl FnMut(&LExpr)) {
+    match e {
+        LExpr::Literal(_)
+        | LExpr::LocalRef(_)
+        | LExpr::GlobalRef(..)
+        | LExpr::ContextItem(_)
+        | LExpr::Root(_) => {}
+        LExpr::Comma(parts) => parts.iter().for_each(f),
+        LExpr::Range(a, b)
+        | LExpr::Arith(_, a, b)
+        | LExpr::GeneralCmp(_, a, b)
+        | LExpr::ValueCmp(_, a, b)
+        | LExpr::NodeCmp(_, a, b)
+        | LExpr::SetExpr(_, a, b)
+        | LExpr::And(a, b)
+        | LExpr::Or(a, b) => {
+            f(a);
+            f(b);
+        }
+        LExpr::Neg(a)
+        | LExpr::CompText(a)
+        | LExpr::CompComment(a)
+        | LExpr::InstanceOf(a, _)
+        | LExpr::CastAs(a, _, _)
+        | LExpr::CastableAs(a, _)
+        | LExpr::CacheOnce { expr: a, .. } => f(a),
+        LExpr::If(c, t, e2) => {
+            f(c);
+            f(t);
+            f(e2);
+        }
+        LExpr::Flwor {
+            clauses,
+            where_,
+            order_by,
+            return_,
+        } => {
+            for clause in clauses {
+                match clause {
+                    LFlworClause::For { seq, .. } => f(seq),
+                    LFlworClause::Let { expr, .. } => f(expr),
+                }
+            }
+            if let Some(w) = where_ {
+                f(w);
+            }
+            for spec in order_by {
+                f(&spec.key);
+            }
+            f(return_);
+        }
+        LExpr::Quantified {
+            bindings,
+            satisfies,
+            ..
+        } => {
+            for (_, seq) in bindings {
+                f(seq);
+            }
+            f(satisfies);
+        }
+        LExpr::AxisStep { predicates, .. } => predicates.iter().for_each(f),
+        LExpr::Path { start, steps } => {
+            f(start);
+            for s in steps {
+                f(&s.expr);
+            }
+        }
+        LExpr::Filter(base, preds) => {
+            f(base);
+            preds.iter().for_each(f);
+        }
+        LExpr::CallBuiltin { args, .. }
+        | LExpr::CallUser { args, .. }
+        | LExpr::CallUnknown { args, .. } => args.iter().for_each(f),
+        LExpr::DirectElement { attrs, content, .. } => {
+            for (_, parts) in attrs {
+                for part in parts {
+                    if let crate::lower::LAttrPart::Enclosed(e2) = part {
+                        f(e2);
+                    }
+                }
+            }
+            for part in content {
+                match part {
+                    crate::lower::LContentPart::Enclosed(e2)
+                    | crate::lower::LContentPart::Node(e2) => f(e2),
+                    crate::lower::LContentPart::Literal(_) => {}
+                }
+            }
+        }
+        LExpr::CompElement { name, content, .. } => {
+            if let crate::lower::LConstructorName::Computed(n) = name {
+                f(n);
+            }
+            if let Some(c) = content {
+                f(c);
+            }
+        }
+        LExpr::CompAttribute { name, value, .. } => {
+            if let crate::lower::LConstructorName::Computed(n) = name {
+                f(n);
+            }
+            if let Some(v) = value {
+                f(v);
+            }
+        }
+        LExpr::TryCatch { try_, catch, .. } => {
+            f(try_);
+            f(catch);
+        }
+        LExpr::TypeSwitch {
+            operand,
+            cases,
+            default,
+            ..
+        } => {
+            f(operand);
+            for case in cases {
+                f(&case.body);
+            }
+            f(default);
+        }
+    }
+}
+
+/// Walks the slot reads of a subtree already vetted by [`cacheable`] — the
+/// variants a cacheable tree can contain are exactly the ones descended
+/// into here.
+fn collect_slots(e: &LExpr, f: &mut impl FnMut(u32)) {
+    match e {
+        LExpr::LocalRef(slot) => f(*slot),
+        LExpr::Literal(_) | LExpr::GlobalRef(..) | LExpr::ContextItem(_) | LExpr::Root(_) => {}
+        LExpr::Comma(parts) => {
+            for p in parts {
+                collect_slots(p, f);
+            }
+        }
+        LExpr::Range(a, b)
+        | LExpr::Arith(_, a, b)
+        | LExpr::GeneralCmp(_, a, b)
+        | LExpr::ValueCmp(_, a, b)
+        | LExpr::NodeCmp(_, a, b)
+        | LExpr::SetExpr(_, a, b)
+        | LExpr::And(a, b)
+        | LExpr::Or(a, b) => {
+            collect_slots(a, f);
+            collect_slots(b, f);
+        }
+        LExpr::Neg(a)
+        | LExpr::InstanceOf(a, _)
+        | LExpr::CastAs(a, _, _)
+        | LExpr::CastableAs(a, _) => collect_slots(a, f),
+        LExpr::If(c, t, e2) => {
+            collect_slots(c, f);
+            collect_slots(t, f);
+            collect_slots(e2, f);
+        }
+        LExpr::AxisStep { predicates, .. } => {
+            for p in predicates {
+                collect_slots(p, f);
+            }
+        }
+        LExpr::Path { start, steps } => {
+            collect_slots(start, f);
+            for s in steps {
+                collect_slots(&s.expr, f);
+            }
+        }
+        LExpr::Filter(base, preds) => {
+            collect_slots(base, f);
+            for p in preds {
+                collect_slots(p, f);
+            }
+        }
+        // Unreachable for cacheable trees; stay conservative if reached.
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_module;
+    use crate::parser::parse_module;
+
+    fn lowered(src: &str) -> Program {
+        let module = parse_module(src).expect("parse");
+        lower_module(&module).expect("lower")
+    }
+
+    /// Counts cache cells via the Debug rendering — the same structural
+    /// key the pass itself groups by.
+    fn count_cells(e: &LExpr) -> usize {
+        format!("{e:?}").matches("CacheOnce").count()
+    }
+
+    #[test]
+    fn invariant_path_is_hoisted_out_of_the_loop() {
+        let mut p = lowered(
+            "let $d := <r><a k='1'/><a k='2'/></r> \
+             return for $i in (1, 2, 3) return $d/a[@k = '1']",
+        );
+        let stats = optimize_program(&mut p);
+        assert_eq!(stats.hoisted_invariant, 1, "one invariant hoist: {stats:?}");
+        assert_eq!(count_cells(&p.body), 1);
+    }
+
+    #[test]
+    fn loop_dependent_single_use_is_left_alone() {
+        let mut p = lowered("for $i in (1, 2, 3) return $i + 1");
+        let stats = optimize_program(&mut p);
+        assert_eq!(stats, PlanStats::default(), "nothing to hoist: {stats:?}");
+    }
+
+    #[test]
+    fn repeated_tuple_expression_is_cached_per_iteration() {
+        let mut p = lowered("for $i in (1, 2, 3) where ($i + 1) * 2 > 4 return ($i + 1) * 2");
+        let stats = optimize_program(&mut p);
+        assert_eq!(stats.cached_per_tuple, 1, "one per-tuple cache: {stats:?}");
+        // Both occurrences rewritten to the same cell.
+        assert_eq!(count_cells(&p.body), 2);
+    }
+
+    #[test]
+    fn calls_and_constructors_are_never_cached() {
+        let mut p =
+            lowered("for $i in (1, 2) where exists(trace((1, 2), 'x')) return <e a='{1 + 2}'/>");
+        let stats = optimize_program(&mut p);
+        // trace(...) is a call and the constructor creates identity, so
+        // neither is wrapped; the literal list `(1, 2)` is not worth a
+        // cell. The only hoist is the arithmetic inside the attribute.
+        assert_eq!(stats.hoisted_invariant, 1, "{stats:?}");
+        assert_eq!(stats.cached_per_tuple, 0, "{stats:?}");
+        assert_eq!(count_cells(&p.body), 1);
+        let rendered = format!("{:?}", p.body);
+        assert!(
+            !rendered.contains("CacheOnce { slot: 1, expr: CallBuiltin")
+                && !rendered.contains("expr: DirectElement"),
+            "calls/constructors must stay outside cells: {rendered}"
+        );
+    }
+
+    #[test]
+    fn frame_grows_by_the_synthetic_slots() {
+        let mut p = lowered("let $d := <r><a/></r> return for $i in (1, 2) return $d/a");
+        let before = p.body_frame;
+        let stats = optimize_program(&mut p);
+        assert_eq!(stats.hoisted_invariant, 1);
+        assert_eq!(p.body_frame, before + 1);
+    }
+
+    #[test]
+    fn dependency_on_the_inner_loop_blocks_the_entry_hoist() {
+        // $n/@id depends on the *outer* for, so it hoists to the inner
+        // loop's entry; $r/@x depends on the inner loop and occurs once, so
+        // it is left alone.
+        let mut p = lowered("for $n in (1, 2) for $r in (3, 4) where $n = $r return $n");
+        let stats = optimize_program(&mut p);
+        // `$n` / `$r` are bare refs — never cached. No cells appear; this
+        // pins that dep analysis doesn't invent work. The `where` equality
+        // does qualify for the hash-join mark (`$r` is the final clause's
+        // variable) — the runtime falls back to the scan for the integer
+        // atoms, so the mark is behaviourally invisible here.
+        assert_eq!(stats.hoisted_invariant, 0, "{stats:?}");
+        assert_eq!(stats.cached_per_tuple, 0, "{stats:?}");
+        assert_eq!(stats.hash_joins, 1, "{stats:?}");
+        assert_eq!(count_cells(&p.body), 0);
+    }
+
+    #[test]
+    fn where_equality_on_the_final_for_is_marked_for_the_hash_join() {
+        let mut p = lowered(
+            "let $d := <r><a id='1'/><a id='2'/></r> \
+             return for $n in $d/a for $r in $d/a where $r/@id = $n/@id return $r",
+        );
+        let stats = optimize_program(&mut p);
+        assert_eq!(stats.hash_joins, 1, "{stats:?}");
+    }
+
+    #[test]
+    fn join_gates_reject_calls_and_ambiguous_sides() {
+        // A call on either side could trace — never marked.
+        let mut p = lowered("for $n in (1, 2) for $r in (3, 4) where string($r) = $n return $r");
+        assert_eq!(optimize_program(&mut p).hash_joins, 0);
+        // Both operands mention the final variable — no single key side.
+        let mut p = lowered("for $n in (1, 2) for $r in (3, 4) where $r = $r return $n");
+        assert_eq!(optimize_program(&mut p).hash_joins, 0);
+        // The key side also reads an *earlier* clause binding: the table
+        // would go stale across tuples, so the mark is refused.
+        let mut p = lowered("for $n in (1, 2) for $r in (3, 4) where $r - $n = 0 return $r");
+        assert_eq!(optimize_program(&mut p).hash_joins, 0);
+    }
+}

@@ -176,6 +176,19 @@ pub enum LExpr {
     InstanceOf(Box<LExpr>, SeqType),
     CastAs(Box<LExpr>, SeqType, (u32, u32)),
     CastableAs(Box<LExpr>, SeqType),
+    /// Lazy memoization cell, introduced only by the lowered-plan pass
+    /// ([`crate::lopt`]) — the lowerer never emits it. On first evaluation
+    /// the inner expression runs and the result is stored in `slot` (a
+    /// synthetic slot past the source program's locals); subsequent
+    /// evaluations return the stored sequence until an enclosing `for`
+    /// clause clears the slot (see [`LFlworClause::For::reset_entry`] /
+    /// `reset_iter`). Because evaluation stays lazy — on first *read*, in
+    /// source position — a hoisted expression that raises still raises at
+    /// exactly the moment the unhoisted program would.
+    CacheOnce {
+        slot: u32,
+        expr: Box<LExpr>,
+    },
 }
 
 /// A lowered FLWOR clause: binding names become slots. `let` keeps its
@@ -186,6 +199,23 @@ pub enum LFlworClause {
         var: u32,
         at: Option<u32>,
         seq: LExpr,
+        /// Synthetic [`LExpr::CacheOnce`] slots to clear when this clause
+        /// *starts* (before `seq` is evaluated): caches whose dependencies
+        /// are all bound by earlier clauses, so they stay valid across every
+        /// iteration of this loop and refill at most once per entry.
+        reset_entry: Vec<u32>,
+        /// Slots to clear on *every binding* of this loop: caches that
+        /// depend on this clause's own variable (or later `let`s) but are
+        /// used more than once per tuple downstream.
+        reset_iter: Vec<u32>,
+        /// Set by [`crate::lopt`] when this is the *last* clause and the
+        /// FLWOR's `where` is a plain existential `=` with exactly one side
+        /// mentioning this clause's variable: which side that is. The
+        /// runtime then builds a hash table over this sequence keyed by
+        /// that side's string atoms and probes it per outer tuple instead
+        /// of scanning every (tuple, item) pair — with a per-tuple fallback
+        /// to the plain scan whenever non-string atoms appear.
+        join: Option<JoinSide>,
     },
     Let {
         var: u32,
@@ -193,6 +223,14 @@ pub enum LFlworClause {
         ty: Option<SeqType>,
         expr: LExpr,
     },
+}
+
+/// Which operand of the `where` equality depends on the joined `for`
+/// variable (the *key* side); the other operand is the probe side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinSide {
+    Left,
+    Right,
 }
 
 #[derive(Debug, Clone)]
@@ -455,7 +493,14 @@ impl Lowerer {
                             let seq = self.lower(seq, r);
                             let var = r.bind(var);
                             let at = at.as_ref().map(|a| r.bind(a));
-                            lowered_clauses.push(LFlworClause::For { var, at, seq });
+                            lowered_clauses.push(LFlworClause::For {
+                                var,
+                                at,
+                                seq,
+                                reset_entry: Vec::new(),
+                                reset_iter: Vec::new(),
+                                join: None,
+                            });
                         }
                         FlworClause::Let { var, ty, expr } => {
                             let lowered = self.lower(expr, r);
@@ -779,7 +824,7 @@ mod tests {
         let LExpr::Flwor { clauses, .. } = &p.body else {
             panic!("expected FLWOR")
         };
-        let LFlworClause::For { var, at, seq } = &clauses[0] else {
+        let LFlworClause::For { var, at, seq, .. } = &clauses[0] else {
             panic!("expected for")
         };
         assert_eq!((*var, *at), (0, Some(1)));

@@ -26,7 +26,8 @@
 
 use crate::ast::{Axis, CmpOp, NodeCmpOp, Quantifier, SetOp};
 use crate::compare::{
-    atomize, atomize_item, effective_boolean_value, general_compare, value_compare,
+    atomize, atomize_item, effective_boolean_value, general_compare, general_compare_hashed,
+    string_family, value_compare,
 };
 use crate::context::{DynamicContext, Focus};
 use crate::engine::EngineOptions;
@@ -37,10 +38,10 @@ use crate::eval::{
     predicate_outcome, singleton_integer, singleton_number, ContentBuilder, FusedAttrEq, FusedStep,
     NumOperand,
 };
-use crate::functions::{dispatch_builtin, CallCtx};
+use crate::functions::{dispatch_builtin, Builtin, CallCtx};
 use crate::lower::{
-    CompiledFunction, LAttrPart, LConstructorName, LContentPart, LExpr, LFlworClause, LNodeTest,
-    LOrderSpec, Program,
+    CompiledFunction, JoinSide, LAttrPart, LConstructorName, LContentPart, LExpr, LFlworClause,
+    LNodeTest, LOrderSpec, LPathStep, Program,
 };
 use crate::types::{cast_atomic, ItemType, SeqType};
 use crate::value::{Atomic, Item, Sequence};
@@ -85,6 +86,11 @@ impl Frame {
 
     fn get(&self, slot: u32) -> Option<&Arc<Sequence>> {
         self.slots[slot as usize].as_ref()
+    }
+
+    /// Empties a [`LExpr::CacheOnce`] slot so the next read re-evaluates.
+    fn clear(&mut self, slot: u32) {
+        self.slots[slot as usize] = None;
     }
 }
 
@@ -170,7 +176,15 @@ pub fn run(
         LExpr::GeneralCmp(op, l, r) => {
             let l = run(l, env, frame, ctx)?;
             let r = run(r, env, frame, ctx)?;
-            Ok(Atomic::Bool(general_compare(*op, &l, &r, env.store)).into())
+            // Both operands are fully evaluated before the comparison and
+            // the comparison itself never raises, so swapping in the hash
+            // join can only change how the same boolean is found.
+            let b = if env.options.runtime_opt {
+                general_compare_hashed(*op, &l, &r, env.store)
+            } else {
+                general_compare(*op, &l, &r, env.store)
+            };
+            Ok(Atomic::Bool(b).into())
         }
 
         LExpr::ValueCmp(op, l, r) => {
@@ -222,11 +236,19 @@ pub fn run(
                     "union/intersect/except operands must be node sequences",
                 ));
             };
-            let right_set: HashSet<NodeId> = rs.iter().copied().collect();
+            // Union never consults the membership set (dedup_sorted below
+            // removes duplicates anyway), so only build it for the
+            // filtering operators.
             let combined: Vec<NodeId> = match op {
                 SetOp::Union => ls.into_iter().chain(rs).collect(),
-                SetOp::Intersect => ls.into_iter().filter(|n| right_set.contains(n)).collect(),
-                SetOp::Except => ls.into_iter().filter(|n| !right_set.contains(n)).collect(),
+                SetOp::Intersect => {
+                    let right_set: HashSet<NodeId> = rs.iter().copied().collect();
+                    ls.into_iter().filter(|n| right_set.contains(n)).collect()
+                }
+                SetOp::Except => {
+                    let right_set: HashSet<NodeId> = rs.iter().copied().collect();
+                    ls.into_iter().filter(|n| !right_set.contains(n)).collect()
+                }
             };
             Ok(dedup_sorted(combined, env.store)
                 .into_iter()
@@ -235,26 +257,21 @@ pub fn run(
         }
 
         LExpr::And(l, r) => {
-            let lv = run(l, env, frame, ctx)?;
-            if !effective_boolean_value(&lv, env.store)? {
+            if !run_ebv(l, env, frame, ctx)? {
                 return Ok(Atomic::Bool(false).into());
             }
-            let rv = run(r, env, frame, ctx)?;
-            Ok(Atomic::Bool(effective_boolean_value(&rv, env.store)?).into())
+            Ok(Atomic::Bool(run_ebv(r, env, frame, ctx)?).into())
         }
 
         LExpr::Or(l, r) => {
-            let lv = run(l, env, frame, ctx)?;
-            if effective_boolean_value(&lv, env.store)? {
+            if run_ebv(l, env, frame, ctx)? {
                 return Ok(Atomic::Bool(true).into());
             }
-            let rv = run(r, env, frame, ctx)?;
-            Ok(Atomic::Bool(effective_boolean_value(&rv, env.store)?).into())
+            Ok(Atomic::Bool(run_ebv(r, env, frame, ctx)?).into())
         }
 
         LExpr::If(c, t, e) => {
-            let cv = run(c, env, frame, ctx)?;
-            if effective_boolean_value(&cv, env.store)? {
+            if run_ebv(c, env, frame, ctx)? {
                 run(t, env, frame, ctx)
             } else {
                 run(e, env, frame, ctx)
@@ -363,6 +380,66 @@ pub fn run(
             args,
             position,
         } => {
+            // `exists`/`empty`/`boolean`/`not` over a predicate-free axis
+            // path only need existence, which the streamed walk answers
+            // without materialising any intermediate step. (For such a path
+            // every result item is a node, so EBV and existence coincide.)
+            if env.options.runtime_opt && args.len() == 1 {
+                let invert = match builtin {
+                    Builtin::Exists | Builtin::Boolean => Some(false),
+                    Builtin::Empty | Builtin::Not => Some(true),
+                    _ => None,
+                };
+                if let (Some(invert), LExpr::Path { start, steps }) = (invert, &args[0]) {
+                    if streamable_steps(steps) {
+                        let found = path_exists(start, steps, env, frame, ctx)?;
+                        return Ok(Atomic::Bool(found != invert).into());
+                    }
+                }
+                // `count` over one fused `//name` (or `//@name`) step: the
+                // per-tree name index answers with a range length, no
+                // sequence materialised. A single scope node yields its
+                // index range dedup-free; larger contexts (overlapping
+                // subtrees) finish on the shared fused evaluator, which is
+                // also what raises the path's own `XPTY0019` on atomics.
+                if matches!(builtin, Builtin::Count) {
+                    if let LExpr::Path { start, steps } = &args[0] {
+                        if let [step] = &steps[..] {
+                            if step.double_slash {
+                                if let Some(fused) = fused_double_slash_step(&step.expr) {
+                                    let start_seq = run(start, env, frame, ctx)?;
+                                    let n = match (start_seq.as_singleton(), &fused) {
+                                        (Some(Item::Node(n)), _) => Some(*n),
+                                        _ => None,
+                                    };
+                                    let count = match (n, fused) {
+                                        (Some(n), FusedStep::ChildNamed(want)) => env
+                                            .store
+                                            .descendant_elements_by_local(n, want.local_sym())
+                                            .into_iter()
+                                            .filter(|&d| env.store.name(d) == Some(&want))
+                                            .count(),
+                                        (Some(n), FusedStep::AttrNamed(want)) => env
+                                            .store
+                                            .descendant_or_self_attributes_by_local(
+                                                n,
+                                                want.local_sym(),
+                                            )
+                                            .into_iter()
+                                            .filter(|&d| env.store.name(d) == Some(&want))
+                                            .count(),
+                                        (None, fused) => eval_fused_descendant_step(
+                                            &start_seq, fused, env.store,
+                                        )?
+                                        .len(),
+                                    };
+                                    return Ok(Atomic::Int(count as i64).into());
+                                }
+                            }
+                        }
+                    }
+                }
+            }
             let mut values = Vec::with_capacity(args.len());
             for a in args {
                 values.push(run(a, env, frame, ctx)?);
@@ -569,12 +646,57 @@ pub fn run(
             let a = atomize_item(item, env.store);
             Ok(cast_atomic(&a, *target)?.into())
         }
+
+        LExpr::CacheOnce { slot, expr } => {
+            if let Some(v) = frame.get(*slot) {
+                return Ok((**v).clone());
+            }
+            // First read in this cache window: evaluate in place (errors
+            // and traces fire exactly where the unhoisted program fired
+            // them) and memoize only on success.
+            let v = run(expr, env, frame, ctx)?;
+            frame.set(*slot, Arc::new(v.clone()));
+            Ok(v)
+        }
     }
+}
+
+/// Effective boolean value of an expression, with the streaming existence
+/// short-circuit for qualifying paths (see [`streamable_steps`]).
+fn run_ebv(
+    expr: &LExpr,
+    env: &mut RunEnv,
+    frame: &mut Frame,
+    ctx: &mut DynamicContext,
+) -> Result<bool> {
+    if env.options.runtime_opt {
+        if let LExpr::Path { start, steps } = expr {
+            if streamable_steps(steps) {
+                return path_exists(start, steps, env, frame, ctx);
+            }
+        }
+    }
+    let v = run(expr, env, frame, ctx)?;
+    effective_boolean_value(&v, env.store)
 }
 
 // ----------------------------------------------------------------------
 // FLWOR
 // ----------------------------------------------------------------------
+
+/// Hash table over the final `for` clause's evaluated sequence, keyed by
+/// the string atoms of the `where` equality's key side. Built at most once
+/// per distinct sequence within one FLWOR evaluation (the sequence is held
+/// to keep its allocation — and so its identity — alive) and probed by
+/// every tuple that sees the same sequence again.
+struct JoinState {
+    seq: Sequence,
+    /// Key atoms of each item, as ascending item indices per string.
+    /// `None` when some key atom fell outside the string family: exact
+    /// `=` semantics then need the general comparison, so every tuple
+    /// falls back to the plain scan.
+    table: Option<HashMap<String, Vec<usize>>>,
+}
 
 fn run_flwor(
     clauses: &[LFlworClause],
@@ -587,8 +709,19 @@ fn run_flwor(
 ) -> Result<Sequence> {
     let mut keyed: Vec<(Vec<Option<Atomic>>, Sequence)> = Vec::new();
     let mut plain = Sequence::empty();
+    let mut jstate: Option<JoinState> = None;
     flwor_tuples(
-        clauses, 0, where_, order_by, return_, env, frame, ctx, &mut keyed, &mut plain,
+        clauses,
+        0,
+        where_,
+        order_by,
+        return_,
+        env,
+        frame,
+        ctx,
+        &mut keyed,
+        &mut plain,
+        &mut jstate,
     )?;
 
     if order_by.is_empty() {
@@ -623,11 +756,11 @@ fn flwor_tuples(
     ctx: &mut DynamicContext,
     keyed: &mut Vec<(Vec<Option<Atomic>>, Sequence)>,
     plain: &mut Sequence,
+    jstate: &mut Option<JoinState>,
 ) -> Result<()> {
     if idx == clauses.len() {
         if let Some(w) = where_ {
-            let wv = run(w, env, frame, ctx)?;
-            if !effective_boolean_value(&wv, env.store)? {
+            if !run_ebv(w, env, frame, ctx)? {
                 return Ok(());
             }
         }
@@ -652,9 +785,38 @@ fn flwor_tuples(
         return Ok(());
     }
     match &clauses[idx] {
-        LFlworClause::For { var, at, seq } => {
+        LFlworClause::For {
+            var,
+            at,
+            seq,
+            reset_entry,
+            reset_iter,
+            join,
+        } => {
+            // Entry caches hold values invariant across this loop: clear
+            // before `seq` is evaluated (a cache read inside `seq` itself
+            // must see fresh outer bindings) and refill at most once per
+            // (re-)entry.
+            for slot in reset_entry {
+                frame.clear(*slot);
+            }
             let items = run(seq, env, frame, ctx)?;
+            if env.options.runtime_opt && idx + 1 == clauses.len() {
+                if let (Some(side), Some(LExpr::GeneralCmp(CmpOp::Eq, l, r))) = (join, where_) {
+                    let (key_e, probe_e) = match side {
+                        JoinSide::Left => (&**l, &**r),
+                        JoinSide::Right => (&**r, &**l),
+                    };
+                    return join_for(
+                        items, *var, reset_iter, key_e, probe_e, clauses, idx, where_, order_by,
+                        return_, env, frame, ctx, keyed, plain, jstate,
+                    );
+                }
+            }
             for (i, item) in items.into_items().into_iter().enumerate() {
+                for slot in reset_iter {
+                    frame.clear(*slot);
+                }
                 frame.set(*var, Arc::new(Sequence::singleton(item)));
                 if let Some(at_slot) = at {
                     frame.set(
@@ -673,6 +835,7 @@ fn flwor_tuples(
                     ctx,
                     keyed,
                     plain,
+                    jstate,
                 )?;
             }
             Ok(())
@@ -699,9 +862,160 @@ fn flwor_tuples(
                 ctx,
                 keyed,
                 plain,
+                jstate,
             )
         }
     }
+}
+
+/// The hash-join path for the final `for` clause (see
+/// [`crate::lower::LFlworClause::For::join`]): build a table over `items`
+/// keyed by `key_e`'s string atoms (once per distinct sequence), probe it
+/// with `probe_e`'s atoms for this tuple, and emit only the matching
+/// bindings — the `where` equality is subsumed, so matched tuples recurse
+/// with no `where`.
+///
+/// Error behaviour is the plain scan's exactly. Both operands are gated
+/// deterministic and effect-free, so which errors *can* fire is fixed; the
+/// scan's first action for a tuple is `key(item 1)` then the probe side,
+/// and the build evaluates in that same order before touching later items.
+/// When the table cannot decide membership (some key or probe atom outside
+/// the string family) the tuple falls back to the plain scan below, which
+/// re-evaluates `where` per item in source order.
+#[allow(clippy::too_many_arguments)]
+fn join_for(
+    items: Sequence,
+    var: u32,
+    reset_iter: &[u32],
+    key_e: &LExpr,
+    probe_e: &LExpr,
+    clauses: &[LFlworClause],
+    idx: usize,
+    where_: Option<&LExpr>,
+    order_by: &[LOrderSpec],
+    return_: &LExpr,
+    env: &mut RunEnv,
+    frame: &mut Frame,
+    ctx: &mut DynamicContext,
+    keyed: &mut Vec<(Vec<Option<Atomic>>, Sequence)>,
+    plain: &mut Sequence,
+    jstate: &mut Option<JoinState>,
+) -> Result<()> {
+    if items.is_empty() {
+        return Ok(());
+    }
+    let bind = |frame: &mut Frame, item: &Item| {
+        for slot in reset_iter {
+            frame.clear(*slot);
+        }
+        frame.set(var, Arc::new(Sequence::singleton(item.clone())));
+    };
+    let rebuild = !matches!(jstate, Some(s) if s.seq.same_alloc(&items));
+    let mut first_key_atoms = None;
+    if rebuild {
+        *jstate = None;
+        bind(frame, &items.items()[0]);
+        let v = run(key_e, env, frame, ctx)?;
+        first_key_atoms = Some(atomize(&v, env.store));
+    }
+    let probe_v = run(probe_e, env, frame, ctx)?;
+    let probe_atoms = atomize(&probe_v, env.store);
+    if let Some(first) = first_key_atoms {
+        let mut table: Option<HashMap<String, Vec<usize>>> = Some(HashMap::new());
+        let insert =
+            |table: &mut Option<HashMap<String, Vec<usize>>>, atoms: &[Atomic], i: usize| -> bool {
+                let Some(map) = table.as_mut() else {
+                    return false;
+                };
+                for a in atoms {
+                    match string_family(a) {
+                        Some(s) => map.entry(s.to_string()).or_default().push(i),
+                        None => {
+                            *table = None;
+                            return false;
+                        }
+                    }
+                }
+                true
+            };
+        if insert(&mut table, &first, 0) {
+            for i in 1..items.len() {
+                bind(frame, &items.items()[i]);
+                let v = run(key_e, env, frame, ctx)?;
+                let atoms = atomize(&v, env.store);
+                if !insert(&mut table, &atoms, i) {
+                    break;
+                }
+            }
+        }
+        *jstate = Some(JoinState {
+            seq: items.clone(),
+            table,
+        });
+    }
+    let indices: Option<Vec<usize>> = {
+        let state = jstate.as_ref().expect("join state built above");
+        let probe_strs: Option<Vec<&str>> = probe_atoms.iter().map(string_family).collect();
+        match (&state.table, probe_strs) {
+            (Some(map), Some(ps)) => {
+                let mut out: Vec<usize> = Vec::new();
+                if let [s] = ps.as_slice() {
+                    if let Some(v) = map.get(*s) {
+                        out.clone_from(v);
+                    }
+                } else {
+                    for s in ps {
+                        if let Some(v) = map.get(s) {
+                            out.extend_from_slice(v);
+                        }
+                    }
+                    out.sort_unstable();
+                    out.dedup();
+                }
+                Some(out)
+            }
+            _ => None,
+        }
+    };
+    match indices {
+        Some(matched) => {
+            for i in matched {
+                bind(frame, &items.items()[i]);
+                flwor_tuples(
+                    clauses,
+                    idx + 1,
+                    None,
+                    order_by,
+                    return_,
+                    env,
+                    frame,
+                    ctx,
+                    keyed,
+                    plain,
+                    jstate,
+                )?;
+            }
+        }
+        None => {
+            for item in items.iter() {
+                bind(frame, item);
+                flwor_tuples(
+                    clauses,
+                    idx + 1,
+                    where_,
+                    order_by,
+                    return_,
+                    env,
+                    frame,
+                    ctx,
+                    keyed,
+                    plain,
+                    jstate,
+                )?;
+            }
+        }
+    }
+    Ok(())
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -715,8 +1029,7 @@ fn quantified(
     ctx: &mut DynamicContext,
 ) -> Result<bool> {
     if idx == bindings.len() {
-        let v = run(satisfies, env, frame, ctx)?;
-        return effective_boolean_value(&v, env.store);
+        return run_ebv(satisfies, env, frame, ctx);
     }
     let (slot, seq_expr) = &bindings[idx];
     let items = run(seq_expr, env, frame, ctx)?;
@@ -735,6 +1048,125 @@ fn quantified(
 // ----------------------------------------------------------------------
 // Paths, predicates
 // ----------------------------------------------------------------------
+
+/// Does this step list qualify for the streamed existence walk? Every step
+/// must be a predicate-free axis step (axis steps over nodes cannot raise
+/// and yield only nodes, so visiting order and early exit are unobservable
+/// for a boolean); `//` abbreviations are only handled for the child and
+/// attribute axes, where descendant-or-self composition has a direct
+/// streaming form.
+fn streamable_steps(steps: &[LPathStep]) -> bool {
+    !steps.is_empty()
+        && steps.iter().all(|s| match &s.expr {
+            LExpr::AxisStep {
+                axis, predicates, ..
+            } => {
+                predicates.is_empty()
+                    && (!s.double_slash || matches!(axis, Axis::Child | Axis::Attribute))
+            }
+            _ => false,
+        })
+}
+
+/// "Does this path yield anything", for a path whose steps pass
+/// [`streamable_steps`]. The start expression is evaluated normally (its
+/// errors and traces are the path's own), then the steps are walked
+/// depth-first with early exit instead of materialising each intermediate.
+///
+/// If the start sequence contains an atomic item the plain evaluation would
+/// raise `XPTY0019` while mapping the first step; in that case fall back to
+/// materialized stepping *from the already-evaluated start* (never
+/// re-running the start expression) so the error surfaces identically.
+fn path_exists(
+    start: &LExpr,
+    steps: &[LPathStep],
+    env: &mut RunEnv,
+    frame: &mut Frame,
+    ctx: &mut DynamicContext,
+) -> Result<bool> {
+    let start_seq = run(start, env, frame, ctx)?;
+    let nodes: Option<Vec<NodeId>> = start_seq.iter().map(|i| i.as_node()).collect();
+    match nodes {
+        Some(nodes) => Ok(nodes.iter().any(|&n| step_any(env.store, n, steps))),
+        None => {
+            let mut current = start_seq;
+            for step in steps {
+                if step.double_slash {
+                    if let Some(fused) = fused_double_slash_step(&step.expr) {
+                        current = eval_fused_descendant_step(&current, fused, env.store)?;
+                        continue;
+                    }
+                    current = expand_descendant_or_self(&current, env.store)?;
+                }
+                current = map_step(&current, &step.expr, env, frame, ctx)?;
+            }
+            Ok(!current.is_empty())
+        }
+    }
+}
+
+/// Depth-first existence walk: does any node reachable from `node` through
+/// the remaining steps survive? The first hit short-circuits every level.
+fn step_any(store: &Store, node: NodeId, steps: &[LPathStep]) -> bool {
+    let Some((step, rest)) = steps.split_first() else {
+        return true;
+    };
+    let LExpr::AxisStep { axis, test, .. } = &step.expr else {
+        unreachable!("streamable_steps admits only axis steps");
+    };
+    if step.double_slash {
+        return match axis {
+            // descendant-or-self::node()/child::T visits exactly the
+            // descendants of `node`; for a trailing unprefixed name test the
+            // store's name index answers without walking the subtree
+            // (candidates are local-name keyed, so the full-QName check
+            // stays in the visitor).
+            Axis::Child => {
+                if rest.is_empty() {
+                    if let LNodeTest::Name(want) = test {
+                        if want.prefix_sym().is_none() {
+                            return store.any_descendant_element_by_local(
+                                node,
+                                want.local_sym(),
+                                |n| node_test_matches(test, Axis::Child, n, store),
+                            );
+                        }
+                    }
+                }
+                store.descendants_iter(node).any(|d| {
+                    node_test_matches(test, Axis::Child, d, store) && step_any(store, d, rest)
+                })
+            }
+            Axis::Attribute => {
+                if rest.is_empty() {
+                    if let LNodeTest::Name(want) = test {
+                        if want.prefix_sym().is_none() {
+                            return store.any_descendant_or_self_attribute_by_local(
+                                node,
+                                want.local_sym(),
+                                |n| node_test_matches(test, Axis::Attribute, n, store),
+                            );
+                        }
+                    }
+                }
+                std::iter::once(node)
+                    .chain(store.descendants_iter(node))
+                    .any(|d| {
+                        axis_candidates(Axis::Attribute, d, store)
+                            .into_iter()
+                            .any(|a| {
+                                node_test_matches(test, Axis::Attribute, a, store)
+                                    && step_any(store, a, rest)
+                            })
+                    })
+            }
+            _ => unreachable!("streamable_steps gates double-slash axes"),
+        };
+    }
+    axis_candidates(*axis, node, store)
+        .into_iter()
+        .any(|c| node_test_matches(test, *axis, c, store) && step_any(store, c, rest))
+}
 
 fn map_step(
     current: &Sequence,
@@ -814,6 +1246,10 @@ fn is_focus_free_simple(e: &LExpr) -> bool {
             && steps.iter().all(
                 |s| matches!(&s.expr, LExpr::AxisStep { predicates, .. } if predicates.is_empty()),
             ),
+        // The hoisting pass only wraps focus-free, call-free subtrees, so a
+        // cache cell is as focus-free as what it caches — without this arm
+        // hoisting a fused-eq comparand would silently un-fuse the step.
+        LExpr::CacheOnce { expr, .. } => is_focus_free_simple(expr),
         _ => false,
     }
 }
@@ -919,6 +1355,19 @@ fn apply_predicates_nodes(
 ) -> Result<Vec<NodeId>> {
     let mut current = nodes;
     for pred in predicates {
+        // A literal integer predicate is pure position selection
+        // (`predicate_outcome` keeps exactly the item whose position equals
+        // the number; literals cannot raise or trace), so pick directly
+        // instead of evaluating the predicate once per item.
+        if env.options.runtime_opt {
+            if let LExpr::Literal(Atomic::Int(n)) = pred {
+                current = match usize::try_from(*n) {
+                    Ok(n) if (1..=current.len()).contains(&n) => vec![current[n - 1]],
+                    _ => Vec::new(),
+                };
+                continue;
+            }
+        }
         let size = current.len();
         let mut kept = Vec::with_capacity(current.len());
         for (i, &n) in current.iter().enumerate() {
@@ -940,6 +1389,15 @@ fn apply_predicates_items(
 ) -> Result<Sequence> {
     let mut current = seq.into_items();
     for pred in predicates {
+        if env.options.runtime_opt {
+            if let LExpr::Literal(Atomic::Int(n)) = pred {
+                current = match usize::try_from(*n) {
+                    Ok(n) if (1..=current.len()).contains(&n) => vec![current[n - 1].clone()],
+                    _ => Vec::new(),
+                };
+                continue;
+            }
+        }
         let size = current.len();
         let mut kept = Vec::with_capacity(current.len());
         for (i, item) in current.into_iter().enumerate() {

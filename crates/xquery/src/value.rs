@@ -241,6 +241,15 @@ impl Sequence {
         &self.items
     }
 
+    /// True when both sequences share one backing allocation — the cheap
+    /// identity the runtime hash join uses to tell "the same cached
+    /// sequence again" from "a freshly evaluated one" (holding either
+    /// sequence keeps the allocation alive, so a pointer match cannot be a
+    /// reused address).
+    pub fn same_alloc(&self, other: &Sequence) -> bool {
+        Arc::ptr_eq(&self.items, &other.items)
+    }
+
     /// The backing items, avoiding a copy when this sequence holds the only
     /// reference.
     pub fn into_items(self) -> Vec<Item> {
