@@ -13,7 +13,7 @@ use docgen::batch::{generate_batch_with, BatchJob, CompiledPipeline, GeneratorKi
 use docgen::xq::{Phase, XqGenerator};
 use docgen::{native, normalized_equal, GenInputs, Template};
 use std::time::Instant;
-use xquery::{Engine, EngineOptions, StackPool};
+use xquery::{Engine, EngineOptions, EvalStats, StackPool};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -65,6 +65,133 @@ fn main() {
     if args.iter().any(|a| a == "bench-json") {
         bench_json();
     }
+    // Opt-in only (asserts, for CI): `paper_tables -- check-obs`.
+    if args.iter().any(|a| a == "check-obs") {
+        check_obs();
+    }
+}
+
+// ----------------------------------------------------------------------
+// Observability probes: one representative query per claimed fast path,
+// with the engine's counter block proving the path actually ran.
+// ----------------------------------------------------------------------
+
+/// Document backing the observability probes: enough attributed items for
+/// every index path to fire, plus a `leaf` for the existence probe.
+fn obs_doc() -> String {
+    let mut s = String::from("<root>");
+    for i in 0..100 {
+        s.push_str(&format!("<item k='k{}' g='g{}'/>", i % 10, i % 4));
+    }
+    s.push_str("<leaf/></root>");
+    s
+}
+
+/// The probe queries, one per fast path the engine claims to have.
+const OBS_PROBES: &[(&str, &str)] = &[
+    (
+        "hash_join",
+        "count(for $n in /root/item for $r in /root/item where $r/@k = $n/@k return 1)",
+    ),
+    ("index_range", "count(//item)"),
+    ("attr_index_probe", "count(/root/item[@k = 'k3'])"),
+    (
+        "cache_once",
+        "let $d := /root return for $i in (1, 2, 3) return ($i, string($d/item[1]/@k))",
+    ),
+    ("streamed_existence", "exists(//leaf)"),
+];
+
+/// Runs every probe on one engine and returns its counter block per probe.
+fn obs_probe_rows(runtime_opt: bool) -> Vec<(&'static str, EvalStats)> {
+    let mut engine = Engine::with_options(EngineOptions {
+        runtime_opt,
+        ..Default::default()
+    });
+    let doc = engine.load_document(&obs_doc()).expect("obs document");
+    OBS_PROBES
+        .iter()
+        .map(|(name, src)| {
+            let q = engine.compile(src).expect("obs probe compiles");
+            engine.evaluate(&q, Some(doc)).expect("obs probe runs");
+            (*name, *engine.last_stats())
+        })
+        .collect()
+}
+
+/// One JSON object per probe, carrying the full counter block.
+fn obs_stats_json(name: &str, s: &EvalStats) -> String {
+    format!(
+        "{{\"path\": \"{name}\", \"index_hits\": {}, \"index_misses\": {}, \
+         \"join_builds\": {}, \"join_probes\": {}, \"join_fallbacks\": {}, \
+         \"cache_hits\": {}, \"cache_resets\": {}, \"streamed_existence\": {}, \
+         \"items_allocated\": {}}}",
+        s.index_hits,
+        s.index_misses,
+        s.join_builds,
+        s.join_probes,
+        s.join_fallbacks,
+        s.cache_hits,
+        s.cache_resets,
+        s.streamed_existence,
+        s.items_allocated
+    )
+}
+
+/// `paper_tables -- check-obs` — asserts that every fast path the engine
+/// claims (hash join, index range, attribute-index probe, CacheOnce,
+/// streamed existence) reports non-zero counters on its probe query, and
+/// that with the runtime passes off the same queries report zero for every
+/// optimisation counter. Panics (non-zero exit) on any violation, so CI can
+/// run it directly.
+fn check_obs() {
+    header("check-obs — every claimed fast path must count, and admit to nothing when off");
+    let rows = obs_probe_rows(true);
+    let get = |name: &str| {
+        rows.iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, s)| *s)
+            .expect("probe row")
+    };
+
+    let join = get("hash_join");
+    assert!(
+        join.join_builds >= 1 && join.join_probes > 0,
+        "hash join path did not count: {join:?}"
+    );
+    let range = get("index_range");
+    assert!(
+        range.index_hits > 0,
+        "index-range path did not count: {range:?}"
+    );
+    let probe = get("attr_index_probe");
+    assert!(
+        probe.index_hits > 0,
+        "attribute-index path did not count: {probe:?}"
+    );
+    let cache = get("cache_once");
+    assert!(
+        cache.cache_hits > 0,
+        "CacheOnce path did not count: {cache:?}"
+    );
+    let stream = get("streamed_existence");
+    assert!(
+        stream.streamed_existence > 0,
+        "streamed-existence path did not count: {stream:?}"
+    );
+    for (name, stats) in &rows {
+        println!("  {name:<20} {stats:?}");
+    }
+
+    for (name, stats) in obs_probe_rows(false) {
+        for (counter, value) in stats.opt_counters() {
+            assert_eq!(
+                value, 0,
+                "{name}: counter {counter} must be zero with the runtime passes off"
+            );
+        }
+    }
+    println!("  all observability counters check out (and zero out with XQ_OPT=0)");
 }
 
 // ----------------------------------------------------------------------
@@ -204,17 +331,20 @@ fn axis_bench_doc() -> String {
     s
 }
 
-/// `paper_tables -- bench-json` — writes `BENCH_4.json`: the BENCH_3
+/// `paper_tables -- bench-json` — writes `BENCH_5.json`: the BENCH_4
 /// sections (E1 calculus sweep, engine micro-benches, axis micro-benches,
 /// batch throughput — same protocol and units, so the trajectory stays
-/// comparable), now measured with the runtime optimisation layer (hash-join
-/// `=`, loop-invariant hoisting, streaming existence) on by default. Every
-/// row carries min/max and the relative spread next to the median, so a
-/// reader can tell a stable number from a noisy one. `host_cpus` records the
-/// machine's parallelism so scaling numbers read honestly: thread-level
-/// speedup is capped by the core count.
+/// comparable), plus an `observability` section embedding the engine's
+/// per-query counter block for one representative query per claimed fast
+/// path (hash join, index range, attribute probe, CacheOnce, streamed
+/// existence) — and the same probes with the runtime passes off, where
+/// every optimisation counter must read zero. Every timing row carries
+/// min/max and the relative spread next to the median, so a reader can tell
+/// a stable number from a noisy one. `host_cpus` records the machine's
+/// parallelism so scaling numbers read honestly: thread-level speedup is
+/// capped by the core count.
 fn bench_json() {
-    header("bench-json — writing BENCH_4.json (medians with min/max/spread, milliseconds)");
+    header("bench-json — writing BENCH_5.json (medians with min/max/spread, milliseconds)");
     // Micro rows sit in the tens of microseconds where a median of 5 still
     // wobbles visibly; batch rows run hundreds of milliseconds and 5 is
     // plenty.
@@ -306,9 +436,30 @@ fn bench_json() {
     out.push_str("  ],\n");
     e1_batch_json(&mut out, REPS);
     docgen_batch_json(&mut out, REPS);
+    obs_json(&mut out);
     out.push_str("}\n");
-    std::fs::write("BENCH_4.json", &out).expect("writing BENCH_4.json");
-    println!("  wrote BENCH_4.json");
+    std::fs::write("BENCH_5.json", &out).expect("writing BENCH_5.json");
+    println!("  wrote BENCH_5.json");
+}
+
+/// Observability sections of `BENCH_5.json`: the counter block each fast
+/// path reports on its probe query, measured with the runtime passes on and
+/// (separately) off. Numbers, not vibes: a claimed fast path that stops
+/// firing shows up here as a zero, and `check-obs` turns that into a CI
+/// failure.
+fn obs_json(out: &mut String) {
+    for (key, runtime_opt) in [("observability", true), ("observability_opt_off", false)] {
+        let rows = obs_probe_rows(runtime_opt);
+        out.push_str(&format!("  \"{key}\": [\n"));
+        for (idx, (name, stats)) in rows.iter().enumerate() {
+            let comma = if idx + 1 < rows.len() { "," } else { "" };
+            out.push_str(&format!("    {}{comma}\n", obs_stats_json(name, stats)));
+            if runtime_opt {
+                println!("  obs {name:<20} {stats:?}");
+            }
+        }
+        out.push_str(if runtime_opt { "  ],\n" } else { "  ]\n" });
+    }
 }
 
 /// One E1 batch job: a fresh engine, the per-document model exported into
@@ -534,7 +685,7 @@ fn docgen_batch_json(out: &mut String, reps: usize) {
         ));
     }
     out.push_str(&rows.join(",\n"));
-    out.push_str("\n  ]\n");
+    out.push_str("\n  ],\n");
 }
 
 fn header(title: &str) {

@@ -16,7 +16,7 @@
 use crate::trouble::GenTrouble;
 use crate::xq::{Phase, XqGenerator, GEN_XQ};
 use crate::{native, GenInputs};
-use xquery::{CompiledQuery, Engine, StackPool};
+use xquery::{CompiledQuery, Engine, EvalStats, StackPool};
 
 /// Which generator implementation a batch job runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +40,9 @@ pub struct BatchOutput {
     pub xml: String,
     /// `gen-error` notes present in the final document.
     pub trouble_count: usize,
+    /// The job's engine counters, merged across all pipeline phases.
+    /// Native jobs run no XQuery and report an all-zero block.
+    pub stats: EvalStats,
 }
 
 /// The XQuery pipeline compiled once, shareable by every job in a batch
@@ -82,6 +85,7 @@ fn run_job(job: &BatchJob<'_>, pipeline: &CompiledPipeline) -> Result<BatchOutpu
         GeneratorKind::Xquery => {
             let out = XqGenerator::with_compiled(&job.inputs, pipeline)?.run()?;
             Ok(BatchOutput {
+                stats: out.total_stats(),
                 xml: out.xml,
                 trouble_count: out.trouble_count,
             })
@@ -91,6 +95,7 @@ fn run_job(job: &BatchJob<'_>, pipeline: &CompiledPipeline) -> Result<BatchOutpu
             Ok(BatchOutput {
                 xml: out.to_xml(),
                 trouble_count: out.trouble_count,
+                stats: EvalStats::default(),
             })
         }
     }

@@ -11,7 +11,7 @@
 use crate::trouble::GenTrouble;
 use crate::GenInputs;
 use xmlstore::NodeId;
-use xquery::{CompiledQuery, Engine, Item};
+use xquery::{CompiledQuery, Engine, EvalStats, Item, TraceEvent, TraceSink};
 
 /// Phase-1 source: the generator proper.
 pub const GEN_XQ: &str = include_str!("gen.xq");
@@ -58,6 +58,28 @@ impl Phase {
             Phase::Strip => STRIP_XQ,
         }
     }
+
+    /// The phase's name as it appears in reports and trace events.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Omissions => "omissions",
+            Phase::Toc => "toc",
+            Phase::Markers => "markers",
+            Phase::Strip => "strip",
+        }
+    }
+}
+
+/// What one pipeline phase cost: wall time plus the engine's per-query
+/// counter block for that evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseReport {
+    /// `"generate"` for phase 1, then the [`Phase::name`] of each copy pass.
+    pub name: &'static str,
+    /// Wall-clock time of the phase's evaluation, nanoseconds.
+    pub wall_ns: u64,
+    /// The engine's counters for exactly this phase's query.
+    pub stats: EvalStats,
 }
 
 /// The result of an XQuery-pipeline run.
@@ -70,6 +92,21 @@ pub struct XqOutput {
     /// Serialized size after phase 1 and after each later phase — the
     /// "multiple copies of the entire output" the paper paid for.
     pub phase_sizes: Vec<usize>,
+    /// Per-phase wall time and engine counters, index-aligned with
+    /// `phase_sizes`.
+    pub phase_reports: Vec<PhaseReport>,
+}
+
+impl XqOutput {
+    /// All phase counters merged into one block (timing fields included, so
+    /// `queue_wait_ns`/`on_worker_ns` become pipeline totals).
+    pub fn total_stats(&self) -> EvalStats {
+        let mut total = EvalStats::default();
+        for report in &self.phase_reports {
+            total.merge(&report.stats);
+        }
+        total
+    }
 }
 
 /// A prepared XQuery generator: engine with model/metamodel/template loaded
@@ -156,18 +193,26 @@ impl XqGenerator {
         Ok(engine)
     }
 
+    /// Installs a trace sink on the pipeline's engine: it sees every
+    /// `fn:trace` event fired by the phase sources, plus one `docgen-phase`
+    /// event per completed phase (wall time in the value).
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.engine.set_trace_sink(sink);
+    }
+
     /// Runs the whole pipeline once.
     pub fn run(&mut self) -> Result<XqOutput, GenTrouble> {
         let mut phase_sizes = Vec::with_capacity(1 + self.phase_queries.len());
+        let mut phase_reports = Vec::with_capacity(1 + self.phase_queries.len());
 
         let gen_query = self.gen_query.clone();
-        let doc = self.eval_to_element(&gen_query, None)?;
+        let doc = self.timed_phase("generate", &gen_query, None, &mut phase_reports)?;
         phase_sizes.push(self.engine.store().to_xml(doc).len());
 
         let mut current = doc;
         for i in 0..self.phase_queries.len() {
-            let query = self.phase_queries[i].1.clone();
-            current = self.eval_to_element(&query, Some(current))?;
+            let (phase, query) = self.phase_queries[i].clone();
+            current = self.timed_phase(phase.name(), &query, Some(current), &mut phase_reports)?;
             phase_sizes.push(self.engine.store().to_xml(current).len());
         }
 
@@ -177,7 +222,38 @@ impl XqGenerator {
             xml,
             trouble_count,
             phase_sizes,
+            phase_reports,
         })
+    }
+
+    /// One phase evaluation wrapped in observability: wall time around the
+    /// evaluation, the engine's counter block for it, and a `docgen-phase`
+    /// trace event routed through the same sink `fn:trace` uses.
+    fn timed_phase(
+        &mut self,
+        name: &'static str,
+        query: &CompiledQuery,
+        doc: Option<NodeId>,
+        reports: &mut Vec<PhaseReport>,
+    ) -> Result<NodeId, GenTrouble> {
+        let started = std::time::Instant::now();
+        let result = self.eval_to_element(query, doc);
+        let wall_ns = started.elapsed().as_nanos() as u64;
+        let stats = *self.engine.last_stats();
+        reports.push(PhaseReport {
+            name,
+            wall_ns,
+            stats,
+        });
+        self.engine.emit_trace(TraceEvent {
+            label: "docgen-phase".to_string(),
+            value: format!(
+                "{name}: {wall_ns}ns, {} index hits, {} join probes, {} items",
+                stats.index_hits, stats.join_probes, stats.items_allocated
+            ),
+            position: (0, 0),
+        });
+        result
     }
 
     /// Runs only phase 1 (used by benches isolating generation cost).
@@ -347,6 +423,60 @@ mod tests {
         assert_eq!(out.phase_sizes.len(), 5);
         // the pre-strip copies are larger than the final document
         assert!(out.phase_sizes[0] > out.phase_sizes[4]);
+    }
+
+    /// Every phase reports its wall time and counter block, the totals
+    /// merge, and each completed phase announces itself through the trace
+    /// sink — the pipeline's costs are observable from outside.
+    #[test]
+    fn phase_reports_and_trace_sink() {
+        #[derive(Clone, Default)]
+        struct SharedSink(std::sync::Arc<std::sync::Mutex<Vec<TraceEvent>>>);
+        impl TraceSink for SharedSink {
+            fn event(&mut self, event: TraceEvent) {
+                self.0.lock().unwrap().push(event);
+            }
+        }
+
+        let meta = meta();
+        let m = tiny_model();
+        let template =
+            Template::parse(r#"<template><for nodes="all.user"><p><label/></p></for></template>"#)
+                .unwrap();
+        let inputs = GenInputs {
+            model: &m,
+            meta: &meta,
+            template: &template,
+        };
+        let sink = SharedSink::default();
+        let mut generator = XqGenerator::new(&inputs).unwrap();
+        generator.set_trace_sink(Box::new(sink.clone()));
+        let out = generator.run().unwrap();
+
+        assert_eq!(out.phase_reports.len(), 5);
+        assert_eq!(out.phase_reports[0].name, "generate");
+        assert_eq!(out.phase_reports[4].name, "strip");
+        assert!(out.phase_reports.iter().all(|r| r.wall_ns > 0));
+        // The generator phase walks the model document; something must
+        // have been allocated into its result.
+        assert!(out.phase_reports[0].stats.items_allocated > 0);
+        let total = out.total_stats();
+        assert_eq!(
+            total.items_allocated,
+            out.phase_reports
+                .iter()
+                .map(|r| r.stats.items_allocated)
+                .sum::<u64>()
+        );
+
+        let events = sink.0.lock().unwrap().clone();
+        let phase_events: Vec<&TraceEvent> = events
+            .iter()
+            .filter(|e| e.label == "docgen-phase")
+            .collect();
+        assert_eq!(phase_events.len(), 5, "{events:?}");
+        assert!(phase_events[0].value.starts_with("generate:"));
+        assert!(phase_events[4].value.starts_with("strip:"));
     }
 
     #[test]

@@ -25,6 +25,23 @@ fn text_strategy() -> impl Strategy<Value = String> {
     "[ a-zA-Z0-9&<>\"'\\.]{1,12}".prop_map(|s| s)
 }
 
+/// Harder payloads for the escaping round-trip: quotes, markup, control
+/// whitespace (`\n`/`\t`/`\r`), and the CDATA terminator, in any mix.
+fn hostile_text_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop_oneof![
+            "[ a-zA-Z0-9&<>\"'\\.]",
+            Just("\n".to_string()),
+            Just("\t".to_string()),
+            Just("\r".to_string()),
+            Just("]]>".to_string()),
+            Just("&amp;".to_string()),
+        ],
+        1..10,
+    )
+    .prop_map(|parts| parts.concat())
+}
+
 fn tree_strategy() -> impl Strategy<Value = TreeSpec> {
     let leaf = prop_oneof![
         text_strategy().prop_map(TreeSpec::Text),
@@ -73,6 +90,100 @@ fn build(store: &mut Store, spec: &TreeSpec) -> NodeId {
     }
 }
 
+/// Like [`tree_strategy`] but with hostile payloads in texts and attribute
+/// values, to exercise every escaping path in the serializer.
+fn hostile_tree_strategy() -> impl Strategy<Value = TreeSpec> {
+    let leaf = prop_oneof![
+        hostile_text_strategy().prop_map(TreeSpec::Text),
+        (
+            name_strategy(),
+            prop::collection::vec((name_strategy(), hostile_text_strategy()), 0..3)
+        )
+            .prop_map(|(name, attrs)| TreeSpec::Element {
+                name,
+                attrs,
+                children: vec![],
+            }),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (
+            name_strategy(),
+            prop::collection::vec((name_strategy(), hostile_text_strategy()), 0..3),
+            prop::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(name, attrs, children)| TreeSpec::Element {
+                name,
+                attrs,
+                children,
+            })
+    })
+}
+
+/// Merges adjacent text children (a parser yields one text node where a
+/// built tree may hold several), so deep-equality is well-defined.
+fn coalesce_text(spec: TreeSpec) -> TreeSpec {
+    match spec {
+        t @ TreeSpec::Text(_) => t,
+        TreeSpec::Element {
+            name,
+            attrs,
+            children,
+        } => {
+            let mut merged: Vec<TreeSpec> = Vec::with_capacity(children.len());
+            for child in children.into_iter().map(coalesce_text) {
+                match (merged.last_mut(), child) {
+                    (Some(TreeSpec::Text(prev)), TreeSpec::Text(next)) => prev.push_str(&next),
+                    (_, child) => merged.push(child),
+                }
+            }
+            TreeSpec::Element {
+                name,
+                attrs,
+                children: merged,
+            }
+        }
+    }
+}
+
+/// Structural equality across two stores: same kinds, names, attribute
+/// lists (in order), values, and children.
+fn deep_equal(a: &Store, na: NodeId, b: &Store, nb: NodeId) -> bool {
+    use crate::store::NodeKind;
+    match (a.kind(na), b.kind(nb)) {
+        (NodeKind::Element(qa), NodeKind::Element(qb)) => {
+            if qa != qb {
+                return false;
+            }
+            let (aa, ab) = (a.attributes(na), b.attributes(nb));
+            if aa.len() != ab.len() {
+                return false;
+            }
+            let attrs_match = aa
+                .iter()
+                .zip(ab)
+                .all(|(&x, &y)| match (a.kind(x), b.kind(y)) {
+                    (NodeKind::Attribute(qx, vx), NodeKind::Attribute(qy, vy)) => {
+                        qx == qy && vx == vy
+                    }
+                    _ => false,
+                });
+            let (ca, cb) = (a.children(na), b.children(nb));
+            attrs_match
+                && ca.len() == cb.len()
+                && ca.iter().zip(cb).all(|(&x, &y)| deep_equal(a, x, b, y))
+        }
+        (NodeKind::Document, NodeKind::Document) => {
+            let (ca, cb) = (a.children(na), b.children(nb));
+            ca.len() == cb.len() && ca.iter().zip(cb).all(|(&x, &y)| deep_equal(a, x, b, y))
+        }
+        (NodeKind::Text(ta), NodeKind::Text(tb)) => ta == tb,
+        (NodeKind::Comment(ta), NodeKind::Comment(tb)) => ta == tb,
+        (NodeKind::Attribute(qa, va), NodeKind::Attribute(qb, vb)) => qa == qb && va == vb,
+        (NodeKind::Pi(ta, da), NodeKind::Pi(tb, db)) => ta == tb && da == db,
+        _ => false,
+    }
+}
+
 fn root_element(spec: TreeSpec) -> TreeSpec {
     match spec {
         el @ TreeSpec::Element { .. } => el,
@@ -97,6 +208,21 @@ proptest! {
         let el2 = s2.document_element(doc).unwrap();
         let xml2 = s2.to_xml(el2);
         prop_assert_eq!(xml1, xml2);
+    }
+
+    /// `parse(serialize(doc))` is **deep-equal** to `doc` — structure, names,
+    /// attribute values, and text all survive, even with quotes, markup
+    /// characters, `\n`/`\t`/`\r`, and `]]>` in the payloads.
+    #[test]
+    fn parse_of_serialize_is_deep_equal(spec in hostile_tree_strategy()) {
+        let spec = coalesce_text(root_element(spec));
+        let mut s = Store::new();
+        let el = build(&mut s, &spec);
+        let xml = s.to_xml(el);
+        let mut s2 = Store::new();
+        let doc = s2.parse_str(&xml, &ParseOptions::default()).unwrap();
+        let el2 = s2.document_element(doc).unwrap();
+        prop_assert!(deep_equal(&s, el, &s2, el2), "not deep-equal after round-trip: {}", xml);
     }
 
     /// Parsing preserves string values through escaping.

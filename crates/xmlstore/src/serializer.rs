@@ -33,7 +33,8 @@ impl SerializeOptions {
     }
 }
 
-/// Escapes character data (`&`, `<`, `>`).
+/// Escapes character data (`&`, `<`, `>`, and a bare CR, which XML
+/// line-end normalization would otherwise turn into LF on re-parse).
 pub fn escape_text(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -41,13 +42,16 @@ pub fn escape_text(s: &str) -> String {
             '&' => out.push_str("&amp;"),
             '<' => out.push_str("&lt;"),
             '>' => out.push_str("&gt;"),
+            '\r' => out.push_str("&#13;"),
             _ => out.push(c),
         }
     }
     out
 }
 
-/// Escapes an attribute value (also `"`).
+/// Escapes an attribute value: also `"`, and the whitespace characters
+/// that XML attribute-value normalization folds to spaces on re-parse
+/// (`\n`, `\t`, `\r`) — as character references they round-trip exactly.
 pub fn escape_attr(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -56,6 +60,9 @@ pub fn escape_attr(s: &str) -> String {
             '<' => out.push_str("&lt;"),
             '>' => out.push_str("&gt;"),
             '"' => out.push_str("&quot;"),
+            '\n' => out.push_str("&#10;"),
+            '\t' => out.push_str("&#9;"),
+            '\r' => out.push_str("&#13;"),
             _ => out.push(c),
         }
     }
@@ -225,5 +232,34 @@ mod tests {
         let once = roundtrip(input);
         let twice = roundtrip(&once);
         assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn attribute_whitespace_survives_as_char_refs() {
+        let mut s = Store::new();
+        let el = s.create_element("e");
+        s.set_attribute(el, "a", "line1\nline2\ttab\rcr").unwrap();
+        let xml = s.to_xml(el);
+        assert_eq!(xml, r#"<e a="line1&#10;line2&#9;tab&#13;cr"/>"#);
+
+        let mut s2 = Store::new();
+        let doc = s2.parse_str(&xml, &ParseOptions::default()).unwrap();
+        let el2 = s2.document_element(doc).unwrap();
+        assert_eq!(s2.attribute_value(el2, "a"), Some("line1\nline2\ttab\rcr"));
+    }
+
+    #[test]
+    fn text_cr_and_cdata_end_survive() {
+        let mut s = Store::new();
+        let el = s.create_element("e");
+        let t = s.create_text("a\rb]]>c");
+        s.append_child(el, t).unwrap();
+        let xml = s.to_xml(el);
+        assert_eq!(xml, "<e>a&#13;b]]&gt;c</e>");
+
+        let mut s2 = Store::new();
+        let doc = s2.parse_str(&xml, &ParseOptions::default()).unwrap();
+        let el2 = s2.document_element(doc).unwrap();
+        assert_eq!(s2.string_value(el2), "a\rb]]>c");
     }
 }

@@ -13,7 +13,9 @@
 //! Flags: `--galax` (quirks mode), `--no-optimize`, `--static` (static type
 //! checking), `--doc FILE` (context document, also registered as
 //! `doc("input")`), `--xml` (serialize instead of display form),
-//! `--stats` (print optimizer statistics), `--trace` (print trace output).
+//! `--stats` (print optimizer statistics and runtime counters),
+//! `--trace` (print trace output), `--explain` (print the annotated plan
+//! before running).
 
 use std::process::ExitCode;
 use xquery::{Engine, EngineOptions};
@@ -25,6 +27,7 @@ fn main() -> ExitCode {
     let mut as_xml = false;
     let mut show_stats = false;
     let mut show_trace = false;
+    let mut show_explain = false;
 
     let mut query: Option<String> = None;
     while let Some(arg) = args.first().cloned() {
@@ -36,6 +39,7 @@ fn main() -> ExitCode {
             "--xml" => as_xml = true,
             "--stats" => show_stats = true,
             "--trace" => show_trace = true,
+            "--explain" => show_explain = true,
             "--doc" => {
                 doc_path = args.first().cloned();
                 if doc_path.is_none() {
@@ -45,7 +49,7 @@ fn main() -> ExitCode {
                 args.remove(0);
             }
             "--help" | "-h" => {
-                eprintln!("usage: xq [--galax] [--no-optimize] [--static] [--xml] [--stats] [--trace] [--doc FILE] QUERY");
+                eprintln!("usage: xq [--galax] [--no-optimize] [--static] [--xml] [--stats] [--trace] [--explain] [--doc FILE] QUERY");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -96,6 +100,9 @@ fn main() -> ExitCode {
             compiled.stats.constants_folded
         );
     }
+    if show_explain {
+        eprint!("{}", engine.explain(&compiled));
+    }
     match engine.evaluate(&compiled, context) {
         Ok(seq) => {
             if as_xml {
@@ -107,6 +114,23 @@ fn main() -> ExitCode {
                 for line in engine.take_trace() {
                     eprintln!("trace: {line}");
                 }
+            }
+            if show_stats {
+                let s = engine.last_stats();
+                eprintln!(
+                    "runtime: {} index hit(s)/{} miss(es), {} join build(s)/{} probe(s)/{} fallback(s), {} cache hit(s)/{} reset(s), {} streamed, {} item(s), {} µs queued + {} µs on worker",
+                    s.index_hits,
+                    s.index_misses,
+                    s.join_builds,
+                    s.join_probes,
+                    s.join_fallbacks,
+                    s.cache_hits,
+                    s.cache_resets,
+                    s.streamed_existence,
+                    s.items_allocated,
+                    s.queue_wait_ns / 1_000,
+                    s.on_worker_ns / 1_000
+                );
             }
             ExitCode::SUCCESS
         }

@@ -1,4 +1,10 @@
 //! Static and dynamic evaluation context.
+//!
+//! Deliberately free of observability state: the per-query counter block
+//! ([`crate::obs::EvalStats`]) and the trace sink ride in the run/eval
+//! environments, not here, so the context stays a pure (variables, focus)
+//! pair that both engines share unchanged and a pooled worker can build
+//! without touching the engine.
 
 use crate::ast::FunctionDecl;
 use crate::error::{Error, ErrorCode, Result};

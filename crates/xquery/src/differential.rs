@@ -688,6 +688,269 @@ fn quirks_trace_deletion_survives_the_runtime_passes() {
 }
 
 // ---------------------------------------------------------------------
+// Builtin edge-case pins
+//
+// Spec-conformance corners that differential fuzzing flagged: NaN and
+// ±INF positions in `substring`/`subsequence` (where fn:round's
+// half-toward-+INF rounding applies, not f64's half-away-from-zero),
+// out-of-range positions in `insert-before`/`remove`, `fn:round` on
+// exact halves, and empty-sequence arithmetic. Every pair pins the
+// spec value AND runs through the full differential harness, so the
+// walker, the lowered runner, and the optimised runner must all agree
+// on it under every engine configuration.
+// ---------------------------------------------------------------------
+
+const BUILTIN_EDGE_PINS: &[(&str, &str)] = &[
+    // substring: fractional, zero, negative, and non-finite positions.
+    ("substring(\"motor car\", 6)", " car"),
+    ("substring(\"metadata\", 4, 3)", "ada"),
+    ("substring(\"12345\", 1.5, 2.6)", "234"),
+    ("substring(\"12345\", 0, 3)", "12"),
+    ("substring(\"12345\", 5, -3)", ""),
+    ("substring(\"12345\", -3, 5)", "1"),
+    ("substring(\"12345\", 0e0 div 0e0, 3)", ""),
+    ("substring(\"12345\", 1, 0e0 div 0e0)", ""),
+    ("substring(\"12345\", -42, 1 div 0e0)", "12345"),
+    ("substring(\"12345\", -1 div 0e0, 1 div 0e0)", ""),
+    // 2-arg forms with non-finite starts: no upper bound to cancel INF.
+    ("substring(\"12345\", -1 div 0e0)", "12345"),
+    ("substring(\"12345\", 1 div 0e0)", ""),
+    ("substring(\"12345\", 0e0 div 0e0)", ""),
+    // subsequence mirrors substring's position arithmetic over items.
+    ("subsequence((1,2,3,4,5), -2, 5)", "1 2"),
+    ("subsequence((1,2,3,4,5), 2.5)", "3 4 5"),
+    ("subsequence((1,2,3,4,5), -1 div 0e0)", "1 2 3 4 5"),
+    ("subsequence((1,2,3,4,5), 1 div 0e0)", ""),
+    ("subsequence((1,2,3,4,5), 0e0 div 0e0)", ""),
+    ("subsequence((1,2,3,4,5), 2, 0e0 div 0e0)", ""),
+    ("subsequence((1,2,3,4,5), -1 div 0e0, 1 div 0e0)", ""),
+    // fn:round is round-half-toward-+INF: 2.5 → 3 but -2.5 → -2 (not -3
+    // as half-away-from-zero would give, not 2 as half-to-even would).
+    ("round(2.5)", "3"),
+    ("round(-2.5)", "-2"),
+    ("round(2.4999)", "2"),
+    ("round(-7.5)", "-7"),
+    // insert-before / remove clamp out-of-range positions instead of
+    // raising: before-the-start inserts first, past-the-end appends,
+    // and remove of a position that names nothing removes nothing.
+    ("insert-before((1,2,3), 0, \"x\")", "x 1 2 3"),
+    ("insert-before((1,2,3), 1, \"x\")", "x 1 2 3"),
+    ("insert-before((1,2,3), 3, \"x\")", "1 2 x 3"),
+    ("insert-before((1,2,3), 99, \"x\")", "1 2 3 x"),
+    ("remove((1,2,3), 0)", "1 2 3"),
+    ("remove((1,2,3), 2)", "1 3"),
+    ("remove((1,2,3), 99)", "1 2 3"),
+    // Empty-sequence arithmetic: () is absorbing for every operator.
+    ("() + 1", ""),
+    ("1 - ()", ""),
+    ("() * ()", ""),
+    ("-()", ""),
+    ("() idiv 1", ""),
+    ("() mod ()", ""),
+    ("() div 1", ""),
+];
+
+#[test]
+fn builtin_edges_match_spec_pins_under_every_config() {
+    for (name, options) in engine_configs() {
+        let mut e = Engine::with_options(options);
+        for (src, expected) in BUILTIN_EDGE_PINS {
+            let got = assert_equivalent(&mut e, src, None).unwrap();
+            assert_eq!(
+                got,
+                format!("ok: {expected}"),
+                "pin {src:?} under config {name}"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Observability: the trace sink, the counter block, and explain()
+// ---------------------------------------------------------------------
+
+/// A `TraceSink` that can be inspected after the engine is done with it.
+#[derive(Clone, Default)]
+struct SharedSink(Arc<std::sync::Mutex<Vec<crate::obs::TraceEvent>>>);
+
+impl crate::obs::TraceSink for SharedSink {
+    fn event(&mut self, event: crate::obs::TraceEvent) {
+        self.0.lock().unwrap().push(event);
+    }
+}
+
+/// The mirror image of `quirks_trace_deletion_survives_the_runtime_passes`:
+/// in STANDARD mode, with the AST optimizer and every lowered-plan pass ON,
+/// a dead-position `fn:trace` is a routed side effect that no pass may
+/// delete — its events reach an installed sink, carrying the query position
+/// and the traced value.
+#[test]
+fn trace_reaches_the_sink_under_full_optimisation() {
+    let src = "let $m := /m return \
+               for $i in (1, 2) \
+               let $dead := trace('dead=', $i) \
+               let $live := concat('n', $i) \
+               return ($live, string($m/node[1]/@id))";
+    let sink = SharedSink::default();
+    let mut e = Engine::with_options(EngineOptions {
+        runtime_opt: true,
+        ..Default::default()
+    });
+    e.set_trace_sink(Box::new(sink.clone()));
+    let doc = e.load_document(JOIN_DOC).unwrap();
+    let q = e.compile(src).unwrap();
+    assert_eq!(q.stats.traces_removed, 0, "standard mode deletes no trace");
+    assert!(
+        q.plan_stats.hoisted_invariant > 0,
+        "the runtime passes genuinely ran, got {:?}",
+        q.plan_stats
+    );
+    let out = e.evaluate(&q, Some(doc)).unwrap();
+    assert_eq!(e.display_sequence(&out), "n1 n1 n2 n1");
+
+    let events = sink.0.lock().unwrap().clone();
+    assert_eq!(events.len(), 2, "one event per tuple: {events:?}");
+    assert_eq!(
+        (events[0].label.as_str(), events[0].value.as_str()),
+        ("dead=", "1")
+    );
+    assert_eq!(
+        (events[1].label.as_str(), events[1].value.as_str()),
+        ("dead=", "2")
+    );
+    assert_ne!(events[0].position, (0, 0), "events carry the call position");
+    assert_eq!(events[0].position, events[1].position);
+    // The engine's own buffer saw the same events, in the legacy format.
+    assert_eq!(e.take_trace(), vec!["dead= 1", "dead= 2"]);
+}
+
+/// The acceptance path for the E1 join query: `explain()` names the
+/// hash-join rewrite, `last_stats()` proves it executed (a build and some
+/// probes), and the same query with the runtime passes off admits to doing
+/// none of it — while producing the identical answer.
+#[test]
+fn e1_join_is_observable_end_to_end() {
+    let src = JOIN_CORPUS[0];
+
+    let mut on = Engine::with_options(EngineOptions {
+        runtime_opt: true,
+        ..Default::default()
+    });
+    let doc = on.load_document(JOIN_DOC).unwrap();
+    let q = on.compile(src).unwrap();
+    let plan = on.explain(&q);
+    assert!(
+        plan.contains("hash join: build side"),
+        "explain must mark the join:\n{plan}"
+    );
+    assert!(
+        plan.contains("equality subsumed by the hash join"),
+        "explain must mark the subsumed where:\n{plan}"
+    );
+    let out = on.evaluate(&q, Some(doc)).unwrap();
+    let stats = *on.last_stats();
+    assert!(stats.join_builds >= 1, "stats: {stats:?}");
+    assert!(stats.join_probes > 0, "stats: {stats:?}");
+
+    let mut off = Engine::with_options(EngineOptions {
+        runtime_opt: false,
+        ..Default::default()
+    });
+    let doc_off = off.load_document(JOIN_DOC).unwrap();
+    let q_off = off.compile(src).unwrap();
+    let plan_off = off.explain(&q_off);
+    assert!(
+        plan_off.contains("0 hash join(s)"),
+        "unoptimised plan claims no joins:\n{plan_off}"
+    );
+    assert!(!plan_off.contains("hash join: build side"));
+    let out_off = off.evaluate(&q_off, Some(doc_off)).unwrap();
+    for (name, value) in off.last_stats().opt_counters() {
+        assert_eq!(value, 0, "counter {name} must be zero with runtime_opt off");
+    }
+    assert_eq!(
+        on.display_sequence(&out),
+        off.display_sequence(&out_off),
+        "observability must not change the answer"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The counter block is a property of the query, not of the pool: the
+    /// same evaluation on 1-, 2-, and 4-worker engines reports identical
+    /// counters (timing excluded via `counters()`) and identical values.
+    #[test]
+    fn eval_stats_counters_invariant_across_worker_counts(
+        outer in prop::collection::vec(atom(), 0..6),
+        inner in prop::collection::vec(atom(), 0..8),
+    ) {
+        let src = format!(
+            "for $n in {} for $r in {} where $r = $n return ($r, '|')",
+            atom_list(&outer),
+            atom_list(&inner),
+        );
+        let mut baseline: Option<(String, crate::obs::EvalStats)> = None;
+        for workers in [1usize, 2, 4] {
+            let mut e = Engine::with_options(EngineOptions {
+                eval_workers: workers,
+                ..Default::default()
+            });
+            let out = e.evaluate_str(&src, None).unwrap();
+            let display = e.display_sequence(&out);
+            let counters = e.last_stats().counters();
+            match &baseline {
+                None => baseline = Some((display, counters)),
+                Some((d, c)) => {
+                    prop_assert_eq!(d, &display, "values diverged at {} workers", workers);
+                    prop_assert_eq!(*c, counters, "counters diverged at {} workers", workers);
+                }
+            }
+        }
+    }
+
+    /// With the runtime passes off the engine must not only produce
+    /// byte-identical results — it must also ADMIT to doing no optimised
+    /// work: every join/cache/streaming counter reads zero.
+    #[test]
+    fn runtime_opt_off_is_identical_and_reports_zero_opt_counters(
+        outer in prop::collection::vec(atom(), 1..6),
+        inner in prop::collection::vec(atom(), 1..8),
+    ) {
+        let src = format!(
+            "for $n in {} for $r in {} where $r = $n return ($r, '|')",
+            atom_list(&outer),
+            atom_list(&inner),
+        );
+        let mut on = Engine::with_options(EngineOptions {
+            runtime_opt: true,
+            ..Default::default()
+        });
+        let mut off = Engine::with_options(EngineOptions {
+            runtime_opt: false,
+            ..Default::default()
+        });
+        let a = on.evaluate_str(&src, None).unwrap();
+        let b = off.evaluate_str(&src, None).unwrap();
+        prop_assert_eq!(on.display_sequence(&a), off.display_sequence(&b));
+        // The join is marked on this shape, so every tuple either probed
+        // the table or fell back (the build aborts on non-string keys) —
+        // with non-empty inputs the optimised engine must have counted
+        // one or the other.
+        let on_stats = *on.last_stats();
+        prop_assert!(
+            on_stats.join_probes + on_stats.join_fallbacks >= 1,
+            "the optimised engine must count its join activity, got {:?}",
+            on_stats
+        );
+        for (name, value) in off.last_stats().opt_counters() {
+            prop_assert_eq!(value, 0, "counter {} must be zero with runtime_opt off", name);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Pooled-path and concurrency stress tests
 //
 // The worker pool must not change what any query observes: the whole

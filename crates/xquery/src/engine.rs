@@ -6,12 +6,14 @@ use crate::error::{Error, Result};
 use crate::eval::{eval, EvalEnv};
 use crate::functions::display_sequence;
 use crate::lower::{lower_module, Program};
+use crate::obs::{EvalStats, PoolTiming, TraceEvent, TraceSink};
 use crate::optimizer::{optimize_module, OptimizerOptions, OptimizerStats};
 use crate::parser::parse_module;
 use crate::run::{run, Frame, RunEnv};
 use crate::value::{Item, Sequence};
 use std::collections::HashMap;
 use std::sync::{mpsc, Arc, Mutex};
+use std::time::Instant;
 use xmlstore::parser::ParseOptions;
 use xmlstore::{intern, NodeId, Store, Sym};
 
@@ -230,13 +232,40 @@ impl StackPool {
         T: Send,
         F: FnOnce() -> T + Send,
     {
+        self.run_timed(f).0
+    }
+
+    /// [`StackPool::run`] plus the pool's own timing observations: how long
+    /// the job sat in the queue before a worker dequeued it, and how long it
+    /// ran on the worker. A call issued from a worker runs inline with zero
+    /// queue wait (there was no queue hop to measure).
+    pub fn run_timed<T, F>(&self, f: F) -> (T, PoolTiming)
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
         if IS_EVAL_WORKER.with(|flag| flag.get()) {
-            return f();
+            let started = Instant::now();
+            let value = f();
+            return (
+                value,
+                PoolTiming {
+                    queue_wait_ns: 0,
+                    on_worker_ns: started.elapsed().as_nanos() as u64,
+                },
+            );
         }
         let (tx, rx) = mpsc::channel();
+        let submitted = Instant::now();
         let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+            let started = Instant::now();
+            let queue_wait_ns = started.duration_since(submitted).as_nanos() as u64;
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
-            let _ = tx.send(result);
+            let timing = PoolTiming {
+                queue_wait_ns,
+                on_worker_ns: started.elapsed().as_nanos() as u64,
+            };
+            let _ = tx.send((result, timing));
         });
         // Erase the borrow lifetime: the blocking recv below keeps every
         // borrow alive until the job has finished (or been dropped with the
@@ -246,8 +275,8 @@ impl StackPool {
             .send(job)
             .expect("the evaluation pool is gone");
         match rx.recv() {
-            Ok(Ok(value)) => value,
-            Ok(Err(payload)) => std::panic::resume_unwind(payload),
+            Ok((Ok(value), timing)) => (value, timing),
+            Ok((Err(payload), _)) => std::panic::resume_unwind(payload),
             Err(_) => panic!("the evaluation worker died without reporting a result"),
         }
     }
@@ -258,49 +287,90 @@ impl StackPool {
     ///
     /// Panics are collected per job; after the whole batch has drained, the
     /// first panicking job's payload (in submission order) is re-raised via
-    /// [`std::panic::resume_unwind`]. Draining before unwinding is what
-    /// keeps the lifetime erasure sound: jobs may borrow the caller's stack,
-    /// so no worker may still be running one when this frame unwinds.
+    /// [`std::panic::resume_unwind`] — with the job index prepended to the
+    /// payload text (`batch job N: …`), so a pooled failure still says
+    /// *which* job died. Draining before unwinding is what keeps the
+    /// lifetime erasure sound: jobs may borrow the caller's stack, so no
+    /// worker may still be running one when this frame unwinds.
     ///
     /// Called from a pool worker, the batch runs inline sequentially (same
-    /// order guarantee, no extra threads).
+    /// order guarantee, same payload tagging, no extra threads).
     pub fn run_batch<T, F>(&self, jobs: Vec<F>) -> Vec<T>
     where
         T: Send,
         F: FnOnce() -> T + Send,
     {
+        self.run_batch_timed(jobs)
+            .into_iter()
+            .map(|(value, _)| value)
+            .collect()
+    }
+
+    /// [`StackPool::run_batch`] with each job's [`PoolTiming`] alongside its
+    /// result.
+    pub fn run_batch_timed<T, F>(&self, jobs: Vec<F>) -> Vec<(T, PoolTiming)>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
         if IS_EVAL_WORKER.with(|flag| flag.get()) {
-            return jobs.into_iter().map(|f| f()).collect();
+            return jobs
+                .into_iter()
+                .enumerate()
+                .map(|(index, f)| {
+                    let started = Instant::now();
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+                        Ok(value) => (
+                            value,
+                            PoolTiming {
+                                queue_wait_ns: 0,
+                                on_worker_ns: started.elapsed().as_nanos() as u64,
+                            },
+                        ),
+                        Err(payload) => {
+                            std::panic::resume_unwind(tag_batch_payload(index, payload))
+                        }
+                    }
+                })
+                .collect();
         }
         let n = jobs.len();
         let (tx, rx) = mpsc::channel();
         let sender = self.sender();
         for (index, f) in jobs.into_iter().enumerate() {
             let tx = tx.clone();
+            let submitted = Instant::now();
             let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                let started = Instant::now();
+                let queue_wait_ns = started.duration_since(submitted).as_nanos() as u64;
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
-                let _ = tx.send((index, result));
+                let timing = PoolTiming {
+                    queue_wait_ns,
+                    on_worker_ns: started.elapsed().as_nanos() as u64,
+                };
+                let _ = tx.send((index, result, timing));
             });
             let job: Job = unsafe { std::mem::transmute(job) };
             sender.send(job).expect("the evaluation pool is gone");
         }
         drop(tx);
-        let mut slots: Vec<Option<std::thread::Result<T>>> = Vec::with_capacity(n);
+        let mut slots: Vec<Option<(std::thread::Result<T>, PoolTiming)>> = Vec::with_capacity(n);
         slots.resize_with(n, || None);
         for _ in 0..n {
             match rx.recv() {
-                Ok((index, result)) => slots[index] = Some(result),
+                Ok((index, result, timing)) => slots[index] = Some((result, timing)),
                 Err(_) => panic!("an evaluation worker died mid-batch"),
             }
         }
         let mut results = Vec::with_capacity(n);
         let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
-        for slot in slots {
-            match slot.expect("every batch job reports exactly once") {
-                Ok(value) => results.push(value),
+        for (index, slot) in slots.into_iter().enumerate() {
+            let (result, timing) = slot.expect("every batch job reports exactly once");
+            match result {
+                Ok(value) => results.push((value, timing)),
                 Err(payload) => {
                     if first_panic.is_none() {
-                        first_panic = Some(payload);
+                        first_panic = Some(tag_batch_payload(index, payload));
                     }
                 }
             }
@@ -309,6 +379,24 @@ impl StackPool {
             std::panic::resume_unwind(payload);
         }
         results
+    }
+}
+
+/// Prepends `batch job N: ` to a panic payload's text so a re-raised batch
+/// failure identifies the job. Payloads that carry no text (not a `String`
+/// or `&'static str`) pass through untouched rather than losing the
+/// original value.
+fn tag_batch_payload(
+    index: usize,
+    payload: Box<dyn std::any::Any + Send>,
+) -> Box<dyn std::any::Any + Send> {
+    let text = payload
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| payload.downcast_ref::<&'static str>().copied());
+    match text {
+        Some(t) => Box::new(format!("batch job {index}: {t}")),
+        None => payload,
     }
 }
 
@@ -333,8 +421,34 @@ pub struct Engine {
     options: EngineOptions,
     docs: HashMap<String, NodeId>,
     globals: HashMap<String, Arc<Sequence>>,
-    trace: Vec<String>,
+    /// Every `fn:trace` event recorded so far (drained by
+    /// [`Engine::take_trace`]/[`Engine::take_trace_events`]).
+    trace_events: Vec<TraceEvent>,
+    /// A user-installed sink that sees each event as it fires, in addition
+    /// to the internal recording above.
+    extra_sink: Option<Box<dyn TraceSink>>,
+    /// Counters from the most recent evaluation (see
+    /// [`Engine::last_stats`]). Updated even when the evaluation errored —
+    /// the counters up to the failure are often the diagnostic.
+    last_stats: EvalStats,
     pool: Arc<StackPool>,
+}
+
+/// The sink evaluation threads through [`RunEnv`]/[`EvalEnv`]: records into
+/// the engine's event log and forwards a clone of each event to the extra
+/// sink, in firing order.
+struct EngineSink<'a> {
+    events: &'a mut Vec<TraceEvent>,
+    extra: Option<&'a mut (dyn TraceSink + 'static)>,
+}
+
+impl TraceSink for EngineSink<'_> {
+    fn event(&mut self, event: TraceEvent) {
+        if let Some(extra) = self.extra.as_deref_mut() {
+            extra.event(event.clone());
+        }
+        self.events.push(event);
+    }
 }
 
 impl Default for Engine {
@@ -372,7 +486,9 @@ impl Engine {
             options,
             docs: HashMap::new(),
             globals: HashMap::new(),
-            trace: Vec::new(),
+            trace_events: Vec::new(),
+            extra_sink: None,
+            last_stats: EvalStats::default(),
             pool,
         }
     }
@@ -497,7 +613,11 @@ impl Engine {
         context_node: Option<NodeId>,
     ) -> Result<Sequence> {
         let pool = Arc::clone(&self.pool);
-        pool.run(move || self.evaluate_on_this_thread(query, context_node))
+        let this = &mut *self;
+        let (result, timing) =
+            pool.run_timed(move || this.evaluate_on_this_thread(query, context_node));
+        self.record_timing(timing);
+        result
     }
 
     /// Like [`Engine::evaluate`] but with a full focus (context item,
@@ -511,8 +631,9 @@ impl Engine {
         size: usize,
     ) -> Result<Sequence> {
         let pool = Arc::clone(&self.pool);
-        pool.run(move || {
-            self.evaluate_impl(
+        let this = &mut *self;
+        let (result, timing) = pool.run_timed(move || {
+            this.evaluate_impl(
                 query,
                 Some(Focus {
                     item,
@@ -520,7 +641,9 @@ impl Engine {
                     size,
                 }),
             )
-        })
+        });
+        self.record_timing(timing);
+        result
     }
 
     /// Evaluates through the **tree-walking reference evaluator** instead of
@@ -533,8 +656,9 @@ impl Engine {
         context_node: Option<NodeId>,
     ) -> Result<Sequence> {
         let pool = Arc::clone(&self.pool);
-        pool.run(move || {
-            self.evaluate_reference_impl(
+        let this = &mut *self;
+        let (result, timing) = pool.run_timed(move || {
+            this.evaluate_reference_impl(
                 query,
                 context_node.map(|node| Focus {
                     item: Item::Node(node),
@@ -542,7 +666,9 @@ impl Engine {
                     size: 1,
                 }),
             )
-        })
+        });
+        self.record_timing(timing);
+        result
     }
 
     /// Evaluates **on the caller's thread** — no big-stack spawn. Suitable
@@ -579,8 +705,33 @@ impl Engine {
         )
     }
 
+    /// Folds a pool timing into the stats of the evaluation that just
+    /// finished (the counter half was written by `evaluate_impl`).
+    fn record_timing(&mut self, timing: PoolTiming) {
+        self.last_stats.queue_wait_ns = timing.queue_wait_ns;
+        self.last_stats.on_worker_ns = timing.on_worker_ns;
+    }
+
     fn evaluate_impl(&mut self, query: &CompiledQuery, focus: Option<Focus>) -> Result<Sequence> {
+        let mut stats = EvalStats::default();
+        let result = self.evaluate_with_stats(query, focus, &mut stats);
+        // Publish even on error: the counters up to the failure point are
+        // part of the diagnostic story.
+        self.last_stats = stats;
+        result
+    }
+
+    fn evaluate_with_stats(
+        &mut self,
+        query: &CompiledQuery,
+        focus: Option<Focus>,
+        stats: &mut EvalStats,
+    ) -> Result<Sequence> {
         let program: &Program = &query.program;
+        let mut sink = EngineSink {
+            events: &mut self.trace_events,
+            extra: self.extra_sink.as_deref_mut(),
+        };
 
         // External bindings come first (keyed by interned name) and may be
         // overridden by module declarations, which evaluate in order, each
@@ -600,7 +751,8 @@ impl Engine {
                     program,
                     docs: &self.docs,
                     globals: &globals,
-                    trace: &mut self.trace,
+                    trace: &mut sink,
+                    stats: &mut *stats,
                     depth: 0,
                 };
                 let mut frame = Frame::new(decl.frame);
@@ -622,7 +774,8 @@ impl Engine {
             program,
             docs: &self.docs,
             globals: &globals,
-            trace: &mut self.trace,
+            trace: &mut sink,
+            stats,
             depth: 0,
         };
         let mut frame = Frame::new(program.body_frame);
@@ -638,6 +791,12 @@ impl Engine {
         for f in &query.module.functions {
             statics.declare(f.clone())?;
         }
+        // The walker is the executable spec, not the measured engine: it
+        // routes trace through the same sink but collects no counters.
+        let mut sink = EngineSink {
+            events: &mut self.trace_events,
+            extra: self.extra_sink.as_deref_mut(),
+        };
 
         // Module-level variables evaluate in order, each seeing the previous
         // ones; external bindings come first and may be overridden.
@@ -652,7 +811,7 @@ impl Engine {
                     statics: &statics,
                     docs: &self.docs,
                     globals: &globals,
-                    trace: &mut self.trace,
+                    trace: &mut sink,
                     depth: 0,
                 };
                 eval(&decl.expr, &mut env, &mut ctx)?
@@ -673,7 +832,7 @@ impl Engine {
             statics: &statics,
             docs: &self.docs,
             globals: &globals,
-            trace: &mut self.trace,
+            trace: &mut sink,
             depth: 0,
         };
         eval(&query.module.body, &mut env, &mut ctx)
@@ -703,9 +862,57 @@ impl Engine {
             .join("")
     }
 
-    /// Drains the `fn:trace` output collected so far.
+    /// Drains the `fn:trace` output collected so far, rendered in the
+    /// classic `"{label} {value}"` line format.
     pub fn take_trace(&mut self) -> Vec<String> {
-        std::mem::take(&mut self.trace)
+        std::mem::take(&mut self.trace_events)
+            .iter()
+            .map(TraceEvent::legacy_line)
+            .collect()
+    }
+
+    /// Drains the structured `fn:trace` events collected so far (label,
+    /// rendered value, and source position of the `trace` call).
+    pub fn take_trace_events(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.trace_events)
+    }
+
+    /// Installs an additional trace sink. Every subsequent [`TraceEvent`]
+    /// (from `fn:trace` or [`Engine::emit_trace`]) is forwarded to it
+    /// *before* landing in the engine's own buffer, so a pipeline can watch
+    /// traces live instead of draining them after the fact.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.extra_sink = Some(sink);
+    }
+
+    /// Removes the extra sink installed by [`Engine::set_trace_sink`].
+    pub fn clear_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.extra_sink.take()
+    }
+
+    /// Routes a caller-made event through the same path `fn:trace` uses —
+    /// extra sink first, then the engine buffer. Lets host pipelines
+    /// (docgen's phase reports) share the query trace channel.
+    pub fn emit_trace(&mut self, event: TraceEvent) {
+        let mut sink = EngineSink {
+            events: &mut self.trace_events,
+            extra: self.extra_sink.as_deref_mut(),
+        };
+        sink.event(event);
+    }
+
+    /// Counters and pool timing from the most recent `evaluate*` call on
+    /// this engine. Written even when the evaluation returned an error.
+    pub fn last_stats(&self) -> &EvalStats {
+        &self.last_stats
+    }
+
+    /// Renders the lowered-and-optimised plan for `query` as an annotated
+    /// tree: which FLWOR clauses became hash-join build sides, why a join
+    /// was refused, where loop-invariant caches sit, and which calls stream
+    /// or answer from the store indexes.
+    pub fn explain(&self, query: &CompiledQuery) -> String {
+        crate::obs::explain(&query.program, &query.plan_stats)
     }
 }
 
@@ -930,7 +1137,8 @@ mod tests {
             pool.run_batch(jobs)
         }))
         .unwrap_err();
-        assert_eq!(payload_text(caught.as_ref()), "job two failed");
+        // The re-raised payload names the failing job's index in the batch.
+        assert_eq!(payload_text(caught.as_ref()), "batch job 1: job two failed");
         // The pool is still healthy afterwards.
         assert_eq!(pool.run(|| 11), 11);
     }

@@ -94,6 +94,18 @@ impl Error {
         self
     }
 
+    /// Attaches a position only when none is recorded yet — used by call
+    /// sites that know the call position but must not clobber a more
+    /// precise position set deeper in the expression (and must leave
+    /// Galax-quirk errors, which deliberately have none, alone — callers
+    /// guard on [`ErrorCode::Internal`] for that).
+    pub fn at_if_unset(mut self, line: u32, column: u32) -> Self {
+        if self.position.is_none() {
+            self.position = Some((line, column));
+        }
+        self
+    }
+
     pub fn with_value(mut self, value: Sequence) -> Self {
         self.value = Some(value);
         self

@@ -31,8 +31,8 @@ pub struct EvalEnv<'a> {
     /// Module-level variables (prolog declarations and external bindings),
     /// visible from every expression including user-function bodies.
     pub globals: &'a HashMap<String, std::sync::Arc<Sequence>>,
-    /// Output sink for `fn:trace`.
-    pub trace: &'a mut Vec<String>,
+    /// Output sink for `fn:trace` (see [`crate::obs::TraceSink`]).
+    pub trace: &'a mut dyn crate::obs::TraceSink,
     /// Current user-function recursion depth.
     pub depth: usize,
 }

@@ -18,6 +18,7 @@ use crate::compare::{atomize, atomize_item, compare_atomics, deep_equal, effecti
 use crate::context::DynamicContext;
 use crate::error::{Error, ErrorCode, Result};
 use crate::eval::{join_atomized, EvalEnv};
+use crate::obs::{TraceEvent, TraceSink};
 use crate::value::{format_double, Atomic, Item, Sequence};
 use std::cmp::Ordering;
 use std::collections::HashMap;
@@ -170,7 +171,9 @@ pub struct CallCtx<'a> {
     pub store: &'a Store,
     pub galax_quirks: bool,
     pub docs: &'a HashMap<String, NodeId>,
-    pub trace: &'a mut Vec<String>,
+    /// Where `fn:trace` events go (see [`crate::obs::TraceSink`]): the
+    /// engine's internal recorder plus any user-installed sink.
+    pub trace: &'a mut dyn TraceSink,
 }
 
 /// Calls a builtin by name. `is_builtin` must have returned true for
@@ -194,13 +197,34 @@ pub fn call_builtin(
         store: env.store,
         galax_quirks: env.options.galax_quirks,
         docs: env.docs,
-        trace: env.trace,
+        trace: &mut *env.trace,
     };
     dispatch_builtin(builtin, args, &mut cx, ctx, position)
 }
 
 /// Calls a resolved builtin: direct enum dispatch, no string matching.
+///
+/// Any error the builtin itself raises is stamped with the call position
+/// (unless a more precise one is already attached). Galax-quirk errors —
+/// `ErrorCode::Internal` — are left untouched: the paper's complaint is
+/// precisely that those came with no line number.
 pub fn dispatch_builtin(
+    builtin: Builtin,
+    args: Vec<Sequence>,
+    cx: &mut CallCtx,
+    ctx: &DynamicContext,
+    position: (u32, u32),
+) -> Result<Sequence> {
+    dispatch_builtin_inner(builtin, args, cx, ctx, position).map_err(|e| {
+        if e.code == ErrorCode::Internal {
+            e
+        } else {
+            e.at_if_unset(position.0, position.1)
+        }
+    })
+}
+
+fn dispatch_builtin_inner(
     builtin: Builtin,
     args: Vec<Sequence>,
     cx: &mut CallCtx,
@@ -357,19 +381,24 @@ pub fn dispatch_builtin(
                 .collect())
         }
         (B::Subsequence, n) => {
-            let start = double_arg(&args[1], store)?.round();
-            let len = if n == 3 {
-                double_arg(&args[2], store)?.round()
-            } else {
-                f64::INFINITY
-            };
+            let start = xpath_round(double_arg(&args[1], store)?);
+            let len = (n == 3)
+                .then(|| double_arg(&args[2], store).map(xpath_round))
+                .transpose()?;
             let items = args.into_iter().next().unwrap().into_items();
             Ok(items
                 .into_iter()
                 .enumerate()
                 .filter(|(i, _)| {
                     let p = (i + 1) as f64;
-                    p >= start && p < start + len
+                    // Two-arg form: everything from round(start) on — the
+                    // spec has no upper bound, so start = -INF keeps the
+                    // whole sequence (`start + INF` would be NaN and drop
+                    // everything). NaN start keeps nothing either way.
+                    match len {
+                        Some(len) => p >= start && p < start + len,
+                        None => p >= start,
+                    }
                 })
                 .map(|(_, item)| item)
                 .collect())
@@ -532,21 +561,22 @@ pub fn dispatch_builtin(
         }
         (B::Substring, n) => {
             let s = string_arg(&args[0], store)?;
-            let start = double_arg(&args[1], store)?.round();
-            let len = if n == 3 {
-                double_arg(&args[2], store)?.round()
-            } else {
-                f64::INFINITY
-            };
-            let chars: Vec<char> = s.chars().collect();
-            let out: String = chars
-                .iter()
+            let start = xpath_round(double_arg(&args[1], store)?);
+            let len = (n == 3)
+                .then(|| double_arg(&args[2], store).map(xpath_round))
+                .transpose()?;
+            let out: String = s
+                .chars()
                 .enumerate()
                 .filter(|(i, _)| {
                     let p = (i + 1) as f64;
-                    p >= start && p < start + len
+                    // Same bounds discipline as fn:subsequence above.
+                    match len {
+                        Some(len) => p >= start && p < start + len,
+                        None => p >= start,
+                    }
                 })
-                .map(|(_, c)| *c)
+                .map(|(_, c)| c)
                 .collect();
             Ok(Atomic::Str(out.into()).into())
         }
@@ -653,8 +683,16 @@ pub fn dispatch_builtin(
         (B::Trace, _) => {
             // Prints all arguments, returns the value of the LAST one — the
             // early-Galax contract the paper's tracing idiom depends on.
-            let rendered: Vec<String> = args.iter().map(|a| display_sequence(a, store)).collect();
-            cx.trace.push(rendered.join(" "));
+            // Routed as a structured event: label = everything but the last
+            // argument, value = the last (the returned one).
+            let mut rendered: Vec<String> =
+                args.iter().map(|a| display_sequence(a, store)).collect();
+            let value = rendered.pop().unwrap();
+            cx.trace.event(TraceEvent {
+                label: rendered.join(" "),
+                value,
+                position,
+            });
             Ok(args.into_iter().next_back().unwrap())
         }
 
@@ -727,6 +765,18 @@ fn double_arg(seq: &Sequence, store: &Store) -> Result<f64> {
 
 fn integer_arg(seq: &Sequence, store: &Store) -> Result<i64> {
     Ok(double_arg(seq, store)? as i64)
+}
+
+/// `fn:round` semantics: half rounds toward positive infinity (−2.5 → −2),
+/// unlike `f64::round`'s half-away-from-zero (−2.5 → −3). NaN and ±INF pass
+/// through unchanged. `fn:substring`/`fn:subsequence` round their start and
+/// length arguments with *this* rule.
+fn xpath_round(d: f64) -> f64 {
+    if d.is_finite() {
+        (d + 0.5).floor()
+    } else {
+        d
+    }
 }
 
 fn numeric_unary(

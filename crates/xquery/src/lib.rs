@@ -39,6 +39,7 @@ pub mod functions;
 pub mod lexer;
 pub mod lopt;
 pub mod lower;
+pub mod obs;
 pub mod optimizer;
 pub mod parser;
 pub mod run;
@@ -48,6 +49,7 @@ pub mod value;
 
 pub use engine::{CompiledQuery, DupAttrPolicy, Engine, EngineOptions, StackPool};
 pub use error::{Error, ErrorCode};
+pub use obs::{EvalStats, PoolTiming, TraceEvent, TraceSink};
 pub use value::{Atomic, Item, Sequence};
 
 #[cfg(test)]

@@ -182,6 +182,67 @@ fn mark_hash_join(
     stats.hash_joins += 1;
 }
 
+/// Read-only twin of [`mark_hash_join`]'s gate chain, for [`crate::obs`]:
+/// given a FLWOR that was *not* marked, names the first gate that refused
+/// the rewrite — or `None` when the `where` never looked like a join
+/// candidate (not an `=` general comparison) so there is nothing to
+/// explain. Must mirror the gates above exactly; the explain tests pin
+/// that a refused candidate gets a reason.
+pub(crate) fn join_fallback_reason(
+    clauses: &[LFlworClause],
+    where_: &Option<Box<LExpr>>,
+) -> Option<&'static str> {
+    let w = where_.as_ref()?;
+    let LExpr::GeneralCmp(CmpOp::Eq, left, right) = &**w else {
+        return None;
+    };
+    let mut clause_bound: Vec<u32> = Vec::new();
+    for c in clauses.iter() {
+        match c {
+            LFlworClause::For { var, at, .. } => {
+                clause_bound.push(*var);
+                if let Some(at) = at {
+                    clause_bound.push(*at);
+                }
+            }
+            LFlworClause::Let { var, .. } => clause_bound.push(*var),
+        }
+    }
+    let Some(LFlworClause::For { var, at, .. }) = clauses.last() else {
+        return Some("final clause is a `let`, not a `for`");
+    };
+    if at.is_some() {
+        return Some("final `for` clause has a positional `at` binding");
+    }
+    if !join_simple(left) || !join_simple(right) {
+        return Some(
+            "a `where` operand is not join-simple (calls, constructors, binders, or outer focus)",
+        );
+    }
+    let slots_of = |e: &LExpr| {
+        let mut slots = Vec::new();
+        join_slots(e, &mut |s| slots.push(s));
+        slots
+    };
+    let (ls, rs) = (slots_of(left), slots_of(right));
+    let side =
+        match (ls.contains(var), rs.contains(var)) {
+            (true, false) => JoinSide::Left,
+            (false, true) => JoinSide::Right,
+            _ => return Some(
+                "the final `for` variable appears on both sides (or neither side) of the equality",
+            ),
+        };
+    let key_slots = if side == JoinSide::Left { &ls } else { &rs };
+    if key_slots
+        .iter()
+        .any(|s| s != var && clause_bound.contains(s))
+    {
+        return Some("the key side reads another clause-bound variable");
+    }
+    None
+}
+
 /// Like [`cacheable`] with no poison and no focus, but looking *through*
 /// cache cells: a `where` operand that hoisting already wrapped is still a
 /// deterministic frame-only expression underneath.
@@ -709,8 +770,9 @@ fn worth_caching(e: &LExpr) -> bool {
     found
 }
 
-/// Immutable twin of [`for_each_child`] for analysis-only walks.
-fn for_each_child_ref(e: &LExpr, f: &mut impl FnMut(&LExpr)) {
+/// Immutable twin of [`for_each_child`] for analysis-only walks (also used
+/// by [`crate::obs::explain`] to render the plan tree).
+pub(crate) fn for_each_child_ref(e: &LExpr, f: &mut impl FnMut(&LExpr)) {
     match e {
         LExpr::Literal(_)
         | LExpr::LocalRef(_)

@@ -289,6 +289,26 @@ pub enum LNodeTest {
     Document,
 }
 
+impl LNodeTest {
+    /// The test in XPath surface syntax, for plan rendering (`obs::explain`)
+    /// and diagnostics.
+    pub fn display_name(&self) -> String {
+        match self {
+            LNodeTest::AnyKind => "node()".to_string(),
+            LNodeTest::Text => "text()".to_string(),
+            LNodeTest::Comment => "comment()".to_string(),
+            LNodeTest::Pi => "processing-instruction()".to_string(),
+            LNodeTest::Document => "document-node()".to_string(),
+            LNodeTest::Element(None) => "element()".to_string(),
+            LNodeTest::Element(Some(q)) => format!("element({q})"),
+            LNodeTest::AttributeTest(None) => "attribute()".to_string(),
+            LNodeTest::AttributeTest(Some(q)) => format!("attribute({q})"),
+            LNodeTest::AnyName => "*".to_string(),
+            LNodeTest::Name(q) => q.to_string(),
+        }
+    }
+}
+
 // ----------------------------------------------------------------------
 // Slot resolution
 // ----------------------------------------------------------------------

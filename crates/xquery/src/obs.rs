@@ -1,0 +1,558 @@
+//! Observability: per-query runtime counters, the pluggable trace sink,
+//! and the `explain()` plan renderer.
+//!
+//! The paper's sharpest operational complaint is that Galax's optimiser
+//! silently deleted `fn:trace` calls — the author was debugging a black
+//! box. This engine has since grown four layers of its own (lower → lopt →
+//! run → pool) whose rewrites fire invisibly, so this module makes every
+//! one of them observable:
+//!
+//! * [`EvalStats`] — a per-query counter block filled in by the runner as
+//!   it executes. One evaluation runs on exactly one pool worker, so the
+//!   counters are plain `u64`s threaded by `&mut` — lock-free by
+//!   construction, merged into [`Engine::last_stats`](crate::Engine) when
+//!   the evaluation completes.
+//! * [`TraceSink`] / [`TraceEvent`] — `fn:trace` becomes a routed side
+//!   effect instead of a bare string push. Events carry the query position
+//!   and the traced value, and survive every *runtime* pass by
+//!   construction: the lopt hoister never caches calls, the hash join
+//!   refuses operands containing calls, and the streamed-existence gate
+//!   rejects predicates — so the only thing that can delete a trace is the
+//!   paper-faithful quirks-mode AST optimiser, which is itself under test.
+//! * [`explain`] — renders the lowered-and-optimised [`Program`] as an
+//!   annotated plan tree: which `for` clause got the hash-join mark (and
+//!   why a candidate `where` was refused), which subexpressions were
+//!   hoisted into `CacheOnce` cells, which calls stream or answer from the
+//!   store's indexes.
+
+use crate::ast::Axis;
+use crate::lopt::{self, PlanStats};
+use crate::lower::{LExpr, LFlworClause, Program};
+use std::collections::HashMap;
+
+// ----------------------------------------------------------------------
+// Per-query counters
+// ----------------------------------------------------------------------
+
+/// Counters for one evaluation through the lowered runner. All counts are
+/// deterministic for a given (program, store) pair — the differential and
+/// proptest suites pin that they are invariant across worker counts — while
+/// the two `*_ns` fields are wall-clock measurements and are excluded from
+/// those comparisons (see [`EvalStats::counters`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Index-backed fast paths taken: fused `//name` / `//@name` steps,
+    /// the `count(//name)` range answer, and fused `[@attr = v]` probes
+    /// served by the attribute-value index.
+    pub index_hits: u64,
+    /// Gated index fast paths that bailed to the generic scan (non-string
+    /// comparand, non-singleton scope node, …).
+    pub index_misses: u64,
+    /// Hash tables built for the FLWOR join (at most one per distinct
+    /// final-clause sequence per FLWOR evaluation).
+    pub join_builds: u64,
+    /// Tuples answered by probing a join table.
+    pub join_probes: u64,
+    /// Tuples that fell back to the plain scan (non-string key or probe
+    /// atoms made the table unusable).
+    pub join_fallbacks: u64,
+    /// `CacheOnce` reads served from an already-filled cell.
+    pub cache_hits: u64,
+    /// `CacheOnce` cells cleared by a `for` clause (entry and per-tuple
+    /// resets combined).
+    pub cache_resets: u64,
+    /// `exists`/`empty`/`boolean`/`not` calls (and `where`/EBV positions)
+    /// answered by the streamed existence walk without materialising the
+    /// path.
+    pub streamed_existence: u64,
+    /// Items appended to FLWOR result sequences (tuple output volume).
+    pub items_allocated: u64,
+    /// Nanoseconds the evaluation job waited in the pool queue before a
+    /// worker picked it up. Zero when run inline on a worker.
+    pub queue_wait_ns: u64,
+    /// Nanoseconds the job spent running on its worker.
+    pub on_worker_ns: u64,
+}
+
+impl EvalStats {
+    /// Field-wise sum, for aggregating per-job stats over a batch.
+    pub fn merge(&mut self, other: &EvalStats) {
+        self.index_hits += other.index_hits;
+        self.index_misses += other.index_misses;
+        self.join_builds += other.join_builds;
+        self.join_probes += other.join_probes;
+        self.join_fallbacks += other.join_fallbacks;
+        self.cache_hits += other.cache_hits;
+        self.cache_resets += other.cache_resets;
+        self.streamed_existence += other.streamed_existence;
+        self.items_allocated += other.items_allocated;
+        self.queue_wait_ns += other.queue_wait_ns;
+        self.on_worker_ns += other.on_worker_ns;
+    }
+
+    /// The deterministic counters only — timing zeroed — for comparisons
+    /// that must hold across worker counts and machines.
+    pub fn counters(&self) -> EvalStats {
+        EvalStats {
+            queue_wait_ns: 0,
+            on_worker_ns: 0,
+            ..*self
+        }
+    }
+
+    /// The counters attributable to the runtime optimisation layer; all
+    /// zero when [`EngineOptions::runtime_opt`](crate::EngineOptions) is
+    /// off.
+    pub fn opt_counters(&self) -> [(&'static str, u64); 6] {
+        [
+            ("join_builds", self.join_builds),
+            ("join_probes", self.join_probes),
+            ("join_fallbacks", self.join_fallbacks),
+            ("cache_hits", self.cache_hits),
+            ("cache_resets", self.cache_resets),
+            ("streamed_existence", self.streamed_existence),
+        ]
+    }
+}
+
+/// Time one pool job spent queued and running, as measured by the pool
+/// itself (see [`StackPool::run_timed`](crate::StackPool)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolTiming {
+    pub queue_wait_ns: u64,
+    pub on_worker_ns: u64,
+}
+
+// ----------------------------------------------------------------------
+// Trace sink
+// ----------------------------------------------------------------------
+
+/// One `fn:trace` firing (or a pipeline-phase report routed through the
+/// same channel): the label is every argument but the last, the value is
+/// the last argument — the early-Galax contract where `trace` returns its
+/// final argument.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// All arguments before the last, rendered and space-joined (empty for
+    /// a one-argument `trace`).
+    pub label: String,
+    /// The last argument, rendered — the value `trace` returned.
+    pub value: String,
+    /// 1-based line/column of the `trace` call (or `(0, 0)` for synthetic
+    /// events such as docgen phase reports).
+    pub position: (u32, u32),
+}
+
+impl TraceEvent {
+    /// The exact string the pre-sink engine pushed for this event: all
+    /// arguments space-joined. The legacy `Engine::take_trace` API is
+    /// reconstructed from this, byte for byte.
+    pub fn legacy_line(&self) -> String {
+        if self.label.is_empty() {
+            self.value.clone()
+        } else {
+            format!("{} {}", self.label, self.value)
+        }
+    }
+}
+
+/// Where trace events go. The engine always records events internally (for
+/// `take_trace`/`take_trace_events`); an extra sink installed with
+/// [`Engine::set_trace_sink`](crate::Engine) sees every event as it fires —
+/// a live debugger, a log forwarder, a test probe.
+///
+/// `Send + Sync` is required because the engine (which owns the sink) is
+/// itself shared with pool worker threads; the sink is still only ever
+/// driven by one evaluation at a time, through `&mut`.
+pub trait TraceSink: Send + Sync {
+    fn event(&mut self, event: TraceEvent);
+}
+
+impl TraceSink for Vec<TraceEvent> {
+    fn event(&mut self, event: TraceEvent) {
+        self.push(event);
+    }
+}
+
+// ----------------------------------------------------------------------
+// explain()
+// ----------------------------------------------------------------------
+
+/// How a synthetic `CacheOnce` slot is reset, recovered from the `for`
+/// clauses that own it.
+#[derive(Clone, Copy)]
+enum ResetKind {
+    Entry,
+    Iter,
+}
+
+/// Renders the lowered-and-optimised program as an annotated plan tree.
+///
+/// Every lopt rewrite is visible: `for` clauses carry their hash-join mark
+/// (or the reason the mark was refused when the `where` looked like a
+/// candidate), `CacheOnce` cells say whether they are loop-invariant hoists
+/// or per-tuple caches, and calls that the runner will stream or answer
+/// from an index are flagged. A program compiled with `runtime_opt` off
+/// renders the same tree with none of the annotations — diffing the two is
+/// the intended way to see what the layer did.
+pub fn explain(program: &Program, plan_stats: &PlanStats) -> String {
+    let mut resets = HashMap::new();
+    collect_resets(&program.body, &mut resets);
+    for f in &program.functions {
+        collect_resets(&f.body, &mut resets);
+    }
+    for g in &program.globals {
+        collect_resets(&g.expr, &mut resets);
+    }
+    let mut out = format!(
+        "plan: {} hash join(s), {} invariant hoist(s), {} per-tuple cache(s)\n",
+        plan_stats.hash_joins, plan_stats.hoisted_invariant, plan_stats.cached_per_tuple
+    );
+    let cx = ExplainCx {
+        program,
+        resets: &resets,
+    };
+    for f in &program.functions {
+        out.push_str(&format!("function {}:\n", f.name));
+        render(&f.body, 1, &cx, &mut out);
+    }
+    for g in &program.globals {
+        out.push_str(&format!("global ${}:\n", g.name));
+        render(&g.expr, 1, &cx, &mut out);
+    }
+    render(&program.body, 0, &cx, &mut out);
+    out
+}
+
+struct ExplainCx<'a> {
+    program: &'a Program,
+    resets: &'a HashMap<u32, ResetKind>,
+}
+
+fn collect_resets(e: &LExpr, map: &mut HashMap<u32, ResetKind>) {
+    if let LExpr::Flwor { clauses, .. } = e {
+        for c in clauses {
+            if let LFlworClause::For {
+                reset_entry,
+                reset_iter,
+                ..
+            } = c
+            {
+                for s in reset_entry {
+                    map.insert(*s, ResetKind::Entry);
+                }
+                for s in reset_iter {
+                    map.insert(*s, ResetKind::Iter);
+                }
+            }
+        }
+    }
+    lopt::for_each_child_ref(e, &mut |c| collect_resets(c, map));
+}
+
+fn indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn line(depth: usize, text: &str, out: &mut String) {
+    indent(depth, out);
+    out.push_str(text);
+    out.push('\n');
+}
+
+fn axis_name(axis: Axis) -> String {
+    format!("{axis:?}").to_lowercase()
+}
+
+/// One-line label for a node; annotations are appended by the caller.
+fn label(e: &LExpr, cx: &ExplainCx) -> String {
+    match e {
+        LExpr::Literal(a) => format!("literal {}", a.to_text()),
+        LExpr::LocalRef(s) => format!("local $#{s}"),
+        LExpr::GlobalRef(name, _) => format!("global ${name}"),
+        LExpr::ContextItem(_) => "context-item".to_string(),
+        LExpr::Root(_) => "root (/)".to_string(),
+        LExpr::Comma(_) => "sequence (,)".to_string(),
+        LExpr::Range(..) => "range (to)".to_string(),
+        LExpr::Arith(op, ..) => format!("arith {op:?}"),
+        LExpr::Neg(_) => "negate".to_string(),
+        LExpr::GeneralCmp(op, ..) => format!("general-compare {op:?}"),
+        LExpr::ValueCmp(op, ..) => format!("value-compare {op:?}"),
+        LExpr::NodeCmp(op, ..) => format!("node-compare {op:?}"),
+        LExpr::SetExpr(op, ..) => format!("set {op:?}"),
+        LExpr::And(..) => "and".to_string(),
+        LExpr::Or(..) => "or".to_string(),
+        LExpr::If(..) => "if".to_string(),
+        LExpr::Flwor { .. } => "flwor".to_string(),
+        LExpr::Quantified { quantifier, .. } => format!("quantified {quantifier:?}"),
+        LExpr::AxisStep { axis, test, .. } => {
+            format!("step {}::{}", axis_name(*axis), test.display_name())
+        }
+        LExpr::Path { .. } => "path".to_string(),
+        LExpr::Filter(..) => "filter".to_string(),
+        LExpr::CallBuiltin { builtin, .. } => format!("fn:{}", builtin.name()),
+        LExpr::CallUser { index, .. } => {
+            let name = &cx.program.functions[*index as usize].name;
+            format!("call {name}")
+        }
+        LExpr::CallUnknown { name, .. } => format!("call {name} (unresolved)"),
+        LExpr::DirectElement { name, .. } => format!("element <{name}>"),
+        LExpr::CompElement { .. } => "computed element".to_string(),
+        LExpr::CompAttribute { .. } => "computed attribute".to_string(),
+        LExpr::CompText(_) => "computed text".to_string(),
+        LExpr::CompComment(_) => "computed comment".to_string(),
+        LExpr::TryCatch { .. } => "try/catch".to_string(),
+        LExpr::TypeSwitch { .. } => "typeswitch".to_string(),
+        LExpr::InstanceOf(..) => "instance-of".to_string(),
+        LExpr::CastAs(..) => "cast".to_string(),
+        LExpr::CastableAs(..) => "castable".to_string(),
+        LExpr::CacheOnce { slot, .. } => format!("cache-once @{slot}"),
+    }
+}
+
+/// Runtime-rewrite annotations for a node, mirroring the exact gates the
+/// runner applies (see `run.rs`): the annotation appears iff the fast path
+/// will actually be attempted.
+fn annotations(e: &LExpr, cx: &ExplainCx) -> Vec<String> {
+    let mut out = Vec::new();
+    match e {
+        LExpr::CacheOnce { slot, .. } => match cx.resets.get(slot) {
+            Some(ResetKind::Entry) => {
+                out.push("hoisted loop-invariant: refills once per loop entry".to_string())
+            }
+            Some(ResetKind::Iter) => {
+                out.push("common subexpression: one evaluation per tuple".to_string())
+            }
+            None => out.push("cached once per evaluation".to_string()),
+        },
+        LExpr::CallBuiltin { builtin, args, .. } => {
+            use crate::functions::Builtin as B;
+            if args.len() == 1 {
+                if let LExpr::Path { steps, .. } = &args[0] {
+                    let existence = matches!(builtin, B::Exists | B::Empty | B::Boolean | B::Not);
+                    if existence && crate::run::streamable_steps(steps) {
+                        out.push(
+                            "streamed existence: early-exit walk, no materialisation".to_string(),
+                        );
+                    }
+                    if matches!(builtin, B::Count) {
+                        if let [step] = &steps[..] {
+                            if step.double_slash
+                                && crate::run::fused_double_slash_step(&step.expr).is_some()
+                            {
+                                out.push(
+                                    "index-range count: answered from the per-tree name index"
+                                        .to_string(),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        LExpr::Path { steps, .. }
+            if steps.iter().any(|s| {
+                s.double_slash && crate::run::fused_double_slash_step(&s.expr).is_some()
+            }) =>
+        {
+            out.push("`//` step answered from the per-tree name index".to_string());
+        }
+        LExpr::AxisStep {
+            axis,
+            test,
+            predicates,
+            ..
+        } if crate::run::is_fused_attr_eq(*axis, test, predicates) => {
+            out.push("[@attr = v] probe against the attribute-value index".to_string());
+        }
+        _ => {}
+    }
+    out
+}
+
+fn render(e: &LExpr, depth: usize, cx: &ExplainCx, out: &mut String) {
+    let mut text = label(e, cx);
+    for a in annotations(e, cx) {
+        text.push_str("  [");
+        text.push_str(&a);
+        text.push(']');
+    }
+    line(depth, &text, out);
+    if let LExpr::Flwor {
+        clauses,
+        where_,
+        order_by,
+        return_,
+    } = e
+    {
+        let fallback = lopt::join_fallback_reason(clauses, where_);
+        for c in clauses {
+            match c {
+                LFlworClause::For {
+                    var,
+                    at,
+                    seq,
+                    reset_entry,
+                    reset_iter,
+                    join,
+                } => {
+                    let mut head = format!("for $#{var}");
+                    if let Some(at) = at {
+                        head.push_str(&format!(" at $#{at}"));
+                    }
+                    if let Some(side) = join {
+                        head.push_str(&format!(
+                            "  [hash join: build side; key = {side:?} operand of `where`]"
+                        ));
+                    }
+                    if !reset_entry.is_empty() {
+                        head.push_str(&format!(
+                            "  [clears {} invariant cache(s) on entry]",
+                            reset_entry.len()
+                        ));
+                    }
+                    if !reset_iter.is_empty() {
+                        head.push_str(&format!(
+                            "  [clears {} per-tuple cache(s) each binding]",
+                            reset_iter.len()
+                        ));
+                    }
+                    line(depth + 1, &head, out);
+                    render(seq, depth + 2, cx, out);
+                }
+                LFlworClause::Let {
+                    var, name, expr, ..
+                } => {
+                    line(depth + 1, &format!("let $#{var} (${name})"), out);
+                    render(expr, depth + 2, cx, out);
+                }
+            }
+        }
+        if let Some(w) = where_ {
+            let joined = clauses
+                .iter()
+                .any(|c| matches!(c, LFlworClause::For { join: Some(_), .. }));
+            let mut head = "where".to_string();
+            if joined {
+                head.push_str("  [equality subsumed by the hash join]");
+            } else if let Some(reason) = fallback {
+                head.push_str(&format!("  [hash join not applied: {reason}]"));
+            }
+            line(depth + 1, &head, out);
+            render(w, depth + 2, cx, out);
+        }
+        for spec in order_by {
+            line(depth + 1, "order-by", out);
+            render(&spec.key, depth + 2, cx, out);
+        }
+        line(depth + 1, "return", out);
+        render(return_, depth + 2, cx, out);
+        return;
+    }
+    lopt::for_each_child_ref(e, &mut |c| render(c, depth + 1, cx, out));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, EngineOptions};
+
+    #[test]
+    fn legacy_line_reconstruction() {
+        let e = TraceEvent {
+            label: "x=".to_string(),
+            value: "5".to_string(),
+            position: (1, 10),
+        };
+        assert_eq!(e.legacy_line(), "x= 5");
+        let one_arg = TraceEvent {
+            label: String::new(),
+            value: "5".to_string(),
+            position: (1, 1),
+        };
+        assert_eq!(one_arg.legacy_line(), "5");
+    }
+
+    #[test]
+    fn counters_strip_timing() {
+        let mut a = EvalStats {
+            join_builds: 1,
+            queue_wait_ns: 999,
+            on_worker_ns: 123,
+            ..Default::default()
+        };
+        let b = EvalStats {
+            join_builds: 1,
+            queue_wait_ns: 5,
+            on_worker_ns: 6,
+            ..Default::default()
+        };
+        assert_ne!(a, b);
+        assert_eq!(a.counters(), b.counters());
+        a.merge(&b);
+        assert_eq!(a.join_builds, 2);
+        assert_eq!(a.queue_wait_ns, 1004);
+    }
+
+    #[test]
+    fn explain_marks_the_hash_join_and_the_hoist() {
+        // Pin the option explicitly: this must hold even when the test run
+        // itself exports XQ_OPT=0.
+        let e = Engine::with_options(EngineOptions {
+            runtime_opt: true,
+            ..Default::default()
+        });
+        let q = e
+            .compile(
+                "let $d := <r><a id='1'/><a id='2'/></r> \
+                 return for $n in $d/a for $r in $d/a where $r/@id = $n/@id return $r",
+            )
+            .unwrap();
+        let plan = e.explain(&q);
+        assert!(plan.contains("hash join: build side"), "{plan}");
+        assert!(
+            plan.contains("equality subsumed by the hash join"),
+            "{plan}"
+        );
+    }
+
+    #[test]
+    fn explain_names_the_refusal_reason() {
+        // string($r) is a call: the join gate refuses it, and the plan says so.
+        let e = Engine::new();
+        let q = e
+            .compile("for $n in (1, 2) for $r in (3, 4) where string($r) = $n return $r")
+            .unwrap();
+        let plan = e.explain(&q);
+        assert!(plan.contains("hash join not applied"), "{plan}");
+    }
+
+    #[test]
+    fn explain_without_runtime_opt_has_no_rewrite_marks() {
+        let e = Engine::with_options(EngineOptions {
+            runtime_opt: false,
+            ..Default::default()
+        });
+        let q = e
+            .compile(
+                "let $d := <r><a id='1'/></r> \
+                 return for $n in $d/a for $r in $d/a where $r/@id = $n/@id return $r",
+            )
+            .unwrap();
+        let plan = e.explain(&q);
+        assert!(plan.contains("0 hash join(s)"), "{plan}");
+        assert!(!plan.contains("hash join: build side"), "{plan}");
+        assert!(!plan.contains("cache-once"), "{plan}");
+    }
+
+    #[test]
+    fn explain_marks_streamed_and_index_calls() {
+        let e = Engine::new();
+        let q = e.compile("exists(//node) and count(//rel) > 0").unwrap();
+        let plan = e.explain(&q);
+        assert!(plan.contains("streamed existence"), "{plan}");
+        assert!(plan.contains("index-range count"), "{plan}");
+    }
+}

@@ -43,6 +43,7 @@ use crate::lower::{
     CompiledFunction, JoinSide, LAttrPart, LConstructorName, LContentPart, LExpr, LFlworClause,
     LNodeTest, LOrderSpec, LPathStep, Program,
 };
+use crate::obs::EvalStats;
 use crate::types::{cast_atomic, ItemType, SeqType};
 use crate::value::{Atomic, Item, Sequence};
 use std::collections::{HashMap, HashSet};
@@ -60,8 +61,11 @@ pub struct RunEnv<'a> {
     /// inserted by the engine as they evaluate, so initializers see exactly
     /// the earlier ones — the same visibility the reference evaluator has.
     pub globals: &'a HashMap<Sym, Arc<Sequence>>,
-    /// Output sink for `fn:trace`.
-    pub trace: &'a mut Vec<String>,
+    /// Output sink for `fn:trace` (see [`crate::obs::TraceSink`]).
+    pub trace: &'a mut dyn crate::obs::TraceSink,
+    /// Per-query runtime counters (see [`crate::obs::EvalStats`]). One
+    /// evaluation runs on one worker, so plain `&mut` increments suffice.
+    pub stats: &'a mut EvalStats,
     /// Current user-function recursion depth.
     pub depth: usize,
 }
@@ -342,9 +346,11 @@ pub fn run(
                 let rhs = run(step.rhs, env, frame, ctx)?;
                 if let Some(matched) = fused_attr_eq_candidates(node, &step.fused, &rhs, env.store)
                 {
+                    env.stats.index_hits += 1;
                     let filtered = apply_predicates_nodes(matched, step.rest, env, frame, ctx)?;
                     return Ok(filtered.into_iter().map(Item::Node).collect());
                 }
+                env.stats.index_misses += 1;
             }
             let candidates = axis_candidates(*axis, node, env.store);
             let tested: Vec<NodeId> = candidates
@@ -360,6 +366,7 @@ pub fn run(
             for step in steps {
                 if step.double_slash {
                     if let Some(fused) = fused_double_slash_step(&step.expr) {
+                        env.stats.index_hits += 1;
                         current = eval_fused_descendant_step(&current, fused, env.store)?;
                         continue;
                     }
@@ -413,25 +420,32 @@ pub fn run(
                                         _ => None,
                                     };
                                     let count = match (n, fused) {
-                                        (Some(n), FusedStep::ChildNamed(want)) => env
-                                            .store
-                                            .descendant_elements_by_local(n, want.local_sym())
-                                            .into_iter()
-                                            .filter(|&d| env.store.name(d) == Some(&want))
-                                            .count(),
-                                        (Some(n), FusedStep::AttrNamed(want)) => env
-                                            .store
-                                            .descendant_or_self_attributes_by_local(
-                                                n,
-                                                want.local_sym(),
-                                            )
-                                            .into_iter()
-                                            .filter(|&d| env.store.name(d) == Some(&want))
-                                            .count(),
-                                        (None, fused) => eval_fused_descendant_step(
-                                            &start_seq, fused, env.store,
-                                        )?
-                                        .len(),
+                                        (Some(n), FusedStep::ChildNamed(want)) => {
+                                            env.stats.index_hits += 1;
+                                            env.store
+                                                .descendant_elements_by_local(n, want.local_sym())
+                                                .into_iter()
+                                                .filter(|&d| env.store.name(d) == Some(&want))
+                                                .count()
+                                        }
+                                        (Some(n), FusedStep::AttrNamed(want)) => {
+                                            env.stats.index_hits += 1;
+                                            env.store
+                                                .descendant_or_self_attributes_by_local(
+                                                    n,
+                                                    want.local_sym(),
+                                                )
+                                                .into_iter()
+                                                .filter(|&d| env.store.name(d) == Some(&want))
+                                                .count()
+                                        }
+                                        (None, fused) => {
+                                            env.stats.index_misses += 1;
+                                            eval_fused_descendant_step(
+                                                &start_seq, fused, env.store,
+                                            )?
+                                            .len()
+                                        }
                                     };
                                     return Ok(Atomic::Int(count as i64).into());
                                 }
@@ -448,7 +462,7 @@ pub fn run(
                 store: env.store,
                 galax_quirks: env.options.galax_quirks,
                 docs: env.docs,
-                trace: env.trace,
+                trace: &mut *env.trace,
             };
             dispatch_builtin(*builtin, values, &mut cx, ctx, *position)
         }
@@ -649,6 +663,7 @@ pub fn run(
 
         LExpr::CacheOnce { slot, expr } => {
             if let Some(v) = frame.get(*slot) {
+                env.stats.cache_hits += 1;
                 return Ok((**v).clone());
             }
             // First read in this cache window: evaluate in place (errors
@@ -765,7 +780,9 @@ fn flwor_tuples(
             }
         }
         if order_by.is_empty() {
-            plain.push_seq(run(return_, env, frame, ctx)?);
+            let value = run(return_, env, frame, ctx)?;
+            env.stats.items_allocated += value.len() as u64;
+            plain.push_seq(value);
         } else {
             let mut keys = Vec::with_capacity(order_by.len());
             for spec in order_by {
@@ -780,6 +797,7 @@ fn flwor_tuples(
                 keys.push(atoms.into_iter().next());
             }
             let value = run(return_, env, frame, ctx)?;
+            env.stats.items_allocated += value.len() as u64;
             keyed.push((keys, value));
         }
         return Ok(());
@@ -797,6 +815,7 @@ fn flwor_tuples(
             // before `seq` is evaluated (a cache read inside `seq` itself
             // must see fresh outer bindings) and refill at most once per
             // (re-)entry.
+            env.stats.cache_resets += reset_entry.len() as u64;
             for slot in reset_entry {
                 frame.clear(*slot);
             }
@@ -814,6 +833,7 @@ fn flwor_tuples(
                 }
             }
             for (i, item) in items.into_items().into_iter().enumerate() {
+                env.stats.cache_resets += reset_iter.len() as u64;
                 for slot in reset_iter {
                     frame.clear(*slot);
                 }
@@ -904,7 +924,8 @@ fn join_for(
     if items.is_empty() {
         return Ok(());
     }
-    let bind = |frame: &mut Frame, item: &Item| {
+    let bind = |frame: &mut Frame, stats: &mut EvalStats, item: &Item| {
+        stats.cache_resets += reset_iter.len() as u64;
         for slot in reset_iter {
             frame.clear(*slot);
         }
@@ -914,7 +935,7 @@ fn join_for(
     let mut first_key_atoms = None;
     if rebuild {
         *jstate = None;
-        bind(frame, &items.items()[0]);
+        bind(frame, &mut *env.stats, &items.items()[0]);
         let v = run(key_e, env, frame, ctx)?;
         first_key_atoms = Some(atomize(&v, env.store));
     }
@@ -940,13 +961,16 @@ fn join_for(
             };
         if insert(&mut table, &first, 0) {
             for i in 1..items.len() {
-                bind(frame, &items.items()[i]);
+                bind(frame, &mut *env.stats, &items.items()[i]);
                 let v = run(key_e, env, frame, ctx)?;
                 let atoms = atomize(&v, env.store);
                 if !insert(&mut table, &atoms, i) {
                     break;
                 }
             }
+        }
+        if table.is_some() {
+            env.stats.join_builds += 1;
         }
         *jstate = Some(JoinState {
             seq: items.clone(),
@@ -979,8 +1003,9 @@ fn join_for(
     };
     match indices {
         Some(matched) => {
+            env.stats.join_probes += 1;
             for i in matched {
-                bind(frame, &items.items()[i]);
+                bind(frame, &mut *env.stats, &items.items()[i]);
                 flwor_tuples(
                     clauses,
                     idx + 1,
@@ -997,8 +1022,9 @@ fn join_for(
             }
         }
         None => {
+            env.stats.join_fallbacks += 1;
             for item in items.iter() {
-                bind(frame, item);
+                bind(frame, &mut *env.stats, item);
                 flwor_tuples(
                     clauses,
                     idx + 1,
@@ -1055,7 +1081,7 @@ fn quantified(
 /// for a boolean); `//` abbreviations are only handled for the child and
 /// attribute axes, where descendant-or-self composition has a direct
 /// streaming form.
-fn streamable_steps(steps: &[LPathStep]) -> bool {
+pub(crate) fn streamable_steps(steps: &[LPathStep]) -> bool {
     !steps.is_empty()
         && steps.iter().all(|s| match &s.expr {
             LExpr::AxisStep {
@@ -1087,7 +1113,10 @@ fn path_exists(
     let start_seq = run(start, env, frame, ctx)?;
     let nodes: Option<Vec<NodeId>> = start_seq.iter().map(|i| i.as_node()).collect();
     match nodes {
-        Some(nodes) => Ok(nodes.iter().any(|&n| step_any(env.store, n, steps))),
+        Some(nodes) => {
+            env.stats.streamed_existence += 1;
+            Ok(nodes.iter().any(|&n| step_any(env.store, n, steps)))
+        }
         None => {
             let mut current = start_seq;
             for step in steps {
@@ -1210,7 +1239,7 @@ fn map_step(
 /// Lowered mirror of the walker's `fused_double_slash_step`: name tests are
 /// already interned `QName`s here, so any simple predicate-free `//name` or
 /// `//@name` step qualifies for the index lookup.
-fn fused_double_slash_step(expr: &LExpr) -> Option<FusedStep> {
+pub(crate) fn fused_double_slash_step(expr: &LExpr) -> Option<FusedStep> {
     let LExpr::AxisStep {
         axis,
         test,
@@ -1273,6 +1302,13 @@ struct FusedAttrEqStep<'a> {
     fused: FusedAttrEq,
     rhs: &'a LExpr,
     rest: &'a [LExpr],
+}
+
+/// Would this axis step take the fused `child[@attr = RHS]` index probe?
+/// Exposed for [`crate::obs::explain`] so the plan annotation matches the
+/// runner's gate exactly.
+pub(crate) fn is_fused_attr_eq(axis: Axis, test: &LNodeTest, predicates: &[LExpr]) -> bool {
+    fused_attr_eq_step(axis, test, predicates).is_some()
 }
 
 /// Lowered mirror of the walker's `fused_attr_eq_step`: names are already
