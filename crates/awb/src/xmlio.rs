@@ -37,12 +37,12 @@ impl std::error::Error for ImportError {}
 /// Exports `model` as a document tree inside `store`; returns the document
 /// node. This is the form the XQuery document generator queries.
 pub fn export_to_store(model: &Model, store: &mut Store) -> NodeId {
-    let doc = store.create_document();
-    let root = store.create_element("awb-model");
+    let doc = store.create_document().expect("arena has room");
+    let root = store.create_element("awb-model").expect("arena has room");
     store.append_child(doc, root).expect("fresh document");
 
     for node in model.all_nodes() {
-        let el = store.create_element("node");
+        let el = store.create_element("node").expect("arena has room");
         store
             .set_attribute(el, "id", model.node_id_string(node))
             .expect("element");
@@ -59,7 +59,7 @@ pub fn export_to_store(model: &Model, store: &mut Store) -> NodeId {
         store.append_child(root, el).expect("fresh node element");
     }
     for rel in model.all_relations() {
-        let el = store.create_element("relation");
+        let el = store.create_element("relation").expect("arena has room");
         store
             .set_attribute(el, "id", format!("R{}", rel.0))
             .expect("element");
@@ -80,11 +80,14 @@ pub fn export_to_store(model: &Model, store: &mut Store) -> NodeId {
             .append_child(root, el)
             .expect("fresh relation element");
     }
+    // The export is complete and will only be queried from here on: freeze
+    // it so the engine gets the contiguous arena representation.
+    store.freeze(doc).expect("arena has room");
     doc
 }
 
 fn export_property(store: &mut Store, name: &str, value: &PropValue) -> NodeId {
-    let p = store.create_element("property");
+    let p = store.create_element("property").expect("arena has room");
     store.set_attribute(p, "name", name).expect("element");
     store
         .set_attribute(p, "type", value.type_name())
@@ -104,13 +107,13 @@ fn export_property(store: &mut Store, name: &str, value: &PropValue) -> NodeId {
                     }
                 }
                 Err(_) => {
-                    let t = store.create_text(markup.clone());
+                    let t = store.create_text(markup.clone()).expect("arena has room");
                     store.append_child(p, t).expect("fresh text");
                 }
             }
         }
         other => {
-            let t = store.create_text(other.to_text());
+            let t = store.create_text(other.to_text()).expect("arena has room");
             store.append_child(p, t).expect("fresh text");
         }
     }
@@ -120,12 +123,14 @@ fn export_property(store: &mut Store, name: &str, value: &PropValue) -> NodeId {
 /// Copies a subtree from one store into another (detached in the target).
 pub fn copy_across(src: &Store, node: NodeId, dst: &mut Store) -> NodeId {
     let copy = match src.kind(node) {
-        NodeKind::Document => dst.create_document(),
-        NodeKind::Element(name) => dst.create_element(*name),
-        NodeKind::Attribute(name, value) => dst.create_attribute(*name, value.clone()),
-        NodeKind::Text(t) => dst.create_text(t.clone()),
-        NodeKind::Comment(t) => dst.create_comment(t.clone()),
-        NodeKind::Pi(t, d) => dst.create_pi(t.clone(), d.clone()),
+        NodeKind::Document => dst.create_document().expect("arena has room"),
+        NodeKind::Element(name) => dst.create_element(*name).expect("arena has room"),
+        NodeKind::Attribute(name, value) => dst
+            .create_attribute(*name, value.clone())
+            .expect("arena has room"),
+        NodeKind::Text(t) => dst.create_text(t.clone()).expect("arena has room"),
+        NodeKind::Comment(t) => dst.create_comment(t.clone()).expect("arena has room"),
+        NodeKind::Pi(t, d) => dst.create_pi(t.clone(), d.clone()).expect("arena has room"),
     };
     for &a in src.attributes(node) {
         if let NodeKind::Attribute(name, value) = src.kind(a) {
@@ -150,14 +155,16 @@ pub fn copy_across(src: &Store, node: NodeId, dst: &mut Store) -> NodeId {
 /// </awb-metamodel>
 /// ```
 pub fn export_metamodel_to_store(meta: &crate::meta::Metamodel, store: &mut Store) -> NodeId {
-    let doc = store.create_document();
-    let root = store.create_element("awb-metamodel");
+    let doc = store.create_document().expect("arena has room");
+    let root = store
+        .create_element("awb-metamodel")
+        .expect("arena has room");
     store.append_child(doc, root).expect("fresh document");
     let mut node_types: Vec<&str> = meta.node_type_names().collect();
     node_types.sort_unstable();
     for name in node_types {
         let def = meta.node_type(name).expect("listed type");
-        let el = store.create_element("node-type");
+        let el = store.create_element("node-type").expect("arena has room");
         store.set_attribute(el, "name", name).expect("element");
         if let Some(p) = &def.parent {
             store
@@ -170,7 +177,9 @@ pub fn export_metamodel_to_store(meta: &crate::meta::Metamodel, store: &mut Stor
     all_rels.sort_unstable();
     for name in all_rels {
         let def = meta.relation_type(name).expect("listed type");
-        let el = store.create_element("relation-type");
+        let el = store
+            .create_element("relation-type")
+            .expect("arena has room");
         store.set_attribute(el, "name", name).expect("element");
         if let Some(p) = &def.parent {
             store
@@ -179,6 +188,7 @@ pub fn export_metamodel_to_store(meta: &crate::meta::Metamodel, store: &mut Stor
         }
         store.append_child(root, el).expect("fresh element");
     }
+    store.freeze(doc).expect("arena has room");
     doc
 }
 

@@ -69,6 +69,14 @@ fn main() {
     if args.iter().any(|a| a == "check-obs") {
         check_obs();
     }
+    // Opt-in only (asserts, for CI): `paper_tables -- bench-gate [BASELINE]`.
+    if let Some(pos) = args.iter().position(|a| a == "bench-gate") {
+        let baseline = args
+            .get(pos + 1)
+            .map(String::as_str)
+            .unwrap_or("BENCH_6.json");
+        bench_gate(baseline);
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -191,7 +199,169 @@ fn check_obs() {
             );
         }
     }
+
+    // The store substrate must also count: parsed documents land in the
+    // frozen arena, descendant sweeps are slice scans, snapshots are Arc
+    // bumps, and adopt shares the records instead of copying nodes.
+    let (stats, shared) = substrate_probe();
+    assert!(
+        stats.trees_frozen > 0,
+        "parsed document did not land frozen: {stats:?}"
+    );
+    assert!(
+        stats.arena_slice_scans > 0,
+        "frozen descendant sweep did not count as a slice scan: {stats:?}"
+    );
+    assert_eq!(
+        stats.tree_snapshots, 1,
+        "snapshot() must count exactly once here: {stats:?}"
+    );
+    assert!(
+        shared,
+        "adopt must share the frozen records across stores (Arc identity)"
+    );
+    println!("  substrate {stats:?}, adopt shares records: {shared}");
     println!("  all observability counters check out (and zero out with XQ_OPT=0)");
+}
+
+/// Exercises the frozen-arena lifecycle once on the obs document: a frozen
+/// descendant sweep, an O(1) snapshot, and a cross-store adopt. Returns the
+/// source store's substrate counters and whether the adopting store ended up
+/// sharing the same frozen records (Arc identity — the no-copy proof).
+fn substrate_probe() -> (xmlstore::StoreStats, bool) {
+    let mut engine = Engine::new();
+    let doc = engine
+        .load_document(&obs_doc())
+        .expect("substrate document");
+    let q = engine.compile("count(//item)").expect("substrate probe");
+    engine
+        .evaluate(&q, Some(doc))
+        .expect("substrate probe runs");
+    let snap = engine
+        .store()
+        .snapshot(doc)
+        .expect("parsed documents are frozen");
+    let mut other = xmlstore::Store::new();
+    let adopted = other.adopt(&snap).expect("adopt");
+    let resnap = other.snapshot(adopted).expect("adopted trees stay frozen");
+    let shared = xmlstore::TreeSnapshot::ptr_eq(&snap, &resnap);
+    (engine.store().stats(), shared)
+}
+
+// ----------------------------------------------------------------------
+// bench-gate: re-time the regression-prone rows against a baseline.
+// ----------------------------------------------------------------------
+
+/// Pulls `"key": <number>` out of the single-line JSON row that contains
+/// `anchor`. The BENCH_N files are written by this binary one row per line,
+/// so a line scan is an exact parser for them.
+fn baseline_number(text: &str, anchor: &str, key: &str) -> Option<f64> {
+    let row = text.lines().find(|l| l.contains(anchor))?;
+    let field = format!("\"{key}\": ");
+    let start = row.find(&field)? + field.len();
+    let rest = &row[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// `paper_tables -- bench-gate [BASELINE.json]` — re-times the E1 n=800
+/// lowered row and every axis micro row with the bench-json protocol and
+/// panics (non-zero exit, for CI) if any row regresses more than 25% over
+/// the baseline snapshot's median. The gate compares the *fastest* of its
+/// 41 samples against the limit: scheduler noise only ever inflates a
+/// timing, so the minimum is the robust estimator of true cost, while a
+/// real regression raises the minimum just the same. A 0.05 ms absolute
+/// floor keeps the microsecond axis rows from tripping on timer
+/// granularity, and a row over its limit is re-measured twice before it
+/// counts as a failure.
+fn bench_gate(baseline_path: &str) {
+    header(&format!(
+        "bench-gate — fastest-of-41 vs {baseline_path} medians, limit = max(1.25 x baseline, baseline + 0.05 ms)"
+    ));
+    let baseline = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("bench-gate: cannot read {baseline_path}: {e}"));
+    const MICRO_REPS: usize = 41;
+    const TOLERANCE: f64 = 1.25;
+    const FLOOR_MS: f64 = 0.05;
+    /// Extra measurements granted to a row that lands over its limit. A
+    /// shared CI box wobbles far more than 25% in a single median; a real
+    /// regression stays over the limit on every re-measure, noise does not.
+    const RETRIES: usize = 2;
+    let mut failures: Vec<String> = Vec::new();
+    let mut gate = |row: &str, base: Option<f64>, sample: &mut dyn FnMut() -> f64| {
+        let mut got = sample();
+        match base {
+            None => println!("  {row:<24} {got:>9.4} ms  (no baseline row — skipped)"),
+            Some(base) => {
+                let limit = (base * TOLERANCE).max(base + FLOOR_MS);
+                let mut tries = 1;
+                while got > limit && tries <= RETRIES {
+                    got = sample();
+                    tries += 1;
+                }
+                let verdict = if got <= limit {
+                    "ok"
+                } else {
+                    failures.push(format!("{row}: {got:.4} ms > limit {limit:.4} ms"));
+                    "REGRESSED"
+                };
+                println!(
+                    "  {row:<24} {got:>9.4} ms  baseline {base:>9.4}  limit {limit:>9.4}  {verdict}"
+                );
+            }
+        }
+    };
+
+    // E1 n=800, lowered runner — the headline calculus row.
+    let w = it_workload(800, 42);
+    let q = Query::from_type("user")
+        .follow("likes")
+        .follow_to("uses", "Program")
+        .dedup()
+        .sort_by_label();
+    let mut engine = Engine::new();
+    let doc = xmlio::export_to_store(&w.model, engine.store_mut());
+    engine.register_document("awb-model", doc);
+    let compiled = engine.compile(&q.to_xquery(&w.meta)).unwrap();
+    gate(
+        "e1_n800_xq_lowered",
+        baseline_number(&baseline, "\"nodes\": 800, \"native_ms\"", "xq_lowered_ms"),
+        &mut || {
+            measure(MICRO_REPS, || {
+                engine.evaluate(&compiled, None).unwrap();
+            })
+            .min
+        },
+    );
+
+    // Every axis micro row — the structural paths the substrate serves.
+    let mut engine = Engine::new();
+    let doc = engine
+        .load_document(&axis_bench_doc())
+        .expect("axis bench document");
+    for (name, src) in AXIS_MICRO {
+        let compiled = engine.compile(src).unwrap();
+        gate(
+            name,
+            baseline_number(&baseline, &format!("\"name\": \"{name}\""), "lowered_ms"),
+            &mut || {
+                measure_per_call(MICRO_REPS, 10, || {
+                    engine.evaluate(&compiled, Some(doc)).unwrap();
+                })
+                .min
+            },
+        );
+    }
+
+    assert!(
+        failures.is_empty(),
+        "bench-gate: {} row(s) regressed past the limit:\n  {}",
+        failures.len(),
+        failures.join("\n  ")
+    );
+    println!("  bench-gate passed: no row regressed past the limit");
 }
 
 // ----------------------------------------------------------------------
@@ -331,28 +501,26 @@ fn axis_bench_doc() -> String {
     s
 }
 
-/// `paper_tables -- bench-json` — writes `BENCH_5.json`: the BENCH_4
+/// `paper_tables -- bench-json` — writes `BENCH_6.json`: the BENCH_5
 /// sections (E1 calculus sweep, engine micro-benches, axis micro-benches,
-/// batch throughput — same protocol and units, so the trajectory stays
-/// comparable), plus an `observability` section embedding the engine's
-/// per-query counter block for one representative query per claimed fast
-/// path (hash join, index range, attribute probe, CacheOnce, streamed
-/// existence) — and the same probes with the runtime passes off, where
-/// every optimisation counter must read zero. Every timing row carries
+/// batch throughput, observability counter blocks — same protocol and
+/// units, so the trajectory stays comparable), plus a `store_substrate`
+/// section with the flat-arena counters (slice scans, snapshots, freezes)
+/// and the cross-store adopt identity check. Every timing row carries
 /// min/max and the relative spread next to the median, so a reader can tell
 /// a stable number from a noisy one. `host_cpus` records the machine's
 /// parallelism so scaling numbers read honestly: thread-level speedup is
 /// capped by the core count.
 fn bench_json() {
-    header("bench-json — writing BENCH_5.json (medians with min/max/spread, milliseconds)");
+    header("bench-json — writing BENCH_6.json (medians with min/max/spread, milliseconds)");
     // Micro rows sit in the tens of microseconds where a median of 5 still
     // wobbles visibly; batch rows run hundreds of milliseconds and 5 is
     // plenty.
     const REPS: usize = 5;
-    const MICRO_REPS: usize = 15;
+    const MICRO_REPS: usize = 41;
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut out = String::from(
-        "{\n  \"units\": \"milliseconds; e1/micro rows median of 15 runs (axis rows time 10 calls per run, per-call figures), batch rows median of 5, after 1 warm-up; spread = (max - min) / median\",\n",
+        "{\n  \"units\": \"milliseconds; e1/micro rows median of 41 runs (axis rows time 10 calls per run, per-call figures), batch rows median of 5, after 1 warm-up; spread = (max - min) / median\",\n",
     );
     out.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
     out.push_str("  \"e1_calculus\": [\n");
@@ -437,9 +605,22 @@ fn bench_json() {
     e1_batch_json(&mut out, REPS);
     docgen_batch_json(&mut out, REPS);
     obs_json(&mut out);
+    substrate_json(&mut out);
     out.push_str("}\n");
-    std::fs::write("BENCH_5.json", &out).expect("writing BENCH_5.json");
-    println!("  wrote BENCH_5.json");
+    std::fs::write("BENCH_6.json", &out).expect("writing BENCH_6.json");
+    println!("  wrote BENCH_6.json");
+}
+
+/// Store-substrate section of `BENCH_6.json`: the flat-arena counters after
+/// one frozen descendant sweep, one O(1) snapshot, and a cross-store adopt.
+fn substrate_json(out: &mut String) {
+    let (stats, shared) = substrate_probe();
+    out.push_str(&format!(
+        "  \"store_substrate\": {{\"arena_slice_scans\": {}, \"tree_snapshots\": {}, \
+         \"trees_frozen\": {}, \"trees_thawed\": {}, \"adopt_shares_records\": {shared}}}\n",
+        stats.arena_slice_scans, stats.tree_snapshots, stats.trees_frozen, stats.trees_thawed
+    ));
+    println!("  substrate {stats:?}, adopt shares records: {shared}");
 }
 
 /// Observability sections of `BENCH_5.json`: the counter block each fast
@@ -458,7 +639,7 @@ fn obs_json(out: &mut String) {
                 println!("  obs {name:<20} {stats:?}");
             }
         }
-        out.push_str(if runtime_opt { "  ],\n" } else { "  ]\n" });
+        out.push_str("  ],\n");
     }
 }
 

@@ -56,7 +56,9 @@ impl NativeOutput {
 /// per-item trouble is rendered in place and counted.
 pub fn generate(inputs: &GenInputs) -> Result<NativeOutput, GenTrouble> {
     let mut store = Store::new();
-    let root = store.create_element("document");
+    let root = store
+        .create_element("document")
+        .map_err(|e| GenTrouble::new(format!("internal output-tree error: {e}")))?;
     let mut state = GenState::default();
     let mut cx = walk::Walker {
         inputs,

@@ -42,19 +42,19 @@ impl GenState {
     /// entries — in-place mutation, no copying.
     pub fn fill_toc(&mut self, store: &mut Store) -> Result<(), GenTrouble> {
         for &placeholder in &self.toc_placeholders {
-            let ul = store.create_element("ul");
+            let ul = store.create_element("ul").map_err(internal)?;
             store.set_attribute(ul, "class", "toc").map_err(internal)?;
             for entry in &self.toc {
-                let li = store.create_element("li");
+                let li = store.create_element("li").map_err(internal)?;
                 store
                     .set_attribute(li, "class", format!("lvl-{}", entry.level))
                     .map_err(internal)?;
-                let a = store.create_element("a");
+                let a = store.create_element("a").map_err(internal)?;
                 store
                     .set_attribute(a, "href", format!("#{}", entry.anchor))
                     .map_err(internal)?;
                 if !entry.heading.is_empty() {
-                    let text = store.create_text(entry.heading.clone());
+                    let text = store.create_text(entry.heading.clone()).map_err(internal)?;
                     store.append_child(a, text).map_err(internal)?;
                 }
                 store.append_child(li, a).map_err(internal)?;
@@ -89,25 +89,27 @@ impl GenState {
                     .then(a.cmp(&b))
             });
             if omitted.is_empty() {
-                let p = store.create_element("p");
+                let p = store.create_element("p").map_err(internal)?;
                 store
                     .set_attribute(p, "class", "no-omissions")
                     .map_err(internal)?;
-                let t = store.create_text("Nothing is omitted.");
+                let t = store.create_text("Nothing is omitted.").map_err(internal)?;
                 store.append_child(p, t).map_err(internal)?;
                 store.append_child(*placeholder, p).map_err(internal)?;
             } else {
-                let ul = store.create_element("ul");
+                let ul = store.create_element("ul").map_err(internal)?;
                 store
                     .set_attribute(ul, "class", "omissions")
                     .map_err(internal)?;
                 for node in omitted {
-                    let li = store.create_element("li");
-                    let t = store.create_text(format!(
-                        "{} ({})",
-                        inputs.model.label(node),
-                        inputs.model.node_type(node)
-                    ));
+                    let li = store.create_element("li").map_err(internal)?;
+                    let t = store
+                        .create_text(format!(
+                            "{} ({})",
+                            inputs.model.label(node),
+                            inputs.model.node_type(node)
+                        ))
+                        .map_err(internal)?;
                     store.append_child(li, t).map_err(internal)?;
                     store.append_child(ul, li).map_err(internal)?;
                 }
@@ -150,7 +152,7 @@ impl GenState {
                     .position(|&c| c == tail)
                     .expect("tail is a child");
                 for (i, &node) in content.iter().enumerate() {
-                    let copy = store.deep_copy(node);
+                    let copy = store.deep_copy(node).map_err(internal)?;
                     store
                         .insert_child(parent, tail_pos + i, copy)
                         .map_err(internal)?;
@@ -172,7 +174,7 @@ mod tests {
     #[test]
     fn toc_fill_produces_links() {
         let mut store = Store::new();
-        let holder = store.create_element("div");
+        let holder = store.create_element("div").unwrap();
         let mut state = GenState {
             toc: vec![
                 TocEntry {
@@ -200,11 +202,11 @@ mod tests {
     #[test]
     fn replacement_guard_trips_on_self_reference() {
         let mut store = Store::new();
-        let root = store.create_element("document");
-        let t = store.create_text("MARKER here".to_string());
+        let root = store.create_element("document").unwrap();
+        let t = store.create_text("MARKER here".to_string()).unwrap();
         store.append_child(root, t).unwrap();
         // content that contains the marker again → would loop forever
-        let evil = store.create_text("MARKER".to_string());
+        let evil = store.create_text("MARKER".to_string()).unwrap();
         let mut state = GenState {
             replacements: vec![("MARKER".into(), vec![evil])],
             ..Default::default()

@@ -24,18 +24,18 @@ pub fn build_awb_table(
 
     // Pass 1: the skeleton — every <tr>/<td> empty, references kept in a
     // two-dimensional array.
-    let table = out.create_element("table");
+    let table = out.create_element("table").map_err(err)?;
     out.set_attribute(table, "class", "awb-table")
         .map_err(err)?;
     let n_rows = rows.len() + 1;
     let n_cols = cols.len() + 1;
     let mut cells: Vec<Vec<NodeId>> = Vec::with_capacity(n_rows);
     for _ in 0..n_rows {
-        let tr = out.create_element("tr");
+        let tr = out.create_element("tr").map_err(err)?;
         out.append_child(table, tr).map_err(err)?;
         let mut row_cells = Vec::with_capacity(n_cols);
         for _ in 0..n_cols {
-            let td = out.create_element("td");
+            let td = out.create_element("td").map_err(err)?;
             out.append_child(tr, td).map_err(err)?;
             row_cells.push(td);
         }
@@ -46,7 +46,7 @@ pub fn build_awb_table(
         if text.is_empty() {
             return Ok(());
         }
-        let t = out.create_text(text);
+        let t = out.create_text(text).map_err(err)?;
         out.append_child(td, t).map_err(err)
     };
 

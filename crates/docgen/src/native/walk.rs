@@ -88,7 +88,7 @@ impl Walker<'_, '_> {
     fn walk_node(&mut self, tpl_node: NodeId, out_parent: NodeId) -> Gen {
         match self.tpl().kind(tpl_node).clone() {
             NodeKind::Text(t) => {
-                let node = self.out.create_text(t);
+                let node = self.out.create_text(t).map_err(|e| self.out_err(e))?;
                 self.out
                     .append_child(out_parent, node)
                     .map_err(|e| self.out_err(e))
@@ -148,7 +148,7 @@ impl Walker<'_, '_> {
 
     fn copy_through(&mut self, el: NodeId, out_parent: NodeId) -> Gen {
         let name = *self.tpl().name(el).expect("element");
-        let copy = self.out.create_element(name);
+        let copy = self.out.create_element(name).map_err(|e| self.out_err(e))?;
         for &attr in &self.tpl().attributes(el).to_vec() {
             if let NodeKind::Attribute(an, av) = self.tpl().kind(attr).clone() {
                 self.out
@@ -168,14 +168,17 @@ impl Walker<'_, '_> {
         if text.is_empty() {
             return Ok(());
         }
-        let node = self.out.create_text(text);
+        let node = self.out.create_text(text).map_err(|e| self.out_err(e))?;
         self.out
             .append_child(out_parent, node)
             .map_err(|e| self.out_err(e))
     }
 
     fn create_div(&mut self, class: &str) -> Gen<NodeId> {
-        let div = self.out.create_element("div");
+        let div = self
+            .out
+            .create_element("div")
+            .map_err(|e| self.out_err(e))?;
         self.out
             .set_attribute(div, "class", class)
             .map_err(|e| self.out_err(e))?;
@@ -215,7 +218,10 @@ impl Walker<'_, '_> {
             let saved = self.focus.replace(node);
             // Generate the item into a detached holder so a failed item
             // contributes an error note instead of half an item.
-            let holder = self.out.create_element("item-holder");
+            let holder = self
+                .out
+                .create_element("item-holder")
+                .map_err(|e| self.out_err(e))?;
             let mut result = Ok(());
             for &child in &body {
                 result = self.walk_node(child, holder);
@@ -237,11 +243,17 @@ impl Walker<'_, '_> {
                     // "deal with E happening" — once, here, for the whole
                     // item, instead of at every call site.
                     self.state.trouble_count += 1;
-                    let span = self.out.create_element("span");
+                    let span = self
+                        .out
+                        .create_element("span")
+                        .map_err(|e| self.out_err(e))?;
                     self.out
                         .set_attribute(span, "class", "gen-error")
                         .map_err(|e| self.out_err(e))?;
-                    let text = self.out.create_text(trouble.message.clone());
+                    let text = self
+                        .out
+                        .create_text(trouble.message.clone())
+                        .map_err(|e| self.out_err(e))?;
                     self.out
                         .append_child(span, text)
                         .map_err(|e| self.out_err(e))?;
@@ -365,11 +377,12 @@ impl Walker<'_, '_> {
             .map_err(|e| self.out_err(e))?;
         let h = self
             .out
-            .create_element(format!("h{}", (level + 1).min(6)).as_str());
+            .create_element(format!("h{}", (level + 1).min(6)).as_str())
+            .map_err(|e| self.out_err(e))?;
         self.out
             .set_attribute(h, "id", anchor)
             .map_err(|e| self.out_err(e))?;
-        let text = self.out.create_text(heading);
+        let text = self.out.create_text(heading).map_err(|e| self.out_err(e))?;
         self.out
             .append_child(h, text)
             .map_err(|e| self.out_err(e))?;
@@ -413,12 +426,12 @@ impl Walker<'_, '_> {
         let query = Query::from_store(self.tpl(), query_el)
             .map_err(|e| self.trouble(format!("bad <query>: {e}")))?;
         let results = query.run_native(self.inputs.model, self.inputs.meta);
-        let ul = self.out.create_element("ul");
+        let ul = self.out.create_element("ul").map_err(|e| self.out_err(e))?;
         self.out
             .set_attribute(ul, "class", "query-list")
             .map_err(|e| self.out_err(e))?;
         for node in results {
-            let li = self.out.create_element("li");
+            let li = self.out.create_element("li").map_err(|e| self.out_err(e))?;
             self.append_text(li, self.inputs.model.label(node).to_string())?;
             self.out.append_child(ul, li).map_err(|e| self.out_err(e))?;
         }
@@ -433,7 +446,10 @@ impl Walker<'_, '_> {
 
     fn gen_marker_content(&mut self, el: NodeId) -> Gen {
         let marker = self.required_attr(el, "marker")?;
-        let holder = self.out.create_element("marker-holder");
+        let holder = self
+            .out
+            .create_element("marker-holder")
+            .map_err(|e| self.out_err(e))?;
         self.walk_children(el, holder)?;
         let content = self.out.children(holder).to_vec();
         self.state.replacements.push((marker, content));

@@ -19,7 +19,7 @@ use std::sync::Arc;
 
 /// Starts building a detached element named `name` in `store`.
 pub fn build<'a>(store: &'a mut Store, name: impl Into<QName>) -> ElementBuilder<'a> {
-    let el = store.create_element(name);
+    let el = store.create_element(name).expect("builder arena has room");
     ElementBuilder { store, el }
 }
 
@@ -42,7 +42,7 @@ impl ElementBuilder<'_> {
     pub fn text(self, text: impl Into<Arc<str>>) -> Self {
         let t: Arc<str> = text.into();
         if !t.is_empty() {
-            let node = self.store.create_text(t);
+            let node = self.store.create_text(t).expect("builder arena has room");
             self.store
                 .append_child(self.el, node)
                 .expect("builder children are fresh");
@@ -52,7 +52,10 @@ impl ElementBuilder<'_> {
 
     /// Appends a comment child.
     pub fn comment(self, text: impl Into<Arc<str>>) -> Self {
-        let node = self.store.create_comment(text);
+        let node = self
+            .store
+            .create_comment(text)
+            .expect("builder arena has room");
         self.store
             .append_child(self.el, node)
             .expect("builder children are fresh");
@@ -118,7 +121,7 @@ mod tests {
     #[test]
     fn mixed_content_and_comments() {
         let mut store = Store::new();
-        let note = store.create_text(" appended");
+        let note = store.create_text(" appended").unwrap();
         let el = build(&mut store, "p")
             .text("hello ")
             .child("b", |b| b.text("world"))

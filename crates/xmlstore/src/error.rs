@@ -24,6 +24,12 @@ pub enum XmlErrorKind {
     /// A structural operation on the store was invalid (wrong node kind,
     /// detached node where an attached one was required, cycle, …).
     Structure(String),
+    /// The node arena is full: one more node would exceed the `u32` id
+    /// range (or a configured test cap). Recoverable — the store stays
+    /// usable; the offending allocation simply did not happen.
+    ArenaFull,
+    /// Element nesting exceeded `ParseOptions::max_depth`.
+    TooDeep { limit: usize },
 }
 
 /// An error with the 1-based source position where it was detected.
@@ -62,6 +68,10 @@ impl fmt::Display for XmlError {
             XmlErrorKind::BadCharRef(text) => write!(f, "bad character reference &#{text};")?,
             XmlErrorKind::Malformed(msg) => write!(f, "malformed XML: {msg}")?,
             XmlErrorKind::Structure(msg) => return write!(f, "structure error: {msg}"),
+            XmlErrorKind::ArenaFull => return write!(f, "node arena is full"),
+            XmlErrorKind::TooDeep { limit } => {
+                write!(f, "element nesting deeper than the limit of {limit}")?
+            }
         }
         write!(f, " at line {}, column {}", self.line, self.column)
     }

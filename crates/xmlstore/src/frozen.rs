@@ -1,0 +1,342 @@
+//! The frozen half of the store: immutable, contiguous pre-order node
+//! tables.
+//!
+//! A [`FrozenTree`] is one XML tree laid out as a single `Vec` of records in
+//! pre-order, **attributes included**: an element's record at position `p` is
+//! followed immediately by its attribute records (`p+1 .. p+1+attr_len`) and
+//! then by its child subtrees. Structure is implicit in the layout:
+//!
+//! * the descendant axis of `p` is the contiguous range
+//!   `p+1 .. subtree_end(p)` — a slice scan, no pointer chasing;
+//! * document order is position order and `pre` order keys are the positions
+//!   themselves — no lazily stamped numbering pass is ever needed;
+//! * `a` is an ancestor of `b` iff `pos(a) < pos(b) < subtree_end(a)`;
+//! * a whole tree snapshots with one `Arc` bump ([`TreeSnapshot`]).
+//!
+//! String payloads stay behind the `Arc<str>`s inside [`NodeKind`] — the
+//! records share them, so freezing a tree, snapshotting it, and adopting it
+//! into another store never copies text.
+//!
+//! Name lookups get per-tree maps (local symbol → ascending positions) built
+//! lazily on first use; a frozen tree is immutable, so they are built at most
+//! once and are never invalidated — unlike the stamp-guarded `StoreIndex`
+//! that mutable (thawed) trees still use.
+
+use crate::error::{XmlError, XmlErrorKind};
+use crate::qname::QName;
+use crate::store::NodeKind;
+use crate::sym::Sym;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// `parent` value of a tree root: no parent.
+pub(crate) const NO_PARENT: u32 = u32::MAX;
+
+/// One node of a frozen tree. `kind` carries the name (interned `Sym`s) and
+/// any string payload inline; everything else is offsets into the layout.
+#[derive(Debug, Clone)]
+pub(crate) struct FrozenRec {
+    pub kind: NodeKind,
+    /// Position of the parent record, [`NO_PARENT`] for the root.
+    pub parent: u32,
+    /// One past the last position of this node's subtree (attributes
+    /// included). Leaves have `subtree_end == pos + 1`.
+    pub subtree_end: u32,
+    /// Number of attribute records immediately following this one.
+    pub attr_len: u32,
+    /// Start of this node's child-position run in [`FrozenTree::kids`].
+    pub kids_start: u32,
+    /// Number of (non-attribute) children.
+    pub kids_len: u32,
+    /// Distance from the tree root.
+    pub depth: u32,
+}
+
+impl FrozenRec {
+    pub fn is_attr(&self) -> bool {
+        matches!(self.kind, NodeKind::Attribute(..))
+    }
+}
+
+/// Per-tree name maps: local symbol (or full `QName`) → positions in
+/// ascending (document) order. Built once, on first name lookup. The
+/// full-name maps exist so a `//item`-style query answers with a map hit and
+/// an interval copy — no per-position record read to re-check the prefix.
+#[derive(Debug, Default)]
+struct NameMaps {
+    elements_by_local: HashMap<Sym, Vec<u32>>,
+    attributes_by_local: HashMap<Sym, Vec<u32>>,
+    elements_by_name: HashMap<QName, Vec<u32>>,
+    attributes_by_name: HashMap<QName, Vec<u32>>,
+}
+
+/// An immutable XML tree as a contiguous pre-order record table. Shared by
+/// `Arc`: the same `FrozenTree` can be mounted in any number of stores.
+#[derive(Debug)]
+pub(crate) struct FrozenTree {
+    pub recs: Vec<FrozenRec>,
+    /// Flattened child-position lists: node `p`'s children are
+    /// `kids[kids_start(p) .. kids_start(p)+kids_len(p)]`, in document order.
+    pub kids: Vec<u32>,
+    maps: OnceLock<NameMaps>,
+    /// Per attribute local name, exact value → owner-element positions in
+    /// ascending order. Built lazily per name; immutable once built.
+    #[allow(clippy::type_complexity)]
+    attr_values: Mutex<HashMap<Sym, Arc<HashMap<Arc<str>, Vec<u32>>>>>,
+}
+
+impl FrozenTree {
+    /// Finishes a pre-order record table into a tree: computes the flattened
+    /// child lists (`kids_start`/`kids_len` are overwritten).
+    pub fn from_recs(mut recs: Vec<FrozenRec>) -> FrozenTree {
+        let n = recs.len();
+        for pos in 1..n {
+            if !recs[pos].is_attr() {
+                let p = recs[pos].parent as usize;
+                recs[p].kids_len += 1;
+            }
+        }
+        let mut start = 0u32;
+        for r in recs.iter_mut() {
+            r.kids_start = start;
+            start += r.kids_len;
+        }
+        let mut kids = vec![0u32; start as usize];
+        let mut cursor: Vec<u32> = recs.iter().map(|r| r.kids_start).collect();
+        for (pos, rec) in recs.iter().enumerate().skip(1) {
+            if !rec.is_attr() {
+                let p = rec.parent as usize;
+                kids[cursor[p] as usize] = pos as u32;
+                cursor[p] += 1;
+            }
+        }
+        FrozenTree {
+            recs,
+            kids,
+            maps: OnceLock::new(),
+            attr_values: Mutex::new(HashMap::new()),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.recs.len()
+    }
+
+    fn maps(&self) -> &NameMaps {
+        self.maps.get_or_init(|| {
+            let mut m = NameMaps::default();
+            for (pos, rec) in self.recs.iter().enumerate() {
+                match &rec.kind {
+                    NodeKind::Element(q) => {
+                        m.elements_by_local
+                            .entry(q.local_sym())
+                            .or_default()
+                            .push(pos as u32);
+                        m.elements_by_name.entry(*q).or_default().push(pos as u32);
+                    }
+                    NodeKind::Attribute(q, _) => {
+                        m.attributes_by_local
+                            .entry(q.local_sym())
+                            .or_default()
+                            .push(pos as u32);
+                        m.attributes_by_name.entry(*q).or_default().push(pos as u32);
+                    }
+                    _ => {}
+                }
+            }
+            m
+        })
+    }
+
+    /// Positions of elements with local symbol `local`, ascending.
+    pub fn elements_by_local(&self, local: Sym) -> &[u32] {
+        self.maps()
+            .elements_by_local
+            .get(&local)
+            .map(Vec::as_slice)
+            .unwrap_or_default()
+    }
+
+    /// Positions of attributes with local symbol `local`, ascending.
+    pub fn attributes_by_local(&self, local: Sym) -> &[u32] {
+        self.maps()
+            .attributes_by_local
+            .get(&local)
+            .map(Vec::as_slice)
+            .unwrap_or_default()
+    }
+
+    /// Positions of elements with the full name `name`, ascending.
+    pub fn elements_by_name(&self, name: &QName) -> &[u32] {
+        self.maps()
+            .elements_by_name
+            .get(name)
+            .map(Vec::as_slice)
+            .unwrap_or_default()
+    }
+
+    /// Positions of attributes with the full name `name`, ascending.
+    pub fn attributes_by_name(&self, name: &QName) -> &[u32] {
+        self.maps()
+            .attributes_by_name
+            .get(name)
+            .map(Vec::as_slice)
+            .unwrap_or_default()
+    }
+
+    /// The value → owner-element-positions map for attribute name `local`,
+    /// built on first use. Owner positions come out ascending because the
+    /// per-name attribute positions are ascending and each owner precedes
+    /// its own attributes.
+    pub fn attr_value_owners(&self, local: Sym) -> Arc<HashMap<Arc<str>, Vec<u32>>> {
+        if let Some(m) = self
+            .attr_values
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&local)
+        {
+            return m.clone();
+        }
+        let mut map: HashMap<Arc<str>, Vec<u32>> = HashMap::new();
+        for &a in self.attributes_by_local(local) {
+            let rec = &self.recs[a as usize];
+            if let NodeKind::Attribute(_, v) = &rec.kind {
+                map.entry(v.clone()).or_default().push(rec.parent);
+            }
+        }
+        let arc = Arc::new(map);
+        self.attr_values
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entry(local)
+            .or_insert(arc)
+            .clone()
+    }
+}
+
+fn arena_full() -> XmlError {
+    XmlError::new(XmlErrorKind::ArenaFull, 0, 0)
+}
+
+/// Builds a [`FrozenTree`] by appending events in pre-order — the parser
+/// emits straight into this, so a parsed document lands frozen without ever
+/// taking the pointer-shaped detour.
+#[derive(Debug, Default)]
+pub(crate) struct FrozenBuilder {
+    recs: Vec<FrozenRec>,
+    /// Positions of currently open containers (document/elements).
+    open: Vec<u32>,
+}
+
+impl FrozenBuilder {
+    pub fn new() -> Self {
+        FrozenBuilder::default()
+    }
+
+    fn push_rec(&mut self, kind: NodeKind) -> Result<u32, XmlError> {
+        if self.recs.len() >= u32::MAX as usize {
+            return Err(arena_full());
+        }
+        let pos = self.recs.len() as u32;
+        let parent = self.open.last().copied().unwrap_or(NO_PARENT);
+        self.recs.push(FrozenRec {
+            kind,
+            parent,
+            subtree_end: pos + 1,
+            attr_len: 0,
+            kids_start: 0,
+            kids_len: 0,
+            depth: self.open.len() as u32,
+        });
+        Ok(pos)
+    }
+
+    /// Opens the document node. Must be the first event.
+    pub fn open_document(&mut self) -> Result<(), XmlError> {
+        debug_assert!(self.recs.is_empty(), "document must open first");
+        let pos = self.push_rec(NodeKind::Document)?;
+        self.open.push(pos);
+        Ok(())
+    }
+
+    /// Opens an element (as the tree root when nothing is open yet).
+    pub fn open_element(&mut self, name: QName) -> Result<(), XmlError> {
+        let pos = self.push_rec(NodeKind::Element(name))?;
+        self.open.push(pos);
+        Ok(())
+    }
+
+    /// Adds an attribute to the innermost open element. Must precede any of
+    /// its content.
+    pub fn attribute(&mut self, name: QName, value: Arc<str>) -> Result<(), XmlError> {
+        let el = *self
+            .open
+            .last()
+            .ok_or_else(|| XmlError::structural("attribute outside any element"))?;
+        debug_assert!(
+            matches!(self.recs[el as usize].kind, NodeKind::Element(_)),
+            "attributes belong to elements"
+        );
+        debug_assert_eq!(
+            self.recs.len() as u32,
+            el + 1 + self.recs[el as usize].attr_len,
+            "attributes must precede element content"
+        );
+        self.push_rec(NodeKind::Attribute(name, value))?;
+        self.recs[el as usize].attr_len += 1;
+        Ok(())
+    }
+
+    /// Appends a text node to the innermost open container.
+    pub fn text(&mut self, text: Arc<str>) -> Result<(), XmlError> {
+        self.push_rec(NodeKind::Text(text)).map(drop)
+    }
+
+    /// Appends a comment node to the innermost open container.
+    pub fn comment(&mut self, text: Arc<str>) -> Result<(), XmlError> {
+        self.push_rec(NodeKind::Comment(text)).map(drop)
+    }
+
+    /// Appends a processing instruction to the innermost open container.
+    pub fn pi(&mut self, target: Arc<str>, data: Arc<str>) -> Result<(), XmlError> {
+        self.push_rec(NodeKind::Pi(target, data)).map(drop)
+    }
+
+    /// Closes the innermost open container.
+    pub fn close(&mut self) {
+        let pos = self.open.pop().expect("close without open");
+        self.recs[pos as usize].subtree_end = self.recs.len() as u32;
+    }
+
+    /// Finishes the build. All containers must be closed.
+    pub fn finish(self) -> Result<FrozenTree, XmlError> {
+        if !self.open.is_empty() {
+            return Err(XmlError::structural("unclosed container in frozen build"));
+        }
+        if self.recs.is_empty() {
+            return Err(XmlError::structural("empty frozen build"));
+        }
+        Ok(FrozenTree::from_recs(self.recs))
+    }
+}
+
+/// An O(1) snapshot of a frozen tree: one `Arc` bump, no node copies. Adopt
+/// it into any [`crate::Store`] with [`crate::Store::adopt`] — the records
+/// (and all string payloads) stay shared.
+#[derive(Debug, Clone)]
+pub struct TreeSnapshot {
+    pub(crate) tree: Arc<FrozenTree>,
+}
+
+impl TreeSnapshot {
+    /// Number of nodes in the snapshot (attributes included).
+    pub fn node_count(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// `true` when both snapshots share the same underlying record table —
+    /// the witness that snapshotting copied nothing.
+    pub fn ptr_eq(a: &TreeSnapshot, b: &TreeSnapshot) -> bool {
+        Arc::ptr_eq(&a.tree, &b.tree)
+    }
+}

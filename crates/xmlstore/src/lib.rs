@@ -29,6 +29,7 @@
 
 pub mod builder;
 pub mod error;
+mod frozen;
 pub mod parser;
 pub mod qname;
 pub mod serializer;
@@ -36,8 +37,9 @@ pub mod store;
 pub mod sym;
 
 pub use error::{XmlError, XmlErrorKind};
+pub use frozen::TreeSnapshot;
 pub use qname::QName;
-pub use store::{Descendants, NodeId, NodeKind, OrderKey, Store};
+pub use store::{Descendants, NodeId, NodeKind, OrderKey, Store, StoreStats};
 pub use sym::{intern, Sym};
 
 #[cfg(test)]

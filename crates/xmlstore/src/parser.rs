@@ -8,8 +8,10 @@
 //! line/column positions.
 
 use crate::error::{XmlError, XmlErrorKind};
+use crate::frozen::FrozenBuilder;
 use crate::qname::{is_name_char, is_name_start, QName};
 use crate::store::{NodeId, Store};
+use std::sync::Arc;
 
 /// Parser configuration.
 #[derive(Debug, Clone)]
@@ -19,13 +21,21 @@ pub struct ParseOptions {
     pub strip_whitespace_text: bool,
     /// Keep comment nodes in the tree.
     pub keep_comments: bool,
+    /// Maximum element nesting depth. The parser itself is iterative, so
+    /// this bounds memory (one open-tag name per level), not the stack; raise
+    /// it for trusted deep documents.
+    pub max_depth: usize,
 }
+
+/// Default for [`ParseOptions::max_depth`].
+pub const DEFAULT_MAX_DEPTH: usize = 10_000;
 
 impl Default for ParseOptions {
     fn default() -> Self {
         ParseOptions {
             strip_whitespace_text: false,
             keep_comments: true,
+            max_depth: DEFAULT_MAX_DEPTH,
         }
     }
 }
@@ -37,15 +47,19 @@ impl ParseOptions {
         ParseOptions {
             strip_whitespace_text: true,
             keep_comments: false,
+            max_depth: DEFAULT_MAX_DEPTH,
         }
     }
 }
 
 impl Store {
     /// Parses `input` into a new document tree inside this store and returns
-    /// the document node.
+    /// the document node. The parser emits pre-order events straight into a
+    /// frozen record table, so a parsed document lands frozen — contiguous,
+    /// immutable, snapshot-ready. Mutating it later thaws it transparently.
     pub fn parse_str(&mut self, input: &str, options: &ParseOptions) -> Result<NodeId, XmlError> {
-        Parser::new(input, options).parse(self)
+        let tree = Parser::new(input, options).parse()?;
+        self.mount_tree(Arc::new(tree))
     }
 }
 
@@ -121,32 +135,28 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn parse(&mut self, store: &mut Store) -> Result<NodeId, XmlError> {
-        let doc = store.create_document();
-        self.skip_prolog(store, doc)?;
+    fn parse(&mut self) -> Result<crate::frozen::FrozenTree, XmlError> {
+        let mut fb = FrozenBuilder::new();
+        fb.open_document()?;
+        self.skip_prolog(&mut fb)?;
         // Document element.
         if !self.starts_with("<") {
             return Err(self.err(XmlErrorKind::Malformed(
                 "expected a document element".to_string(),
             )));
         }
-        let root = self.parse_element(store)?;
-        store
-            .append_child(doc, root)
-            .map_err(|e| self.err(XmlErrorKind::Malformed(e.to_string())))?;
+        self.parse_tree(&mut fb)?;
         // Trailing misc: whitespace, comments, PIs.
         loop {
             self.skip_ws();
             if self.starts_with("<!--") {
                 let c = self.parse_comment()?;
                 if self.options.keep_comments {
-                    let node = store.create_comment(c);
-                    store.append_child(doc, node).ok();
+                    fb.comment(c.into())?;
                 }
             } else if self.starts_with("<?") {
                 let (target, data) = self.parse_pi()?;
-                let node = store.create_pi(target, data);
-                store.append_child(doc, node).ok();
+                fb.pi(target.into(), data.into())?;
             } else if self.peek().is_none() {
                 break;
             } else {
@@ -155,10 +165,11 @@ impl<'a> Parser<'a> {
                 )));
             }
         }
-        Ok(doc)
+        fb.close();
+        fb.finish()
     }
 
-    fn skip_prolog(&mut self, store: &mut Store, doc: NodeId) -> Result<(), XmlError> {
+    fn skip_prolog(&mut self, fb: &mut FrozenBuilder) -> Result<(), XmlError> {
         loop {
             self.skip_ws();
             if self.starts_with("<?xml") {
@@ -166,13 +177,11 @@ impl<'a> Parser<'a> {
                 self.skip_until("?>")?;
             } else if self.starts_with("<?") {
                 let (target, data) = self.parse_pi()?;
-                let node = store.create_pi(target, data);
-                store.append_child(doc, node).ok();
+                fb.pi(target.into(), data.into())?;
             } else if self.starts_with("<!--") {
                 let c = self.parse_comment()?;
                 if self.options.keep_comments {
-                    let node = store.create_comment(c);
-                    store.append_child(doc, node).ok();
+                    fb.comment(c.into())?;
                 }
             } else if self.starts_with("<!DOCTYPE") {
                 self.skip_doctype()?;
@@ -222,87 +231,37 @@ impl<'a> Parser<'a> {
         Ok(self.input[start..self.pos].to_string())
     }
 
-    fn parse_element(&mut self, store: &mut Store) -> Result<NodeId, XmlError> {
-        self.expect("<")?;
-        let name = self.parse_name()?;
-        let qname = QName::parse(&name).ok_or_else(|| {
-            self.err(XmlErrorKind::Malformed(format!(
-                "bad element name {name:?}"
-            )))
-        })?;
-        let el = store.create_element(qname);
-
-        // Attributes.
-        loop {
-            self.skip_ws();
-            match self.peek() {
-                Some('>') | Some('/') => break,
-                Some(c) if is_name_start(c) => {
-                    let (line, column) = (self.line, self.column);
-                    let attr_name = self.parse_name()?;
-                    self.skip_ws();
-                    self.expect("=")?;
-                    self.skip_ws();
-                    let value = self.parse_attribute_value()?;
-                    if store.attribute_value(el, &attr_name).is_some() {
-                        return Err(XmlError::new(
-                            XmlErrorKind::DuplicateAttribute(attr_name),
-                            line,
-                            column,
-                        ));
-                    }
-                    let qn = QName::parse(&attr_name).ok_or_else(|| {
-                        self.err(XmlErrorKind::Malformed(format!(
-                            "bad attribute name {attr_name:?}"
-                        )))
-                    })?;
-                    store
-                        .set_attribute(el, qn, value)
-                        .map_err(|e| self.err(XmlErrorKind::Malformed(e.to_string())))?;
-                }
-                Some(c) => return Err(self.err(XmlErrorKind::UnexpectedChar(c))),
-                None => return Err(self.err(XmlErrorKind::UnexpectedEof)),
-            }
-        }
-
-        if self.eat("/>") {
-            return Ok(el);
-        }
-        self.expect(">")?;
-        self.parse_content(store, el, &name)?;
-        Ok(el)
-    }
-
-    fn parse_content(
-        &mut self,
-        store: &mut Store,
-        parent: NodeId,
-        open_name: &str,
-    ) -> Result<(), XmlError> {
+    /// Parses the document element and its entire subtree with an explicit
+    /// open-tag stack — no recursion, so input depth can never overflow the
+    /// call stack; [`ParseOptions::max_depth`] bounds it explicitly instead.
+    /// Text never spans markup, so one shared buffer (flushed before every
+    /// markup event) serves all nesting levels.
+    fn parse_tree(&mut self, fb: &mut FrozenBuilder) -> Result<(), XmlError> {
+        let mut open: Vec<String> = Vec::new();
         let mut text = String::new();
         let mut text_has_nonspace = false;
-        loop {
+        self.parse_open_tag(fb, &mut open)?;
+        while !open.is_empty() {
             if self.starts_with("</") {
-                self.flush_text(store, parent, &mut text, &mut text_has_nonspace)?;
+                self.flush_text(fb, &mut text, &mut text_has_nonspace)?;
                 self.eat("</");
                 let close = self.parse_name()?;
-                if close != open_name {
+                let open_name = open.last().expect("loop invariant: open is non-empty");
+                if close != *open_name {
                     return Err(self.err(XmlErrorKind::MismatchedClose {
-                        expected: open_name.to_string(),
+                        expected: open_name.clone(),
                         found: close,
                     }));
                 }
                 self.skip_ws();
                 self.expect(">")?;
-                return Ok(());
+                open.pop();
+                fb.close();
             } else if self.starts_with("<!--") {
-                self.flush_text(store, parent, &mut text, &mut text_has_nonspace)?;
+                self.flush_text(fb, &mut text, &mut text_has_nonspace)?;
                 let c = self.parse_comment()?;
                 if self.options.keep_comments {
-                    let node = store.create_comment(c);
-                    store
-                        .append_child(parent, node)
-                        .map_err(|e| self.err(XmlErrorKind::Malformed(e.to_string())))?;
+                    fb.comment(c.into())?;
                 }
             } else if self.starts_with("<![CDATA[") {
                 self.eat("<![CDATA[");
@@ -318,18 +277,12 @@ impl<'a> Parser<'a> {
                 }
                 self.eat("]]>");
             } else if self.starts_with("<?") {
-                self.flush_text(store, parent, &mut text, &mut text_has_nonspace)?;
+                self.flush_text(fb, &mut text, &mut text_has_nonspace)?;
                 let (target, data) = self.parse_pi()?;
-                let node = store.create_pi(target, data);
-                store
-                    .append_child(parent, node)
-                    .map_err(|e| self.err(XmlErrorKind::Malformed(e.to_string())))?;
+                fb.pi(target.into(), data.into())?;
             } else if self.starts_with("<") {
-                self.flush_text(store, parent, &mut text, &mut text_has_nonspace)?;
-                let child = self.parse_element(store)?;
-                store
-                    .append_child(parent, child)
-                    .map_err(|e| self.err(XmlErrorKind::Malformed(e.to_string())))?;
+                self.flush_text(fb, &mut text, &mut text_has_nonspace)?;
+                self.parse_open_tag(fb, &mut open)?;
             } else {
                 match self.peek() {
                     Some('&') => {
@@ -350,12 +303,77 @@ impl<'a> Parser<'a> {
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Parses one `<name attr="v" ...>` or `<name .../>` tag, emitting the
+    /// element (and closing it when self-closing). Pushes the raw tag name
+    /// onto `open` when the element stays open.
+    fn parse_open_tag(
+        &mut self,
+        fb: &mut FrozenBuilder,
+        open: &mut Vec<String>,
+    ) -> Result<(), XmlError> {
+        self.expect("<")?;
+        let name = self.parse_name()?;
+        let qname = QName::parse(&name).ok_or_else(|| {
+            self.err(XmlErrorKind::Malformed(format!(
+                "bad element name {name:?}"
+            )))
+        })?;
+        if open.len() >= self.options.max_depth {
+            return Err(self.err(XmlErrorKind::TooDeep {
+                limit: self.options.max_depth,
+            }));
+        }
+        fb.open_element(qname)?;
+
+        // Attributes. Duplicate detection compares the raw source names, the
+        // same strings the legacy display-name probe compared.
+        let mut seen: Vec<String> = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some('>') | Some('/') => break,
+                Some(c) if is_name_start(c) => {
+                    let (line, column) = (self.line, self.column);
+                    let attr_name = self.parse_name()?;
+                    self.skip_ws();
+                    self.expect("=")?;
+                    self.skip_ws();
+                    let value = self.parse_attribute_value()?;
+                    if seen.iter().any(|n| n == &attr_name) {
+                        return Err(XmlError::new(
+                            XmlErrorKind::DuplicateAttribute(attr_name),
+                            line,
+                            column,
+                        ));
+                    }
+                    let qn = QName::parse(&attr_name).ok_or_else(|| {
+                        self.err(XmlErrorKind::Malformed(format!(
+                            "bad attribute name {attr_name:?}"
+                        )))
+                    })?;
+                    fb.attribute(qn, value.into())?;
+                    seen.push(attr_name);
+                }
+                Some(c) => return Err(self.err(XmlErrorKind::UnexpectedChar(c))),
+                None => return Err(self.err(XmlErrorKind::UnexpectedEof)),
+            }
+        }
+
+        if self.eat("/>") {
+            fb.close();
+            return Ok(());
+        }
+        self.expect(">")?;
+        open.push(name);
+        Ok(())
     }
 
     fn flush_text(
         &self,
-        store: &mut Store,
-        parent: NodeId,
+        fb: &mut FrozenBuilder,
         text: &mut String,
         has_nonspace: &mut bool,
     ) -> Result<(), XmlError> {
@@ -364,10 +382,7 @@ impl<'a> Parser<'a> {
         }
         let keep = *has_nonspace || !self.options.strip_whitespace_text;
         if keep {
-            let node = store.create_text(std::mem::take(text));
-            store
-                .append_child(parent, node)
-                .map_err(|e| self.err(XmlErrorKind::Malformed(e.to_string())))?;
+            fb.text(std::mem::take(text).into())?;
         } else {
             text.clear();
         }
@@ -619,5 +634,75 @@ mod tests {
         let a = s.document_element(doc).unwrap();
         assert_eq!(s.name(a).unwrap().prefix(), Some("ns"));
         assert_eq!(s.attribute_value(a, "ns:x"), Some("1"));
+    }
+
+    #[test]
+    fn parsed_document_lands_frozen() {
+        let (s, doc) = parse("<a><b/></a>");
+        assert!(s.is_frozen(doc));
+    }
+
+    #[test]
+    fn hostile_100k_deep_document_parses_with_raised_limit() {
+        let depth = 100_000;
+        let mut input = String::with_capacity(depth * 7 + 1);
+        for _ in 0..depth {
+            input.push_str("<a>");
+        }
+        input.push('x');
+        for _ in 0..depth {
+            input.push_str("</a>");
+        }
+        let mut s = Store::new();
+        let opts = ParseOptions {
+            max_depth: depth,
+            ..ParseOptions::default()
+        };
+        let doc = s.parse_str(&input, &opts).unwrap();
+        let root = s.document_element(doc).unwrap();
+        // depth-1 nested elements below the root, plus the text leaf.
+        assert_eq!(s.descendants(root).len(), depth);
+        assert_eq!(s.string_value(root), "x");
+    }
+
+    #[test]
+    fn hostile_100k_wide_document_parses() {
+        let width = 100_000;
+        let mut input = String::with_capacity(width * 4 + 7);
+        input.push_str("<r>");
+        for _ in 0..width {
+            input.push_str("<c/>");
+        }
+        input.push_str("</r>");
+        let (s, doc) = parse(&input);
+        let root = s.document_element(doc).unwrap();
+        assert_eq!(s.children(root).len(), width);
+    }
+
+    #[test]
+    fn default_depth_limit_rejects_hostile_nesting() {
+        let mut input = String::new();
+        for _ in 0..DEFAULT_MAX_DEPTH + 5 {
+            input.push_str("<a>");
+        }
+        let mut s = Store::new();
+        let err = s.parse_str(&input, &ParseOptions::default()).unwrap_err();
+        assert!(
+            matches!(err.kind, XmlErrorKind::TooDeep { limit } if limit == DEFAULT_MAX_DEPTH),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn depth_limit_is_per_nesting_not_total_elements() {
+        // A wide document far larger than max_depth must still parse.
+        let mut input = String::from("<r>");
+        for _ in 0..DEFAULT_MAX_DEPTH * 2 {
+            input.push_str("<c/>");
+        }
+        input.push_str("</r>");
+        let (s, doc) = parse(&input);
+        let root = s.document_element(doc).unwrap();
+        assert_eq!(s.children(root).len(), DEFAULT_MAX_DEPTH * 2);
     }
 }

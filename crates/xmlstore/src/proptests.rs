@@ -71,13 +71,13 @@ fn tree_strategy() -> impl Strategy<Value = TreeSpec> {
 
 fn build(store: &mut Store, spec: &TreeSpec) -> NodeId {
     match spec {
-        TreeSpec::Text(t) => store.create_text(t.clone()),
+        TreeSpec::Text(t) => store.create_text(t.clone()).unwrap(),
         TreeSpec::Element {
             name,
             attrs,
             children,
         } => {
-            let el = store.create_element(name.as_str());
+            let el = store.create_element(name.as_str()).unwrap();
             for (k, v) in attrs {
                 store.set_attribute(el, k.as_str(), v.clone()).unwrap();
             }
@@ -262,7 +262,7 @@ proptest! {
         let spec = root_element(spec);
         let mut s = Store::new();
         let el = build(&mut s, &spec);
-        let copy = s.deep_copy(el);
+        let copy = s.deep_copy(el).unwrap();
         prop_assert_ne!(el, copy);
         prop_assert_eq!(s.to_xml(el), s.to_xml(copy));
     }
@@ -301,7 +301,7 @@ proptest! {
             // Grow the tree under a random element.
             2 => {
                 let target = elements[pick as usize % elements.len()];
-                let t = s.create_text("new");
+                let t = s.create_text("new").unwrap();
                 s.append_child(target, t).unwrap();
             }
             _ => {}
@@ -338,6 +338,74 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// Freeze/edit/thaw interleavings never change what the tree looks like:
+    /// a store that freezes (and auto-thaws on edit) at random points stays
+    /// deep-equal to a never-frozen shadow store fed the same edits, and the
+    /// frozen-arena order/traversal answers match the walk-based reference.
+    #[test]
+    fn frozen_arena_matches_legacy_under_interleavings(
+        spec in tree_strategy(),
+        ops in prop::collection::vec((0u8..4, any::<u8>()), 1..12),
+    ) {
+        let spec = root_element(spec);
+        let mut a = Store::new();
+        let mut b = Store::new();
+        // Identical build sequences allocate identical NodeIds, so the two
+        // stores stay id-aligned through every shared edit below.
+        let el_a = build(&mut a, &spec);
+        let el_b = build(&mut b, &spec);
+        prop_assert_eq!(el_a, el_b);
+
+        for (i, &(action, pick)) in ops.iter().enumerate() {
+            match action {
+                // Substrate flips only touch store A; B is the shadow.
+                0 => { a.freeze(el_a).unwrap(); }
+                1 => { a.thaw(el_a); }
+                // Shared edits: applied to both stores. Mutating a frozen
+                // tree in A exercises the auto-thaw path.
+                2 => {
+                    let elements: Vec<NodeId> = std::iter::once(el_a)
+                        .chain(a.descendants(el_a))
+                        .filter(|&n| a.is_element(n))
+                        .collect();
+                    let target = elements[pick as usize % elements.len()];
+                    let ta = a.create_text(format!("t{i}")).unwrap();
+                    let tb = b.create_text(format!("t{i}")).unwrap();
+                    prop_assert_eq!(ta, tb);
+                    a.append_child(target, ta).unwrap();
+                    b.append_child(target, tb).unwrap();
+                }
+                _ => {
+                    let elements: Vec<NodeId> = std::iter::once(el_a)
+                        .chain(a.descendants(el_a))
+                        .filter(|&n| a.is_element(n))
+                        .collect();
+                    let target = elements[pick as usize % elements.len()];
+                    let va = a.set_attribute(target, "p", format!("q{i}")).unwrap();
+                    let vb = b.set_attribute(target, "p", format!("q{i}")).unwrap();
+                    prop_assert_eq!(va, vb);
+                }
+            }
+            prop_assert!(deep_equal(&a, el_a, &b, el_b));
+            prop_assert_eq!(a.to_xml(el_a), b.to_xml(el_b));
+            prop_assert_eq!(a.descendants(el_a), b.descendants(el_b));
+            assert_index_matches_walk(&a, el_a)?;
+        }
+
+        // Refreeze at the end and compare the full answer surface once more.
+        a.freeze(el_a).unwrap();
+        prop_assert!(deep_equal(&a, el_a, &b, el_b));
+        prop_assert_eq!(a.to_xml(el_a), b.to_xml(el_b));
+        prop_assert_eq!(a.string_value(el_a), b.string_value(el_b));
+        let desc = a.descendants(el_a);
+        prop_assert_eq!(&desc, &b.descendants(el_b));
+        for &n in desc.iter().chain(std::iter::once(&el_a)) {
+            prop_assert_eq!(a.depth(n), b.depth(n));
+            prop_assert_eq!(a.parent(n), b.parent(n));
+        }
+        assert_index_matches_walk(&a, el_a)?;
     }
 }
 

@@ -87,68 +87,95 @@ impl Store {
         self.serialize(id, &SerializeOptions::pretty())
     }
 
+    /// Iterative serialization with an explicit work stack — document depth
+    /// can never overflow the call stack (the parser accepts 100k-deep
+    /// trees; the serializer must print them back).
     fn write_node(&self, id: NodeId, options: &SerializeOptions, depth: usize, out: &mut String) {
-        match self.kind(id) {
-            NodeKind::Document => {
-                let mut first = true;
-                for &c in self.children(id) {
-                    if options.pretty && !first {
-                        out.push('\n');
-                    }
-                    self.write_node(c, options, depth, out);
-                    first = false;
-                }
-            }
-            NodeKind::Element(name) => {
-                let _ = write!(out, "<{name}");
-                for &a in self.attributes(id) {
-                    if let NodeKind::Attribute(an, av) = self.kind(a) {
-                        let _ = write!(out, " {an}=\"{}\"", escape_attr(av));
-                    }
-                }
-                let children = self.children(id);
-                if children.is_empty() {
-                    out.push_str("/>");
-                    return;
-                }
-                out.push('>');
-                let mixed = children
-                    .iter()
-                    .any(|&c| matches!(self.kind(c), NodeKind::Text(_)));
-                if options.pretty && !mixed {
-                    for &c in children {
-                        out.push('\n');
-                        for _ in 0..=depth {
-                            out.push_str(options.indent);
-                        }
-                        self.write_node(c, options, depth + 1, out);
-                    }
-                    out.push('\n');
-                    for _ in 0..depth {
+        enum Task {
+            Node(NodeId, usize),
+            /// Close tag of an element: id, depth, close tag on its own
+            /// indented line (pretty non-mixed content).
+            Close(NodeId, usize, bool),
+            Literal(&'static str),
+            Indent(usize),
+        }
+        let mut stack = vec![Task::Node(id, depth)];
+        while let Some(task) = stack.pop() {
+            match task {
+                Task::Literal(s) => out.push_str(s),
+                Task::Indent(d) => {
+                    for _ in 0..d {
                         out.push_str(options.indent);
                     }
-                } else {
-                    for &c in children {
-                        self.write_node(c, options, depth + 1, out);
+                }
+                Task::Close(el, d, own_line) => {
+                    if own_line {
+                        out.push('\n');
+                        for _ in 0..d {
+                            out.push_str(options.indent);
+                        }
+                    }
+                    if let NodeKind::Element(name) = self.kind(el) {
+                        let _ = write!(out, "</{name}>");
                     }
                 }
-                let _ = write!(out, "</{name}>");
-            }
-            NodeKind::Attribute(name, value) => {
-                // A detached attribute serialized on its own — matches how
-                // XQuery implementations print attribute items.
-                let _ = write!(out, "{name}=\"{}\"", escape_attr(value));
-            }
-            NodeKind::Text(t) => out.push_str(&escape_text(t)),
-            NodeKind::Comment(t) => {
-                let _ = write!(out, "<!--{t}-->");
-            }
-            NodeKind::Pi(target, data) => {
-                if data.is_empty() {
-                    let _ = write!(out, "<?{target}?>");
-                } else {
-                    let _ = write!(out, "<?{target} {data}?>");
-                }
+                Task::Node(n, depth) => match self.kind(n) {
+                    NodeKind::Document => {
+                        for (i, &c) in self.children(n).iter().enumerate().rev() {
+                            stack.push(Task::Node(c, depth));
+                            if options.pretty && i > 0 {
+                                stack.push(Task::Literal("\n"));
+                            }
+                        }
+                    }
+                    NodeKind::Element(name) => {
+                        let _ = write!(out, "<{name}");
+                        for &a in self.attributes(n) {
+                            if let NodeKind::Attribute(an, av) = self.kind(a) {
+                                let _ = write!(out, " {an}=\"{}\"", escape_attr(av));
+                            }
+                        }
+                        let children = self.children(n);
+                        if children.is_empty() {
+                            out.push_str("/>");
+                            continue;
+                        }
+                        out.push('>');
+                        let mixed = children
+                            .iter()
+                            .any(|&c| matches!(self.kind(c), NodeKind::Text(_)));
+                        if options.pretty && !mixed {
+                            stack.push(Task::Close(n, depth, true));
+                            for &c in children.iter().rev() {
+                                stack.push(Task::Node(c, depth + 1));
+                                stack.push(Task::Indent(depth + 1));
+                                stack.push(Task::Literal("\n"));
+                            }
+                        } else {
+                            stack.push(Task::Close(n, depth, false));
+                            for &c in children.iter().rev() {
+                                stack.push(Task::Node(c, depth + 1));
+                            }
+                        }
+                    }
+                    NodeKind::Attribute(name, value) => {
+                        // A detached attribute serialized on its own —
+                        // matches how XQuery implementations print
+                        // attribute items.
+                        let _ = write!(out, "{name}=\"{}\"", escape_attr(value));
+                    }
+                    NodeKind::Text(t) => out.push_str(&escape_text(t)),
+                    NodeKind::Comment(t) => {
+                        let _ = write!(out, "<!--{t}-->");
+                    }
+                    NodeKind::Pi(target, data) => {
+                        if data.is_empty() {
+                            let _ = write!(out, "<?{target}?>");
+                        } else {
+                            let _ = write!(out, "<?{target} {data}?>");
+                        }
+                    }
+                },
             }
         }
     }
@@ -174,9 +201,9 @@ mod tests {
     #[test]
     fn escaping_applied() {
         let mut s = Store::new();
-        let el = s.create_element("e");
+        let el = s.create_element("e").unwrap();
         s.set_attribute(el, "a", "x\"<&").unwrap();
-        let t = s.create_text("a<b>&c");
+        let t = s.create_text("a<b>&c").unwrap();
         s.append_child(el, t).unwrap();
         assert_eq!(
             s.to_xml(el),
@@ -187,14 +214,14 @@ mod tests {
     #[test]
     fn empty_element_self_closes() {
         let mut s = Store::new();
-        let el = s.create_element("e");
+        let el = s.create_element("e").unwrap();
         assert_eq!(s.to_xml(el), "<e/>");
     }
 
     #[test]
     fn detached_attribute_prints_as_pair() {
         let mut s = Store::new();
-        let a = s.create_attribute("troubles", "1");
+        let a = s.create_attribute("troubles", "1").unwrap();
         assert_eq!(s.to_xml(a), "troubles=\"1\"");
     }
 
@@ -237,7 +264,7 @@ mod tests {
     #[test]
     fn attribute_whitespace_survives_as_char_refs() {
         let mut s = Store::new();
-        let el = s.create_element("e");
+        let el = s.create_element("e").unwrap();
         s.set_attribute(el, "a", "line1\nline2\ttab\rcr").unwrap();
         let xml = s.to_xml(el);
         assert_eq!(xml, r#"<e a="line1&#10;line2&#9;tab&#13;cr"/>"#);
@@ -251,8 +278,8 @@ mod tests {
     #[test]
     fn text_cr_and_cdata_end_survive() {
         let mut s = Store::new();
-        let el = s.create_element("e");
-        let t = s.create_text("a\rb]]>c");
+        let el = s.create_element("e").unwrap();
+        let t = s.create_text("a\rb]]>c").unwrap();
         s.append_child(el, t).unwrap();
         let xml = s.to_xml(el);
         assert_eq!(xml, "<e>a&#13;b]]&gt;c</e>");

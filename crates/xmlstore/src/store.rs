@@ -25,10 +25,12 @@
 //! comparison survives as [`Store::doc_order_by_walk`], the reference
 //! implementation the property tests check the index against.
 
-use crate::error::XmlError;
+use crate::error::{XmlError, XmlErrorKind};
+use crate::frozen::{FrozenRec, FrozenTree, TreeSnapshot, NO_PARENT};
 use crate::qname::QName;
 use crate::sym::Sym;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Index of a node within its [`Store`].
@@ -87,6 +89,88 @@ impl NodeData {
             attributes: Vec::new(),
         }
     }
+}
+
+/// One id's slot: either a mutable pointer-shaped node (the legacy overlay,
+/// used while a tree is being built or edited) or a position inside a
+/// mounted [`FrozenTree`]. A tree is always entirely one or the other.
+#[derive(Debug, Clone)]
+enum Slot {
+    Thawed(NodeData),
+    Frozen { mount: u32, pos: u32 },
+}
+
+/// A frozen tree mounted into this store: the shared record table plus the
+/// per-store id tables mapping layout positions back to [`NodeId`]s.
+/// `tree` is shared (snapshots, adoption); the id tables are per mount.
+#[derive(Debug, Clone)]
+struct Mount {
+    tree: Arc<FrozenTree>,
+    /// Position → node id, in pre-order (attributes included).
+    ids: Vec<NodeId>,
+    /// [`FrozenTree::kids`] mapped to node ids: node `p`'s children are the
+    /// slice `child_ids[kids_start(p) .. kids_start(p)+kids_len(p)]`.
+    child_ids: Vec<NodeId>,
+    /// When the id table is `base, base+1, …` (every parsed or adopted
+    /// tree), position → id is an add instead of a table gather.
+    contig_base: Option<u32>,
+}
+
+impl Mount {
+    fn new(tree: Arc<FrozenTree>, ids: Vec<NodeId>) -> Mount {
+        let child_ids: Vec<NodeId> = tree.kids.iter().map(|&p| ids[p as usize]).collect();
+        let contig_base = match ids.first() {
+            Some(&NodeId(base))
+                if ids
+                    .iter()
+                    .enumerate()
+                    .all(|(i, &id)| id == NodeId(base + i as u32)) =>
+            {
+                Some(base)
+            }
+            _ => None,
+        };
+        Mount {
+            tree,
+            ids,
+            child_ids,
+            contig_base,
+        }
+    }
+
+    /// Maps a slice of layout positions to node ids in one pass. The bulk
+    /// name-query answers go through here, so the contiguous case matters:
+    /// it compiles to a vectorised add over the interval.
+    fn resolve_all(&self, positions: &[u32]) -> Vec<NodeId> {
+        match self.contig_base {
+            Some(base) => positions.iter().map(|&p| NodeId(base + p)).collect(),
+            None => positions.iter().map(|&p| self.ids[p as usize]).collect(),
+        }
+    }
+}
+
+/// Relaxed counters proving the flat-arena paths fire (observability; never
+/// affects results). Snapshot them with [`Store::stats`].
+#[derive(Debug, Default)]
+struct StatCells {
+    arena_slice_scans: AtomicU64,
+    tree_snapshots: AtomicU64,
+    trees_frozen: AtomicU64,
+    trees_thawed: AtomicU64,
+}
+
+/// A point-in-time copy of the store's flat-substrate counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Frozen-tree structural answers served straight from the contiguous
+    /// layout: descendant range scans and name-index interval lookups.
+    pub arena_slice_scans: u64,
+    /// O(1) tree snapshots taken ([`Store::snapshot`]).
+    pub tree_snapshots: u64,
+    /// Trees frozen into the arena form ([`Store::freeze`] and parses).
+    pub trees_frozen: u64,
+    /// Trees thawed back to the mutable overlay (explicit or on edit).
+    pub trees_thawed: u64,
 }
 
 /// One node's slot in the structural index. Valid only while the owning
@@ -158,19 +242,34 @@ impl StoreIndex {
 /// An arena of XML nodes. See the module docs.
 #[derive(Debug, Default)]
 pub struct Store {
-    nodes: Vec<NodeData>,
-    /// Lazily built structural index; a `Mutex` (not `RefCell`) so shared
-    /// stores stay `Sync` — compiled stylesheets holding a store are handed
-    /// to big-stack worker threads by reference.
+    slots: Vec<Slot>,
+    /// Mounted frozen trees; `None` entries are free (recycled on thaw).
+    mounts: Vec<Option<Mount>>,
+    free_mounts: Vec<u32>,
+    /// Lazily built structural index **for thawed trees only**; a `Mutex`
+    /// (not `RefCell`) so shared stores stay `Sync` — compiled stylesheets
+    /// holding a store are handed to big-stack worker threads by reference.
+    /// Frozen trees answer order queries lock-free from their layout.
     index: Mutex<StoreIndex>,
+    stats: StatCells,
+    /// Test-only cap on the node count, so arena exhaustion is testable
+    /// without allocating 2^32 nodes.
+    #[cfg(test)]
+    node_cap: Option<usize>,
 }
 
 impl Clone for Store {
     fn clone(&self) -> Self {
-        // The index is a cache: the clone starts cold and renumbers on demand.
+        // The index and the stats are caches/diagnostics: the clone starts
+        // cold. Mounted record tables are shared, not copied.
         Store {
-            nodes: self.nodes.clone(),
+            slots: self.slots.clone(),
+            mounts: self.mounts.clone(),
+            free_mounts: self.free_mounts.clone(),
             index: Mutex::new(StoreIndex::default()),
+            stats: StatCells::default(),
+            #[cfg(test)]
+            node_cap: self.node_cap,
         }
     }
 }
@@ -183,39 +282,96 @@ impl Store {
 
     /// Number of nodes ever created (detached nodes included).
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.slots.len()
     }
 
     /// `true` when no node has ever been created.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.slots.is_empty()
     }
 
-    fn alloc(&mut self, data: NodeData) -> NodeId {
-        let id = NodeId(u32::try_from(self.nodes.len()).expect("node arena exceeded u32 range"));
-        self.nodes.push(data);
-        id
+    /// Errs with [`XmlErrorKind::ArenaFull`] when `extra` more nodes would
+    /// push the arena past the `u32` id range (or the test cap).
+    fn check_capacity(&self, extra: usize) -> Result<(), XmlError> {
+        #[allow(unused_mut)]
+        let mut cap = u32::MAX as usize;
+        #[cfg(test)]
+        if let Some(c) = self.node_cap {
+            cap = cap.min(c);
+        }
+        if self.slots.len().saturating_add(extra) > cap {
+            return Err(XmlError::new(XmlErrorKind::ArenaFull, 0, 0));
+        }
+        Ok(())
     }
 
+    /// Lowers the arena capacity so exhaustion is reachable in tests.
+    #[cfg(test)]
+    fn set_node_cap(&mut self, cap: usize) {
+        self.node_cap = Some(cap);
+    }
+
+    fn alloc(&mut self, data: NodeData) -> Result<NodeId, XmlError> {
+        self.check_capacity(1)?;
+        let id = NodeId(self.slots.len() as u32);
+        self.slots.push(Slot::Thawed(data));
+        Ok(id)
+    }
+
+    /// The thawed node data of `id`. Internal callers reach this only after
+    /// the frozen case has been dispatched (or the tree thawed).
     fn node(&self, id: NodeId) -> &NodeData {
-        &self.nodes[id.index()]
+        match &self.slots[id.index()] {
+            Slot::Thawed(d) => d,
+            Slot::Frozen { .. } => unreachable!("frozen node where thawed data was expected"),
+        }
     }
 
     fn node_mut(&mut self, id: NodeId) -> &mut NodeData {
-        &mut self.nodes[id.index()]
+        match &mut self.slots[id.index()] {
+            Slot::Thawed(d) => d,
+            Slot::Frozen { .. } => unreachable!("frozen node where thawed data was expected"),
+        }
+    }
+
+    /// `(mount index, position)` when `id` lives in a frozen tree.
+    fn floc(&self, id: NodeId) -> Option<(u32, u32)> {
+        match self.slots[id.index()] {
+            Slot::Frozen { mount, pos } => Some((mount, pos)),
+            Slot::Thawed(_) => None,
+        }
+    }
+
+    fn mount(&self, m: u32) -> &Mount {
+        self.mounts[m as usize].as_ref().expect("live mount")
+    }
+
+    fn bump(&self, cell: &AtomicU64) {
+        cell.fetch_add(1, AtomicOrdering::Relaxed);
+    }
+
+    /// The flat-substrate observability counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            arena_slice_scans: self.stats.arena_slice_scans.load(AtomicOrdering::Relaxed),
+            tree_snapshots: self.stats.tree_snapshots.load(AtomicOrdering::Relaxed),
+            trees_frozen: self.stats.trees_frozen.load(AtomicOrdering::Relaxed),
+            trees_thawed: self.stats.trees_thawed.load(AtomicOrdering::Relaxed),
+        }
     }
 
     // ------------------------------------------------------------------
     // Creation
     // ------------------------------------------------------------------
 
-    /// Creates an empty document node.
-    pub fn create_document(&mut self) -> NodeId {
+    /// Creates an empty document node. Errs (recoverably) when the arena is
+    /// full — as do all `create_*` constructors.
+    pub fn create_document(&mut self) -> Result<NodeId, XmlError> {
         self.alloc(NodeData::new(NodeKind::Document))
     }
 
     /// Creates a detached element.
-    pub fn create_element(&mut self, name: impl Into<QName>) -> NodeId {
+    pub fn create_element(&mut self, name: impl Into<QName>) -> Result<NodeId, XmlError> {
         self.alloc(NodeData::new(NodeKind::Element(name.into())))
     }
 
@@ -224,7 +380,7 @@ impl Store {
         &mut self,
         name: impl Into<QName>,
         value: impl Into<Arc<str>>,
-    ) -> NodeId {
+    ) -> Result<NodeId, XmlError> {
         self.alloc(NodeData::new(NodeKind::Attribute(
             name.into(),
             value.into(),
@@ -232,17 +388,21 @@ impl Store {
     }
 
     /// Creates a detached text node.
-    pub fn create_text(&mut self, text: impl Into<Arc<str>>) -> NodeId {
+    pub fn create_text(&mut self, text: impl Into<Arc<str>>) -> Result<NodeId, XmlError> {
         self.alloc(NodeData::new(NodeKind::Text(text.into())))
     }
 
     /// Creates a detached comment node.
-    pub fn create_comment(&mut self, text: impl Into<Arc<str>>) -> NodeId {
+    pub fn create_comment(&mut self, text: impl Into<Arc<str>>) -> Result<NodeId, XmlError> {
         self.alloc(NodeData::new(NodeKind::Comment(text.into())))
     }
 
     /// Creates a detached processing-instruction node.
-    pub fn create_pi(&mut self, target: impl Into<Arc<str>>, data: impl Into<Arc<str>>) -> NodeId {
+    pub fn create_pi(
+        &mut self,
+        target: impl Into<Arc<str>>,
+        data: impl Into<Arc<str>>,
+    ) -> Result<NodeId, XmlError> {
         self.alloc(NodeData::new(NodeKind::Pi(target.into(), data.into())))
     }
 
@@ -251,51 +411,85 @@ impl Store {
     // ------------------------------------------------------------------
 
     /// The kind of `id`.
+    #[inline]
     pub fn kind(&self, id: NodeId) -> &NodeKind {
-        &self.node(id).kind
+        match &self.slots[id.index()] {
+            Slot::Thawed(d) => &d.kind,
+            Slot::Frozen { mount, pos } => &self.mount(*mount).tree.recs[*pos as usize].kind,
+        }
     }
 
     /// The parent, if attached.
+    #[inline]
     pub fn parent(&self, id: NodeId) -> Option<NodeId> {
-        self.node(id).parent
+        match &self.slots[id.index()] {
+            Slot::Thawed(d) => d.parent,
+            Slot::Frozen { mount, pos } => {
+                let m = self.mount(*mount);
+                let p = m.tree.recs[*pos as usize].parent;
+                (p != NO_PARENT).then(|| m.ids[p as usize])
+            }
+        }
     }
 
     /// The element or document children of `id`, in document order.
+    #[inline]
     pub fn children(&self, id: NodeId) -> &[NodeId] {
-        &self.node(id).children
+        match &self.slots[id.index()] {
+            Slot::Thawed(d) => &d.children,
+            Slot::Frozen { mount, pos } => {
+                let m = self.mount(*mount);
+                let r = &m.tree.recs[*pos as usize];
+                &m.child_ids[r.kids_start as usize..(r.kids_start + r.kids_len) as usize]
+            }
+        }
     }
 
     /// The attribute nodes of `id` (element only; empty otherwise).
+    #[inline]
     pub fn attributes(&self, id: NodeId) -> &[NodeId] {
-        &self.node(id).attributes
+        match &self.slots[id.index()] {
+            Slot::Thawed(d) => &d.attributes,
+            Slot::Frozen { mount, pos } => {
+                let m = self.mount(*mount);
+                let r = &m.tree.recs[*pos as usize];
+                let p = *pos as usize;
+                &m.ids[p + 1..p + 1 + r.attr_len as usize]
+            }
+        }
     }
 
     /// The name of an element or attribute node.
+    #[inline]
     pub fn name(&self, id: NodeId) -> Option<&QName> {
-        match &self.node(id).kind {
+        match self.kind(id) {
             NodeKind::Element(name) | NodeKind::Attribute(name, _) => Some(name),
             _ => None,
         }
     }
 
     /// `true` if `id` is an element.
+    #[inline]
     pub fn is_element(&self, id: NodeId) -> bool {
-        matches!(self.node(id).kind, NodeKind::Element(_))
+        matches!(self.kind(id), NodeKind::Element(_))
     }
 
     /// `true` if `id` is an attribute node.
+    #[inline]
     pub fn is_attribute(&self, id: NodeId) -> bool {
-        matches!(self.node(id).kind, NodeKind::Attribute(..))
+        matches!(self.kind(id), NodeKind::Attribute(..))
     }
 
     /// `true` if `id` is a text node.
+    #[inline]
     pub fn is_text(&self, id: NodeId) -> bool {
-        matches!(self.node(id).kind, NodeKind::Text(_))
+        matches!(self.kind(id), NodeKind::Text(_))
     }
 
     /// `true` if `id` is a document node.
+    #[inline]
     pub fn is_document(&self, id: NodeId) -> bool {
-        matches!(self.node(id).kind, NodeKind::Document)
+        matches!(self.kind(id), NodeKind::Document)
     }
 
     /// The single element child of a document node.
@@ -310,7 +504,7 @@ impl Store {
     pub fn attribute_value(&self, el: NodeId, name: &str) -> Option<&str> {
         self.attributes(el)
             .iter()
-            .find_map(|&a| match &self.node(a).kind {
+            .find_map(|&a| match self.kind(a) {
                 NodeKind::Attribute(n, v) if n.display_is(name) => Some(&v[..]),
                 _ => None,
             })
@@ -321,7 +515,7 @@ impl Store {
     pub fn attribute_value_q(&self, el: NodeId, name: QName) -> Option<&str> {
         self.attributes(el)
             .iter()
-            .find_map(|&a| match &self.node(a).kind {
+            .find_map(|&a| match self.kind(a) {
                 NodeKind::Attribute(n, v) if *n == name => Some(&v[..]),
                 _ => None,
             })
@@ -332,7 +526,7 @@ impl Store {
         self.attributes(el)
             .iter()
             .copied()
-            .find(|&a| match &self.node(a).kind {
+            .find(|&a| match self.kind(a) {
                 NodeKind::Attribute(n, _) => n.display_is(name),
                 _ => false,
             })
@@ -348,10 +542,10 @@ impl Store {
     /// shared payload (a refcount bump); containers with a single text child
     /// share that child's payload; only mixed content allocates.
     pub fn string_value_arc(&self, id: NodeId) -> Arc<str> {
-        match &self.node(id).kind {
+        match self.kind(id) {
             NodeKind::Document | NodeKind::Element(_) => {
                 if let [only] = self.children(id)[..] {
-                    if let NodeKind::Text(t) = &self.node(only).kind {
+                    if let NodeKind::Text(t) = self.kind(only) {
                         return t.clone();
                     }
                 }
@@ -367,7 +561,7 @@ impl Store {
 
     fn collect_text(&self, id: NodeId, out: &mut String) {
         for n in self.descendants_iter(id) {
-            if let NodeKind::Text(t) = &self.node(n).kind {
+            if let NodeKind::Text(t) = self.kind(n) {
                 out.push_str(t);
             }
         }
@@ -404,7 +598,7 @@ impl Store {
     // ------------------------------------------------------------------
 
     fn assert_container(&self, id: NodeId) -> Result<(), XmlError> {
-        match self.node(id).kind {
+        match self.kind(id) {
             NodeKind::Document | NodeKind::Element(_) => Ok(()),
             _ => Err(XmlError::structural(
                 "only documents and elements have children",
@@ -413,7 +607,7 @@ impl Store {
     }
 
     fn assert_detached(&self, id: NodeId) -> Result<(), XmlError> {
-        if self.node(id).parent.is_some() {
+        if self.parent(id).is_some() {
             Err(XmlError::structural(
                 "node is already attached; detach it first",
             ))
@@ -428,9 +622,18 @@ impl Store {
             if n == child {
                 return true;
             }
-            cur = self.node(n).parent;
+            cur = self.parent(n);
         }
         false
+    }
+
+    /// Thaws the tree containing `id` if it is frozen. Every mutator calls
+    /// this first: edits happen on the pointer-shaped overlay, and the tree
+    /// can be [`Store::freeze`]-d again afterwards.
+    fn thaw_tree_of(&mut self, id: NodeId) {
+        if self.floc(id).is_some() {
+            self.thaw(id);
+        }
     }
 
     /// Drops the cached numbering for the tree containing `id` (and, for a
@@ -464,7 +667,7 @@ impl Store {
 
     /// Appends a detached non-attribute node as the last child of `parent`.
     pub fn append_child(&mut self, parent: NodeId, child: NodeId) -> Result<(), XmlError> {
-        let pos = self.node(parent).children.len();
+        let pos = self.children(parent).len();
         self.insert_child(parent, pos, child)
     }
 
@@ -477,6 +680,8 @@ impl Store {
     ) -> Result<(), XmlError> {
         self.assert_container(parent)?;
         self.assert_detached(child)?;
+        self.thaw_tree_of(parent);
+        self.thaw_tree_of(child);
         if self.is_attribute(child) {
             return Err(XmlError::structural(
                 "attribute nodes are attached with set_attribute_node, not as children",
@@ -499,6 +704,10 @@ impl Store {
     /// Detaches `id` from its parent (children or attributes list). No-op if
     /// already detached.
     pub fn detach(&mut self, id: NodeId) {
+        if self.parent(id).is_none() {
+            return;
+        }
+        self.thaw_tree_of(id);
         if let Some(parent) = self.node(id).parent {
             self.invalidate_tree_of(id);
             let p = self.node_mut(parent);
@@ -512,10 +721,11 @@ impl Store {
     /// preserving position. `old` is left detached.
     pub fn replace_child(&mut self, old: NodeId, new: NodeId) -> Result<(), XmlError> {
         let parent = self
-            .node(old)
-            .parent
+            .parent(old)
             .ok_or_else(|| XmlError::structural("replace_child: old node is detached"))?;
         self.assert_detached(new)?;
+        self.thaw_tree_of(old);
+        self.thaw_tree_of(new);
         if self.is_attribute(old) || self.is_attribute(new) {
             return Err(XmlError::structural(
                 "replace_child does not handle attributes",
@@ -553,11 +763,12 @@ impl Store {
                 "set_attribute target is not an element",
             ));
         }
+        self.thaw_tree_of(el);
         let existing = self
             .attributes(el)
             .iter()
             .copied()
-            .find(|&a| matches!(&self.node(a).kind, NodeKind::Attribute(n, _) if *n == name));
+            .find(|&a| matches!(self.kind(a), NodeKind::Attribute(n, _) if *n == name));
         if let Some(attr) = existing {
             // Value-only overwrite: order and names unchanged, so the
             // numbering stays — only the value → owners maps go stale.
@@ -568,7 +779,7 @@ impl Store {
             Ok(attr)
         } else {
             self.invalidate_tree_of(el);
-            let attr = self.create_attribute(name, value);
+            let attr = self.create_attribute(name, value)?;
             self.node_mut(attr).parent = Some(el);
             self.node_mut(el).attributes.push(attr);
             Ok(attr)
@@ -585,7 +796,7 @@ impl Store {
             ));
         }
         self.assert_detached(attr)?;
-        let name = match &self.node(attr).kind {
+        let name = match self.kind(attr) {
             NodeKind::Attribute(n, _) => *n,
             _ => {
                 return Err(XmlError::structural(
@@ -596,10 +807,12 @@ impl Store {
         if self
             .attributes(el)
             .iter()
-            .any(|&a| matches!(&self.node(a).kind, NodeKind::Attribute(n, _) if *n == name))
+            .any(|&a| matches!(self.kind(a), NodeKind::Attribute(n, _) if *n == name))
         {
             return Err(XmlError::structural(format!("duplicate attribute {name}")));
         }
+        self.thaw_tree_of(el);
+        self.thaw_tree_of(attr);
         self.invalidate_tree_of(el);
         self.invalidate_tree_of(attr);
         self.node_mut(attr).parent = Some(el);
@@ -622,6 +835,8 @@ impl Store {
         if !self.is_attribute(attr) {
             return Err(XmlError::structural("argument is not an attribute node"));
         }
+        self.thaw_tree_of(el);
+        self.thaw_tree_of(attr);
         self.invalidate_tree_of(el);
         self.invalidate_tree_of(attr);
         self.node_mut(attr).parent = Some(el);
@@ -638,8 +853,15 @@ impl Store {
     }
 
     /// Overwrites the content of a text/comment node. Value-only: the
-    /// structural index is untouched.
+    /// structural index is untouched (a frozen tree still thaws — its
+    /// records are immutable).
     pub fn set_text(&mut self, id: NodeId, text: impl Into<Arc<str>>) -> Result<(), XmlError> {
+        if !matches!(self.kind(id), NodeKind::Text(_) | NodeKind::Comment(_)) {
+            return Err(XmlError::structural(
+                "set_text target is not a text or comment node",
+            ));
+        }
+        self.thaw_tree_of(id);
         match &mut self.node_mut(id).kind {
             NodeKind::Text(t) | NodeKind::Comment(t) => {
                 *t = text.into();
@@ -656,6 +878,7 @@ impl Store {
         if !self.is_element(id) {
             return Err(XmlError::structural("set_name target is not an element"));
         }
+        self.thaw_tree_of(id);
         self.invalidate_tree_of(id);
         match &mut self.node_mut(id).kind {
             NodeKind::Element(n) => {
@@ -671,7 +894,7 @@ impl Store {
     /// apart and shove Table 1's HTML bodily into the gap" primitive of the
     /// paper's phrase-replacement task.
     pub fn split_text(&mut self, id: NodeId, at: usize) -> Result<NodeId, XmlError> {
-        let (head, tail): (Arc<str>, Arc<str>) = match &self.node(id).kind {
+        let (head, tail): (Arc<str>, Arc<str>) = match self.kind(id) {
             NodeKind::Text(t) => {
                 if !t.is_char_boundary(at) || at > t.len() {
                     return Err(XmlError::structural("split offset is not a char boundary"));
@@ -681,14 +904,14 @@ impl Store {
             _ => return Err(XmlError::structural("split_text target is not a text node")),
         };
         let parent = self
-            .node(id)
-            .parent
+            .parent(id)
             .ok_or_else(|| XmlError::structural("split_text on a detached node"))?;
+        self.thaw_tree_of(id);
         self.invalidate_tree_of(id);
         if let NodeKind::Text(t) = &mut self.node_mut(id).kind {
             *t = head;
         }
-        let tail_node = self.create_text(tail);
+        let tail_node = self.create_text(tail)?;
         let pos = self
             .node(parent)
             .children
@@ -704,27 +927,204 @@ impl Store {
     // Copying
     // ------------------------------------------------------------------
 
-    /// Deep-copies the subtree at `id` into a detached tree in the same
-    /// store; returns the new root. Attribute nodes are copied detached when
-    /// `id` is itself an attribute. This is the copy semantics of XQuery's
-    /// node constructors. The copy is a fresh tree, so the source tree's
-    /// index stays valid.
-    pub fn deep_copy(&mut self, id: NodeId) -> NodeId {
-        let kind = self.node(id).kind.clone();
-        let copy = self.alloc(NodeData::new(kind));
-        let attrs: Vec<NodeId> = self.node(id).attributes.clone();
-        for a in attrs {
-            let ac = self.deep_copy(a);
-            self.node_mut(ac).parent = Some(copy);
-            self.node_mut(copy).attributes.push(ac);
+    /// Deep-copies the subtree at `id` into a detached (thawed) tree in the
+    /// same store; returns the new root. Attribute nodes are copied detached
+    /// when `id` is itself an attribute. This is the copy semantics of
+    /// XQuery's node constructors. The copy is a fresh tree, so the source
+    /// tree's index stays valid; a frozen source is read in place, not
+    /// thawed. Iterative — safe on arbitrarily deep trees. On arena
+    /// exhaustion the partial copy stays behind, detached (the arena is
+    /// grow-only anyway).
+    pub fn deep_copy(&mut self, id: NodeId) -> Result<NodeId, XmlError> {
+        let kind = self.kind(id).clone();
+        let copy = self.alloc(NodeData::new(kind))?;
+        let mut stack: Vec<(NodeId, NodeId)> = vec![(id, copy)];
+        while let Some((src, dst)) = stack.pop() {
+            let attrs: Vec<NodeId> = self.attributes(src).to_vec();
+            for a in attrs {
+                let kind = self.kind(a).clone();
+                let ac = self.alloc(NodeData::new(kind))?;
+                self.node_mut(ac).parent = Some(dst);
+                self.node_mut(dst).attributes.push(ac);
+            }
+            let kids: Vec<NodeId> = self.children(src).to_vec();
+            for k in kids {
+                let kind = self.kind(k).clone();
+                let kc = self.alloc(NodeData::new(kind))?;
+                self.node_mut(kc).parent = Some(dst);
+                self.node_mut(dst).children.push(kc);
+                stack.push((k, kc));
+            }
         }
-        let kids: Vec<NodeId> = self.node(id).children.clone();
-        for k in kids {
-            let kc = self.deep_copy(k);
-            self.node_mut(kc).parent = Some(copy);
-            self.node_mut(copy).children.push(kc);
+        Ok(copy)
+    }
+
+    // ------------------------------------------------------------------
+    // Freeze / thaw lifecycle
+    // ------------------------------------------------------------------
+
+    /// Freezes the tree containing `id` into a contiguous pre-order record
+    /// table; returns the tree root. Idempotent. Node ids are unchanged —
+    /// only the representation behind them moves. The legacy numbering for
+    /// the tree is dropped: frozen trees answer order queries from the
+    /// layout, lock-free.
+    pub fn freeze(&mut self, id: NodeId) -> Result<NodeId, XmlError> {
+        let root = self.root(id);
+        if self.floc(root).is_some() {
+            return Ok(root);
         }
-        copy
+        let mut recs: Vec<FrozenRec> = Vec::new();
+        let mut ids: Vec<NodeId> = Vec::new();
+        enum Visit {
+            Enter(NodeId, u32, u32),
+            Exit(usize),
+        }
+        let mut stack = vec![Visit::Enter(root, 0, NO_PARENT)];
+        while let Some(v) = stack.pop() {
+            match v {
+                Visit::Enter(n, depth, parent) => {
+                    let data = self.node(n);
+                    if recs.len() + 1 + data.attributes.len() > u32::MAX as usize {
+                        return Err(XmlError::new(XmlErrorKind::ArenaFull, 0, 0));
+                    }
+                    let pos = recs.len();
+                    recs.push(FrozenRec {
+                        kind: data.kind.clone(),
+                        parent,
+                        subtree_end: pos as u32 + 1,
+                        attr_len: data.attributes.len() as u32,
+                        kids_start: 0,
+                        kids_len: 0,
+                        depth,
+                    });
+                    ids.push(n);
+                    for &a in &data.attributes {
+                        let apos = recs.len() as u32;
+                        recs.push(FrozenRec {
+                            kind: self.node(a).kind.clone(),
+                            parent: pos as u32,
+                            subtree_end: apos + 1,
+                            attr_len: 0,
+                            kids_start: 0,
+                            kids_len: 0,
+                            depth: depth + 1,
+                        });
+                        ids.push(a);
+                    }
+                    stack.push(Visit::Exit(pos));
+                    for &c in data.children.iter().rev() {
+                        stack.push(Visit::Enter(c, depth + 1, pos as u32));
+                    }
+                }
+                Visit::Exit(pos) => recs[pos].subtree_end = recs.len() as u32,
+            }
+        }
+        let tree = Arc::new(FrozenTree::from_recs(recs));
+        let mount_ix = self.new_mount_ix();
+        for (pos, &nid) in ids.iter().enumerate() {
+            self.slots[nid.index()] = Slot::Frozen {
+                mount: mount_ix,
+                pos: pos as u32,
+            };
+        }
+        self.mounts[mount_ix as usize] = Some(Mount::new(tree, ids));
+        // The legacy numbering for this tree is dead weight now.
+        self.index
+            .get_mut()
+            .unwrap_or_else(|e| e.into_inner())
+            .trees
+            .remove(&root);
+        self.bump(&self.stats.trees_frozen);
+        Ok(root)
+    }
+
+    /// Thaws the frozen tree containing `id` back into the mutable
+    /// pointer-shaped overlay. No-op when already thawed. Node ids are
+    /// unchanged. Shared snapshots of the tree are unaffected.
+    pub fn thaw(&mut self, id: NodeId) {
+        let Some((mount_ix, _)) = self.floc(id) else {
+            return;
+        };
+        let m = self.mounts[mount_ix as usize].take().expect("live mount");
+        self.free_mounts.push(mount_ix);
+        let Mount { tree, ids, .. } = m;
+        for (pos, rec) in tree.recs.iter().enumerate() {
+            let parent = (rec.parent != NO_PARENT).then(|| ids[rec.parent as usize]);
+            let data = NodeData {
+                kind: rec.kind.clone(),
+                parent,
+                children: Vec::with_capacity(rec.kids_len as usize),
+                attributes: Vec::with_capacity(rec.attr_len as usize),
+            };
+            self.slots[ids[pos].index()] = Slot::Thawed(data);
+        }
+        // Positions are ascending document order, so pushing in position
+        // order restores the child and attribute lists in order.
+        for (pos, rec) in tree.recs.iter().enumerate().skip(1) {
+            let nid = ids[pos];
+            let pdata = self.node_mut(ids[rec.parent as usize]);
+            if rec.is_attr() {
+                pdata.attributes.push(nid);
+            } else {
+                pdata.children.push(nid);
+            }
+        }
+        self.bump(&self.stats.trees_thawed);
+    }
+
+    /// `true` when `id` lives in a frozen tree.
+    pub fn is_frozen(&self, id: NodeId) -> bool {
+        self.floc(id).is_some()
+    }
+
+    /// An O(1) snapshot of the frozen tree containing `id`: one `Arc` bump,
+    /// no node copies. `None` when the tree is thawed ([`Store::freeze`]
+    /// first). The snapshot is immune to later edits of this store and can
+    /// be [`Store::adopt`]-ed into any store — including this one.
+    pub fn snapshot(&self, id: NodeId) -> Option<TreeSnapshot> {
+        let (mount_ix, _) = self.floc(id)?;
+        self.bump(&self.stats.tree_snapshots);
+        Some(TreeSnapshot {
+            tree: self.mount(mount_ix).tree.clone(),
+        })
+    }
+
+    /// Mounts a snapshot into this store as a new frozen tree with fresh
+    /// node ids; returns its root. The record table (names, payloads,
+    /// structure) is shared with the snapshot, not copied.
+    pub fn adopt(&mut self, snapshot: &TreeSnapshot) -> Result<NodeId, XmlError> {
+        self.mount_tree(snapshot.tree.clone())
+    }
+
+    fn new_mount_ix(&mut self) -> u32 {
+        match self.free_mounts.pop() {
+            Some(m) => m,
+            None => {
+                self.mounts.push(None);
+                (self.mounts.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Mounts a frozen tree on fresh consecutive ids; returns the root id.
+    /// The parser lands documents here directly.
+    pub(crate) fn mount_tree(&mut self, tree: Arc<FrozenTree>) -> Result<NodeId, XmlError> {
+        let n = tree.len();
+        self.check_capacity(n)?;
+        let mount_ix = self.new_mount_ix();
+        let base = self.slots.len() as u32;
+        let mut ids = Vec::with_capacity(n);
+        for pos in 0..n as u32 {
+            self.slots.push(Slot::Frozen {
+                mount: mount_ix,
+                pos,
+            });
+            ids.push(NodeId(base + pos));
+        }
+        let root = ids[0];
+        self.mounts[mount_ix as usize] = Some(Mount::new(tree, ids));
+        self.bump(&self.stats.trees_frozen);
+        Ok(root)
     }
 
     // ------------------------------------------------------------------
@@ -732,9 +1132,13 @@ impl Store {
     // ------------------------------------------------------------------
 
     /// The root of the tree containing `id` (the node with no parent).
+    /// O(1) for frozen trees (position 0 of the mount), O(depth) otherwise.
     pub fn root(&self, id: NodeId) -> NodeId {
+        if let Some((m, _)) = self.floc(id) {
+            return self.mount(m).ids[0];
+        }
         let mut cur = id;
-        while let Some(p) = self.node(cur).parent {
+        while let Some(p) = self.parent(cur) {
             cur = p;
         }
         cur
@@ -743,10 +1147,10 @@ impl Store {
     /// Ancestors of `id`, nearest first (excluding `id`).
     pub fn ancestors(&self, id: NodeId) -> Vec<NodeId> {
         let mut out = Vec::new();
-        let mut cur = self.node(id).parent;
+        let mut cur = self.parent(id);
         while let Some(p) = cur {
             out.push(p);
-            cur = self.node(p).parent;
+            cur = self.parent(p);
         }
         out
     }
@@ -758,11 +1162,26 @@ impl Store {
     }
 
     /// Iterator form of [`Store::descendants`]: same nodes, same order, no
-    /// intermediate `Vec`.
+    /// intermediate `Vec`. On a frozen tree this is a contiguous slice scan
+    /// over the pre-order records — no stack, no pointer chasing.
     pub fn descendants_iter(&self, id: NodeId) -> Descendants<'_> {
+        if let Some((m, pos)) = self.floc(id) {
+            let mount = self.mount(m);
+            let rec = &mount.tree.recs[pos as usize];
+            self.bump(&self.stats.arena_slice_scans);
+            return Descendants {
+                inner: DescInner::Frozen {
+                    mount,
+                    cur: pos + 1 + rec.attr_len,
+                    end: rec.subtree_end,
+                },
+            };
+        }
         Descendants {
-            store: self,
-            stack: self.children(id).iter().rev().copied().collect(),
+            inner: DescInner::Thawed {
+                store: self,
+                stack: self.children(id).iter().rev().copied().collect(),
+            },
         }
     }
 
@@ -770,13 +1189,13 @@ impl Store {
     /// content contains `needle`; returns the node and the byte offset.
     /// Powers the `TABLE-1-GOES-HERE` replacement experiment.
     pub fn find_text(&self, scope: NodeId, needle: &str) -> Option<(NodeId, usize)> {
-        if let NodeKind::Text(t) = &self.node(scope).kind {
+        if let NodeKind::Text(t) = self.kind(scope) {
             if let Some(pos) = t.find(needle) {
                 return Some((scope, pos));
             }
         }
         for n in self.descendants_iter(scope) {
-            if let NodeKind::Text(t) = &self.node(n).kind {
+            if let NodeKind::Text(t) = self.kind(n) {
                 if let Some(pos) = t.find(needle) {
                     return Some((n, pos));
                 }
@@ -837,8 +1256,8 @@ impl Store {
         }
         ix.next_stamp += 1;
         let stamp = ix.next_stamp;
-        if ix.entries.len() < self.nodes.len() {
-            ix.entries.resize(self.nodes.len(), OrdEntry::default());
+        if ix.entries.len() < self.slots.len() {
+            ix.entries.resize(self.slots.len(), OrdEntry::default());
         }
         let mut tree = TreeIndex {
             stamp,
@@ -905,13 +1324,21 @@ impl Store {
         if a == b {
             return Some(std::cmp::Ordering::Equal);
         }
-        let mut ix = self.index();
-        let ea = self.ensure_entry(&mut ix, a);
-        let eb = self.ensure_entry(&mut ix, b);
-        if ea.root != eb.root {
-            return None;
+        // A tree is uniformly frozen or thawed, so mixed substrates mean
+        // different trees.
+        match (self.floc(a), self.floc(b)) {
+            (Some((ma, pa)), Some((mb, pb))) => (ma == mb).then(|| pa.cmp(&pb)),
+            (Some(_), None) | (None, Some(_)) => None,
+            (None, None) => {
+                let mut ix = self.index();
+                let ea = self.ensure_entry(&mut ix, a);
+                let eb = self.ensure_entry(&mut ix, b);
+                if ea.root != eb.root {
+                    return None;
+                }
+                Some(ea.pre.cmp(&eb.pre))
+            }
         }
-        Some(ea.pre.cmp(&eb.pre))
     }
 
     /// `true` when `a` strictly precedes `b` in document order (same tree).
@@ -927,15 +1354,28 @@ impl Store {
         if anc == desc {
             return false;
         }
-        let mut ix = self.index();
-        let ea = self.ensure_entry(&mut ix, anc);
-        let ed = self.ensure_entry(&mut ix, desc);
-        ea.root == ed.root && ea.pre < ed.pre && ed.post < ea.post
+        match (self.floc(anc), self.floc(desc)) {
+            (Some((ma, pa)), Some((mb, pb))) => {
+                // Position containment: the subtree of `pa` is the
+                // contiguous range `pa+1 .. subtree_end(pa)`.
+                ma == mb && pa < pb && pb < self.mount(ma).tree.recs[pa as usize].subtree_end
+            }
+            (Some(_), None) | (None, Some(_)) => false,
+            (None, None) => {
+                let mut ix = self.index();
+                let ea = self.ensure_entry(&mut ix, anc);
+                let ed = self.ensure_entry(&mut ix, desc);
+                ea.root == ed.root && ea.pre < ed.pre && ed.post < ea.post
+            }
+        }
     }
 
     /// Distance of `id` from its tree root (root = 0; an attribute is one
     /// deeper than its element).
     pub fn depth(&self, id: NodeId) -> u32 {
+        if let Some((m, pos)) = self.floc(id) {
+            return self.mount(m).tree.recs[pos as usize].depth;
+        }
         let mut ix = self.index();
         self.ensure_entry(&mut ix, id).depth
     }
@@ -943,7 +1383,15 @@ impl Store {
     /// A totally ordered key for sorting nodes into document order, usable
     /// across trees (different trees order by root id). Ancestors sort
     /// before descendants; attributes after their element, before children.
+    /// Frozen trees answer from the layout (pre = record position) with no
+    /// lock and no numbering pass.
     pub fn order_key(&self, id: NodeId) -> OrderKey {
+        if let Some((m, pos)) = self.floc(id) {
+            return OrderKey {
+                root: self.mount(m).ids[0],
+                pre: pos,
+            };
+        }
         let mut ix = self.index();
         let e = self.ensure_entry(&mut ix, id);
         OrderKey {
@@ -953,12 +1401,18 @@ impl Store {
     }
 
     /// Batch [`Store::order_key`]: one index lock for the whole slice — the
-    /// dedup/doc-order-sort hot path.
+    /// dedup/doc-order-sort hot path. Frozen nodes never touch the lock.
     pub fn order_keys(&self, nodes: &[NodeId]) -> Vec<OrderKey> {
         let mut ix = self.index();
         nodes
             .iter()
             .map(|&n| {
+                if let Some((m, pos)) = self.floc(n) {
+                    return OrderKey {
+                        root: self.mount(m).ids[0],
+                        pre: pos,
+                    };
+                }
                 let e = self.ensure_entry(&mut ix, n);
                 OrderKey {
                     root: e.root,
@@ -973,6 +1427,13 @@ impl Store {
     /// range of the per-tree name index instead of a subtree walk. Callers
     /// with a prefixed name test filter the result on the full [`QName`].
     pub fn descendant_elements_by_local(&self, scope: NodeId, local: Sym) -> Vec<NodeId> {
+        if let Some((m, pos)) = self.floc(scope) {
+            let mount = self.mount(m);
+            let end = mount.tree.recs[pos as usize].subtree_end;
+            let named = mount.tree.elements_by_local(local);
+            self.bump(&self.stats.arena_slice_scans);
+            return mount.resolve_all(Store::pos_interval(named, pos, end));
+        }
         let mut ix = self.index();
         let e = self.ensure_entry(&mut ix, scope);
         let Some(named) = ix
@@ -1001,6 +1462,15 @@ impl Store {
         local: Sym,
         mut visit: impl FnMut(NodeId) -> bool,
     ) -> bool {
+        if let Some((m, pos)) = self.floc(scope) {
+            let mount = self.mount(m);
+            let end = mount.tree.recs[pos as usize].subtree_end;
+            let named = mount.tree.elements_by_local(local);
+            self.bump(&self.stats.arena_slice_scans);
+            return Store::pos_interval(named, pos, end)
+                .iter()
+                .any(|&p| visit(mount.ids[p as usize]));
+        }
         let mut ix = self.index();
         let e = self.ensure_entry(&mut ix, scope);
         let Some(named) = ix
@@ -1024,6 +1494,15 @@ impl Store {
         local: Sym,
         mut visit: impl FnMut(NodeId) -> bool,
     ) -> bool {
+        if let Some((m, pos)) = self.floc(scope) {
+            let mount = self.mount(m);
+            let end = mount.tree.recs[pos as usize].subtree_end;
+            let named = mount.tree.attributes_by_local(local);
+            self.bump(&self.stats.arena_slice_scans);
+            return Store::pos_interval(named, pos, end)
+                .iter()
+                .any(|&p| visit(mount.ids[p as usize]));
+        }
         let mut ix = self.index();
         let e = self.ensure_entry(&mut ix, scope);
         let Some(named) = ix
@@ -1042,6 +1521,13 @@ impl Store {
     /// it, in document order (the fused `//@name` lookup: attributes number
     /// inside their element's interval).
     pub fn descendant_or_self_attributes_by_local(&self, scope: NodeId, local: Sym) -> Vec<NodeId> {
+        if let Some((m, pos)) = self.floc(scope) {
+            let mount = self.mount(m);
+            let end = mount.tree.recs[pos as usize].subtree_end;
+            let named = mount.tree.attributes_by_local(local);
+            self.bump(&self.stats.arena_slice_scans);
+            return mount.resolve_all(Store::pos_interval(named, pos, end));
+        }
         let mut ix = self.index();
         let e = self.ensure_entry(&mut ix, scope);
         let Some(named) = ix
@@ -1054,6 +1540,43 @@ impl Store {
         Store::interval_slice(named, &ix.entries, e).to_vec()
     }
 
+    /// [`Store::descendant_elements_by_local`] with the full-QName test
+    /// pushed into the store: the frozen substrate answers from the per-tree
+    /// full-name map, so a match costs a map hit plus an interval copy — no
+    /// per-node record read or id round-trip through the slot table.
+    pub fn descendant_elements_by_name(&self, scope: NodeId, name: &QName) -> Vec<NodeId> {
+        if let Some((m, pos)) = self.floc(scope) {
+            let mount = self.mount(m);
+            let end = mount.tree.recs[pos as usize].subtree_end;
+            let named = mount.tree.elements_by_name(name);
+            self.bump(&self.stats.arena_slice_scans);
+            return mount.resolve_all(Store::pos_interval(named, pos, end));
+        }
+        let mut out = self.descendant_elements_by_local(scope, name.local_sym());
+        out.retain(|&d| self.name(d) == Some(name));
+        out
+    }
+
+    /// [`Store::descendant_or_self_attributes_by_local`] with the full-QName
+    /// test pushed into the store, mirroring
+    /// [`Store::descendant_elements_by_name`].
+    pub fn descendant_or_self_attributes_by_name(
+        &self,
+        scope: NodeId,
+        name: &QName,
+    ) -> Vec<NodeId> {
+        if let Some((m, pos)) = self.floc(scope) {
+            let mount = self.mount(m);
+            let end = mount.tree.recs[pos as usize].subtree_end;
+            let named = mount.tree.attributes_by_name(name);
+            self.bump(&self.stats.arena_slice_scans);
+            return mount.resolve_all(Store::pos_interval(named, pos, end));
+        }
+        let mut out = self.descendant_or_self_attributes_by_local(scope, name.local_sym());
+        out.retain(|&d| self.name(d) == Some(name));
+        out
+    }
+
     /// Elements strictly below `scope` carrying an attribute whose name has
     /// local symbol `local` and whose value is exactly `value`, in document
     /// order. Backed by a per-tree value map built lazily per attribute
@@ -1064,6 +1587,16 @@ impl Store {
     /// attribute (`x:id="5"`) is still returned, so callers matching an
     /// unprefixed test must re-verify the full [`QName`] on the owner.
     pub fn elements_with_attr_value(&self, scope: NodeId, local: Sym, value: &str) -> Vec<NodeId> {
+        if let Some((m, pos)) = self.floc(scope) {
+            let mount = self.mount(m);
+            let end = mount.tree.recs[pos as usize].subtree_end;
+            let owners = mount.tree.attr_value_owners(local);
+            let Some(owners) = owners.get(value) else {
+                return Vec::new();
+            };
+            self.bump(&self.stats.arena_slice_scans);
+            return mount.resolve_all(Store::pos_interval(owners, pos, end));
+        }
         let mut ix = self.index();
         let scope_entry = self.ensure_entry(&mut ix, scope);
         let StoreIndex { entries, trees, .. } = &mut *ix;
@@ -1107,6 +1640,16 @@ impl Store {
         &named[start..end]
     }
 
+    /// Frozen twin of [`Store::interval_slice`]: the contiguous run of
+    /// `named` (ascending record positions) strictly inside the subtree
+    /// `scope_pos+1 .. scope_end`. The scope's own attributes sit in that
+    /// range, which is exactly what the attribute queries want.
+    fn pos_interval(named: &[u32], scope_pos: u32, scope_end: u32) -> &[u32] {
+        let start = named.partition_point(|&p| p <= scope_pos);
+        let end = start + named[start..].partition_point(|&p| p < scope_end);
+        &named[start..end]
+    }
+
     // ------------------------------------------------------------------
     // Document order (walk-based reference)
     // ------------------------------------------------------------------
@@ -1114,11 +1657,10 @@ impl Store {
     /// Position of `id` among its parent's children/attributes, for order
     /// comparison: attributes sort before children of the same element.
     fn sibling_rank(&self, parent: NodeId, id: NodeId) -> Option<(u8, usize)> {
-        if let Some(p) = self.node(parent).attributes.iter().position(|&a| a == id) {
+        if let Some(p) = self.attributes(parent).iter().position(|&a| a == id) {
             return Some((0, p));
         }
-        self.node(parent)
-            .children
+        self.children(parent)
             .iter()
             .position(|&c| c == id)
             .map(|p| (1, p))
@@ -1150,7 +1692,7 @@ impl Store {
     fn path_from_root(&self, id: NodeId) -> Option<(NodeId, Vec<(u8, usize)>)> {
         let mut ranks = Vec::new();
         let mut cur = id;
-        while let Some(p) = self.node(cur).parent {
+        while let Some(p) = self.parent(cur) {
             ranks.push(self.sibling_rank(p, cur)?);
             cur = p;
         }
@@ -1163,18 +1705,45 @@ impl Store {
 /// node itself and attribute nodes). See [`Store::descendants_iter`].
 #[derive(Debug)]
 pub struct Descendants<'a> {
-    store: &'a Store,
-    stack: Vec<NodeId>,
+    inner: DescInner<'a>,
+}
+
+#[derive(Debug)]
+enum DescInner<'a> {
+    /// Pointer-chasing walk over the mutable overlay.
+    Thawed {
+        store: &'a Store,
+        stack: Vec<NodeId>,
+    },
+    /// Straight scan of the pre-order records `cur .. end`; each step hops
+    /// the yielded node's attribute run, landing on the next non-attribute
+    /// record.
+    Frozen {
+        mount: &'a Mount,
+        cur: u32,
+        end: u32,
+    },
 }
 
 impl Iterator for Descendants<'_> {
     type Item = NodeId;
 
     fn next(&mut self) -> Option<NodeId> {
-        let n = self.stack.pop()?;
-        self.stack
-            .extend(self.store.children(n).iter().rev().copied());
-        Some(n)
+        match &mut self.inner {
+            DescInner::Thawed { store, stack } => {
+                let n = stack.pop()?;
+                stack.extend(store.children(n).iter().rev().copied());
+                Some(n)
+            }
+            DescInner::Frozen { mount, cur, end } => {
+                if *cur >= *end {
+                    return None;
+                }
+                let pos = *cur as usize;
+                *cur += 1 + mount.tree.recs[pos].attr_len;
+                Some(mount.ids[pos])
+            }
+        }
     }
 }
 
@@ -1192,11 +1761,11 @@ mod tests {
     use std::cmp::Ordering;
 
     fn small_tree(store: &mut Store) -> (NodeId, NodeId, NodeId, NodeId) {
-        let doc = store.create_document();
-        let root = store.create_element("root");
+        let doc = store.create_document().unwrap();
+        let root = store.create_element("root").unwrap();
         store.append_child(doc, root).unwrap();
-        let a = store.create_element("a");
-        let b = store.create_element("b");
+        let a = store.create_element("a").unwrap();
+        let b = store.create_element("b").unwrap();
         store.append_child(root, a).unwrap();
         store.append_child(root, b).unwrap();
         (doc, root, a, b)
@@ -1216,7 +1785,7 @@ mod tests {
     #[test]
     fn attributes_are_nodes() {
         let mut s = Store::new();
-        let el = s.create_element("el");
+        let el = s.create_element("el").unwrap();
         let attr = s.set_attribute(el, "state", "MA").unwrap();
         assert!(s.is_attribute(attr));
         assert_eq!(s.parent(attr), Some(el));
@@ -1227,7 +1796,7 @@ mod tests {
     #[test]
     fn set_attribute_overwrites() {
         let mut s = Store::new();
-        let el = s.create_element("el");
+        let el = s.create_element("el").unwrap();
         s.set_attribute(el, "a", "1").unwrap();
         s.set_attribute(el, "a", "2").unwrap();
         assert_eq!(s.attributes(el).len(), 1);
@@ -1237,9 +1806,9 @@ mod tests {
     #[test]
     fn set_attribute_node_rejects_duplicates() {
         let mut s = Store::new();
-        let el = s.create_element("el");
-        let a1 = s.create_attribute("a", "1");
-        let a2 = s.create_attribute("a", "2");
+        let el = s.create_element("el").unwrap();
+        let a1 = s.create_attribute("a", "1").unwrap();
+        let a2 = s.create_attribute("a", "2").unwrap();
         s.set_attribute_node(el, a1).unwrap();
         assert!(s.set_attribute_node(el, a2).is_err());
     }
@@ -1259,7 +1828,7 @@ mod tests {
     fn append_attached_node_fails() {
         let mut s = Store::new();
         let (_, root, a, _) = small_tree(&mut s);
-        let other = s.create_element("other");
+        let other = s.create_element("other").unwrap();
         assert!(s.append_child(other, a).is_err(), "a is attached to root");
         let _ = root;
     }
@@ -1275,8 +1844,8 @@ mod tests {
     #[test]
     fn attribute_as_child_is_rejected() {
         let mut s = Store::new();
-        let el = s.create_element("el");
-        let attr = s.create_attribute("a", "1");
+        let el = s.create_element("el").unwrap();
+        let attr = s.create_attribute("a", "1").unwrap();
         assert!(s.append_child(el, attr).is_err());
     }
 
@@ -1284,7 +1853,7 @@ mod tests {
     fn replace_child_preserves_position() {
         let mut s = Store::new();
         let (_, root, a, b) = small_tree(&mut s);
-        let c = s.create_element("c");
+        let c = s.create_element("c").unwrap();
         s.replace_child(a, c).unwrap();
         assert_eq!(s.children(root), &[c, b]);
         assert_eq!(s.parent(a), None);
@@ -1293,10 +1862,10 @@ mod tests {
     #[test]
     fn string_value_concatenates_descendant_text() {
         let mut s = Store::new();
-        let el = s.create_element("p");
-        let t1 = s.create_text("Hello ");
-        let em = s.create_element("em");
-        let t2 = s.create_text("world");
+        let el = s.create_element("p").unwrap();
+        let t1 = s.create_text("Hello ").unwrap();
+        let em = s.create_element("em").unwrap();
+        let t2 = s.create_text("world").unwrap();
         s.append_child(el, t1).unwrap();
         s.append_child(el, em).unwrap();
         s.append_child(em, t2).unwrap();
@@ -1306,8 +1875,8 @@ mod tests {
     #[test]
     fn string_value_arc_shares_single_text_payload() {
         let mut s = Store::new();
-        let el = s.create_element("p");
-        let t = s.create_text("only");
+        let el = s.create_element("p").unwrap();
+        let t = s.create_text("only").unwrap();
         s.append_child(el, t).unwrap();
         let via_el = s.string_value_arc(el);
         let via_t = s.string_value_arc(t);
@@ -1318,8 +1887,8 @@ mod tests {
     #[test]
     fn split_text_splits() {
         let mut s = Store::new();
-        let el = s.create_element("p");
-        let t = s.create_text("before MARKER after");
+        let el = s.create_element("p").unwrap();
+        let t = s.create_text("before MARKER after").unwrap();
         s.append_child(el, t).unwrap();
         let (node, pos) = s.find_text(el, "MARKER").unwrap();
         assert_eq!(node, t);
@@ -1332,8 +1901,8 @@ mod tests {
     #[test]
     fn split_text_rejects_non_boundary() {
         let mut s = Store::new();
-        let el = s.create_element("p");
-        let t = s.create_text("héllo");
+        let el = s.create_element("p").unwrap();
+        let t = s.create_text("héllo").unwrap();
         s.append_child(el, t).unwrap();
         assert!(s.split_text(t, 2).is_err(), "inside é");
     }
@@ -1343,7 +1912,7 @@ mod tests {
         let mut s = Store::new();
         let (_, root, a, _) = small_tree(&mut s);
         s.set_attribute(a, "k", "v").unwrap();
-        let copy = s.deep_copy(root);
+        let copy = s.deep_copy(root).unwrap();
         assert_eq!(s.parent(copy), None);
         assert_eq!(s.children(copy).len(), 2);
         let a_copy = s.children(copy)[0];
@@ -1356,7 +1925,7 @@ mod tests {
         let mut s = Store::new();
         let (doc, root, a, b) = small_tree(&mut s);
         let attr = s.set_attribute(root, "x", "1").unwrap();
-        let t = s.create_text("hi");
+        let t = s.create_text("hi").unwrap();
         s.append_child(a, t).unwrap();
         assert_eq!(s.doc_order(doc, root), Some(Ordering::Less));
         assert_eq!(s.doc_order(root, attr), Some(Ordering::Less));
@@ -1371,7 +1940,7 @@ mod tests {
     fn doc_order_across_trees_is_none() {
         let mut s = Store::new();
         let (_, _, a, _) = small_tree(&mut s);
-        let lone = s.create_element("lone");
+        let lone = s.create_element("lone").unwrap();
         assert_eq!(s.doc_order(a, lone), None);
     }
 
@@ -1408,7 +1977,7 @@ mod tests {
     fn descendants_in_document_order() {
         let mut s = Store::new();
         let (_, root, a, b) = small_tree(&mut s);
-        let t = s.create_text("x");
+        let t = s.create_text("x").unwrap();
         s.append_child(a, t).unwrap();
         assert_eq!(s.descendants(root), vec![a, t, b]);
         let via_iter: Vec<NodeId> = s.descendants_iter(root).collect();
@@ -1418,14 +1987,14 @@ mod tests {
     #[test]
     fn name_index_finds_descendant_elements() {
         let mut s = Store::new();
-        let doc = s.create_document();
-        let root = s.create_element("root");
+        let doc = s.create_document().unwrap();
+        let root = s.create_element("root").unwrap();
         s.append_child(doc, root).unwrap();
         let mut bs = Vec::new();
         for _ in 0..3 {
-            let mid = s.create_element("mid");
+            let mid = s.create_element("mid").unwrap();
             s.append_child(root, mid).unwrap();
-            let b = s.create_element("b");
+            let b = s.create_element("b").unwrap();
             s.set_attribute(b, "k", "v").unwrap();
             s.append_child(mid, b).unwrap();
             bs.push(b);
@@ -1459,12 +2028,12 @@ mod tests {
     #[test]
     fn attr_value_index_finds_owners_in_scope() {
         let mut s = Store::new();
-        let doc = s.create_document();
-        let root = s.create_element("r");
+        let doc = s.create_document().unwrap();
+        let root = s.create_element("r").unwrap();
         s.append_child(doc, root).unwrap();
         let (mut hits, mut misses) = (Vec::new(), Vec::new());
         for i in 0..4 {
-            let item = s.create_element("item");
+            let item = s.create_element("item").unwrap();
             s.set_attribute(item, "k", if i % 2 == 0 { "hit" } else { "miss" })
                 .unwrap();
             s.append_child(root, item).unwrap();
@@ -1482,7 +2051,7 @@ mod tests {
         assert_eq!(s.elements_with_attr_value(hits[0], k, "hit"), Vec::new());
         // A prefixed attribute with the same local name is still returned
         // (callers re-verify the full QName).
-        let extra = s.create_element("item");
+        let extra = s.create_element("item").unwrap();
         s.set_attribute(extra, QName::prefixed("p", "k"), "hit")
             .unwrap();
         s.append_child(root, extra).unwrap();
@@ -1493,8 +2062,8 @@ mod tests {
     #[test]
     fn attr_value_index_follows_value_overwrites() {
         let mut s = Store::new();
-        let root = s.create_element("r");
-        let item = s.create_element("item");
+        let root = s.create_element("r").unwrap();
+        let item = s.create_element("item").unwrap();
         s.set_attribute(item, "k", "old").unwrap();
         s.append_child(root, item).unwrap();
         let k = QName::from("k").local_sym();
@@ -1513,7 +2082,7 @@ mod tests {
         let mut s = Store::new();
         let (doc, root, a, b) = small_tree(&mut s);
         let attr = s.set_attribute(root, "x", "1").unwrap();
-        let t = s.create_text("hi");
+        let t = s.create_text("hi").unwrap();
         s.append_child(a, t).unwrap();
         let nodes = [doc, root, attr, a, t, b];
         for &x in &nodes {
@@ -1564,15 +2133,15 @@ mod tests {
     #[test]
     fn attr_value_index_forgets_detached_nodes() {
         let mut s = Store::new();
-        let doc = s.create_document();
-        let root = s.create_element("r");
+        let doc = s.create_document().unwrap();
+        let root = s.create_element("r").unwrap();
         s.append_child(doc, root).unwrap();
         let k = QName::from("k").local_sym();
         let mut items = Vec::new();
         for _ in 0..6 {
-            let wrapper = s.create_element("w");
+            let wrapper = s.create_element("w").unwrap();
             s.append_child(root, wrapper).unwrap();
-            let item = s.create_element("item");
+            let item = s.create_element("item").unwrap();
             s.set_attribute(item, "k", "v").unwrap();
             s.append_child(wrapper, item).unwrap();
             items.push((wrapper, item));
@@ -1607,8 +2176,8 @@ mod tests {
         let (doc, root, a, b) = small_tree(&mut s);
         // A second, independent tree whose numbering is warm when the
         // counter wraps: its stale entries must not validate after a reset.
-        let other = s.create_element("other");
-        let leaf = s.create_element("leaf");
+        let other = s.create_element("other").unwrap();
+        let leaf = s.create_element("leaf").unwrap();
         s.append_child(other, leaf).unwrap();
         assert_eq!(s.doc_order(other, leaf), Some(Ordering::Less));
 
@@ -1639,5 +2208,150 @@ mod tests {
     fn store_is_shareable_across_threads() {
         fn send_sync<T: Send + Sync>() {}
         send_sync::<Store>();
+    }
+
+    /// A document with attributes, text, and mixed depth for lifecycle tests.
+    fn richer_tree(s: &mut Store) -> NodeId {
+        let doc = s.create_document().unwrap();
+        let root = s.create_element("root").unwrap();
+        s.set_attribute(root, "id", "r1").unwrap();
+        s.append_child(doc, root).unwrap();
+        let a = s.create_element("a").unwrap();
+        s.set_attribute(a, "k", "v").unwrap();
+        s.append_child(root, a).unwrap();
+        let t = s.create_text("hello").unwrap();
+        s.append_child(a, t).unwrap();
+        let b = s.create_element("b").unwrap();
+        s.append_child(root, b).unwrap();
+        let c = s.create_element("c").unwrap();
+        s.append_child(b, c).unwrap();
+        doc
+    }
+
+    #[test]
+    fn freeze_preserves_structure_ids_and_order() {
+        let mut s = Store::new();
+        let doc = richer_tree(&mut s);
+        let before_xml = s.to_xml(doc);
+        let before_desc = s.descendants(doc);
+        let before_depths: Vec<u32> = before_desc.iter().map(|&n| s.depth(n)).collect();
+
+        let root = s.freeze(doc).unwrap();
+        assert_eq!(root, doc, "freeze keeps NodeIds stable");
+        assert!(s.is_frozen(doc));
+
+        assert_eq!(s.to_xml(doc), before_xml);
+        assert_eq!(s.descendants(doc), before_desc);
+        let after_depths: Vec<u32> = before_desc.iter().map(|&n| s.depth(n)).collect();
+        assert_eq!(after_depths, before_depths);
+        for &x in &before_desc {
+            for &y in &before_desc {
+                assert_eq!(
+                    s.doc_order(x, y),
+                    s.doc_order_by_walk(x, y),
+                    "order of {x:?} vs {y:?}"
+                );
+            }
+        }
+        assert_eq!(s.string_value(doc), "hello");
+        assert_eq!(s.stats().trees_frozen, 1);
+    }
+
+    #[test]
+    fn edit_auto_thaws_and_refreeze_round_trips() {
+        let mut s = Store::new();
+        let doc = richer_tree(&mut s);
+        s.freeze(doc).unwrap();
+        assert!(s.is_frozen(doc));
+
+        // A mutation transparently thaws the whole tree back to the overlay.
+        let root = s.document_element(doc).unwrap();
+        let d = s.create_element("d").unwrap();
+        s.append_child(root, d).unwrap();
+        assert!(!s.is_frozen(doc));
+        assert_eq!(s.stats().trees_thawed, 1);
+        let expected = s.to_xml(doc);
+        assert!(expected.contains("<d/>"));
+
+        // Refreezing reproduces the edited document byte-for-byte.
+        s.freeze(doc).unwrap();
+        assert!(s.is_frozen(doc));
+        assert_eq!(s.to_xml(doc), expected);
+        assert_eq!(s.stats().trees_frozen, 2);
+    }
+
+    #[test]
+    fn snapshot_is_arc_identity_no_node_copies() {
+        let mut s = Store::new();
+        let doc = richer_tree(&mut s);
+
+        // Thawed trees have no cheap snapshot.
+        assert!(s.snapshot(doc).is_none());
+
+        s.freeze(doc).unwrap();
+        let node_total = s.descendants(doc).len() + 1 + 2; // nodes + doc + 2 attrs
+        let snap1 = s.snapshot(doc).unwrap();
+        let snap2 = s.snapshot(doc).unwrap();
+        // O(1) snapshot: both handles point at the SAME frozen records —
+        // an Arc refcount bump, not a copy of any node.
+        assert!(TreeSnapshot::ptr_eq(&snap1, &snap2));
+        assert_eq!(snap1.node_count(), node_total);
+        assert_eq!(s.stats().tree_snapshots, 2);
+
+        // Snapshots stay valid (same records) even after the source store
+        // thaws the tree for an edit.
+        let root = s.document_element(doc).unwrap();
+        let extra = s.create_element("extra").unwrap();
+        s.append_child(root, extra).unwrap();
+        assert!(TreeSnapshot::ptr_eq(&snap1, &snap2));
+        assert_eq!(snap1.node_count(), node_total);
+    }
+
+    #[test]
+    fn adopt_shares_records_across_stores() {
+        let mut a = Store::new();
+        let doc = richer_tree(&mut a);
+        a.freeze(doc).unwrap();
+        let xml = a.to_xml(doc);
+        let snap = a.snapshot(doc).unwrap();
+
+        let mut b = Store::new();
+        let adopted = b.adopt(&snap).unwrap();
+        assert!(b.is_frozen(adopted));
+        assert_eq!(b.to_xml(adopted), xml);
+        // The adopting store mounts the SAME record table — snapshotting the
+        // adopted tree hands back the identical Arc, proving no nodes were
+        // copied across stores.
+        let resnap = b.snapshot(adopted).unwrap();
+        assert!(TreeSnapshot::ptr_eq(&snap, &resnap));
+    }
+
+    #[test]
+    fn arena_exhaustion_is_a_recoverable_error() {
+        let mut s = Store::new();
+        let doc = s.create_document().unwrap();
+        let root = s.create_element("root").unwrap();
+        s.append_child(doc, root).unwrap();
+        s.set_node_cap(2);
+
+        let err = s.create_element("overflow").unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::ArenaFull), "{err}");
+        // The store is still fully usable after the failed allocation.
+        assert_eq!(s.document_element(doc), Some(root));
+        assert_eq!(s.to_xml(doc), "<root/>");
+        s.set_attribute(root, "still", "works").unwrap_err(); // attr needs a slot
+        assert_eq!(s.to_xml(doc), "<root/>");
+    }
+
+    #[test]
+    fn frozen_name_queries_bump_slice_scan_counter() {
+        let mut s = Store::new();
+        let doc = richer_tree(&mut s);
+        s.freeze(doc).unwrap();
+        let before = s.stats().arena_slice_scans;
+        let hits = s.descendant_elements_by_local(doc, "b".into());
+        assert_eq!(hits.len(), 1);
+        let _ = s.descendants_iter(doc).count();
+        assert!(s.stats().arena_slice_scans > before);
     }
 }

@@ -391,7 +391,7 @@ mod tests {
         assert!(effective_boolean_value(&Atomic::Str("x".into()).into(), &store).unwrap());
         assert!(!effective_boolean_value(&Atomic::Str("".into()).into(), &store).unwrap());
         assert!(!effective_boolean_value(&Atomic::Dbl(f64::NAN).into(), &store).unwrap());
-        let node = store.create_element("e");
+        let node = store.create_element("e").unwrap();
         let seq: Sequence = vec![Item::Node(node), Item::integer(0)]
             .into_iter()
             .collect();
@@ -406,8 +406,8 @@ mod tests {
     #[test]
     fn atomize_node_gives_untyped_string_value() {
         let mut store = Store::new();
-        let el = store.create_element("year");
-        let t = store.create_text("1983");
+        let el = store.create_element("year").unwrap();
+        let t = store.create_text("1983").unwrap();
         store.append_child(el, t).unwrap();
         let a = atomize_item(&Item::Node(el), &store);
         assert_eq!(a, Atomic::Untyped("1983".into()));
@@ -417,7 +417,7 @@ mod tests {
     fn deep_equal_structural() {
         let mut store = Store::new();
         let mk = |store: &mut Store, val: &str| {
-            let el = store.create_element("point");
+            let el = store.create_element("point").unwrap();
             store.set_attribute(el, "x", "1").unwrap();
             store.set_attribute(el, "y", val).unwrap();
             el

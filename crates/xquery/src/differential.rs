@@ -1058,6 +1058,41 @@ fn pooled_corpus_is_byte_identical_to_serial_under_all_configs() {
     }
 }
 
+#[test]
+fn substrate_sweep_frozen_matches_thawed_under_all_configs() {
+    // The frozen arena substrate and the thawed legacy overlay must be
+    // observably identical: every corpus case produces byte-identical
+    // outcomes under all six configs whether the document stays frozen
+    // (the post-parse default) or is force-thawed first — including with
+    // every optimisation switched off.
+    let cases = corpus_cases();
+    for (name, options) in engine_configs() {
+        for &(doc_xml, src) in &cases {
+            let frozen = {
+                let mut e = Engine::with_options(options.clone());
+                let doc = doc_xml.map(|xml| e.load_document(xml).unwrap());
+                if let Some(d) = doc {
+                    assert!(e.store().is_frozen(d), "parse should land frozen");
+                }
+                assert_equivalent(&mut e, src, doc).unwrap()
+            };
+            let thawed = {
+                let mut e = Engine::with_options(options.clone());
+                let doc = doc_xml.map(|xml| e.load_document(xml).unwrap());
+                if let Some(d) = doc {
+                    e.store_mut().thaw(d);
+                    assert!(!e.store().is_frozen(d));
+                }
+                assert_equivalent(&mut e, src, doc).unwrap()
+            };
+            assert_eq!(
+                frozen, thawed,
+                "substrate divergence under {name} for {src}"
+            );
+        }
+    }
+}
+
 /// Display-or-error outcome of one precompiled query.
 fn eval_outcome(e: &mut Engine, q: &CompiledQuery, doc: Option<NodeId>) -> String {
     match e.evaluate(q, doc) {
@@ -1107,7 +1142,11 @@ fn shared_store_index_builds_once_under_contention() {
     let doc = store
         .parse_str(DEEP_DOC, &ParseOptions::data_oriented())
         .unwrap();
-    let store = store; // frozen: concurrent readers only from here on
+    // Parsed documents land in the frozen arena, which never touches the
+    // stamp index; thaw the tree to exercise the legacy indexed path this
+    // test is about.
+    store.thaw(doc);
+    let store = store; // concurrent readers only from here on
 
     // Index-free expected answers, computed before any index exists.
     let leaf = intern("leaf");
@@ -1158,4 +1197,93 @@ fn shared_store_index_builds_once_under_contention() {
     // One tree, no mutations: the numbering ran exactly once — no torn or
     // repeated rebuilds under contention.
     assert_eq!(store.index_passes(), 1);
+}
+
+#[test]
+fn frozen_tree_needs_no_index_under_contention() {
+    use std::cmp::Ordering;
+    use xmlstore::parser::ParseOptions;
+    use xmlstore::{intern, Store};
+
+    let mut store = Store::new();
+    let doc = store
+        .parse_str(DEEP_DOC, &ParseOptions::data_oriented())
+        .unwrap();
+    let store = store; // parsed documents land frozen
+
+    let leaf = intern("leaf");
+    let nodes: Vec<NodeId> = std::iter::once(doc)
+        .chain(store.descendants_iter(doc))
+        .collect();
+    let expected_orders: Vec<Option<Ordering>> = nodes
+        .iter()
+        .flat_map(|&a| nodes.iter().map(move |&b| (a, b)))
+        .map(|(a, b)| store.doc_order_by_walk(a, b))
+        .collect();
+    let expected_leaves: Vec<NodeId> = store
+        .descendants_iter(doc)
+        .filter(|&n| store.is_element(n) && store.name(n).is_some_and(|q| q.local_sym() == leaf))
+        .collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            scope.spawn(|| {
+                for _ in 0..3 {
+                    let orders: Vec<Option<Ordering>> = nodes
+                        .iter()
+                        .flat_map(|&a| nodes.iter().map(move |&b| (a, b)))
+                        .map(|(a, b)| store.doc_order(a, b))
+                        .collect();
+                    assert_eq!(format!("{orders:?}"), format!("{expected_orders:?}"));
+                    assert_eq!(
+                        format!("{:?}", store.descendant_elements_by_local(doc, leaf)),
+                        format!("{expected_leaves:?}")
+                    );
+                }
+            });
+        }
+    });
+
+    // The frozen layout answered everything: the stamp index never built,
+    // and the name lookups went through arena slice scans.
+    assert_eq!(store.index_passes(), 0);
+    assert!(store.stats().arena_slice_scans > 0);
+}
+
+#[test]
+fn timing_axis_micro() {
+    use std::time::Instant;
+    let mut s = String::from("<root>");
+    for i in 0..2000 {
+        s.push_str(&format!(
+            "<item k='k{}' g='g{}'><sub/></item>",
+            i % 50,
+            i % 7
+        ));
+    }
+    for _ in 0..200 {
+        s.push_str("<d>");
+    }
+    s.push_str("<leaf mark='x'/>");
+    for _ in 0..200 {
+        s.push_str("</d>");
+    }
+    s.push_str("</root>");
+    let mut e = Engine::new();
+    let doc = e.load_document(&s).unwrap();
+    for src in [
+        "count(//item)",
+        "count(/root/item[@k = \"k7\"])",
+        "count(//leaf/ancestor::d)",
+    ] {
+        let q = e.compile(src).unwrap();
+        for _ in 0..50 {
+            e.evaluate(&q, Some(doc)).unwrap();
+        }
+        let t = Instant::now();
+        for _ in 0..500 {
+            e.evaluate(&q, Some(doc)).unwrap();
+        }
+        println!("{src}: {:?}/call", t.elapsed() / 500);
+    }
 }

@@ -338,7 +338,10 @@ pub fn eval(expr: &Expr, env: &mut EvalEnv, ctx: &mut DynamicContext) -> Result<
             position,
         } => {
             let name = constructor_name(name, env, ctx, *position)?;
-            let el = env.store.create_element(QName::from(name.as_str()));
+            let el = env
+                .store
+                .create_element(QName::from(name.as_str()))
+                .map_err(internal)?;
             let mut builder = ContentBuilder::new(el, *position, env.options.dup_attr_policy);
             if let Some(content) = content {
                 let seq = eval(content, env, ctx)?;
@@ -361,7 +364,10 @@ pub fn eval(expr: &Expr, env: &mut EvalEnv, ctx: &mut DynamicContext) -> Result<
                 }
                 None => String::new(),
             };
-            let attr = env.store.create_attribute(QName::from(name.as_str()), text);
+            let attr = env
+                .store
+                .create_attribute(QName::from(name.as_str()), text)
+                .map_err(internal)?;
             Ok(Sequence::singleton(Item::Node(attr)))
         }
 
@@ -370,13 +376,19 @@ pub fn eval(expr: &Expr, env: &mut EvalEnv, ctx: &mut DynamicContext) -> Result<
             if seq.is_empty() {
                 return Ok(Sequence::empty());
             }
-            let node = env.store.create_text(join_atomized(&seq, env.store));
+            let node = env
+                .store
+                .create_text(join_atomized(&seq, env.store))
+                .map_err(internal)?;
             Ok(Sequence::singleton(Item::Node(node)))
         }
 
         Expr::CompComment(e) => {
             let seq = eval(e, env, ctx)?;
-            let node = env.store.create_comment(join_atomized(&seq, env.store));
+            let node = env
+                .store
+                .create_comment(join_atomized(&seq, env.store))
+                .map_err(internal)?;
             Ok(Sequence::singleton(Item::Node(node)))
         }
 
@@ -712,18 +724,10 @@ pub(crate) fn eval_fused_descendant_step(
             .ok_or_else(|| Error::new(ErrorCode::XPTY0019, "'//' applied to an atomic value"))?;
         match fused {
             FusedStep::ChildNamed(want) => {
-                for d in store.descendant_elements_by_local(n, want.local_sym()) {
-                    if store.name(d) == Some(&want) {
-                        out.push(d);
-                    }
-                }
+                out.extend(store.descendant_elements_by_name(n, &want));
             }
             FusedStep::AttrNamed(want) => {
-                for d in store.descendant_or_self_attributes_by_local(n, want.local_sym()) {
-                    if store.name(d) == Some(&want) {
-                        out.push(d);
-                    }
-                }
+                out.extend(store.descendant_or_self_attributes_by_name(n, &want));
             }
         }
     }
@@ -1291,7 +1295,10 @@ fn construct_element(
     env: &mut EvalEnv,
     ctx: &mut DynamicContext,
 ) -> Result<NodeId> {
-    let el = env.store.create_element(QName::from(name));
+    let el = env
+        .store
+        .create_element(QName::from(name))
+        .map_err(internal)?;
     let mut builder = ContentBuilder::new(el, position, env.options.dup_attr_policy);
     for (aname, parts) in attrs {
         let mut value = String::new();
@@ -1306,7 +1313,8 @@ fn construct_element(
         }
         let attr = env
             .store
-            .create_attribute(QName::from(aname.as_str()), value);
+            .create_attribute(QName::from(aname.as_str()), value)
+            .map_err(internal)?;
         builder.add_attribute(attr, env.store)?;
     }
     for part in content {
@@ -1382,7 +1390,7 @@ impl ContentBuilder {
                 return Ok(());
             }
         }
-        let node = store.create_text(text);
+        let node = store.create_text(text).map_err(internal)?;
         store.append_child(self.element, node).map_err(internal)?;
         Ok(())
     }
@@ -1411,21 +1419,21 @@ impl ContentBuilder {
                                 )
                                 .at(self.position.0, self.position.1));
                             }
-                            let copy = store.deep_copy(n);
+                            let copy = store.deep_copy(n).map_err(internal)?;
                             self.add_attribute(copy, store)?;
                         }
                         NodeKind::Document => {
                             self.flush_pending(store)?;
                             // Documents splice their children.
                             for child in store.children(n).to_vec() {
-                                let copy = store.deep_copy(child);
+                                let copy = store.deep_copy(child).map_err(internal)?;
                                 store.append_child(self.element, copy).map_err(internal)?;
                             }
                             self.content_started = true;
                         }
                         _ => {
                             self.flush_pending(store)?;
-                            let copy = store.deep_copy(n);
+                            let copy = store.deep_copy(n).map_err(internal)?;
                             store.append_child(self.element, copy).map_err(internal)?;
                             self.content_started = true;
                         }

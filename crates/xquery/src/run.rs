@@ -34,9 +34,9 @@ use crate::engine::EngineOptions;
 use crate::error::{Error, ErrorCode, Result};
 use crate::eval::{
     arith, axis_candidates, compare_order_keys, dedup_sorted, eval_fused_descendant_step,
-    expand_descendant_or_self, fused_attr_eq_candidates, has_child_element_named, join_atomized,
-    predicate_outcome, singleton_integer, singleton_number, ContentBuilder, FusedAttrEq, FusedStep,
-    NumOperand,
+    expand_descendant_or_self, fused_attr_eq_candidates, has_child_element_named, internal,
+    join_atomized, predicate_outcome, singleton_integer, singleton_number, ContentBuilder,
+    FusedAttrEq, FusedStep, NumOperand,
 };
 use crate::functions::{dispatch_builtin, Builtin, CallCtx};
 use crate::lower::{
@@ -422,22 +422,13 @@ pub fn run(
                                     let count = match (n, fused) {
                                         (Some(n), FusedStep::ChildNamed(want)) => {
                                             env.stats.index_hits += 1;
-                                            env.store
-                                                .descendant_elements_by_local(n, want.local_sym())
-                                                .into_iter()
-                                                .filter(|&d| env.store.name(d) == Some(&want))
-                                                .count()
+                                            env.store.descendant_elements_by_name(n, &want).len()
                                         }
                                         (Some(n), FusedStep::AttrNamed(want)) => {
                                             env.stats.index_hits += 1;
                                             env.store
-                                                .descendant_or_self_attributes_by_local(
-                                                    n,
-                                                    want.local_sym(),
-                                                )
-                                                .into_iter()
-                                                .filter(|&d| env.store.name(d) == Some(&want))
-                                                .count()
+                                                .descendant_or_self_attributes_by_name(n, &want)
+                                                .len()
                                         }
                                         (None, fused) => {
                                             env.stats.index_misses += 1;
@@ -504,7 +495,7 @@ pub fn run(
             content,
             position,
         } => {
-            let el = env.store.create_element(*name);
+            let el = env.store.create_element(*name).map_err(internal)?;
             let mut builder = ContentBuilder::new(el, *position, env.options.dup_attr_policy);
             for (aname, parts) in attrs {
                 let mut value = String::new();
@@ -517,7 +508,10 @@ pub fn run(
                         }
                     }
                 }
-                let attr = env.store.create_attribute(*aname, value);
+                let attr = env
+                    .store
+                    .create_attribute(*aname, value)
+                    .map_err(internal)?;
                 builder.add_attribute(attr, env.store)?;
             }
             for part in content {
@@ -539,7 +533,7 @@ pub fn run(
             position,
         } => {
             let name = constructor_qname(name, env, frame, ctx, *position)?;
-            let el = env.store.create_element(name);
+            let el = env.store.create_element(name).map_err(internal)?;
             let mut builder = ContentBuilder::new(el, *position, env.options.dup_attr_policy);
             if let Some(content) = content {
                 let seq = run(content, env, frame, ctx)?;
@@ -562,7 +556,7 @@ pub fn run(
                 }
                 None => String::new(),
             };
-            let attr = env.store.create_attribute(name, text);
+            let attr = env.store.create_attribute(name, text).map_err(internal)?;
             Ok(Sequence::singleton(Item::Node(attr)))
         }
 
@@ -571,13 +565,19 @@ pub fn run(
             if seq.is_empty() {
                 return Ok(Sequence::empty());
             }
-            let node = env.store.create_text(join_atomized(&seq, env.store));
+            let node = env
+                .store
+                .create_text(join_atomized(&seq, env.store))
+                .map_err(internal)?;
             Ok(Sequence::singleton(Item::Node(node)))
         }
 
         LExpr::CompComment(e) => {
             let seq = run(e, env, frame, ctx)?;
-            let node = env.store.create_comment(join_atomized(&seq, env.store));
+            let node = env
+                .store
+                .create_comment(join_atomized(&seq, env.store))
+                .map_err(internal)?;
             Ok(Sequence::singleton(Item::Node(node)))
         }
 

@@ -294,8 +294,8 @@ mod tests {
     #[test]
     fn seq_type_matches_nodes() {
         let mut s = store();
-        let el = s.create_element("book");
-        let attr = s.create_attribute("year", "1983");
+        let el = s.create_element("book").unwrap();
+        let attr = s.create_attribute("year", "1983").unwrap();
         let el_item = Item::Node(el);
         let at_item = Item::Node(attr);
         assert!(ItemType::Element(None).matches(&el_item, &s));

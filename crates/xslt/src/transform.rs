@@ -40,7 +40,7 @@ impl CompiledStylesheet {
             cache: HashMap::new(),
             depth: 0,
         };
-        let out_doc = t.engine.store_mut().create_document();
+        let out_doc = t.engine.store_mut().create_document().map_err(internal)?;
         t.apply_templates(input_doc, 1, 1, out_doc)?;
         Ok(t.engine.store().to_xml(out_doc))
     }
@@ -106,7 +106,7 @@ impl Transformer<'_> {
                 return Ok(());
             }
         }
-        let node = self.out().create_text(text.to_string());
+        let node = self.out().create_text(text.to_string()).map_err(internal)?;
         self.out()
             .append_child(out_parent, node)
             .map_err(internal)?;
@@ -206,7 +206,7 @@ impl Transformer<'_> {
                     Some(local) => self.instruction(local, sheet_node, ctx, out_parent),
                     None => {
                         // Literal result element: copy, with AVT attributes.
-                        let el = self.out().create_element(name);
+                        let el = self.out().create_element(name).map_err(internal)?;
                         self.out().append_child(out_parent, el).map_err(internal)?;
                         for attr in self.sheet.store.attributes(sheet_node).to_vec() {
                             if let NodeKind::Attribute(an, av) = self.sheet.store.kind(attr).clone()
@@ -314,7 +314,7 @@ impl Transformer<'_> {
             }
             "copy" => match self.engine.store().kind(ctx.node).clone() {
                 NodeKind::Element(name) => {
-                    let el = self.out().create_element(name);
+                    let el = self.out().create_element(name).map_err(internal)?;
                     self.out().append_child(out_parent, el).map_err(internal)?;
                     self.instantiate_children(sheet_node, ctx, el)
                 }
@@ -344,13 +344,13 @@ impl Transformer<'_> {
                                 }
                             } else if self.engine.store().is_document(n) {
                                 for child in self.engine.store().children(n).to_vec() {
-                                    let copy = self.out().deep_copy(child);
+                                    let copy = self.out().deep_copy(child).map_err(internal)?;
                                     self.out()
                                         .append_child(out_parent, copy)
                                         .map_err(internal)?;
                                 }
                             } else {
-                                let copy = self.out().deep_copy(n);
+                                let copy = self.out().deep_copy(n).map_err(internal)?;
                                 self.out()
                                     .append_child(out_parent, copy)
                                     .map_err(internal)?;
@@ -369,7 +369,7 @@ impl Transformer<'_> {
             "element" => {
                 let name = self.required_attr(sheet_node, "name")?;
                 let name = self.avt(&name, ctx)?;
-                let el = self.out().create_element(name.as_str());
+                let el = self.out().create_element(name.as_str()).map_err(internal)?;
                 self.out().append_child(out_parent, el).map_err(internal)?;
                 self.instantiate_children(sheet_node, ctx, el)
             }
@@ -377,7 +377,10 @@ impl Transformer<'_> {
                 let name = self.required_attr(sheet_node, "name")?;
                 let name = self.avt(&name, ctx)?;
                 // Instantiate content into a detached holder, take its text.
-                let holder = self.out().create_element("xslt-attr-holder");
+                let holder = self
+                    .out()
+                    .create_element("xslt-attr-holder")
+                    .map_err(internal)?;
                 self.instantiate_children(sheet_node, ctx, holder)?;
                 let value = self.engine.store().string_value(holder);
                 self.out()
