@@ -74,7 +74,7 @@ fn main() {
         let baseline = args
             .get(pos + 1)
             .map(String::as_str)
-            .unwrap_or("BENCH_6.json");
+            .unwrap_or("BENCH_7.json");
         bench_gate(baseline);
     }
 }
@@ -108,6 +108,7 @@ const OBS_PROBES: &[(&str, &str)] = &[
         "let $d := /root return for $i in (1, 2, 3) return ($i, string($d/item[1]/@k))",
     ),
     ("streamed_existence", "exists(//leaf)"),
+    ("cursor_pick", "(//item)[3]"),
 ];
 
 /// Runs every probe on one engine and returns its counter block per probe.
@@ -133,7 +134,7 @@ fn obs_stats_json(name: &str, s: &EvalStats) -> String {
         "{{\"path\": \"{name}\", \"index_hits\": {}, \"index_misses\": {}, \
          \"join_builds\": {}, \"join_probes\": {}, \"join_fallbacks\": {}, \
          \"cache_hits\": {}, \"cache_resets\": {}, \"streamed_existence\": {}, \
-         \"items_allocated\": {}}}",
+         \"items_allocated\": {}, \"items_streamed\": {}, \"cursor_early_exits\": {}}}",
         s.index_hits,
         s.index_misses,
         s.join_builds,
@@ -142,7 +143,9 @@ fn obs_stats_json(name: &str, s: &EvalStats) -> String {
         s.cache_hits,
         s.cache_resets,
         s.streamed_existence,
-        s.items_allocated
+        s.items_allocated,
+        s.items_streamed,
+        s.cursor_early_exits
     )
 }
 
@@ -187,6 +190,11 @@ fn check_obs() {
         stream.streamed_existence > 0,
         "streamed-existence path did not count: {stream:?}"
     );
+    let pick = get("cursor_pick");
+    assert!(
+        pick.items_streamed > 0 && pick.cursor_early_exits > 0,
+        "cursor-pick path did not stream or early-exit: {pick:?}"
+    );
     for (name, stats) in &rows {
         println!("  {name:<20} {stats:?}");
     }
@@ -198,6 +206,53 @@ fn check_obs() {
                 "{name}: counter {counter} must be zero with the runtime passes off"
             );
         }
+    }
+
+    // The cursor runtime: streamed evaluation must cut `items_allocated`
+    // at least 10x against a force-materialised twin on the prefix and
+    // hash-join rows, and each streamed row's allocation ceiling is
+    // pinned so the paths cannot quietly regress to materialising again
+    // (BENCH_5/6 recorded 1000 allocations for the 100-tuple join probe;
+    // the build side now streams its key extraction).
+    let axis_doc = axis_bench_doc();
+    let obs = obs_doc();
+    for (name, doc_xml, src, ceiling) in [
+        (
+            "stream_prefix",
+            axis_doc.as_str(),
+            "//item[position() <= 5]",
+            16u64,
+        ),
+        ("stream_join", obs.as_str(), OBS_PROBES[0].1, 250),
+    ] {
+        let on = stream_probe(doc_xml, src, true);
+        let off = stream_probe(doc_xml, src, false);
+        assert!(
+            on.items_allocated <= ceiling,
+            "{name}: streamed run blew its allocation ceiling ({} > {ceiling}): {on:?}",
+            on.items_allocated
+        );
+        assert!(
+            off.items_allocated >= on.items_allocated.max(1) * 10,
+            "{name}: streaming must cut allocations at least 10x: on {} vs off {}",
+            on.items_allocated,
+            off.items_allocated
+        );
+        assert!(
+            on.items_streamed > 0,
+            "{name}: streamed run did not count its pulls: {on:?}"
+        );
+        for (counter, value) in off.stream_counters() {
+            assert_eq!(
+                value, 0,
+                "{name}: counter {counter} must be zero with streaming off"
+            );
+        }
+        println!(
+            "  {name:<20} items_allocated {} (streamed, ceiling {ceiling}) vs {} (materialised), \
+             {} pulled, {} early exit(s)",
+            on.items_allocated, off.items_allocated, on.items_streamed, on.cursor_early_exits
+        );
     }
 
     // The store substrate must also count: parsed documents land in the
@@ -222,6 +277,22 @@ fn check_obs() {
     );
     println!("  substrate {stats:?}, adopt shares records: {shared}");
     println!("  all observability counters check out (and zero out with XQ_OPT=0)");
+}
+
+/// Runs one query on a fresh engine with the cursor runtime on or off and
+/// returns its counter block — the before/after pair behind the 10x
+/// allocation claims.
+fn stream_probe(doc_xml: &str, src: &str, stream: bool) -> EvalStats {
+    let mut engine = Engine::with_options(EngineOptions {
+        stream,
+        ..Default::default()
+    });
+    let doc = engine
+        .load_document(doc_xml)
+        .expect("stream probe document");
+    let q = engine.compile(src).expect("stream probe compiles");
+    engine.evaluate(&q, Some(doc)).expect("stream probe runs");
+    *engine.last_stats()
 }
 
 /// Exercises the frozen-arena lifecycle once on the obs document: a frozen
@@ -477,6 +548,11 @@ const AXIS_MICRO: &[(&str, &str)] = &[
         "order_by_large_seq",
         "count(for $i in //item order by string($i/@k) descending, $i/@g return $i)",
     ),
+    // Cursor-runtime rows: positional early-exits and prefix windows that
+    // stop pulling long before the 2000-item axis is exhausted.
+    ("stream_prefix", "//item[position() <= 5]"),
+    ("stream_pick3", "(//item)[3]"),
+    ("stream_subseq", "subsequence(//item, 2, 3)"),
 ];
 
 /// Document backing [`AXIS_MICRO`]: a wide fan-out of attributed `item`
@@ -501,18 +577,18 @@ fn axis_bench_doc() -> String {
     s
 }
 
-/// `paper_tables -- bench-json` — writes `BENCH_6.json`: the BENCH_5
+/// `paper_tables -- bench-json` — writes `BENCH_7.json`: the BENCH_6
 /// sections (E1 calculus sweep, engine micro-benches, axis micro-benches,
-/// batch throughput, observability counter blocks — same protocol and
-/// units, so the trajectory stays comparable), plus a `store_substrate`
-/// section with the flat-arena counters (slice scans, snapshots, freezes)
-/// and the cross-store adopt identity check. Every timing row carries
-/// min/max and the relative spread next to the median, so a reader can tell
-/// a stable number from a noisy one. `host_cpus` records the machine's
-/// parallelism so scaling numbers read honestly: thread-level speedup is
-/// capped by the core count.
+/// batch throughput, observability counter blocks, store substrate — same
+/// protocol and units, so the trajectory stays comparable), with new axis
+/// rows for the cursor runtime's positional early-exits and the counter
+/// blocks extended with `items_streamed`/`cursor_early_exits`. Every
+/// timing row carries min/max and the relative spread next to the median,
+/// so a reader can tell a stable number from a noisy one. `host_cpus`
+/// records the machine's parallelism so scaling numbers read honestly:
+/// thread-level speedup is capped by the core count.
 fn bench_json() {
-    header("bench-json — writing BENCH_6.json (medians with min/max/spread, milliseconds)");
+    header("bench-json — writing BENCH_7.json (medians with min/max/spread, milliseconds)");
     // Micro rows sit in the tens of microseconds where a median of 5 still
     // wobbles visibly; batch rows run hundreds of milliseconds and 5 is
     // plenty.
@@ -607,11 +683,11 @@ fn bench_json() {
     obs_json(&mut out);
     substrate_json(&mut out);
     out.push_str("}\n");
-    std::fs::write("BENCH_6.json", &out).expect("writing BENCH_6.json");
-    println!("  wrote BENCH_6.json");
+    std::fs::write("BENCH_7.json", &out).expect("writing BENCH_7.json");
+    println!("  wrote BENCH_7.json");
 }
 
-/// Store-substrate section of `BENCH_6.json`: the flat-arena counters after
+/// Store-substrate section of `BENCH_7.json`: the flat-arena counters after
 /// one frozen descendant sweep, one O(1) snapshot, and a cross-store adopt.
 fn substrate_json(out: &mut String) {
     let (stats, shared) = substrate_probe();
@@ -623,7 +699,7 @@ fn substrate_json(out: &mut String) {
     println!("  substrate {stats:?}, adopt shares records: {shared}");
 }
 
-/// Observability sections of `BENCH_5.json`: the counter block each fast
+/// Observability sections of `BENCH_7.json`: the counter block each fast
 /// path reports on its probe query, measured with the runtime passes on and
 /// (separately) off. Numbers, not vibes: a claimed fast path that stops
 /// firing shows up here as a zero, and `check-obs` turns that into a CI

@@ -459,6 +459,33 @@ impl Store {
         }
     }
 
+    /// The `i`-th child of `id`, or `None` past the end. O(1) on both
+    /// substrates — a streaming cursor holds only `(id, i)` across pulls,
+    /// so the borrow of the child slice never outlives one call.
+    #[inline]
+    pub fn nth_child(&self, id: NodeId, i: usize) -> Option<&NodeId> {
+        self.children(id).get(i)
+    }
+
+    /// The number of children of `id`. O(1) on both substrates.
+    #[inline]
+    pub fn child_count(&self, id: NodeId) -> usize {
+        self.children(id).len()
+    }
+
+    /// The `i`-th attribute node of `id`, or `None` past the end. O(1) on
+    /// both substrates; the cursor counterpart of [`Store::nth_child`].
+    #[inline]
+    pub fn nth_attribute(&self, id: NodeId, i: usize) -> Option<&NodeId> {
+        self.attributes(id).get(i)
+    }
+
+    /// The number of attribute nodes of `id`. O(1) on both substrates.
+    #[inline]
+    pub fn attr_count(&self, id: NodeId) -> usize {
+        self.attributes(id).len()
+    }
+
     /// The name of an element or attribute node.
     #[inline]
     pub fn name(&self, id: NodeId) -> Option<&QName> {
@@ -2190,7 +2217,7 @@ mod tests {
         assert_eq!(s.doc_order(a, b), Some(Ordering::Less));
         let passes = s.index_passes();
         assert!(
-            passes >= 1 && passes < 16,
+            (1..16).contains(&passes),
             "stamp counter did not reset: {passes}"
         );
 

@@ -453,6 +453,190 @@ fn all_corpora_match_reference_with_runtime_opt_off() {
     }
 }
 
+/// A wide document for the streaming corpus: enough `item`s that positional
+/// early-exits have a tail to skip, a nested `item` (so `//item` and
+/// `/s/item` disagree), a non-matching sibling in the middle, and an
+/// attribute on every item for attribute-final chains.
+const STREAM_DOC: &str = "<s>\
+    <item k='a'><item k='nested'/></item>\
+    <item k='b'/><item k='c'/><item k='d'/><item k='e'/>\
+    <item k='f'/><item k='g'/><item k='h'/><item k='i'/>\
+    <gap/>\
+    <item k='j'/><item k='k'/>\
+</s>";
+
+/// Streaming corpus: every consumer the cursor runtime serves — positional
+/// predicates (all six operators plus bare integers, in-range and out),
+/// `subsequence`/`remove`/`insert-before` prefix windows, streamed `count`,
+/// `for`-bindings pulled tuple-at-a-time, quantifier early exits, and
+/// general comparisons with one streamed side. The trace cases pin the
+/// side-effect interleaving: a pull-driven loop must fire `fn:trace` in
+/// exactly the order the materialised run would, and an error raised
+/// mid-pull must surface at the same tuple with the same traces already
+/// emitted.
+const STREAM_CORPUS: &[&str] = &[
+    // Positional early-exits (the ISSUE's headline shapes).
+    "(//item)[3]",
+    "//item[position() <= 5]",
+    "subsequence(//item, 2, 3)",
+    "//item[position() = 4]",
+    "//item[position() < 3]",
+    "//item[position() > 9]",
+    "//item[position() >= 10]",
+    "//item[position() != 2]",
+    "//item[7]",
+    "//item[0]",
+    "//item[100]",
+    "(/s/item)[2]",
+    // Attribute-final chains, streamed and windowed.
+    "//item/@k",
+    "(//item/@k)[4]",
+    "subsequence(//item/@k, 3, 2)",
+    "subsequence(//item, 1, 0)",
+    "subsequence(//item, 0, 2)",
+    // Streamed count and the other prefix consumers.
+    "count(//item)",
+    "count(/s/item)",
+    "count(//item[position() <= 5])",
+    "remove(//item, 3)",
+    "remove(//item, 1)",
+    "remove(//item, 99)",
+    "insert-before(//item, 2, <x/>)",
+    "insert-before(//item, 99, <x/>)",
+    // FLWOR bindings pulled from a cursor, with per-tuple traces pinning
+    // the pull order against the materialised order.
+    "for $i in //item return string($i/@k)",
+    "for $i in //item where $i/@k = 'c' return $i",
+    "for $i at $p in //item return concat($p, ':', $i/@k)",
+    "for $i in //item return trace('pull=', string($i/@k))",
+    "count(for $i in //item return $i/@k)",
+    // Quantifiers: the streamed run stops pulling after the verdict, which
+    // must be unobservable — satisfies-side traces fire identically.
+    "some $i in //item satisfies $i/@k = 'c'",
+    "every $i in //item satisfies string-length($i/@k) >= 1",
+    "some $i in //item satisfies trace('q=', string($i/@k)) = 'c'",
+    "every $i in //item satisfies trace('e=', string($i/@k)) != 'd'",
+    "some $i in //item satisfies $i/@k = 'zzz'",
+    // General comparisons with one streamed side, both operand orders.
+    "//item/@k = 'd'",
+    "'d' = //item/@k",
+    "//item/@k = ('d', 'zzz')",
+    "//item/@k != 'a'",
+    "//item/@k = ()",
+    "//item/@k = //s/missing",
+    // Errors raised mid-pull surface at the same tuple, after the same
+    // traces, through both evaluators.
+    "for $i in //item return (trace('t=', string($i/@k)), $i/@k idiv 2)",
+    "(for $i in //item return trace('w=', string($i/@k)))[2]",
+    "some $i in //item satisfies ($i/@k idiv 2) = 0",
+];
+
+#[test]
+fn stream_corpus_matches_reference_standard() {
+    let mut e = Engine::with_options(EngineOptions {
+        dup_attr_policy: crate::engine::DupAttrPolicy::Error,
+        ..Default::default()
+    });
+    let doc = e.load_document(STREAM_DOC).unwrap();
+    for src in STREAM_CORPUS {
+        assert_equivalent(&mut e, src, Some(doc)).unwrap();
+    }
+}
+
+#[test]
+fn stream_corpus_matches_reference_galax_quirks() {
+    let mut e = Engine::galax();
+    let doc = e.load_document(STREAM_DOC).unwrap();
+    for src in STREAM_CORPUS {
+        assert_equivalent(&mut e, src, Some(doc)).unwrap();
+    }
+}
+
+#[test]
+fn stream_corpus_matches_reference_unoptimized() {
+    let mut e = Engine::with_options(EngineOptions {
+        optimize: false,
+        ..Default::default()
+    });
+    let doc = e.load_document(STREAM_DOC).unwrap();
+    for src in STREAM_CORPUS {
+        assert_equivalent(&mut e, src, Some(doc)).unwrap();
+    }
+}
+
+#[test]
+fn all_corpora_match_reference_with_stream_off() {
+    // The `XQ_OPT=0` mirror for the cursor runtime: every corpus with
+    // streaming forced off must match the walker — and, via the
+    // `stream-off` entry in `engine_configs()`, byte-match the streamed
+    // run everywhere else in this file.
+    let mut e = Engine::with_options(EngineOptions {
+        stream: false,
+        ..Default::default()
+    });
+    for (doc_xml, corpus) in [
+        (DOC, CORPUS),
+        (DEEP_DOC, AXIS_CORPUS),
+        (JOIN_DOC, JOIN_CORPUS),
+        (STREAM_DOC, STREAM_CORPUS),
+    ] {
+        let doc = e.load_document(doc_xml).unwrap();
+        for src in corpus {
+            assert_equivalent(&mut e, src, Some(doc)).unwrap();
+        }
+    }
+}
+
+#[test]
+fn stream_corpus_streamed_and_materialised_traces_are_identical() {
+    // Beyond walker equivalence: the streamed lowered run and the
+    // stream-off lowered run must produce the same display output AND the
+    // same `fn:trace` event order, with the streamed side never
+    // allocating more than the materialised side.
+    let mut on = Engine::new();
+    let mut off = Engine::with_options(EngineOptions {
+        stream: false,
+        ..Default::default()
+    });
+    let doc_on = on.load_document(STREAM_DOC).unwrap();
+    let doc_off = off.load_document(STREAM_DOC).unwrap();
+    for src in STREAM_CORPUS {
+        let q_on = on.compile(src).unwrap();
+        let q_off = off.compile(src).unwrap();
+        on.take_trace();
+        off.take_trace();
+        let a = on.evaluate(&q_on, Some(doc_on));
+        let b = off.evaluate(&q_off, Some(doc_off));
+        assert_eq!(
+            on.take_trace(),
+            off.take_trace(),
+            "trace order diverged on {src:?}"
+        );
+        match (a, b) {
+            (Ok(a), Ok(b)) => assert_eq!(
+                on.display_sequence(&a),
+                off.display_sequence(&b),
+                "value diverged on {src:?}"
+            ),
+            (Err(a), Err(b)) => assert_eq!(
+                (a.code, a.message, a.position),
+                (b.code, b.message, b.position),
+                "error diverged on {src:?}"
+            ),
+            (a, b) => panic!("outcome kind diverged on {src:?}: {a:?} vs {b:?}"),
+        }
+        assert!(
+            on.last_stats().items_allocated <= off.last_stats().items_allocated,
+            "streaming allocated more on {src:?}: {} vs {}",
+            on.last_stats().items_allocated,
+            off.last_stats().items_allocated
+        );
+        for (name, value) in off.last_stats().stream_counters() {
+            assert_eq!(value, 0, "counter {name} must be zero with streaming off");
+        }
+    }
+}
+
 /// Generator for the property-based differential run: well-formed-ish
 /// sources mixing bindings (live, dead, shadowed), arithmetic, sequences,
 /// traces, constructors, and deliberate failure paths.
@@ -875,8 +1059,81 @@ fn e1_join_is_observable_end_to_end() {
     );
 }
 
+/// A random streamable path for the cursor proptest: `/`- or `//`-rooted
+/// child steps over the `STREAM_DOC` name pool, an optional
+/// attribute-final step, and an optional positional predicate.
+fn stream_path() -> impl Strategy<Value = String> {
+    let name = prop::sample::select(vec!["s", "item", "gap", "missing"]);
+    let step =
+        (any::<bool>(), name).prop_map(|(ds, n)| format!("{}{}", if ds { "//" } else { "/" }, n));
+    let pred = prop::option::of(
+        (
+            prop::sample::select(vec!["=", "!=", "<", "<=", ">", ">="]),
+            0i64..8,
+        )
+            .prop_map(|(op, n)| format!("[position() {op} {n}]")),
+    );
+    (prop::collection::vec(step, 1..4), any::<bool>(), pred).prop_map(|(steps, attr, pred)| {
+        let mut s: String = steps.concat();
+        if attr {
+            s.push_str("/@k");
+        }
+        if let Some(p) = pred {
+            s.push_str(&p);
+        }
+        s
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random streamable paths, wrapped in every cursor-served consumer,
+    /// against a force-materialised twin (`stream: false`): the displayed
+    /// value must be identical and the streamed run must never allocate
+    /// more items than the materialised one — the cursor is a pure
+    /// evaluation-order change, visible only in the counters.
+    #[test]
+    fn streamed_paths_match_materialised_twin_and_never_allocate_more(
+        path in stream_path(),
+        consumer in 0usize..6,
+        s in 0i64..6,
+        l in 0i64..6,
+    ) {
+        let src = match consumer {
+            0 => path.clone(),
+            1 => format!("count({path})"),
+            2 => format!("subsequence({path}, {s}, {l})"),
+            3 => format!("({path})[{s}]"),
+            4 => format!("for $i in {path} return string($i)"),
+            _ => format!("some $i in {path} satisfies string-length(string($i)) > {l}"),
+        };
+        let mut on = Engine::new();
+        let mut off = Engine::with_options(EngineOptions {
+            stream: false,
+            ..Default::default()
+        });
+        let doc_on = on.load_document(STREAM_DOC).unwrap();
+        let doc_off = off.load_document(STREAM_DOC).unwrap();
+        let a = on.evaluate_str(&src, Some(doc_on)).unwrap();
+        let b = off.evaluate_str(&src, Some(doc_off)).unwrap();
+        prop_assert_eq!(
+            on.display_sequence(&a),
+            off.display_sequence(&b),
+            "value diverged on {}",
+            src
+        );
+        prop_assert!(
+            on.last_stats().items_allocated <= off.last_stats().items_allocated,
+            "streaming allocated more on {}: {} vs {}",
+            src,
+            on.last_stats().items_allocated,
+            off.last_stats().items_allocated
+        );
+        for (name, value) in off.last_stats().stream_counters() {
+            prop_assert_eq!(value, 0, "counter {} must be zero with streaming off", name);
+        }
+    }
 
     /// The counter block is a property of the query, not of the pool: the
     /// same evaluation on 1-, 2-, and 4-worker engines reports identical
@@ -964,8 +1221,9 @@ use crate::engine::{CompiledQuery, DupAttrPolicy, StackPool};
 use std::sync::Arc;
 
 /// The engine configurations the serial corpus tests above run under, plus
-/// the two optimiser-off variants: AST optimizer off, and the lowered-plan
-/// passes (hoisting, hash join, streamed existence) off.
+/// the three opt-out variants: AST optimizer off, the lowered-plan passes
+/// (hoisting, hash join, streamed existence) off, and the cursor runtime
+/// off (everything materialises eagerly, the `XQ_STREAM=0` shape).
 fn engine_configs() -> Vec<(&'static str, EngineOptions)> {
     vec![
         (
@@ -999,6 +1257,13 @@ fn engine_configs() -> Vec<(&'static str, EngineOptions)> {
                 ..Default::default()
             },
         ),
+        (
+            "stream-off",
+            EngineOptions {
+                stream: false,
+                ..Default::default()
+            },
+        ),
     ]
 }
 
@@ -1015,6 +1280,9 @@ fn corpus_cases() -> Vec<(Option<&'static str>, &'static str)> {
     }
     for src in JOIN_CORPUS {
         cases.push((Some(JOIN_DOC), *src));
+    }
+    for src in STREAM_CORPUS {
+        cases.push((Some(STREAM_DOC), *src));
     }
     cases
 }

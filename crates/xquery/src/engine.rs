@@ -74,6 +74,18 @@ pub struct EngineOptions {
     /// [`EngineOptions::optimize`], which is the paper-faithful *AST*
     /// optimizer whose quirks-mode trace-DCE is itself under test.
     pub runtime_opt: bool,
+    /// Enable the pull-based cursor runtime: qualifying paths, FLWOR `for`
+    /// bindings, and prefix-consuming builtins evaluate by pulling items
+    /// through [`crate::cursor`] instead of materialising every
+    /// intermediate sequence. Streamed pulls are effect-free and
+    /// infallible by construction (the gate admits only predicate-free or
+    /// positionally-predicated child/attribute steps), so the toggle must
+    /// be observably invisible; the differential suite runs with it both
+    /// on and off. Defaults to `true`; setting the `XQ_STREAM=0`
+    /// environment variable forces it off — the streaming mirror of
+    /// `XQ_OPT=0` above, and independent of it so CI covers all four
+    /// combinations.
+    pub stream: bool,
 }
 
 impl Default for EngineOptions {
@@ -87,6 +99,7 @@ impl Default for EngineOptions {
             eval_stack_bytes: 256 * 1024 * 1024,
             eval_workers: 1,
             runtime_opt: std::env::var("XQ_OPT").map_or(true, |v| v != "0"),
+            stream: std::env::var("XQ_STREAM").map_or(true, |v| v != "0"),
         }
     }
 }

@@ -32,6 +32,7 @@
 pub mod ast;
 pub mod compare;
 pub mod context;
+pub mod cursor;
 pub mod engine;
 pub mod error;
 pub mod eval;

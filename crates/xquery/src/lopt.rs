@@ -54,6 +54,12 @@ pub struct PlanStats {
     /// Final `for` clauses whose `where` equality was marked for the
     /// runtime hash join (see [`LFlworClause::For::join`]).
     pub hash_joins: usize,
+    /// `for` clauses whose binding sequence is a bare streamable path —
+    /// the runner pulls their tuples from a cursor instead of materialising
+    /// the sequence (unless the clause was claimed by the hash join, whose
+    /// table build wants the whole sequence). Counted here, after the join
+    /// mark, so the plan header reflects the final dispatch.
+    pub streamable_bindings: usize,
 }
 
 /// Runs the pass over every executable body in the program, growing each
@@ -105,6 +111,18 @@ fn walk(e: &mut LExpr, alloc: &mut SlotAlloc, stats: &mut PlanStats) {
     {
         hoist_flwor(clauses, where_, order_by, return_, alloc, stats);
         mark_hash_join(clauses, where_, stats);
+        for c in clauses.iter() {
+            if let LFlworClause::For {
+                seq: LExpr::Path { steps, .. },
+                join: None,
+                ..
+            } = c
+            {
+                if crate::cursor::classify_steps(steps).is_some() {
+                    stats.streamable_bindings += 1;
+                }
+            }
+        }
     }
     for_each_child(e, &mut |c| walk(c, alloc, stats));
 }

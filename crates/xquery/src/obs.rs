@@ -65,8 +65,18 @@ pub struct EvalStats {
     /// answered by the streamed existence walk without materialising the
     /// path.
     pub streamed_existence: u64,
-    /// Items appended to FLWOR result sequences (tuple output volume).
+    /// Items appended to materialised sequences by the runner: FLWOR tuple
+    /// output, per-step path results (descendant expansions, step maps,
+    /// fused index answers). The number the cursor runtime exists to drive
+    /// down — `check-obs` pins the streamed/materialised ratio.
     pub items_allocated: u64,
+    /// Items emitted by a streaming path cursor — pulled one at a time by a
+    /// consumer instead of being appended to an intermediate sequence.
+    pub items_streamed: u64,
+    /// Cursors abandoned before exhaustion: a prefix consumer, quantifier,
+    /// positional filter, or existential compare decided it needed no more
+    /// items while the walk still had frames left.
+    pub cursor_early_exits: u64,
     /// Nanoseconds the evaluation job waited in the pool queue before a
     /// worker picked it up. Zero when run inline on a worker.
     pub queue_wait_ns: u64,
@@ -86,6 +96,8 @@ impl EvalStats {
         self.cache_resets += other.cache_resets;
         self.streamed_existence += other.streamed_existence;
         self.items_allocated += other.items_allocated;
+        self.items_streamed += other.items_streamed;
+        self.cursor_early_exits += other.cursor_early_exits;
         self.queue_wait_ns += other.queue_wait_ns;
         self.on_worker_ns += other.on_worker_ns;
     }
@@ -111,6 +123,16 @@ impl EvalStats {
             ("cache_hits", self.cache_hits),
             ("cache_resets", self.cache_resets),
             ("streamed_existence", self.streamed_existence),
+        ]
+    }
+
+    /// The counters attributable to the streaming cursor runtime; all zero
+    /// when [`EngineOptions::stream`](crate::EngineOptions) is off (the
+    /// `XQ_STREAM=0` toggle), which `check-obs` pins.
+    pub fn stream_counters(&self) -> [(&'static str, u64); 2] {
+        [
+            ("items_streamed", self.items_streamed),
+            ("cursor_early_exits", self.cursor_early_exits),
         ]
     }
 }
@@ -205,8 +227,11 @@ pub fn explain(program: &Program, plan_stats: &PlanStats) -> String {
         collect_resets(&g.expr, &mut resets);
     }
     let mut out = format!(
-        "plan: {} hash join(s), {} invariant hoist(s), {} per-tuple cache(s)\n",
-        plan_stats.hash_joins, plan_stats.hoisted_invariant, plan_stats.cached_per_tuple
+        "plan: {} hash join(s), {} invariant hoist(s), {} per-tuple cache(s), {} streamable binding(s)\n",
+        plan_stats.hash_joins,
+        plan_stats.hoisted_invariant,
+        plan_stats.cached_per_tuple,
+        plan_stats.streamable_bindings
     );
     let cx = ExplainCx {
         program,
@@ -338,26 +363,50 @@ fn annotations(e: &LExpr, cx: &ExplainCx) -> Vec<String> {
                         );
                     }
                     if matches!(builtin, B::Count) {
+                        let mut fused = false;
                         if let [step] = &steps[..] {
                             if step.double_slash
                                 && crate::run::fused_double_slash_step(&step.expr).is_some()
                             {
+                                fused = true;
                                 out.push(
                                     "index-range count: answered from the per-tree name index"
                                         .to_string(),
                                 );
                             }
                         }
+                        if !fused && crate::cursor::classify_steps(steps).is_some() {
+                            out.push(
+                                "streamed count: items pulled and discarded, never materialised"
+                                    .to_string(),
+                            );
+                        }
+                    }
+                }
+            }
+            if matches!(builtin, B::Subsequence) {
+                if let Some(LExpr::Path { steps, .. }) = args.first() {
+                    if crate::cursor::classify_steps(steps).is_some()
+                        && args[1..]
+                            .iter()
+                            .all(|a| matches!(a, LExpr::Literal(crate::value::Atomic::Int(_))))
+                    {
+                        out.push("streamed subsequence: stops pulling past the window".to_string());
                     }
                 }
             }
         }
-        LExpr::Path { steps, .. }
-            if steps.iter().any(|s| {
-                s.double_slash && crate::run::fused_double_slash_step(&s.expr).is_some()
-            }) =>
-        {
-            out.push("`//` step answered from the per-tree name index".to_string());
+        LExpr::Path { steps, .. } => {
+            if steps
+                .iter()
+                .any(|s| s.double_slash && crate::run::fused_double_slash_step(&s.expr).is_some())
+            {
+                out.push("`//` step answered from the per-tree name index".to_string());
+            } else if let Some(plan) = crate::cursor::classify_steps(steps) {
+                if plan.has_positional() {
+                    out.push("streamed path: pull cursor with positional early-exit".to_string());
+                }
+            }
         }
         LExpr::AxisStep {
             axis,
@@ -406,6 +455,10 @@ fn render(e: &LExpr, depth: usize, cx: &ExplainCx, out: &mut String) {
                         head.push_str(&format!(
                             "  [hash join: build side; key = {side:?} operand of `where`]"
                         ));
+                    } else if let LExpr::Path { steps, .. } = seq {
+                        if crate::cursor::classify_steps(steps).is_some() {
+                            head.push_str("  [streamed binding: tuples pulled from a cursor]");
+                        }
                     }
                     if !reset_entry.is_empty() {
                         head.push_str(&format!(

@@ -30,6 +30,7 @@ use crate::compare::{
     string_family, value_compare,
 };
 use crate::context::{DynamicContext, Focus};
+use crate::cursor::{classify_steps, positional_predicate, PathCursor};
 use crate::engine::EngineOptions;
 use crate::error::{Error, ErrorCode, Result};
 use crate::eval::{
@@ -178,6 +179,31 @@ pub fn run(
         }
 
         LExpr::GeneralCmp(op, l, r) => {
+            // Existential semantics stop at the first hit, so a streamable
+            // path operand compared against a singleton pulls one item at a
+            // time and abandons the walk on success. Effect order is the
+            // generic one: the left operand (or, for a streamed right side,
+            // the whole left) is evaluated before the right, and cursor
+            // pulls themselves are effect-free.
+            if env.options.stream {
+                if let LExpr::Path { start, steps } = &**l {
+                    if let Some(stream) = open_path_stream(start, steps, env, frame, ctx)? {
+                        let rv = run(r, env, frame, ctx)?;
+                        let b = stream_compare(stream, *op, &rv, false, env);
+                        return Ok(Atomic::Bool(b).into());
+                    }
+                } else if let LExpr::Path { start, steps } = &**r {
+                    // Classify structurally *before* evaluating the left
+                    // operand so the fallback path still runs l-then-r.
+                    if classify_steps(steps).is_some() {
+                        let lv = run(l, env, frame, ctx)?;
+                        let stream = open_path_stream(start, steps, env, frame, ctx)?
+                            .expect("classified above and streaming is on");
+                        let b = stream_compare(stream, *op, &lv, true, env);
+                        return Ok(Atomic::Bool(b).into());
+                    }
+                }
+            }
             let l = run(l, env, frame, ctx)?;
             let r = run(r, env, frame, ctx)?;
             // Both operands are fully evaluated before the comparison and
@@ -362,22 +388,42 @@ pub fn run(
         }
 
         LExpr::Path { start, steps } => {
-            let mut current = run(start, env, frame, ctx)?;
-            for step in steps {
-                if step.double_slash {
-                    if let Some(fused) = fused_double_slash_step(&step.expr) {
-                        env.stats.index_hits += 1;
-                        current = eval_fused_descendant_step(&current, fused, env.store)?;
-                        continue;
-                    }
-                    current = expand_descendant_or_self(&current, env.store)?;
+            // A bare path must materialise its whole result anyway, so the
+            // cursor only takes over when the final step carries a
+            // positional predicate — the shape where the generic evaluator
+            // expands every descendant-or-self context first (thousands of
+            // nodes for a handful kept). Predicate-free paths keep the name
+            // index fast paths of the step loop.
+            if env.options.stream && classify_steps(steps).is_some_and(|p| p.has_positional()) {
+                if let Some(stream) = open_path_stream(start, steps, env, frame, ctx)? {
+                    let out = match stream {
+                        PathStream::Cursor(mut cur) => {
+                            let out = cur.materialize(env.store, env.stats);
+                            env.stats.items_allocated += out.len() as u64;
+                            out
+                        }
+                        PathStream::Done(seq) => seq,
+                    };
+                    return Ok(out);
                 }
-                current = map_step(&current, &step.expr, env, frame, ctx)?;
             }
-            Ok(current)
+            let start_seq = run(start, env, frame, ctx)?;
+            finish_path_from(start_seq, steps, env, frame, ctx)
         }
 
         LExpr::Filter(base, predicates) => {
+            // `(PATH)[3]`-style filters select by *global* position, so the
+            // cursor stops pulling the moment the window is closed — the
+            // early-exit shape the paper's prefix queries want.
+            if env.options.stream {
+                if let (LExpr::Path { start, steps }, [p]) = (&**base, predicates.as_slice()) {
+                    if let Some((op, n)) = positional_predicate(p) {
+                        if let Some(stream) = open_path_stream(start, steps, env, frame, ctx)? {
+                            return Ok(stream_filter_positional(stream, op, n, env));
+                        }
+                    }
+                }
+            }
             let seq = run(base, env, frame, ctx)?;
             apply_predicates_items(seq, predicates, env, frame, ctx)
         }
@@ -443,6 +489,11 @@ pub fn run(
                             }
                         }
                     }
+                }
+            }
+            if env.options.stream {
+                if let Some(out) = stream_builtin(*builtin, args, env, frame, ctx)? {
+                    return Ok(out);
                 }
             }
             let mut values = Vec::with_capacity(args.len());
@@ -713,6 +764,44 @@ struct JoinState {
     table: Option<HashMap<String, Vec<usize>>>,
 }
 
+/// True when a marked join's build side provably yields the same sequence
+/// on every outer tuple: a context-rooted path of pure streamable steps
+/// (child/attribute axes, at most positional-literal predicates). No value
+/// predicates means no errors and no traces; no variables means no
+/// dependence on the loop; and constructors only ever grow new trees, so
+/// the path's answer cannot change mid-query.
+fn join_build_invariant(seq: &LExpr) -> bool {
+    let LExpr::Path { start, steps } = seq else {
+        return false;
+    };
+    matches!(**start, LExpr::Root(_)) && classify_steps(steps).is_some()
+}
+
+/// Where the tuple output of an unordered FLWOR goes. `count(FLWOR)` only
+/// observes the length, so it runs the pipeline with a [`FlworOut::Count`]
+/// sink: `return` is still evaluated per tuple — its errors, traces, and
+/// constructed nodes are the tuple's own — but the result items are tallied
+/// and dropped instead of being collected (and counted as allocated).
+enum FlworOut {
+    Collect(Sequence),
+    Count(u64),
+}
+
+impl FlworOut {
+    fn push(&mut self, value: Sequence, stats: &mut EvalStats) {
+        match self {
+            FlworOut::Collect(seq) => {
+                stats.items_allocated += value.len() as u64;
+                seq.push_seq(value);
+            }
+            FlworOut::Count(n) => {
+                stats.items_streamed += value.len() as u64;
+                *n += value.len() as u64;
+            }
+        }
+    }
+}
+
 fn run_flwor(
     clauses: &[LFlworClause],
     where_: Option<&LExpr>,
@@ -723,7 +812,7 @@ fn run_flwor(
     ctx: &mut DynamicContext,
 ) -> Result<Sequence> {
     let mut keyed: Vec<(Vec<Option<Atomic>>, Sequence)> = Vec::new();
-    let mut plain = Sequence::empty();
+    let mut out = FlworOut::Collect(Sequence::empty());
     let mut jstate: Option<JoinState> = None;
     flwor_tuples(
         clauses,
@@ -735,11 +824,14 @@ fn run_flwor(
         frame,
         ctx,
         &mut keyed,
-        &mut plain,
+        &mut out,
         &mut jstate,
     )?;
 
     if order_by.is_empty() {
+        let FlworOut::Collect(plain) = out else {
+            unreachable!("run_flwor always collects");
+        };
         return Ok(plain);
     }
     keyed.sort_by(|(ka, _), (kb, _)| {
@@ -759,6 +851,39 @@ fn run_flwor(
     Ok(Sequence::concat(keyed.into_iter().map(|(_, v)| v)))
 }
 
+/// Runs an unordered FLWOR for `fn:count` alone: same tuple pipeline, same
+/// per-tuple `return` evaluation (errors, traces, constructed nodes all
+/// fire identically), but the result items are counted and dropped.
+fn run_flwor_count(
+    clauses: &[LFlworClause],
+    where_: Option<&LExpr>,
+    return_: &LExpr,
+    env: &mut RunEnv,
+    frame: &mut Frame,
+    ctx: &mut DynamicContext,
+) -> Result<u64> {
+    let mut keyed: Vec<(Vec<Option<Atomic>>, Sequence)> = Vec::new();
+    let mut out = FlworOut::Count(0);
+    let mut jstate: Option<JoinState> = None;
+    flwor_tuples(
+        clauses,
+        0,
+        where_,
+        &[],
+        return_,
+        env,
+        frame,
+        ctx,
+        &mut keyed,
+        &mut out,
+        &mut jstate,
+    )?;
+    let FlworOut::Count(n) = out else {
+        unreachable!("run_flwor_count always counts");
+    };
+    Ok(n)
+}
+
 #[allow(clippy::too_many_arguments)]
 fn flwor_tuples(
     clauses: &[LFlworClause],
@@ -770,7 +895,7 @@ fn flwor_tuples(
     frame: &mut Frame,
     ctx: &mut DynamicContext,
     keyed: &mut Vec<(Vec<Option<Atomic>>, Sequence)>,
-    plain: &mut Sequence,
+    out: &mut FlworOut,
     jstate: &mut Option<JoinState>,
 ) -> Result<()> {
     if idx == clauses.len() {
@@ -781,8 +906,7 @@ fn flwor_tuples(
         }
         if order_by.is_empty() {
             let value = run(return_, env, frame, ctx)?;
-            env.stats.items_allocated += value.len() as u64;
-            plain.push_seq(value);
+            out.push(value, env.stats);
         } else {
             let mut keys = Vec::with_capacity(order_by.len());
             for spec in order_by {
@@ -819,7 +943,70 @@ fn flwor_tuples(
             for slot in reset_entry {
                 frame.clear(*slot);
             }
-            let items = run(seq, env, frame, ctx)?;
+            // A bare streamable path binds its tuples straight off the
+            // cursor: the binding sequence is never built. Clauses claimed
+            // by the hash join keep materialising — the join's table build
+            // and `same_alloc` reuse check want the whole sequence — as do
+            // `CacheOnce`-wrapped sequences (the cell holds the
+            // materialised value by design).
+            let items = 'materialized: {
+                // A marked join whose build side is a context-rooted pure
+                // path re-evaluates it per outer tuple (the hoister leaves
+                // context-rooted paths put), so every entry made a fresh
+                // allocation, `same_alloc` failed, and the table was
+                // rebuilt for every tuple — 100 builds for a 100-tuple
+                // probe in BENCH_5/6. Such a path cannot raise, trace, or
+                // see loop bindings, and mid-query construction only grows
+                // new trees, so the first build's sequence is reused
+                // outright: one build, every later tuple probes.
+                if env.options.runtime_opt && idx + 1 == clauses.len() && join.is_some() {
+                    if let Some(state) = jstate.as_ref() {
+                        if join_build_invariant(seq) {
+                            break 'materialized state.seq.clone();
+                        }
+                    }
+                }
+                if env.options.stream && join.is_none() {
+                    if let LExpr::Path { start, steps } = seq {
+                        match open_path_stream(start, steps, env, frame, ctx)? {
+                            Some(PathStream::Done(v)) => break 'materialized v,
+                            Some(PathStream::Cursor(mut cur)) => {
+                                let mut i = 0i64;
+                                while let Some(item) = cur.next(env.store, env.stats) {
+                                    env.stats.cache_resets += reset_iter.len() as u64;
+                                    for slot in reset_iter {
+                                        frame.clear(*slot);
+                                    }
+                                    frame.set(*var, Arc::new(Sequence::singleton(item)));
+                                    if let Some(at_slot) = at {
+                                        frame.set(
+                                            *at_slot,
+                                            Arc::new(Sequence::singleton(Item::integer(i + 1))),
+                                        );
+                                    }
+                                    flwor_tuples(
+                                        clauses,
+                                        idx + 1,
+                                        where_,
+                                        order_by,
+                                        return_,
+                                        env,
+                                        frame,
+                                        ctx,
+                                        keyed,
+                                        out,
+                                        jstate,
+                                    )?;
+                                    i += 1;
+                                }
+                                return Ok(());
+                            }
+                            None => {}
+                        }
+                    }
+                }
+                run(seq, env, frame, ctx)?
+            };
             if env.options.runtime_opt && idx + 1 == clauses.len() {
                 if let (Some(side), Some(LExpr::GeneralCmp(CmpOp::Eq, l, r))) = (join, where_) {
                     let (key_e, probe_e) = match side {
@@ -828,7 +1015,7 @@ fn flwor_tuples(
                     };
                     return join_for(
                         items, *var, reset_iter, key_e, probe_e, clauses, idx, where_, order_by,
-                        return_, env, frame, ctx, keyed, plain, jstate,
+                        return_, env, frame, ctx, keyed, out, jstate,
                     );
                 }
             }
@@ -854,7 +1041,7 @@ fn flwor_tuples(
                     frame,
                     ctx,
                     keyed,
-                    plain,
+                    out,
                     jstate,
                 )?;
             }
@@ -881,7 +1068,7 @@ fn flwor_tuples(
                 frame,
                 ctx,
                 keyed,
-                plain,
+                out,
                 jstate,
             )
         }
@@ -918,7 +1105,7 @@ fn join_for(
     frame: &mut Frame,
     ctx: &mut DynamicContext,
     keyed: &mut Vec<(Vec<Option<Atomic>>, Sequence)>,
-    plain: &mut Sequence,
+    out: &mut FlworOut,
     jstate: &mut Option<JoinState>,
 ) -> Result<()> {
     if items.is_empty() {
@@ -936,11 +1123,9 @@ fn join_for(
     if rebuild {
         *jstate = None;
         bind(frame, &mut *env.stats, &items.items()[0]);
-        let v = run(key_e, env, frame, ctx)?;
-        first_key_atoms = Some(atomize(&v, env.store));
+        first_key_atoms = Some(key_atoms(key_e, env, frame, ctx)?);
     }
-    let probe_v = run(probe_e, env, frame, ctx)?;
-    let probe_atoms = atomize(&probe_v, env.store);
+    let probe_atoms = key_atoms(probe_e, env, frame, ctx)?;
     if let Some(first) = first_key_atoms {
         let mut table: Option<HashMap<String, Vec<usize>>> = Some(HashMap::new());
         let insert =
@@ -962,8 +1147,7 @@ fn join_for(
         if insert(&mut table, &first, 0) {
             for i in 1..items.len() {
                 bind(frame, &mut *env.stats, &items.items()[i]);
-                let v = run(key_e, env, frame, ctx)?;
-                let atoms = atomize(&v, env.store);
+                let atoms = key_atoms(key_e, env, frame, ctx)?;
                 if !insert(&mut table, &atoms, i) {
                     break;
                 }
@@ -1016,7 +1200,7 @@ fn join_for(
                     frame,
                     ctx,
                     keyed,
-                    plain,
+                    out,
                     jstate,
                 )?;
             }
@@ -1035,7 +1219,7 @@ fn join_for(
                     frame,
                     ctx,
                     keyed,
-                    plain,
+                    out,
                     jstate,
                 )?;
             }
@@ -1058,7 +1242,46 @@ fn quantified(
         return run_ebv(satisfies, env, frame, ctx);
     }
     let (slot, seq_expr) = &bindings[idx];
-    let items = run(seq_expr, env, frame, ctx)?;
+    // Quantifiers are the ideal cursor consumer: `some` stops at the first
+    // satisfying binding, `every` at the first failing one, and with a
+    // streamed binding sequence the abandoned remainder was never built.
+    let items = 'materialized: {
+        if env.options.stream {
+            if let LExpr::Path { start, steps } = seq_expr {
+                match open_path_stream(start, steps, env, frame, ctx)? {
+                    Some(PathStream::Done(v)) => break 'materialized v,
+                    Some(PathStream::Cursor(mut cur)) => {
+                        while let Some(item) = cur.next(env.store, env.stats) {
+                            frame.set(*slot, Arc::new(Sequence::singleton(item)));
+                            let hit = quantified(
+                                quantifier,
+                                bindings,
+                                satisfies,
+                                idx + 1,
+                                env,
+                                frame,
+                                ctx,
+                            )?;
+                            match quantifier {
+                                Quantifier::Some if hit => {
+                                    cur.finish_early(env.stats);
+                                    return Ok(true);
+                                }
+                                Quantifier::Every if !hit => {
+                                    cur.finish_early(env.stats);
+                                    return Ok(false);
+                                }
+                                _ => {}
+                            }
+                        }
+                        return Ok(matches!(quantifier, Quantifier::Every));
+                    }
+                    None => {}
+                }
+            }
+        }
+        run(seq_expr, env, frame, ctx)?
+    };
     for item in items.into_items() {
         frame.set(*slot, Arc::new(Sequence::singleton(item)));
         let hit = quantified(quantifier, bindings, satisfies, idx + 1, env, frame, ctx)?;
@@ -1118,19 +1341,428 @@ fn path_exists(
             Ok(nodes.iter().any(|&n| step_any(env.store, n, steps)))
         }
         None => {
-            let mut current = start_seq;
-            for step in steps {
-                if step.double_slash {
-                    if let Some(fused) = fused_double_slash_step(&step.expr) {
-                        current = eval_fused_descendant_step(&current, fused, env.store)?;
-                        continue;
-                    }
-                    current = expand_descendant_or_self(&current, env.store)?;
-                }
-                current = map_step(&current, &step.expr, env, frame, ctx)?;
-            }
+            let current = finish_path_from(start_seq, steps, env, frame, ctx)?;
             Ok(!current.is_empty())
         }
+    }
+}
+
+// ----------------------------------------------------------------------
+// The cursor runtime (see crate::cursor for the protocol)
+// ----------------------------------------------------------------------
+
+/// One opened path: either a live cursor (streamable steps, singleton node
+/// start) or the materialised result of finishing the path generically.
+enum PathStream<'p> {
+    Cursor(PathCursor<'p>),
+    Done(Sequence),
+}
+
+/// Opens a path for streaming. Classification is pure, so nothing is
+/// evaluated on the `None` (not streamable / streaming off) return and the
+/// caller proceeds exactly as before. Otherwise the start expression is
+/// evaluated exactly once — its errors and traces are the path's own and
+/// fire here, in source order — and a singleton node start yields a cursor.
+/// Any other start (multiple nodes, atomics, empty) finishes on the generic
+/// evaluator *from the already-evaluated start*, never re-running it, so
+/// `XPTY0019` on atomic starts and multi-node dedup semantics are
+/// unchanged.
+fn open_path_stream<'p>(
+    start: &LExpr,
+    steps: &'p [LPathStep],
+    env: &mut RunEnv,
+    frame: &mut Frame,
+    ctx: &mut DynamicContext,
+) -> Result<Option<PathStream<'p>>> {
+    if !env.options.stream {
+        return Ok(None);
+    }
+    let Some(plan) = classify_steps(steps) else {
+        return Ok(None);
+    };
+    let start_seq = run(start, env, frame, ctx)?;
+    if let Some(Item::Node(n)) = start_seq.as_singleton() {
+        return Ok(Some(PathStream::Cursor(PathCursor::new(plan, *n))));
+    }
+    let done = finish_path_from(start_seq, steps, env, frame, ctx)?;
+    Ok(Some(PathStream::Done(done)))
+}
+
+/// The generic materialised step loop, from an already-evaluated start.
+/// Every intermediate sequence it builds is tallied in `items_allocated` —
+/// the cost the cursor runtime exists to avoid.
+fn finish_path_from(
+    start_seq: Sequence,
+    steps: &[LPathStep],
+    env: &mut RunEnv,
+    frame: &mut Frame,
+    ctx: &mut DynamicContext,
+) -> Result<Sequence> {
+    let mut current = start_seq;
+    for step in steps {
+        if step.double_slash {
+            if let Some(fused) = fused_double_slash_step(&step.expr) {
+                env.stats.index_hits += 1;
+                current = eval_fused_descendant_step(&current, fused, env.store)?;
+                env.stats.items_allocated += current.len() as u64;
+                continue;
+            }
+            current = expand_descendant_or_self(&current, env.store)?;
+            env.stats.items_allocated += current.len() as u64;
+        }
+        current = map_step(&current, &step.expr, env, frame, ctx)?;
+    }
+    Ok(current)
+}
+
+/// Existential general comparison with one side streamed. Against an empty
+/// or singleton other side the cursor is pulled item by item and abandoned
+/// at the first hit; against a longer side the per-pull rescan would buy
+/// nothing, so the walk is drained and the generic (hashed under
+/// `runtime_opt`) comparison runs. `cursor_is_right` keeps the operand
+/// order straight for the asymmetric operators (`<`, `>=`, …).
+fn stream_compare(
+    stream: PathStream,
+    op: CmpOp,
+    other: &Sequence,
+    cursor_is_right: bool,
+    env: &mut RunEnv,
+) -> bool {
+    let seq = match stream {
+        PathStream::Done(seq) => seq,
+        PathStream::Cursor(mut cur) => {
+            if other.is_empty() {
+                // No pair to compare: false regardless of the walk.
+                cur.finish_early(env.stats);
+                return false;
+            }
+            if other.len() == 1 {
+                while let Some(item) = cur.next(env.store, env.stats) {
+                    let single = Sequence::singleton(item);
+                    let hit = if cursor_is_right {
+                        general_compare(op, other, &single, env.store)
+                    } else {
+                        general_compare(op, &single, other, env.store)
+                    };
+                    if hit {
+                        cur.finish_early(env.stats);
+                        return true;
+                    }
+                }
+                return false;
+            }
+            cur.materialize(env.store, env.stats)
+        }
+    };
+    let (l, r) = if cursor_is_right {
+        (other, &seq)
+    } else {
+        (&seq, other)
+    };
+    if env.options.runtime_opt {
+        general_compare_hashed(op, l, r, env.store)
+    } else {
+        general_compare(op, l, r, env.store)
+    }
+}
+
+/// Does global position `p` satisfy `position() OP n`? Exact integer
+/// arithmetic; [`positional_predicate`] bounds `n` so this agrees with the
+/// generic `f64` predicate rule at every reachable position.
+fn pos_matches(op: CmpOp, p: i64, n: i64) -> bool {
+    match op {
+        CmpOp::Eq => p == n,
+        CmpOp::Ne => p != n,
+        CmpOp::Lt => p < n,
+        CmpOp::Le => p <= n,
+        CmpOp::Gt => p > n,
+        CmpOp::Ge => p >= n,
+    }
+}
+
+/// `(PATH)[position() OP n]` with the position taken over the whole path
+/// result: pull, keep the matching positions, and stop pulling as soon as
+/// no later position can match (`=`, `<`, `<=`).
+fn stream_filter_positional(stream: PathStream, op: CmpOp, n: i64, env: &mut RunEnv) -> Sequence {
+    let out = match stream {
+        PathStream::Done(seq) => {
+            let items: Vec<Item> = seq
+                .into_items()
+                .into_iter()
+                .enumerate()
+                .filter(|(i, _)| pos_matches(op, *i as i64 + 1, n))
+                .map(|(_, item)| item)
+                .collect();
+            Sequence::from_items(items)
+        }
+        PathStream::Cursor(mut cur) => {
+            let limit = match op {
+                CmpOp::Eq | CmpOp::Le => Some(n),
+                CmpOp::Lt => Some(n - 1),
+                CmpOp::Ne | CmpOp::Gt | CmpOp::Ge => None,
+            };
+            let mut out = Sequence::empty();
+            let mut p = 0i64;
+            loop {
+                if let Some(limit) = limit {
+                    if p >= limit {
+                        cur.finish_early(env.stats);
+                        break;
+                    }
+                }
+                let Some(item) = cur.next(env.store, env.stats) else {
+                    break;
+                };
+                p += 1;
+                if pos_matches(op, p, n) {
+                    out.push(item);
+                }
+            }
+            out
+        }
+    };
+    env.stats.items_allocated += out.len() as u64;
+    out
+}
+
+/// Atoms of one hash-join operand (build key or probe). A streamable path
+/// is atomized straight off the cursor — the node sequence the generic
+/// evaluation materialises per item/tuple (BENCH_5/6's `items_allocated =
+/// 1000` for a 100-tuple probe) never exists.
+fn key_atoms(
+    e: &LExpr,
+    env: &mut RunEnv,
+    frame: &mut Frame,
+    ctx: &mut DynamicContext,
+) -> Result<Vec<Atomic>> {
+    // The hoister wraps per-tuple key paths in `CacheOnce`, but the cell
+    // is cleared on every binding anyway — and a streamable path is pure,
+    // so pulling atoms straight off the cursor (and leaving the cell
+    // unfilled for a later reader to recompute) changes nothing
+    // observable.
+    let bare = match e {
+        LExpr::CacheOnce { expr, .. } => expr,
+        other => other,
+    };
+    if let LExpr::Path { start, steps } = bare {
+        if let Some(stream) = open_path_stream(start, steps, env, frame, ctx)? {
+            return Ok(match stream {
+                PathStream::Cursor(mut cur) => {
+                    let mut atoms = Vec::new();
+                    while let Some(item) = cur.next(env.store, env.stats) {
+                        atoms.push(atomize_item(&item, env.store));
+                    }
+                    atoms
+                }
+                PathStream::Done(seq) => atomize(&seq, env.store),
+            });
+        }
+    }
+    let v = run(e, env, frame, ctx)?;
+    Ok(atomize(&v, env.store))
+}
+
+/// The sequence-consuming builtins the cursor runtime takes over when
+/// their argument is a streamable path (and, for the windowed ones, the
+/// bounds are integer literals — evaluated-argument order is unchanged
+/// because literals are effect-free):
+///
+/// * `count(PATH)` — pull and discard; `count(FLWOR)` without `order by`
+///   runs the pipeline with a counting sink ([`FlworOut::Count`]).
+/// * `subsequence(PATH, s[, l])` — stops pulling past the window's end.
+/// * `remove(PATH, n)` / `insert-before(PATH, n, SEQ)` — single-pass
+///   splice, no intermediate target sequence.
+///
+/// Returns `None` to fall through to the generic argument evaluation.
+fn stream_builtin(
+    builtin: Builtin,
+    args: &[LExpr],
+    env: &mut RunEnv,
+    frame: &mut Frame,
+    ctx: &mut DynamicContext,
+) -> Result<Option<Sequence>> {
+    fn int_literal(e: &LExpr) -> Option<i64> {
+        match e {
+            // The same bound as the cursor's positional predicates: the
+            // generic dispatch goes through `f64`, which is exact here.
+            LExpr::Literal(Atomic::Int(n)) if n.abs() <= (1 << 50) => Some(*n),
+            _ => None,
+        }
+    }
+    match builtin {
+        Builtin::Count if args.len() == 1 => {
+            if let LExpr::Path { start, steps } = &args[0] {
+                if let Some(stream) = open_path_stream(start, steps, env, frame, ctx)? {
+                    let n = match stream {
+                        PathStream::Cursor(mut cur) => {
+                            let mut n = 0i64;
+                            while cur.next(env.store, env.stats).is_some() {
+                                n += 1;
+                            }
+                            n
+                        }
+                        PathStream::Done(seq) => seq.len() as i64,
+                    };
+                    return Ok(Some(Atomic::Int(n).into()));
+                }
+            }
+            if let LExpr::Flwor {
+                clauses,
+                where_,
+                order_by,
+                return_,
+            } = &args[0]
+            {
+                if order_by.is_empty() {
+                    let n = run_flwor_count(clauses, where_.as_deref(), return_, env, frame, ctx)?;
+                    return Ok(Some(Atomic::Int(n as i64).into()));
+                }
+            }
+            Ok(None)
+        }
+        Builtin::Subsequence if args.len() >= 2 => {
+            let LExpr::Path { start, steps } = &args[0] else {
+                return Ok(None);
+            };
+            let Some(s) = int_literal(&args[1]) else {
+                return Ok(None);
+            };
+            let len = match args.get(2) {
+                None => None,
+                Some(e) => match int_literal(e) {
+                    Some(l) => Some(l),
+                    None => return Ok(None),
+                },
+            };
+            let Some(stream) = open_path_stream(start, steps, env, frame, ctx)? else {
+                return Ok(None);
+            };
+            // Keep positions p with p >= s and, when a length is given,
+            // p < s + l — the generic filter, in exact arithmetic.
+            let hi = len.map(|l| s.saturating_add(l));
+            let out = match stream {
+                PathStream::Done(seq) => {
+                    let items: Vec<Item> = seq
+                        .into_items()
+                        .into_iter()
+                        .enumerate()
+                        .filter(|(i, _)| {
+                            let p = *i as i64 + 1;
+                            p >= s && hi.is_none_or(|hi| p < hi)
+                        })
+                        .map(|(_, item)| item)
+                        .collect();
+                    Sequence::from_items(items)
+                }
+                PathStream::Cursor(mut cur) => {
+                    let mut out = Sequence::empty();
+                    let mut p = 0i64;
+                    loop {
+                        if let Some(hi) = hi {
+                            if p + 1 >= hi {
+                                cur.finish_early(env.stats);
+                                break;
+                            }
+                        }
+                        let Some(item) = cur.next(env.store, env.stats) else {
+                            break;
+                        };
+                        p += 1;
+                        if p >= s {
+                            out.push(item);
+                        }
+                    }
+                    out
+                }
+            };
+            env.stats.items_allocated += out.len() as u64;
+            Ok(Some(out))
+        }
+        Builtin::Remove if args.len() == 2 => {
+            let LExpr::Path { start, steps } = &args[0] else {
+                return Ok(None);
+            };
+            let Some(pos) = int_literal(&args[1]) else {
+                return Ok(None);
+            };
+            let Some(stream) = open_path_stream(start, steps, env, frame, ctx)? else {
+                return Ok(None);
+            };
+            let out = match stream {
+                PathStream::Done(seq) => {
+                    let items: Vec<Item> = seq
+                        .into_items()
+                        .into_iter()
+                        .enumerate()
+                        .filter(|(i, _)| *i as i64 + 1 != pos)
+                        .map(|(_, item)| item)
+                        .collect();
+                    Sequence::from_items(items)
+                }
+                PathStream::Cursor(mut cur) => {
+                    let mut out = Sequence::empty();
+                    let mut p = 0i64;
+                    while let Some(item) = cur.next(env.store, env.stats) {
+                        p += 1;
+                        if p != pos {
+                            out.push(item);
+                        }
+                    }
+                    out
+                }
+            };
+            env.stats.items_allocated += out.len() as u64;
+            Ok(Some(out))
+        }
+        Builtin::InsertBefore if args.len() == 3 => {
+            let LExpr::Path { start, steps } = &args[0] else {
+                return Ok(None);
+            };
+            let Some(pos) = int_literal(&args[1]) else {
+                return Ok(None);
+            };
+            let Some(stream) = open_path_stream(start, steps, env, frame, ctx)? else {
+                return Ok(None);
+            };
+            // Same effect order as the generic call: target first (the
+            // open above), the literal position, then the inserts.
+            let inserts = run(&args[2], env, frame, ctx)?;
+            let inserts_len = inserts.len();
+            let at = (pos.max(1) - 1) as usize;
+            let out = match stream {
+                PathStream::Done(seq) => {
+                    let mut items = seq.into_items();
+                    let at = at.min(items.len());
+                    let tail = items.split_off(at);
+                    items.extend(inserts.into_items());
+                    items.extend(tail);
+                    Sequence::from_items(items)
+                }
+                PathStream::Cursor(mut cur) => {
+                    let mut out = Sequence::empty();
+                    let mut p = 0usize;
+                    let mut inserted = false;
+                    while let Some(item) = cur.next(env.store, env.stats) {
+                        if p == at {
+                            out.push_seq(inserts.clone());
+                            inserted = true;
+                        }
+                        out.push(item);
+                        p += 1;
+                    }
+                    if !inserted {
+                        out.push_seq(inserts);
+                    }
+                    out
+                }
+            };
+            // Count only the target items: the inserts were accounted for
+            // by their own evaluation, and the materialised run books just
+            // the path expansion — same ledger either way.
+            env.stats.items_allocated += (out.len() - inserts_len) as u64;
+            Ok(Some(out))
+        }
+        _ => Ok(None),
     }
 }
 
@@ -1217,6 +1849,7 @@ fn map_step(
         ctx.focus = saved;
         results.push_seq(r?);
     }
+    env.stats.items_allocated += results.len() as u64;
     let nodes = results.iter().filter(|i| i.is_node()).count();
     if nodes == 0 {
         return Ok(results);
@@ -1343,7 +1976,7 @@ fn fused_attr_eq_step<'a>(
     })
 }
 
-fn node_test_matches(test: &LNodeTest, axis: Axis, node: NodeId, store: &Store) -> bool {
+pub(crate) fn node_test_matches(test: &LNodeTest, axis: Axis, node: NodeId, store: &Store) -> bool {
     let kind = store.kind(node);
     match test {
         LNodeTest::AnyKind => true,
