@@ -1,0 +1,752 @@
+//! The query service proper: a TCP accept loop, one handler thread per
+//! connection, and the shared state (worker pool, plan cache, document
+//! cache, tenant stats) that turns a pile of one-shot engines into a
+//! long-running server.
+//!
+//! ## Verbs
+//!
+//! | request                     | payload          | response payload        |
+//! |-----------------------------|------------------|-------------------------|
+//! | `HELLO <tenant>`            | —                | —                       |
+//! | `OPTION <name> <value>`     | —                | new options fingerprint |
+//! | `LOAD <uri>`                | XML document     | accounted byte size     |
+//! | `QUERY <uri\|->`            | query text       | serialized result       |
+//! | `EXPLAIN <uri\|->`          | query text       | plan explanation        |
+//! | `BATCH <count> <uri\|->`    | query sub-frames | `count` response frames |
+//! | `STATS`                     | —                | `key value` lines       |
+//! | `CRASH`                     | panic message    | (always `ERR PANIC`)    |
+//! | `QUIT`                      | —                | —                       |
+//!
+//! Responses are `OK` or `ERR` frames; a per-request error NEVER terminates
+//! the connection. `CRASH` exists only when
+//! [`ServiceConfig::enable_crash_verb`] is set — it proves the pool-worker
+//! panic path reaches the socket as a structured error instead of killing
+//! the server.
+//!
+//! ## The cache seams
+//!
+//! Every QUERY/EXPLAIN/BATCH job resolves its plan through the shared
+//! [`PlanCache`], keyed `(query text, EngineOptions::cache_key())` — never
+//! text alone. Documents resolve through the shared [`DocCache`] and are
+//! mounted into the connection's engine via [`Store::adopt`]; a per-uri
+//! memo keeps the mount alive across requests and is invalidated by
+//! snapshot identity ([`TreeSnapshot::ptr_eq`]), so a re-`LOAD` of a uri is
+//! picked up while an unchanged document costs nothing. Evicting a cache
+//! entry only drops the cache's `Arc`; mounts and in-flight snapshots keep
+//! the tree alive (see [`crate::cache`]).
+
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use xmlstore::parser::ParseOptions;
+use xmlstore::{NodeId, Store, TreeSnapshot};
+use xquery::{CompiledQuery, DupAttrPolicy, Engine, EngineOptions, StackPool};
+
+use crate::cache::{DocCache, PlanCache};
+use crate::proto::{read_frame, write_frame, Frame, WireError};
+use crate::stats::TenantStats;
+
+/// Service sizing and feature gates.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Workers in the shared big-stack evaluation pool.
+    pub eval_workers: usize,
+    /// Stack bytes per worker.
+    pub eval_stack_bytes: usize,
+    /// Plan-cache capacity in entries.
+    pub plan_cache_capacity: usize,
+    /// Document-cache budget in retained bytes.
+    pub doc_cache_bytes: usize,
+    /// Expose the `CRASH` verb (tests only).
+    pub enable_crash_verb: bool,
+    /// Rebuild a connection's engine when its store grows past this many
+    /// slots — a long-lived connection adopting many documents would
+    /// otherwise accrete mounts forever.
+    pub store_reset_slots: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            eval_workers: 2,
+            eval_stack_bytes: 64 * 1024 * 1024,
+            plan_cache_capacity: 256,
+            doc_cache_bytes: 256 * 1024 * 1024,
+            enable_crash_verb: false,
+            store_reset_slots: 1 << 20,
+        }
+    }
+}
+
+/// State shared by every connection handler.
+struct Shared {
+    config: ServiceConfig,
+    pool: Arc<StackPool>,
+    plans: Mutex<PlanCache>,
+    docs: Mutex<DocCache>,
+    tenants: Mutex<HashMap<String, TenantStats>>,
+    shutdown: AtomicBool,
+    /// One `try_clone` per live connection, so shutdown can unblock reads.
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+/// A running service. Dropping the handle without [`ServiceHandle::shutdown`]
+/// leaves the accept thread running until process exit.
+pub struct Service {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Service {
+    /// Binds `127.0.0.1:0` and starts accepting.
+    pub fn spawn(config: ServiceConfig) -> io::Result<Service> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            pool: Arc::new(StackPool::new(config.eval_workers, config.eval_stack_bytes)),
+            plans: Mutex::new(PlanCache::new(config.plan_cache_capacity)),
+            docs: Mutex::new(DocCache::new(config.doc_cache_bytes)),
+            tenants: Mutex::new(HashMap::new()),
+            shutdown: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+            config,
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("qsvc-accept".to_string())
+            .spawn(move || {
+                let mut handlers = Vec::new();
+                for stream in listener.incoming() {
+                    if accept_shared.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { break };
+                    // A request is a header write followed by a payload
+                    // write; with Nagle on, the second write can sit
+                    // behind the peer's delayed ACK for ~40 ms. A framed
+                    // request/response protocol wants its bytes out now.
+                    let _ = stream.set_nodelay(true);
+                    if let Ok(clone) = stream.try_clone() {
+                        accept_shared.conns.lock().unwrap().push(clone);
+                    }
+                    let conn_shared = Arc::clone(&accept_shared);
+                    let handle = std::thread::Builder::new()
+                        .name("qsvc-conn".to_string())
+                        .spawn(move || {
+                            let _ = Connection::new(conn_shared).serve(stream);
+                        });
+                    if let Ok(handle) = handle {
+                        handlers.push(handle);
+                    }
+                }
+                for handle in handlers {
+                    let _ = handle.join();
+                }
+            })?;
+        Ok(Service {
+            addr,
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Global plan-cache counters `(hits, misses, evictions, entries)`.
+    pub fn plan_cache_counters(&self) -> (u64, u64, u64, usize) {
+        let p = self.shared.plans.lock().unwrap();
+        (p.hits, p.misses, p.evictions, p.len())
+    }
+
+    /// Global doc-cache counters `(hits, misses, evictions, rejections,
+    /// used_bytes, entries)`.
+    pub fn doc_cache_counters(&self) -> (u64, u64, u64, u64, usize, usize) {
+        let d = self.shared.docs.lock().unwrap();
+        (
+            d.hits,
+            d.misses,
+            d.evictions,
+            d.rejections,
+            d.used_bytes(),
+            d.len(),
+        )
+    }
+
+    /// A tenant's aggregated stats, if it has connected.
+    pub fn tenant_stats(&self, tenant: &str) -> Option<TenantStats> {
+        self.shared.tenants.lock().unwrap().get(tenant).cloned()
+    }
+
+    /// Stops accepting, severs every live connection, and joins all handler
+    /// threads. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        for conn in self.shared.conns.lock().unwrap().drain(..) {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A document mounted into this connection's engine: the node it landed on
+/// and the snapshot identity it was mounted from.
+struct MountMemo {
+    root: NodeId,
+    snapshot: TreeSnapshot,
+}
+
+/// Per-connection state: tenant identity, engine options, the engine itself
+/// (sharing the service pool), and the uri → mount memo.
+struct Connection {
+    shared: Arc<Shared>,
+    tenant: String,
+    options: EngineOptions,
+    engine: Engine,
+    mounts: HashMap<String, MountMemo>,
+}
+
+/// What one request produced: a payload to send under `OK`/`ERR`, or for
+/// BATCH a pre-built series of frames.
+enum Reply {
+    Ok(Vec<u8>),
+    Err(WireError),
+    Batch(Vec<Result<Vec<u8>, WireError>>),
+    Quit,
+}
+
+impl Connection {
+    fn new(shared: Arc<Shared>) -> Connection {
+        // Workers are pool-level; the per-engine knobs only matter for
+        // engines that spawn their own pool, which these never do.
+        let options = EngineOptions {
+            eval_workers: shared.config.eval_workers,
+            eval_stack_bytes: shared.config.eval_stack_bytes,
+            ..EngineOptions::default()
+        };
+        let engine = Engine::with_pool(options.clone(), Arc::clone(&shared.pool));
+        Connection {
+            shared,
+            tenant: "anon".to_string(),
+            options,
+            engine,
+            mounts: HashMap::new(),
+        }
+    }
+
+    fn serve(&mut self, stream: TcpStream) -> io::Result<()> {
+        let write_half = stream;
+        let read_half = write_half.try_clone()?;
+        let mut reader = BufReader::new(read_half);
+        let mut writer = BufWriter::new(write_half);
+        loop {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+            let frame = match read_frame(&mut reader) {
+                Ok(Some(frame)) => frame,
+                Ok(None) => return Ok(()), // client hung up cleanly
+                Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                    // A malformed header is unrecoverable (framing is lost):
+                    // report and close.
+                    let err = WireError::new("PROTO", e.to_string());
+                    let _ = write_frame(&mut writer, &["ERR"], &err.encode());
+                    return Ok(());
+                }
+                Err(e) => return Err(e),
+            };
+            match self.handle(&frame) {
+                Reply::Ok(payload) => write_frame(&mut writer, &["OK"], &payload)?,
+                Reply::Err(err) => write_frame(&mut writer, &["ERR"], &err.encode())?,
+                Reply::Batch(results) => {
+                    for result in results {
+                        match result {
+                            Ok(payload) => write_frame(&mut writer, &["OK"], &payload)?,
+                            Err(err) => write_frame(&mut writer, &["ERR"], &err.encode())?,
+                        }
+                    }
+                    writer.flush()?;
+                }
+                Reply::Quit => {
+                    write_frame(&mut writer, &["OK"], b"")?;
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    fn handle(&mut self, frame: &Frame) -> Reply {
+        match frame.verb() {
+            "HELLO" => self.do_hello(frame),
+            "OPTION" => self.do_option(frame),
+            "LOAD" => self.do_load(frame),
+            "QUERY" => self.do_query(frame, QueryMode::Evaluate),
+            "EXPLAIN" => self.do_query(frame, QueryMode::Explain),
+            "BATCH" => self.do_batch(frame),
+            "STATS" => self.do_stats(),
+            "CRASH" => self.do_crash(frame),
+            "QUIT" => Reply::Quit,
+            other => Reply::Err(WireError::new("PROTO", format!("unknown verb {other:?}"))),
+        }
+    }
+
+    fn do_hello(&mut self, frame: &Frame) -> Reply {
+        let Some(name) = frame.words.get(1) else {
+            return Reply::Err(WireError::new("PROTO", "HELLO needs a tenant name"));
+        };
+        self.tenant = name.clone();
+        Reply::Ok(Vec::new())
+    }
+
+    /// Rebuilds the engine under changed options. The old engine's mounts go
+    /// with it, so the memo is cleared; documents re-adopt lazily from the
+    /// cache on the next QUERY.
+    fn do_option(&mut self, frame: &Frame) -> Reply {
+        let (Some(name), Some(value)) = (frame.words.get(1), frame.words.get(2)) else {
+            return Reply::Err(WireError::new("PROTO", "OPTION needs a name and a value"));
+        };
+        let mut options = self.options.clone();
+        let parsed = match name.as_str() {
+            "preset" => match value.as_str() {
+                "galax" => {
+                    options = EngineOptions::galax();
+                    true
+                }
+                "default" => {
+                    options = EngineOptions::default();
+                    true
+                }
+                _ => false,
+            },
+            "galax_quirks" => set_bool(value, &mut options.galax_quirks),
+            "optimize" => set_bool(value, &mut options.optimize),
+            "static_typing" => set_bool(value, &mut options.static_typing),
+            "runtime_opt" => set_bool(value, &mut options.runtime_opt),
+            "stream" => set_bool(value, &mut options.stream),
+            "recursion_limit" => match value.parse::<usize>() {
+                Ok(n) => {
+                    options.recursion_limit = n;
+                    true
+                }
+                Err(_) => false,
+            },
+            "dup_attr_policy" => match value.as_str() {
+                "error" => {
+                    options.dup_attr_policy = DupAttrPolicy::Error;
+                    true
+                }
+                "first" => {
+                    options.dup_attr_policy = DupAttrPolicy::KeepFirst;
+                    true
+                }
+                "last" => {
+                    options.dup_attr_policy = DupAttrPolicy::KeepLast;
+                    true
+                }
+                "both" => {
+                    options.dup_attr_policy = DupAttrPolicy::KeepBoth;
+                    true
+                }
+                _ => false,
+            },
+            _ => return Reply::Err(WireError::new("PROTO", format!("unknown option {name:?}"))),
+        };
+        if !parsed {
+            return Reply::Err(WireError::new(
+                "PROTO",
+                format!("bad value {value:?} for option {name:?}"),
+            ));
+        }
+        options.eval_workers = self.shared.config.eval_workers;
+        options.eval_stack_bytes = self.shared.config.eval_stack_bytes;
+        self.rebuild_engine(options);
+        Reply::Ok(self.options.cache_key().into_bytes())
+    }
+
+    fn rebuild_engine(&mut self, options: EngineOptions) {
+        self.options = options;
+        self.engine = Engine::with_pool(self.options.clone(), Arc::clone(&self.shared.pool));
+        self.mounts.clear();
+    }
+
+    /// Parses the payload as XML and admits the snapshot to the shared
+    /// document cache under the given uri.
+    fn do_load(&mut self, frame: &Frame) -> Reply {
+        let Some(uri) = frame.words.get(1) else {
+            return Reply::Err(WireError::new("PROTO", "LOAD needs a uri"));
+        };
+        let xml = frame.text();
+        // Parse into a scratch store with the same options as
+        // Engine::load_document, so served and embedded trees agree.
+        let snapshot = {
+            let mut scratch = Store::new();
+            // Big documents can out-recurse a default stack; parse on a
+            // pool worker like the engines do.
+            let parsed = self.shared.pool.run(|| {
+                scratch
+                    .parse_str(&xml, &ParseOptions::data_oriented())
+                    .map(|doc| {
+                        scratch
+                            .snapshot(doc)
+                            .expect("a fresh parse lands in a frozen mount")
+                    })
+            });
+            match parsed {
+                Ok(snapshot) => snapshot,
+                Err(e) => {
+                    let mut err = WireError::new("XMLPARSE", e.to_string());
+                    if e.line != 0 || e.column != 0 {
+                        err = err.at(e.line, e.column);
+                    }
+                    return Reply::Err(err);
+                }
+            }
+        };
+        match self.shared.docs.lock().unwrap().insert(uri, snapshot) {
+            Ok(bytes) => Reply::Ok(bytes.to_string().into_bytes()),
+            Err(e) => Reply::Err(WireError::new("ADMIT", e.to_string())),
+        }
+    }
+
+    /// Resolves `uri` through the doc cache and makes sure this connection's
+    /// engine has it mounted, reusing the memoised mount when the cached
+    /// snapshot is the *same tree* (Arc identity) and remounting when a
+    /// re-LOAD replaced it.
+    fn resolve_doc(&mut self, uri: &str) -> Result<Option<NodeId>, WireError> {
+        if uri == "-" {
+            return Ok(None);
+        }
+        let snapshot = self.shared.docs.lock().unwrap().get(uri);
+        let Some(snapshot) = snapshot else {
+            self.with_tenant(|t| t.doc_misses += 1);
+            return Err(WireError::new(
+                "NODOC",
+                format!("no document loaded under uri {uri:?}"),
+            ));
+        };
+        self.with_tenant(|t| t.doc_hits += 1);
+        if let Some(memo) = self.mounts.get(uri) {
+            if TreeSnapshot::ptr_eq(&memo.snapshot, &snapshot) {
+                return Ok(Some(memo.root));
+            }
+            // A re-LOAD replaced the document: this store's reference to the
+            // old tree is released (other holders are unaffected) and the
+            // new snapshot mounted in its place.
+            let old_root = memo.root;
+            let _ = self.engine.store_mut().release_mount(old_root);
+        }
+        let root = self
+            .engine
+            .store_mut()
+            .adopt(&snapshot)
+            .map_err(|e| WireError::new("NODOC", e.to_string()))?;
+        self.engine.register_document(uri.to_string(), root);
+        self.mounts
+            .insert(uri.to_string(), MountMemo { root, snapshot });
+        Ok(Some(root))
+    }
+
+    /// The shared QUERY/EXPLAIN path: plan through the cache, document
+    /// through the cache, then evaluate (or explain).
+    fn do_query(&mut self, frame: &Frame, mode: QueryMode) -> Reply {
+        let Some(uri) = frame.words.get(1).cloned() else {
+            return Reply::Err(WireError::new("PROTO", "QUERY/EXPLAIN needs a uri or -"));
+        };
+        self.with_tenant(|t| t.queries += 1);
+        let text = frame.text();
+        let plan = match self.cached_plan(&text) {
+            Ok(plan) => plan,
+            Err(err) => return self.fail(err),
+        };
+        if let QueryMode::Explain = mode {
+            return Reply::Ok(self.engine.explain(&plan).into_bytes());
+        }
+        let context = match self.resolve_doc(&uri) {
+            Ok(context) => context,
+            Err(err) => return self.fail(err),
+        };
+        let outcome = {
+            let engine = &mut self.engine;
+            catch_unwind(AssertUnwindSafe(|| engine.evaluate(&plan, context)))
+        };
+        // Even a failed evaluation's counters feed the tenant aggregate —
+        // they are often the diagnostic.
+        let stats = *self.engine.last_stats();
+        self.with_tenant(|t| t.absorb_eval(&stats));
+        self.maybe_reset_store();
+        match outcome {
+            Ok(Ok(seq)) => Reply::Ok(self.engine.display_sequence(&seq).into_bytes()),
+            Ok(Err(e)) => self.fail(WireError::from_engine(&e)),
+            Err(payload) => self.fail(WireError::new("PANIC", panic_text(payload.as_ref()))),
+        }
+    }
+
+    /// Looks the plan up under `(text, options fingerprint)`, compiling and
+    /// inserting on a miss. Compile errors count as misses (the text reached
+    /// the compiler) and are never cached.
+    fn cached_plan(&mut self, text: &str) -> Result<CompiledQuery, WireError> {
+        let key = PlanCache::key(text, &self.options.cache_key());
+        let cached = self.shared.plans.lock().unwrap().get(key);
+        if let Some(plan) = cached {
+            self.with_tenant(|t| t.plan_hits += 1);
+            return Ok(plan);
+        }
+        self.with_tenant(|t| t.plan_misses += 1);
+        let plan = self
+            .engine
+            .compile(text)
+            .map_err(|e| WireError::from_engine(&e))?;
+        self.shared.plans.lock().unwrap().insert(key, plan.clone());
+        Ok(plan)
+    }
+
+    /// `BATCH <count> <uri|->`: payload carries `count` query sub-frames;
+    /// the reply is exactly `count` OK/ERR frames, in job order. Engine
+    /// errors get a `job N: ` message prefix (position preserved); a worker
+    /// panic taints the whole batch with the pool's own `batch job N: `
+    /// tagged payload.
+    fn do_batch(&mut self, frame: &Frame) -> Reply {
+        let (Some(count), Some(uri)) = (frame.words.get(1), frame.words.get(2)) else {
+            return Reply::Err(WireError::new("PROTO", "BATCH needs a count and a uri"));
+        };
+        let Ok(count) = count.parse::<usize>() else {
+            return Reply::Err(WireError::new("PROTO", "bad BATCH count"));
+        };
+        let queries = match crate::proto::decode_subframes(&frame.payload) {
+            Ok(queries) => queries,
+            Err(e) => return Reply::Err(WireError::new("PROTO", e.to_string())),
+        };
+        if queries.len() != count {
+            return Reply::Err(WireError::new(
+                "PROTO",
+                format!(
+                    "BATCH header says {count} jobs, payload has {}",
+                    queries.len()
+                ),
+            ));
+        }
+        self.with_tenant(|t| t.queries += count as u64);
+
+        // Compile every job through the shared cache up front (hits counted
+        // per job), then resolve the document once.
+        let mut plans = Vec::with_capacity(count);
+        for q in &queries {
+            plans.push(self.cached_plan(&String::from_utf8_lossy(q)));
+        }
+        let snapshot = if uri == "-" {
+            None
+        } else {
+            let snapshot = self.shared.docs.lock().unwrap().get(uri.as_str());
+            match snapshot {
+                Some(s) => {
+                    self.with_tenant(|t| t.doc_hits += 1);
+                    Some(s)
+                }
+                None => {
+                    self.with_tenant(|t| t.doc_misses += 1);
+                    let err =
+                        WireError::new("NODOC", format!("no document loaded under uri {uri:?}"));
+                    self.with_tenant(|t| t.errors += count as u64);
+                    return Reply::Batch(
+                        (0..count)
+                            .map(|i| {
+                                let mut e = err.clone();
+                                e.message = format!("job {i}: {}", e.message);
+                                Err(e)
+                            })
+                            .collect(),
+                    );
+                }
+            }
+        };
+
+        // Fan the compiled jobs across the pool: each job gets its own
+        // engine (sharing the pool — evaluate re-enters inline on the
+        // worker) with the document adopted from the shared snapshot.
+        let options = self.options.clone();
+        let pool = Arc::clone(&self.shared.pool);
+        let jobs: Vec<_> = plans
+            .into_iter()
+            .map(|plan| {
+                let options = options.clone();
+                let pool = Arc::clone(&pool);
+                let snapshot = snapshot.clone();
+                move || -> (Result<String, WireError>, xquery::EvalStats) {
+                    let plan = match plan {
+                        Ok(plan) => plan,
+                        Err(e) => return (Err(e), xquery::EvalStats::default()),
+                    };
+                    let mut engine = Engine::with_pool(options, pool);
+                    let context = match snapshot {
+                        Some(s) => match engine.store_mut().adopt(&s) {
+                            Ok(root) => Some(root),
+                            Err(e) => {
+                                return (
+                                    Err(WireError::new("NODOC", e.to_string())),
+                                    xquery::EvalStats::default(),
+                                )
+                            }
+                        },
+                        None => None,
+                    };
+                    let result = engine
+                        .evaluate(&plan, context)
+                        .map(|seq| engine.display_sequence(&seq))
+                        .map_err(|e| WireError::from_engine(&e));
+                    (result, *engine.last_stats())
+                }
+            })
+            .collect();
+        let ran = catch_unwind(AssertUnwindSafe(|| pool.run_batch(jobs)));
+        match ran {
+            Ok(results) => Reply::Batch(
+                results
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (result, stats))| {
+                        self.with_tenant(|t| t.absorb_eval(&stats));
+                        match result {
+                            Ok(text) => Ok(text.into_bytes()),
+                            Err(mut e) => {
+                                self.with_tenant(|t| t.errors += 1);
+                                e.message = format!("job {i}: {}", e.message);
+                                Err(e)
+                            }
+                        }
+                    })
+                    .collect(),
+            ),
+            Err(payload) => {
+                // run_batch drained the whole batch, then re-raised the first
+                // panic with its job index tagged in ("batch job N: ...").
+                // Every job's result is gone, so every slot reports the
+                // tagged panic — the client still reads exactly `count`
+                // frames.
+                self.with_tenant(|t| t.errors += count as u64);
+                let err = WireError::new("PANIC", panic_text(payload.as_ref()));
+                Reply::Batch((0..count).map(|_| Err(err.clone())).collect())
+            }
+        }
+    }
+
+    fn do_stats(&mut self) -> Reply {
+        let mut body = String::new();
+        {
+            let tenants = self.shared.tenants.lock().unwrap();
+            if let Some(t) = tenants.get(&self.tenant) {
+                t.render(&mut body);
+            } else {
+                TenantStats::default().render(&mut body);
+            }
+        }
+        {
+            let p = self.shared.plans.lock().unwrap();
+            body.push_str(&format!("global.plan_cache.hits {}\n", p.hits));
+            body.push_str(&format!("global.plan_cache.misses {}\n", p.misses));
+            body.push_str(&format!("global.plan_cache.evictions {}\n", p.evictions));
+            body.push_str(&format!("global.plan_cache.entries {}\n", p.len()));
+        }
+        {
+            let d = self.shared.docs.lock().unwrap();
+            body.push_str(&format!("global.doc_cache.hits {}\n", d.hits));
+            body.push_str(&format!("global.doc_cache.misses {}\n", d.misses));
+            body.push_str(&format!("global.doc_cache.evictions {}\n", d.evictions));
+            body.push_str(&format!("global.doc_cache.rejections {}\n", d.rejections));
+            body.push_str(&format!("global.doc_cache.used_bytes {}\n", d.used_bytes()));
+            body.push_str(&format!("global.doc_cache.entries {}\n", d.len()));
+        }
+        Reply::Ok(body.into_bytes())
+    }
+
+    /// Panics on a pool worker with the payload text — the test hook proving
+    /// a worker panic arrives as a structured `ERR PANIC`, not a dead socket.
+    fn do_crash(&mut self, frame: &Frame) -> Reply {
+        if !self.shared.config.enable_crash_verb {
+            return Reply::Err(WireError::new("PROTO", "CRASH is not enabled"));
+        }
+        let msg = frame.text();
+        let pool = Arc::clone(&self.shared.pool);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            pool.run::<(), _>(move || panic!("{msg}"))
+        }));
+        match outcome {
+            Ok(()) => Reply::Err(WireError::new("PANIC", "CRASH did not panic")),
+            Err(payload) => Reply::Err(WireError::new("PANIC", panic_text(payload.as_ref()))),
+        }
+    }
+
+    fn fail(&mut self, err: WireError) -> Reply {
+        self.with_tenant(|t| t.errors += 1);
+        Reply::Err(err)
+    }
+
+    fn with_tenant(&self, f: impl FnOnce(&mut TenantStats)) {
+        let mut tenants = self.shared.tenants.lock().unwrap();
+        f(tenants.entry(self.tenant.clone()).or_default())
+    }
+
+    /// The store growth guard: adopted mounts accrete (release_mount retires
+    /// mount ids without recycling them), so a long-lived connection
+    /// periodically starts over with a fresh engine. Cached documents
+    /// re-adopt lazily on the next request that needs them.
+    fn maybe_reset_store(&mut self) {
+        if self.engine.store().len() > self.shared.config.store_reset_slots {
+            self.rebuild_engine(self.options.clone());
+        }
+    }
+}
+
+enum QueryMode {
+    Evaluate,
+    Explain,
+}
+
+fn parse_bool(value: &str) -> Option<bool> {
+    match value {
+        "true" | "1" => Some(true),
+        "false" | "0" => Some(false),
+        _ => None,
+    }
+}
+
+/// Writes a parsed boolean into `slot`; `false` means the value was bad.
+fn set_bool(value: &str, slot: &mut bool) -> bool {
+    match parse_bool(value) {
+        Some(b) => {
+            *slot = b;
+            true
+        }
+        None => false,
+    }
+}
+
+/// The text of a panic payload (`String` or `&str`), or a placeholder for
+/// exotic payload types.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| {
+            payload
+                .downcast_ref::<&'static str>()
+                .map(|s| s.to_string())
+        })
+        .unwrap_or_else(|| "evaluation worker panicked (non-text payload)".to_string())
+}

@@ -1,0 +1,118 @@
+//! Per-tenant aggregation: request counters plus merged engine
+//! [`EvalStats`], rendered as the `STATS` verb's `key value` lines.
+
+use std::collections::BTreeMap;
+use xquery::EvalStats;
+
+/// Everything the service has observed for one tenant since connect (or
+/// since the tenant first appeared — stats outlive individual connections).
+#[derive(Debug, Default, Clone)]
+pub struct TenantStats {
+    /// QUERY/EXPLAIN/BATCH-job requests handled (including ones that
+    /// returned `ERR`).
+    pub queries: u64,
+    /// How many of those returned `ERR`.
+    pub errors: u64,
+    /// Plan-cache hits and misses attributable to this tenant's requests.
+    pub plan_hits: u64,
+    pub plan_misses: u64,
+    /// Document-cache hits and misses attributable to this tenant.
+    pub doc_hits: u64,
+    pub doc_misses: u64,
+    /// Engine counters merged across every evaluation this tenant ran —
+    /// errors included, because the counters up to a failure are often the
+    /// diagnostic.
+    pub eval: EvalStats,
+}
+
+impl TenantStats {
+    /// Merges one evaluation's counters in.
+    pub fn absorb_eval(&mut self, stats: &EvalStats) {
+        self.eval.merge(stats);
+    }
+
+    /// Renders as sorted `key value` lines — the `STATS` payload body for
+    /// this tenant. Keys are stable (tests and dashboards parse them).
+    pub fn render(&self, out: &mut String) {
+        let mut rows: BTreeMap<&str, u64> = BTreeMap::new();
+        rows.insert("queries", self.queries);
+        rows.insert("errors", self.errors);
+        rows.insert("plan_hits", self.plan_hits);
+        rows.insert("plan_misses", self.plan_misses);
+        rows.insert("doc_hits", self.doc_hits);
+        rows.insert("doc_misses", self.doc_misses);
+        rows.insert("eval.index_hits", self.eval.index_hits);
+        rows.insert("eval.index_misses", self.eval.index_misses);
+        rows.insert("eval.join_builds", self.eval.join_builds);
+        rows.insert("eval.join_probes", self.eval.join_probes);
+        rows.insert("eval.join_fallbacks", self.eval.join_fallbacks);
+        rows.insert("eval.cache_hits", self.eval.cache_hits);
+        rows.insert("eval.cache_resets", self.eval.cache_resets);
+        rows.insert("eval.streamed_existence", self.eval.streamed_existence);
+        rows.insert("eval.items_allocated", self.eval.items_allocated);
+        rows.insert("eval.items_streamed", self.eval.items_streamed);
+        rows.insert("eval.cursor_early_exits", self.eval.cursor_early_exits);
+        rows.insert("eval.queue_wait_ns", self.eval.queue_wait_ns);
+        rows.insert("eval.on_worker_ns", self.eval.on_worker_ns);
+        for (k, v) in rows {
+            out.push_str(k);
+            out.push(' ');
+            out.push_str(&v.to_string());
+            out.push('\n');
+        }
+    }
+
+    /// Plan-cache hit rate over this tenant's lookups, `None` before any.
+    pub fn plan_hit_rate(&self) -> Option<f64> {
+        let total = self.plan_hits + self.plan_misses;
+        (total > 0).then(|| self.plan_hits as f64 / total as f64)
+    }
+}
+
+/// Parses a `STATS` payload back into `key -> value` (client-side helper;
+/// unknown keys pass through so the format can grow).
+pub fn parse_stats(payload: &str) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    for line in payload.lines() {
+        if let Some((k, v)) = line.rsplit_once(' ') {
+            if let Ok(n) = v.parse() {
+                out.insert(k.to_string(), n);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_and_parse_round_trip() {
+        let mut t = TenantStats {
+            queries: 7,
+            errors: 1,
+            plan_hits: 6,
+            plan_misses: 1,
+            ..Default::default()
+        };
+        let evals = EvalStats {
+            index_hits: 3,
+            items_streamed: 42,
+            ..Default::default()
+        };
+        t.absorb_eval(&evals);
+        t.absorb_eval(&evals);
+
+        let mut body = String::new();
+        t.render(&mut body);
+        let parsed = parse_stats(&body);
+        assert_eq!(parsed["queries"], 7);
+        assert_eq!(parsed["errors"], 1);
+        assert_eq!(parsed["plan_hits"], 6);
+        assert_eq!(parsed["eval.index_hits"], 6, "two evals merged");
+        assert_eq!(parsed["eval.items_streamed"], 84);
+        assert_eq!(t.plan_hit_rate(), Some(6.0 / 7.0));
+        assert_eq!(TenantStats::default().plan_hit_rate(), None);
+    }
+}

@@ -122,6 +122,26 @@ impl FrozenTree {
         self.recs.len()
     }
 
+    /// Deterministic estimate of the heap bytes this record table retains:
+    /// the record and child-list vectors plus every string payload. Shared
+    /// `Arc<str>` payloads are counted at face value (each holder would keep
+    /// them alive on its own), and the lazily built name maps are excluded —
+    /// the figure is an *admission* measure, stable from the moment the tree
+    /// is built, not a live allocator report.
+    pub fn retained_bytes(&self) -> usize {
+        let mut bytes = self.recs.len() * std::mem::size_of::<FrozenRec>()
+            + self.kids.len() * std::mem::size_of::<u32>();
+        for rec in &self.recs {
+            bytes += match &rec.kind {
+                NodeKind::Document | NodeKind::Element(_) => 0,
+                NodeKind::Attribute(_, v) => v.len(),
+                NodeKind::Text(t) | NodeKind::Comment(t) => t.len(),
+                NodeKind::Pi(target, data) => target.len() + data.len(),
+            };
+        }
+        bytes
+    }
+
     fn maps(&self) -> &NameMaps {
         self.maps.get_or_init(|| {
             let mut m = NameMaps::default();
@@ -332,6 +352,13 @@ impl TreeSnapshot {
     /// Number of nodes in the snapshot (attributes included).
     pub fn node_count(&self) -> usize {
         self.tree.len()
+    }
+
+    /// Estimated heap bytes the snapshot keeps alive (see
+    /// [`FrozenTree::retained_bytes`]) — the unit a byte-budgeted document
+    /// cache accounts admissions and evictions in.
+    pub fn byte_size(&self) -> usize {
+        self.tree.retained_bytes()
     }
 
     /// `true` when both snapshots share the same underlying record table —

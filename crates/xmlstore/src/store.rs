@@ -157,6 +157,7 @@ struct StatCells {
     tree_snapshots: AtomicU64,
     trees_frozen: AtomicU64,
     trees_thawed: AtomicU64,
+    mounts_released: AtomicU64,
 }
 
 /// A point-in-time copy of the store's flat-substrate counters.
@@ -171,6 +172,9 @@ pub struct StoreStats {
     pub trees_frozen: u64,
     /// Trees thawed back to the mutable overlay (explicit or on edit).
     pub trees_thawed: u64,
+    /// Frozen mounts dropped by [`Store::release_mount`] — a cache evicting
+    /// a document it had adopted gives the record table back this way.
+    pub mounts_released: u64,
 }
 
 /// One node's slot in the structural index. Valid only while the owning
@@ -343,7 +347,9 @@ impl Store {
     }
 
     fn mount(&self, m: u32) -> &Mount {
-        self.mounts[m as usize].as_ref().expect("live mount")
+        self.mounts[m as usize]
+            .as_ref()
+            .expect("live mount (was this node's tree released with release_mount?)")
     }
 
     fn bump(&self, cell: &AtomicU64) {
@@ -357,6 +363,7 @@ impl Store {
             tree_snapshots: self.stats.tree_snapshots.load(AtomicOrdering::Relaxed),
             trees_frozen: self.stats.trees_frozen.load(AtomicOrdering::Relaxed),
             trees_thawed: self.stats.trees_thawed.load(AtomicOrdering::Relaxed),
+            mounts_released: self.stats.mounts_released.load(AtomicOrdering::Relaxed),
         }
     }
 
@@ -1121,6 +1128,34 @@ impl Store {
     /// structure) is shared with the snapshot, not copied.
     pub fn adopt(&mut self, snapshot: &TreeSnapshot) -> Result<NodeId, XmlError> {
         self.mount_tree(snapshot.tree.clone())
+    }
+
+    /// Releases the frozen mount whose **root** is `root`: this store's
+    /// reference to the shared record table is dropped (outstanding
+    /// [`TreeSnapshot`]s and other stores' mounts keep theirs — a cache
+    /// evicting a document can never pull a tree out from under a query
+    /// that still holds it), and every node id of the mount becomes
+    /// permanently invalid — any later access panics. The mount index is
+    /// deliberately **not** recycled, so a stale id can never silently
+    /// alias a tree mounted later. Returns the node count given back.
+    ///
+    /// Errs when `root` is thawed or is not the root of its mount: releasing
+    /// mid-tree would strand the rest of the records with no owner.
+    pub fn release_mount(&mut self, root: NodeId) -> Result<usize, XmlError> {
+        let Some((mount_ix, pos)) = self.floc(root) else {
+            return Err(XmlError::structural(
+                "release_mount: node is not in a frozen tree",
+            ));
+        };
+        if pos != 0 {
+            return Err(XmlError::structural(
+                "release_mount: node is not the root of its mount",
+            ));
+        }
+        let n = self.mount(mount_ix).tree.len();
+        self.mounts[mount_ix as usize] = None;
+        self.bump(&self.stats.mounts_released);
+        Ok(n)
     }
 
     fn new_mount_ix(&mut self) -> u32 {
@@ -2351,6 +2386,69 @@ mod tests {
         // copied across stores.
         let resnap = b.snapshot(adopted).unwrap();
         assert!(TreeSnapshot::ptr_eq(&snap, &resnap));
+    }
+
+    #[test]
+    fn release_mount_drops_this_stores_reference_only() {
+        let mut a = Store::new();
+        let doc = richer_tree(&mut a);
+        a.freeze(doc).unwrap();
+        let xml = a.to_xml(doc);
+        let snap = a.snapshot(doc).unwrap();
+        let bytes = snap.byte_size();
+        assert!(bytes > 0, "snapshot accounts for its retained bytes");
+
+        let mut b = Store::new();
+        let adopted = b.adopt(&snap).unwrap();
+        let released = b.release_mount(adopted).unwrap();
+        assert_eq!(released, snap.node_count());
+        assert_eq!(b.stats().mounts_released, 1);
+
+        // The snapshot (and the origin store) are untouched: a fresh adopt
+        // still shares the identical record table.
+        let mut c = Store::new();
+        let readopted = c.adopt(&snap).unwrap();
+        assert_eq!(c.to_xml(readopted), xml);
+        assert!(TreeSnapshot::ptr_eq(&snap, &c.snapshot(readopted).unwrap()));
+        assert_eq!(a.to_xml(doc), xml);
+    }
+
+    #[test]
+    fn release_mount_rejects_non_roots_and_thawed_trees() {
+        let mut s = Store::new();
+        let doc = richer_tree(&mut s);
+        // Thawed: no mount to release.
+        assert!(s.release_mount(doc).is_err());
+        s.freeze(doc).unwrap();
+        // Mid-tree node: refused, the mount stays live.
+        let root = s.document_element(doc).unwrap();
+        assert!(s.release_mount(root).is_err());
+        assert!(s.is_frozen(doc));
+        assert_eq!(s.stats().mounts_released, 0);
+        // The root releases; the id range is dead afterwards and the mount
+        // index is not recycled by a later parse.
+        s.release_mount(doc).unwrap();
+        let next = s
+            .parse_str("<fresh/>", &crate::parser::ParseOptions::default())
+            .unwrap();
+        assert_eq!(s.to_xml(next), "<fresh/>");
+    }
+
+    #[test]
+    fn released_mount_ids_panic_instead_of_aliasing() {
+        let mut s = Store::new();
+        let doc = richer_tree(&mut s);
+        s.freeze(doc).unwrap();
+        let snap = s.snapshot(doc).unwrap();
+        let mut t = Store::new();
+        let adopted = t.adopt(&snap).unwrap();
+        t.release_mount(adopted).unwrap();
+        // A second mount lands on fresh ids; the stale root id panics
+        // loudly rather than resolving into the new tree.
+        let again = t.adopt(&snap).unwrap();
+        assert_ne!(adopted, again);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| t.kind(adopted)));
+        assert!(err.is_err(), "stale id must not resolve");
     }
 
     #[test]

@@ -113,6 +113,31 @@ impl EngineOptions {
             ..Default::default()
         }
     }
+
+    /// A stable fingerprint of every option that can change what a compiled
+    /// plan *is* (`galax_quirks` steers the AST optimizer, `optimize`,
+    /// `static_typing`, and `runtime_opt` gate whole passes) or what running
+    /// it observably does (`dup_attr_policy`, `recursion_limit`, `stream`).
+    /// A plan cache MUST key on this next to the query text: two tenants
+    /// submitting identical text under different configurations would
+    /// otherwise share one plan and leak each other's semantics.
+    ///
+    /// `eval_workers` and `eval_stack_bytes` are deliberately excluded: a
+    /// compiled query is pool-shape-independent (one evaluation always runs
+    /// on exactly one worker), and sharing plans across differently sized
+    /// pools is the point of caching them.
+    pub fn cache_key(&self) -> String {
+        format!(
+            "gq={} opt={} dup={:?} rec={} st={} ropt={} stream={}",
+            self.galax_quirks as u8,
+            self.optimize as u8,
+            self.dup_attr_policy,
+            self.recursion_limit,
+            self.static_typing as u8,
+            self.runtime_opt as u8,
+            self.stream as u8,
+        )
+    }
 }
 
 /// A compiled query: the (optimized) module, its lowered [`Program`] — what
@@ -726,6 +751,12 @@ impl Engine {
     }
 
     fn evaluate_impl(&mut self, query: &CompiledQuery, focus: Option<Focus>) -> Result<Sequence> {
+        // Reset at ENTRY, not only on completion: a pooled engine that
+        // serves query B after query A must never report A's counters as
+        // B's — even when B panics out of the worker before publishing
+        // (per-tenant aggregators read `last_stats` after every call,
+        // including failed ones).
+        self.last_stats = EvalStats::default();
         let mut stats = EvalStats::default();
         let result = self.evaluate_with_stats(query, focus, &mut stats);
         // Publish even on error: the counters up to the failure point are
@@ -800,6 +831,11 @@ impl Engine {
         query: &CompiledQuery,
         focus: Option<Focus>,
     ) -> Result<Sequence> {
+        // The walker collects no counters, but it is still "the most recent
+        // evaluation": leaving the previous lowered run's counters in
+        // `last_stats` would double-count them in any aggregator that reads
+        // stats after every call.
+        self.last_stats = EvalStats::default();
         let mut statics = StaticContext::default();
         for f in &query.module.functions {
             statics.declare(f.clone())?;
@@ -1198,6 +1234,99 @@ mod tests {
         let out = pooled.evaluate_str(src, None).unwrap();
         let got = pooled.display_sequence(&out);
         assert_eq!(expected, got);
+    }
+
+    #[test]
+    fn cache_key_separates_every_semantics_config() {
+        // The seven configurations the differential suite sweeps must all
+        // fingerprint differently — sharing a plan across any pair of them
+        // is the cross-tenant leak the service plan cache exists to prevent.
+        let configs = [
+            EngineOptions {
+                dup_attr_policy: DupAttrPolicy::Error,
+                ..Default::default()
+            },
+            EngineOptions::galax(),
+            EngineOptions::default(),
+            EngineOptions {
+                optimize: false,
+                ..Default::default()
+            },
+            EngineOptions {
+                runtime_opt: false,
+                ..Default::default()
+            },
+            EngineOptions {
+                optimize: false,
+                runtime_opt: false,
+                ..Default::default()
+            },
+            EngineOptions {
+                stream: false,
+                ..Default::default()
+            },
+        ];
+        let keys: Vec<String> = configs.iter().map(EngineOptions::cache_key).collect();
+        for (i, a) in keys.iter().enumerate() {
+            for (j, b) in keys.iter().enumerate() {
+                if i != j {
+                    assert_ne!(a, b, "configs {i} and {j} collide: {a}");
+                }
+            }
+        }
+        // Pool shape is NOT part of the key: plans are shared across pools.
+        let wide = EngineOptions {
+            eval_workers: 8,
+            eval_stack_bytes: TEST_STACK,
+            ..Default::default()
+        };
+        assert_eq!(wide.cache_key(), EngineOptions::default().cache_key());
+    }
+
+    #[test]
+    fn pooled_engine_reports_per_query_stat_deltas_not_totals() {
+        // One engine, two queries back to back — the service's engine-reuse
+        // shape. `last_stats` after B must describe B alone.
+        let mut e = Engine::new();
+        let doc = e
+            .load_document("<r><item/><item/><item/><item/></r>")
+            .unwrap();
+        let heavy = e.compile("count(//item)").unwrap();
+        let light = e.compile("1 + 1").unwrap();
+
+        e.evaluate(&heavy, Some(doc)).unwrap();
+        let a = e.last_stats().counters();
+        assert!(
+            a.index_hits + a.items_allocated + a.items_streamed > 0,
+            "query A should count something: {a:?}"
+        );
+
+        e.evaluate(&light, None).unwrap();
+        let b = e.last_stats().counters();
+        assert_eq!(b.index_hits, 0, "B inherited A's index hits: {b:?}");
+        assert_eq!(b.items_streamed, 0, "B inherited A's streams: {b:?}");
+        assert!(
+            b.items_allocated <= 1,
+            "B's allocation count must be its own: {b:?}"
+        );
+
+        // The error path publishes the failing query's own counters too.
+        let failing = e.compile("count(//item) + error(\"boom\")").unwrap();
+        e.evaluate(&failing, Some(doc)).unwrap_err();
+        let c = e.last_stats().counters();
+        assert!(
+            c.index_hits > 0 || c.items_streamed > 0,
+            "the failing query ran its path before raising: {c:?}"
+        );
+
+        // A reference-walker run collects no counters — and must not leave
+        // the previous lowered run's numbers behind as if it had.
+        e.evaluate_reference(&light, None).unwrap();
+        assert_eq!(
+            e.last_stats().counters(),
+            EvalStats::default(),
+            "reference run left stale counters"
+        );
     }
 
     /// The Send/Sync audit the pool relies on, checked by the compiler:
