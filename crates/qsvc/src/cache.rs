@@ -5,7 +5,7 @@
 //! (hundreds of plans, a byte budget of documents), not OS-page-cache-sized.
 //! What matters is the *keying and lifetime contract*:
 //!
-//! * A plan is keyed by the **interned query text AND the full
+//! * A plan is keyed by the **query text AND the full
 //!   [`EngineOptions::cache_key`](xquery::EngineOptions) fingerprint**. Two
 //!   tenants submitting byte-identical text under different engine
 //!   configurations (quirks mode, optimiser toggles, streaming) get two
@@ -19,16 +19,20 @@
 //!   *future* lookups miss.
 
 use std::collections::HashMap;
-use xmlstore::{intern, Sym, TreeSnapshot};
+use xmlstore::TreeSnapshot;
 use xquery::CompiledQuery;
 
-/// LRU cache of compiled plans, keyed `(query text, options fingerprint)` —
-/// both interned, so a key is two machine words and a probe never hashes
-/// the query text twice.
+/// A plan-cache key: owned `(query text, options fingerprint)`. Both halves
+/// are client-controlled and unbounded, so the key owns its strings —
+/// eviction frees them. Interning here would leak every distinct query a
+/// client ever sent into the global never-freed interner.
+pub type PlanKey = (String, String);
+
+/// LRU cache of compiled plans, keyed `(query text, options fingerprint)`.
 pub struct PlanCache {
     capacity: usize,
     tick: u64,
-    entries: HashMap<(Sym, Sym), PlanEntry>,
+    entries: HashMap<PlanKey, PlanEntry>,
     pub hits: u64,
     pub misses: u64,
     pub evictions: u64,
@@ -52,16 +56,16 @@ impl PlanCache {
         }
     }
 
-    /// Interns the two halves of a key.
-    pub fn key(text: &str, fingerprint: &str) -> (Sym, Sym) {
-        (intern(text), intern(fingerprint))
+    /// Builds an owned key from the two halves.
+    pub fn key(text: &str, fingerprint: &str) -> PlanKey {
+        (text.to_string(), fingerprint.to_string())
     }
 
     /// Looks a plan up, counting a hit or a miss and refreshing recency.
     /// The returned `CompiledQuery` is two `Arc` bumps.
-    pub fn get(&mut self, key: (Sym, Sym)) -> Option<CompiledQuery> {
+    pub fn get(&mut self, key: &PlanKey) -> Option<CompiledQuery> {
         self.tick += 1;
-        match self.entries.get_mut(&key) {
+        match self.entries.get_mut(key) {
             Some(e) => {
                 e.last_used = self.tick;
                 self.hits += 1;
@@ -75,15 +79,15 @@ impl PlanCache {
     }
 
     /// Inserts a plan, evicting the least-recently-used entry when full.
-    pub fn insert(&mut self, key: (Sym, Sym), plan: CompiledQuery) {
+    pub fn insert(&mut self, key: PlanKey, plan: CompiledQuery) {
         self.tick += 1;
         let tick = self.tick;
         if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
-            if let Some(&victim) = self
+            if let Some(victim) = self
                 .entries
                 .iter()
                 .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k)
+                .map(|(k, _)| k.clone())
             {
                 self.entries.remove(&victim);
                 self.evictions += 1;
@@ -275,10 +279,10 @@ mod tests {
         let mut c = PlanCache::new(8);
         let strict = PlanCache::key("1 + 1", "cfg-a");
         let quirks = PlanCache::key("1 + 1", "cfg-b");
-        c.insert(strict, plan.clone());
-        assert!(c.get(strict).is_some());
+        c.insert(strict.clone(), plan.clone());
+        assert!(c.get(&strict).is_some());
         assert!(
-            c.get(quirks).is_none(),
+            c.get(&quirks).is_none(),
             "same text under another config must MISS"
         );
         assert_eq!((c.hits, c.misses), (1, 1));
@@ -294,13 +298,13 @@ mod tests {
             PlanCache::key("b", "f"),
             PlanCache::key("d", "f"),
         );
-        c.insert(a, plan.clone());
-        c.insert(b, plan.clone());
-        assert!(c.get(a).is_some()); // refresh a; b is now coldest
+        c.insert(a.clone(), plan.clone());
+        c.insert(b.clone(), plan.clone());
+        assert!(c.get(&a).is_some()); // refresh a; b is now coldest
         c.insert(d, plan.clone());
         assert_eq!(c.len(), 2);
-        assert!(c.get(a).is_some());
-        assert!(c.get(b).is_none(), "b was the LRU victim");
+        assert!(c.get(&a).is_some());
+        assert!(c.get(&b).is_none(), "b was the LRU victim");
         assert_eq!(c.evictions, 1);
     }
 

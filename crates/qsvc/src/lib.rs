@@ -8,7 +8,7 @@
 //! built from the engine's existing pieces:
 //!
 //! * **Plan cache** ([`PlanCache`]) — compiled queries keyed by the
-//!   interned query text *and* the full [`EngineOptions::cache_key`]
+//!   query text *and* the full [`EngineOptions::cache_key`]
 //!   fingerprint, so tenants on different engine configurations can never
 //!   share (and thus leak) a plan. [`CompiledQuery`] is `Arc`-shared: a hit
 //!   is two refcount bumps.
@@ -32,7 +32,7 @@ pub mod proto;
 pub mod server;
 pub mod stats;
 
-pub use cache::{AdmitError, DocCache, PlanCache};
+pub use cache::{AdmitError, DocCache, PlanCache, PlanKey};
 pub use client::{Client, ClientError};
 pub use proto::{Frame, WireError};
 pub use server::{Service, ServiceConfig};

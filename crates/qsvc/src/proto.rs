@@ -43,12 +43,17 @@
 //! each is `<len>\n<bytes>`, concatenated. [`encode_subframes`] and
 //! [`decode_subframes`] are the two ends of that.
 
-use std::io::{self, BufRead, Write};
+use std::io::{self, BufRead, Read, Write};
 use xquery::error::{Error, ErrorCode};
 
 /// Upper bound on any single payload. Large enough for a hefty document,
 /// small enough that a corrupt length header cannot OOM the server.
 pub const MAX_PAYLOAD: usize = 64 * 1024 * 1024;
+
+/// Upper bound on a header line. Headers carry a verb, a uri, and a length —
+/// bounding them keeps a peer that streams bytes with no newline from
+/// growing the header buffer without limit.
+pub const MAX_HEADER: usize = 4096;
 
 /// One parsed message: header words (the trailing length word stripped) and
 /// the payload bytes.
@@ -87,8 +92,14 @@ pub fn write_frame(w: &mut impl Write, words: &[&str], payload: &[u8]) -> io::Re
 /// the middle of a frame is an error (the peer died mid-message).
 pub fn read_frame(r: &mut impl BufRead) -> io::Result<Option<Frame>> {
     let mut header = String::new();
-    if r.read_line(&mut header)? == 0 {
+    // Bound the header read: read_line on the raw stream would buffer
+    // newline-less garbage without limit, bypassing the MAX_PAYLOAD cap.
+    let n = r.by_ref().take(MAX_HEADER as u64).read_line(&mut header)?;
+    if n == 0 {
         return Ok(None);
+    }
+    if !header.ends_with('\n') && n == MAX_HEADER {
+        return Err(bad(&format!("frame header exceeds {MAX_HEADER} bytes")));
     }
     let mut words: Vec<String> = header.split_whitespace().map(str::to_string).collect();
     let len_word = words.pop().ok_or_else(|| bad("empty frame header"))?;
@@ -256,6 +267,24 @@ mod tests {
         let header = format!("LOAD u {}\n", MAX_PAYLOAD + 1);
         let mut r = BufReader::new(header.as_bytes());
         assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn newline_less_header_is_rejected_at_the_bound() {
+        // A peer streaming bytes with no newline must hit a hard error at
+        // MAX_HEADER, not grow the header buffer until OOM.
+        let junk = vec![b'A'; MAX_HEADER + 1000];
+        let mut r = BufReader::new(&junk[..]);
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+        // A header exactly at the bound (newline included) still parses.
+        let mut ok = format!("QUERY {} ", "u".repeat(MAX_HEADER - 9));
+        ok.push('0');
+        ok.push('\n');
+        assert_eq!(ok.len(), MAX_HEADER);
+        let mut r = BufReader::new(ok.as_bytes());
+        assert!(read_frame(&mut r).unwrap().is_some());
     }
 
     #[test]

@@ -39,7 +39,7 @@ use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use xmlstore::parser::ParseOptions;
@@ -90,8 +90,11 @@ struct Shared {
     docs: Mutex<DocCache>,
     tenants: Mutex<HashMap<String, TenantStats>>,
     shutdown: AtomicBool,
-    /// One `try_clone` per live connection, so shutdown can unblock reads.
-    conns: Mutex<Vec<TcpStream>>,
+    /// One `try_clone` per **live** connection, keyed by connection id, so
+    /// shutdown can unblock reads. Handlers remove their own entry on exit —
+    /// a finished connection must not leak an fd for the server's lifetime.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn_id: AtomicU64,
 }
 
 /// A running service. Dropping the handle without [`ServiceHandle::shutdown`]
@@ -113,7 +116,8 @@ impl Service {
             docs: Mutex::new(DocCache::new(config.doc_cache_bytes)),
             tenants: Mutex::new(HashMap::new()),
             shutdown: AtomicBool::new(false),
-            conns: Mutex::new(Vec::new()),
+            conns: Mutex::new(HashMap::new()),
+            next_conn_id: AtomicU64::new(0),
             config,
         });
         let accept_shared = Arc::clone(&shared);
@@ -131,14 +135,17 @@ impl Service {
                     // behind the peer's delayed ACK for ~40 ms. A framed
                     // request/response protocol wants its bytes out now.
                     let _ = stream.set_nodelay(true);
+                    let conn_id = accept_shared.next_conn_id.fetch_add(1, Ordering::SeqCst);
                     if let Ok(clone) = stream.try_clone() {
-                        accept_shared.conns.lock().unwrap().push(clone);
+                        accept_shared.conns.lock().unwrap().insert(conn_id, clone);
                     }
                     let conn_shared = Arc::clone(&accept_shared);
                     let handle = std::thread::Builder::new()
                         .name("qsvc-conn".to_string())
                         .spawn(move || {
-                            let _ = Connection::new(conn_shared).serve(stream);
+                            let _ = Connection::new(Arc::clone(&conn_shared)).serve(stream);
+                            // Drop this connection's shutdown handle with it.
+                            conn_shared.conns.lock().unwrap().remove(&conn_id);
                         });
                     if let Ok(handle) = handle {
                         handlers.push(handle);
@@ -185,13 +192,20 @@ impl Service {
         self.shared.tenants.lock().unwrap().get(tenant).cloned()
     }
 
+    /// Live connections currently tracked for shutdown. Handlers prune
+    /// their entry on exit, so finished connections do not count (or hold
+    /// an fd).
+    pub fn live_connections(&self) -> usize {
+        self.shared.conns.lock().unwrap().len()
+    }
+
     /// Stops accepting, severs every live connection, and joins all handler
     /// threads. Idempotent.
     pub fn shutdown(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
-        for conn in self.shared.conns.lock().unwrap().drain(..) {
+        for (_, conn) in self.shared.conns.lock().unwrap().drain() {
             let _ = conn.shutdown(std::net::Shutdown::Both);
         }
         if let Some(accept) = self.accept.take() {
@@ -490,12 +504,16 @@ impl Connection {
         // they are often the diagnostic.
         let stats = *self.engine.last_stats();
         self.with_tenant(|t| t.absorb_eval(&stats));
-        self.maybe_reset_store();
-        match outcome {
+        // Serialize BEFORE the store-reset guard: the sequence's NodeIds
+        // point into this engine's store, and rebuild_engine would drop the
+        // mounts they reference out from under them.
+        let reply = match outcome {
             Ok(Ok(seq)) => Reply::Ok(self.engine.display_sequence(&seq).into_bytes()),
             Ok(Err(e)) => self.fail(WireError::from_engine(&e)),
             Err(payload) => self.fail(WireError::new("PANIC", panic_text(payload.as_ref()))),
-        }
+        };
+        self.maybe_reset_store();
+        reply
     }
 
     /// Looks the plan up under `(text, options fingerprint)`, compiling and
@@ -503,7 +521,7 @@ impl Connection {
     /// the compiler) and are never cached.
     fn cached_plan(&mut self, text: &str) -> Result<CompiledQuery, WireError> {
         let key = PlanCache::key(text, &self.options.cache_key());
-        let cached = self.shared.plans.lock().unwrap().get(key);
+        let cached = self.shared.plans.lock().unwrap().get(&key);
         if let Some(plan) = cached {
             self.with_tenant(|t| t.plan_hits += 1);
             return Ok(plan);

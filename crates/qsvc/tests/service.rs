@@ -342,6 +342,56 @@ fn reload_and_option_change_remount_correctly() {
     );
 }
 
+/// The store-reset guard must not fire between evaluation and result
+/// serialization: a node-returning query's sequence points into the store
+/// the reset would drop. With `store_reset_slots: 1` every document query
+/// trips the guard, so each request both serializes correctly against its
+/// own store AND starts the next request on a fresh engine.
+#[test]
+fn store_reset_guard_never_outruns_serialization() {
+    let config = ServiceConfig {
+        store_reset_slots: 1,
+        ..test_config()
+    };
+    let service = Service::spawn(config).unwrap();
+    let mut client = Client::connect(service.addr(), Some("reset")).unwrap();
+    client.load("doc", DOC).unwrap();
+    for _ in 0..5 {
+        // Node-returning: the sequence holds NodeIds into the engine store.
+        assert_eq!(client.query("doc", "//item[1]/@n").unwrap(), "n=\"1\"");
+        assert_eq!(client.query("doc", "string(//item[3]/@n)").unwrap(), "3");
+    }
+    // The engine was rebuilt between requests (mounts re-adopt from the
+    // cache), and errors still flow normally on the reset path.
+    let err = client.query("doc", "1 +").unwrap_err();
+    assert!(err.service().is_some());
+    assert_eq!(client.query("doc", "count(//item)").unwrap(), "3");
+}
+
+/// Finished connections must not leak their shutdown handle (an fd and a
+/// table entry) for the life of the server.
+#[test]
+fn finished_connections_are_pruned() {
+    let service = Service::spawn(test_config()).unwrap();
+    for i in 0..4 {
+        let tenant = format!("churn-{i}");
+        let mut client = Client::connect(service.addr(), Some(&tenant)).unwrap();
+        assert_eq!(client.query("-", "1 + 1").unwrap(), "2");
+        client.quit().unwrap();
+    }
+    // Handler threads remove their entry just after the socket closes;
+    // give them a moment.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while service.live_connections() > 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert_eq!(
+        service.live_connections(),
+        0,
+        "closed connections must leave the tracking table"
+    );
+}
+
 /// Smoke: several clients with mixed workloads in parallel, then a clean
 /// shutdown that severs live connections and joins every thread.
 #[test]
