@@ -237,11 +237,28 @@ impl Query {
 
     /// Evaluates directly against the graph.
     pub fn run_native(&self, model: &Model, meta: &Metamodel) -> Vec<NodeRef> {
+        self.run_native_traced(model, meta, &mut |_| {})
+    }
+
+    /// Evaluates directly against the graph, reporting every node that
+    /// enters the pipeline at any step (start set included). The document
+    /// generator's incremental mode uses the trace as the query's read set:
+    /// a later edit to any traced node can change this query's result, an
+    /// edit to none of them (and to no relation or type it mentions) cannot.
+    pub fn run_native_traced(
+        &self,
+        model: &Model,
+        meta: &Metamodel,
+        trace: &mut dyn FnMut(NodeRef),
+    ) -> Vec<NodeRef> {
         let mut current: Vec<NodeRef> = match &self.start {
             StartSet::AllOfType(ty) => model.nodes_of_type(ty, meta),
             StartSet::NodeByLabel(label) => model.node_by_label(label).into_iter().collect(),
             StartSet::All => model.all_nodes().collect(),
         };
+        for &n in &current {
+            trace(n);
+        }
         for step in &self.steps {
             current = match step {
                 QueryStep::Follow {
@@ -256,6 +273,9 @@ impl Query {
                             Direction::Backward => model.follow_backward(n, relation, meta),
                         };
                         for t in reached {
+                            // Traced even when the target-type filter drops
+                            // it: the filter read the node's type.
+                            trace(t);
                             if target_type
                                 .as_deref()
                                 .is_none_or(|ty| meta.is_node_subtype(model.node_type(t), ty))

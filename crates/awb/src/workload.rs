@@ -104,6 +104,15 @@ impl ItScale {
     }
 }
 
+/// The production-shape corpus scale (ROADMAP: "100k+-node seeded AWB
+/// models"): ~100,000 nodes in the usual IT-architecture proportions.
+/// Pair it with [`it_architecture`] and a fixed seed for a deterministic
+/// benchmark corpus — `paper_tables -- bench-edit` reports its
+/// edit-to-fresh-doc latency as the BENCH_9 100k row.
+pub fn production_scale() -> ItScale {
+    ItScale::about(100_000)
+}
+
 /// Generates an IT-architecture model: one SystemBeingDesigned connected to
 /// everything, servers running programs, users using/liking things, and
 /// documents — a seeded fraction of which are missing their version (the
@@ -477,6 +486,30 @@ mod tests {
             m.nodes_of_type("user", &meta).len() >= scale.users,
             "superusers are users"
         );
+        assert!(m.relation_count() > m.node_count(), "richly connected");
+    }
+
+    #[test]
+    fn production_scale_is_about_100k_nodes() {
+        let scale = production_scale();
+        assert!(
+            (95_000..=105_000).contains(&scale.node_count()),
+            "production corpus should be ~100k nodes, got {}",
+            scale.node_count()
+        );
+        // Building it must actually work, deterministically, at full size.
+        // The generator seeds extra off-metamodel nodes (performance
+        // requirements), so the realized count sits a little above scale.
+        let m = it_architecture(scale, 42);
+        assert!(
+            m.node_count() >= scale.node_count()
+                && m.node_count() <= scale.node_count() + scale.node_count() / 10,
+            "realized {} vs scale {}",
+            m.node_count(),
+            scale.node_count()
+        );
+        let m2 = it_architecture(scale, 42);
+        assert_eq!(m2.node_count(), m.node_count());
         assert!(m.relation_count() > m.node_count(), "richly connected");
     }
 

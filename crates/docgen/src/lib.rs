@@ -49,6 +49,7 @@ pub mod batch;
 pub mod native;
 pub mod xq;
 
+pub use native::{EditFootprint, IncrementalDoc};
 pub use report::normalized_equal;
 pub use template::Template;
 pub use trouble::GenTrouble;

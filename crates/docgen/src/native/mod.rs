@@ -18,11 +18,13 @@
 //!   separate loop. There was no need to mingle the computations of row
 //!   titles and cell values."
 
+mod incremental;
 mod state;
 mod tables;
 mod walk;
 
-pub use state::GenState;
+pub use incremental::{EditFootprint, IncrementalDoc};
+pub use state::{ChunkDeps, GenState};
 
 use crate::template::parse_all_spec;
 use crate::trouble::GenTrouble;

@@ -19,6 +19,60 @@ pub struct TocEntry {
     pub anchor: String,
 }
 
+/// The read set one generation run (or one chunk of one) accumulated from
+/// the model. A later model edit whose footprint is disjoint from every
+/// field here cannot change what that run produced — that disjointness test
+/// is exactly how [`super::incremental::IncrementalDoc`] decides which
+/// chunks a model edit dirties.
+#[derive(Debug, Default, Clone)]
+pub struct ChunkDeps {
+    /// Nodes whose label, properties, type, or edges were read.
+    pub nodes: HashSet<NodeRef>,
+    /// Node types enumerated (`all.TYPE` specs, query starts and filters).
+    /// An edit that adds or removes a node of a *subtype* also matters, so
+    /// the dirtiness test goes through `Metamodel::is_node_subtype`.
+    pub types: HashSet<String>,
+    /// Relation types followed (queries and `<awb-table relation=…>`).
+    pub relations: HashSet<String>,
+    /// The run enumerated or searched the whole node population (`<start/>`
+    /// with no type, `<start label=…>`): any change to the node *set*
+    /// dirties it, even when no traced node was touched.
+    pub any_node: bool,
+}
+
+impl ChunkDeps {
+    /// Does an edit with this footprint possibly change a run that read
+    /// `self`? (`other` is the edit's footprint, phrased in the same terms.)
+    pub fn overlaps(&self, other: &ChunkDeps, meta: &awb::Metamodel) -> bool {
+        if self.any_node && (other.any_node || !other.nodes.is_empty()) {
+            return true;
+        }
+        // A sweeping edit (`any_node`) dirties every reader that looked at
+        // any node or population at all.
+        if other.any_node && !(self.nodes.is_empty() && self.types.is_empty()) {
+            return true;
+        }
+        if other.nodes.iter().any(|n| self.nodes.contains(n)) {
+            return true;
+        }
+        // The edit touched a node of type T: a reader that enumerated any
+        // supertype (or exactly T, or a subtype it filtered on that T sits
+        // under) may see a different population.
+        if other.types.iter().any(|et| {
+            self.types
+                .iter()
+                .any(|dt| meta.is_node_subtype(et, dt) || meta.is_node_subtype(dt, et))
+        }) {
+            return true;
+        }
+        other.relations.iter().any(|er| {
+            self.relations
+                .iter()
+                .any(|dr| meta.is_relation_subtype(er, dr) || meta.is_relation_subtype(dr, er))
+        })
+    }
+}
+
 /// The mutable state threaded through one generation run.
 #[derive(Debug, Default)]
 pub struct GenState {
@@ -35,6 +89,8 @@ pub struct GenState {
     pub replacements: Vec<(String, Vec<NodeId>)>,
     /// Per-item troubles caught at `<for>` loops.
     pub trouble_count: usize,
+    /// Everything this run read from the model (filled as the walk goes).
+    pub deps: ChunkDeps,
 }
 
 impl GenState {

@@ -5,10 +5,10 @@
 
 use super::state::TocEntry;
 use super::{nodes_of_all_spec, tables, GenState};
-use crate::template::slugify;
+use crate::template::{parse_all_spec, slugify};
 use crate::trouble::GenTrouble;
 use crate::GenInputs;
-use awb::{NodeRef, Query};
+use awb::{NodeRef, Query, QueryStep, StartSet};
 use xmlstore::{NodeId, NodeKind, Store};
 
 pub struct Walker<'a, 'b> {
@@ -85,7 +85,7 @@ impl Walker<'_, '_> {
         Ok(())
     }
 
-    fn walk_node(&mut self, tpl_node: NodeId, out_parent: NodeId) -> Gen {
+    pub(super) fn walk_node(&mut self, tpl_node: NodeId, out_parent: NodeId) -> Gen {
         match self.tpl().kind(tpl_node).clone() {
             NodeKind::Text(t) => {
                 let node = self.out.create_text(t).map_err(|e| self.out_err(e))?;
@@ -174,6 +174,53 @@ impl Walker<'_, '_> {
             .map_err(|e| self.out_err(e))
     }
 
+    /// Resolves an `all.TYPE` spec, folding the type and the resolved nodes
+    /// into the chunk's read set.
+    fn nodes_of_spec_dep(&mut self, spec: &str) -> Gen<Vec<NodeRef>> {
+        let nodes = nodes_of_all_spec(spec, self.inputs, &self.path_string())?;
+        if let Some(ty) = parse_all_spec(spec) {
+            self.state.deps.types.insert(ty.to_string());
+        }
+        self.state.deps.nodes.extend(nodes.iter().copied());
+        Ok(nodes)
+    }
+
+    /// Runs a calculus query, folding everything it read — the types and
+    /// relations it names structurally plus every node the evaluator
+    /// actually visited — into the chunk's read set.
+    fn run_query_dep(&mut self, query: &Query) -> Vec<NodeRef> {
+        let deps = &mut self.state.deps;
+        match &query.start {
+            StartSet::AllOfType(ty) => {
+                deps.types.insert(ty.clone());
+            }
+            // Label search and all-nodes starts scan the whole population.
+            StartSet::NodeByLabel(_) | StartSet::All => deps.any_node = true,
+        }
+        for step in &query.steps {
+            match step {
+                QueryStep::Follow {
+                    relation,
+                    target_type,
+                    ..
+                } => {
+                    deps.relations.insert(relation.clone());
+                    if let Some(ty) = target_type {
+                        deps.types.insert(ty.clone());
+                    }
+                }
+                QueryStep::FilterType(ty) => {
+                    deps.types.insert(ty.clone());
+                }
+                _ => {}
+            }
+        }
+        let inputs = self.inputs;
+        query.run_native_traced(inputs.model, inputs.meta, &mut |n| {
+            deps.nodes.insert(n);
+        })
+    }
+
     fn create_div(&mut self, class: &str) -> Gen<NodeId> {
         let div = self
             .out
@@ -195,14 +242,14 @@ impl Walker<'_, '_> {
         let (nodes, body): (Vec<NodeRef>, Vec<NodeId>) =
             if let Some(spec) = self.tpl().attribute_value(el, "nodes").map(str::to_string) {
                 (
-                    nodes_of_all_spec(&spec, self.inputs, &self.path_string())?,
+                    self.nodes_of_spec_dep(&spec)?,
                     self.tpl().children(el).to_vec(),
                 )
             } else {
                 let query_el = self.required_child(el, "query")?;
                 let query = Query::from_store(self.tpl(), query_el)
                     .map_err(|e| self.trouble(format!("bad <query>: {e}")))?;
-                let nodes = query.run_native(self.inputs.model, self.inputs.meta);
+                let nodes = self.run_query_dep(&query);
                 let body = self
                     .tpl()
                     .children(el)
@@ -405,8 +452,9 @@ impl Walker<'_, '_> {
             .attribute_value(el, "corner")
             .unwrap_or("")
             .to_string();
-        let mut rows = nodes_of_all_spec(&rows_spec, self.inputs, &self.path_string())?;
-        let mut cols = nodes_of_all_spec(&cols_spec, self.inputs, &self.path_string())?;
+        let mut rows = self.nodes_of_spec_dep(&rows_spec)?;
+        let mut cols = self.nodes_of_spec_dep(&cols_spec)?;
+        self.state.deps.relations.insert(relation.clone());
         let model = self.inputs.model;
         rows.sort_by(|a, b| model.label(*a).cmp(model.label(*b)).then(a.cmp(b)));
         cols.sort_by(|a, b| model.label(*a).cmp(model.label(*b)).then(a.cmp(b)));
@@ -425,7 +473,7 @@ impl Walker<'_, '_> {
         let query_el = self.required_child(el, "query")?;
         let query = Query::from_store(self.tpl(), query_el)
             .map_err(|e| self.trouble(format!("bad <query>: {e}")))?;
-        let results = query.run_native(self.inputs.model, self.inputs.meta);
+        let results = self.run_query_dep(&query);
         let ul = self.out.create_element("ul").map_err(|e| self.out_err(e))?;
         self.out
             .set_attribute(ul, "class", "query-list")

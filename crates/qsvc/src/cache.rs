@@ -240,6 +240,12 @@ impl DocCache {
         self.used
     }
 
+    /// Bytes accounted to `uri`, `None` when it is not resident. Does not
+    /// touch recency — STATS reads must not keep a document alive.
+    pub fn bytes_of(&self, uri: &str) -> Option<usize> {
+        self.entries.get(uri).map(|e| e.bytes)
+    }
+
     pub fn budget_bytes(&self) -> usize {
         self.budget
     }

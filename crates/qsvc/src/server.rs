@@ -187,9 +187,18 @@ impl Service {
         )
     }
 
-    /// A tenant's aggregated stats, if it has connected.
+    /// A tenant's aggregated stats, if it has connected. `doc_used_bytes`
+    /// is joined against the cache at call time, like the `STATS` verb does.
     pub fn tenant_stats(&self, tenant: &str) -> Option<TenantStats> {
-        self.shared.tenants.lock().unwrap().get(tenant).cloned()
+        let mut t = self.shared.tenants.lock().unwrap().get(tenant).cloned()?;
+        let d = self.shared.docs.lock().unwrap();
+        t.doc_used_bytes = t
+            .doc_uris
+            .iter()
+            .filter_map(|u| d.bytes_of(u))
+            .map(|b| b as u64)
+            .sum();
+        Some(t)
     }
 
     /// Live connections currently tracked for shutdown. Handlers prune
@@ -433,8 +442,23 @@ impl Connection {
                 }
             }
         };
-        match self.shared.docs.lock().unwrap().insert(uri, snapshot) {
-            Ok(bytes) => Reply::Ok(bytes.to_string().into_bytes()),
+        // Evictions forced by this admit are charged to the tenant that
+        // needed the room, even when the victims belong to someone else.
+        let (admitted, evicted) = {
+            let mut docs = self.shared.docs.lock().unwrap();
+            let before = docs.evictions;
+            let admitted = docs.insert(uri, snapshot);
+            let evicted = docs.evictions - before;
+            (admitted, evicted)
+        };
+        match admitted {
+            Ok(bytes) => {
+                self.with_tenant(|t| {
+                    t.doc_evictions += evicted;
+                    t.doc_uris.insert(uri.to_string());
+                });
+                Reply::Ok(bytes.to_string().into_bytes())
+            }
             Err(e) => Reply::Err(WireError::new("ADMIT", e.to_string())),
         }
     }
@@ -455,7 +479,10 @@ impl Connection {
                 format!("no document loaded under uri {uri:?}"),
             ));
         };
-        self.with_tenant(|t| t.doc_hits += 1);
+        self.with_tenant(|t| {
+            t.doc_hits += 1;
+            t.doc_uris.insert(uri.to_string());
+        });
         if let Some(memo) = self.mounts.get(uri) {
             if TreeSnapshot::ptr_eq(&memo.snapshot, &snapshot) {
                 return Ok(Some(memo.root));
@@ -574,7 +601,10 @@ impl Connection {
             let snapshot = self.shared.docs.lock().unwrap().get(uri.as_str());
             match snapshot {
                 Some(s) => {
-                    self.with_tenant(|t| t.doc_hits += 1);
+                    self.with_tenant(|t| {
+                        t.doc_hits += 1;
+                        t.doc_uris.insert(uri.to_string());
+                    });
                     Some(s)
                 }
                 None => {
@@ -667,12 +697,23 @@ impl Connection {
     fn do_stats(&mut self) -> Reply {
         let mut body = String::new();
         {
-            let tenants = self.shared.tenants.lock().unwrap();
-            if let Some(t) = tenants.get(&self.tenant) {
-                t.render(&mut body);
-            } else {
-                TenantStats::default().render(&mut body);
+            let mut t = {
+                let tenants = self.shared.tenants.lock().unwrap();
+                tenants.get(&self.tenant).cloned().unwrap_or_default()
+            };
+            // doc_used_bytes is a point-in-time join of the tenant's touched
+            // uris against what is still resident — an evicted document stops
+            // counting against its tenants immediately.
+            {
+                let d = self.shared.docs.lock().unwrap();
+                t.doc_used_bytes = t
+                    .doc_uris
+                    .iter()
+                    .filter_map(|u| d.bytes_of(u))
+                    .map(|b| b as u64)
+                    .sum();
             }
+            t.render(&mut body);
         }
         {
             let p = self.shared.plans.lock().unwrap();

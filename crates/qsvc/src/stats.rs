@@ -1,7 +1,7 @@
 //! Per-tenant aggregation: request counters plus merged engine
 //! [`EvalStats`], rendered as the `STATS` verb's `key value` lines.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use xquery::EvalStats;
 
 /// Everything the service has observed for one tenant since connect (or
@@ -19,6 +19,16 @@ pub struct TenantStats {
     /// Document-cache hits and misses attributable to this tenant.
     pub doc_hits: u64,
     pub doc_misses: u64,
+    /// Evictions this tenant's `LOAD`s forced (the victim may belong to
+    /// anyone — the counter names the tenant that needed the room).
+    pub doc_evictions: u64,
+    /// Resident doc-cache bytes attributable to this tenant: the summed
+    /// sizes of its touched uris still in cache. Computed at `STATS` time
+    /// from [`doc_uris`](Self::doc_uris); zero until then.
+    pub doc_used_bytes: u64,
+    /// Every uri this tenant has loaded or resolved. Not rendered itself —
+    /// it is the attribution set behind `doc_used_bytes`.
+    pub doc_uris: BTreeSet<String>,
     /// Engine counters merged across every evaluation this tenant ran —
     /// errors included, because the counters up to a failure are often the
     /// diagnostic.
@@ -41,6 +51,8 @@ impl TenantStats {
         rows.insert("plan_misses", self.plan_misses);
         rows.insert("doc_hits", self.doc_hits);
         rows.insert("doc_misses", self.doc_misses);
+        rows.insert("doc_evictions", self.doc_evictions);
+        rows.insert("doc_used_bytes", self.doc_used_bytes);
         rows.insert("eval.index_hits", self.eval.index_hits);
         rows.insert("eval.index_misses", self.eval.index_misses);
         rows.insert("eval.join_builds", self.eval.join_builds);

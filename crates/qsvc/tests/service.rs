@@ -440,3 +440,57 @@ fn smoke_mixed_clients_and_clean_shutdown() {
     service.shutdown();
     service.shutdown(); // idempotent
 }
+
+/// Satellite observability: an eviction forced by a tenant's LOAD is
+/// charged to that tenant, and `doc_used_bytes` tracks what is *still*
+/// resident for it — both in-process and across the STATS wire frame.
+#[test]
+fn doc_eviction_counters_cross_the_wire() {
+    // Measure one document's snapshot size the same way the server will,
+    // then budget the cache so two fit only by evicting.
+    let big: String = {
+        let items: String = (0..200).map(|i| format!(r#"<item n="{i}"/>"#)).collect();
+        format!("<doc>{items}</doc>")
+    };
+    let doc_bytes = {
+        let mut s = xmlstore::Store::new();
+        let doc = s
+            .parse_str(&big, &xmlstore::parser::ParseOptions::data_oriented())
+            .unwrap();
+        s.snapshot(doc).unwrap().byte_size()
+    };
+    let config = ServiceConfig {
+        doc_cache_bytes: doc_bytes + doc_bytes / 2,
+        ..test_config()
+    };
+    let mut service = Service::spawn(config).unwrap();
+    let mut client = Client::connect(service.addr(), Some("evictor")).unwrap();
+
+    let loaded = client.load("a", &big).unwrap();
+    assert_eq!(loaded, doc_bytes, "LOAD reply is the accounted size");
+    client.load("b", &big).unwrap(); // forces "a" out
+
+    let wire = client.stats().unwrap();
+    assert_eq!(wire["doc_evictions"], 1, "the LOAD of b evicted a");
+    assert_eq!(
+        wire["doc_used_bytes"], doc_bytes as u64,
+        "only b still counts against the tenant"
+    );
+    assert_eq!(wire["global.doc_cache.evictions"], 1);
+    assert_eq!(wire["global.doc_cache.used_bytes"], doc_bytes as u64);
+
+    // The in-process accessor agrees with the wire view.
+    let t = service.tenant_stats("evictor").expect("tenant exists");
+    assert_eq!(t.doc_evictions, 1);
+    assert_eq!(t.doc_used_bytes, doc_bytes as u64);
+
+    // The evicted uri is a miss now; the resident one still hits and the
+    // eviction counters do not move.
+    assert!(client.query("a", "count(//item)").is_err());
+    assert_eq!(client.query("b", "count(//item)").unwrap(), "200");
+    let wire = client.stats().unwrap();
+    assert_eq!(wire["doc_evictions"], 1);
+    assert_eq!(wire["doc_misses"], 1);
+    assert!(wire["doc_hits"] >= 1);
+    service.shutdown();
+}

@@ -118,6 +118,38 @@ impl FrozenTree {
         }
     }
 
+    /// Finishes a record table whose child lists the caller computed — the
+    /// re-freeze splice, which shifts the old tree's lists instead of
+    /// re-deriving them. Debug builds re-derive and assert they match.
+    pub fn from_parts(recs: Vec<FrozenRec>, kids: Vec<u32>) -> FrozenTree {
+        #[cfg(debug_assertions)]
+        {
+            let mut check = recs.clone();
+            for r in check.iter_mut() {
+                r.kids_start = 0;
+                r.kids_len = 0;
+            }
+            let derived = FrozenTree::from_recs(check);
+            assert_eq!(
+                derived.kids, kids,
+                "spliced child lists must match a rebuild"
+            );
+            for (pos, (a, b)) in recs.iter().zip(derived.recs.iter()).enumerate() {
+                assert_eq!(
+                    (a.kids_start, a.kids_len),
+                    (b.kids_start, b.kids_len),
+                    "child-list offsets diverge at position {pos}"
+                );
+            }
+        }
+        FrozenTree {
+            recs,
+            kids,
+            maps: OnceLock::new(),
+            attr_values: Mutex::new(HashMap::new()),
+        }
+    }
+
     pub fn len(&self) -> usize {
         self.recs.len()
     }

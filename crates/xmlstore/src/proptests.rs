@@ -407,6 +407,85 @@ proptest! {
         }
         assert_index_matches_walk(&a, el_a)?;
     }
+
+    /// Random edit/query/refreeze interleavings of *interval-local* edits
+    /// (one fresh node or one attribute at a time) keep store A — which
+    /// freezes, refreezes, and patches its live index along the way —
+    /// byte-identical to a never-frozen shadow store B fed the same edits,
+    /// and never once discard A's live numbering: every structural edit must
+    /// take the patch path, so `index_full_rebuilds` stays zero.
+    #[test]
+    fn interval_local_interleavings_patch_and_never_rebuild(
+        spec in tree_strategy(),
+        ops in prop::collection::vec((0u8..4, any::<u8>()), 1..14),
+    ) {
+        let spec = root_element(spec);
+        let mut a = Store::new();
+        let mut b = Store::new();
+        let el_a = build(&mut a, &spec);
+        let el_b = build(&mut b, &spec);
+        prop_assert_eq!(el_a, el_b);
+        // Pad the root so a one-node edit can never trip the `2k >= len`
+        // edit-storm fallback — the property is about interval-local edits,
+        // and on a two-entry tree even one node is "half the tree".
+        for _ in 0..8 {
+            let pa = a.create_element("pad").unwrap();
+            let pb = b.create_element("pad").unwrap();
+            prop_assert_eq!(pa, pb);
+            a.append_child(el_a, pa).unwrap();
+            b.append_child(el_b, pb).unwrap();
+        }
+
+        for (i, &(action, pick)) in ops.iter().enumerate() {
+            let elements: Vec<NodeId> = std::iter::once(el_a)
+                .chain(a.descendants(el_a))
+                .filter(|&n| a.is_element(n))
+                .collect();
+            let target = elements[pick as usize % elements.len()];
+            match action {
+                // Query: forces the (lazy) index into existence on whichever
+                // substrate A currently sits, and must agree with the shadow.
+                0 => {
+                    let local = crate::sym::intern("pad");
+                    prop_assert_eq!(
+                        a.descendant_elements_by_local(el_a, local),
+                        b.descendant_elements_by_local(el_b, local)
+                    );
+                    prop_assert_eq!(
+                        a.doc_order(el_a, target),
+                        a.doc_order_by_walk(el_a, target)
+                    );
+                }
+                // Interval-local structural edit: one fresh text node.
+                1 => {
+                    let ta = a.create_text(format!("t{i}")).unwrap();
+                    let tb = b.create_text(format!("t{i}")).unwrap();
+                    prop_assert_eq!(ta, tb);
+                    a.append_child(target, ta).unwrap();
+                    b.append_child(target, tb).unwrap();
+                }
+                // Interval-local edit: one attribute (fresh or overwrite).
+                2 => {
+                    let va = a.set_attribute(target, "p", format!("q{i}")).unwrap();
+                    let vb = b.set_attribute(target, "p", format!("q{i}")).unwrap();
+                    prop_assert_eq!(va, vb);
+                }
+                // Refreeze A; the next edit auto-thaws. B never freezes.
+                _ => { a.freeze(el_a).unwrap(); }
+            }
+            prop_assert_eq!(a.to_xml(el_a), b.to_xml(el_b));
+            prop_assert_eq!(a.descendants(el_a), b.descendants(el_b));
+        }
+
+        a.freeze(el_a).unwrap();
+        prop_assert_eq!(a.to_xml(el_a), b.to_xml(el_b));
+        prop_assert_eq!(a.string_value(el_a), b.string_value(el_b));
+        prop_assert_eq!(
+            a.stats().index_full_rebuilds, 0,
+            "an interval-local edit discarded the live index (repatches: {})",
+            a.stats().index_repatches
+        );
+    }
 }
 
 /// Every (attribute local name, value) pair present below `el` — the

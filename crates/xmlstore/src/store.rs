@@ -149,6 +149,51 @@ impl Mount {
     }
 }
 
+/// Node id → old layout position for a [`ThawOrigin`]. Parsed and adopted
+/// trees land on consecutive ids, so the common case is a subtraction; the
+/// map covers trees frozen in place on scattered ids.
+#[derive(Debug, Clone)]
+enum PosLookup {
+    Contig { base: u32, len: u32 },
+    Map(HashMap<NodeId, u32>),
+}
+
+impl PosLookup {
+    fn get(&self, id: NodeId) -> Option<u32> {
+        match self {
+            PosLookup::Contig { base, len } => {
+                let NodeId(raw) = id;
+                (raw >= *base && raw - base < *len).then(|| raw - base)
+            }
+            PosLookup::Map(m) => m.get(&id).copied(),
+        }
+    }
+}
+
+/// What a thawed tree remembers about the frozen layout it was expanded
+/// from, so [`Store::freeze`] can *splice* the edited subtree's records into
+/// the shared prefix/suffix instead of rebuilding the whole table.
+///
+/// `cover` is the current-tree LCA of every edit site since the thaw; every
+/// record outside `cover`'s subtree is byte-identical to its old self (moves
+/// always mark both the detach and the attach parent, so a node whose
+/// ancestry changed is always under the LCA). `old_dirty` is the union
+/// interval of *old* positions known invalidated — fragments that left or
+/// re-entered the tree — which the chosen splice range must swallow, lifting
+/// the cover up the parent chain if necessary. The origin is dropped on
+/// freeze (consumed), or when its root is grafted into another tree.
+#[derive(Debug, Clone)]
+struct ThawOrigin {
+    tree: Arc<FrozenTree>,
+    /// Old position → node id (the thaw-time id table).
+    ids: Vec<NodeId>,
+    pos: PosLookup,
+    /// Current-tree LCA of all edit sites; `None` = untouched since thaw.
+    cover: Option<NodeId>,
+    /// Inclusive min/max of invalidated old positions, if any.
+    old_dirty: Option<(u32, u32)>,
+}
+
 /// Relaxed counters proving the flat-arena paths fire (observability; never
 /// affects results). Snapshot them with [`Store::stats`].
 #[derive(Debug, Default)]
@@ -158,6 +203,9 @@ struct StatCells {
     trees_frozen: AtomicU64,
     trees_thawed: AtomicU64,
     mounts_released: AtomicU64,
+    index_repatches: AtomicU64,
+    index_full_rebuilds: AtomicU64,
+    trees_refrozen_incremental: AtomicU64,
 }
 
 /// A point-in-time copy of the store's flat-substrate counters.
@@ -175,6 +223,18 @@ pub struct StoreStats {
     /// Frozen mounts dropped by [`Store::release_mount`] — a cache evicting
     /// a document it had adopted gives the record table back this way.
     pub mounts_released: u64,
+    /// Structural edits that patched the live numbering in place (splice +
+    /// positional offset fixup) instead of discarding it. Cold edits — no
+    /// index built yet — count neither here nor below.
+    pub index_repatches: u64,
+    /// Structural edits that discarded a live numbering: the whole-tree
+    /// fallback for pathological edit storms (or a defensive reset when a
+    /// needed entry went stale). The lazy initial build is not a rebuild.
+    pub index_full_rebuilds: u64,
+    /// Freezes that reused the previous [`FrozenTree`]'s records — either
+    /// remounting an untouched tree verbatim or splicing only the edited
+    /// subtree's records into the shared prefix/suffix.
+    pub trees_refrozen_incremental: u64,
 }
 
 /// One node's slot in the structural index. Valid only while the owning
@@ -213,6 +273,11 @@ impl Default for OrdEntry {
 #[derive(Debug, Clone, Default)]
 struct TreeIndex {
     stamp: u64,
+    /// Every node of the tree — attributes included — in ascending `pre`
+    /// order. This is what lets a structural edit patch the numbering in
+    /// place: the suffix whose ranks shift is one `partition_point` away,
+    /// and the fixup is a vectorisable add over the run.
+    by_pre: Vec<NodeId>,
     elements_by_local: HashMap<Sym, Vec<NodeId>>,
     attributes_by_local: HashMap<Sym, Vec<NodeId>>,
     /// Per attribute name, exact string value → owner elements in `pre`
@@ -255,6 +320,11 @@ pub struct Store {
     /// holding a store are handed to big-stack worker threads by reference.
     /// Frozen trees answer order queries lock-free from their layout.
     index: Mutex<StoreIndex>,
+    /// Keyed by tree root: what each currently-thawed tree remembers about
+    /// the frozen layout it came from, for the re-freeze splice. A tree that
+    /// stays thawed forever keeps its old record table alive — one
+    /// generation, released on the next freeze.
+    thaw_origins: HashMap<NodeId, ThawOrigin>,
     stats: StatCells,
     /// Test-only cap on the node count, so arena exhaustion is testable
     /// without allocating 2^32 nodes.
@@ -271,6 +341,9 @@ impl Clone for Store {
             mounts: self.mounts.clone(),
             free_mounts: self.free_mounts.clone(),
             index: Mutex::new(StoreIndex::default()),
+            // Re-freeze provenance is an optimisation, not state: the clone
+            // pays one full freeze per thawed tree and is correct from zero.
+            thaw_origins: HashMap::new(),
             stats: StatCells::default(),
             #[cfg(test)]
             node_cap: self.node_cap,
@@ -364,6 +437,12 @@ impl Store {
             trees_frozen: self.stats.trees_frozen.load(AtomicOrdering::Relaxed),
             trees_thawed: self.stats.trees_thawed.load(AtomicOrdering::Relaxed),
             mounts_released: self.stats.mounts_released.load(AtomicOrdering::Relaxed),
+            index_repatches: self.stats.index_repatches.load(AtomicOrdering::Relaxed),
+            index_full_rebuilds: self.stats.index_full_rebuilds.load(AtomicOrdering::Relaxed),
+            trees_refrozen_incremental: self
+                .stats
+                .trees_refrozen_incremental
+                .load(AtomicOrdering::Relaxed),
         }
     }
 
@@ -670,16 +749,415 @@ impl Store {
         }
     }
 
-    /// Drops the cached numbering for the tree containing `id` (and, for a
-    /// detached node being attached, its own old tree). Called by every
-    /// structural mutation; value-only edits skip it.
-    fn invalidate_tree_of(&mut self, id: NodeId) {
+    // ------------------------------------------------------------------
+    // Dirty-interval index maintenance
+    //
+    // A structural edit touches one contiguous rank interval of its tree's
+    // numbering: the inserted (or removed) fragment occupies the gap
+    // `[g, g+c)` of DFS counters, every entry at or after the gap shifts by
+    // `c`, and the edit site's ancestors shift only their exit rank. The
+    // patch functions below apply exactly that — a `by_pre` splice, a
+    // vectorisable add over the suffix run, an O(depth) ancestor walk, and
+    // one binary-searched splice per touched name — instead of discarding
+    // the whole tree's index. The whole-tree reset survives as the fallback
+    // for edit storms (fragment ≥ half the tree) and for the defensive case
+    // of a needed entry having gone stale; `index_repatches` and
+    // `index_full_rebuilds` count which path fired. Cold trees (no live
+    // numbering) take neither path — the lazy build is not a rebuild.
+    // ------------------------------------------------------------------
+
+    /// Discards the live numbering of `root`, counting the discard. The
+    /// patch functions call this when they bail out; the lazy reindex on the
+    /// next order query is the "full rebuild" the counter names.
+    fn index_reset(&self, ix: &mut StoreIndex, root: NodeId) {
+        if ix.trees.remove(&root).is_some() {
+            self.bump(&self.stats.index_full_rebuilds);
+        }
+    }
+
+    /// Rank counters the fragment at `n` consumes (non-attribute nodes take
+    /// an entry and an exit rank, attributes one), and its node count.
+    fn fragment_weight(&self, n: NodeId) -> (usize, u32) {
+        let mut k = 0usize;
+        let mut c = 0u32;
+        let mut weigh = |is_attr: bool| {
+            k += 1;
+            c += if is_attr { 1 } else { 2 };
+        };
+        weigh(self.is_attribute(n));
+        if !self.is_attribute(n) {
+            for a in std::iter::once(n).chain(self.descendants_iter(n)) {
+                for _ in self.node(a).attributes.iter() {
+                    weigh(true);
+                }
+                if a != n {
+                    weigh(false);
+                }
+            }
+        }
+        (k, c)
+    }
+
+    /// Splices the freshly attached fragment at `child` (an appended
+    /// attribute when `as_attribute`) into the live numbering of `parent`'s
+    /// tree. Called *after* the structural mutation.
+    fn index_attach(&self, parent: NodeId, child: NodeId, as_attribute: bool) {
+        let root = self.root(parent);
+        let mut guard = self.index();
+        let ix = &mut *guard;
+        // Any fragment index the child carried is dead now that it merged.
+        ix.trees.remove(&child);
+        let Some(tree_len) = ix.trees.get(&root).map(|t| t.by_pre.len()) else {
+            return;
+        };
+        let (k, c) = self.fragment_weight(child);
+        if 2 * k >= tree_len {
+            self.index_reset(ix, root);
+            return;
+        }
+        let Some(pe) = ix.entry_if_current(parent) else {
+            self.index_reset(ix, root);
+            return;
+        };
+        // The gap rank: where the fragment's first counter lands.
+        let g = if as_attribute {
+            // Appended last among the attributes, numbered pre(parent)+i.
+            pe.pre + self.node(parent).attributes.len() as u32
+        } else {
+            let i = self
+                .node(parent)
+                .children
+                .iter()
+                .position(|&n| n == child)
+                .expect("child was just attached");
+            if i == 0 {
+                pe.pre + self.node(parent).attributes.len() as u32 + 1
+            } else {
+                let prev = self.node(parent).children[i - 1];
+                match ix.entry_if_current(prev) {
+                    Some(e) => e.post + 1,
+                    None => {
+                        self.index_reset(ix, root);
+                        return;
+                    }
+                }
+            }
+        };
+        if ix.entries.len() < self.slots.len() {
+            ix.entries.resize(self.slots.len(), OrdEntry::default());
+        }
+        let stamp = ix.trees[&root].stamp;
+        // Number the fragment exactly as `reindex_tree` would, offset to the
+        // gap, collecting the new pre-ordered ids and per-name additions.
+        let mut new_by_pre: Vec<NodeId> = Vec::with_capacity(k);
+        let mut new_elems: Vec<(Sym, NodeId)> = Vec::new();
+        let mut new_attrs: Vec<(Sym, NodeId)> = Vec::new();
+        let mut counter = g - 1;
+        enum Visit {
+            Enter(NodeId, u32),
+            Exit(NodeId),
+        }
+        let mut stack = vec![Visit::Enter(child, pe.depth + 1)];
+        while let Some(v) = stack.pop() {
+            match v {
+                Visit::Enter(n, depth) => {
+                    counter += 1;
+                    if let NodeKind::Attribute(q, _) = &self.node(n).kind {
+                        ix.entries[n.index()] = OrdEntry {
+                            pre: counter,
+                            post: counter,
+                            depth,
+                            root,
+                            stamp,
+                        };
+                        new_by_pre.push(n);
+                        new_attrs.push((q.local_sym(), n));
+                        continue;
+                    }
+                    ix.entries[n.index()] = OrdEntry {
+                        pre: counter,
+                        post: 0,
+                        depth,
+                        root,
+                        stamp,
+                    };
+                    new_by_pre.push(n);
+                    if let NodeKind::Element(q) = &self.node(n).kind {
+                        new_elems.push((q.local_sym(), n));
+                    }
+                    for &a in &self.node(n).attributes {
+                        counter += 1;
+                        ix.entries[a.index()] = OrdEntry {
+                            pre: counter,
+                            post: counter,
+                            depth: depth + 1,
+                            root,
+                            stamp,
+                        };
+                        new_by_pre.push(a);
+                        if let NodeKind::Attribute(q, _) = &self.node(a).kind {
+                            new_attrs.push((q.local_sym(), a));
+                        }
+                    }
+                    stack.push(Visit::Exit(n));
+                    for &cc in self.node(n).children.iter().rev() {
+                        stack.push(Visit::Enter(cc, depth + 1));
+                    }
+                }
+                Visit::Exit(n) => {
+                    counter += 1;
+                    ix.entries[n.index()].post = counter;
+                }
+            }
+        }
+        debug_assert_eq!(counter, g - 1 + c);
+        let StoreIndex { entries, trees, .. } = ix;
+        let tree = trees.get_mut(&root).expect("checked above");
+        // Suffix: everything at or after the gap shifts by the fragment.
+        let at = tree.by_pre.partition_point(|&n| entries[n.index()].pre < g);
+        for &n in &tree.by_pre[at..] {
+            let e = &mut entries[n.index()];
+            e.pre += c;
+            e.post += c;
+        }
+        // Ancestors straddle the gap (pre < g ≤ post): exit ranks only.
+        let mut anc = Some(parent);
+        while let Some(a) = anc {
+            entries[a.index()].post += c;
+            anc = self.node(a).parent;
+        }
+        tree.by_pre.splice(at..at, new_by_pre);
+        // Per-name splices: each name's additions are one contiguous pre
+        // run, and the shifted existing entries are all < g or ≥ g+c.
+        for (map, added) in [
+            (&mut tree.elements_by_local, new_elems),
+            (&mut tree.attributes_by_local, new_attrs),
+        ] {
+            let mut grouped: HashMap<Sym, Vec<NodeId>> = HashMap::new();
+            for (s, n) in added {
+                grouped.entry(s).or_default().push(n);
+            }
+            for (s, ns) in grouped {
+                let v = map.entry(s).or_default();
+                let at = v.partition_point(|&n| entries[n.index()].pre < g);
+                v.splice(at..at, ns);
+            }
+        }
+        tree.attr_values.clear();
+        self.bump(&self.stats.index_repatches);
+    }
+
+    /// Removes the just-detached fragment at `node` (old parent `parent`)
+    /// from the live numbering of the tree it left. The fragment's entries
+    /// are stamped invalid so they can never validate against the old tree.
+    /// Called *after* the structural removal.
+    fn index_detach(&self, parent: NodeId, node: NodeId) {
+        let root = self.root(parent);
+        let mut guard = self.index();
+        let ix = &mut *guard;
+        if !ix.trees.contains_key(&root) {
+            return;
+        }
+        let ne = match ix.entry_if_current(node) {
+            Some(e) if e.root == root => e,
+            _ => {
+                self.index_reset(ix, root);
+                return;
+            }
+        };
+        let c = ne.post - ne.pre + 1;
+        let StoreIndex { entries, trees, .. } = ix;
+        let tree = trees.get_mut(&root).expect("checked above");
+        let lo = tree
+            .by_pre
+            .partition_point(|&n| entries[n.index()].pre < ne.pre);
+        let hi = lo + tree.by_pre[lo..].partition_point(|&n| entries[n.index()].pre <= ne.post);
+        if 2 * (hi - lo) >= tree.by_pre.len() {
+            trees.remove(&root);
+            self.bump(&self.stats.index_full_rebuilds);
+            return;
+        }
+        // Names the fragment used: drain each name's contiguous pre run.
+        let mut gone_elems: Vec<Sym> = Vec::new();
+        let mut gone_attrs: Vec<Sym> = Vec::new();
+        for &n in &tree.by_pre[lo..hi] {
+            match &self.node(n).kind {
+                NodeKind::Element(q) if !gone_elems.contains(&q.local_sym()) => {
+                    gone_elems.push(q.local_sym());
+                }
+                NodeKind::Attribute(q, _) if !gone_attrs.contains(&q.local_sym()) => {
+                    gone_attrs.push(q.local_sym());
+                }
+                _ => {}
+            }
+        }
+        for (map, gone) in [
+            (&mut tree.elements_by_local, gone_elems),
+            (&mut tree.attributes_by_local, gone_attrs),
+        ] {
+            for s in gone {
+                if let Some(v) = map.get_mut(&s) {
+                    let a = v.partition_point(|&n| entries[n.index()].pre < ne.pre);
+                    let b = a + v[a..].partition_point(|&n| entries[n.index()].pre <= ne.post);
+                    v.drain(a..b);
+                }
+            }
+        }
+        for &n in &tree.by_pre[lo..hi] {
+            entries[n.index()].stamp = 0;
+        }
+        for &n in &tree.by_pre[hi..] {
+            let e = &mut entries[n.index()];
+            e.pre -= c;
+            e.post -= c;
+        }
+        let mut anc = Some(parent);
+        while let Some(a) = anc {
+            entries[a.index()].post -= c;
+            anc = self.node(a).parent;
+        }
+        tree.by_pre.drain(lo..hi);
+        tree.attr_values.clear();
+        self.bump(&self.stats.index_repatches);
+    }
+
+    /// Moves a renamed element between the per-name vectors. Ranks are
+    /// untouched — a rename is the cheapest structural patch there is.
+    fn index_rename(&self, id: NodeId, old: &QName, new: &QName) {
         let root = self.root(id);
-        self.index
-            .get_mut()
-            .unwrap_or_else(|e| e.into_inner())
-            .trees
-            .remove(&root);
+        let mut guard = self.index();
+        let ix = &mut *guard;
+        if !ix.trees.contains_key(&root) {
+            return;
+        }
+        let Some(e) = ix.entry_if_current(id) else {
+            self.index_reset(ix, root);
+            return;
+        };
+        let StoreIndex { entries, trees, .. } = ix;
+        let tree = trees.get_mut(&root).expect("checked above");
+        if old.local_sym() != new.local_sym() {
+            if let Some(v) = tree.elements_by_local.get_mut(&old.local_sym()) {
+                let a = v.partition_point(|&n| entries[n.index()].pre < e.pre);
+                if v.get(a) == Some(&id) {
+                    v.remove(a);
+                }
+            }
+            let v = tree.elements_by_local.entry(new.local_sym()).or_default();
+            let a = v.partition_point(|&n| entries[n.index()].pre < e.pre);
+            v.insert(a, id);
+        }
+        self.bump(&self.stats.index_repatches);
+    }
+
+    // ------------------------------------------------------------------
+    // Re-freeze provenance maintenance
+    //
+    // The mutators below the index hooks also feed the [`ThawOrigin`] of
+    // their tree (when it has one): the current-tree LCA of edit sites plus
+    // the union interval of invalidated *old* positions. That is everything
+    // `freeze` needs to splice instead of rebuild.
+    // ------------------------------------------------------------------
+
+    /// LCA of two nodes known to share a tree (walk both to equal depth,
+    /// then step together).
+    fn lca(&self, a: NodeId, b: NodeId) -> NodeId {
+        let chain_len = |mut n: NodeId| {
+            let mut d = 0usize;
+            while let Some(p) = self.parent(n) {
+                n = p;
+                d += 1;
+            }
+            d
+        };
+        let (mut a, mut b) = (a, b);
+        let (mut da, mut db) = (chain_len(a), chain_len(b));
+        while da > db {
+            a = self.parent(a).expect("depth accounted");
+            da -= 1;
+        }
+        while db > da {
+            b = self.parent(b).expect("depth accounted");
+            db -= 1;
+        }
+        while a != b {
+            a = self.parent(a).expect("nodes share a tree");
+            b = self.parent(b).expect("nodes share a tree");
+        }
+        a
+    }
+
+    /// Records an edit at `site` for the origin of `root` (if tracked),
+    /// widening `old_dirty` over the old positions of `frag`'s subtree when
+    /// a fragment moved across the tree boundary.
+    fn origin_mark(&mut self, root: NodeId, site: NodeId, frag: Option<NodeId>) {
+        let Some(o) = self.thaw_origins.get(&root) else {
+            return;
+        };
+        let new_cover = match o.cover {
+            None => site,
+            // The old cover may itself have left the tree inside a detached
+            // fragment; its dirt is in `old_dirty` already, so the site
+            // alone carries on.
+            Some(c) if self.root(c) == root => self.lca(c, site),
+            Some(_) => site,
+        };
+        let mut span = o.old_dirty;
+        let mut widen = |p: u32| {
+            span = Some(match span {
+                None => (p, p),
+                Some((lo, hi)) => (lo.min(p), hi.max(p)),
+            });
+        };
+        match frag {
+            Some(f) if !self.is_attribute(f) => {
+                for n in std::iter::once(f).chain(self.descendants_iter(f)) {
+                    if let Some(p) = o.pos.get(n) {
+                        widen(p);
+                    }
+                    for &a in self.node(n).attributes.iter() {
+                        if let Some(p) = o.pos.get(a) {
+                            widen(p);
+                        }
+                    }
+                }
+            }
+            Some(f) => {
+                if let Some(p) = o.pos.get(f) {
+                    widen(p);
+                }
+            }
+            None => {
+                if let Some(p) = o.pos.get(site) {
+                    widen(p);
+                }
+            }
+        }
+        let o = self.thaw_origins.get_mut(&root).expect("checked above");
+        o.cover = Some(new_cover);
+        o.old_dirty = span;
+    }
+
+    /// Hook for structural edits: `fragment` was just grafted under (or
+    /// detached from) `parent`. Retires the fragment's own origin — its tree
+    /// merged away — and marks the edit on the surviving tree's origin.
+    fn origin_structural(&mut self, parent: NodeId, fragment: NodeId) {
+        if self.thaw_origins.is_empty() {
+            return;
+        }
+        self.thaw_origins.remove(&fragment);
+        let root = self.root(parent);
+        self.origin_mark(root, parent, Some(fragment));
+    }
+
+    /// Hook for value edits (text, name, attribute value): only `node`'s own
+    /// record went stale.
+    fn origin_value(&mut self, node: NodeId) {
+        if self.thaw_origins.is_empty() {
+            return;
+        }
+        let root = self.root(node);
+        self.origin_mark(root, node, None);
     }
 
     /// Drops only the attribute-value maps of the tree containing `id`,
@@ -728,10 +1206,10 @@ impl Store {
         if index > len {
             return Err(XmlError::structural("child index out of bounds"));
         }
-        self.invalidate_tree_of(parent);
-        self.invalidate_tree_of(child);
         self.node_mut(parent).children.insert(index, child);
         self.node_mut(child).parent = Some(parent);
+        self.index_attach(parent, child, false);
+        self.origin_structural(parent, child);
         Ok(())
     }
 
@@ -743,11 +1221,12 @@ impl Store {
         }
         self.thaw_tree_of(id);
         if let Some(parent) = self.node(id).parent {
-            self.invalidate_tree_of(id);
             let p = self.node_mut(parent);
             p.children.retain(|&c| c != id);
             p.attributes.retain(|&a| a != id);
             self.node_mut(id).parent = None;
+            self.index_detach(parent, id);
+            self.origin_structural(parent, id);
         }
     }
 
@@ -774,11 +1253,13 @@ impl Store {
             .iter()
             .position(|&c| c == old)
             .ok_or_else(|| XmlError::structural("corrupt parent/child link"))?;
-        self.invalidate_tree_of(old);
-        self.invalidate_tree_of(new);
         self.node_mut(parent).children[pos] = new;
         self.node_mut(new).parent = Some(parent);
         self.node_mut(old).parent = None;
+        self.index_detach(parent, old);
+        self.index_attach(parent, new, false);
+        self.origin_structural(parent, old);
+        self.origin_structural(parent, new);
         Ok(())
     }
 
@@ -810,12 +1291,14 @@ impl Store {
                 *v = value;
             }
             self.invalidate_attr_values_of(el);
+            self.origin_value(attr);
             Ok(attr)
         } else {
-            self.invalidate_tree_of(el);
             let attr = self.create_attribute(name, value)?;
             self.node_mut(attr).parent = Some(el);
             self.node_mut(el).attributes.push(attr);
+            self.index_attach(el, attr, true);
+            self.origin_structural(el, attr);
             Ok(attr)
         }
     }
@@ -847,10 +1330,10 @@ impl Store {
         }
         self.thaw_tree_of(el);
         self.thaw_tree_of(attr);
-        self.invalidate_tree_of(el);
-        self.invalidate_tree_of(attr);
         self.node_mut(attr).parent = Some(el);
         self.node_mut(el).attributes.push(attr);
+        self.index_attach(el, attr, true);
+        self.origin_structural(el, attr);
         Ok(())
     }
 
@@ -871,10 +1354,10 @@ impl Store {
         }
         self.thaw_tree_of(el);
         self.thaw_tree_of(attr);
-        self.invalidate_tree_of(el);
-        self.invalidate_tree_of(attr);
         self.node_mut(attr).parent = Some(el);
         self.node_mut(el).attributes.push(attr);
+        self.index_attach(el, attr, true);
+        self.origin_structural(el, attr);
         Ok(())
     }
 
@@ -899,6 +1382,7 @@ impl Store {
         match &mut self.node_mut(id).kind {
             NodeKind::Text(t) | NodeKind::Comment(t) => {
                 *t = text.into();
+                self.origin_value(id);
                 Ok(())
             }
             _ => Err(XmlError::structural(
@@ -907,20 +1391,21 @@ impl Store {
         }
     }
 
-    /// Renames an element. Invalidates the name index of its tree.
+    /// Renames an element. Moves it between the per-name index vectors; the
+    /// numbering is untouched (a rename changes no ranks).
     pub fn set_name(&mut self, id: NodeId, name: impl Into<QName>) -> Result<(), XmlError> {
         if !self.is_element(id) {
             return Err(XmlError::structural("set_name target is not an element"));
         }
         self.thaw_tree_of(id);
-        self.invalidate_tree_of(id);
-        match &mut self.node_mut(id).kind {
-            NodeKind::Element(n) => {
-                *n = name.into();
-                Ok(())
-            }
+        let new: QName = name.into();
+        let old = match &mut self.node_mut(id).kind {
+            NodeKind::Element(n) => std::mem::replace(n, new),
             _ => unreachable!("checked above"),
-        }
+        };
+        self.index_rename(id, &old, &new);
+        self.origin_value(id);
+        Ok(())
     }
 
     /// Splits the text node `id` at byte offset `at`, producing two adjacent
@@ -941,7 +1426,6 @@ impl Store {
             .parent(id)
             .ok_or_else(|| XmlError::structural("split_text on a detached node"))?;
         self.thaw_tree_of(id);
-        self.invalidate_tree_of(id);
         if let NodeKind::Text(t) = &mut self.node_mut(id).kind {
             *t = head;
         }
@@ -954,6 +1438,9 @@ impl Store {
             .ok_or_else(|| XmlError::structural("corrupt parent/child link"))?;
         self.node_mut(parent).children.insert(pos + 1, tail_node);
         self.node_mut(tail_node).parent = Some(parent);
+        self.index_attach(parent, tail_node, false);
+        self.origin_value(id);
+        self.origin_structural(parent, tail_node);
         Ok(tail_node)
     }
 
@@ -1007,6 +1494,16 @@ impl Store {
         if self.floc(root).is_some() {
             return Ok(root);
         }
+        // A tree thawed from a frozen layout can usually go back
+        // incrementally: remount the old table verbatim when untouched, or
+        // splice only the edited subtree's records into the shared
+        // prefix/suffix. Localized-only — anything unprovable falls through
+        // to the full rebuild below.
+        if let Some(origin) = self.thaw_origins.remove(&root) {
+            if self.refreeze_incremental(root, origin)? {
+                return Ok(root);
+            }
+        }
         let mut recs: Vec<FrozenRec> = Vec::new();
         let mut ids: Vec<NodeId> = Vec::new();
         enum Visit {
@@ -1054,6 +1551,13 @@ impl Store {
             }
         }
         let tree = Arc::new(FrozenTree::from_recs(recs));
+        self.mount_in_place(root, tree, ids);
+        Ok(root)
+    }
+
+    /// Shared tail of every freeze path: point the ids' slots at a new
+    /// mount and drop the (now dead) legacy numbering for the tree.
+    fn mount_in_place(&mut self, root: NodeId, tree: Arc<FrozenTree>, ids: Vec<NodeId>) {
         let mount_ix = self.new_mount_ix();
         for (pos, &nid) in ids.iter().enumerate() {
             self.slots[nid.index()] = Slot::Frozen {
@@ -1062,14 +1566,200 @@ impl Store {
             };
         }
         self.mounts[mount_ix as usize] = Some(Mount::new(tree, ids));
-        // The legacy numbering for this tree is dead weight now.
         self.index
             .get_mut()
             .unwrap_or_else(|e| e.into_inner())
             .trees
             .remove(&root);
         self.bump(&self.stats.trees_frozen);
-        Ok(root)
+    }
+
+    /// The incremental re-freeze: `root`'s tree was thawed from `origin`'s
+    /// record table and every edit since has been tracked. Returns `Ok(false)`
+    /// when the edits are not provably localized — the caller then rebuilds
+    /// from scratch, which is always correct.
+    ///
+    /// The splice contract: pick a node `d` that existed in the old layout
+    /// at position `s` (old subtree `[s, e)`) such that (a) `d`'s current
+    /// subtree contains every edit site (it is an ancestor-or-self of the
+    /// tracked cover) and (b) `[s, e)` contains every invalidated old
+    /// position (`old_dirty`). Then records outside `[s, e)` are reusable
+    /// verbatim up to position arithmetic: prefix `subtree_end`s spanning
+    /// the splice and all suffix `subtree_end`/`parent` positions shift by
+    /// `delta`, the length change of the splice.
+    fn refreeze_incremental(&mut self, root: NodeId, origin: ThawOrigin) -> Result<bool, XmlError> {
+        let ThawOrigin {
+            tree: old,
+            ids: old_ids,
+            pos,
+            cover,
+            old_dirty,
+        } = origin;
+        if old_ids.first() != Some(&root) {
+            return Ok(false);
+        }
+        let Some(mut d) = cover else {
+            // Untouched since thaw: remount the old table verbatim.
+            if old_dirty.is_some() {
+                return Ok(false);
+            }
+            self.mount_in_place(root, old, old_ids);
+            self.bump(&self.stats.trees_refrozen_incremental);
+            return Ok(true);
+        };
+        if self.root(d) != root {
+            // The cover left the tree inside a detached fragment and nothing
+            // marked an in-tree site after it — can't anchor a splice.
+            return Ok(false);
+        }
+        // Lift the cover to a node with an old position whose old subtree
+        // swallows every invalidated old position.
+        let (s, e) = loop {
+            if d == root {
+                // Splicing the whole tree is just a rebuild with extra steps.
+                return Ok(false);
+            }
+            if let Some(s) = pos.get(d) {
+                let e = old.recs[s as usize].subtree_end;
+                if old_dirty.is_none_or(|(lo, hi)| s <= lo && hi < e) {
+                    break (s, e);
+                }
+            }
+            match self.parent(d) {
+                Some(p) => d = p,
+                None => return Ok(false),
+            }
+        };
+        // Rebuild only `d`'s current subtree, at absolute positions from `s`.
+        let su = s as usize;
+        let eu = e as usize;
+        let mut mid: Vec<FrozenRec> = Vec::with_capacity(eu - su);
+        let mut mid_ids: Vec<NodeId> = Vec::with_capacity(eu - su);
+        enum Visit {
+            Enter(NodeId, u32, u32),
+            Exit(usize),
+        }
+        let mut stack = vec![Visit::Enter(d, old.recs[su].depth, old.recs[su].parent)];
+        while let Some(v) = stack.pop() {
+            match v {
+                Visit::Enter(n, depth, parent) => {
+                    let data = self.node(n);
+                    let rel = mid.len();
+                    let abs = (su + rel) as u32;
+                    mid.push(FrozenRec {
+                        kind: data.kind.clone(),
+                        parent,
+                        subtree_end: abs + 1,
+                        attr_len: data.attributes.len() as u32,
+                        kids_start: 0,
+                        kids_len: 0,
+                        depth,
+                    });
+                    mid_ids.push(n);
+                    for &a in &data.attributes {
+                        let apos = (su + mid.len()) as u32;
+                        mid.push(FrozenRec {
+                            kind: self.node(a).kind.clone(),
+                            parent: abs,
+                            subtree_end: apos + 1,
+                            attr_len: 0,
+                            kids_start: 0,
+                            kids_len: 0,
+                            depth: depth + 1,
+                        });
+                        mid_ids.push(a);
+                    }
+                    stack.push(Visit::Exit(rel));
+                    for &c in data.children.iter().rev() {
+                        stack.push(Visit::Enter(c, depth + 1, abs));
+                    }
+                }
+                Visit::Exit(rel) => mid[rel].subtree_end = (su + mid.len()) as u32,
+            }
+        }
+        let old_len = old.recs.len();
+        let new_len = su + mid.len() + (old_len - eu);
+        if new_len > u32::MAX as usize {
+            return Err(XmlError::new(XmlErrorKind::ArenaFull, 0, 0));
+        }
+        let delta = (su + mid.len()) as i64 - eu as i64;
+        let shift = |v: u32| (v as i64 + delta) as u32;
+        // Child lists for the rebuilt middle only; the prefix and suffix
+        // reuse the old tree's lists below. Parents of every mid record past
+        // the first sit inside the middle, so the count pass is local.
+        let k_pre = old.recs[su].kids_start as usize;
+        let k_mid_end = if eu < old_len {
+            old.recs[eu].kids_start as usize
+        } else {
+            old.kids.len()
+        };
+        for rel in 1..mid.len() {
+            if !mid[rel].is_attr() {
+                let p = mid[rel].parent as usize - su;
+                mid[p].kids_len += 1;
+            }
+        }
+        let mut start = k_pre as u32;
+        for r in mid.iter_mut() {
+            r.kids_start = start;
+            start += r.kids_len;
+        }
+        let mid_kids_total = start as usize - k_pre;
+        let mut mid_kids = vec![0u32; mid_kids_total];
+        let mut cursor: Vec<u32> = mid.iter().map(|r| r.kids_start - k_pre as u32).collect();
+        for (rel, rec) in mid.iter().enumerate().skip(1) {
+            if !rec.is_attr() {
+                let p = rec.parent as usize - su;
+                mid_kids[cursor[p] as usize] = (su + rel) as u32;
+                cursor[p] += 1;
+            }
+        }
+        // One pass of position fixups over the shared ranges. Prefix records
+        // whose subtree spans the splice (exactly `d`'s old ancestors) move
+        // their exit; every suffix record sits after the splice, so its exit
+        // — and its parent, unless that parent is in the prefix — shifts.
+        // Child-list shapes outside the middle are untouched by the edit:
+        // prefix offsets stand, suffix offsets slide by the middle's growth.
+        let kshift = mid_kids_total as i64 - (k_mid_end - k_pre) as i64;
+        let mut recs: Vec<FrozenRec> = Vec::with_capacity(new_len);
+        for r in &old.recs[..su] {
+            let mut r = r.clone();
+            if r.subtree_end > s {
+                r.subtree_end = shift(r.subtree_end);
+            }
+            recs.push(r);
+        }
+        recs.append(&mut mid);
+        for r in &old.recs[eu..] {
+            let mut r = r.clone();
+            r.subtree_end = shift(r.subtree_end);
+            debug_assert!(r.parent != NO_PARENT && (r.parent < s || r.parent >= e));
+            if r.parent >= e {
+                r.parent = shift(r.parent);
+            }
+            r.kids_start = (r.kids_start as i64 + kshift) as u32;
+            recs.push(r);
+        }
+        // The spliced child-position vec: prefix entries point past the
+        // middle only when they land in the suffix (or at `d` itself, whose
+        // position is the unmoved splice start).
+        let mut kids: Vec<u32> =
+            Vec::with_capacity(k_pre + mid_kids_total + (old.kids.len() - k_mid_end));
+        for &v in &old.kids[..k_pre] {
+            kids.push(if v >= e { shift(v) } else { v });
+        }
+        kids.append(&mut mid_kids);
+        for &v in &old.kids[k_mid_end..] {
+            kids.push(shift(v));
+        }
+        let mut ids: Vec<NodeId> = Vec::with_capacity(new_len);
+        ids.extend_from_slice(&old_ids[..su]);
+        ids.append(&mut mid_ids);
+        ids.extend_from_slice(&old_ids[eu..]);
+        let tree = Arc::new(FrozenTree::from_parts(recs, kids));
+        self.mount_in_place(root, tree, ids);
+        self.bump(&self.stats.trees_refrozen_incremental);
+        Ok(true)
     }
 
     /// Thaws the frozen tree containing `id` back into the mutable
@@ -1081,7 +1771,12 @@ impl Store {
         };
         let m = self.mounts[mount_ix as usize].take().expect("live mount");
         self.free_mounts.push(mount_ix);
-        let Mount { tree, ids, .. } = m;
+        let Mount {
+            tree,
+            ids,
+            contig_base,
+            ..
+        } = m;
         for (pos, rec) in tree.recs.iter().enumerate() {
             let parent = (rec.parent != NO_PARENT).then(|| ids[rec.parent as usize]);
             let data = NodeData {
@@ -1103,6 +1798,30 @@ impl Store {
                 pdata.children.push(nid);
             }
         }
+        // Remember where this tree came from: the next freeze can remount
+        // or splice the old record table instead of rebuilding it.
+        let pos = match contig_base {
+            Some(base) => PosLookup::Contig {
+                base,
+                len: ids.len() as u32,
+            },
+            None => PosLookup::Map(
+                ids.iter()
+                    .enumerate()
+                    .map(|(i, &n)| (n, i as u32))
+                    .collect(),
+            ),
+        };
+        self.thaw_origins.insert(
+            ids[0],
+            ThawOrigin {
+                tree,
+                ids,
+                pos,
+                cover: None,
+                old_dirty: None,
+            },
+        );
         self.bump(&self.stats.trees_thawed);
     }
 
@@ -1342,6 +2061,7 @@ impl Store {
                         root,
                         stamp,
                     };
+                    tree.by_pre.push(n);
                     if let NodeKind::Element(q) = &self.node(n).kind {
                         tree.elements_by_local
                             .entry(q.local_sym())
@@ -1357,6 +2077,7 @@ impl Store {
                             root,
                             stamp,
                         };
+                        tree.by_pre.push(a);
                         if let NodeKind::Attribute(q, _) = &self.node(a).kind {
                             tree.attributes_by_local
                                 .entry(q.local_sym())
@@ -2232,6 +2953,151 @@ mod tests {
         assert_eq!(s.elements_with_attr_value(wrapper, k, "v"), vec![gone]);
     }
 
+    /// Index-free reference for [`Store::descendant_elements_by_local`].
+    fn scan_elements_by_local(s: &Store, scope: NodeId, local: Sym) -> Vec<NodeId> {
+        s.descendants_iter(scope)
+            .filter(|&n| matches!(&s.node(n).kind, NodeKind::Element(q) if q.local_sym() == local))
+            .collect()
+    }
+
+    /// All nodes of `doc`'s tree, attributes included, for all-pairs checks.
+    fn tree_nodes(s: &Store, doc: NodeId) -> Vec<NodeId> {
+        let mut nodes = vec![doc];
+        for n in s.descendants_iter(doc) {
+            nodes.push(n);
+            nodes.extend_from_slice(s.attributes(n));
+        }
+        nodes
+    }
+
+    #[test]
+    fn localized_edits_patch_the_live_index_in_place() {
+        let mut s = Store::new();
+        let doc = s.create_document().unwrap();
+        let root = s.create_element("root").unwrap();
+        s.append_child(doc, root).unwrap();
+        let mut items = Vec::new();
+        for _ in 0..12 {
+            let w = s.create_element("w").unwrap();
+            s.append_child(root, w).unwrap();
+            let item = s.create_element("item").unwrap();
+            s.set_attribute(item, "k", "v").unwrap();
+            s.append_child(w, item).unwrap();
+            items.push((w, item));
+        }
+        // Warm the numbering and the name index, then capture the counters:
+        // everything before this point ran against a cold tree and counts
+        // neither as a patch nor as a rebuild.
+        let item_sym = QName::from("item").local_sym();
+        assert_eq!(s.doc_order(items[0].1, items[11].1), Some(Ordering::Less));
+        assert_eq!(s.descendant_elements_by_local(doc, item_sym).len(), 12);
+        let warm = s.stats();
+        assert_eq!(warm.index_full_rebuilds, 0, "lazy build is not a rebuild");
+
+        // Five localized edits against the warm index: leaf attach, new
+        // attribute, rename, small-subtree detach, reattach.
+        let extra = s.create_element("item").unwrap();
+        s.append_child(items[3].0, extra).unwrap();
+        s.set_attribute(extra, "k", "fresh").unwrap();
+        s.set_name(items[5].1, "renamed").unwrap();
+        let moved = items[2].0;
+        s.detach(moved);
+        s.append_child(root, moved).unwrap();
+
+        let after = s.stats();
+        assert_eq!(
+            after.index_repatches,
+            warm.index_repatches + 5,
+            "each localized edit must take the patch path"
+        );
+        assert_eq!(
+            after.index_full_rebuilds, warm.index_full_rebuilds,
+            "no localized edit may nuke the tree index"
+        );
+
+        // Patched answers are indistinguishable from the index-free walks.
+        let nodes = tree_nodes(&s, doc);
+        for &x in &nodes {
+            for &y in &nodes {
+                assert_eq!(
+                    s.doc_order(x, y),
+                    s.doc_order_by_walk(x, y),
+                    "{x:?} vs {y:?}"
+                );
+            }
+        }
+        for local in [item_sym, QName::from("renamed").local_sym()] {
+            assert_eq!(
+                s.descendant_elements_by_local(doc, local),
+                scan_elements_by_local(&s, doc, local)
+            );
+        }
+        assert_eq!(
+            s.descendant_or_self_attributes_by_local(doc, QName::from("k").local_sym())
+                .len(),
+            13
+        );
+        // And none of the verification above rebuilt anything behind our back.
+        assert_eq!(s.stats().index_full_rebuilds, after.index_full_rebuilds);
+    }
+
+    #[test]
+    fn oversized_edits_fall_back_to_whole_tree_rebuild() {
+        // Detach side: ripping out most of the tree is a rebuild, not a patch.
+        let mut s = Store::new();
+        let (doc, root, a, b) = small_tree(&mut s);
+        assert_eq!(s.doc_order(a, b), Some(Ordering::Less));
+        let warm = s.stats();
+        s.detach(root);
+        let after = s.stats();
+        assert_eq!(after.index_full_rebuilds, warm.index_full_rebuilds + 1);
+        assert_eq!(after.index_repatches, warm.index_repatches);
+        // The nuked index rebuilds lazily and answers correctly again.
+        s.append_child(doc, root).unwrap();
+        assert_eq!(s.doc_order(doc, a), Some(Ordering::Less));
+        assert_eq!(s.doc_order(a, b), Some(Ordering::Less));
+
+        // Attach side: grafting a fragment larger than the tree falls back.
+        let mut s = Store::new();
+        let (doc, root, a, _) = small_tree(&mut s);
+        let frag = s.create_element("big").unwrap();
+        for _ in 0..8 {
+            let c = s.create_element("c").unwrap();
+            s.append_child(frag, c).unwrap();
+        }
+        assert_eq!(s.doc_order(doc, a), Some(Ordering::Less));
+        let warm = s.stats();
+        s.append_child(root, frag).unwrap();
+        let after = s.stats();
+        assert_eq!(after.index_full_rebuilds, warm.index_full_rebuilds + 1);
+        assert_eq!(after.index_repatches, warm.index_repatches);
+        let nodes = tree_nodes(&s, doc);
+        for &x in &nodes {
+            for &y in &nodes {
+                assert_eq!(
+                    s.doc_order(x, y),
+                    s.doc_order_by_walk(x, y),
+                    "{x:?} vs {y:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cold_edits_count_neither_patch_nor_rebuild() {
+        let mut s = Store::new();
+        let (_, root, a, b) = small_tree(&mut s);
+        s.detach(b);
+        s.append_child(root, b).unwrap();
+        s.set_name(a, "renamed").unwrap();
+        let st = s.stats();
+        assert_eq!((st.index_repatches, st.index_full_rebuilds), (0, 0));
+        // The first build after those edits is lazy construction, not repair.
+        assert_eq!(s.doc_order(a, b), Some(Ordering::Less));
+        let st = s.stats();
+        assert_eq!((st.index_repatches, st.index_full_rebuilds), (0, 0));
+    }
+
     #[test]
     fn stamp_exhaustion_resets_instead_of_reissuing_the_sentinel() {
         let mut s = Store::new();
@@ -2317,6 +3183,144 @@ mod tests {
         }
         assert_eq!(s.string_value(doc), "hello");
         assert_eq!(s.stats().trees_frozen, 1);
+    }
+
+    /// Full structural comparison of a tree against the index-free walk
+    /// references — shape, order, content.
+    fn assert_tree_consistent(s: &Store, doc: NodeId, expect_xml: &str) {
+        assert_eq!(s.to_xml(doc), expect_xml);
+        let nodes = tree_nodes(s, doc);
+        for &x in &nodes {
+            for &y in &nodes {
+                assert_eq!(
+                    s.doc_order(x, y),
+                    s.doc_order_by_walk(x, y),
+                    "{x:?} vs {y:?}"
+                );
+            }
+        }
+        for &n in &nodes {
+            if let Some(p) = s.parent(n) {
+                assert!(
+                    s.children(p).contains(&n) || s.attributes(p).contains(&n),
+                    "{n:?} not linked under {p:?}"
+                );
+            }
+            assert_eq!(s.root(n), doc);
+        }
+    }
+
+    #[test]
+    fn refreeze_remounts_an_untouched_tree_verbatim() {
+        let mut s = Store::new();
+        let doc = richer_tree(&mut s);
+        s.freeze(doc).unwrap();
+        let before = s.snapshot(doc).unwrap();
+        s.thaw(doc);
+        s.freeze(doc).unwrap();
+        let after = s.snapshot(doc).unwrap();
+        assert!(
+            TreeSnapshot::ptr_eq(&before, &after),
+            "an untouched thaw/freeze round trip must hand back the same record table"
+        );
+        assert_eq!(s.stats().trees_refrozen_incremental, 1);
+    }
+
+    /// A document with distinct sections so edits can stay subtree-local:
+    /// `<doc><sec>…</sec><sec>…</sec><sec>…</sec></doc>`, each section
+    /// holding three `<item k="v">text</item>` children.
+    fn sectioned_tree(s: &mut Store) -> (NodeId, Vec<NodeId>) {
+        let doc = s.create_document().unwrap();
+        let root = s.create_element("doc").unwrap();
+        s.append_child(doc, root).unwrap();
+        let mut secs = Vec::new();
+        for _ in 0..3 {
+            let sec = s.create_element("sec").unwrap();
+            s.append_child(root, sec).unwrap();
+            for _ in 0..3 {
+                let item = s.create_element("item").unwrap();
+                s.set_attribute(item, "k", "v").unwrap();
+                let t = s.create_text("text").unwrap();
+                s.append_child(item, t).unwrap();
+                s.append_child(sec, item).unwrap();
+            }
+            secs.push(sec);
+        }
+        (doc, secs)
+    }
+
+    #[test]
+    fn refreeze_splices_a_section_local_edit() {
+        let mut s = Store::new();
+        let (doc, secs) = sectioned_tree(&mut s);
+        s.freeze(doc).unwrap();
+        s.thaw(doc);
+        // Edits confined to the middle section: new child, value overwrite,
+        // rename, and a move between two of its items.
+        let extra = s.create_element("item").unwrap();
+        s.append_child(secs[1], extra).unwrap();
+        let items = s.child_elements(secs[1]);
+        s.set_attribute(items[0], "k", "edited").unwrap();
+        s.set_name(items[1], "renamed").unwrap();
+        let moved = s.children(items[0])[0];
+        s.detach(moved);
+        s.append_child(extra, moved).unwrap();
+        let expect = s.to_xml(doc);
+
+        s.freeze(doc).unwrap();
+        assert!(s.is_frozen(doc));
+        assert_eq!(
+            s.stats().trees_refrozen_incremental,
+            1,
+            "a section-local edit batch must re-freeze by splicing"
+        );
+        assert_tree_consistent(&s, doc, &expect);
+        // The spliced tree thaws and edits like any other.
+        s.thaw(doc);
+        assert_eq!(s.to_xml(doc), expect);
+    }
+
+    #[test]
+    fn refreeze_falls_back_when_edits_span_the_tree() {
+        let mut s = Store::new();
+        let (doc, secs) = sectioned_tree(&mut s);
+        s.freeze(doc).unwrap();
+        s.thaw(doc);
+        // Sites in a section *and* on the document node itself: the cover
+        // lifts all the way to the tree root, and a whole-tree splice is
+        // just a rebuild. (Edits under two far-apart sections only lift to
+        // the document element — still a legitimate splice.)
+        s.set_attribute(s.child_elements(secs[0])[0], "k", "a")
+            .unwrap();
+        let comment = s.create_comment("regenerated").unwrap();
+        s.append_child(doc, comment).unwrap();
+        let expect = s.to_xml(doc);
+        s.freeze(doc).unwrap();
+        assert_eq!(
+            s.stats().trees_refrozen_incremental,
+            0,
+            "tree-spanning edits must take the full rebuild"
+        );
+        assert_tree_consistent(&s, doc, &expect);
+    }
+
+    #[test]
+    fn refreeze_covers_nodes_that_left_the_tree() {
+        let mut s = Store::new();
+        let (doc, secs) = sectioned_tree(&mut s);
+        s.freeze(doc).unwrap();
+        s.thaw(doc);
+        // An item leaves the tree for good: its old records must land
+        // inside the spliced range, not linger in the shared suffix.
+        let gone = s.child_elements(secs[1])[1];
+        s.detach(gone);
+        let expect = s.to_xml(doc);
+        s.freeze(doc).unwrap();
+        assert_eq!(s.stats().trees_refrozen_incremental, 1);
+        assert_tree_consistent(&s, doc, &expect);
+        // The detached item is a live thawed tree of its own.
+        assert!(!s.is_frozen(gone));
+        assert_eq!(s.string_value(gone), "text");
     }
 
     #[test]

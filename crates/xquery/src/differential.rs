@@ -1361,6 +1361,108 @@ fn substrate_sweep_frozen_matches_thawed_under_all_configs() {
     }
 }
 
+/// Queries whose answers move with the edit script in
+/// [`edited_outcomes`] — deliberately quirks-insensitive (no unbound
+/// variables, no duplicate attributes) so the outcomes must be
+/// byte-identical across every engine config, not merely within one.
+const EDIT_CORPUS: &[&str] = &[
+    "count(//book)",
+    "count(//node())",
+    "string(/lib/@genre)",
+    "//book[@year=\"2010\"]/title/string(.)",
+    "for $b in //book order by number($b/@year) return $b/title/string(.)",
+    "string-join(//author, \",\")",
+    "//book[position() = last()]/title/string(.)",
+    "if (//note) then \"has\" else \"none\"",
+];
+
+/// Runs the scripted edit/query interleaving: each step mutates the live
+/// document through the store (auto-thawing the frozen parse), puts it back
+/// on the requested substrate, and reruns [`EDIT_CORPUS`] through both the
+/// lowered runner and the tree-walking reference. Returns the per-step
+/// outcome lines the cross-config assertions compare.
+fn edited_outcomes(options: EngineOptions, thaw_between: bool) -> Vec<String> {
+    use xmlstore::intern;
+    let mut e = Engine::with_options(options);
+    let doc = e.load_document(DOC).unwrap();
+    let mut out = Vec::new();
+    for step in 0..5 {
+        {
+            let s = e.store_mut();
+            let lib = s.document_element(doc).unwrap();
+            let books = s.descendant_elements_by_local(doc, intern("book"));
+            match step {
+                // Attribute overwrite on an existing element.
+                0 => {
+                    s.set_attribute(books[0], "year", "2010").unwrap();
+                }
+                // Grow: a whole new book subtree at the end of the shelf.
+                1 => {
+                    let b = s.create_element("book").unwrap();
+                    s.set_attribute(b, "year", "2024").unwrap();
+                    let t = s.create_element("title").unwrap();
+                    let txt = s.create_text("D").unwrap();
+                    s.append_child(t, txt).unwrap();
+                    s.append_child(b, t).unwrap();
+                    s.append_child(lib, b).unwrap();
+                }
+                // Attribute overwrite on the root element.
+                2 => {
+                    s.set_attribute(lib, "genre", "new").unwrap();
+                }
+                // Shrink: the loose note leaves the tree.
+                3 => {
+                    let note = s.descendant_elements_by_local(doc, intern("note"))[0];
+                    s.detach(note);
+                }
+                // Grow inside an existing subtree.
+                _ => {
+                    let a = s.create_element("author").unwrap();
+                    let txt = s.create_text("W").unwrap();
+                    s.append_child(a, txt).unwrap();
+                    s.append_child(books[2], a).unwrap();
+                }
+            }
+            if thaw_between {
+                s.thaw(doc);
+            } else {
+                s.freeze(doc).unwrap();
+            }
+        }
+        for src in EDIT_CORPUS {
+            let outcome = assert_equivalent(&mut e, src, Some(doc)).unwrap();
+            out.push(format!("step {step} {src}: {outcome}"));
+        }
+    }
+    out
+}
+
+#[test]
+fn edit_interleaved_differential_under_all_configs() {
+    // The same edit script must read back byte-identically under every
+    // engine config, on both substrates: refrozen after each edit (the
+    // incremental splice path) and left thawed (the live-index patch path).
+    let reference = edited_outcomes(EngineOptions::default(), false);
+    assert!(
+        reference
+            .iter()
+            .any(|o| o.contains("ok: 2010") || o.contains("2010")),
+        "the edit script must be visible in the outcomes: {reference:?}"
+    );
+    for (name, options) in engine_configs() {
+        assert_eq!(
+            edited_outcomes(options.clone(), false),
+            reference,
+            "refrozen edit script diverged under {name}"
+        );
+        assert_eq!(
+            edited_outcomes(options, true),
+            reference,
+            "thawed edit script diverged under {name}"
+        );
+    }
+}
+
 /// Display-or-error outcome of one precompiled query.
 fn eval_outcome(e: &mut Engine, q: &CompiledQuery, doc: Option<NodeId>) -> String {
     match e.evaluate(q, doc) {
