@@ -454,6 +454,333 @@ pub fn random_model(
     m
 }
 
+// ---------------------------------------------------------------------------
+// XMark-style auction corpus
+// ---------------------------------------------------------------------------
+
+/// Record counts for the XMark-style auction corpus ([`xmark_auction`]).
+///
+/// The shape follows the XMark benchmark's `site` document — regions full of
+/// items, a people directory, open and closed auctions cross-referencing both
+/// — because that family is the lingua franca for comparing XQuery engines
+/// at size. `about(n)` sizes the five populations so the parsed document
+/// lands at roughly `n` records (elements + attributes + text nodes), and
+/// [`XmarkScale::node_count`] predicts the exact record count the parser
+/// will create, because every structural choice (mails per item, bidders per
+/// auction, optional address/education) is derived from the record's index,
+/// not from the seed. The seed only varies *values* — names, dates, amounts,
+/// reference targets — so two corpora at the same scale are structurally
+/// identical but textually distinct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XmarkScale {
+    pub categories: usize,
+    pub people: usize,
+    pub items: usize,
+    pub open_auctions: usize,
+    pub closed_auctions: usize,
+}
+
+/// The six XMark continents; items are dealt round-robin across them.
+const XMARK_REGIONS: [&str; 6] = [
+    "africa",
+    "asia",
+    "australia",
+    "europe",
+    "namerica",
+    "samerica",
+];
+
+/// Word pool for generated prose. No markup-significant characters — the
+/// generator injects escapes (`&amp;`, `&lt;`…) explicitly where it wants
+/// entity-heavy content.
+const XMARK_WORDS: [&str; 24] = [
+    "great",
+    "senses",
+    "dreadful",
+    "against",
+    "bondman",
+    "sovereign",
+    "preserved",
+    "hostess",
+    "twenty",
+    "standing",
+    "reverent",
+    "assembly",
+    "serpent",
+    "mutinous",
+    "captain",
+    "honest",
+    "profit",
+    "jealous",
+    "wherein",
+    "triumph",
+    "bounty",
+    "scatter",
+    "labour",
+    "quarrel",
+];
+
+impl XmarkScale {
+    /// A scale whose generated document parses to at least `n` records, in
+    /// XMark's proportions (items and people dominate, categories are few).
+    pub fn about(n: usize) -> Self {
+        let n = n.max(200);
+        XmarkScale {
+            categories: (n / 200).max(1),
+            people: (n / 90).max(1),
+            items: (n / 100).max(1),
+            open_auctions: (n / 280).max(1),
+            closed_auctions: (n / 280).max(1),
+        }
+    }
+
+    fn mails_for(item: usize) -> usize {
+        1 + item % 2
+    }
+
+    fn has_address(person: usize) -> bool {
+        !person.is_multiple_of(4)
+    }
+
+    fn has_education(person: usize) -> bool {
+        person.is_multiple_of(3)
+    }
+
+    fn watches_for(person: usize) -> usize {
+        person % 3
+    }
+
+    fn bidders_for(auction: usize) -> usize {
+        1 + auction % 5
+    }
+
+    /// The exact number of records (elements + attributes + text nodes) the
+    /// parser creates for [`xmark_auction`] at this scale — pinned by a test
+    /// that parses the corpus under a `max_nodes` cap of exactly this value.
+    pub fn node_count(&self) -> usize {
+        // site, regions, six region elements, and the four list containers.
+        let mut total = 12;
+        for i in 0..self.items {
+            total += 24 + 9 * Self::mails_for(i);
+        }
+        for p in 0..self.people {
+            let w = Self::watches_for(p);
+            total += 18
+                + 9 * usize::from(Self::has_address(p))
+                + 2 * usize::from(Self::has_education(p))
+                + 2 * w
+                + usize::from(w > 0);
+        }
+        for a in 0..self.open_auctions {
+            total += 27 + 9 * Self::bidders_for(a);
+        }
+        total += 24 * self.closed_auctions;
+        total += 10 * self.categories;
+        total
+    }
+}
+
+/// A few prose words from the pool, space-separated.
+fn xmark_words(rng: &mut StdRng, n: usize) -> String {
+    let mut s = String::new();
+    for k in 0..n {
+        if k > 0 {
+            s.push(' ');
+        }
+        s.push_str(XMARK_WORDS[rng.gen_range(0..XMARK_WORDS.len())]);
+    }
+    s
+}
+
+fn xmark_date(rng: &mut StdRng) -> String {
+    format!(
+        "{:02}/{:02}/{}",
+        rng.gen_range(1..=12),
+        rng.gen_range(1..=28),
+        rng.gen_range(1998..=2003)
+    )
+}
+
+/// Generates a deterministic XMark-style auction site document. Same scale
+/// and seed → byte-identical output; the structure (and therefore
+/// [`XmarkScale::node_count`]) depends only on the scale.
+///
+/// The output is a single line with no inter-element whitespace, so the
+/// record count is the same under plain and whitespace-stripping parse
+/// options. Description texts are entity-heavy on purpose: they interleave
+/// `<bold>`/`<keyword>`/`<emph>` mixed content with escaped `&`, `<`, and
+/// numeric character references, exercising the serializer's re-escaping.
+pub fn xmark_auction(scale: &XmarkScale, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pick = |rng: &mut StdRng, n: usize| rng.gen_range(0..n.max(1));
+    let mut s = String::with_capacity(scale.node_count() * 24);
+    s.push_str("<site>");
+
+    s.push_str("<regions>");
+    for (r, region) in XMARK_REGIONS.iter().enumerate() {
+        s.push_str(&format!("<{region}>"));
+        for i in (r..scale.items).step_by(XMARK_REGIONS.len()) {
+            let quantity = rng.gen_range(1..=8);
+            let name = xmark_words(&mut rng, 2);
+            let pre = xmark_words(&mut rng, 3);
+            let mid = xmark_words(&mut rng, 2);
+            s.push_str(&format!(
+                "<item id=\"item{i}\"><location>United States</location>\
+                 <quantity>{quantity}</quantity><name>{name}</name>\
+                 <payment>Creditcard</payment><description><text>{pre} \
+                 &amp; <bold>{}</bold> {mid} &#65;&lt;tag&gt; \
+                 <keyword>{}</keyword> tail</text></description>\
+                 <shipping>Will ship internationally</shipping>\
+                 <incategory category=\"category{}\"/><mailbox>",
+                XMARK_WORDS[pick(&mut rng, XMARK_WORDS.len())],
+                XMARK_WORDS[pick(&mut rng, XMARK_WORDS.len())],
+                pick(&mut rng, scale.categories),
+            ));
+            for _ in 0..XmarkScale::mails_for(i) {
+                let date = xmark_date(&mut rng);
+                let body = xmark_words(&mut rng, 4);
+                s.push_str(&format!(
+                    "<mail><from>person{}</from><to>person{}</to>\
+                     <date>{date}</date><text>{body}</text></mail>",
+                    pick(&mut rng, scale.people),
+                    pick(&mut rng, scale.people),
+                ));
+            }
+            s.push_str("</mailbox></item>");
+        }
+        s.push_str(&format!("</{region}>"));
+    }
+    s.push_str("</regions>");
+
+    s.push_str("<categories>");
+    for c in 0..scale.categories {
+        let name = xmark_words(&mut rng, 1);
+        let pre = xmark_words(&mut rng, 2);
+        s.push_str(&format!(
+            "<category id=\"category{c}\"><name>{name}</name>\
+             <description><text>{pre} <emph>{}</emph> &amp; more</text>\
+             </description></category>",
+            XMARK_WORDS[pick(&mut rng, XMARK_WORDS.len())],
+        ));
+    }
+    s.push_str("</categories>");
+
+    s.push_str("<people>");
+    for p in 0..scale.people {
+        let first = XMARK_WORDS[pick(&mut rng, XMARK_WORDS.len())];
+        let phone = rng.gen_range(1_000_000u32..=9_999_999);
+        let card = rng.gen_range(1000u32..=9999);
+        let income = rng.gen_range(9_000u32..=99_000);
+        s.push_str(&format!(
+            "<person id=\"person{p}\"><name>{first} Last{p}</name>\
+             <emailaddress>mailto:{first}{p}@example.com</emailaddress>\
+             <phone>+1 ({}) {phone}</phone>",
+            rng.gen_range(100..=999),
+        ));
+        if XmarkScale::has_address(p) {
+            let street = xmark_words(&mut rng, 1);
+            s.push_str(&format!(
+                "<address><street>{} {street} St</street><city>City{}</city>\
+                 <country>United States</country><zipcode>{}</zipcode>\
+                 </address>",
+                rng.gen_range(1..=99),
+                rng.gen_range(0..50),
+                rng.gen_range(10_000..=99_999),
+            ));
+        }
+        s.push_str(&format!(
+            "<creditcard>{card} {card} {card} {card}</creditcard>\
+             <profile income=\"{income}\"><interest category=\"category{}\"/>",
+            pick(&mut rng, scale.categories),
+        ));
+        if XmarkScale::has_education(p) {
+            s.push_str("<education>Graduate School</education>");
+        }
+        s.push_str(&format!(
+            "<business>No</business><age>{}</age></profile>",
+            rng.gen_range(18..=75),
+        ));
+        let watches = XmarkScale::watches_for(p);
+        if watches > 0 {
+            s.push_str("<watches>");
+            for _ in 0..watches {
+                s.push_str(&format!(
+                    "<watch open_auction=\"open_auction{}\"/>",
+                    pick(&mut rng, scale.open_auctions),
+                ));
+            }
+            s.push_str("</watches>");
+        }
+        s.push_str("</person>");
+    }
+    s.push_str("</people>");
+
+    s.push_str("<open_auctions>");
+    for a in 0..scale.open_auctions {
+        let initial = rng.gen_range(1..=200);
+        s.push_str(&format!(
+            "<open_auction id=\"open_auction{a}\">\
+             <initial>{initial}.00</initial>",
+        ));
+        let mut current = initial;
+        for _ in 0..XmarkScale::bidders_for(a) {
+            let date = xmark_date(&mut rng);
+            let increase = rng.gen_range(1..=30);
+            current += increase;
+            s.push_str(&format!(
+                "<bidder><date>{date}</date><time>{:02}:{:02}:00</time>\
+                 <personref person=\"person{}\"/>\
+                 <increase>{increase}.00</increase></bidder>",
+                rng.gen_range(0..24),
+                rng.gen_range(0..60),
+                pick(&mut rng, scale.people),
+            ));
+        }
+        let prose = xmark_words(&mut rng, 3);
+        s.push_str(&format!(
+            "<current>{current}.00</current><itemref item=\"item{}\"/>\
+             <seller person=\"person{}\"/><annotation>\
+             <author person=\"person{}\"/><description><text>{prose}</text>\
+             </description><happiness>{}</happiness></annotation>\
+             <quantity>1</quantity><type>Regular</type>\
+             <interval><start>{}</start><end>{}</end></interval>\
+             </open_auction>",
+            pick(&mut rng, scale.items),
+            pick(&mut rng, scale.people),
+            pick(&mut rng, scale.people),
+            rng.gen_range(1..=10),
+            xmark_date(&mut rng),
+            xmark_date(&mut rng),
+        ));
+    }
+    s.push_str("</open_auctions>");
+
+    s.push_str("<closed_auctions>");
+    for c in 0..scale.closed_auctions {
+        let prose = xmark_words(&mut rng, 3);
+        s.push_str(&format!(
+            "<closed_auction id=\"closed_auction{c}\">\
+             <seller person=\"person{}\"/><buyer person=\"person{}\"/>\
+             <itemref item=\"item{}\"/><price>{}.00</price>\
+             <date>{}</date><quantity>1</quantity><type>Regular</type>\
+             <annotation><author person=\"person{}\"/>\
+             <description><text>{prose}</text></description>\
+             <happiness>{}</happiness></annotation></closed_auction>",
+            pick(&mut rng, scale.people),
+            pick(&mut rng, scale.people),
+            pick(&mut rng, scale.items),
+            rng.gen_range(10..=500),
+            xmark_date(&mut rng),
+            pick(&mut rng, scale.people),
+            rng.gen_range(1..=10),
+        ));
+    }
+    s.push_str("</closed_auctions>");
+
+    s.push_str("</site>");
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -487,6 +814,49 @@ mod tests {
             "superusers are users"
         );
         assert!(m.relation_count() > m.node_count(), "richly connected");
+    }
+
+    #[test]
+    fn xmark_auction_is_deterministic_per_seed() {
+        let scale = XmarkScale::about(2_000);
+        let a = xmark_auction(&scale, 11);
+        let b = xmark_auction(&scale, 11);
+        assert_eq!(a, b, "same scale and seed must be byte-identical");
+        let c = xmark_auction(&scale, 12);
+        assert_ne!(a, c, "a different seed must vary the values");
+        assert_eq!(a.len(), a.find("</site>").unwrap() + "</site>".len());
+    }
+
+    #[test]
+    fn xmark_node_count_is_exact() {
+        use xmlstore::parser::ParseOptions;
+        use xmlstore::store::Store;
+
+        let scale = XmarkScale::about(3_000);
+        let xml = xmark_auction(&scale, 5);
+        let predicted = scale.node_count();
+
+        // Parsing under a record cap of exactly the prediction succeeds…
+        let mut fits = ParseOptions::data_oriented();
+        fits.max_nodes = Some(predicted);
+        Store::new().parse_str(&xml, &fits).unwrap();
+
+        // …and under one record less it must trip the cap: the prediction
+        // is exact, not merely an upper bound.
+        let mut tight = ParseOptions::data_oriented();
+        tight.max_nodes = Some(predicted - 1);
+        let err = Store::new().parse_str(&xml, &tight).unwrap_err();
+        assert!(err.to_string().contains("arena"), "{err}");
+    }
+
+    #[test]
+    fn xmark_about_reaches_the_asked_for_size() {
+        let scale = XmarkScale::about(100_000);
+        let n = scale.node_count();
+        assert!(
+            n >= 100_000 && n < 140_000,
+            "about(100k) should land a little above 100k records, got {n}"
+        );
     }
 
     #[test]

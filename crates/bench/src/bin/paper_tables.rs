@@ -9,6 +9,10 @@
 
 use awb::workload::{it_architecture, it_metamodel, production_scale};
 use awb::{xmlio, NodeRef, PropValue, Query};
+use bench_suite::corpus::{
+    deep_document, entity_document, wide_document, xmark_auction, XmarkScale,
+};
+use bench_suite::scenario::{self, OpClass, ScenarioConfig};
 use bench_suite::{call_graph, it_workload, loc, marker_loc, set_fault_rate, Workload};
 use docgen::batch::{generate_batch_with, BatchJob, CompiledPipeline, GeneratorKind};
 use docgen::xq::{Phase, XqGenerator};
@@ -82,6 +86,10 @@ fn main() {
     // Opt-in only (writes a file): `paper_tables -- bench-edit`.
     if args.iter().any(|a| a == "bench-edit") {
         bench_edit();
+    }
+    // Opt-in only (asserts, for CI): `paper_tables -- scenario-smoke`.
+    if args.iter().any(|a| a == "scenario-smoke") {
+        scenario_smoke();
     }
     // Opt-in only (asserts, for CI): `paper_tables -- bench-gate [BASELINE]`.
     if let Some(pos) = args.iter().position(|a| a == "bench-gate") {
@@ -434,53 +442,82 @@ fn baseline_number(text: &str, anchor: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// The gate's ratio tolerance: a row may run this much slower than its
+/// baseline before it counts as a regression.
+const GATE_TOLERANCE: f64 = 1.25;
+/// Absolute floor added to microsecond-scale rows so timer granularity
+/// cannot trip them.
+const GATE_FLOOR_MS: f64 = 0.05;
+
+/// The formula limit for a **microsecond-scale** row. This is also the
+/// fallback when a baseline row carries no explicit `gate_limit_ms`
+/// (BENCH_7/8/9 snapshots written before limits were explicit).
+fn micro_gate_limit(baseline_median_ms: f64) -> f64 {
+    (baseline_median_ms * GATE_TOLERANCE).max(baseline_median_ms + GATE_FLOOR_MS)
+}
+
+/// The limit for a **multi-millisecond corpus** row. The micro formula is
+/// wrong-shaped here: its +0.05 ms floor is invisible next to a 20 ms
+/// median, while scheduler noise on a big parse easily exceeds 25% of a
+/// single fast sample. So these rows get a wider ratio, a half-millisecond
+/// absolute floor, and — because the writer records the observed envelope —
+/// never a limit below 1.25x the baseline's own max.
+fn corpus_gate_limit(s: Stats) -> f64 {
+    (s.median * 1.5)
+        .max(s.median + 0.5)
+        .max(s.max * GATE_TOLERANCE)
+}
+
 /// `paper_tables -- bench-gate [BASELINE.json]` — re-times the E1 n=800
-/// lowered row and every axis micro row with the bench-json protocol and
-/// panics (non-zero exit, for CI) if any row regresses more than 25% over
-/// the baseline snapshot's median. The gate compares the *fastest* of its
-/// 41 samples against the limit: scheduler noise only ever inflates a
-/// timing, so the minimum is the robust estimator of true cost, while a
-/// real regression raises the minimum just the same. A 0.05 ms absolute
-/// floor keeps the microsecond axis rows from tripping on timer
-/// granularity, and a row over its limit is re-measured twice before it
-/// counts as a failure.
+/// lowered row, every axis micro row, and (when the baseline carries them)
+/// the BENCH_9 edit rows and BENCH_10 corpus/scenario rows, and panics
+/// (non-zero exit, for CI) if any row regresses past its limit. The gate
+/// compares the *fastest* of its 41 samples against the limit: scheduler
+/// noise only ever inflates a timing, so the minimum is the robust
+/// estimator of true cost, while a real regression raises the minimum just
+/// the same. Each row's limit is explicit in the baseline JSON
+/// (`gate_limit_ms` for latency rows, `gate_floor_qps` for inverted
+/// throughput rows); rows from snapshots written before limits were
+/// explicit fall back to the micro formula
+/// `max(1.25 x baseline, baseline + 0.05 ms)`. A row over its limit is
+/// re-measured twice before it counts as a failure.
 fn bench_gate(baseline_path: &str) {
     header(&format!(
-        "bench-gate — fastest-of-41 vs {baseline_path} medians, limit = max(1.25 x baseline, baseline + 0.05 ms)"
+        "bench-gate — fastest-of-41 vs {baseline_path}, explicit per-row gate_limit_ms \
+         (fallback: max(1.25 x baseline, baseline + 0.05 ms))"
     ));
     let baseline = std::fs::read_to_string(baseline_path)
         .unwrap_or_else(|e| panic!("bench-gate: cannot read {baseline_path}: {e}"));
     const MICRO_REPS: usize = 41;
-    const TOLERANCE: f64 = 1.25;
-    const FLOOR_MS: f64 = 0.05;
     /// Extra measurements granted to a row that lands over its limit. A
     /// shared CI box wobbles far more than 25% in a single median; a real
     /// regression stays over the limit on every re-measure, noise does not.
     const RETRIES: usize = 2;
     let mut failures: Vec<String> = Vec::new();
-    let mut gate = |row: &str, base: Option<f64>, sample: &mut dyn FnMut() -> f64| {
-        let mut got = sample();
-        match base {
-            None => println!("  {row:<24} {got:>9.4} ms  (no baseline row — skipped)"),
-            Some(base) => {
-                let limit = (base * TOLERANCE).max(base + FLOOR_MS);
-                let mut tries = 1;
-                while got > limit && tries <= RETRIES {
-                    got = sample();
-                    tries += 1;
-                }
-                let verdict = if got <= limit {
-                    "ok"
-                } else {
-                    failures.push(format!("{row}: {got:.4} ms > limit {limit:.4} ms"));
-                    "REGRESSED"
-                };
-                println!(
+    let mut gate =
+        |row: &str, base: Option<f64>, explicit: Option<f64>, sample: &mut dyn FnMut() -> f64| {
+            let mut got = sample();
+            match base {
+                None => println!("  {row:<24} {got:>9.4} ms  (no baseline row — skipped)"),
+                Some(base) => {
+                    let limit = explicit.unwrap_or_else(|| micro_gate_limit(base));
+                    let mut tries = 1;
+                    while got > limit && tries <= RETRIES {
+                        got = sample();
+                        tries += 1;
+                    }
+                    let verdict = if got <= limit {
+                        "ok"
+                    } else {
+                        failures.push(format!("{row}: {got:.4} ms > limit {limit:.4} ms"));
+                        "REGRESSED"
+                    };
+                    println!(
                     "  {row:<24} {got:>9.4} ms  baseline {base:>9.4}  limit {limit:>9.4}  {verdict}"
                 );
+                }
             }
-        }
-    };
+        };
 
     // E1 n=800, lowered runner — the headline calculus row.
     let w = it_workload(800, 42);
@@ -496,6 +533,7 @@ fn bench_gate(baseline_path: &str) {
     gate(
         "e1_n800_xq_lowered",
         baseline_number(&baseline, "\"nodes\": 800, \"native_ms\"", "xq_lowered_ms"),
+        baseline_number(&baseline, "\"nodes\": 800, \"native_ms\"", "gate_limit_ms"),
         &mut || {
             measure(MICRO_REPS, || {
                 engine.evaluate(&compiled, None).unwrap();
@@ -514,6 +552,7 @@ fn bench_gate(baseline_path: &str) {
         gate(
             name,
             baseline_number(&baseline, &format!("\"name\": \"{name}\""), "lowered_ms"),
+            baseline_number(&baseline, &format!("\"name\": \"{name}\""), "gate_limit_ms"),
             &mut || {
                 measure_per_call(MICRO_REPS, 10, || {
                     engine.evaluate(&compiled, Some(doc)).unwrap();
@@ -537,6 +576,7 @@ fn bench_gate(baseline_path: &str) {
                 "\"name\": \"edit_docgen_n800\"",
                 "incremental_ms",
             ),
+            baseline_number(&baseline, "\"name\": \"edit_docgen_n800\"", "gate_limit_ms"),
             &mut || edit_gate_sample(),
         );
         gate(
@@ -545,6 +585,11 @@ fn bench_gate(baseline_path: &str) {
                 &baseline,
                 "\"name\": \"index_repatch_vs_rebuild\"",
                 "index_repatch_ms",
+            ),
+            baseline_number(
+                &baseline,
+                "\"name\": \"index_repatch_vs_rebuild\"",
+                "gate_limit_ms",
             ),
             &mut || edit_micro_index(MICRO_REPS).0.min,
         );
@@ -555,9 +600,26 @@ fn bench_gate(baseline_path: &str) {
                 "\"name\": \"refreeze_vs_rebuild\"",
                 "refreeze_incremental_ms",
             ),
+            baseline_number(
+                &baseline,
+                "\"name\": \"refreeze_vs_rebuild\"",
+                "gate_limit_ms",
+            ),
             &mut || edit_micro_refreeze(MICRO_REPS).0.min,
         );
     }
+
+    // BENCH_10 corpus and scenario rows — gated only when the baseline is
+    // the BENCH_10 snapshot. Latency rows carry explicit `gate_limit_ms`
+    // in the corpus shape (see [`corpus_gate_limit`]); the scenario rows
+    // gate inverted on `gate_floor_qps`, like the service QPS row. The
+    // scenario failures come back as a list because `gate` holds the
+    // mutable borrow of `failures` until its last call.
+    let bench10_failures = if baseline.contains("\"name\": \"xmark_point\"") {
+        bench10_gate_rows(&baseline, &mut gate)
+    } else {
+        Vec::new()
+    };
 
     // The service QPS row gates the other way round: throughput is
     // higher-is-better, so the BEST of a few rounds must stay above
@@ -570,7 +632,10 @@ fn bench_gate(baseline_path: &str) {
         Ok(text) => match baseline_number(&text, "\"name\": \"qps_hot_plan\"", "qps") {
             None => println!("  {:<24} (no qps_hot_plan row — skipped)", "qps_hot_plan"),
             Some(base) => {
-                let floor = base / TOLERANCE;
+                // The inverted-row limit is explicit in the snapshot too;
+                // the ratio fallback covers pre-existing BENCH_8 files.
+                let floor = baseline_number(&text, "\"name\": \"qps_hot_plan\"", "gate_floor_qps")
+                    .unwrap_or(base / GATE_TOLERANCE);
                 let mut best = qps_gate_sample();
                 let mut tries = 1;
                 while best < floor && tries <= RETRIES {
@@ -593,6 +658,7 @@ fn bench_gate(baseline_path: &str) {
         },
     }
 
+    failures.extend(bench10_failures);
     assert!(
         failures.is_empty(),
         "bench-gate: {} row(s) regressed past the limit:\n  {}",
@@ -731,11 +797,13 @@ fn qps_row(addr: SocketAddr, tenant: &str, make_query: QpsPick) -> QpsRow {
 fn qps_row_json(name: &str, row: &QpsRow, plan_hit_rate: f64) -> String {
     format!(
         "    {{\"name\": \"{name}\", \"qps\": {:.1}, \"qps_min\": {:.1}, \"qps_max\": {:.1}, \
-         \"qps_spread\": {:.3}, {}, {}, {}, \"plan_hit_rate\": {plan_hit_rate:.4}}}",
+         \"qps_spread\": {:.3}, \"gate_floor_qps\": {:.1}, {}, {}, {}, \
+         \"plan_hit_rate\": {plan_hit_rate:.4}}}",
         row.qps.median,
         row.qps.min,
         row.qps.max,
         row.qps.spread(),
+        row.qps.min / GATE_TOLERANCE,
         metric_json("p50", row.p50),
         metric_json("p95", row.p95),
         metric_json("p99", row.p99),
@@ -1022,7 +1090,8 @@ fn edit_bench_row(
     (
         format!(
             "    {{\"name\": \"{name}\", \"corpus_nodes\": {corpus_nodes}, \"chunks\": {chunks}, \
-             \"chunks_reran\": {reran}, {}, {}, \"speedup\": {speedup:.1}}}",
+             \"chunks_reran\": {reran}, \"gate_limit_ms\": {:.4}, {}, {}, \"speedup\": {speedup:.1}}}",
+            micro_gate_limit(inc.median),
             metric_json("incremental", inc),
             metric_json("full_regen", full)
         ),
@@ -1203,7 +1272,9 @@ fn bench_edit() {
         repatch.median, rebuild.median
     );
     out.push_str(&format!(
-        "    {{\"name\": \"index_repatch_vs_rebuild\", {}, {}, \"speedup\": {:.1}}},\n",
+        "    {{\"name\": \"index_repatch_vs_rebuild\", \"gate_limit_ms\": {:.4}, {}, {}, \
+         \"speedup\": {:.1}}},\n",
+        micro_gate_limit(repatch.median),
         metric_json("index_repatch", repatch),
         metric_json("index_rebuild", rebuild),
         rebuild.median / repatch.median
@@ -1214,7 +1285,9 @@ fn bench_edit() {
         inc.median, full.median
     );
     out.push_str(&format!(
-        "    {{\"name\": \"refreeze_vs_rebuild\", {}, {}, \"speedup\": {:.1}}}\n",
+        "    {{\"name\": \"refreeze_vs_rebuild\", \"gate_limit_ms\": {:.4}, {}, {}, \
+         \"speedup\": {:.1}}}\n",
+        micro_gate_limit(inc.median),
         metric_json("refreeze_incremental", inc),
         metric_json("refreeze_full", full),
         full.median / inc.median
@@ -1415,10 +1488,11 @@ fn bench_json() {
         );
         let comma = if idx < 2 { "," } else { "" };
         out.push_str(&format!(
-            "    {{\"nodes\": {n}, {}, {}, {}}}{comma}\n",
+            "    {{\"nodes\": {n}, {}, {}, {}, \"gate_limit_ms\": {:.4}}}{comma}\n",
             metric_json("native", native),
             metric_json("xq_lowered", lowered),
-            metric_json("xq_reference_walker", reference)
+            metric_json("xq_reference_walker", reference),
+            micro_gate_limit(lowered.median)
         ));
     }
     out.push_str("  ],\n  \"engine_micro\": [\n");
@@ -1461,9 +1535,10 @@ fn bench_json() {
         );
         let comma = if idx + 1 < AXIS_MICRO.len() { "," } else { "" };
         out.push_str(&format!(
-            "    {{\"name\": \"{name}\", {}, {}}}{comma}\n",
+            "    {{\"name\": \"{name}\", {}, {}, \"gate_limit_ms\": {:.4}}}{comma}\n",
             metric_json("lowered", lowered),
-            metric_json("reference_walker", reference)
+            metric_json("reference_walker", reference),
+            micro_gate_limit(lowered.median)
         ));
     }
     out.push_str("  ],\n");
@@ -1474,6 +1549,395 @@ fn bench_json() {
     out.push_str("}\n");
     std::fs::write("BENCH_7.json", &out).expect("writing BENCH_7.json");
     println!("  wrote BENCH_7.json");
+    bench10_json();
+}
+
+// ----------------------------------------------------------------------
+// BENCH_10: workload corpora + mixed-scenario driver.
+// ----------------------------------------------------------------------
+
+/// The corpus/scenario snapshot the BENCH_10 gate reads.
+const BENCH10_BASELINE: &str = "BENCH_10.json";
+/// XMark corpus size for the timed rows — big enough that parse and join
+/// are multi-millisecond (the regime the corpus gate shape exists for),
+/// small enough to rebuild inside a gate retry.
+const B10_XMARK_NODES: usize = 20_000;
+const B10_SEED: u64 = 42;
+/// Hostile corpus sizes: just under the default depth cap, wide enough for
+/// ~80k records, and two thousand reference-dense items.
+const B10_DEEP: usize = 9_000;
+const B10_WIDE: usize = 40_000;
+const B10_ENTITY: usize = 2_000;
+/// The scenario the snapshot and the gate both replay.
+const B10_SCENARIO: ScenarioConfig = ScenarioConfig {
+    corpus_nodes: 8_000,
+    ops: 120,
+    seed: 42,
+};
+const B10_SCENARIO_ROUNDS: usize = 3;
+/// Scenario QPS floors divide the observed minimum by this: a whole-run
+/// throughput over a shaped mix wobbles more than a single-op latency, so
+/// the inverted rows get a wider band than [`GATE_TOLERANCE`].
+const B10_SCENARIO_TOLERANCE: f64 = 1.5;
+
+/// The three XMark query rows: one text per scenario read class, so the
+/// snapshot, the gate, and the scenario driver all speak about the same
+/// queries.
+fn b10_xmark_queries() -> Vec<(&'static str, String)> {
+    vec![
+        ("xmark_point", scenario::point_queries()[0].clone()),
+        ("xmark_join", scenario::JOIN_QUERY.to_string()),
+        ("xmark_stream_prefix", scenario::STREAM_QUERY.to_string()),
+    ]
+}
+
+/// One corpus-parse latency row (single line, explicit gate limit).
+fn b10_parse_row(name: &str, shape: &str, shape_n: usize, bytes: usize, s: Stats) -> String {
+    format!(
+        "    {{\"name\": \"{name}\", \"{shape}\": {shape_n}, \"bytes\": {bytes}, {}, \
+         \"gate_limit_ms\": {:.4}}}",
+        metric_json("parse", s),
+        corpus_gate_limit(s)
+    )
+}
+
+/// One scenario row: per-class throughput over the rounds (median with
+/// min/max/spread, like every other BENCH row) and the latency tail from
+/// the median round.
+fn b10_scenario_row(mode: &str, class: OpClass, rounds: &[scenario::ScenarioReport]) -> String {
+    let of = |f: &dyn Fn(&scenario::ClassReport) -> f64| {
+        stats_of(rounds.iter().map(|r| f(r.class(class))).collect())
+    };
+    let qps = of(&|r| r.qps);
+    let p50 = of(&|r| r.p50_ms);
+    let p95 = of(&|r| r.p95_ms);
+    let p99 = of(&|r| r.p99_ms);
+    format!(
+        "    {{\"name\": \"scenario_{mode}_{}\", \"count\": {}, \"qps\": {:.1}, \
+         \"qps_min\": {:.1}, \"qps_max\": {:.1}, \"qps_spread\": {:.3}, \
+         \"gate_floor_qps\": {:.1}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4}}}",
+        class.name(),
+        rounds[0].class(class).count,
+        qps.median,
+        qps.min,
+        qps.max,
+        qps.spread(),
+        qps.min / B10_SCENARIO_TOLERANCE,
+        p50.median,
+        p95.median,
+        p99.median,
+    )
+}
+
+/// Writes `BENCH_10.json`: the XMark-style corpus rows (generation, parse,
+/// and the three query classes), the hostile-corpus rows (deep, wide,
+/// entity-heavy), and the mixed-scenario rows (per-op-class QPS and
+/// latency tail, in-process and through the service). Every latency row
+/// carries an explicit `gate_limit_ms` in the corpus shape and every
+/// throughput row an explicit `gate_floor_qps`, so the gate never has to
+/// guess which formula fits the row.
+fn bench10_json() {
+    header("bench-json — writing BENCH_10.json (workload corpora + mixed scenario)");
+    const PARSE_REPS: usize = 11;
+    const MICRO_REPS: usize = 41;
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut out = String::from(
+        "{\n  \"units\": \"milliseconds; parse rows median of 11 runs, query rows median of 41, \
+         scenario rows aggregated over 3 scenario rounds, after 1 warm-up; \
+         spread = (max - min) / median\",\n",
+    );
+    out.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+
+    // The XMark-style corpus: generation is re-run to prove determinism,
+    // then the parse and the three query classes are timed over it.
+    let scale = XmarkScale::about(B10_XMARK_NODES);
+    let corpus = xmark_auction(&scale, B10_SEED);
+    assert_eq!(
+        corpus,
+        xmark_auction(&scale, B10_SEED),
+        "xmark generator must be byte-deterministic for a fixed seed"
+    );
+    println!(
+        "  xmark corpus: {} records, {} bytes (seed {B10_SEED})",
+        scale.node_count(),
+        corpus.len()
+    );
+    out.push_str(&format!(
+        "  \"xmark_corpus\": {{\"nodes\": {}, \"bytes\": {}, \"seed\": {B10_SEED}}},\n",
+        scale.node_count(),
+        corpus.len()
+    ));
+    out.push_str("  \"xmark_rows\": [\n");
+    let parse = measure(PARSE_REPS, || {
+        xmlstore::Store::new()
+            .parse_str(&corpus, &ParseOptions::data_oriented())
+            .expect("xmark corpus parses");
+    });
+    println!("  xmark_parse: {:.3} ms", parse.median);
+    out.push_str(&b10_parse_row(
+        "xmark_parse",
+        "nodes",
+        scale.node_count(),
+        corpus.len(),
+        parse,
+    ));
+    out.push_str(",\n");
+    let mut engine = Engine::new();
+    let doc = engine.load_document(&corpus).expect("xmark corpus loads");
+    let queries = b10_xmark_queries();
+    for (idx, (name, src)) in queries.iter().enumerate() {
+        let compiled = engine.compile(src).expect("xmark query compiles");
+        let lowered = measure(MICRO_REPS, || {
+            engine.evaluate(&compiled, Some(doc)).unwrap();
+        });
+        println!("  {name}: {:.3} ms", lowered.median);
+        let comma = if idx + 1 < queries.len() {
+            ""
+        } else {
+            "\n  ],"
+        };
+        out.push_str(&format!(
+            "    {{\"name\": \"{name}\", {}, \"gate_limit_ms\": {:.4}}}{}\n",
+            metric_json("lowered", lowered),
+            corpus_gate_limit(lowered),
+            if comma.is_empty() { "," } else { comma }
+        ));
+    }
+
+    // Hostile corpora: the documents that exist to hit the guards. Timed
+    // on their happy path (just under the caps); their ERR paths are pinned
+    // by the parser and qsvc tests.
+    out.push_str("  \"hostile_rows\": [\n");
+    let deep = deep_document(B10_DEEP);
+    let deep_stats = measure(PARSE_REPS, || {
+        xmlstore::Store::new()
+            .parse_str(&deep, &ParseOptions::data_oriented())
+            .expect("deep corpus parses under the default cap");
+    });
+    println!("  hostile_deep_parse: {:.3} ms", deep_stats.median);
+    out.push_str(&b10_parse_row(
+        "hostile_deep_parse",
+        "depth",
+        B10_DEEP,
+        deep.len(),
+        deep_stats,
+    ));
+    out.push_str(",\n");
+    let wide = wide_document(B10_WIDE);
+    let wide_stats = measure(PARSE_REPS, || {
+        xmlstore::Store::new()
+            .parse_str(&wide, &ParseOptions::data_oriented())
+            .expect("wide corpus parses");
+    });
+    println!("  hostile_wide_parse: {:.3} ms", wide_stats.median);
+    out.push_str(&b10_parse_row(
+        "hostile_wide_parse",
+        "children",
+        B10_WIDE,
+        wide.len(),
+        wide_stats,
+    ));
+    out.push_str(",\n");
+    let entity = entity_document(B10_ENTITY);
+    let entity_stats = measure(PARSE_REPS, || {
+        let mut store = xmlstore::Store::new();
+        let doc = store
+            .parse_str(&entity, &ParseOptions::data_oriented())
+            .expect("entity corpus parses");
+        let out = store.serialize(doc, &xmlstore::serializer::SerializeOptions::default());
+        assert!(out.contains("&lt;tag&gt;"), "serializer must re-escape");
+    });
+    println!("  hostile_entity_roundtrip: {:.3} ms", entity_stats.median);
+    out.push_str(&b10_parse_row(
+        "hostile_entity_roundtrip",
+        "items",
+        B10_ENTITY,
+        entity.len(),
+        entity_stats,
+    ));
+    out.push_str("\n  ],\n");
+
+    // The mixed scenario, three rounds per mode. Round one is also the
+    // warm-up (allocator, service socket, plan cache) — its numbers are
+    // recorded like the rest; the min/max envelope absorbs the difference.
+    out.push_str(&format!(
+        "  \"scenario\": {{\"corpus_nodes\": {}, \"ops\": {}, \"seed\": {}, \"rounds\": {B10_SCENARIO_ROUNDS}}},\n",
+        B10_SCENARIO.corpus_nodes, B10_SCENARIO.ops, B10_SCENARIO.seed
+    ));
+    out.push_str("  \"scenario_rows\": [\n");
+    let inproc: Vec<_> = (0..B10_SCENARIO_ROUNDS)
+        .map(|_| scenario::run_in_process(&B10_SCENARIO))
+        .collect();
+    let service: Vec<_> = (0..B10_SCENARIO_ROUNDS)
+        .map(|_| scenario::run_service(&B10_SCENARIO))
+        .collect();
+    let modes = [("inproc", &inproc), ("service", &service)];
+    for (m, (mode, rounds)) in modes.iter().enumerate() {
+        for (c, class) in OpClass::ALL.into_iter().enumerate() {
+            let row = b10_scenario_row(mode, class, rounds);
+            println!("  {}", row.trim_start());
+            let last = m + 1 == modes.len() && c + 1 == OpClass::ALL.len();
+            out.push_str(&row);
+            out.push_str(if last { "\n" } else { ",\n" });
+        }
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(BENCH10_BASELINE, &out).expect("writing BENCH_10.json");
+    println!("  wrote {BENCH10_BASELINE}");
+}
+
+/// Re-times the BENCH_10 rows for the gate: corpus parse and query rows
+/// against their explicit `gate_limit_ms`, then the two scenario point
+/// rows inverted against `gate_floor_qps`. Returns the scenario failures
+/// (the `gate` closure owns the latency failure list).
+fn bench10_gate_rows(
+    baseline: &str,
+    gate: &mut dyn FnMut(&str, Option<f64>, Option<f64>, &mut dyn FnMut() -> f64),
+) -> Vec<String> {
+    const PARSE_REPS: usize = 11;
+    const MICRO_REPS: usize = 41;
+    const RETRIES: usize = 2;
+    let lookup =
+        |name: &str, key: &str| baseline_number(baseline, &format!("\"name\": \"{name}\""), key);
+
+    let scale = XmarkScale::about(B10_XMARK_NODES);
+    let corpus = xmark_auction(&scale, B10_SEED);
+    gate(
+        "xmark_parse",
+        lookup("xmark_parse", "parse_ms"),
+        lookup("xmark_parse", "gate_limit_ms"),
+        &mut || {
+            measure(PARSE_REPS, || {
+                xmlstore::Store::new()
+                    .parse_str(&corpus, &ParseOptions::data_oriented())
+                    .expect("xmark corpus parses");
+            })
+            .min
+        },
+    );
+    let mut engine = Engine::new();
+    let doc = engine.load_document(&corpus).expect("xmark corpus loads");
+    for (name, src) in b10_xmark_queries() {
+        let compiled = engine.compile(&src).expect("xmark query compiles");
+        gate(
+            name,
+            lookup(name, "lowered_ms"),
+            lookup(name, "gate_limit_ms"),
+            &mut || {
+                measure(MICRO_REPS, || {
+                    engine.evaluate(&compiled, Some(doc)).unwrap();
+                })
+                .min
+            },
+        );
+    }
+    // The entity row's timed op includes the serialize leg (it is a
+    // round-trip row), so the gate replays the same op, not just the parse.
+    for (name, xml, roundtrip) in [
+        ("hostile_deep_parse", deep_document(B10_DEEP), false),
+        ("hostile_wide_parse", wide_document(B10_WIDE), false),
+        (
+            "hostile_entity_roundtrip",
+            entity_document(B10_ENTITY),
+            true,
+        ),
+    ] {
+        gate(
+            name,
+            lookup(name, "parse_ms"),
+            lookup(name, "gate_limit_ms"),
+            &mut || {
+                measure(PARSE_REPS, || {
+                    let mut store = xmlstore::Store::new();
+                    let doc = store
+                        .parse_str(&xml, &ParseOptions::data_oriented())
+                        .expect("hostile corpus parses");
+                    if roundtrip {
+                        store.serialize(doc, &xmlstore::serializer::SerializeOptions::default());
+                    }
+                })
+                .min
+            },
+        );
+    }
+
+    // Scenario point throughput, inverted: best-of with the usual retries
+    // against the snapshot's explicit floor. Only the point class gates —
+    // it is the highest-count class in the mix, so its QPS is the most
+    // stable; the other classes are reported for trajectory, not gated.
+    let mut failures = Vec::new();
+    let runs: [(&str, &dyn Fn() -> f64); 2] = [
+        ("scenario_inproc_point", &|| {
+            scenario::run_in_process(&B10_SCENARIO)
+                .class(OpClass::Point)
+                .qps
+        }),
+        ("scenario_service_point", &|| {
+            scenario::run_service(&B10_SCENARIO)
+                .class(OpClass::Point)
+                .qps
+        }),
+    ];
+    for (name, sample) in runs {
+        let Some(base) = lookup(name, "qps") else {
+            println!("  {name:<24} (no baseline row — skipped)");
+            continue;
+        };
+        let floor = lookup(name, "gate_floor_qps").unwrap_or(base / B10_SCENARIO_TOLERANCE);
+        let mut best = sample();
+        let mut tries = 1;
+        while best < floor && tries <= RETRIES {
+            best = best.max(sample());
+            tries += 1;
+        }
+        let verdict = if best >= floor {
+            "ok"
+        } else {
+            failures.push(format!("{name}: {best:.1} qps < floor {floor:.1} qps"));
+            "REGRESSED"
+        };
+        println!(
+            "  {name:<24} {best:>9.1} qps baseline {base:>9.1}  floor {floor:>9.1}  {verdict}"
+        );
+    }
+    failures
+}
+
+/// `paper_tables -- scenario-smoke` — runs the CI-sized mixed scenario in
+/// both modes and asserts every scheduled operation ran. The run itself
+/// panics on any query error, admission failure, or divergent batch, so
+/// "it finished" is the assertion that matters; the printed table is for
+/// the CI log.
+fn scenario_smoke() {
+    header("scenario-smoke — mixed-scenario driver, in-process and through qsvc");
+    let cfg = ScenarioConfig::smoke();
+    let runs = [
+        ("inproc", scenario::run_in_process(&cfg)),
+        ("service", scenario::run_service(&cfg)),
+    ];
+    for (mode, report) in &runs {
+        for row in &report.rows {
+            println!(
+                "  {mode:<8} {:<14} {:>3} ops  {:>8.1} qps  p50 {:>8.3} ms  p95 {:>8.3} ms  p99 {:>8.3} ms",
+                row.class.name(),
+                row.count,
+                row.qps,
+                row.p50_ms,
+                row.p95_ms,
+                row.p99_ms
+            );
+            if row.count > 0 {
+                assert!(
+                    row.qps > 0.0,
+                    "{mode}/{}: zero throughput",
+                    row.class.name()
+                );
+            }
+        }
+        let total: usize = report.rows.iter().map(|r| r.count).sum();
+        assert_eq!(total, cfg.ops, "{mode}: every scheduled op must run");
+    }
+    println!("  scenario smoke passed: every op class ran to completion in both modes");
 }
 
 /// Store-substrate section of `BENCH_7.json`: the flat-arena counters after

@@ -1,0 +1,114 @@
+//! Benchmark corpora: the XMark-style auction corpus (re-exported from
+//! `awb::workload`) plus the hostile documents — pathologically deep,
+//! pathologically wide, and entity/escape-heavy — that exercise the
+//! parser's `max_depth` and `max_nodes` guards and the serializer's
+//! re-escaping. Every generator is deterministic: corpora are pure
+//! functions of their size parameters (and, for XMark, a seed).
+
+pub use awb::workload::{xmark_auction, XmarkScale};
+
+/// A document of `depth` nested elements with a single text leaf:
+/// `<d><d>…x…</d></d>`. At `depth` past the parser's `max_depth` this
+/// trips `XmlErrorKind::TooDeep` at a known position; below it, it is a
+/// worst case for recursive descent and for streamed child axes.
+pub fn deep_document(depth: usize) -> String {
+    let mut s = String::with_capacity(depth * 7 + 1);
+    for _ in 0..depth {
+        s.push_str("<d>");
+    }
+    s.push('x');
+    for _ in 0..depth {
+        s.push_str("</d>");
+    }
+    s
+}
+
+/// A document with `children` empty `<c i="n"/>` children under one root:
+/// the widest possible sibling list. Parses to `2 * children + 1` records
+/// (element + index attribute each), so a `max_nodes` cap below that trips
+/// `ArenaFull` mid-document.
+pub fn wide_document(children: usize) -> String {
+    let mut s = String::with_capacity(children * 12 + 16);
+    s.push_str("<r>");
+    for i in 0..children {
+        s.push_str("<c i=\"");
+        s.push_str(&i.to_string());
+        s.push_str("\"/>");
+    }
+    s.push_str("</r>");
+    s
+}
+
+/// A document where every text node and attribute is dense with character
+/// and entity references — `&amp;`, `&lt;`, `&gt;`, `&quot;`, decimal and
+/// hex character references. Decoding happens on parse; serializing any
+/// of it back must re-escape, so round-tripping this corpus is a
+/// serializer-escaping test as much as a parser one.
+pub fn entity_document(items: usize) -> String {
+    let mut s = String::with_capacity(items * 96 + 16);
+    s.push_str("<doc>");
+    for i in 0..items {
+        s.push_str(&format!(
+            "<item k=\"a&lt;b&amp;c&quot;d{i}\">&lt;tag&gt; &amp; \
+             &#65;&#x42; r&#246;sti {i}</item>"
+        ));
+    }
+    s.push_str("</doc>");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlstore::error::XmlErrorKind;
+    use xmlstore::parser::ParseOptions;
+    use xmlstore::store::Store;
+
+    #[test]
+    fn deep_document_trips_the_depth_guard_exactly() {
+        let opts = ParseOptions::data_oriented();
+        // One under the default limit parses; one over trips TooDeep.
+        let limit = opts.max_depth;
+        Store::new()
+            .parse_str(&deep_document(limit), &opts)
+            .unwrap();
+        let err = Store::new()
+            .parse_str(&deep_document(limit + 1), &opts)
+            .unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::TooDeep { .. }), "{err}");
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn wide_document_record_count_is_predictable() {
+        let mut opts = ParseOptions::data_oriented();
+        opts.max_nodes = Some(2 * 1_000 + 1);
+        Store::new()
+            .parse_str(&wide_document(1_000), &opts)
+            .unwrap();
+        opts.max_nodes = Some(2 * 1_000);
+        let err = Store::new()
+            .parse_str(&wide_document(1_000), &opts)
+            .unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::ArenaFull), "{err}");
+    }
+
+    #[test]
+    fn entity_document_decodes_once_and_reescapes() {
+        let mut store = Store::new();
+        let doc = store
+            .parse_str(&entity_document(3), &ParseOptions::data_oriented())
+            .unwrap();
+        let out = store.serialize(doc, &xmlstore::serializer::SerializeOptions::default());
+        assert!(out.contains("&lt;tag&gt; &amp; AB r\u{f6}sti 0"));
+        assert!(!out.contains("&#65;"), "references decode on parse: {out}");
+        assert!(!out.contains("<tag>"), "text must not leak as markup");
+    }
+
+    #[test]
+    fn corpora_are_deterministic() {
+        assert_eq!(deep_document(50), deep_document(50));
+        assert_eq!(wide_document(50), wide_document(50));
+        assert_eq!(entity_document(50), entity_document(50));
+    }
+}

@@ -1,6 +1,9 @@
 //! Shared plumbing for the benchmark harness: workload construction, fault
 //! injection, line counting (E6), and the type-metastasis analysis (E8).
 
+pub mod corpus;
+pub mod scenario;
+
 use awb::workload::{it_architecture, it_metamodel, ItScale};
 use awb::{Metamodel, Model, PropValue};
 

@@ -297,6 +297,39 @@ mod tests {
     }
 
     #[test]
+    fn hostile_payloads_round_trip_byte_clean() {
+        // A 10k-deep document and an escape/control-character-heavy payload
+        // cross the framing layer byte-for-byte — the protocol never
+        // inspects or mangles payload bytes, however hostile.
+        let mut deep = String::new();
+        for _ in 0..10_000 {
+            deep.push_str("<a>");
+        }
+        deep.push_str("&lt;&amp;\"'\u{0007}\n\r\n]]>");
+        for _ in 0..10_000 {
+            deep.push_str("</a>");
+        }
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &["LOAD", "hostile"], deep.as_bytes()).unwrap();
+        let mut r = BufReader::new(&buf[..]);
+        let frame = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(frame.words, vec!["LOAD", "hostile"]);
+        assert_eq!(frame.payload, deep.as_bytes());
+
+        // The errors those payloads provoke round-trip too: a parse-cap
+        // rejection deep into line 1, and a position-free arena error.
+        let too_deep = WireError::new(
+            "XMLPARSE",
+            "element nesting deeper than the limit of 10000 at line 1, column 30002",
+        )
+        .at(1, 30_002);
+        assert_eq!(WireError::decode(&too_deep.encode()), too_deep);
+        let arena = WireError::new("XMLPARSE", "node arena is full");
+        assert_eq!(WireError::decode(&arena.encode()), arena);
+        assert_eq!(WireError::decode(&arena.encode()).position, None);
+    }
+
+    #[test]
     fn subframes_round_trip_including_empties() {
         let chunks: Vec<&[u8]> = vec![b"1 + 1", b"", b"a\nb\x1ec"];
         let packed = encode_subframes(&chunks);

@@ -67,6 +67,16 @@ pub struct ServiceConfig {
     /// slots — a long-lived connection adopting many documents would
     /// otherwise accrete mounts forever.
     pub store_reset_slots: usize,
+    /// Maximum element nesting depth `LOAD` accepts, `None` for the
+    /// parser's [`DEFAULT_MAX_DEPTH`](xmlstore::parser::DEFAULT_MAX_DEPTH).
+    /// A payload past the limit comes back as a structured `ERR XMLPARSE`
+    /// with the offending position — never a dropped connection.
+    pub load_max_depth: Option<usize>,
+    /// Maximum records one `LOAD` parse may create, `None` for unbounded.
+    /// This is the service's arena-exhaustion guard: a 100k-wide hostile
+    /// document fails with `ERR XMLPARSE` (the parser's `ArenaFull`, with
+    /// its position) instead of growing a scratch store without limit.
+    pub load_max_nodes: Option<usize>,
 }
 
 impl Default for ServiceConfig {
@@ -78,6 +88,8 @@ impl Default for ServiceConfig {
             doc_cache_bytes: 256 * 1024 * 1024,
             enable_crash_verb: false,
             store_reset_slots: 1 << 20,
+            load_max_depth: None,
+            load_max_nodes: None,
         }
     }
 }
@@ -417,28 +429,40 @@ impl Connection {
         };
         let xml = frame.text();
         // Parse into a scratch store with the same options as
-        // Engine::load_document, so served and embedded trees agree.
+        // Engine::load_document (plus the service's hostile-payload caps),
+        // so served and embedded trees agree.
+        let mut parse_options = ParseOptions::data_oriented();
+        if let Some(depth) = self.shared.config.load_max_depth {
+            parse_options.max_depth = depth;
+        }
+        parse_options.max_nodes = self.shared.config.load_max_nodes;
         let snapshot = {
             let mut scratch = Store::new();
             // Big documents can out-recurse a default stack; parse on a
-            // pool worker like the engines do.
-            let parsed = self.shared.pool.run(|| {
-                scratch
-                    .parse_str(&xml, &ParseOptions::data_oriented())
-                    .map(|doc| {
+            // pool worker like the engines do. The catch_unwind is the
+            // connection's survival guarantee: a panic anywhere in the
+            // parse/snapshot path (worker or store) must come back as a
+            // structured `ERR PANIC`, never a dropped connection.
+            let parsed = catch_unwind(AssertUnwindSafe(|| {
+                self.shared.pool.run(|| {
+                    scratch.parse_str(&xml, &parse_options).map(|doc| {
                         scratch
                             .snapshot(doc)
                             .expect("a fresh parse lands in a frozen mount")
                     })
-            });
+                })
+            }));
             match parsed {
-                Ok(snapshot) => snapshot,
-                Err(e) => {
+                Ok(Ok(snapshot)) => snapshot,
+                Ok(Err(e)) => {
                     let mut err = WireError::new("XMLPARSE", e.to_string());
                     if e.line != 0 || e.column != 0 {
                         err = err.at(e.line, e.column);
                     }
-                    return Reply::Err(err);
+                    return self.fail(err);
+                }
+                Err(payload) => {
+                    return self.fail(WireError::new("PANIC", panic_text(payload.as_ref())))
                 }
             }
         };
@@ -459,7 +483,7 @@ impl Connection {
                 });
                 Reply::Ok(bytes.to_string().into_bytes())
             }
-            Err(e) => Reply::Err(WireError::new("ADMIT", e.to_string())),
+            Err(e) => self.fail(WireError::new("ADMIT", e.to_string())),
         }
     }
 

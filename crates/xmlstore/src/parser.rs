@@ -25,6 +25,12 @@ pub struct ParseOptions {
     /// this bounds memory (one open-tag name per level), not the stack; raise
     /// it for trusted deep documents.
     pub max_depth: usize,
+    /// Maximum number of records (elements, attributes, text, comments,
+    /// PIs) one parse may create, `None` for the arena's own `u32` ceiling.
+    /// A server parsing untrusted payloads sets this so a wide hostile
+    /// document fails with [`XmlErrorKind::ArenaFull`] *at its parse
+    /// position* instead of growing the arena unboundedly.
+    pub max_nodes: Option<usize>,
 }
 
 /// Default for [`ParseOptions::max_depth`].
@@ -36,6 +42,7 @@ impl Default for ParseOptions {
             strip_whitespace_text: false,
             keep_comments: true,
             max_depth: DEFAULT_MAX_DEPTH,
+            max_nodes: None,
         }
     }
 }
@@ -48,6 +55,7 @@ impl ParseOptions {
             strip_whitespace_text: true,
             keep_comments: false,
             max_depth: DEFAULT_MAX_DEPTH,
+            max_nodes: None,
         }
     }
 }
@@ -70,6 +78,8 @@ struct Parser<'a> {
     line: u32,
     column: u32,
     options: &'a ParseOptions,
+    /// Records created so far, checked against [`ParseOptions::max_nodes`].
+    nodes: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -80,11 +90,24 @@ impl<'a> Parser<'a> {
             line: 1,
             column: 1,
             options,
+            nodes: 0,
         }
     }
 
     fn err(&self, kind: XmlErrorKind) -> XmlError {
         XmlError::new(kind, self.line, self.column)
+    }
+
+    /// Accounts one more record against [`ParseOptions::max_nodes`]. Unlike
+    /// the arena's own capacity check (which reports position 0,0 — it has
+    /// no idea where the input is), this fails at the current parse
+    /// position, so a hostile-document rejection is actionable.
+    fn count_node(&mut self) -> Result<(), XmlError> {
+        self.nodes += 1;
+        match self.options.max_nodes {
+            Some(cap) if self.nodes > cap => Err(self.err(XmlErrorKind::ArenaFull)),
+            _ => Ok(()),
+        }
     }
 
     fn peek(&self) -> Option<char> {
@@ -152,10 +175,12 @@ impl<'a> Parser<'a> {
             if self.starts_with("<!--") {
                 let c = self.parse_comment()?;
                 if self.options.keep_comments {
+                    self.count_node()?;
                     fb.comment(c.into())?;
                 }
             } else if self.starts_with("<?") {
                 let (target, data) = self.parse_pi()?;
+                self.count_node()?;
                 fb.pi(target.into(), data.into())?;
             } else if self.peek().is_none() {
                 break;
@@ -177,10 +202,12 @@ impl<'a> Parser<'a> {
                 self.skip_until("?>")?;
             } else if self.starts_with("<?") {
                 let (target, data) = self.parse_pi()?;
+                self.count_node()?;
                 fb.pi(target.into(), data.into())?;
             } else if self.starts_with("<!--") {
                 let c = self.parse_comment()?;
                 if self.options.keep_comments {
+                    self.count_node()?;
                     fb.comment(c.into())?;
                 }
             } else if self.starts_with("<!DOCTYPE") {
@@ -261,6 +288,7 @@ impl<'a> Parser<'a> {
                 self.flush_text(fb, &mut text, &mut text_has_nonspace)?;
                 let c = self.parse_comment()?;
                 if self.options.keep_comments {
+                    self.count_node()?;
                     fb.comment(c.into())?;
                 }
             } else if self.starts_with("<![CDATA[") {
@@ -279,6 +307,7 @@ impl<'a> Parser<'a> {
             } else if self.starts_with("<?") {
                 self.flush_text(fb, &mut text, &mut text_has_nonspace)?;
                 let (target, data) = self.parse_pi()?;
+                self.count_node()?;
                 fb.pi(target.into(), data.into())?;
             } else if self.starts_with("<") {
                 self.flush_text(fb, &mut text, &mut text_has_nonspace)?;
@@ -326,6 +355,7 @@ impl<'a> Parser<'a> {
                 limit: self.options.max_depth,
             }));
         }
+        self.count_node()?;
         fb.open_element(qname)?;
 
         // Attributes. Duplicate detection compares the raw source names, the
@@ -354,6 +384,7 @@ impl<'a> Parser<'a> {
                             "bad attribute name {attr_name:?}"
                         )))
                     })?;
+                    self.count_node()?;
                     fb.attribute(qn, value.into())?;
                     seen.push(attr_name);
                 }
@@ -372,7 +403,7 @@ impl<'a> Parser<'a> {
     }
 
     fn flush_text(
-        &self,
+        &mut self,
         fb: &mut FrozenBuilder,
         text: &mut String,
         has_nonspace: &mut bool,
@@ -382,6 +413,7 @@ impl<'a> Parser<'a> {
         }
         let keep = *has_nonspace || !self.options.strip_whitespace_text;
         if keep {
+            self.count_node()?;
             fb.text(std::mem::take(text).into())?;
         } else {
             text.clear();
@@ -677,6 +709,43 @@ mod tests {
         let (s, doc) = parse(&input);
         let root = s.document_element(doc).unwrap();
         assert_eq!(s.children(root).len(), width);
+    }
+
+    #[test]
+    fn max_nodes_rejects_a_wide_document_at_its_position() {
+        let mut input = String::from("<r>");
+        for _ in 0..1000 {
+            input.push_str("<c/>");
+        }
+        input.push_str("</r>");
+        let mut s = Store::new();
+        let opts = ParseOptions {
+            max_nodes: Some(100),
+            ..ParseOptions::default()
+        };
+        let err = s.parse_str(&input, &opts).unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::ArenaFull), "{err:?}");
+        // The rejection happens mid-input, not at the arena's (0,0).
+        assert_eq!(err.line, 1);
+        assert!(
+            err.column > 3 && err.column < input.len() as u32,
+            "position {:?} should be where the 101st record began",
+            (err.line, err.column)
+        );
+    }
+
+    #[test]
+    fn max_nodes_counts_attributes_and_text_too() {
+        let mut s = Store::new();
+        let opts = ParseOptions {
+            max_nodes: Some(3),
+            ..ParseOptions::default()
+        };
+        // root element + attribute + text = 3 records: fits exactly.
+        assert!(s.parse_str("<r a='1'>x</r>", &opts).is_ok());
+        // One more attribute breaks the cap.
+        let err = s.parse_str("<r a='1' b='2'>x</r>", &opts).unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::ArenaFull), "{err:?}");
     }
 
     #[test]

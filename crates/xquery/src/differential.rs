@@ -1284,6 +1284,12 @@ fn corpus_cases() -> Vec<(Option<&'static str>, &'static str)> {
     for src in STREAM_CORPUS {
         cases.push((Some(STREAM_DOC), *src));
     }
+    for src in XMARK_CORPUS {
+        cases.push((Some(xmark_mini_doc()), *src));
+    }
+    for src in DEEP_CHAIN_CORPUS {
+        cases.push((Some(deep_chain_doc()), *src));
+    }
     cases
 }
 
@@ -1655,5 +1661,216 @@ fn timing_axis_micro() {
             e.evaluate(&q, Some(doc)).unwrap();
         }
         println!("{src}: {:?}/call", t.elapsed() / 500);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Downsized XMark corpus and a hostile-deep chain
+// ---------------------------------------------------------------------------
+
+/// A downsized, fully deterministic XMark-style auction document mirroring
+/// the shape of `awb::workload::xmark_auction` (which cannot be imported
+/// here without a dependency cycle): site → regions/categories/people/
+/// open_auctions/closed_auctions, with mixed-content descriptions, entity
+/// references, and the buyer/@person ↔ person/@id join edges the scenario
+/// driver exercises. Values are arithmetic functions of the index, so the
+/// document is byte-identical on every run.
+fn xmark_mini_doc() -> &'static str {
+    static DOC: std::sync::OnceLock<String> = std::sync::OnceLock::new();
+    DOC.get_or_init(|| {
+        const REGIONS: [&str; 6] = [
+            "africa",
+            "asia",
+            "australia",
+            "europe",
+            "namerica",
+            "samerica",
+        ];
+        const ITEMS: usize = 18;
+        const PEOPLE: usize = 12;
+        const OPEN: usize = 6;
+        const CLOSED: usize = 8;
+        const CATEGORIES: usize = 4;
+        let mut s = String::new();
+        s.push_str("<site><regions>");
+        for (r, region) in REGIONS.iter().enumerate() {
+            s.push_str(&format!("<{region}>"));
+            for i in (r..ITEMS).step_by(REGIONS.len()) {
+                s.push_str(&format!(
+                    "<item id=\"item{i}\"><location>loc{}</location>\
+                     <quantity>{}</quantity><name>gadget {i}</name>\
+                     <description><text>alpha <bold>beta{}</bold> &amp; \
+                     <keyword>gamma</keyword> &#65;&lt;tail&gt;</text></description>\
+                     <incategory category=\"category{}\"/>\
+                     <mailbox><mail><from>person{}</from><to>person{}</to>\
+                     <date>0{}/1{}/200{}</date></mail></mailbox></item>",
+                    i % 4,
+                    1 + i % 3,
+                    i % 5,
+                    i % CATEGORIES,
+                    i % PEOPLE,
+                    (i + 1) % PEOPLE,
+                    1 + i % 9,
+                    i % 3,
+                    i % 4,
+                ));
+            }
+            s.push_str(&format!("</{region}>"));
+        }
+        s.push_str("</regions><categories>");
+        for c in 0..CATEGORIES {
+            s.push_str(&format!(
+                "<category id=\"category{c}\"><name>cat {c}</name></category>"
+            ));
+        }
+        s.push_str("</categories><people>");
+        for p in 0..PEOPLE {
+            s.push_str(&format!(
+                "<person id=\"person{p}\"><name>name {p}</name>\
+                 <emailaddress>mailto:p{p}@site.example</emailaddress>"
+            ));
+            if p % 4 != 0 {
+                s.push_str(&format!(
+                    "<address><street>{p} main</street><city>city{}</city>\
+                     <country>country{}</country></address>",
+                    p % 5,
+                    p % 3
+                ));
+            }
+            if p % 3 > 0 {
+                s.push_str("<watches>");
+                for w in 0..p % 3 {
+                    s.push_str(&format!(
+                        "<watch open_auction=\"open_auction{}\"/>",
+                        (p + w) % OPEN
+                    ));
+                }
+                s.push_str("</watches>");
+            }
+            s.push_str("</person>");
+        }
+        s.push_str("</people><open_auctions>");
+        for a in 0..OPEN {
+            s.push_str(&format!(
+                "<open_auction id=\"open_auction{a}\"><initial>{}.50</initial>",
+                5 + a
+            ));
+            for b in 0..1 + a % 4 {
+                s.push_str(&format!(
+                    "<bidder><date>0{}/10/2001</date>\
+                     <personref person=\"person{}\"/>\
+                     <increase>{}.00</increase></bidder>",
+                    1 + b % 9,
+                    (a * 3 + b) % PEOPLE,
+                    1 + b
+                ));
+            }
+            s.push_str(&format!(
+                "<current>{}.50</current><itemref item=\"item{}\"/>\
+                 <seller person=\"person{}\"/><quantity>1</quantity></open_auction>",
+                6 + 2 * a,
+                a % ITEMS,
+                (a + 5) % PEOPLE
+            ));
+        }
+        s.push_str("</open_auctions><closed_auctions>");
+        for c in 0..CLOSED {
+            s.push_str(&format!(
+                "<closed_auction><seller person=\"person{}\"/>\
+                 <buyer person=\"person{}\"/><itemref item=\"item{}\"/>\
+                 <price>{}.00</price><date>1{}/02/2002</date>\
+                 <quantity>{}</quantity></closed_auction>",
+                c % PEOPLE,
+                (c * 5 + 1) % PEOPLE,
+                (c * 2) % ITEMS,
+                10 + 3 * c,
+                c % 3,
+                1 + c % 2
+            ));
+        }
+        s.push_str("</closed_auctions></site>");
+        s
+    })
+}
+
+/// A hostile-deep chain: 500 nested `<d n="i">` elements around one text
+/// leaf — deep enough that per-level recursion shows, well under the
+/// parser's `max_depth`, with an attribute on every level so reverse-axis
+/// and positional queries have something to select.
+fn deep_chain_doc() -> &'static str {
+    static DOC: std::sync::OnceLock<String> = std::sync::OnceLock::new();
+    DOC.get_or_init(|| {
+        const DEPTH: usize = 500;
+        let mut s = String::with_capacity(DEPTH * 16);
+        for i in 0..DEPTH {
+            s.push_str(&format!("<d n=\"{i}\">"));
+        }
+        s.push('x');
+        for _ in 0..DEPTH {
+            s.push_str("</d>");
+        }
+        s
+    })
+}
+
+/// Downsized-XMark corpus: the scenario driver's point, join, and
+/// stream-prefix query shapes plus aggregation, mixed-content, and
+/// reverse-join probes over the auction document.
+const XMARK_CORPUS: &[&str] = &[
+    // The scenario driver's three op-class query shapes, verbatim.
+    "string(/site/people/person[@id = \"person3\"]/name)",
+    "count(for $p in subsequence(/site/people/person, 1, 10) for $a in /site/closed_auctions/closed_auction where $a/buyer/@person = $p/@id return $a)",
+    "count(subsequence(/site/regions/africa/item, 1, 16))",
+    // Aggregation over auction values.
+    "sum(for $c in /site/closed_auctions/closed_auction return number($c/price))",
+    "count(//item)",
+    "count(//person[address])",
+    "count(//person[not(address)])",
+    "for $a in /site/open_auctions/open_auction where count($a/bidder) > 2 order by string($a/@id) return string($a/@id)",
+    "for $p in /site/people/person[watches] return string($p/@id)",
+    "distinct-values(//incategory/@category)",
+    "string-join(for $i in subsequence(//item, 1, 3) return string($i/name), \"|\")",
+    // Mixed content and entity references survive both evaluators.
+    "string((//item)[1]/description/text)",
+    "string((//item)[2]/description/text/bold)",
+    "count(//mail[from = \"person3\"])",
+    "string(/site/regions/asia/item[1]/@id)",
+    "count(//watch[@open_auction = \"open_auction2\"])",
+    "for $b in //bidder order by number($b/increase) descending return string($b/personref/@person)",
+];
+
+/// Hostile-deep corpus: descendant sweeps, reverse axes, deep positional
+/// indexing, and the string value of the whole chain.
+const DEEP_CHAIN_CORPUS: &[&str] = &[
+    "count(//d)",
+    "string((//d)[last()])",
+    "count(//d[@n = \"499\"])",
+    "string((//d)[250]/@n)",
+    "count((//d)[last()]/ancestor::d)",
+    "string(/d/@n)",
+    "count(//d[not(d)])",
+];
+
+#[test]
+fn xmark_mini_corpus_matches_reference_under_all_configs() {
+    for (name, options) in engine_configs() {
+        let mut e = Engine::with_options(options);
+        let doc = e.load_document(xmark_mini_doc()).unwrap();
+        for src in XMARK_CORPUS {
+            assert_equivalent(&mut e, src, Some(doc))
+                .unwrap_or_else(|d| panic!("{name}: {src}: {d}"));
+        }
+    }
+}
+
+#[test]
+fn deep_chain_corpus_matches_reference_under_all_configs() {
+    for (name, options) in engine_configs() {
+        let mut e = Engine::with_options(options);
+        let doc = e.load_document(deep_chain_doc()).unwrap();
+        for src in DEEP_CHAIN_CORPUS {
+            assert_equivalent(&mut e, src, Some(doc))
+                .unwrap_or_else(|d| panic!("{name}: {src}: {d}"));
+        }
     }
 }
